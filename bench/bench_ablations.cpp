@@ -1,0 +1,93 @@
+// Ablations — design choices DESIGN.md calls out, on the enterprise1 estate.
+//
+// (1) Economies of scale: plan with volume discounts modeled vs priced at
+//     base rates only (the evaluation always applies the true schedules, so
+//     the delta is the value of *modeling* the discounts, Schoomer rows).
+// (2) Business impact omega: how much does capping the per-site blast
+//     radius cost (DR mode)?
+// (3) Local search: greedy seed alone vs seed + polish (the heuristic
+//     engine's two halves).
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "datagen/generators.h"
+#include "planner/etransform_planner.h"
+#include "planner/local_search.h"
+#include "report/report.h"
+
+namespace etransform {
+namespace {
+
+void ablate_economies() {
+  const auto instance = make_enterprise1();
+  const CostModel model(instance);
+  TextTable table({"economies of scale modeled", "plan total cost"});
+  for (const bool modeled : {true, false}) {
+    PlannerOptions options;
+    options.economies_of_scale = modeled;
+    options.milp.time_limit_ms = 20000;
+    const EtransformPlanner planner(options);
+    const PlannerReport report = planner.plan(model);
+    table.add_row({modeled ? "yes" : "no (base prices)",
+                   format_money_compact(report.plan.cost.total())});
+  }
+  std::printf("(1) value of modeling volume discounts\n%s\n",
+              table.render().c_str());
+}
+
+void ablate_omega() {
+  EnterpriseSpec spec = enterprise1_spec();
+  spec.num_groups = 30;
+  spec.total_servers = 200;
+  spec.num_as_is_centers = 10;
+  spec.num_target_sites = 6;
+  spec.total_users = 3000.0;
+  const auto instance = make_enterprise(spec);
+  const CostModel model(instance);
+  TextTable table({"omega", "sites used", "total cost"});
+  for (const double omega : {1.0, 0.5, 0.34, 0.2}) {
+    PlannerOptions options;
+    options.enable_dr = true;
+    options.business_impact_omega = omega;
+    options.milp.time_limit_ms = 15000;
+    const EtransformPlanner planner(options);
+    const PlannerReport report = planner.plan(model);
+    table.add_row({format_double(omega, 2),
+                   std::to_string(report.plan.sites_used()),
+                   format_money_compact(report.plan.cost.total())});
+  }
+  std::printf("(2) business-impact parameter (DR mode)\n%s\n",
+              table.render().c_str());
+}
+
+void ablate_local_search() {
+  const auto instance = make_federal();
+  const CostModel model(instance);
+  GreedyOptions seed;
+  seed.volume_aware = true;
+  Plan plan = plan_greedy(model, false, seed);
+  const Money before = plan.cost.total();
+  improve_plan(model, plan);
+  TextTable table({"stage", "total cost"});
+  table.add_row({"greedy seed", format_money_compact(before)});
+  table.add_row({"seed + local search", format_money_compact(
+                                            plan.cost.total())});
+  std::printf("(3) local-search contribution (federal scale)\n%s\n",
+              table.render().c_str());
+}
+
+}  // namespace
+}  // namespace etransform
+
+int main() {
+  using namespace etransform;
+  set_log_level(LogLevel::kError);
+  bench::banner("Ablations", "design-choice studies on the case datasets");
+  ablate_economies();
+  ablate_omega();
+  ablate_local_search();
+  return 0;
+}

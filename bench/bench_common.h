@@ -1,0 +1,43 @@
+// Shared helpers for the reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+
+namespace etransform::bench {
+
+/// Prints a section banner naming the paper artifact being regenerated.
+inline void banner(const std::string& title, const std::string& detail) {
+  std::printf("\n=== %s ===\n%s\n\n", title.c_str(), detail.c_str());
+}
+
+/// Writes figure data under bench_data/<name>.csv (for replotting) and says
+/// so on stdout. Failures to create the directory are reported, not fatal —
+/// the printed tables are the primary artifact.
+inline void export_csv(const std::string& name,
+                       const std::vector<std::string>& header,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_data", ec);
+  if (ec) {
+    std::fprintf(stderr, "bench_data/: %s\n", ec.message().c_str());
+    return;
+  }
+  const std::string path = "bench_data/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  CsvWriter writer(out);
+  writer.write_row(header);
+  for (const auto& row : rows) writer.write_row(row);
+  std::printf("[data: %s]\n", path.c_str());
+}
+
+}  // namespace etransform::bench

@@ -1,0 +1,84 @@
+// E1 — Table II / Figs. 2-3: dataset summary statistics.
+//
+// Regenerates the paper's dataset description tables from the synthetic
+// generators: application group / server / data-center counts per dataset
+// must match Table II exactly; the per-dataset detail mirrors Fig. 3.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "datagen/generators.h"
+#include "report/report.h"
+
+int main() {
+  using namespace etransform;
+  bench::banner("Table II — dataset sizes",
+                "as-is DCs / target DCs / servers / app groups per dataset");
+
+  TextTable table({"dataset", "as-is data centers", "target data centers",
+                   "servers", "app groups"});
+  for (const auto& instance :
+       {make_enterprise1(), make_florida(), make_federal()}) {
+    table.add_row({instance.name,
+                   std::to_string(instance.as_is_centers.size()),
+                   std::to_string(instance.num_sites()),
+                   std::to_string(instance.total_servers()),
+                   std::to_string(instance.num_groups())});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bench::banner("Fig. 3 — enterprise1 detail",
+                "summary statistics of the enterprise1 estate");
+  const auto enterprise1 = make_enterprise1();
+  std::printf("%s\n", render_instance_summary(enterprise1).c_str());
+
+  bench::banner("Fig. 2 — geographic spread (enterprise1)",
+                "as-is data centers / servers / users per region, as the "
+                "paper's <X, Y, Z> map annotations");
+  {
+    const int regions = enterprise1.num_locations();
+    std::vector<int> centers(static_cast<std::size_t>(regions), 0);
+    std::vector<long long> servers(static_cast<std::size_t>(regions), 0);
+    std::vector<double> users(static_cast<std::size_t>(regions), 0.0);
+    // A center belongs to the region it is closest to.
+    const auto region_of = [&](const GeoPoint& p) {
+      int best = 0;
+      for (int r = 1; r < regions; ++r) {
+        if (distance(p, enterprise1.locations[static_cast<std::size_t>(r)]
+                            .position) <
+            distance(p, enterprise1.locations[static_cast<std::size_t>(best)]
+                            .position)) {
+          best = r;
+        }
+      }
+      return best;
+    };
+    std::vector<int> center_region;
+    for (const auto& center : enterprise1.as_is_centers) {
+      const int r = region_of(center.position);
+      center_region.push_back(r);
+      centers[static_cast<std::size_t>(r)] += 1;
+    }
+    for (int i = 0; i < enterprise1.num_groups(); ++i) {
+      const auto& group = enterprise1.groups[static_cast<std::size_t>(i)];
+      const int r = center_region[static_cast<std::size_t>(
+          enterprise1.as_is_placement[static_cast<std::size_t>(i)])];
+      servers[static_cast<std::size_t>(r)] += group.servers;
+      for (int loc = 0; loc < regions; ++loc) {
+        users[static_cast<std::size_t>(loc)] +=
+            group.users_per_location[static_cast<std::size_t>(loc)];
+      }
+    }
+    TextTable regions_table({"region", "data centers", "servers", "users"});
+    for (int r = 0; r < regions; ++r) {
+      regions_table.add_row(
+          {enterprise1.locations[static_cast<std::size_t>(r)].name,
+           std::to_string(centers[static_cast<std::size_t>(r)]),
+           std::to_string(servers[static_cast<std::size_t>(r)]),
+           std::to_string(static_cast<long long>(
+               users[static_cast<std::size_t>(r)]))});
+    }
+    std::printf("%s\n", regions_table.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E5-E7 — Fig. 6(a-e): consolidation with integrated disaster recovery.
+//
+// Bars: AS-IS+DR (current estate plus a mirror backup data center), MANUAL
+// (paired backup sites), GREEDY (dedicated backups placed greedily), and
+// eTRANSFORM (joint consolidation + DR with shared backup servers).
+//
+// Reproduction target (shape): eTransform's integrated plan is >= ~25%
+// cheaper than AS-IS+DR with ~zero latency violations; manual and greedy can
+// end up *more* expensive than AS-IS+DR on the larger datasets (paper:
+// +37%/+51%), because dedicated backups forfeit the sharing eTransform
+// exploits.
+//
+// Scale note: the DR MILP's J_abc sharing variables grow as M*N^2; the
+// planner uses the joint exact formulation where it fits and the two-stage /
+// heuristic path beyond (documented substitution; validated against the
+// joint optimum on small instances in tests/planner_test.cpp).
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "datagen/generators.h"
+#include "planner/etransform_planner.h"
+#include "report/report.h"
+
+namespace etransform {
+namespace {
+
+void run_dataset(const ConsolidationInstance& instance) {
+  const CostModel model(instance);
+
+  std::vector<AlgorithmResult> results;
+  int as_is_violations = 0;
+  const CostBreakdown as_is_dr = as_is_plus_dr_cost(model, &as_is_violations);
+  results.push_back(summarize("AS-IS+DR", as_is_dr, as_is_violations));
+  results.push_back(summarize("MANUAL", plan_manual(model, true)));
+  results.push_back(summarize("GREEDY", plan_greedy(model, true)));
+
+  PlannerOptions options;
+  options.enable_dr = true;
+  const EtransformPlanner planner(options);
+  const PlannerReport report = planner.plan(model);
+  results.push_back(summarize("eTRANSFORM", report.plan));
+
+  std::printf("%s", render_comparison(instance.name, results).c_str());
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& r : results) {
+      rows.push_back({r.label, format_double(r.operational_cost, 2),
+                      format_double(r.latency_penalty, 2),
+                      std::to_string(r.latency_violations)});
+    }
+    bench::export_csv("fig6_" + instance.name,
+                      {"algorithm", "cost", "latency penalty", "violations"},
+                      rows);
+  }
+  std::printf("  eTransform DR: %d backup servers across %d sites (%s)\n\n",
+              report.plan.total_backup_servers(), report.plan.sites_used(),
+              report.used_exact_solver ? "exact MILP" : "heuristic");
+}
+
+}  // namespace
+}  // namespace etransform
+
+int main() {
+  using namespace etransform;
+  set_log_level(LogLevel::kError);
+  bench::banner(
+      "Fig. 6 — consolidation with disaster recovery",
+      "cost + latency penalty per algorithm; reduction vs AS-IS+DR (Fig. 6d);"
+      "\nlatency violations (Fig. 6e)");
+  run_dataset(make_enterprise1());
+  run_dataset(make_florida());
+  run_dataset(make_federal());
+  return 0;
+}

@@ -1,0 +1,105 @@
+// E8 — Fig. 7(a-c): influence of the latency penalty.
+//
+// Ten sites on a line (latency and space cost rising away from location 0),
+// users split between locations 0 and 9, latency penalty swept $0..$120 per
+// user across five user distributions. Prints the three series the paper
+// plots: total cost, space cost, and mean user latency.
+//
+// Reproduction target: at $0 penalty every distribution sits at the cheapest
+// site; as the penalty grows, total cost rises for mixed distributions,
+// space cost climbs when users concentrate at the expensive end (the planner
+// moves next to them), and mean latency falls monotonically. With all users
+// at location 0 the curves stay flat.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "datagen/generators.h"
+#include "planner/etransform_planner.h"
+
+namespace etransform {
+namespace {
+
+struct Series {
+  double fraction_near;
+  const char* label;
+};
+
+void run_sweep() {
+  const Series series[] = {
+      {0.0, "all users in location 9"},
+      {0.25, "25% users in location 0"},
+      {0.5, "users split evenly 0/9"},
+      {0.75, "75% users in location 0"},
+      {1.0, "all users in location 0"},
+  };
+  const double penalties[] = {0, 20, 40, 60, 80, 100, 120};
+
+  const std::vector<std::string> header = {"penalty ($/user)", "all@9",
+                                           "25%@0", "50/50", "75%@0",
+                                           "all@0"};
+  TextTable total(header);
+  TextTable space(header);
+  TextTable latency(header);
+  std::vector<std::vector<std::string>> total_rows;
+  std::vector<std::vector<std::string>> space_rows;
+  std::vector<std::vector<std::string>> latency_rows;
+
+  for (const double penalty : penalties) {
+    std::vector<std::string> total_row = {format_double(penalty, 0)};
+    std::vector<std::string> space_row = total_row;
+    std::vector<std::string> latency_row = total_row;
+    for (const Series& s : series) {
+      LatencyLineSpec spec;
+      spec.penalty_per_user = penalty;
+      spec.fraction_users_near = s.fraction_near;
+      const auto instance = make_latency_line(spec);
+      const CostModel model(instance);
+      const EtransformPlanner planner;
+      const PlannerReport report = planner.plan(model);
+
+      double user_weighted_latency = 0.0;
+      double users = 0.0;
+      for (int i = 0; i < instance.num_groups(); ++i) {
+        const auto& group = instance.groups[static_cast<std::size_t>(i)];
+        user_weighted_latency +=
+            group.total_users() *
+            model.average_latency(i,
+                                  report.plan.primary[
+                                      static_cast<std::size_t>(i)]);
+        users += group.total_users();
+      }
+      total_row.push_back(format_double(report.plan.cost.total(), 0));
+      space_row.push_back(format_double(report.plan.cost.space, 0));
+      latency_row.push_back(
+          format_double(users > 0 ? user_weighted_latency / users : 0.0, 1));
+    }
+    total.add_row(total_row);
+    space.add_row(space_row);
+    latency.add_row(latency_row);
+    total_rows.push_back(std::move(total_row));
+    space_rows.push_back(std::move(space_row));
+    latency_rows.push_back(std::move(latency_row));
+  }
+
+  std::printf("(a) total cost ($)\n%s\n", total.render().c_str());
+  std::printf("(b) space cost ($)\n%s\n", space.render().c_str());
+  std::printf("(c) average latency (ms)\n%s\n", latency.render().c_str());
+  bench::export_csv("fig7a_total_cost", header, total_rows);
+  bench::export_csv("fig7b_space_cost", header, space_rows);
+  bench::export_csv("fig7c_avg_latency", header, latency_rows);
+}
+
+}  // namespace
+}  // namespace etransform
+
+int main() {
+  using namespace etransform;
+  set_log_level(LogLevel::kError);
+  bench::banner("Fig. 7 — influence of the latency penalty",
+                "total cost / space cost / mean latency vs penalty, for five "
+                "user distributions");
+  run_sweep();
+  return 0;
+}

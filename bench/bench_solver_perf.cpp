@@ -1,0 +1,113 @@
+// E12 — solver performance microbenchmarks (google-benchmark).
+//
+// Times the substrate the reproduction is built on: the bounded-variable
+// simplex on dense random LPs and transportation LPs, branch-and-bound on
+// knapsacks and assignment MILPs, the full planner on enterprise1-scale
+// instances, and the Lagrangian bound at Federal scale.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "cost/cost_model.h"
+#include "datagen/generators.h"
+#include "lp/simplex.h"
+#include "milp/branch_and_bound.h"
+#include "planner/etransform_planner.h"
+#include "planner/lagrangian.h"
+
+namespace etransform {
+namespace {
+
+lp::Model random_lp(std::uint64_t seed, int vars, int rows) {
+  Rng rng(seed);
+  lp::Model model;
+  std::vector<lp::Term> objective;
+  for (int j = 0; j < vars; ++j) {
+    const int v = model.add_continuous("x" + std::to_string(j), 0.0,
+                                       rng.uniform(1.0, 10.0));
+    objective.push_back({v, rng.uniform(-5.0, 5.0)});
+  }
+  model.set_objective(lp::Sense::kMinimize, objective);
+  for (int i = 0; i < rows; ++i) {
+    std::vector<lp::Term> terms;
+    for (int j = 0; j < vars; ++j) {
+      if (rng.uniform() < 0.3) terms.push_back({j, rng.uniform(-2.0, 2.0)});
+    }
+    model.add_constraint("r" + std::to_string(i), terms,
+                         lp::Relation::kLessEqual, rng.uniform(1.0, 20.0));
+  }
+  return model;
+}
+
+void BM_SimplexRandomLp(benchmark::State& state) {
+  const auto model = random_lp(7, static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(0)) / 2);
+  const lp::SimplexSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(model));
+  }
+}
+BENCHMARK(BM_SimplexRandomLp)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_BranchAndBoundKnapsack(benchmark::State& state) {
+  Rng rng(11);
+  lp::Model model;
+  std::vector<lp::Term> objective;
+  std::vector<lp::Term> cap;
+  double total = 0.0;
+  for (int i = 0; i < state.range(0); ++i) {
+    const int b = model.add_binary("b" + std::to_string(i));
+    objective.push_back({b, rng.uniform(1.0, 30.0)});
+    const double w = rng.uniform(1.0, 10.0);
+    total += w;
+    cap.push_back({b, w});
+  }
+  model.set_objective(lp::Sense::kMaximize, objective);
+  model.add_constraint("cap", cap, lp::Relation::kLessEqual, 0.4 * total);
+  const milp::BranchAndBoundSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(model));
+  }
+}
+BENCHMARK(BM_BranchAndBoundKnapsack)->Arg(20)->Arg(40);
+
+void BM_PlannerEnterprise1(benchmark::State& state) {
+  const auto instance = make_enterprise1();
+  const CostModel model(instance);
+  PlannerOptions options;
+  options.milp.time_limit_ms = 20000;
+  const EtransformPlanner planner(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(model));
+  }
+}
+BENCHMARK(BM_PlannerEnterprise1)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_GreedyFederal(benchmark::State& state) {
+  const auto instance = make_federal();
+  const CostModel model(instance);
+  PlannerOptions options;
+  options.engine = PlannerOptions::Engine::kHeuristic;
+  options.local_search.max_passes = 3;
+  options.local_search.enable_swaps = false;
+  const EtransformPlanner planner(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(model));
+  }
+}
+BENCHMARK(BM_GreedyFederal)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_LagrangianFederal(benchmark::State& state) {
+  const auto instance = make_federal();
+  const CostModel model(instance);
+  LagrangianOptions options;
+  options.max_iterations = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lagrangian_lower_bound(model, options));
+  }
+}
+BENCHMARK(BM_LagrangianFederal)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace etransform
+
+BENCHMARK_MAIN();

@@ -1,0 +1,214 @@
+// etransform_cli — the complete Fig. 5 pipeline as a command-line tool.
+//
+//   etransform_cli generate <enterprise1|florida|federal> [-o out.etf]
+//       Export one of the paper's datasets as an .etf instance file.
+//   etransform_cli validate <in.etf>
+//       Parse + validate an instance; print its Table II-style summary.
+//   etransform_cli asis <in.etf>
+//       Price the current ("as-is") estate.
+//   etransform_cli plan <in.etf> [--dr] [--omega X] [--engine auto|exact|
+//       heuristic] [--no-economies] [--lp-out model.lp] [--time-limit ms]
+//       Compute the "to-be" plan and print the full report. --lp-out also
+//       writes the MILP in CPLEX LP format (feed it to lp_tool, or to an
+//       actual CPLEX, to audit the optimization engine).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "common/logging.h"
+#include "datagen/generators.h"
+#include "lp/lp_format.h"
+#include "model/instance_io.h"
+#include "planner/etransform_planner.h"
+#include "planner/formulation.h"
+#include "planner/migration.h"
+#include "report/report.h"
+#include "report/sensitivity.h"
+
+using namespace etransform;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  etransform_cli generate <enterprise1|florida|federal> [-o out.etf]\n"
+      "  etransform_cli validate <in.etf>\n"
+      "  etransform_cli asis <in.etf>\n"
+      "  etransform_cli plan <in.etf> [--dr] [--omega X] [--sensitivity]\n"
+      "      [--engine auto|exact|heuristic] [--no-economies]\n"
+      "      [--lp-out model.lp] [--time-limit ms]\n"
+      "      [--migrate] [--wan-budget megabits] [--max-moves N]\n");
+  return 1;
+}
+
+ConsolidationInstance load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InvalidInputError("cannot open '" + path + "'");
+  return parse_instance(in);
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string which = argv[2];
+  ConsolidationInstance instance;
+  if (which == "enterprise1") instance = make_enterprise1();
+  else if (which == "florida") instance = make_florida();
+  else if (which == "federal") instance = make_federal();
+  else return usage();
+  std::string out_path = which + ".etf";
+  for (int a = 3; a + 1 < argc; ++a) {
+    if (std::strcmp(argv[a], "-o") == 0) out_path = argv[a + 1];
+  }
+  std::ofstream out(out_path);
+  if (!out) throw InvalidInputError("cannot write '" + out_path + "'");
+  write_instance(instance, out);
+  std::printf("wrote %s (%d groups, %d sites, %d servers)\n",
+              out_path.c_str(), instance.num_groups(), instance.num_sites(),
+              instance.total_servers());
+  return 0;
+}
+
+int cmd_validate(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const ConsolidationInstance instance = load(argv[2]);
+  std::printf("%s\nOK\n", render_instance_summary(instance).c_str());
+  return 0;
+}
+
+int cmd_asis(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const ConsolidationInstance instance = load(argv[2]);
+  const CostModel model(instance);
+  std::printf("as-is monthly cost (%d latency violations):\n%s",
+              model.as_is_latency_violations(),
+              render_cost_breakdown(model.as_is_cost()).c_str());
+  return 0;
+}
+
+int cmd_plan(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const ConsolidationInstance instance = load(argv[2]);
+
+  PlannerOptions options;
+  std::string lp_out;
+  bool sensitivity = false;
+  bool migrate = false;
+  MigrationLimits migration_limits;
+  for (int a = 3; a < argc; ++a) {
+    const std::string flag = argv[a];
+    if (flag == "--sensitivity") {
+      sensitivity = true;
+    } else if (flag == "--migrate") {
+      migrate = true;
+    } else if (flag == "--wan-budget" && a + 1 < argc) {
+      migration_limits.wan_budget_megabits = std::stod(argv[++a]);
+      migrate = true;
+    } else if (flag == "--max-moves" && a + 1 < argc) {
+      migration_limits.max_moves = std::stoi(argv[++a]);
+      migrate = true;
+    } else if (flag == "--dr") {
+      options.enable_dr = true;
+    } else if (flag == "--no-economies") {
+      options.economies_of_scale = false;
+    } else if (flag == "--omega" && a + 1 < argc) {
+      options.business_impact_omega = std::stod(argv[++a]);
+    } else if (flag == "--engine" && a + 1 < argc) {
+      const std::string engine = argv[++a];
+      if (engine == "exact") {
+        options.engine = PlannerOptions::Engine::kExact;
+      } else if (engine == "heuristic") {
+        options.engine = PlannerOptions::Engine::kHeuristic;
+      } else if (engine != "auto") {
+        return usage();
+      }
+    } else if (flag == "--lp-out" && a + 1 < argc) {
+      lp_out = argv[++a];
+    } else if (flag == "--time-limit" && a + 1 < argc) {
+      options.milp.time_limit_ms = std::stoi(argv[++a]);
+    } else {
+      return usage();
+    }
+  }
+
+  const CostModel model(instance);
+  if (!lp_out.empty()) {
+    FormulationOptions formulation_options;
+    formulation_options.enable_dr = options.enable_dr;
+    formulation_options.business_impact_omega =
+        options.business_impact_omega;
+    formulation_options.economies_of_scale = options.economies_of_scale;
+    formulation_options.backup_sizing = BackupSizing::kSharedJoint;
+    const Formulation formulation =
+        build_formulation(model, formulation_options);
+    std::ofstream out(lp_out);
+    if (!out) throw InvalidInputError("cannot write '" + lp_out + "'");
+    lp::write_lp(formulation.model, out);
+    std::fprintf(stderr, "MILP written to %s (%d vars, %d rows)\n",
+                 lp_out.c_str(), formulation.model.num_variables(),
+                 formulation.model.num_constraints());
+  }
+
+  const EtransformPlanner planner(options);
+  const PlannerReport report = planner.plan(model);
+  std::printf("%s", render_plan_summary(instance, report.plan).c_str());
+  if (!instance.as_is_placement.empty()) {
+    const Money as_is = model.as_is_cost().total();
+    std::printf("\nas-is total: %s  ->  to-be total: %s (%.1f%%)\n",
+                format_money_compact(as_is).c_str(),
+                format_money_compact(report.plan.cost.total()).c_str(),
+                (report.plan.cost.total() - as_is) / as_is * 100.0);
+  }
+  std::printf("solver: %s%s\n",
+              report.used_exact_solver ? "exact MILP" : "heuristic",
+              report.proven_optimal ? " (proven optimal)" : "");
+  if (sensitivity) {
+    std::printf("\n%s",
+                render_sensitivity(instance,
+                                   analyze_sensitivity(model, report.plan))
+                    .c_str());
+  }
+  if (migrate) {
+    const MigrationSchedule schedule =
+        schedule_migration(instance, report.plan, migration_limits);
+    std::printf("\nmigration: %d waves (lower bound %d)\n",
+                schedule.wave_count(), schedule.lower_bound_waves);
+    for (std::size_t w = 0; w < schedule.waves.size(); ++w) {
+      const auto& wave = schedule.waves[w];
+      std::printf("  wave %zu: %zu moves, %.2f Tb", w + 1,
+                  wave.groups.size(), wave.data_megabits / 1e6);
+      if (!wave.provisioned_sites.empty()) {
+        std::printf(", provisions %zu DR pools",
+                    wave.provisioned_sites.size());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarning);
+  try {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    if (command == "generate") return cmd_generate(argc, argv);
+    if (command == "validate") return cmd_validate(argc, argv);
+    if (command == "asis") return cmd_asis(argc, argv);
+    if (command == "plan") return cmd_plan(argc, argv);
+    return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

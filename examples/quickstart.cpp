@@ -1,0 +1,115 @@
+// Quickstart: describe a small estate by hand, run the planner, print the
+// "to-be" state.
+//
+// A fictional company runs three application groups out of two aging server
+// rooms and is evaluating three colocation sites. Users sit in two cities.
+// eTransform picks primary sites that balance space/power/labor/WAN cost
+// against each group's latency needs.
+#include <cstdio>
+
+#include "cost/cost_model.h"
+#include "planner/etransform_planner.h"
+#include "report/report.h"
+
+using namespace etransform;
+
+int main() {
+  ConsolidationInstance instance;
+  instance.name = "quickstart";
+
+  // Where the users are.
+  instance.locations = {
+      UserLocation{"new-york", {0.0, 0.0}},
+      UserLocation{"san-francisco", {100.0, 0.0}},
+  };
+
+  // The applications. The trading group is latency-critical: $100 per user
+  // and month once its average latency exceeds 10 ms.
+  ApplicationGroup trading;
+  trading.name = "trading";
+  trading.servers = 12;
+  trading.monthly_data_megabits = 4.0e6;
+  trading.users_per_location = {300.0, 20.0};  // mostly New York
+  trading.latency_penalty = LatencyPenaltyFunction::single_step(10.0, 100.0);
+
+  ApplicationGroup payroll;
+  payroll.name = "payroll";
+  payroll.servers = 6;
+  payroll.monthly_data_megabits = 1.0e6;
+  payroll.users_per_location = {80.0, 80.0};  // insensitive to latency
+
+  ApplicationGroup analytics;
+  analytics.name = "analytics";
+  analytics.servers = 20;
+  analytics.monthly_data_megabits = 2.0e7;
+  analytics.users_per_location = {10.0, 40.0};
+  instance.groups = {trading, payroll, analytics};
+
+  // Candidate colocation sites. The bulk site offers volume discounts
+  // (economies of scale): $90/server dropping 10% per 16 servers.
+  DataCenterSite east;
+  east.name = "nj-colo";
+  east.position = {5.0, 0.0};
+  east.capacity_servers = 40;
+  east.space_cost_per_server = StepSchedule::flat(120.0);
+  east.power_cost_per_kwh = StepSchedule::flat(0.14);
+  east.labor_cost_per_admin = StepSchedule::flat(7800.0);
+  east.wan_cost_per_megabit = StepSchedule::flat(1.5e-5);
+
+  DataCenterSite west = east;
+  west.name = "ca-colo";
+  west.position = {95.0, 0.0};
+  west.space_cost_per_server = StepSchedule::flat(140.0);
+  west.power_cost_per_kwh = StepSchedule::flat(0.17);
+
+  DataCenterSite bulk = east;
+  bulk.name = "midwest-bulk";
+  bulk.position = {50.0, 0.0};
+  bulk.capacity_servers = 100;
+  bulk.space_cost_per_server = StepSchedule::volume_discount(90.0, 16.0, 9.0,
+                                                             4);
+  bulk.power_cost_per_kwh = StepSchedule::flat(0.08);
+  instance.sites = {east, west, bulk};
+
+  // Site -> user-location latency (ms).
+  instance.latency_ms = {
+      {4.0, 60.0},   // nj-colo
+      {62.0, 4.0},   // ca-colo
+      {28.0, 30.0},  // midwest-bulk
+  };
+
+  // The current estate, for the as-is cost baseline.
+  AsIsDataCenter room_a;
+  room_a.name = "server-room-a";
+  room_a.position = {1.0, 0.0};
+  room_a.space_cost_per_server = 260.0;
+  room_a.wan_cost_per_megabit = 3.0e-5;
+  room_a.power_cost_per_kwh = 0.18;
+  room_a.labor_cost_per_admin = 9000.0;
+  AsIsDataCenter room_b = room_a;
+  room_b.name = "server-room-b";
+  room_b.position = {99.0, 0.0};
+  room_b.space_cost_per_server = 240.0;
+  room_b.power_cost_per_kwh = 0.20;
+  room_b.labor_cost_per_admin = 9500.0;
+  instance.as_is_centers = {room_a, room_b};
+  instance.as_is_placement = {0, 0, 1};
+  instance.as_is_latency_ms = {{5.0, 60.0}, {60.0, 5.0}};
+
+  // Plan.
+  const CostModel model(instance);
+  const EtransformPlanner planner;
+  const PlannerReport report = planner.plan(model);
+
+  std::printf("as-is monthly cost:\n%s\n",
+              render_cost_breakdown(model.as_is_cost()).c_str());
+  std::printf("%s\n", render_plan_summary(instance, report.plan).c_str());
+  for (int i = 0; i < instance.num_groups(); ++i) {
+    const int j = report.plan.primary[static_cast<std::size_t>(i)];
+    std::printf("  %-10s -> %-12s (avg latency %.1f ms)\n",
+                instance.groups[static_cast<std::size_t>(i)].name.c_str(),
+                instance.sites[static_cast<std::size_t>(j)].name.c_str(),
+                model.average_latency(i, j));
+  }
+  return 0;
+}

@@ -1,0 +1,345 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace etransform {
+
+namespace {
+
+/// True if the group may be placed at site j (pin + allowed-sites rules).
+bool allowed_at(const ApplicationGroup& group, int j) {
+  if (group.pinned_site >= 0) return j == group.pinned_site;
+  if (group.allowed_sites.empty()) return true;
+  return std::find(group.allowed_sites.begin(), group.allowed_sites.end(),
+                   j) != group.allowed_sites.end();
+}
+
+/// Groups in decreasing server order (the greedy ordering; also used by
+/// manual so large groups grab scarce capacity first).
+std::vector<int> groups_by_size(const ConsolidationInstance& instance) {
+  std::vector<int> order(static_cast<std::size_t>(instance.num_groups()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return instance.groups[static_cast<std::size_t>(a)].servers >
+           instance.groups[static_cast<std::size_t>(b)].servers;
+  });
+  return order;
+}
+
+}  // namespace
+
+Plan plan_manual(const CostModel& model, bool with_dr,
+                 const ManualOptions& options) {
+  const auto& instance = model.instance();
+  const int num_sites = instance.num_sites();
+  const int num_groups = instance.num_groups();
+  if (options.site_count < 1) {
+    throw InvalidInputError("manual baseline: site_count must be >= 1");
+  }
+
+  // Pick sites a priori: largest capacity first. DR reserves half the picks
+  // for backups, so start from twice the footprint.
+  std::vector<int> by_capacity(static_cast<std::size_t>(num_sites));
+  std::iota(by_capacity.begin(), by_capacity.end(), 0);
+  std::stable_sort(by_capacity.begin(), by_capacity.end(), [&](int a, int b) {
+    return instance.sites[static_cast<std::size_t>(a)].capacity_servers >
+           instance.sites[static_cast<std::size_t>(b)].capacity_servers;
+  });
+  const long long total_servers = instance.total_servers();
+  std::vector<int> picked;
+  long long picked_capacity = 0;
+  for (const int j : by_capacity) {
+    if (static_cast<int>(picked.size()) >= options.site_count &&
+        picked_capacity >= total_servers) {
+      break;
+    }
+    picked.push_back(j);
+    picked_capacity +=
+        instance.sites[static_cast<std::size_t>(j)].capacity_servers;
+  }
+  if (picked_capacity < total_servers) {
+    throw InfeasibleError("manual baseline: estate does not fit target sites");
+  }
+
+  // Place every group at the nearest picked site (by distance from its
+  // current as-is center) that still has room and is allowed.
+  std::vector<long long> free_capacity(static_cast<std::size_t>(num_sites));
+  for (int j = 0; j < num_sites; ++j) {
+    free_capacity[static_cast<std::size_t>(j)] =
+        instance.sites[static_cast<std::size_t>(j)].capacity_servers;
+  }
+  Plan plan;
+  plan.algorithm = with_dr ? "manual+dr" : "manual";
+  plan.primary.assign(static_cast<std::size_t>(num_groups), -1);
+
+  const auto group_position = [&](int i) -> GeoPoint {
+    if (!instance.as_is_placement.empty()) {
+      const int d = instance.as_is_placement[static_cast<std::size_t>(i)];
+      return instance.as_is_centers[static_cast<std::size_t>(d)].position;
+    }
+    return GeoPoint{};
+  };
+
+  for (const int i : groups_by_size(instance)) {
+    const auto& group = instance.groups[static_cast<std::size_t>(i)];
+    const GeoPoint from = group_position(i);
+    int best = -1;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (const int j : picked) {
+      if (!allowed_at(group, j)) continue;
+      if (free_capacity[static_cast<std::size_t>(j)] < group.servers) continue;
+      const double d =
+          distance(from, instance.sites[static_cast<std::size_t>(j)].position);
+      if (d < best_distance) {
+        best_distance = d;
+        best = j;
+      }
+    }
+    if (best < 0) {
+      // The picked set is full or disallowed; spill to the nearest
+      // feasible unpicked site (manual practice: ad-hoc intervention).
+      for (const int j : by_capacity) {
+        if (!allowed_at(group, j)) continue;
+        if (free_capacity[static_cast<std::size_t>(j)] < group.servers) {
+          continue;
+        }
+        const double d = distance(
+            from, instance.sites[static_cast<std::size_t>(j)].position);
+        if (d < best_distance) {
+          best_distance = d;
+          best = j;
+        }
+      }
+    }
+    if (best < 0) {
+      throw InfeasibleError("manual baseline: group '" + group.name +
+                            "' does not fit anywhere");
+    }
+    plan.primary[static_cast<std::size_t>(i)] = best;
+    free_capacity[static_cast<std::size_t>(best)] -= group.servers;
+  }
+
+  if (with_dr) {
+    // Pair each used primary site with a dedicated backup site: the largest
+    // unused site with room for the primary's full load; every group mirrors
+    // into its primary's pair.
+    std::vector<long long> primary_load(static_cast<std::size_t>(num_sites),
+                                        0);
+    for (int i = 0; i < num_groups; ++i) {
+      primary_load[static_cast<std::size_t>(
+          plan.primary[static_cast<std::size_t>(i)])] +=
+          instance.groups[static_cast<std::size_t>(i)].servers;
+    }
+    std::vector<int> used;
+    for (int j = 0; j < num_sites; ++j) {
+      if (primary_load[static_cast<std::size_t>(j)] > 0) used.push_back(j);
+    }
+    std::stable_sort(used.begin(), used.end(), [&](int a, int b) {
+      return primary_load[static_cast<std::size_t>(a)] >
+             primary_load[static_cast<std::size_t>(b)];
+    });
+    std::vector<int> pair_of(static_cast<std::size_t>(num_sites), -1);
+    for (const int a : used) {
+      int best = -1;
+      for (const int j : by_capacity) {
+        if (j == a) continue;
+        if (free_capacity[static_cast<std::size_t>(j)] <
+            primary_load[static_cast<std::size_t>(a)]) {
+          continue;
+        }
+        best = j;
+        break;
+      }
+      // best < 0: no single site mirrors this whole data center; its groups
+      // fall back to per-group spill below (manual practice: ad-hoc fixes).
+      pair_of[static_cast<std::size_t>(a)] = best;
+      if (best >= 0) {
+        free_capacity[static_cast<std::size_t>(best)] -=
+            primary_load[static_cast<std::size_t>(a)];
+      }
+    }
+    plan.secondary.assign(static_cast<std::size_t>(num_groups), -1);
+    for (const int i : groups_by_size(instance)) {
+      const int a = plan.primary[static_cast<std::size_t>(i)];
+      int target = pair_of[static_cast<std::size_t>(a)];
+      if (target < 0) {
+        // Spill: the roomiest site that is not the primary.
+        const auto servers =
+            instance.groups[static_cast<std::size_t>(i)].servers;
+        for (const int j : by_capacity) {
+          if (j == a) continue;
+          if (free_capacity[static_cast<std::size_t>(j)] < servers) continue;
+          if (target < 0 || free_capacity[static_cast<std::size_t>(j)] >
+                                free_capacity[static_cast<std::size_t>(
+                                    target)]) {
+            target = j;
+          }
+        }
+        if (target < 0) {
+          throw InfeasibleError(
+              "manual baseline: no site can host the backup of '" +
+              instance.groups[static_cast<std::size_t>(i)].name + "'");
+        }
+        free_capacity[static_cast<std::size_t>(target)] -=
+            instance.groups[static_cast<std::size_t>(i)].servers;
+      }
+      plan.secondary[static_cast<std::size_t>(i)] = target;
+    }
+    plan.backup_servers =
+        required_backup_servers(instance, plan.primary, plan.secondary);
+  }
+
+  model.price_plan(plan);
+  return plan;
+}
+
+Plan plan_greedy(const CostModel& model, bool with_dr,
+                 const GreedyOptions& options) {
+  const auto& instance = model.instance();
+  const int num_sites = instance.num_sites();
+  const int num_groups = instance.num_groups();
+
+  Plan plan;
+  plan.algorithm = with_dr ? "greedy+dr" : "greedy";
+  plan.primary.assign(static_cast<std::size_t>(num_groups), -1);
+
+  std::vector<long long> servers(static_cast<std::size_t>(num_sites), 0);
+  std::vector<double> data(static_cast<std::size_t>(num_sites), 0.0);
+  std::vector<int> group_count(static_cast<std::size_t>(num_sites), 0);
+  std::vector<long long> free_capacity(static_cast<std::size_t>(num_sites));
+  for (int j = 0; j < num_sites; ++j) {
+    free_capacity[static_cast<std::size_t>(j)] =
+        instance.sites[static_cast<std::size_t>(j)].capacity_servers;
+  }
+
+  for (const int i : groups_by_size(instance)) {
+    const auto& group = instance.groups[static_cast<std::size_t>(i)];
+    int best = -1;
+    Money best_cost = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < num_sites; ++j) {
+      if (!allowed_at(group, j)) continue;
+      if (free_capacity[static_cast<std::size_t>(j)] < group.servers) continue;
+      if (options.max_groups_per_site > 0 &&
+          group_count[static_cast<std::size_t>(j)] >=
+              options.max_groups_per_site) {
+        continue;
+      }
+      const Money cost =
+          options.volume_aware
+              ? model.marginal_cost(i, j, servers[static_cast<std::size_t>(j)],
+                                    data[static_cast<std::size_t>(j)])
+              : model.assignment_cost(i, j);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = j;
+      }
+    }
+    if (best < 0) {
+      throw InfeasibleError("greedy baseline: group '" + group.name +
+                            "' does not fit anywhere");
+    }
+    plan.primary[static_cast<std::size_t>(i)] = best;
+    servers[static_cast<std::size_t>(best)] += group.servers;
+    group_count[static_cast<std::size_t>(best)] += 1;
+    if (!instance.use_vpn_links) {
+      data[static_cast<std::size_t>(best)] += group.monthly_data_megabits;
+    }
+    free_capacity[static_cast<std::size_t>(best)] -= group.servers;
+  }
+
+  if (with_dr) {
+    // Dedicated backups, placed greedily with the purchase cost included
+    // (paper: "adds the cost to buy new servers into the total cost").
+    plan.secondary.assign(static_cast<std::size_t>(num_groups), -1);
+    std::vector<long long> backups(static_cast<std::size_t>(num_sites), 0);
+    for (const int i : groups_by_size(instance)) {
+      const auto& group = instance.groups[static_cast<std::size_t>(i)];
+      const int primary = plan.primary[static_cast<std::size_t>(i)];
+      int best = -1;
+      Money best_cost = std::numeric_limits<double>::infinity();
+      for (int j = 0; j < num_sites; ++j) {
+        if (j == primary) continue;
+        if (!allowed_at(group, j)) continue;
+        if (free_capacity[static_cast<std::size_t>(j)] < group.servers) {
+          continue;
+        }
+        const Money cost =
+            (options.volume_aware
+                 ? model.marginal_cost(i, j,
+                                       servers[static_cast<std::size_t>(j)],
+                                       data[static_cast<std::size_t>(j)])
+                 : model.assignment_cost(i, j)) +
+            instance.params.dr_server_cost * group.servers;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = j;
+        }
+      }
+      if (best < 0) {
+        throw InfeasibleError("greedy baseline: no DR site fits group '" +
+                              group.name + "'");
+      }
+      plan.secondary[static_cast<std::size_t>(i)] = best;
+      servers[static_cast<std::size_t>(best)] += group.servers;
+      backups[static_cast<std::size_t>(best)] += group.servers;
+      if (!instance.use_vpn_links) {
+        data[static_cast<std::size_t>(best)] += group.monthly_data_megabits;
+      }
+      free_capacity[static_cast<std::size_t>(best)] -= group.servers;
+    }
+    plan.backup_servers.assign(backups.begin(), backups.end());
+  }
+
+  model.price_plan(plan);
+  return plan;
+}
+
+CostBreakdown as_is_plus_dr_cost(const CostModel& model, int* violations) {
+  const auto& instance = model.instance();
+  if (instance.as_is_placement.empty()) {
+    throw InvalidInputError("as_is_plus_dr_cost: instance has no as-is state");
+  }
+  CostBreakdown cost = model.as_is_cost();
+  if (violations != nullptr) {
+    *violations = model.as_is_latency_violations();
+  }
+
+  // One backup center duplicating every server, priced at the estate's
+  // average rates; replication doubles the WAN traffic.
+  const auto& p = instance.params;
+  Money avg_space = 0.0;
+  Money avg_power = 0.0;
+  Money avg_labor = 0.0;
+  Money avg_wan = 0.0;
+  for (const auto& center : instance.as_is_centers) {
+    avg_space += center.space_cost_per_server;
+    avg_power += center.power_cost_per_kwh;
+    avg_labor += center.labor_cost_per_admin;
+    avg_wan += center.wan_cost_per_megabit;
+  }
+  const auto centers = static_cast<double>(instance.as_is_centers.size());
+  avg_space /= centers;
+  avg_power /= centers;
+  avg_labor /= centers;
+  avg_wan /= centers;
+
+  const auto backup_servers = static_cast<double>(instance.total_servers());
+  double replicated_data = 0.0;
+  for (const auto& group : instance.groups) {
+    replicated_data += group.monthly_data_megabits;
+  }
+  cost.space += avg_space * backup_servers;
+  cost.power +=
+      avg_power * backup_servers * p.server_power_kw * p.hours_per_month;
+  cost.labor += avg_labor * backup_servers / p.servers_per_admin;
+  cost.wan += avg_wan * replicated_data;
+  cost.backup_capex += p.dr_server_cost * backup_servers;
+  return cost;
+}
+
+}  // namespace etransform

@@ -1,0 +1,65 @@
+// The comparison algorithms of paper §VI-B/C.
+//
+// * Manual — the state-of-the-art practice the paper argues against: pick a
+//   small fixed set of target sites a priori (largest capacity first, at
+//   least `manual_site_count`, extended until the estate fits), then place
+//   each application group at the picked site nearest its current as-is
+//   data center. Latency-blind, which is why it pays the big penalties in
+//   Fig. 4(e). The DR variant pairs each picked site with a dedicated backup
+//   site and mirrors every group into its primary's pair.
+//
+// * Greedy — orders groups by decreasing server count and sends each to the
+//   feasible site with the lowest exact marginal cost (space/power/labor/WAN
+//   at current site volume, plus latency penalty). The DR variant then
+//   places each group's backup the same way, charging the backup-server
+//   purchase (dedicated sizing: greedy does not plan for sharing).
+//
+// * As-Is + DR — the do-nothing-but-add-DR reference: the current estate
+//   plus one backup data center mirroring every server (enterprises that
+//   bolt DR onto an unconsolidated estate replicate each data center
+//   wholesale), priced at the estate's average rates.
+#pragma once
+
+#include "cost/cost_model.h"
+#include "model/plan.h"
+
+namespace etransform {
+
+/// Tuning for the manual baseline.
+struct ManualOptions {
+  /// Number of sites the administrator picks a priori (paper: "say only
+  /// two"); automatically extended if the estate does not fit.
+  int site_count = 2;
+};
+
+/// Runs the manual consolidation heuristic. Throws InfeasibleError if even
+/// all sites together cannot host the estate (plus backups when with_dr).
+[[nodiscard]] Plan plan_manual(const CostModel& model, bool with_dr,
+                               const ManualOptions& options = {});
+
+/// Tuning for the greedy baseline.
+struct GreedyOptions {
+  /// false (default) reproduces the paper's greedy exactly: each group is
+  /// priced at every site using *static* base-tier prices plus its latency
+  /// penalty — blind to volume discounts and to what is already placed.
+  /// true prices the true marginal cost at current site volumes (the
+  /// stronger variant the planner uses as its heuristic seed).
+  bool volume_aware = false;
+  /// Business-impact cap on primaries per site (0 = unlimited); set by the
+  /// planner when seeding under an omega constraint.
+  int max_groups_per_site = 0;
+};
+
+/// Runs the greedy consolidation heuristic.
+/// Throws InfeasibleError when fragmentation leaves some group unplaceable.
+[[nodiscard]] Plan plan_greedy(const CostModel& model, bool with_dr,
+                               const GreedyOptions& options = {});
+
+/// Cost of keeping the estate as-is but adding a single backup data center
+/// that duplicates every server, priced at the estate's average as-is rates
+/// (the "AS-IS +DR" bar of Fig. 6). `violations` (optional) receives the
+/// as-is latency violation count.
+[[nodiscard]] CostBreakdown as_is_plus_dr_cost(const CostModel& model,
+                                               int* violations = nullptr);
+
+}  // namespace etransform

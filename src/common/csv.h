@@ -1,0 +1,27 @@
+// Minimal CSV writer for exporting bench series (figure data) to files.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace etransform {
+
+/// Streams rows of cells as RFC-4180-style CSV (quotes fields containing
+/// commas, quotes, or newlines).
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row.
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Escapes a single CSV field per RFC 4180.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace etransform

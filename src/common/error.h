@@ -1,0 +1,53 @@
+// Typed exception hierarchy used across the eTransform libraries.
+//
+// Errors are reported with exceptions (per the C++ Core Guidelines): invalid
+// input data, infeasible models, and parser failures are exceptional relative
+// to the planner's contract, and every public entry point documents what it
+// throws.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace etransform {
+
+/// Base class of all eTransform errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Input data is malformed or internally inconsistent (e.g. an application
+/// group references an unknown user location).
+class InvalidInputError : public Error {
+ public:
+  explicit InvalidInputError(const std::string& what) : Error(what) {}
+};
+
+/// An optimization model has no feasible solution (e.g. total server demand
+/// exceeds total target capacity).
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(const std::string& what) : Error(what) {}
+};
+
+/// An optimization model is unbounded below (indicates a modelling bug).
+class UnboundedError : public Error {
+ public:
+  explicit UnboundedError(const std::string& what) : Error(what) {}
+};
+
+/// A solver exhausted its iteration/node/time budget before reaching the
+/// requested status.
+class SolverLimitError : public Error {
+ public:
+  explicit SolverLimitError(const std::string& what) : Error(what) {}
+};
+
+/// Failure while parsing an external file (LP format, solution file, CSV).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace etransform

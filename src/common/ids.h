@@ -1,0 +1,52 @@
+// Strongly typed index wrappers.
+//
+// The domain model indexes application groups, data-center sites, and user
+// locations by position in their owning vectors. Raw size_t indices are easy
+// to transpose, so each entity gets its own StrongId instantiation; mixing
+// them is a compile error.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+
+namespace etransform {
+
+/// A type-safe wrapper around a vector index. `Tag` is an empty struct that
+/// distinguishes otherwise-identical id types.
+template <typename Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::size_t value) : value_(value) {}
+
+  /// The underlying index.
+  [[nodiscard]] constexpr std::size_t value() const { return value_; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+ private:
+  std::size_t value_ = 0;
+};
+
+struct GroupTag {};
+struct SiteTag {};
+struct LocationTag {};
+
+/// Index of an application group within an estate.
+using GroupId = StrongId<GroupTag>;
+/// Index of a target data-center site within a topology.
+using SiteId = StrongId<SiteTag>;
+/// Index of a user location within a topology.
+using LocationId = StrongId<LocationTag>;
+
+}  // namespace etransform
+
+namespace std {
+template <typename Tag>
+struct hash<etransform::StrongId<Tag>> {
+  size_t operator()(const etransform::StrongId<Tag>& id) const noexcept {
+    return std::hash<std::size_t>{}(id.value());
+  }
+};
+}  // namespace std

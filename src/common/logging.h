@@ -1,0 +1,49 @@
+// Leveled logging to stderr.
+//
+// Solvers emit progress at Debug level; planners note phase transitions at
+// Info. The level is a process-wide setting so benches can silence solver
+// chatter without plumbing a logger through every call.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace etransform {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-wide minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+
+/// Current minimum level.
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Builds the message lazily; destructor emits.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define ET_LOG(level_enum)                                       \
+  if (::etransform::log_level() <= ::etransform::LogLevel::level_enum) \
+  ::etransform::detail::LogLine(::etransform::LogLevel::level_enum)
+
+}  // namespace etransform

@@ -1,0 +1,46 @@
+#include "common/money.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace etransform {
+
+std::string format_money(Money amount) {
+  const bool negative = amount < 0;
+  const double magnitude = std::abs(amount);
+  char raw[64];
+  std::snprintf(raw, sizeof(raw), "%.2f", magnitude);
+  const std::string digits(raw);
+  const auto dot = digits.find('.');
+  const std::string whole = digits.substr(0, dot);
+  const std::string frac = digits.substr(dot);  // includes '.'
+  std::string grouped;
+  const std::size_t n = whole.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) grouped.push_back(',');
+    grouped.push_back(whole[i]);
+  }
+  return (negative ? "-$" : "$") + grouped + frac;
+}
+
+std::string format_money_compact(Money amount) {
+  const bool negative = amount < 0;
+  double magnitude = std::abs(amount);
+  const char* suffix = "";
+  if (magnitude >= 1e9) {
+    magnitude /= 1e9;
+    suffix = "B";
+  } else if (magnitude >= 1e6) {
+    magnitude /= 1e6;
+    suffix = "M";
+  } else if (magnitude >= 1e3) {
+    magnitude /= 1e3;
+    suffix = "K";
+  }
+  char raw[64];
+  std::snprintf(raw, sizeof(raw), "%s$%.2f%s", negative ? "-" : "", magnitude,
+                suffix);
+  return raw;
+}
+
+}  // namespace etransform

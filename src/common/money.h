@@ -1,0 +1,23 @@
+// Money formatting helpers.
+//
+// Costs are modelled as double dollars-per-month throughout (the paper's
+// objective is a monthly operational cost). These helpers keep human-facing
+// output consistent: thousands separators and compact scientific-style
+// suffixes for the 1e8..1e10 magnitudes the case studies produce.
+#pragma once
+
+#include <string>
+
+namespace etransform {
+
+/// Monthly cost in US dollars.
+using Money = double;
+
+/// Formats `amount` as e.g. "$1,234,567.89".
+[[nodiscard]] std::string format_money(Money amount);
+
+/// Formats `amount` compactly, e.g. "$1.23M", "$4.5B". Used in bench tables
+/// where the paper's figures use 1e8/1e9/1e10 axis scales.
+[[nodiscard]] std::string format_money_compact(Money amount);
+
+}  // namespace etransform

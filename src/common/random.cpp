@@ -1,0 +1,134 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace etransform {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw InvalidInputError("uniform_int: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t r = next_u64();
+  while (r >= limit) r = next_u64();
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Rng::normal() {
+  // Box-Muller; uniform() can return 0, so nudge away from log(0).
+  const double u1 = std::max(uniform(), 0x1.0p-60);
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu_log, double sigma_log) {
+  return std::exp(normal(mu_log, sigma_log));
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw InvalidInputError("weighted_index: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw InvalidInputError("weighted_index: weights sum to zero");
+  }
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point slack lands on the last bucket
+}
+
+std::vector<int> split_total_lognormal(Rng& rng, int total, std::size_t parts,
+                                       double mu_log, double sigma_log,
+                                       int min_share) {
+  if (parts == 0) throw InvalidInputError("split_total_lognormal: zero parts");
+  const std::int64_t reserved =
+      static_cast<std::int64_t>(parts) * static_cast<std::int64_t>(min_share);
+  if (reserved > total) {
+    throw InvalidInputError(
+        "split_total_lognormal: total too small for min_share");
+  }
+  std::vector<double> draws(parts);
+  double sum = 0.0;
+  for (auto& d : draws) {
+    d = rng.lognormal(mu_log, sigma_log);
+    sum += d;
+  }
+  const int distributable = total - static_cast<int>(reserved);
+  std::vector<int> shares(parts, min_share);
+  // Largest-remainder apportionment of the distributable units.
+  std::vector<double> exact(parts);
+  std::vector<std::pair<double, std::size_t>> remainders(parts);
+  int assigned = 0;
+  for (std::size_t i = 0; i < parts; ++i) {
+    exact[i] = distributable * draws[i] / sum;
+    const int whole = static_cast<int>(std::floor(exact[i]));
+    shares[i] += whole;
+    assigned += whole;
+    remainders[i] = {exact[i] - whole, i};
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (int k = 0; k < distributable - assigned; ++k) {
+    shares[remainders[static_cast<std::size_t>(k)].second] += 1;
+  }
+  return shares;
+}
+
+}  // namespace etransform

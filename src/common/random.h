@@ -1,0 +1,69 @@
+// Deterministic random number generation for dataset synthesis.
+//
+// All dataset generators take an explicit seed so that every test, bench, and
+// example is reproducible run-to-run and machine-to-machine (we avoid
+// std::default_random_engine, whose distribution results are not portable
+// across standard libraries — distributions here are implemented by hand).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace etransform {
+
+/// xoshiro256++ PRNG with splitmix64 seeding. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(Normal(mu_log, sigma_log)). Heavy-tailed sizes (server
+  /// counts per application group) follow this shape in enterprise estates.
+  double lognormal(double mu_log, double sigma_log);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Splits `total` into `parts` positive integer shares whose relative sizes
+/// follow a lognormal(mu_log, sigma_log) draw; every share is >= min_share and
+/// the shares sum exactly to `total`. Used to distribute servers over
+/// application groups and data centers. Throws InvalidInputError if
+/// total < parts * min_share.
+std::vector<int> split_total_lognormal(Rng& rng, int total, std::size_t parts,
+                                       double mu_log, double sigma_log,
+                                       int min_share = 1);
+
+}  // namespace etransform

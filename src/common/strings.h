@@ -1,0 +1,29 @@
+// Small string utilities shared by the LP-format parser and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace etransform {
+
+/// Removes leading and trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Splits on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on runs of whitespace; empty fields are dropped.
+[[nodiscard]] std::vector<std::string> split_whitespace(std::string_view text);
+
+/// ASCII lower-casing.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// True if `text` begins with `prefix` ignoring ASCII case.
+[[nodiscard]] bool starts_with_icase(std::string_view text,
+                                     std::string_view prefix);
+
+/// True if the two strings are equal ignoring ASCII case.
+[[nodiscard]] bool equals_icase(std::string_view a, std::string_view b);
+
+}  // namespace etransform

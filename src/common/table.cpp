@@ -1,0 +1,96 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace etransform {
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (const char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' &&
+        c != '-' && c != '+' && c != '$' && c != ',' && c != '%' && c != 'e' &&
+        c != 'E' && c != 'K' && c != 'M' && c != 'B' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+void append_cell(std::string& out, const std::string& cell, std::size_t width) {
+  const std::size_t pad = width > cell.size() ? width - cell.size() : 0;
+  if (looks_numeric(cell)) {
+    out.append(pad, ' ');
+    out += cell;
+  } else {
+    out += cell;
+    out.append(pad, ' ');
+  }
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw InvalidInputError("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw InvalidInputError("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) out += "  ";
+    // Headers are left-aligned regardless of content.
+    out += header_[c];
+    out.append(widths[c] - header_[c].size(), ' ');
+  }
+  out += '\n';
+  std::size_t total = 0;
+  for (const auto w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      append_cell(out, row[c], widths[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string format_double(double value, int precision) {
+  char raw[64];
+  std::snprintf(raw, sizeof(raw), "%.*f", precision, value);
+  return raw;
+}
+
+std::string format_percent(double value, int precision) {
+  char raw[64];
+  std::snprintf(raw, sizeof(raw), "%+.*f%%", precision, value);
+  return raw;
+}
+
+}  // namespace etransform

@@ -1,0 +1,40 @@
+// Fixed-width ASCII table rendering.
+//
+// Every bench binary reproduces a paper table or figure as text; this class
+// keeps the output aligned and uniform. Columns are sized to fit the widest
+// cell; numeric-looking cells are right-aligned.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace etransform {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  /// Sets the header row. Column count is fixed by the header.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one data row. Throws InvalidInputError if the cell count does
+  /// not match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with a separator line under the header.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (default 2 decimal places).
+[[nodiscard]] std::string format_double(double value, int precision = 2);
+
+/// Formats a percentage with sign, e.g. -43.2 -> "-43.2%".
+[[nodiscard]] std::string format_percent(double value, int precision = 1);
+
+}  // namespace etransform

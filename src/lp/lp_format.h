@@ -1,0 +1,51 @@
+// CPLEX LP file format writer and parser.
+//
+// The paper's prototype (Fig. 5) communicates between the transformation
+// module and the optimization engine through an LP file and a solution file;
+// we reproduce that interchange. The writer emits the subset of the format we
+// need (objective with optional constant, Subject To, Bounds, Binary,
+// General, End) and the parser reads the same subset back, so
+// write -> parse -> write is a fixed point (tested).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace etransform::lp {
+
+/// Serializes `model` in CPLEX LP format. Variable and constraint names are
+/// sanitized (invalid characters replaced, leading digits prefixed) and
+/// uniquified; the emitted text always round-trips through parse_lp.
+[[nodiscard]] std::string write_lp(const Model& model);
+
+/// Writes write_lp(model) to a stream.
+void write_lp(const Model& model, std::ostream& out);
+
+/// Parses CPLEX LP format text into a Model. Throws ParseError with a
+/// line-numbered message on malformed input.
+[[nodiscard]] Model parse_lp(const std::string& text);
+
+/// Reads an LP file from a stream.
+[[nodiscard]] Model parse_lp(std::istream& in);
+
+/// Serializes an LP solution as `status`, `objective`, then one
+/// `name value` line per variable (names taken from the model).
+[[nodiscard]] std::string write_solution(const Model& model,
+                                         const LpSolution& solution);
+
+/// Parsed form of a solution file.
+struct SolutionFile {
+  std::string status;
+  double objective = 0.0;
+  std::vector<std::pair<std::string, double>> values;
+};
+
+/// Parses a solution file produced by write_solution. Throws ParseError on
+/// malformed input.
+[[nodiscard]] SolutionFile parse_solution(const std::string& text);
+
+}  // namespace etransform::lp

@@ -1,0 +1,192 @@
+#include "lp/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace etransform::lp {
+
+std::vector<Term> merge_terms(std::vector<Term> terms) {
+  std::sort(terms.begin(), terms.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::vector<Term> merged;
+  merged.reserve(terms.size());
+  for (const Term& t : terms) {
+    if (!merged.empty() && merged.back().var == t.var) {
+      merged.back().coef += t.coef;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  std::erase_if(merged, [](const Term& t) { return t.coef == 0.0; });
+  return merged;
+}
+
+int Model::add_variable(const std::string& name, double lower, double upper,
+                        bool is_integer) {
+  if (name.empty()) throw InvalidInputError("variable name must be non-empty");
+  if (lower > upper) {
+    throw InvalidInputError("variable '" + name + "': lower > upper");
+  }
+  variables_.push_back(Variable{name, lower, upper, is_integer});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+int Model::add_continuous(const std::string& name, double lower,
+                          double upper) {
+  return add_variable(name, lower, upper, /*is_integer=*/false);
+}
+
+int Model::add_binary(const std::string& name) {
+  return add_variable(name, 0.0, 1.0, /*is_integer=*/true);
+}
+
+void Model::check_terms(const std::vector<Term>& terms) const {
+  for (const Term& t : terms) {
+    if (t.var < 0 || t.var >= num_variables()) {
+      throw InvalidInputError("term references unknown variable index " +
+                              std::to_string(t.var));
+    }
+    if (!std::isfinite(t.coef)) {
+      throw InvalidInputError("non-finite coefficient on variable '" +
+                              variables_[static_cast<std::size_t>(t.var)].name +
+                              "'");
+    }
+  }
+}
+
+int Model::add_constraint(const std::string& name, std::vector<Term> terms,
+                          Relation relation, double rhs) {
+  check_terms(terms);
+  if (std::isnan(rhs)) throw InvalidInputError("constraint rhs is NaN");
+  if (std::isinf(rhs) && relation == Relation::kEqual) {
+    throw InvalidInputError("constraint '" + name +
+                            "': infinite rhs on equality");
+  }
+  constraints_.push_back(Constraint{name, std::move(terms), relation, rhs});
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+void Model::set_objective(Sense sense, std::vector<Term> terms,
+                          double constant) {
+  check_terms(terms);
+  if (!std::isfinite(constant)) {
+    throw InvalidInputError("objective constant is non-finite");
+  }
+  sense_ = sense;
+  objective_ = std::move(terms);
+  objective_constant_ = constant;
+}
+
+void Model::add_objective_term(int var, double coef) {
+  check_terms({Term{var, coef}});
+  objective_.push_back(Term{var, coef});
+}
+
+void Model::set_bounds(int var, double lower, double upper) {
+  if (var < 0 || var >= num_variables()) {
+    throw InvalidInputError("set_bounds: unknown variable index");
+  }
+  if (lower > upper) throw InvalidInputError("set_bounds: lower > upper");
+  auto& v = variables_[static_cast<std::size_t>(var)];
+  v.lower = lower;
+  v.upper = upper;
+}
+
+void Model::set_integer(int var, bool is_integer) {
+  if (var < 0 || var >= num_variables()) {
+    throw InvalidInputError("set_integer: unknown variable index");
+  }
+  variables_[static_cast<std::size_t>(var)].is_integer = is_integer;
+}
+
+void Model::normalize() {
+  objective_ = merge_terms(std::move(objective_));
+  for (auto& row : constraints_) {
+    row.terms = merge_terms(std::move(row.terms));
+  }
+}
+
+void Model::validate() const {
+  for (const auto& v : variables_) {
+    if (v.lower > v.upper) {
+      throw InvalidInputError("variable '" + v.name + "': lower > upper");
+    }
+    if (std::isnan(v.lower) || std::isnan(v.upper)) {
+      throw InvalidInputError("variable '" + v.name + "': NaN bound");
+    }
+  }
+  for (const auto& row : constraints_) {
+    check_terms(row.terms);
+    if (std::isnan(row.rhs)) {
+      throw InvalidInputError("constraint '" + row.name + "': NaN rhs");
+    }
+    if (std::isinf(row.rhs) && row.relation == Relation::kEqual) {
+      throw InvalidInputError("constraint '" + row.name +
+                              "': infinite rhs on equality");
+    }
+  }
+  check_terms(objective_);
+}
+
+const Variable& Model::variable(int index) const {
+  if (index < 0 || index >= num_variables()) {
+    throw InvalidInputError("variable index out of range");
+  }
+  return variables_[static_cast<std::size_t>(index)];
+}
+
+const Constraint& Model::constraint(int index) const {
+  if (index < 0 || index >= num_constraints()) {
+    throw InvalidInputError("constraint index out of range");
+  }
+  return constraints_[static_cast<std::size_t>(index)];
+}
+
+bool Model::has_integer_variables() const {
+  return std::any_of(variables_.begin(), variables_.end(),
+                     [](const Variable& v) { return v.is_integer; });
+}
+
+double Model::evaluate_objective(const std::vector<double>& values) const {
+  if (values.size() != variables_.size()) {
+    throw InvalidInputError("evaluate_objective: wrong value count");
+  }
+  double total = objective_constant_;
+  for (const Term& t : objective_) {
+    total += t.coef * values[static_cast<std::size_t>(t.var)];
+  }
+  return total;
+}
+
+bool Model::is_feasible(const std::vector<double>& values, double tol) const {
+  if (values.size() != variables_.size()) return false;
+  for (std::size_t j = 0; j < variables_.size(); ++j) {
+    const auto& v = variables_[j];
+    if (values[j] < v.lower - tol || values[j] > v.upper + tol) return false;
+    if (v.is_integer && std::abs(values[j] - std::round(values[j])) > tol) {
+      return false;
+    }
+  }
+  for (const auto& row : constraints_) {
+    double lhs = 0.0;
+    for (const Term& t : row.terms) {
+      lhs += t.coef * values[static_cast<std::size_t>(t.var)];
+    }
+    switch (row.relation) {
+      case Relation::kLessEqual:
+        if (lhs > row.rhs + tol) return false;
+        break;
+      case Relation::kGreaterEqual:
+        if (lhs < row.rhs - tol) return false;
+        break;
+      case Relation::kEqual:
+        if (std::abs(lhs - row.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace etransform::lp

@@ -1,0 +1,141 @@
+// Mixed-integer linear program model builder.
+//
+// This is the interchange type between the eTransform formulation layer and
+// the optimization engine (simplex + branch-and-bound), mirroring the paper's
+// architecture where the planner emits an LP that a solver consumes. Models
+// can also be serialized to / parsed from the CPLEX LP file format
+// (lp_format.h), exactly as the paper's prototype did.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace etransform::lp {
+
+/// Positive infinity used for "no bound".
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Direction of a constraint row.
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// Optimization direction.
+enum class Sense { kMinimize, kMaximize };
+
+/// One `coefficient * variable` term of a linear expression.
+struct Term {
+  int var = 0;
+  double coef = 0.0;
+};
+
+/// A variable definition. Integer variables are restricted to integral values
+/// by the MILP solver; the simplex solver treats them as continuous.
+struct Variable {
+  std::string name;
+  double lower = 0.0;
+  double upper = kInfinity;
+  bool is_integer = false;
+};
+
+/// One linear constraint `sum(terms) relation rhs`.
+struct Constraint {
+  std::string name;
+  std::vector<Term> terms;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// A linear (or mixed-integer linear) optimization model.
+///
+/// Variables and constraints are identified by dense indices in insertion
+/// order. Duplicate terms on the same variable within a row or the objective
+/// are merged by `normalize()` (called automatically by the solvers).
+class Model {
+ public:
+  /// Adds a variable and returns its index. `name` must be non-empty and
+  /// unique is NOT enforced here (the LP writer uniquifies on demand).
+  int add_variable(const std::string& name, double lower, double upper,
+                   bool is_integer = false);
+
+  /// Adds a continuous variable in [lower, upper].
+  int add_continuous(const std::string& name, double lower = 0.0,
+                     double upper = kInfinity);
+
+  /// Adds a {0,1} integer variable.
+  int add_binary(const std::string& name);
+
+  /// Adds a constraint row and returns its index. Terms referencing
+  /// out-of-range variables cause InvalidInputError.
+  int add_constraint(const std::string& name, std::vector<Term> terms,
+                     Relation relation, double rhs);
+
+  /// Replaces the objective. Terms referencing out-of-range variables cause
+  /// InvalidInputError. `constant` is added to every reported objective value.
+  void set_objective(Sense sense, std::vector<Term> terms,
+                     double constant = 0.0);
+
+  /// Adds `coef * var` to the existing objective (keeping sense/constant).
+  void add_objective_term(int var, double coef);
+
+  /// Tightens the bounds of an existing variable.
+  void set_bounds(int var, double lower, double upper);
+
+  /// Marks an existing variable as integer (or continuous).
+  void set_integer(int var, bool is_integer);
+
+  /// Merges duplicate terms and drops zero coefficients in every row and in
+  /// the objective. Idempotent.
+  void normalize();
+
+  /// Throws InvalidInputError if any bound pair is inverted, any term index
+  /// is out of range, or any coefficient/rhs is non-finite (infinite rhs on
+  /// a <= / >= row is allowed and makes the row vacuous).
+  void validate() const;
+
+  [[nodiscard]] int num_variables() const {
+    return static_cast<int>(variables_.size());
+  }
+  [[nodiscard]] int num_constraints() const {
+    return static_cast<int>(constraints_.size());
+  }
+  [[nodiscard]] const std::vector<Variable>& variables() const {
+    return variables_;
+  }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const {
+    return constraints_;
+  }
+  [[nodiscard]] const Variable& variable(int index) const;
+  [[nodiscard]] const Constraint& constraint(int index) const;
+  [[nodiscard]] Sense sense() const { return sense_; }
+  [[nodiscard]] const std::vector<Term>& objective() const {
+    return objective_;
+  }
+  [[nodiscard]] double objective_constant() const {
+    return objective_constant_;
+  }
+  [[nodiscard]] bool has_integer_variables() const;
+
+  /// Evaluates the objective at a full assignment of variable values.
+  [[nodiscard]] double evaluate_objective(
+      const std::vector<double>& values) const;
+
+  /// True if `values` satisfies all rows and bounds within `tol`, and all
+  /// integer variables are within `tol` of an integer.
+  [[nodiscard]] bool is_feasible(const std::vector<double>& values,
+                                 double tol = 1e-6) const;
+
+ private:
+  void check_terms(const std::vector<Term>& terms) const;
+
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+  std::vector<Term> objective_;
+  double objective_constant_ = 0.0;
+  Sense sense_ = Sense::kMinimize;
+};
+
+/// Merges duplicate variable indices in `terms` (summing coefficients) and
+/// removes terms whose merged coefficient is exactly zero.
+std::vector<Term> merge_terms(std::vector<Term> terms);
+
+}  // namespace etransform::lp

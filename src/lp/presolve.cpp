@@ -1,0 +1,214 @@
+#include "lp/presolve.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace etransform::lp {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Working copy of the model's bounds/rows during the fixpoint loop.
+struct Working {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  std::vector<bool> is_integer;
+  std::vector<bool> var_fixed;      // substituted out
+  std::vector<double> fixed_value;  // valid when var_fixed
+  std::vector<Constraint> rows;
+  std::vector<bool> row_removed;
+};
+
+/// Rounds integer bounds inward; returns false on a crossing.
+bool tighten_integer_bounds(Working& w, int j) {
+  if (!w.is_integer[static_cast<std::size_t>(j)]) {
+    return w.lower[static_cast<std::size_t>(j)] <=
+           w.upper[static_cast<std::size_t>(j)] + kTol;
+  }
+  auto& lo = w.lower[static_cast<std::size_t>(j)];
+  auto& hi = w.upper[static_cast<std::size_t>(j)];
+  if (std::isfinite(lo)) lo = std::ceil(lo - kTol);
+  if (std::isfinite(hi)) hi = std::floor(hi + kTol);
+  return lo <= hi + kTol;
+}
+
+}  // namespace
+
+PresolveResult presolve(const Model& model) {
+  model.validate();
+  const int n = model.num_variables();
+  Working w;
+  w.lower.resize(static_cast<std::size_t>(n));
+  w.upper.resize(static_cast<std::size_t>(n));
+  w.is_integer.resize(static_cast<std::size_t>(n));
+  w.var_fixed.assign(static_cast<std::size_t>(n), false);
+  w.fixed_value.assign(static_cast<std::size_t>(n), 0.0);
+  for (int j = 0; j < n; ++j) {
+    const auto& v = model.variable(j);
+    w.lower[static_cast<std::size_t>(j)] = v.lower;
+    w.upper[static_cast<std::size_t>(j)] = v.upper;
+    w.is_integer[static_cast<std::size_t>(j)] = v.is_integer;
+  }
+  for (int i = 0; i < model.num_constraints(); ++i) {
+    Constraint row = model.constraint(i);
+    row.terms = merge_terms(std::move(row.terms));
+    w.rows.push_back(std::move(row));
+  }
+  w.row_removed.assign(w.rows.size(), false);
+
+  PresolveResult result;
+  const auto infeasible = [&result]() {
+    result.status = PresolveStatus::kInfeasible;
+    return result;
+  };
+
+  for (int j = 0; j < n; ++j) {
+    if (!tighten_integer_bounds(w, j)) return infeasible();
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Fix variables with equal bounds.
+    for (int j = 0; j < n; ++j) {
+      if (w.var_fixed[static_cast<std::size_t>(j)]) continue;
+      const double lo = w.lower[static_cast<std::size_t>(j)];
+      const double hi = w.upper[static_cast<std::size_t>(j)];
+      if (lo > hi + kTol) return infeasible();
+      if (std::isfinite(lo) && std::abs(hi - lo) <= kTol) {
+        w.var_fixed[static_cast<std::size_t>(j)] = true;
+        w.fixed_value[static_cast<std::size_t>(j)] = lo;
+        changed = true;
+      }
+    }
+    // Substitute fixed variables, handle empty and singleton rows.
+    for (std::size_t r = 0; r < w.rows.size(); ++r) {
+      if (w.row_removed[r]) continue;
+      auto& row = w.rows[r];
+      double shift = 0.0;
+      std::vector<Term> remaining;
+      remaining.reserve(row.terms.size());
+      for (const Term& t : row.terms) {
+        if (w.var_fixed[static_cast<std::size_t>(t.var)]) {
+          shift += t.coef * w.fixed_value[static_cast<std::size_t>(t.var)];
+        } else {
+          remaining.push_back(t);
+        }
+      }
+      if (shift != 0.0) {
+        row.rhs -= shift;
+        changed = true;
+      }
+      if (remaining.size() != row.terms.size()) row.terms = remaining;
+
+      if (row.terms.empty()) {
+        const bool satisfied =
+            (row.relation == Relation::kLessEqual && 0.0 <= row.rhs + kTol) ||
+            (row.relation == Relation::kGreaterEqual &&
+             0.0 >= row.rhs - kTol) ||
+            (row.relation == Relation::kEqual && std::abs(row.rhs) <= kTol);
+        if (!satisfied) return infeasible();
+        w.row_removed[r] = true;
+        changed = true;
+        continue;
+      }
+      if (row.terms.size() == 1) {
+        const int j = row.terms[0].var;
+        const double a = row.terms[0].coef;
+        const double bound = row.rhs / a;
+        auto& lo = w.lower[static_cast<std::size_t>(j)];
+        auto& hi = w.upper[static_cast<std::size_t>(j)];
+        switch (row.relation) {
+          case Relation::kLessEqual:
+            if (a > 0) hi = std::min(hi, bound);
+            else lo = std::max(lo, bound);
+            break;
+          case Relation::kGreaterEqual:
+            if (a > 0) lo = std::max(lo, bound);
+            else hi = std::min(hi, bound);
+            break;
+          case Relation::kEqual:
+            lo = std::max(lo, bound);
+            hi = std::min(hi, bound);
+            break;
+        }
+        if (!tighten_integer_bounds(w, j)) return infeasible();
+        if (lo > hi + kTol) return infeasible();
+        w.row_removed[r] = true;
+        changed = true;
+        continue;
+      }
+    }
+  }
+
+  // Assemble the reduced model.
+  result.fixed_value.assign(static_cast<std::size_t>(n),
+                            std::numeric_limits<double>::quiet_NaN());
+  std::vector<int> reduced_of_original(static_cast<std::size_t>(n), -1);
+  for (int j = 0; j < n; ++j) {
+    if (w.var_fixed[static_cast<std::size_t>(j)]) {
+      result.fixed_value[static_cast<std::size_t>(j)] =
+          w.fixed_value[static_cast<std::size_t>(j)];
+      ++result.vars_removed;
+      continue;
+    }
+    const auto& v = model.variable(j);
+    reduced_of_original[static_cast<std::size_t>(j)] =
+        result.reduced.add_variable(v.name,
+                                    w.lower[static_cast<std::size_t>(j)],
+                                    w.upper[static_cast<std::size_t>(j)],
+                                    v.is_integer);
+    result.original_of_reduced.push_back(j);
+  }
+  double objective_shift = model.objective_constant();
+  std::vector<Term> objective;
+  for (const Term& t : merge_terms(model.objective())) {
+    if (w.var_fixed[static_cast<std::size_t>(t.var)]) {
+      objective_shift +=
+          t.coef * w.fixed_value[static_cast<std::size_t>(t.var)];
+    } else {
+      objective.push_back(
+          Term{reduced_of_original[static_cast<std::size_t>(t.var)], t.coef});
+    }
+  }
+  result.reduced.set_objective(model.sense(), std::move(objective),
+                               objective_shift);
+  for (std::size_t r = 0; r < w.rows.size(); ++r) {
+    if (w.row_removed[r]) {
+      ++result.rows_removed;
+      continue;
+    }
+    std::vector<Term> terms;
+    terms.reserve(w.rows[r].terms.size());
+    for (const Term& t : w.rows[r].terms) {
+      terms.push_back(
+          Term{reduced_of_original[static_cast<std::size_t>(t.var)], t.coef});
+    }
+    result.reduced.add_constraint(w.rows[r].name, std::move(terms),
+                                  w.rows[r].relation, w.rows[r].rhs);
+  }
+  return result;
+}
+
+std::vector<double> postsolve(const PresolveResult& result,
+                              const std::vector<double>& reduced_values) {
+  if (reduced_values.size() != result.original_of_reduced.size()) {
+    throw InvalidInputError("postsolve: reduced value count mismatch");
+  }
+  std::vector<double> values = result.fixed_value;
+  for (std::size_t k = 0; k < reduced_values.size(); ++k) {
+    values[static_cast<std::size_t>(result.original_of_reduced[k])] =
+        reduced_values[k];
+  }
+  for (const double v : values) {
+    if (std::isnan(v)) {
+      throw InvalidInputError("postsolve: incomplete reconstruction");
+    }
+  }
+  return values;
+}
+
+}  // namespace etransform::lp

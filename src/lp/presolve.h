@@ -1,0 +1,48 @@
+// LP/MILP presolve: provably-safe model reductions.
+//
+// Applied reductions (to a fixed point):
+//   * fixed variables (lower == upper) are substituted out,
+//   * singleton rows (one variable) become bound tightenings and disappear,
+//   * empty rows are checked and dropped,
+//   * crossing bounds / violated empty rows flag the model infeasible.
+// Every reduction preserves the optimal value; postsolve() maps a reduced
+// solution back to the original variable space. Used by lp_tool before
+// solving and available to any caller (the planner's formulations contain
+// plenty of singleton tier rows).
+#pragma once
+
+#include <vector>
+
+#include "lp/model.h"
+
+namespace etransform::lp {
+
+/// Outcome of presolving.
+enum class PresolveStatus {
+  kReduced,     // `reduced` is equivalent to the input
+  kInfeasible,  // the input has no feasible point
+};
+
+/// The reduced model plus the data needed to undo the reduction.
+struct PresolveResult {
+  PresolveStatus status = PresolveStatus::kReduced;
+  Model reduced;
+  /// reduced variable index -> original variable index.
+  std::vector<int> original_of_reduced;
+  /// Per original variable: the value it was fixed at, or NaN if it is
+  /// still present in the reduced model.
+  std::vector<double> fixed_value;
+  int rows_removed = 0;
+  int vars_removed = 0;
+};
+
+/// Presolves `model`. Throws InvalidInputError on malformed models.
+[[nodiscard]] PresolveResult presolve(const Model& model);
+
+/// Maps a solution of `result.reduced` back to the original variables.
+/// Throws InvalidInputError if the value count does not match the reduced
+/// model.
+[[nodiscard]] std::vector<double> postsolve(
+    const PresolveResult& result, const std::vector<double>& reduced_values);
+
+}  // namespace etransform::lp

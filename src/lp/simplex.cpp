@@ -1,0 +1,729 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace etransform::lp {
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration_limit";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class VarStatus : unsigned char { kBasic, kAtLower, kAtUpper };
+
+/// Column-sparse matrix column.
+struct SparseColumn {
+  std::vector<int> rows;
+  std::vector<double> coefs;
+};
+
+/// How one model variable maps to internal (shifted, >=0) columns.
+struct VarMap {
+  int column = -1;        // primary internal column
+  int negative_column = -1;  // second column for free variables (x = x+ - x-)
+  double offset = 0.0;    // x_model = offset + sign * x_col (+ ...)
+  double sign = 1.0;
+};
+
+/// The internal standard-form problem: min c.x, A x = b, 0 <= x <= ub.
+struct StandardForm {
+  std::vector<SparseColumn> columns;
+  std::vector<double> upper;       // per column, may be +inf
+  std::vector<double> cost;        // phase-2 cost per column
+  std::vector<double> rhs;         // per row, >= 0 after normalization
+  std::vector<int> artificial_of_row;  // column index of the row's initial
+                                       // basic variable (slack or artificial)
+  std::vector<bool> is_artificial;     // per column
+  std::vector<double> row_dual_sign;   // map internal dual -> model dual
+  std::vector<int> row_of_model_row;   // internal row index per model row, -1
+                                       // if the row was dropped as vacuous
+  std::vector<VarMap> var_maps;        // per model variable
+  double objective_shift = 0.0;        // constant from bound shifting
+  bool trivially_infeasible = false;
+  std::string infeasibility_note;
+};
+
+/// Builds the internal standard form from a model plus bound overrides.
+StandardForm build_standard_form(const Model& model,
+                                 const std::vector<double>& lower,
+                                 const std::vector<double>& upper) {
+  const int n = model.num_variables();
+  const int m = model.num_constraints();
+  StandardForm sf;
+  sf.var_maps.resize(static_cast<std::size_t>(n));
+
+  const double sense_sign = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
+  std::vector<double> model_cost(static_cast<std::size_t>(n), 0.0);
+  for (const Term& t : merge_terms(model.objective())) {
+    model_cost[static_cast<std::size_t>(t.var)] = sense_sign * t.coef;
+  }
+
+  // 1. Variables: shift so every internal column lives in [0, ub].
+  for (int j = 0; j < n; ++j) {
+    const double lo = lower[static_cast<std::size_t>(j)];
+    const double hi = upper[static_cast<std::size_t>(j)];
+    if (lo > hi) {
+      sf.trivially_infeasible = true;
+      sf.infeasibility_note = "variable with lower > upper";
+      return sf;
+    }
+    VarMap& vm = sf.var_maps[static_cast<std::size_t>(j)];
+    if (std::isfinite(lo)) {
+      vm.column = static_cast<int>(sf.columns.size());
+      vm.offset = lo;
+      vm.sign = 1.0;
+      sf.columns.emplace_back();
+      sf.upper.push_back(hi - lo);  // may be +inf
+      sf.cost.push_back(model_cost[static_cast<std::size_t>(j)]);
+      sf.objective_shift += model_cost[static_cast<std::size_t>(j)] * lo;
+    } else if (std::isfinite(hi)) {
+      // Only an upper bound: x = hi - x', x' >= 0.
+      vm.column = static_cast<int>(sf.columns.size());
+      vm.offset = hi;
+      vm.sign = -1.0;
+      sf.columns.emplace_back();
+      sf.upper.push_back(kInf);
+      sf.cost.push_back(-model_cost[static_cast<std::size_t>(j)]);
+      sf.objective_shift += model_cost[static_cast<std::size_t>(j)] * hi;
+    } else {
+      // Free: x = x+ - x-.
+      vm.column = static_cast<int>(sf.columns.size());
+      vm.negative_column = vm.column + 1;
+      vm.offset = 0.0;
+      vm.sign = 1.0;
+      sf.columns.emplace_back();
+      sf.columns.emplace_back();
+      sf.upper.push_back(kInf);
+      sf.upper.push_back(kInf);
+      sf.cost.push_back(model_cost[static_cast<std::size_t>(j)]);
+      sf.cost.push_back(-model_cost[static_cast<std::size_t>(j)]);
+    }
+  }
+  const int num_structural = static_cast<int>(sf.columns.size());
+  sf.is_artificial.assign(static_cast<std::size_t>(num_structural), false);
+
+  // 2. Rows: shift rhs, flip >= to <=, drop vacuous rows, detect trivially
+  //    impossible ones.
+  struct PendingRow {
+    std::vector<Term> internal_terms;  // on internal columns
+    bool is_equality = false;
+    double rhs = 0.0;
+    double dual_sign = 1.0;
+    int model_row = 0;
+  };
+  std::vector<PendingRow> pending;
+  sf.row_of_model_row.assign(static_cast<std::size_t>(m), -1);
+  for (int i = 0; i < m; ++i) {
+    const Constraint& row = model.constraint(i);
+    double shift = 0.0;
+    std::vector<Term> internal;
+    internal.reserve(row.terms.size() * 2);
+    for (const Term& t : merge_terms(row.terms)) {
+      const VarMap& vm = sf.var_maps[static_cast<std::size_t>(t.var)];
+      shift += t.coef * vm.offset;
+      internal.push_back(Term{vm.column, t.coef * vm.sign});
+      if (vm.negative_column >= 0) {
+        internal.push_back(Term{vm.negative_column, -t.coef});
+      }
+    }
+    double rhs = row.rhs - shift;
+    Relation rel = row.relation;
+    double dual_sign = 1.0;
+    if (rel == Relation::kGreaterEqual) {
+      for (auto& t : internal) t.coef = -t.coef;
+      rhs = -rhs;
+      rel = Relation::kLessEqual;
+      dual_sign = -1.0;
+    }
+    if (rel == Relation::kLessEqual) {
+      if (rhs == kInf) continue;  // vacuous
+      if (rhs == -kInf) {
+        sf.trivially_infeasible = true;
+        sf.infeasibility_note = "row '" + row.name + "' requires <= -inf";
+        return sf;
+      }
+      if (internal.empty()) {
+        if (0.0 > rhs) {
+          sf.trivially_infeasible = true;
+          sf.infeasibility_note = "empty row '" + row.name + "' is violated";
+          return sf;
+        }
+        continue;
+      }
+    } else {  // equality
+      if (internal.empty()) {
+        if (std::abs(rhs) > 1e-9) {
+          sf.trivially_infeasible = true;
+          sf.infeasibility_note = "empty row '" + row.name + "' is violated";
+          return sf;
+        }
+        continue;
+      }
+    }
+    PendingRow pr;
+    pr.internal_terms = std::move(internal);
+    pr.is_equality = (rel == Relation::kEqual);
+    pr.rhs = rhs;
+    pr.dual_sign = dual_sign;
+    pr.model_row = i;
+    pending.push_back(std::move(pr));
+  }
+
+  // 3. Materialize rows: add slacks for inequalities, normalize rhs >= 0,
+  //    add artificials where the slack cannot start basic-feasible.
+  const int rows = static_cast<int>(pending.size());
+  sf.rhs.resize(static_cast<std::size_t>(rows));
+  sf.row_dual_sign.resize(static_cast<std::size_t>(rows));
+  sf.artificial_of_row.resize(static_cast<std::size_t>(rows));
+  auto add_entry = [&sf](int col, int row, double coef) {
+    sf.columns[static_cast<std::size_t>(col)].rows.push_back(row);
+    sf.columns[static_cast<std::size_t>(col)].coefs.push_back(coef);
+  };
+  for (int r = 0; r < rows; ++r) {
+    PendingRow& pr = pending[static_cast<std::size_t>(r)];
+    sf.row_of_model_row[static_cast<std::size_t>(pr.model_row)] = r;
+    // A slack (for <=) keeps its +1 coefficient; if rhs < 0 we flip the whole
+    // row afterwards, making the slack coefficient -1 and unusable as the
+    // initial basic variable, in which case an artificial takes over.
+    int slack_col = -1;
+    if (!pr.is_equality) {
+      slack_col = static_cast<int>(sf.columns.size());
+      sf.columns.emplace_back();
+      sf.upper.push_back(kInf);
+      sf.cost.push_back(0.0);
+      sf.is_artificial.push_back(false);
+      pr.internal_terms.push_back(Term{slack_col, 1.0});
+    }
+    double flip = 1.0;
+    if (pr.rhs < 0.0) flip = -1.0;
+    for (const Term& t : merge_terms(std::move(pr.internal_terms))) {
+      add_entry(t.var, r, flip * t.coef);
+    }
+    sf.rhs[static_cast<std::size_t>(r)] = flip * pr.rhs;
+    sf.row_dual_sign[static_cast<std::size_t>(r)] = pr.dual_sign * flip;
+    const bool slack_usable = (slack_col >= 0 && flip > 0.0);
+    if (slack_usable) {
+      sf.artificial_of_row[static_cast<std::size_t>(r)] = slack_col;
+    } else {
+      const int art = static_cast<int>(sf.columns.size());
+      sf.columns.emplace_back();
+      sf.upper.push_back(kInf);
+      sf.cost.push_back(0.0);
+      sf.is_artificial.push_back(true);
+      add_entry(art, r, 1.0);
+      sf.artificial_of_row[static_cast<std::size_t>(r)] = art;
+    }
+  }
+  return sf;
+}
+
+/// Dense working state of the bounded simplex on a StandardForm.
+class Tableau {
+ public:
+  Tableau(const StandardForm& sf, const SimplexOptions& options)
+      : sf_(sf),
+        options_(options),
+        m_(static_cast<int>(sf.rhs.size())),
+        n_(static_cast<int>(sf.columns.size())),
+        binv_(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_),
+              0.0),
+        basis_(static_cast<std::size_t>(m_)),
+        status_(static_cast<std::size_t>(n_), VarStatus::kAtLower),
+        value_(static_cast<std::size_t>(n_), 0.0),
+        upper_(sf.upper) {
+    // Initial basis: the designated slack/artificial of each row; Binv = I.
+    for (int r = 0; r < m_; ++r) {
+      const int col = sf.artificial_of_row[static_cast<std::size_t>(r)];
+      basis_[static_cast<std::size_t>(r)] = col;
+      status_[static_cast<std::size_t>(col)] = VarStatus::kBasic;
+      binv_at(r, r) = 1.0;
+      value_[static_cast<std::size_t>(col)] =
+          sf.rhs[static_cast<std::size_t>(r)];
+    }
+  }
+
+  /// Runs phases 1 and 2. Returns the final status.
+  SolveStatus run(int* iterations_used) {
+    SolveStatus status = SolveStatus::kOptimal;
+    if (needs_phase1()) {
+      phase1_ = true;
+      status = iterate();
+      phase1_ = false;
+      if (status == SolveStatus::kOptimal) {
+        // Relative test: rows scale with the data (rhs can be ~1e9).
+        double rhs_scale = 1.0;
+        for (const double b : sf_.rhs) {
+          rhs_scale = std::max(rhs_scale, std::abs(b));
+        }
+        if (phase1_objective() > options_.feasibility_tol * rhs_scale) {
+          *iterations_used = iterations_;
+          return SolveStatus::kInfeasible;
+        }
+        seal_artificials();
+      } else {
+        *iterations_used = iterations_;
+        return status == SolveStatus::kUnbounded ? SolveStatus::kInfeasible
+                                                 : status;
+      }
+    }
+    status = iterate();
+    *iterations_used = iterations_;
+    return status;
+  }
+
+  /// Objective of the internal minimization (no shift/constant applied).
+  [[nodiscard]] double internal_objective() const {
+    double total = 0.0;
+    for (int j = 0; j < n_; ++j) {
+      total += sf_.cost[static_cast<std::size_t>(j)] *
+               value_[static_cast<std::size_t>(j)];
+    }
+    return total;
+  }
+
+  [[nodiscard]] double column_value(int col) const {
+    return value_[static_cast<std::size_t>(col)];
+  }
+
+  /// Row multipliers y = c_B B^-1 for the phase-2 costs.
+  [[nodiscard]] std::vector<double> row_duals() const {
+    std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      double total = 0.0;
+      for (int k = 0; k < m_; ++k) {
+        total += sf_.cost[static_cast<std::size_t>(
+                     basis_[static_cast<std::size_t>(k)])] *
+                 binv_at_const(k, i);
+      }
+      y[static_cast<std::size_t>(i)] = total;
+    }
+    return y;
+  }
+
+ private:
+  [[nodiscard]] double& binv_at(int r, int c) {
+    return binv_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_) +
+                 static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] double binv_at_const(int r, int c) const {
+    return binv_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  [[nodiscard]] bool needs_phase1() const {
+    for (int r = 0; r < m_; ++r) {
+      if (sf_.is_artificial[static_cast<std::size_t>(
+              sf_.artificial_of_row[static_cast<std::size_t>(r)])]) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] double cost_of(int col) const {
+    if (phase1_) {
+      return sf_.is_artificial[static_cast<std::size_t>(col)] ? 1.0 : 0.0;
+    }
+    return sf_.cost[static_cast<std::size_t>(col)];
+  }
+
+  [[nodiscard]] double phase1_objective() const {
+    double total = 0.0;
+    for (int j = 0; j < n_; ++j) {
+      if (sf_.is_artificial[static_cast<std::size_t>(j)]) {
+        total += value_[static_cast<std::size_t>(j)];
+      }
+    }
+    return total;
+  }
+
+  /// After phase 1, pin artificials at zero so they can never re-enter.
+  void seal_artificials() {
+    for (int j = 0; j < n_; ++j) {
+      if (sf_.is_artificial[static_cast<std::size_t>(j)]) {
+        upper_[static_cast<std::size_t>(j)] = 0.0;
+      }
+    }
+  }
+
+  /// y = (phase costs of basis) * Binv.
+  void compute_duals(std::vector<double>& y) const {
+    y.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int k = 0; k < m_; ++k) {
+      const double ck = cost_of(basis_[static_cast<std::size_t>(k)]);
+      if (ck == 0.0) continue;
+      const double* row = &binv_[static_cast<std::size_t>(k) *
+                                 static_cast<std::size_t>(m_)];
+      for (int i = 0; i < m_; ++i) y[static_cast<std::size_t>(i)] += ck * row[i];
+    }
+  }
+
+  [[nodiscard]] double reduced_cost(int j, const std::vector<double>& y) const {
+    double d = cost_of(j);
+    const SparseColumn& col = sf_.columns[static_cast<std::size_t>(j)];
+    for (std::size_t k = 0; k < col.rows.size(); ++k) {
+      d -= y[static_cast<std::size_t>(col.rows[k])] * col.coefs[k];
+    }
+    return d;
+  }
+
+  /// w = Binv * A_j.
+  void compute_direction(int j, std::vector<double>& w) const {
+    w.assign(static_cast<std::size_t>(m_), 0.0);
+    const SparseColumn& col = sf_.columns[static_cast<std::size_t>(j)];
+    for (std::size_t k = 0; k < col.rows.size(); ++k) {
+      const int r = col.rows[k];
+      const double a = col.coefs[k];
+      for (int i = 0; i < m_; ++i) {
+        w[static_cast<std::size_t>(i)] += binv_at_const(i, r) * a;
+      }
+    }
+  }
+
+  /// Rebuilds Binv from the basis by Gauss-Jordan and recomputes basic values.
+  /// Returns false if the basis matrix is numerically singular.
+  bool refactorize() {
+    // Build dense B.
+    std::vector<double> b_mat(
+        static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_), 0.0);
+    for (int k = 0; k < m_; ++k) {
+      const SparseColumn& col =
+          sf_.columns[static_cast<std::size_t>(basis_[static_cast<std::size_t>(k)])];
+      for (std::size_t e = 0; e < col.rows.size(); ++e) {
+        b_mat[static_cast<std::size_t>(col.rows[e]) *
+                  static_cast<std::size_t>(m_) +
+              static_cast<std::size_t>(k)] = col.coefs[e];
+      }
+    }
+    // Gauss-Jordan inversion with partial pivoting.
+    std::vector<double> inv(
+        static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      inv[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) +
+          static_cast<std::size_t>(i)] = 1.0;
+    }
+    auto at = [this](std::vector<double>& mat, int r, int c) -> double& {
+      return mat[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_) +
+                 static_cast<std::size_t>(c)];
+    };
+    for (int col = 0; col < m_; ++col) {
+      int piv = col;
+      double best = std::abs(at(b_mat, col, col));
+      for (int r = col + 1; r < m_; ++r) {
+        const double candidate = std::abs(at(b_mat, r, col));
+        if (candidate > best) {
+          best = candidate;
+          piv = r;
+        }
+      }
+      if (best < options_.pivot_tol) return false;
+      if (piv != col) {
+        for (int c = 0; c < m_; ++c) {
+          std::swap(at(b_mat, piv, c), at(b_mat, col, c));
+          std::swap(at(inv, piv, c), at(inv, col, c));
+        }
+      }
+      const double scale = 1.0 / at(b_mat, col, col);
+      for (int c = 0; c < m_; ++c) {
+        at(b_mat, col, c) *= scale;
+        at(inv, col, c) *= scale;
+      }
+      for (int r = 0; r < m_; ++r) {
+        if (r == col) continue;
+        const double factor = at(b_mat, r, col);
+        if (factor == 0.0) continue;
+        for (int c = 0; c < m_; ++c) {
+          at(b_mat, r, c) -= factor * at(b_mat, col, c);
+          at(inv, r, c) -= factor * at(inv, col, c);
+        }
+      }
+    }
+    binv_ = std::move(inv);
+    recompute_basic_values();
+    return true;
+  }
+
+  /// x_B = Binv * (b - sum over nonbasic-at-upper columns of A_j * u_j).
+  void recompute_basic_values() {
+    std::vector<double> residual = sf_.rhs;
+    for (int j = 0; j < n_; ++j) {
+      if (status_[static_cast<std::size_t>(j)] != VarStatus::kAtUpper) continue;
+      const double v = upper_[static_cast<std::size_t>(j)];
+      value_[static_cast<std::size_t>(j)] = v;
+      if (v == 0.0) continue;
+      const SparseColumn& col = sf_.columns[static_cast<std::size_t>(j)];
+      for (std::size_t e = 0; e < col.rows.size(); ++e) {
+        residual[static_cast<std::size_t>(col.rows[e])] -= col.coefs[e] * v;
+      }
+    }
+    for (int j = 0; j < n_; ++j) {
+      if (status_[static_cast<std::size_t>(j)] == VarStatus::kAtLower) {
+        value_[static_cast<std::size_t>(j)] = 0.0;
+      }
+    }
+    for (int k = 0; k < m_; ++k) {
+      double total = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        total += binv_at_const(k, i) * residual[static_cast<std::size_t>(i)];
+      }
+      value_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(k)])] =
+          total;
+    }
+  }
+
+  /// Main simplex loop for the current phase.
+  SolveStatus iterate() {
+    std::vector<double> y;
+    std::vector<double> w;
+    int degenerate_run = 0;
+    bool use_bland = false;
+    int pivots_since_refactor = 0;
+    while (true) {
+      if (iterations_ >= options_.max_iterations) {
+        return SolveStatus::kIterationLimit;
+      }
+      compute_duals(y);
+      // Pricing.
+      int entering = -1;
+      double best_score = options_.optimality_tol;
+      double entering_dir = 0.0;
+      for (int j = 0; j < n_; ++j) {
+        const VarStatus st = status_[static_cast<std::size_t>(j)];
+        if (st == VarStatus::kBasic) continue;
+        if (upper_[static_cast<std::size_t>(j)] <= 0.0) continue;  // fixed
+        const double d = reduced_cost(j, y);
+        double score = 0.0;
+        double dir = 0.0;
+        if (st == VarStatus::kAtLower && d < -options_.optimality_tol) {
+          score = -d;
+          dir = 1.0;
+        } else if (st == VarStatus::kAtUpper && d > options_.optimality_tol) {
+          score = d;
+          dir = -1.0;
+        } else {
+          continue;
+        }
+        if (use_bland) {
+          entering = j;
+          entering_dir = dir;
+          break;
+        }
+        if (score > best_score) {
+          best_score = score;
+          entering = j;
+          entering_dir = dir;
+        }
+      }
+      if (entering < 0) {
+        // Verify against drift: refactorize once and re-price.
+        if (pivots_since_refactor > 0) {
+          if (!refactorize()) return SolveStatus::kIterationLimit;
+          pivots_since_refactor = 0;
+          compute_duals(y);
+          bool still_optimal = true;
+          for (int j = 0; j < n_ && still_optimal; ++j) {
+            const VarStatus st = status_[static_cast<std::size_t>(j)];
+            if (st == VarStatus::kBasic) continue;
+            if (upper_[static_cast<std::size_t>(j)] <= 0.0) continue;
+            const double d = reduced_cost(j, y);
+            if ((st == VarStatus::kAtLower &&
+                 d < -10 * options_.optimality_tol) ||
+                (st == VarStatus::kAtUpper &&
+                 d > 10 * options_.optimality_tol)) {
+              still_optimal = false;
+            }
+          }
+          if (still_optimal) return SolveStatus::kOptimal;
+          continue;  // re-enter loop with fresh factorization
+        }
+        return SolveStatus::kOptimal;
+      }
+
+      compute_direction(entering, w);
+      // Ratio test. The entering variable moves by t in direction
+      // entering_dir; basic k changes by -t * entering_dir * w[k].
+      double t_max = upper_[static_cast<std::size_t>(entering)];  // bound flip
+      int leaving_row = -1;
+      VarStatus leaving_status = VarStatus::kAtLower;
+      for (int k = 0; k < m_; ++k) {
+        const double delta = -entering_dir * w[static_cast<std::size_t>(k)];
+        if (std::abs(delta) < options_.pivot_tol) continue;
+        const int basic = basis_[static_cast<std::size_t>(k)];
+        const double xv = value_[static_cast<std::size_t>(basic)];
+        double limit;
+        VarStatus hit;
+        if (delta < 0.0) {
+          limit = xv / (-delta);  // falls to lower bound 0
+          hit = VarStatus::kAtLower;
+        } else {
+          const double ub = upper_[static_cast<std::size_t>(basic)];
+          if (!std::isfinite(ub)) continue;
+          limit = (ub - xv) / delta;  // rises to upper bound
+          hit = VarStatus::kAtUpper;
+        }
+        if (limit < -1e-9) limit = 0.0;  // numerical noise
+        if (limit < t_max - 1e-12 ||
+            (leaving_row < 0 && limit <= t_max)) {
+          t_max = std::max(limit, 0.0);
+          leaving_row = k;
+          leaving_status = hit;
+        }
+      }
+      if (!std::isfinite(t_max)) {
+        return phase1_ ? SolveStatus::kInfeasible : SolveStatus::kUnbounded;
+      }
+
+      ++iterations_;
+      if (t_max < 1e-10) {
+        ++degenerate_run;
+        if (degenerate_run > options_.degeneracy_threshold) use_bland = true;
+      } else {
+        degenerate_run = 0;
+        use_bland = false;
+      }
+
+      // Apply the step to all basic values and the entering variable.
+      for (int k = 0; k < m_; ++k) {
+        const int basic = basis_[static_cast<std::size_t>(k)];
+        value_[static_cast<std::size_t>(basic)] -=
+            t_max * entering_dir * w[static_cast<std::size_t>(k)];
+      }
+      value_[static_cast<std::size_t>(entering)] +=
+          t_max * entering_dir;
+
+      if (leaving_row < 0) {
+        // Pure bound flip; basis unchanged.
+        status_[static_cast<std::size_t>(entering)] =
+            entering_dir > 0 ? VarStatus::kAtUpper : VarStatus::kAtLower;
+        continue;
+      }
+
+      // Pivot: `entering` replaces the basic variable of `leaving_row`.
+      const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
+      status_[static_cast<std::size_t>(leaving)] = leaving_status;
+      // Snap the leaving variable exactly onto its bound.
+      value_[static_cast<std::size_t>(leaving)] =
+          leaving_status == VarStatus::kAtLower
+              ? 0.0
+              : upper_[static_cast<std::size_t>(leaving)];
+      status_[static_cast<std::size_t>(entering)] = VarStatus::kBasic;
+      basis_[static_cast<std::size_t>(leaving_row)] = entering;
+
+      const double pivot = w[static_cast<std::size_t>(leaving_row)];
+      if (std::abs(pivot) < options_.pivot_tol) {
+        // Numerically unsafe pivot: rebuild and retry.
+        if (!refactorize()) return SolveStatus::kIterationLimit;
+        pivots_since_refactor = 0;
+        continue;
+      }
+      // Binv update: row ops making column w into the unit vector e_r.
+      double* pivot_row = &binv_[static_cast<std::size_t>(leaving_row) *
+                                 static_cast<std::size_t>(m_)];
+      const double inv_pivot = 1.0 / pivot;
+      for (int c = 0; c < m_; ++c) pivot_row[c] *= inv_pivot;
+      for (int r = 0; r < m_; ++r) {
+        if (r == leaving_row) continue;
+        const double factor = w[static_cast<std::size_t>(r)];
+        if (factor == 0.0) continue;
+        double* row = &binv_[static_cast<std::size_t>(r) *
+                             static_cast<std::size_t>(m_)];
+        for (int c = 0; c < m_; ++c) row[c] -= factor * pivot_row[c];
+      }
+      if (++pivots_since_refactor >= options_.refactor_interval) {
+        if (!refactorize()) return SolveStatus::kIterationLimit;
+        pivots_since_refactor = 0;
+      }
+    }
+  }
+
+  const StandardForm& sf_;
+  const SimplexOptions& options_;
+  int m_;
+  int n_;
+  std::vector<double> binv_;
+  std::vector<int> basis_;
+  std::vector<VarStatus> status_;
+  std::vector<double> value_;
+  std::vector<double> upper_;
+  bool phase1_ = false;
+  int iterations_ = 0;
+};
+
+}  // namespace
+
+SimplexSolver::SimplexSolver(SimplexOptions options) : options_(options) {}
+
+LpSolution SimplexSolver::solve(const Model& model) const {
+  std::vector<double> lower(static_cast<std::size_t>(model.num_variables()));
+  std::vector<double> upper(static_cast<std::size_t>(model.num_variables()));
+  for (int j = 0; j < model.num_variables(); ++j) {
+    lower[static_cast<std::size_t>(j)] = model.variable(j).lower;
+    upper[static_cast<std::size_t>(j)] = model.variable(j).upper;
+  }
+  return solve(model, lower, upper);
+}
+
+LpSolution SimplexSolver::solve(const Model& model,
+                                const std::vector<double>& lower,
+                                const std::vector<double>& upper) const {
+  model.validate();
+  if (lower.size() != static_cast<std::size_t>(model.num_variables()) ||
+      upper.size() != static_cast<std::size_t>(model.num_variables())) {
+    throw InvalidInputError("solve: bound override size mismatch");
+  }
+  LpSolution solution;
+  const StandardForm sf = build_standard_form(model, lower, upper);
+  if (sf.trivially_infeasible) {
+    solution.status = SolveStatus::kInfeasible;
+    ET_LOG(kDebug) << "simplex: trivially infeasible ("
+                   << sf.infeasibility_note << ")";
+    return solution;
+  }
+
+  Tableau tableau(sf, options_);
+  int iterations = 0;
+  const SolveStatus status = tableau.run(&iterations);
+  solution.status = status;
+  solution.iterations = iterations;
+  if (status != SolveStatus::kOptimal) return solution;
+
+  const double sense_sign = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
+  solution.values.resize(static_cast<std::size_t>(model.num_variables()));
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const VarMap& vm = sf.var_maps[static_cast<std::size_t>(j)];
+    double v = vm.offset + vm.sign * tableau.column_value(vm.column);
+    if (vm.negative_column >= 0) {
+      v -= tableau.column_value(vm.negative_column);
+    }
+    solution.values[static_cast<std::size_t>(j)] = v;
+  }
+  solution.objective = model.evaluate_objective(solution.values);
+
+  const std::vector<double> y = tableau.row_duals();
+  solution.duals.assign(static_cast<std::size_t>(model.num_constraints()),
+                        0.0);
+  for (int i = 0; i < model.num_constraints(); ++i) {
+    const int r = sf.row_of_model_row[static_cast<std::size_t>(i)];
+    if (r < 0) continue;
+    solution.duals[static_cast<std::size_t>(i)] =
+        sense_sign * sf.row_dual_sign[static_cast<std::size_t>(r)] *
+        y[static_cast<std::size_t>(r)];
+  }
+  return solution;
+}
+
+}  // namespace etransform::lp

@@ -1,0 +1,91 @@
+// Bounded-variable two-phase primal simplex.
+//
+// Solves the LP relaxation of a Model: integrality markers are ignored here
+// (branch-and-bound in milp/ enforces them by tightening bounds). The solver
+// supports general variable bounds (finite / infinite / fixed / free) via the
+// standard shifted + split transformation, inequality rows via slacks, and a
+// phase-1 with artificial variables for rows that the slack basis cannot
+// satisfy.
+//
+// Implementation notes:
+//  * Dense explicit basis inverse, updated by elementary pivots and
+//    refactorized periodically (and before declaring optimality) to bound
+//    drift.
+//  * Dantzig pricing with an automatic switch to Bland's rule after a run of
+//    degenerate pivots, which guarantees termination.
+//  * The constraint matrix is stored column-sparse; per-iteration cost is
+//    O(m^2 + nnz).
+#pragma once
+
+#include <vector>
+
+#include "lp/model.h"
+
+namespace etransform::lp {
+
+/// Result status of an LP solve.
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+/// Human-readable status name.
+[[nodiscard]] const char* to_string(SolveStatus status);
+
+/// Tuning knobs for the simplex.
+struct SimplexOptions {
+  /// Hard cap on total pivots across both phases.
+  int max_iterations = 200000;
+  /// Reduced-cost optimality tolerance.
+  double optimality_tol = 1e-7;
+  /// Minimum absolute pivot element.
+  double pivot_tol = 1e-9;
+  /// Primal feasibility tolerance (phase-1 objective must reach below this).
+  double feasibility_tol = 1e-7;
+  /// Rebuild the basis inverse every this many pivots.
+  int refactor_interval = 128;
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  int degeneracy_threshold = 64;
+};
+
+/// Outcome of an LP solve. `values`/`duals` are only meaningful when status
+/// is kOptimal. Duals are reported for the original row orientation: for a
+/// minimization, a binding `<=` row has dual <= 0 under our sign convention
+/// y = c_B B^-1 ... we report y such that objective = y.b + (reduced cost
+/// terms), i.e. the classic multiplier of the equality form after adding
+/// slacks.
+struct LpSolution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Objective in the model's own sense (includes the objective constant).
+  double objective = 0.0;
+  /// One value per model variable.
+  std::vector<double> values;
+  /// One multiplier per model constraint.
+  std::vector<double> duals;
+  /// Total simplex pivots used.
+  int iterations = 0;
+};
+
+/// The LP engine. Stateless between solves; safe to reuse.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {});
+
+  /// Solves the LP relaxation of `model`. Throws InvalidInputError on
+  /// malformed models; never throws for infeasible/unbounded (reported via
+  /// status).
+  [[nodiscard]] LpSolution solve(const Model& model) const;
+
+  /// Solves with per-variable bound overrides (used by branch-and-bound).
+  /// `lower`/`upper` must each have one entry per model variable.
+  [[nodiscard]] LpSolution solve(const Model& model,
+                                 const std::vector<double>& lower,
+                                 const std::vector<double>& upper) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace etransform::lp

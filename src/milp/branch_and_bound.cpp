@@ -1,0 +1,340 @@
+#include "milp/branch_and_bound.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace etransform::milp {
+
+namespace {
+
+using lp::LpSolution;
+using lp::Model;
+using lp::SimplexSolver;
+using lp::SolveStatus;
+
+/// One open node: a set of tightened variable bounds plus the parent's
+/// relaxation value used for best-first ordering.
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double parent_bound = 0.0;
+  int depth = 0;
+};
+
+/// Open-node pool with hybrid selection: depth-first while no incumbent
+/// exists (plunging to a first integral leaf quickly), best-bound once one
+/// does (tightening the global bound for pruning and gap termination).
+class OpenNodes {
+ public:
+  void push(std::shared_ptr<Node> node) { nodes_.push_back(std::move(node)); }
+
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+
+  /// Smallest parent bound among open nodes (the global bound).
+  [[nodiscard]] double best_bound() const {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& node : nodes_) {
+      best = std::min(best, node->parent_bound);
+    }
+    return best;
+  }
+
+  std::shared_ptr<Node> pop(bool depth_first) {
+    std::size_t pick = nodes_.size() - 1;  // newest (deepest) by default
+    if (!depth_first) {
+      for (std::size_t k = 0; k < nodes_.size(); ++k) {
+        if (nodes_[k]->parent_bound < nodes_[pick]->parent_bound) pick = k;
+      }
+    }
+    std::shared_ptr<Node> node = std::move(nodes_[pick]);
+    nodes_[pick] = std::move(nodes_.back());
+    nodes_.pop_back();
+    return node;
+  }
+
+ private:
+  std::vector<std::shared_ptr<Node>> nodes_;
+};
+
+/// Index of the most fractional integer variable, or -1 if all integral.
+int most_fractional(const Model& model, const std::vector<double>& values,
+                    double tol) {
+  int best = -1;
+  double best_score = tol;  // distance from the nearest integer, in (0, 0.5]
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (!model.variable(j).is_integer) continue;
+    const double v = values[static_cast<std::size_t>(j)];
+    const double frac = v - std::floor(v);
+    const double score = std::min(frac, 1.0 - frac);
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  return best;
+}
+
+bool all_integral(const Model& model, const std::vector<double>& values,
+                  double tol) {
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (!model.variable(j).is_integer) continue;
+    const double v = values[static_cast<std::size_t>(j)];
+    if (std::abs(v - std::round(v)) > tol) return false;
+  }
+  return true;
+}
+
+/// Snaps near-integral values exactly onto integers.
+void snap_integers(const Model& model, std::vector<double>& values,
+                   double tol) {
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (!model.variable(j).is_integer) continue;
+    double& v = values[static_cast<std::size_t>(j)];
+    const double r = std::round(v);
+    if (std::abs(v - r) <= tol) v = r;
+  }
+}
+
+}  // namespace
+
+const char* to_string(MilpStatus status) {
+  switch (status) {
+    case MilpStatus::kOptimal: return "optimal";
+    case MilpStatus::kFeasible: return "feasible";
+    case MilpStatus::kInfeasible: return "infeasible";
+    case MilpStatus::kUnbounded: return "unbounded";
+    case MilpStatus::kNoSolutionFound: return "no_solution_found";
+  }
+  return "?";
+}
+
+BranchAndBoundSolver::BranchAndBoundSolver(MilpOptions options)
+    : options_(options) {}
+
+MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
+  model.validate();
+  const auto started = std::chrono::steady_clock::now();
+  const auto out_of_time = [&]() {
+    if (options_.time_limit_ms <= 0) return false;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+    return elapsed >= options_.time_limit_ms;
+  };
+
+  const double sense_sign = model.sense() == lp::Sense::kMinimize ? 1.0 : -1.0;
+  // Internally everything is a minimization of sense_sign * objective.
+  const SimplexSolver lp_solver(options_.lp_options);
+
+  MilpSolution result;
+  const int n = model.num_variables();
+  std::vector<double> root_lower(static_cast<std::size_t>(n));
+  std::vector<double> root_upper(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const auto& v = model.variable(j);
+    // Integer bounds can be pre-rounded inward.
+    root_lower[static_cast<std::size_t>(j)] =
+        v.is_integer && std::isfinite(v.lower) ? std::ceil(v.lower - 1e-9)
+                                               : v.lower;
+    root_upper[static_cast<std::size_t>(j)] =
+        v.is_integer && std::isfinite(v.upper) ? std::floor(v.upper + 1e-9)
+                                               : v.upper;
+  }
+
+  bool have_incumbent = false;
+  double incumbent = 0.0;  // in internal (minimization) orientation
+  std::vector<double> incumbent_values;
+  double global_bound = -lp::kInfinity;
+
+  const auto try_incumbent = [&](const std::vector<double>& values,
+                                 double objective_model_sense) {
+    const double internal = sense_sign * objective_model_sense;
+    if (!have_incumbent || internal < incumbent - 1e-12) {
+      have_incumbent = true;
+      incumbent = internal;
+      incumbent_values = values;
+      snap_integers(model, incumbent_values, options_.integrality_tol);
+      ET_LOG(kDebug) << "milp: new incumbent " << objective_model_sense;
+    }
+  };
+
+  // Diving heuristic: at every step fix *all* nearly-integral integer
+  // variables plus the single most fractional one, then re-solve. Fixing in
+  // bulk keeps dives to a handful of LP solves even on thousands of
+  // binaries; if a bulk fix turns infeasible the dive simply aborts and
+  // branch-and-bound proceeds.
+  const auto dive = [&](std::vector<double> lower, std::vector<double> upper,
+                        const LpSolution& start) {
+    LpSolution current = start;
+    for (int depth = 0; depth < 64; ++depth) {
+      if (all_integral(model, current.values, options_.integrality_tol)) {
+        try_incumbent(current.values, current.objective);
+        return;
+      }
+      for (int j = 0; j < n; ++j) {
+        if (!model.variable(j).is_integer) continue;
+        const double v = current.values[static_cast<std::size_t>(j)];
+        const double rounded = std::round(v);
+        if (std::abs(v - rounded) <= 0.05) {
+          lower[static_cast<std::size_t>(j)] = rounded;
+          upper[static_cast<std::size_t>(j)] = rounded;
+        }
+      }
+      const int j =
+          most_fractional(model, current.values, options_.integrality_tol);
+      if (j < 0) return;
+      const double fixed =
+          std::round(current.values[static_cast<std::size_t>(j)]);
+      lower[static_cast<std::size_t>(j)] = fixed;
+      upper[static_cast<std::size_t>(j)] = fixed;
+      current = lp_solver.solve(model, lower, upper);
+      result.lp_iterations += current.iterations;
+      if (current.status != SolveStatus::kOptimal) return;
+      if (have_incumbent && sense_sign * current.objective >= incumbent) {
+        return;
+      }
+    }
+  };
+
+  // Root relaxation.
+  LpSolution root = lp_solver.solve(model, root_lower, root_upper);
+  result.lp_iterations += root.iterations;
+  ++result.nodes;
+  switch (root.status) {
+    case SolveStatus::kInfeasible:
+      result.status = MilpStatus::kInfeasible;
+      return result;
+    case SolveStatus::kUnbounded:
+      result.status = MilpStatus::kUnbounded;
+      return result;
+    case SolveStatus::kIterationLimit:
+      result.status = MilpStatus::kNoSolutionFound;
+      return result;
+    case SolveStatus::kOptimal:
+      break;
+  }
+  global_bound = sense_sign * root.objective;
+
+  if (all_integral(model, root.values, options_.integrality_tol)) {
+    try_incumbent(root.values, root.objective);
+    result.status = MilpStatus::kOptimal;
+    result.objective = sense_sign * incumbent;
+    result.best_bound = sense_sign * global_bound;
+    result.values = std::move(incumbent_values);
+    return result;
+  }
+  if (options_.root_dive) {
+    dive(root_lower, root_upper, root);
+  }
+
+  OpenNodes open;
+  {
+    auto root_node = std::make_shared<Node>();
+    root_node->lower = root_lower;
+    root_node->upper = root_upper;
+    root_node->parent_bound = sense_sign * root.objective;
+    open.push(std::move(root_node));
+  }
+
+  const auto gap_closed = [&]() {
+    if (!have_incumbent) return false;
+    const double denom = std::max(1.0, std::abs(incumbent));
+    return (incumbent - global_bound) / denom <= options_.relative_gap;
+  };
+
+  bool budget_exhausted = false;
+  while (!open.empty()) {
+    // The best open node defines the global bound.
+    global_bound = open.best_bound();
+    if (gap_closed()) break;
+    if (result.nodes >= options_.max_nodes || out_of_time()) {
+      budget_exhausted = true;
+      break;
+    }
+    const std::shared_ptr<Node> node =
+        open.pop(/*depth_first=*/!have_incumbent);
+    if (have_incumbent && node->parent_bound >= incumbent - 1e-12) {
+      continue;  // pruned by bound
+    }
+
+    const LpSolution relaxed =
+        lp_solver.solve(model, node->lower, node->upper);
+    result.lp_iterations += relaxed.iterations;
+    ++result.nodes;
+    if (relaxed.status == SolveStatus::kInfeasible) continue;
+    if (relaxed.status == SolveStatus::kIterationLimit) {
+      budget_exhausted = true;
+      continue;
+    }
+    if (relaxed.status == SolveStatus::kUnbounded) {
+      // A bounded-root MILP node cannot become unbounded by tightening
+      // bounds; treat defensively as a failed node.
+      continue;
+    }
+    const double node_bound = sense_sign * relaxed.objective;
+    if (have_incumbent && node_bound >= incumbent - 1e-12) continue;
+
+    if (all_integral(model, relaxed.values, options_.integrality_tol)) {
+      try_incumbent(relaxed.values, relaxed.objective);
+      continue;
+    }
+
+    const int j =
+        most_fractional(model, relaxed.values, options_.integrality_tol);
+    const double v = relaxed.values[static_cast<std::size_t>(j)];
+    // Down child: x_j <= floor(v).
+    {
+      auto child = std::make_shared<Node>();
+      child->lower = node->lower;
+      child->upper = node->upper;
+      child->upper[static_cast<std::size_t>(j)] = std::floor(v);
+      child->parent_bound = node_bound;
+      child->depth = node->depth + 1;
+      if (child->lower[static_cast<std::size_t>(j)] <=
+          child->upper[static_cast<std::size_t>(j)]) {
+        open.push(std::move(child));
+      }
+    }
+    // Up child: x_j >= ceil(v).
+    {
+      auto child = std::make_shared<Node>();
+      child->lower = node->lower;
+      child->upper = node->upper;
+      child->lower[static_cast<std::size_t>(j)] = std::ceil(v);
+      child->parent_bound = node_bound;
+      child->depth = node->depth + 1;
+      if (child->lower[static_cast<std::size_t>(j)] <=
+          child->upper[static_cast<std::size_t>(j)]) {
+        open.push(std::move(child));
+      }
+    }
+  }
+
+  if (open.empty() && !budget_exhausted) {
+    // Exhausted the tree: the incumbent (if any) is optimal.
+    global_bound = have_incumbent ? incumbent : global_bound;
+  }
+
+  if (have_incumbent) {
+    result.status = (!budget_exhausted && (open.empty() || gap_closed()))
+                        ? MilpStatus::kOptimal
+                        : MilpStatus::kFeasible;
+    result.objective = sense_sign * incumbent;
+    result.values = std::move(incumbent_values);
+  } else {
+    result.status = budget_exhausted ? MilpStatus::kNoSolutionFound
+                                     : MilpStatus::kInfeasible;
+  }
+  result.best_bound = sense_sign * std::min(global_bound,
+                                            have_incumbent ? incumbent
+                                                           : global_bound);
+  return result;
+}
+
+}  // namespace etransform::milp

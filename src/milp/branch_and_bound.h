@@ -1,0 +1,76 @@
+// Branch-and-bound MILP solver built on the simplex LP engine.
+//
+// Integer variables are enforced by branching on fractional values and
+// tightening variable bounds in child nodes; each node re-solves the LP
+// relaxation from scratch (our dense simplex is fast at the model sizes the
+// planner emits, so warm starts are unnecessary). Node selection is
+// best-first by parent relaxation bound, which keeps the global lower bound
+// tight and enables early termination at a requested gap. A depth-limited
+// diving heuristic runs at the root to seed the incumbent.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace etransform::milp {
+
+/// Tuning knobs for branch-and-bound.
+struct MilpOptions {
+  /// Maximum branch-and-bound nodes to expand.
+  int max_nodes = 200000;
+  /// Wall-clock budget in milliseconds; 0 disables the limit.
+  int time_limit_ms = 0;
+  /// Stop once (incumbent - bound) / max(1, |incumbent|) <= relative_gap.
+  double relative_gap = 1e-9;
+  /// Integrality tolerance.
+  double integrality_tol = 1e-6;
+  /// Run the diving heuristic at the root to find an early incumbent.
+  bool root_dive = true;
+  /// Options forwarded to the LP engine.
+  lp::SimplexOptions lp_options;
+};
+
+/// Result status of a MILP solve.
+enum class MilpStatus {
+  kOptimal,         // incumbent proven optimal within relative_gap
+  kFeasible,        // incumbent found but budget exhausted before proof
+  kInfeasible,      // no integer-feasible point exists
+  kUnbounded,       // LP relaxation unbounded
+  kNoSolutionFound  // budget exhausted with no incumbent
+};
+
+/// Human-readable status name.
+[[nodiscard]] const char* to_string(MilpStatus status);
+
+/// Outcome of a MILP solve.
+struct MilpSolution {
+  MilpStatus status = MilpStatus::kNoSolutionFound;
+  /// Incumbent objective (model sense). Valid for kOptimal/kFeasible.
+  double objective = 0.0;
+  /// Proven bound on the optimum (lower bound when minimizing).
+  double best_bound = 0.0;
+  /// Incumbent variable values. Valid for kOptimal/kFeasible.
+  std::vector<double> values;
+  /// Nodes expanded.
+  int nodes = 0;
+  /// Total simplex iterations across all nodes.
+  int lp_iterations = 0;
+};
+
+/// The MILP engine. Stateless between solves; safe to reuse.
+class BranchAndBoundSolver {
+ public:
+  explicit BranchAndBoundSolver(MilpOptions options = {});
+
+  /// Solves `model` to optimality (or to the configured budget). Throws
+  /// InvalidInputError on malformed models.
+  [[nodiscard]] MilpSolution solve(const lp::Model& model) const;
+
+ private:
+  MilpOptions options_;
+};
+
+}  // namespace etransform::milp

@@ -1,0 +1,21 @@
+// Exhaustive reference MILP solver for testing.
+//
+// Enumerates every assignment of the integer variables (each must have
+// finite, small bounds) and, when continuous variables remain, solves the
+// residual LP with the simplex. Exponential — only for cross-checking the
+// branch-and-bound solver on tiny instances in tests.
+#pragma once
+
+#include <cstdint>
+
+#include "milp/branch_and_bound.h"
+
+namespace etransform::milp {
+
+/// Solves `model` by exhaustive enumeration. Throws InvalidInputError if an
+/// integer variable has an unbounded or non-finite domain, or if the total
+/// number of integer assignments exceeds `max_assignments`.
+[[nodiscard]] MilpSolution solve_brute_force(
+    const lp::Model& model, std::uint64_t max_assignments = 1u << 22);
+
+}  // namespace etransform::milp

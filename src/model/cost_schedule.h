@@ -1,0 +1,64 @@
+// Step-function price schedules (economies of scale).
+//
+// The paper (§III-B, citing Schoomer 1964) models every data-center cost rate
+// as a step function of the quantity purchased: the unit price drops once the
+// volume crosses a tier boundary, and the *new* price applies to all units
+// ("under a volume pricing structure, the price per unit decreases as the
+// quantity purchased increases"). A StepSchedule is that function; the MILP
+// formulation linearizes it exactly with per-tier binaries, and the plan
+// evaluator applies it directly.
+#pragma once
+
+#include <vector>
+
+#include "common/money.h"
+
+namespace etransform {
+
+/// One pricing tier: `unit_price` applies while quantity <= `upto`.
+struct PriceTier {
+  /// Inclusive upper edge of this tier; the last tier may be infinite.
+  double upto = 0.0;
+  /// Price per unit when the purchased quantity falls in this tier.
+  Money unit_price = 0.0;
+};
+
+/// A piecewise-constant unit-price schedule over quantity.
+///
+/// Invariants (checked on construction): at least one tier, strictly
+/// increasing `upto`, non-negative prices, final tier covers +infinity.
+class StepSchedule {
+ public:
+  /// Single-tier schedule: the same unit price at every volume.
+  static StepSchedule flat(Money unit_price);
+
+  /// Volume-discount schedule in the paper's parametrization: the unit price
+  /// starts at `base_price` and decreases by `discount_per_tier` every
+  /// `tier_size` units, for `num_tiers` tiers (the last tier extends to
+  /// infinity). Prices are floored at zero. Throws InvalidInputError on
+  /// non-positive tier_size or num_tiers < 1.
+  static StepSchedule volume_discount(Money base_price, double tier_size,
+                                      Money discount_per_tier, int num_tiers);
+
+  /// Builds from explicit tiers. Throws InvalidInputError if the invariants
+  /// fail; a final tier with a finite edge is extended to infinity at the
+  /// same price.
+  explicit StepSchedule(std::vector<PriceTier> tiers);
+
+  /// Unit price at the given quantity (quantity < 0 is an error).
+  [[nodiscard]] Money unit_price(double quantity) const;
+
+  /// Total cost: unit_price(quantity) * quantity.
+  [[nodiscard]] Money total_cost(double quantity) const;
+
+  /// Tier list (ascending, last tier infinite).
+  [[nodiscard]] const std::vector<PriceTier>& tiers() const { return tiers_; }
+
+  /// True if every tier has the same price (no volume effects).
+  [[nodiscard]] bool is_flat() const;
+
+ private:
+  std::vector<PriceTier> tiers_;
+};
+
+}  // namespace etransform

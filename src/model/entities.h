@@ -1,0 +1,154 @@
+// Domain entities: the "as-is" state specification of Table I plus the
+// target-site description the planner consumes.
+//
+// A ConsolidationInstance is the full input to every planner and baseline:
+// user locations, application groups (with traffic matrices, latency penalty
+// functions, and placement constraints), target data-center sites (with
+// capacity and the four cost schedules), the site->location latency matrix,
+// optional per-link VPN lease prices, global cost parameters, and the current
+// ("as-is") placement used as the cost baseline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/money.h"
+#include "model/cost_schedule.h"
+#include "model/latency.h"
+
+namespace etransform {
+
+/// A geographic point; distances feed the manual baseline's
+/// "nearest data center" rule and distance-priced VPN links.
+struct GeoPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance between two points.
+[[nodiscard]] double distance(const GeoPoint& a, const GeoPoint& b);
+
+/// A location where users of the enterprise's applications sit (Fig. 2).
+struct UserLocation {
+  std::string name;
+  GeoPoint position;
+};
+
+/// A candidate target data center (Table I: O_j, Q_j, W_j, E_j, T_j).
+struct DataCenterSite {
+  std::string name;
+  GeoPoint position;
+  /// Capacity in servers (O_j).
+  int capacity_servers = 0;
+  /// Space cost per server per month (Q_j), as a volume schedule.
+  StepSchedule space_cost_per_server = StepSchedule::flat(0.0);
+  /// WAN cost per megabit of monthly traffic (W_j), as a volume schedule.
+  StepSchedule wan_cost_per_megabit = StepSchedule::flat(0.0);
+  /// Electricity price per kWh (E_j).
+  StepSchedule power_cost_per_kwh = StepSchedule::flat(0.0);
+  /// Monthly fully-loaded cost per administrator (T_j).
+  StepSchedule labor_cost_per_admin = StepSchedule::flat(0.0);
+};
+
+/// An application group (Table I: S_i, D_i, C_ir) with its constraints.
+struct ApplicationGroup {
+  std::string name;
+  /// Number of physical servers the group runs on (S_i). The repacking
+  /// preserves this count (paper §III-A: resources stay the same).
+  int servers = 0;
+  /// Monthly data exchanged with users, in megabits (D_i).
+  double monthly_data_megabits = 0.0;
+  /// Users per location (C_ir); must match the instance's location count.
+  std::vector<double> users_per_location;
+  /// Latency penalty step function (L_ij source).
+  LatencyPenaltyFunction latency_penalty;
+  /// If non-empty, the group may only be placed at these site indices
+  /// (environmental / legal constraints, §I).
+  std::vector<int> allowed_sites;
+  /// If >= 0, the group is pinned to this site (admin iterative interface).
+  int pinned_site = -1;
+
+  /// Total users across all locations.
+  [[nodiscard]] double total_users() const;
+};
+
+/// Global cost parameters (paper §III-B and §VI-B).
+struct CostParameters {
+  /// Average power draw per server in kilowatts (alpha; paper: 300-400 W).
+  double server_power_kw = 0.35;
+  /// Servers one administrator can handle (beta; paper: 130).
+  double servers_per_admin = 130.0;
+  /// Capacity of one dedicated VPN link in megabits/month (gamma).
+  double vpn_link_capacity_megabits = 1.0e6;
+  /// One-time cost of a backup (DR) server (zeta; paper: $1000).
+  Money dr_server_cost = 1000.0;
+  /// Hours per month for kWh conversion.
+  double hours_per_month = 730.0;
+};
+
+/// A data center in the current estate, with its own (typically
+/// undiscounted) cost rates; used to price the "as-is" state.
+struct AsIsDataCenter {
+  std::string name;
+  GeoPoint position;
+  int servers = 0;
+  Money space_cost_per_server = 0.0;
+  Money wan_cost_per_megabit = 0.0;
+  Money power_cost_per_kwh = 0.0;
+  Money labor_cost_per_admin = 0.0;
+};
+
+/// Pairwise group separation constraint (shared-risk, §I): the two groups
+/// must not share a primary data center.
+struct SeparationConstraint {
+  int group_a = -1;
+  int group_b = -1;
+};
+
+/// The complete planner input: "as-is" state + target topology.
+struct ConsolidationInstance {
+  std::string name;
+
+  std::vector<UserLocation> locations;
+  std::vector<ApplicationGroup> groups;
+  std::vector<DataCenterSite> sites;
+
+  /// latency_ms[j][r]: latency from target site j to user location r.
+  std::vector<std::vector<double>> latency_ms;
+
+  /// Optional dedicated-VPN mode (paper §III-B): monthly lease price of one
+  /// link between site j and location r. When non-empty the WAN cost uses the
+  /// VPN-link formula instead of D_i * W_j.
+  std::vector<std::vector<Money>> vpn_link_monthly_cost;
+  bool use_vpn_links = false;
+
+  CostParameters params;
+
+  /// Current estate, for as-is costing and the manual baseline's proximity
+  /// rule. as_is_placement[i] is the index into as_is_centers for group i.
+  std::vector<AsIsDataCenter> as_is_centers;
+  std::vector<int> as_is_placement;
+  /// as_is_latency_ms[d][r]: latency from as-is center d to location r.
+  std::vector<std::vector<double>> as_is_latency_ms;
+
+  /// Pairwise shared-risk separation constraints.
+  std::vector<SeparationConstraint> separations;
+
+  [[nodiscard]] int num_groups() const {
+    return static_cast<int>(groups.size());
+  }
+  [[nodiscard]] int num_sites() const { return static_cast<int>(sites.size()); }
+  [[nodiscard]] int num_locations() const {
+    return static_cast<int>(locations.size());
+  }
+  /// Total servers across all application groups.
+  [[nodiscard]] int total_servers() const;
+};
+
+/// Throws InvalidInputError describing the first inconsistency found:
+/// mismatched matrix shapes, negative counts, out-of-range placement or
+/// constraint indices, capacity shortfall (total capacity < total servers),
+/// or a group too large for every site it is allowed at.
+void validate_instance(const ConsolidationInstance& instance);
+
+}  // namespace etransform

@@ -1,0 +1,161 @@
+#include "model/grouping.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace etransform {
+
+namespace {
+
+/// Union-find with path compression.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+LatencyPenaltyFunction merge_latency_penalties(
+    const LatencyPenaltyFunction& a, const LatencyPenaltyFunction& b) {
+  if (a.is_insensitive()) return b;
+  if (b.is_insensitive()) return a;
+  // Candidate thresholds: union of both step sets. At each threshold the
+  // merged per-user penalty is max(a, b) evaluated just past it.
+  std::vector<double> thresholds;
+  for (const auto& step : a.steps()) thresholds.push_back(step.threshold_ms);
+  for (const auto& step : b.steps()) thresholds.push_back(step.threshold_ms);
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+  std::vector<LatencyPenaltyStep> merged;
+  Money previous = 0.0;
+  for (const double threshold : thresholds) {
+    // Evaluate epsilon past the threshold; steps use strict inequality.
+    const double probe = threshold + 1e-9;
+    const Money penalty =
+        std::max(a.penalty_per_user(probe), b.penalty_per_user(probe));
+    if (penalty > previous) {
+      merged.push_back(LatencyPenaltyStep{threshold, penalty});
+      previous = penalty;
+    }
+  }
+  return LatencyPenaltyFunction(std::move(merged));
+}
+
+GroupingResult build_application_groups(
+    const std::vector<ApplicationSpec>& applications,
+    const std::vector<std::vector<double>>& traffic,
+    const GroupingOptions& options) {
+  const std::size_t n = applications.size();
+  if (n == 0) throw InvalidInputError("grouping: no applications");
+  if (traffic.size() != n) {
+    throw InvalidInputError("grouping: traffic matrix must be N x N");
+  }
+  const std::size_t locations = applications.front().users_per_location.size();
+  for (const auto& app : applications) {
+    if (app.servers <= 0) {
+      throw InvalidInputError("grouping: application '" + app.name +
+                              "' has non-positive server count");
+    }
+    if (app.users_per_location.size() != locations) {
+      throw InvalidInputError(
+          "grouping: inconsistent user-location vector for '" + app.name +
+          "'");
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (traffic[i].size() != n) {
+      throw InvalidInputError("grouping: traffic matrix must be N x N");
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (traffic[i][j] < 0.0) {
+        throw InvalidInputError("grouping: negative traffic entry");
+      }
+    }
+  }
+  if (options.traffic_threshold_megabits <= 0.0) {
+    throw InvalidInputError("grouping: threshold must be positive");
+  }
+
+  DisjointSets sets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // Treat the matrix as symmetric: either direction counts.
+      const double exchanged = traffic[i][j] + traffic[j][i];
+      if (exchanged >= options.traffic_threshold_megabits) {
+        sets.unite(i, j);
+      }
+    }
+  }
+
+  GroupingResult result;
+  result.membership.assign(n, -1);
+  std::vector<int> group_of_root(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = sets.find(i);
+    if (group_of_root[root] < 0) {
+      group_of_root[root] = static_cast<int>(result.groups.size());
+      ApplicationGroup group;
+      group.users_per_location.assign(locations, 0.0);
+      result.groups.push_back(std::move(group));
+    }
+    const int g = group_of_root[root];
+    result.membership[i] = g;
+    auto& group = result.groups[static_cast<std::size_t>(g)];
+    const auto& app = applications[i];
+    if (group.name.empty()) {
+      group.name = app.name;
+    } else {
+      group.name += "+" + app.name;
+    }
+    group.servers += app.servers;
+    group.monthly_data_megabits += app.monthly_data_megabits;
+    for (std::size_t r = 0; r < locations; ++r) {
+      group.users_per_location[r] += app.users_per_location[r];
+    }
+    group.latency_penalty =
+        merge_latency_penalties(group.latency_penalty, app.latency_penalty);
+  }
+
+  // Intra-group traffic: what the associativity constraint keeps local.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (result.membership[i] == result.membership[j]) {
+        result.intra_group_traffic_megabits += traffic[i][j] + traffic[j][i];
+      }
+    }
+  }
+
+  if (options.max_group_servers > 0) {
+    for (const auto& group : result.groups) {
+      if (group.servers > options.max_group_servers) {
+        throw InfeasibleError(
+            "grouping: group '" + group.name + "' needs " +
+            std::to_string(group.servers) +
+            " servers, above the configured maximum of " +
+            std::to_string(options.max_group_servers) +
+            " (split oversized groups first, cf. Hajjat et al.)");
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace etransform

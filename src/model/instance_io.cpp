@@ -1,0 +1,478 @@
+#include "model/instance_io.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace etransform {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string format_number(double value) {
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  // Shortest representation that round-trips the double exactly.
+  char raw[64];
+  std::snprintf(raw, sizeof(raw), "%.12g", value);
+  double reparsed = 0.0;
+  std::sscanf(raw, "%lf", &reparsed);
+  if (reparsed == value) return raw;
+  std::snprintf(raw, sizeof(raw), "%.17g", value);
+  return raw;
+}
+
+/// Names may not contain whitespace or '#'; escape with '_' on write.
+std::string sanitize_name(const std::string& raw) {
+  std::string name;
+  name.reserve(raw.size());
+  for (const char c : raw) {
+    name.push_back(
+        (std::isspace(static_cast<unsigned char>(c)) != 0 || c == '#') ? '_'
+                                                                       : c);
+  }
+  return name.empty() ? std::string("_") : name;
+}
+
+void write_schedule(std::ostream& out, const char* key,
+                    const std::string& site, const StepSchedule& schedule) {
+  out << key << ' ' << site;
+  for (const auto& tier : schedule.tiers()) {
+    out << ' ' << format_number(tier.upto) << ' '
+        << format_number(tier.unit_price);
+  }
+  out << '\n';
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : input_(text) {}
+
+  ConsolidationInstance run() {
+    std::string line;
+    bool saw_header = false;
+    bool saw_end = false;
+    while (std::getline(input_, line)) {
+      ++line_number_;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      const auto fields = split_whitespace(line);
+      if (fields.empty()) continue;
+      if (!saw_header) {
+        if (fields.size() < 2 || fields[0] != "etransform-instance" ||
+            fields[1] != "v1") {
+          fail("file must start with 'etransform-instance v1'");
+        }
+        saw_header = true;
+        continue;
+      }
+      if (saw_end) fail("content after 'end'");
+      if (fields[0] == "end") {
+        saw_end = true;
+        continue;
+      }
+      dispatch(fields);
+    }
+    if (!saw_header) fail("empty file");
+    if (!saw_end) fail("missing 'end'");
+    finalize();
+    validate_instance(instance_);
+    return std::move(instance_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("instance line " + std::to_string(line_number_) + ": " +
+                     what);
+  }
+
+  double number(const std::string& field) const {
+    if (field == "inf") return kInf;
+    if (field == "-inf") return -kInf;
+    try {
+      std::size_t used = 0;
+      const double value = std::stod(field, &used);
+      if (used != field.size()) fail("bad number '" + field + "'");
+      return value;
+    } catch (const ParseError&) {
+      throw;
+    } catch (const std::exception&) {
+      fail("bad number '" + field + "'");
+    }
+  }
+
+  int integer(const std::string& field) const {
+    const double value = number(field);
+    if (value != std::floor(value) || std::abs(value) > 1e18) {
+      fail("expected integer, got '" + field + "'");
+    }
+    return static_cast<int>(value);
+  }
+
+  void expect_arity(const std::vector<std::string>& fields, std::size_t n,
+                    const char* what) const {
+    if (fields.size() != n) {
+      fail(std::string("'") + what + "' expects " + std::to_string(n - 1) +
+           " fields");
+    }
+  }
+
+  int lookup(const std::unordered_map<std::string, int>& index,
+             const std::string& name, const char* kind) const {
+    const auto it = index.find(name);
+    if (it == index.end()) {
+      fail(std::string("unknown ") + kind + " '" + name + "'");
+    }
+    return it->second;
+  }
+
+  StepSchedule schedule_from(const std::vector<std::string>& fields,
+                             std::size_t first) const {
+    if (fields.size() <= first || (fields.size() - first) % 2 != 0) {
+      fail("schedule needs (upto, price) pairs");
+    }
+    std::vector<PriceTier> tiers;
+    for (std::size_t k = first; k + 1 < fields.size(); k += 2) {
+      tiers.push_back(PriceTier{number(fields[k]), number(fields[k + 1])});
+    }
+    try {
+      return StepSchedule(std::move(tiers));
+    } catch (const InvalidInputError& e) {
+      fail(e.what());
+    }
+  }
+
+  std::vector<double> per_location(const std::vector<std::string>& fields,
+                                   std::size_t first) const {
+    if (fields.size() - first !=
+        static_cast<std::size_t>(instance_.num_locations())) {
+      fail("expected one value per location (" +
+           std::to_string(instance_.num_locations()) + ")");
+    }
+    std::vector<double> values;
+    for (std::size_t k = first; k < fields.size(); ++k) {
+      values.push_back(number(fields[k]));
+    }
+    return values;
+  }
+
+  void dispatch(const std::vector<std::string>& fields) {
+    const std::string& key = fields[0];
+    if (key == "name") {
+      expect_arity(fields, 2, "name");
+      instance_.name = fields[1];
+    } else if (key == "params") {
+      expect_arity(fields, 6, "params");
+      instance_.params.server_power_kw = number(fields[1]);
+      instance_.params.servers_per_admin = number(fields[2]);
+      instance_.params.vpn_link_capacity_megabits = number(fields[3]);
+      instance_.params.dr_server_cost = number(fields[4]);
+      instance_.params.hours_per_month = number(fields[5]);
+    } else if (key == "location") {
+      expect_arity(fields, 4, "location");
+      location_index_[fields[1]] =
+          static_cast<int>(instance_.locations.size());
+      instance_.locations.push_back(
+          UserLocation{fields[1], {number(fields[2]), number(fields[3])}});
+    } else if (key == "site") {
+      expect_arity(fields, 5, "site");
+      DataCenterSite site;
+      site.name = fields[1];
+      site.position = {number(fields[2]), number(fields[3])};
+      site.capacity_servers = integer(fields[4]);
+      site_index_[fields[1]] = static_cast<int>(instance_.sites.size());
+      instance_.sites.push_back(std::move(site));
+      instance_.latency_ms.emplace_back();
+      vpn_rows_.emplace_back();
+    } else if (key == "site.space" || key == "site.power" ||
+               key == "site.labor" || key == "site.wan") {
+      if (fields.size() < 4) fail("schedule line too short");
+      const int site = lookup(site_index_, fields[1], "site");
+      auto& s = instance_.sites[static_cast<std::size_t>(site)];
+      const StepSchedule schedule = schedule_from(fields, 2);
+      if (key == "site.space") s.space_cost_per_server = schedule;
+      else if (key == "site.power") s.power_cost_per_kwh = schedule;
+      else if (key == "site.labor") s.labor_cost_per_admin = schedule;
+      else s.wan_cost_per_megabit = schedule;
+    } else if (key == "site.latency") {
+      const int site = lookup(site_index_, fields[1], "site");
+      instance_.latency_ms[static_cast<std::size_t>(site)] =
+          per_location(fields, 2);
+    } else if (key == "site.vpn") {
+      const int site = lookup(site_index_, fields[1], "site");
+      vpn_rows_[static_cast<std::size_t>(site)] = per_location(fields, 2);
+      any_vpn_ = true;
+    } else if (key == "group") {
+      if (fields.size() < 4) fail("'group' line too short");
+      ApplicationGroup group;
+      group.name = fields[1];
+      group.servers = integer(fields[2]);
+      group.monthly_data_megabits = number(fields[3]);
+      group.users_per_location = per_location(fields, 4);
+      group_index_[fields[1]] = static_cast<int>(instance_.groups.size());
+      instance_.groups.push_back(std::move(group));
+    } else if (key == "group.penalty") {
+      if (fields.size() < 4 || fields.size() % 2 != 0) {
+        fail("'group.penalty' expects (threshold, per_user) pairs");
+      }
+      const int group = lookup(group_index_, fields[1], "group");
+      std::vector<LatencyPenaltyStep> steps;
+      for (std::size_t k = 2; k + 1 < fields.size(); k += 2) {
+        steps.push_back(
+            LatencyPenaltyStep{number(fields[k]), number(fields[k + 1])});
+      }
+      try {
+        instance_.groups[static_cast<std::size_t>(group)].latency_penalty =
+            LatencyPenaltyFunction(std::move(steps));
+      } catch (const InvalidInputError& e) {
+        fail(e.what());
+      }
+    } else if (key == "group.allow") {
+      if (fields.size() < 3) fail("'group.allow' expects sites");
+      const int group = lookup(group_index_, fields[1], "group");
+      auto& allowed =
+          instance_.groups[static_cast<std::size_t>(group)].allowed_sites;
+      for (std::size_t k = 2; k < fields.size(); ++k) {
+        allowed.push_back(lookup(site_index_, fields[k], "site"));
+      }
+    } else if (key == "group.pin") {
+      expect_arity(fields, 3, "group.pin");
+      const int group = lookup(group_index_, fields[1], "group");
+      instance_.groups[static_cast<std::size_t>(group)].pinned_site =
+          lookup(site_index_, fields[2], "site");
+    } else if (key == "separate") {
+      expect_arity(fields, 3, "separate");
+      instance_.separations.push_back(
+          SeparationConstraint{lookup(group_index_, fields[1], "group"),
+                               lookup(group_index_, fields[2], "group")});
+    } else if (key == "asis") {
+      expect_arity(fields, 8, "asis");
+      AsIsDataCenter center;
+      center.name = fields[1];
+      center.position = {number(fields[2]), number(fields[3])};
+      center.space_cost_per_server = number(fields[4]);
+      center.wan_cost_per_megabit = number(fields[5]);
+      center.power_cost_per_kwh = number(fields[6]);
+      center.labor_cost_per_admin = number(fields[7]);
+      asis_index_[fields[1]] =
+          static_cast<int>(instance_.as_is_centers.size());
+      instance_.as_is_centers.push_back(std::move(center));
+      instance_.as_is_latency_ms.emplace_back();
+    } else if (key == "asis.latency") {
+      const int center = lookup(asis_index_, fields[1], "as-is center");
+      instance_.as_is_latency_ms[static_cast<std::size_t>(center)] =
+          per_location(fields, 2);
+    } else if (key == "place") {
+      expect_arity(fields, 3, "place");
+      placements_.emplace_back(lookup(group_index_, fields[1], "group"),
+                               lookup(asis_index_, fields[2], "as-is center"));
+    } else {
+      fail("unknown directive '" + key + "'");
+    }
+  }
+
+  void finalize() {
+    // Latency rows default to zero when omitted only if locations exist and
+    // the row was never set; enforce explicit rows instead.
+    for (std::size_t j = 0; j < instance_.latency_ms.size(); ++j) {
+      if (instance_.latency_ms[j].empty() && instance_.num_locations() > 0) {
+        throw ParseError("site '" + instance_.sites[j].name +
+                         "' is missing its site.latency line");
+      }
+    }
+    if (any_vpn_) {
+      instance_.use_vpn_links = true;
+      for (std::size_t j = 0; j < vpn_rows_.size(); ++j) {
+        if (vpn_rows_[j].empty()) {
+          throw ParseError("site '" + instance_.sites[j].name +
+                           "' is missing its site.vpn line (VPN mode)");
+        }
+      }
+      instance_.vpn_link_monthly_cost = vpn_rows_;
+    }
+    if (!placements_.empty()) {
+      instance_.as_is_placement.assign(
+          static_cast<std::size_t>(instance_.num_groups()), -1);
+      for (const auto& [group, center] : placements_) {
+        instance_.as_is_placement[static_cast<std::size_t>(group)] = center;
+        instance_.as_is_centers[static_cast<std::size_t>(center)].servers +=
+            instance_.groups[static_cast<std::size_t>(group)].servers;
+      }
+      for (int i = 0; i < instance_.num_groups(); ++i) {
+        if (instance_.as_is_placement[static_cast<std::size_t>(i)] < 0) {
+          throw ParseError(
+              "group '" + instance_.groups[static_cast<std::size_t>(i)].name +
+              "' has no 'place' line (all groups need one when any has)");
+        }
+      }
+    }
+    // As-is latency rows are optional as a block: all empty -> drop.
+    bool any_asis_latency = false;
+    for (const auto& row : instance_.as_is_latency_ms) {
+      any_asis_latency |= !row.empty();
+    }
+    if (!any_asis_latency) {
+      instance_.as_is_latency_ms.clear();
+    } else {
+      for (std::size_t d = 0; d < instance_.as_is_latency_ms.size(); ++d) {
+        if (instance_.as_is_latency_ms[d].empty()) {
+          throw ParseError("as-is center '" +
+                           instance_.as_is_centers[d].name +
+                           "' is missing its asis.latency line");
+        }
+      }
+    }
+  }
+
+  std::istringstream input_;
+  int line_number_ = 0;
+  ConsolidationInstance instance_;
+  std::unordered_map<std::string, int> location_index_;
+  std::unordered_map<std::string, int> site_index_;
+  std::unordered_map<std::string, int> group_index_;
+  std::unordered_map<std::string, int> asis_index_;
+  std::vector<std::vector<Money>> vpn_rows_;
+  std::vector<std::pair<int, int>> placements_;
+  bool any_vpn_ = false;
+};
+
+}  // namespace
+
+void write_instance(const ConsolidationInstance& instance,
+                    std::ostream& out) {
+  validate_instance(instance);
+  out << "etransform-instance v1\n";
+  out << "name " << sanitize_name(instance.name) << '\n';
+  const auto& p = instance.params;
+  out << "params " << format_number(p.server_power_kw) << ' '
+      << format_number(p.servers_per_admin) << ' '
+      << format_number(p.vpn_link_capacity_megabits) << ' '
+      << format_number(p.dr_server_cost) << ' '
+      << format_number(p.hours_per_month) << '\n';
+  for (const auto& location : instance.locations) {
+    out << "location " << sanitize_name(location.name) << ' '
+        << format_number(location.position.x) << ' '
+        << format_number(location.position.y) << '\n';
+  }
+  for (int j = 0; j < instance.num_sites(); ++j) {
+    const auto& site = instance.sites[static_cast<std::size_t>(j)];
+    const std::string name = sanitize_name(site.name);
+    out << "site " << name << ' ' << format_number(site.position.x) << ' '
+        << format_number(site.position.y) << ' ' << site.capacity_servers
+        << '\n';
+    write_schedule(out, "site.space", name, site.space_cost_per_server);
+    write_schedule(out, "site.power", name, site.power_cost_per_kwh);
+    write_schedule(out, "site.labor", name, site.labor_cost_per_admin);
+    write_schedule(out, "site.wan", name, site.wan_cost_per_megabit);
+    out << "site.latency " << name;
+    for (const double ms : instance.latency_ms[static_cast<std::size_t>(j)]) {
+      out << ' ' << format_number(ms);
+    }
+    out << '\n';
+    if (instance.use_vpn_links) {
+      out << "site.vpn " << name;
+      for (const double cost :
+           instance.vpn_link_monthly_cost[static_cast<std::size_t>(j)]) {
+        out << ' ' << format_number(cost);
+      }
+      out << '\n';
+    }
+  }
+  for (int i = 0; i < instance.num_groups(); ++i) {
+    const auto& group = instance.groups[static_cast<std::size_t>(i)];
+    const std::string name = sanitize_name(group.name);
+    out << "group " << name << ' ' << group.servers << ' '
+        << format_number(group.monthly_data_megabits);
+    for (const double users : group.users_per_location) {
+      out << ' ' << format_number(users);
+    }
+    out << '\n';
+    if (!group.latency_penalty.is_insensitive()) {
+      out << "group.penalty " << name;
+      for (const auto& step : group.latency_penalty.steps()) {
+        out << ' ' << format_number(step.threshold_ms) << ' '
+            << format_number(step.penalty_per_user);
+      }
+      out << '\n';
+    }
+    if (!group.allowed_sites.empty()) {
+      out << "group.allow " << name;
+      for (const int site : group.allowed_sites) {
+        out << ' '
+            << sanitize_name(
+                   instance.sites[static_cast<std::size_t>(site)].name);
+      }
+      out << '\n';
+    }
+    if (group.pinned_site >= 0) {
+      out << "group.pin " << name << ' '
+          << sanitize_name(instance.sites[static_cast<std::size_t>(
+                                              group.pinned_site)]
+                               .name)
+          << '\n';
+    }
+  }
+  for (const auto& sep : instance.separations) {
+    out << "separate "
+        << sanitize_name(
+               instance.groups[static_cast<std::size_t>(sep.group_a)].name)
+        << ' '
+        << sanitize_name(
+               instance.groups[static_cast<std::size_t>(sep.group_b)].name)
+        << '\n';
+  }
+  for (std::size_t d = 0; d < instance.as_is_centers.size(); ++d) {
+    const auto& center = instance.as_is_centers[d];
+    const std::string name = sanitize_name(center.name);
+    out << "asis " << name << ' ' << format_number(center.position.x) << ' '
+        << format_number(center.position.y) << ' '
+        << format_number(center.space_cost_per_server) << ' '
+        << format_number(center.wan_cost_per_megabit) << ' '
+        << format_number(center.power_cost_per_kwh) << ' '
+        << format_number(center.labor_cost_per_admin) << '\n';
+    if (!instance.as_is_latency_ms.empty()) {
+      out << "asis.latency " << name;
+      for (const double ms : instance.as_is_latency_ms[d]) {
+        out << ' ' << format_number(ms);
+      }
+      out << '\n';
+    }
+  }
+  for (std::size_t i = 0; i < instance.as_is_placement.size(); ++i) {
+    out << "place " << sanitize_name(instance.groups[i].name) << ' '
+        << sanitize_name(
+               instance
+                   .as_is_centers[static_cast<std::size_t>(
+                       instance.as_is_placement[i])]
+                   .name)
+        << '\n';
+  }
+  out << "end\n";
+}
+
+std::string write_instance(const ConsolidationInstance& instance) {
+  std::ostringstream out;
+  write_instance(instance, out);
+  return out.str();
+}
+
+ConsolidationInstance parse_instance(const std::string& text) {
+  Parser parser(text);
+  return parser.run();
+}
+
+ConsolidationInstance parse_instance(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_instance(buffer.str());
+}
+
+}  // namespace etransform

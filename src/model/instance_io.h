@@ -1,0 +1,48 @@
+// Text serialization of ConsolidationInstance.
+//
+// A line-oriented format (the ".etf" file) so estates can be authored in a
+// spreadsheet-adjacent workflow, versioned, and fed to the CLI planner —
+// the "USER INPUT" box of the paper's Fig. 5. Sections:
+//
+//   etransform-instance v1
+//   name <string>
+//   params <power_kw> <servers_per_admin> <vpn_capacity_mb> <dr_cost> <hours>
+//   location <name> <x> <y>
+//   site <name> <x> <y> <capacity>
+//   site.space <site> <upto|inf> <price> [<upto|inf> <price> ...]
+//   site.power <site> ...        site.labor <site> ...   site.wan <site> ...
+//   site.latency <site> <ms per location...>
+//   site.vpn <site> <monthly link cost per location...>
+//   group <name> <servers> <data_mb> <users per location...>
+//   group.penalty <group> <threshold_ms> <per_user> [...more steps]
+//   group.allow <group> <site> [<site> ...]
+//   group.pin <group> <site>
+//   separate <groupA> <groupB>
+//   asis <name> <x> <y> <space> <wan> <power> <labor>
+//   asis.latency <asis> <ms per location...>
+//   place <group> <asis>
+//   end
+//
+// '#' starts a comment. Entities are referenced by name; definitions must
+// precede references. write_instance -> parse_instance is a fixed point
+// (tested), and parse always returns a validated instance.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/entities.h"
+
+namespace etransform {
+
+/// Serializes `instance` (validated first; throws on malformed input).
+[[nodiscard]] std::string write_instance(const ConsolidationInstance& instance);
+void write_instance(const ConsolidationInstance& instance, std::ostream& out);
+
+/// Parses the .etf format. Throws ParseError with a line number on
+/// malformed text, and InvalidInputError/InfeasibleError when the parsed
+/// instance fails validation.
+[[nodiscard]] ConsolidationInstance parse_instance(const std::string& text);
+[[nodiscard]] ConsolidationInstance parse_instance(std::istream& in);
+
+}  // namespace etransform

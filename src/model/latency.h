@@ -1,0 +1,65 @@
+// Latency penalty functions (paper §III-B).
+//
+// Each application group carries a step function mapping the user-perceived
+// average latency to a dollar penalty per user per month; the planner folds
+// the penalty into the placement coefficient L_ij. The paper's running
+// example — "$100 per user if the average latency exceeds 10 ms" — is the
+// single-step special case.
+#pragma once
+
+#include <vector>
+
+#include "common/money.h"
+
+namespace etransform {
+
+/// One step of a latency penalty function: the per-user penalty charged when
+/// the average latency strictly exceeds `threshold_ms`.
+struct LatencyPenaltyStep {
+  double threshold_ms = 0.0;
+  Money penalty_per_user = 0.0;
+};
+
+/// Piecewise-constant per-user penalty as a function of average latency.
+/// Steps must have strictly increasing thresholds and non-decreasing
+/// penalties; with no steps the group is latency-insensitive.
+class LatencyPenaltyFunction {
+ public:
+  /// No penalty at any latency.
+  LatencyPenaltyFunction() = default;
+
+  /// Single step: `penalty_per_user` beyond `threshold_ms`.
+  static LatencyPenaltyFunction single_step(double threshold_ms,
+                                            Money penalty_per_user);
+
+  /// Multi-step function. Throws InvalidInputError if thresholds are not
+  /// strictly increasing or penalties are negative/decreasing.
+  explicit LatencyPenaltyFunction(std::vector<LatencyPenaltyStep> steps);
+
+  /// Per-user penalty at the given average latency: the penalty of the
+  /// highest step whose threshold is strictly below `avg_latency_ms`.
+  [[nodiscard]] Money penalty_per_user(double avg_latency_ms) const;
+
+  /// True if the given latency incurs a nonzero penalty (a "latency
+  /// violation" in the paper's Fig. 4(e)/6(e) accounting).
+  [[nodiscard]] bool violated_at(double avg_latency_ms) const;
+
+  /// True if this group never pays a latency penalty.
+  [[nodiscard]] bool is_insensitive() const { return steps_.empty(); }
+
+  [[nodiscard]] const std::vector<LatencyPenaltyStep>& steps() const {
+    return steps_;
+  }
+
+ private:
+  std::vector<LatencyPenaltyStep> steps_;
+};
+
+/// User-count-weighted average latency of placing a group at a site.
+/// `latency_to_location[r]` is the site->location latency; `users[r]` the
+/// group's users at location r. Returns 0 for a group with no users.
+[[nodiscard]] double weighted_average_latency(
+    const std::vector<double>& latency_to_location,
+    const std::vector<double>& users);
+
+}  // namespace etransform

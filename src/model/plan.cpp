@@ -1,0 +1,187 @@
+#include "model/plan.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace etransform {
+
+int Plan::sites_used() const {
+  std::set<int> used(primary.begin(), primary.end());
+  return static_cast<int>(used.size());
+}
+
+int Plan::total_backup_servers() const {
+  int total = 0;
+  for (const int g : backup_servers) total += g;
+  return total;
+}
+
+std::vector<int> required_backup_servers(const ConsolidationInstance& instance,
+                                         const std::vector<int>& primary,
+                                         const std::vector<int>& secondary) {
+  const int num_sites = instance.num_sites();
+  if (primary.size() != static_cast<std::size_t>(instance.num_groups()) ||
+      secondary.size() != primary.size()) {
+    throw InvalidInputError(
+        "required_backup_servers: assignment size mismatch");
+  }
+  // load[a][b]: servers whose primary is a and secondary is b.
+  std::vector<std::vector<long long>> load(
+      static_cast<std::size_t>(num_sites),
+      std::vector<long long>(static_cast<std::size_t>(num_sites), 0));
+  for (int i = 0; i < instance.num_groups(); ++i) {
+    const int a = primary[static_cast<std::size_t>(i)];
+    const int b = secondary[static_cast<std::size_t>(i)];
+    if (a < 0 || a >= num_sites || b < 0 || b >= num_sites) {
+      throw InvalidInputError(
+          "required_backup_servers: assignment out of range");
+    }
+    load[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] +=
+        instance.groups[static_cast<std::size_t>(i)].servers;
+  }
+  std::vector<int> backups(static_cast<std::size_t>(num_sites), 0);
+  for (int b = 0; b < num_sites; ++b) {
+    long long worst = 0;
+    for (int a = 0; a < num_sites; ++a) {
+      worst = std::max(worst,
+                       load[static_cast<std::size_t>(a)][
+                           static_cast<std::size_t>(b)]);
+    }
+    backups[static_cast<std::size_t>(b)] = static_cast<int>(worst);
+  }
+  return backups;
+}
+
+std::vector<int> dedicated_backup_servers(
+    const ConsolidationInstance& instance, const std::vector<int>& primary,
+    const std::vector<int>& secondary) {
+  const int num_sites = instance.num_sites();
+  if (primary.size() != static_cast<std::size_t>(instance.num_groups()) ||
+      secondary.size() != primary.size()) {
+    throw InvalidInputError(
+        "dedicated_backup_servers: assignment size mismatch");
+  }
+  std::vector<int> backups(static_cast<std::size_t>(num_sites), 0);
+  for (int i = 0; i < instance.num_groups(); ++i) {
+    const int b = secondary[static_cast<std::size_t>(i)];
+    if (b < 0 || b >= num_sites ||
+        primary[static_cast<std::size_t>(i)] == b) {
+      throw InvalidInputError(
+          "dedicated_backup_servers: assignment out of range");
+    }
+    backups[static_cast<std::size_t>(b)] +=
+        instance.groups[static_cast<std::size_t>(i)].servers;
+  }
+  return backups;
+}
+
+std::vector<std::string> check_plan(const ConsolidationInstance& instance,
+                                    const Plan& plan) {
+  std::vector<std::string> problems;
+  const int num_sites = instance.num_sites();
+  const int num_groups = instance.num_groups();
+  if (static_cast<int>(plan.primary.size()) != num_groups) {
+    problems.push_back("primary assignment does not cover every group");
+    return problems;
+  }
+  const bool dr = plan.has_dr();
+  if (dr && static_cast<int>(plan.secondary.size()) != num_groups) {
+    problems.push_back("secondary assignment does not cover every group");
+    return problems;
+  }
+
+  std::vector<long long> primary_servers(static_cast<std::size_t>(num_sites),
+                                         0);
+  for (int i = 0; i < num_groups; ++i) {
+    const auto& group = instance.groups[static_cast<std::size_t>(i)];
+    const int j = plan.primary[static_cast<std::size_t>(i)];
+    if (j < 0 || j >= num_sites) {
+      problems.push_back("group '" + group.name + "' placed at invalid site");
+      continue;
+    }
+    primary_servers[static_cast<std::size_t>(j)] += group.servers;
+    if (group.pinned_site >= 0 && j != group.pinned_site) {
+      problems.push_back("group '" + group.name + "' violates its pin");
+    }
+    if (!group.allowed_sites.empty() && group.pinned_site < 0) {
+      if (std::find(group.allowed_sites.begin(), group.allowed_sites.end(),
+                    j) == group.allowed_sites.end()) {
+        problems.push_back("group '" + group.name +
+                           "' placed outside its allowed sites");
+      }
+    }
+    if (dr) {
+      const int b = plan.secondary[static_cast<std::size_t>(i)];
+      if (b < 0 || b >= num_sites) {
+        problems.push_back("group '" + group.name +
+                           "' has invalid secondary site");
+      } else if (b == j) {
+        problems.push_back("group '" + group.name +
+                           "' has identical primary and secondary");
+      }
+    }
+  }
+
+  std::vector<int> backups(static_cast<std::size_t>(num_sites), 0);
+  if (dr) {
+    if (static_cast<int>(plan.backup_servers.size()) != num_sites) {
+      problems.push_back("backup server vector does not cover every site");
+    } else {
+      backups = plan.backup_servers;
+      bool assignments_ok = true;
+      for (int i = 0; i < num_groups; ++i) {
+        const int a = plan.primary[static_cast<std::size_t>(i)];
+        const int b = plan.secondary[static_cast<std::size_t>(i)];
+        if (a < 0 || a >= num_sites || b < 0 || b >= num_sites || a == b) {
+          assignments_ok = false;
+        }
+      }
+      if (assignments_ok) {
+        const auto required = required_backup_servers(instance, plan.primary,
+                                                      plan.secondary);
+        for (int j = 0; j < num_sites; ++j) {
+          if (backups[static_cast<std::size_t>(j)] <
+              required[static_cast<std::size_t>(j)]) {
+            problems.push_back(
+                "site '" + instance.sites[static_cast<std::size_t>(j)].name +
+                "' under-provisions backup servers (" +
+                std::to_string(backups[static_cast<std::size_t>(j)]) + " < " +
+                std::to_string(required[static_cast<std::size_t>(j)]) + ")");
+          }
+        }
+      }
+    }
+  }
+
+  for (int j = 0; j < num_sites; ++j) {
+    const auto& site = instance.sites[static_cast<std::size_t>(j)];
+    const long long occupied =
+        primary_servers[static_cast<std::size_t>(j)] +
+        (dr && static_cast<int>(backups.size()) == num_sites
+             ? backups[static_cast<std::size_t>(j)]
+             : 0);
+    if (occupied > site.capacity_servers) {
+      problems.push_back("site '" + site.name + "' over capacity (" +
+                         std::to_string(occupied) + " > " +
+                         std::to_string(site.capacity_servers) + ")");
+    }
+  }
+
+  for (const auto& sep : instance.separations) {
+    if (sep.group_a < num_groups && sep.group_b < num_groups &&
+        plan.primary[static_cast<std::size_t>(sep.group_a)] ==
+            plan.primary[static_cast<std::size_t>(sep.group_b)]) {
+      problems.push_back(
+          "groups '" +
+          instance.groups[static_cast<std::size_t>(sep.group_a)].name +
+          "' and '" +
+          instance.groups[static_cast<std::size_t>(sep.group_b)].name +
+          "' share a primary site despite a separation constraint");
+    }
+  }
+  return problems;
+}
+
+}  // namespace etransform

@@ -1,0 +1,85 @@
+// The "to-be" state: a consolidation (and optionally DR) plan plus its cost
+// breakdown, and plan-level feasibility checking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/money.h"
+#include "model/entities.h"
+
+namespace etransform {
+
+/// Monthly cost decomposition of a plan (or of the as-is state).
+struct CostBreakdown {
+  Money space = 0.0;
+  Money power = 0.0;
+  Money labor = 0.0;
+  Money wan = 0.0;
+  Money latency_penalty = 0.0;
+  /// One-time purchase cost of DR backup servers (zeta * sum G_j).
+  Money backup_capex = 0.0;
+
+  /// Everything except the latency penalty (the paper's bar charts show
+  /// "Cost" and "Latency Penalty" stacked separately).
+  [[nodiscard]] Money operational() const {
+    return space + power + labor + wan + backup_capex;
+  }
+  /// Grand total including penalties.
+  [[nodiscard]] Money total() const {
+    return operational() + latency_penalty;
+  }
+};
+
+/// A consolidation plan: primary site per group, optional DR secondary site
+/// per group, and backup server counts per site.
+struct Plan {
+  /// primary[i] = target site index of group i.
+  std::vector<int> primary;
+  /// secondary[i] = DR site of group i, or -1. Empty when DR is off.
+  std::vector<int> secondary;
+  /// backup_servers[j] = G_j, DR servers provisioned at site j. Empty when
+  /// DR is off.
+  std::vector<int> backup_servers;
+  /// Exact cost under the instance's schedules (filled by CostModel).
+  CostBreakdown cost;
+  /// Number of (group, placement) pairs whose average latency incurs a
+  /// nonzero penalty; DR plans count primary and secondary separately
+  /// (matches Fig. 4(e)/6(e) accounting).
+  int latency_violations = 0;
+  /// Which algorithm produced the plan (for reports).
+  std::string algorithm;
+
+  [[nodiscard]] bool has_dr() const { return !secondary.empty(); }
+
+  /// Distinct sites hosting at least one primary.
+  [[nodiscard]] int sites_used() const;
+
+  /// Total DR servers provisioned.
+  [[nodiscard]] int total_backup_servers() const;
+};
+
+/// Checks structural feasibility of `plan` against `instance`: every group
+/// placed at a valid, allowed site; primary != secondary; site capacity
+/// covers primary servers plus provisioned backups; backup counts satisfy the
+/// single-failure sharing law G_b >= max_a (servers with primary a and
+/// secondary b); separation constraints hold. Returns a human-readable list
+/// of violations (empty when feasible).
+[[nodiscard]] std::vector<std::string> check_plan(
+    const ConsolidationInstance& instance, const Plan& plan);
+
+/// Computes the minimal per-site backup counts for the given primary /
+/// secondary assignment under the paper's single-failure sharing law:
+/// G_b = max_a sum_{i: primary=a, secondary=b} S_i.
+[[nodiscard]] std::vector<int> required_backup_servers(
+    const ConsolidationInstance& instance, const std::vector<int>& primary,
+    const std::vector<int>& secondary);
+
+/// Per-site backup counts under *dedicated* sizing (paper §IV-A: plans that
+/// must survive multiple concurrent failures cannot share backups):
+/// G_b = sum_{i: secondary=b} S_i.
+[[nodiscard]] std::vector<int> dedicated_backup_servers(
+    const ConsolidationInstance& instance, const std::vector<int>& primary,
+    const std::vector<int>& secondary);
+
+}  // namespace etransform

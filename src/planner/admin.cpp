@@ -1,0 +1,110 @@
+#include "planner/admin.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "cost/cost_model.h"
+
+namespace etransform {
+
+ScenarioSession::ScenarioSession(ConsolidationInstance instance,
+                                 PlannerOptions options)
+    : instance_(std::move(instance)), options_(options) {
+  validate_instance(instance_);
+}
+
+void ScenarioSession::check_group(int group) const {
+  if (group < 0 || group >= instance_.num_groups()) {
+    throw InvalidInputError("scenario: unknown group index " +
+                            std::to_string(group));
+  }
+}
+
+void ScenarioSession::check_site(int site) const {
+  if (site < 0 || site >= instance_.num_sites()) {
+    throw InvalidInputError("scenario: unknown site index " +
+                            std::to_string(site));
+  }
+}
+
+void ScenarioSession::pin_group(int group, int site) {
+  check_group(group);
+  check_site(site);
+  auto& g = instance_.groups[static_cast<std::size_t>(group)];
+  if (!g.allowed_sites.empty() &&
+      std::find(g.allowed_sites.begin(), g.allowed_sites.end(), site) ==
+          g.allowed_sites.end()) {
+    throw InvalidInputError("scenario: pin target is a forbidden site for '" +
+                            g.name + "'");
+  }
+  g.pinned_site = site;
+  log_.push_back("pin " + g.name + " -> " +
+                 instance_.sites[static_cast<std::size_t>(site)].name);
+  report_.reset();
+}
+
+void ScenarioSession::unpin_group(int group) {
+  check_group(group);
+  auto& g = instance_.groups[static_cast<std::size_t>(group)];
+  g.pinned_site = -1;
+  log_.push_back("unpin " + g.name);
+  report_.reset();
+}
+
+void ScenarioSession::forbid_site(int group, int site) {
+  check_group(group);
+  check_site(site);
+  auto& g = instance_.groups[static_cast<std::size_t>(group)];
+  if (g.pinned_site == site) {
+    throw InvalidInputError("scenario: cannot forbid the pinned site of '" +
+                            g.name + "'");
+  }
+  if (g.allowed_sites.empty()) {
+    g.allowed_sites.resize(static_cast<std::size_t>(instance_.num_sites()));
+    std::iota(g.allowed_sites.begin(), g.allowed_sites.end(), 0);
+  }
+  std::erase(g.allowed_sites, site);
+  if (g.allowed_sites.empty()) {
+    throw InfeasibleError("scenario: group '" + g.name +
+                          "' would have no allowed site left");
+  }
+  log_.push_back("forbid " + g.name + " at " +
+                 instance_.sites[static_cast<std::size_t>(site)].name);
+  report_.reset();
+}
+
+void ScenarioSession::require_separation(int group_a, int group_b) {
+  check_group(group_a);
+  check_group(group_b);
+  if (group_a == group_b) {
+    throw InvalidInputError("scenario: cannot separate a group from itself");
+  }
+  instance_.separations.push_back(SeparationConstraint{group_a, group_b});
+  log_.push_back(
+      "separate " +
+      instance_.groups[static_cast<std::size_t>(group_a)].name + " | " +
+      instance_.groups[static_cast<std::size_t>(group_b)].name);
+  report_.reset();
+}
+
+void ScenarioSession::set_latency_penalty(int group,
+                                          LatencyPenaltyFunction penalty) {
+  check_group(group);
+  instance_.groups[static_cast<std::size_t>(group)].latency_penalty =
+      std::move(penalty);
+  log_.push_back(
+      "latency-penalty " +
+      instance_.groups[static_cast<std::size_t>(group)].name + " updated");
+  report_.reset();
+}
+
+const PlannerReport& ScenarioSession::replan() {
+  validate_instance(instance_);
+  const CostModel model(instance_);
+  const EtransformPlanner planner(options_);
+  report_ = planner.plan(model);
+  return *report_;
+}
+
+}  // namespace etransform

@@ -1,0 +1,72 @@
+// The admin interface for iterative modification (paper Fig. 5).
+//
+// eTransform "allows the user to iteratively interact and change the initial
+// solution by adding more constraints". A ScenarioSession owns a working
+// copy of the instance; the admin pins groups, forbids sites, or demands
+// shared-risk separation, then calls replan() to get the updated "to-be"
+// state. Every modification is logged for the session report.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/entities.h"
+#include "planner/etransform_planner.h"
+
+namespace etransform {
+
+/// An interactive planning session over a mutable copy of an instance.
+class ScenarioSession {
+ public:
+  /// Takes a working copy of the instance. Throws InvalidInputError if the
+  /// instance fails validation.
+  ScenarioSession(ConsolidationInstance instance, PlannerOptions options = {});
+
+  /// Pins `group` to `site` (clears any previous pin). Throws
+  /// InvalidInputError on bad indices.
+  void pin_group(int group, int site);
+
+  /// Removes a pin.
+  void unpin_group(int group);
+
+  /// Removes `site` from the group's allowed set (initializing the set to
+  /// "all sites" first if it was unconstrained). Throws InvalidInputError on
+  /// bad indices or when this would leave the group with no sites.
+  void forbid_site(int group, int site);
+
+  /// Adds a shared-risk separation constraint between two groups.
+  void require_separation(int group_a, int group_b);
+
+  /// Replaces the group's latency penalty function.
+  void set_latency_penalty(int group, LatencyPenaltyFunction penalty);
+
+  /// Re-plans under the current constraints. Throws InfeasibleError if the
+  /// accumulated constraints are unsatisfiable.
+  const PlannerReport& replan();
+
+  /// The most recent plan, if replan() has been called.
+  [[nodiscard]] const std::optional<PlannerReport>& last_report() const {
+    return report_;
+  }
+
+  /// Human-readable log of every modification made this session.
+  [[nodiscard]] const std::vector<std::string>& modification_log() const {
+    return log_;
+  }
+
+  [[nodiscard]] const ConsolidationInstance& instance() const {
+    return instance_;
+  }
+
+ private:
+  void check_group(int group) const;
+  void check_site(int site) const;
+
+  ConsolidationInstance instance_;
+  PlannerOptions options_;
+  std::optional<PlannerReport> report_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace etransform

@@ -1,0 +1,419 @@
+#include "planner/etransform_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <optional>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "common/logging.h"
+#include "planner/formulation.h"
+#include "planner/lagrangian.h"
+
+namespace etransform {
+
+namespace {
+
+/// Number of feasible (group, site) assignment pairs.
+long long count_assignment_vars(const ConsolidationInstance& instance) {
+  long long count = 0;
+  for (const auto& group : instance.groups) {
+    for (int j = 0; j < instance.num_sites(); ++j) {
+      if (group_allowed_at(group, j) &&
+          instance.sites[static_cast<std::size_t>(j)].capacity_servers >=
+              group.servers) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+EtransformPlanner::EtransformPlanner(PlannerOptions options)
+    : options_(options) {}
+
+PlannerReport EtransformPlanner::plan(const CostModel& model) const {
+  const auto& instance = model.instance();
+  const long long x_vars = count_assignment_vars(instance);
+  const long long joint_j_vars =
+      x_vars * static_cast<long long>(instance.num_sites());
+
+  using Engine = PlannerOptions::Engine;
+  Engine engine = options_.engine;
+  if (engine == Engine::kAuto) {
+    engine = x_vars <= options_.exact_var_limit ? Engine::kExact
+                                                : Engine::kHeuristic;
+  }
+
+  if (engine == Engine::kHeuristic) {
+    return plan_heuristic(model);
+  }
+
+  // Exact path.
+  if (!options_.enable_dr) {
+    return plan_exact(model, /*joint_dr=*/false);
+  }
+  if (options_.dr_sizing == PlannerOptions::DrSizing::kDedicated) {
+    // Dedicated sizing is a plain linear term: the "surrogate" formulation
+    // is exact here, no sharing variables needed.
+    return plan_exact(model, /*joint_dr=*/false);
+  }
+  if (joint_j_vars <= options_.joint_dr_var_limit) {
+    return plan_exact(model, /*joint_dr=*/true);
+  }
+  return plan_two_stage_dr(model, /*exact_stage1=*/true);
+}
+
+PlannerReport EtransformPlanner::plan_exact(const CostModel& model,
+                                            bool joint_dr) const {
+  const bool dedicated =
+      options_.dr_sizing == PlannerOptions::DrSizing::kDedicated;
+  FormulationOptions formulation_options;
+  formulation_options.enable_dr = options_.enable_dr;
+  formulation_options.business_impact_omega = options_.business_impact_omega;
+  formulation_options.economies_of_scale = options_.economies_of_scale;
+  formulation_options.backup_sizing = joint_dr ? BackupSizing::kSharedJoint
+                                               : BackupSizing::kDedicated;
+  formulation_options.decode_dedicated_counts = dedicated;
+  const Formulation formulation = build_formulation(model,
+                                                    formulation_options);
+  ET_LOG(kInfo) << "planner: exact MILP with "
+                << formulation.model.num_variables() << " vars, "
+                << formulation.model.num_constraints() << " rows";
+
+  const milp::BranchAndBoundSolver solver(options_.milp);
+  const milp::MilpSolution solution = solver.solve(formulation.model);
+  switch (solution.status) {
+    case milp::MilpStatus::kInfeasible:
+      throw InfeasibleError("planner: instance admits no feasible plan");
+    case milp::MilpStatus::kUnbounded:
+      throw UnboundedError("planner: formulation unbounded (modelling bug)");
+    case milp::MilpStatus::kNoSolutionFound: {
+      ET_LOG(kWarning) << "planner: exact budget exhausted with no incumbent;"
+                       << " falling back to heuristic";
+      return plan_heuristic(model);
+    }
+    case milp::MilpStatus::kOptimal:
+    case milp::MilpStatus::kFeasible:
+      break;
+  }
+
+  PlannerReport report;
+  report.plan = decode_plan(model, formulation, formulation_options,
+                            solution.values, "etransform");
+  report.used_exact_solver = true;
+  report.proven_optimal = solution.status == milp::MilpStatus::kOptimal;
+  report.lower_bound = solution.best_bound;
+  report.milp_nodes = solution.nodes;
+  // Polish: a proven optimum cannot improve, but budget-limited incumbents
+  // and shared-mode plans decoded from the dedicated surrogate often do.
+  // Budget-limited incumbents also race the heuristic plan (solution-pool
+  // style) so a starved branch-and-bound never returns something greedy
+  // would beat.
+  if (!report.proven_optimal ||
+      (options_.enable_dr && !joint_dr && !dedicated)) {
+    LocalSearchOptions polish = options_.local_search;
+    polish.dedicated_backups = dedicated;
+    if (options_.business_impact_omega < 1.0) {
+      polish.max_groups_per_site = static_cast<int>(
+          options_.business_impact_omega * model.instance().num_groups());
+    }
+    improve_plan(model, report.plan, polish);
+  }
+  if (!report.proven_optimal) {
+    const PlannerReport heuristic = plan_heuristic(model);
+    if (heuristic.plan.cost.total() < report.plan.cost.total()) {
+      report.plan = heuristic.plan;
+      report.used_exact_solver = false;
+    }
+  }
+  return report;
+}
+
+PlannerReport EtransformPlanner::plan_two_stage_dr(const CostModel& model,
+                                                   bool exact_stage1) const {
+  // Stage 1: joint placement with the dedicated-sizing surrogate.
+  PlannerReport stage1;
+  if (exact_stage1) {
+    stage1 = plan_exact(model, /*joint_dr=*/false);
+  } else {
+    stage1 = plan_heuristic(model);
+  }
+
+  // Stage 2: primaries fixed, exact shared sizing of the secondaries.
+  FormulationOptions formulation_options;
+  formulation_options.enable_dr = true;
+  formulation_options.business_impact_omega = options_.business_impact_omega;
+  formulation_options.economies_of_scale = options_.economies_of_scale;
+  formulation_options.backup_sizing = BackupSizing::kSharedFixedPrimary;
+  formulation_options.fixed_primary = &stage1.plan.primary;
+  const Formulation formulation = build_formulation(model,
+                                                    formulation_options);
+  ET_LOG(kInfo) << "planner: stage-2 DR MILP with "
+                << formulation.model.num_variables() << " vars";
+  const milp::BranchAndBoundSolver solver(options_.milp);
+  const milp::MilpSolution solution = solver.solve(formulation.model);
+
+  PlannerReport report;
+  if (solution.status == milp::MilpStatus::kOptimal ||
+      solution.status == milp::MilpStatus::kFeasible) {
+    report.plan = decode_plan(model, formulation, formulation_options,
+                              solution.values, "etransform");
+    report.used_exact_solver = true;
+    report.milp_nodes = solution.nodes;
+  } else {
+    // Keep the stage-1 secondaries.
+    report = stage1;
+  }
+  // Final polish may relocate primaries now that sharing is in effect.
+  improve_plan(model, report.plan, options_.local_search);
+  if (report.plan.cost.total() > stage1.plan.cost.total()) {
+    report.plan = stage1.plan;  // never return worse than stage 1
+  }
+  report.plan.algorithm = "etransform";
+  return report;
+}
+
+namespace {
+
+/// Builds a seed that concentrates primaries on the `piles` cheapest sites
+/// (balanced, largest group first, latency-aware) and — in DR mode — places
+/// secondaries share-aware. Returns std::nullopt when no feasible seed with
+/// that pile count exists.
+std::optional<Plan> spread_seed_plan(const CostModel& model, int piles,
+                                     bool with_dr, bool dedicated,
+                                     int max_groups_per_site) {
+  const auto& instance = model.instance();
+  const int num_sites = instance.num_sites();
+  const int num_groups = instance.num_groups();
+  if (piles < 1 || piles > num_sites) return std::nullopt;
+
+  // Rank sites by base per-server cost.
+  const auto& params = instance.params;
+  std::vector<int> ranked(static_cast<std::size_t>(num_sites));
+  std::iota(ranked.begin(), ranked.end(), 0);
+  std::vector<double> per_server(static_cast<std::size_t>(num_sites));
+  for (int j = 0; j < num_sites; ++j) {
+    const auto& site = instance.sites[static_cast<std::size_t>(j)];
+    per_server[static_cast<std::size_t>(j)] =
+        site.space_cost_per_server.unit_price(0.0) +
+        site.power_cost_per_kwh.unit_price(0.0) * params.server_power_kw *
+            params.hours_per_month +
+        site.labor_cost_per_admin.unit_price(0.0) / params.servers_per_admin;
+  }
+  std::stable_sort(ranked.begin(), ranked.end(), [&](int a, int b) {
+    return per_server[static_cast<std::size_t>(a)] <
+           per_server[static_cast<std::size_t>(b)];
+  });
+  const std::vector<int> pile_sites(ranked.begin(), ranked.begin() + piles);
+
+  // Balanced primary assignment (largest groups first, least-loaded pile).
+  std::vector<int> order(static_cast<std::size_t>(num_groups));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return instance.groups[static_cast<std::size_t>(a)].servers >
+           instance.groups[static_cast<std::size_t>(b)].servers;
+  });
+  std::vector<long long> used(static_cast<std::size_t>(num_sites), 0);
+  std::vector<int> pile_count(static_cast<std::size_t>(num_sites), 0);
+  Plan plan;
+  plan.algorithm = "etransform";
+  plan.primary.assign(static_cast<std::size_t>(num_groups), -1);
+  const auto placement_cost = [&](int i, int j) {
+    Money c = model.latency_penalty(i, j);
+    if (instance.use_vpn_links) c += model.wan_cost(i, j);
+    return c;
+  };
+  for (const int i : order) {
+    const auto& group = instance.groups[static_cast<std::size_t>(i)];
+    int best = -1;
+    Money best_penalty = 0.0;
+    long long best_load = 0;
+    const auto consider = [&](int j) {
+      if (!group_allowed_at(group, j)) return;
+      // In DR mode leave backup headroom: fill to at most ~60% of capacity.
+      const auto cap = static_cast<long long>(
+          instance.sites[static_cast<std::size_t>(j)].capacity_servers);
+      const long long fill_limit =
+          with_dr ? std::max<long long>(group.servers, (cap * 3) / 5) : cap;
+      if (used[static_cast<std::size_t>(j)] + group.servers > fill_limit) {
+        return;
+      }
+      if (max_groups_per_site > 0 &&
+          pile_count[static_cast<std::size_t>(j)] >= max_groups_per_site) {
+        return;
+      }
+      // Latency-sensitive groups pick the pile near their users;
+      // insensitive ones balance the piles.
+      const Money penalty = placement_cost(i, j);
+      const long long load = used[static_cast<std::size_t>(j)];
+      if (best < 0 || penalty < best_penalty - 1e-9 ||
+          (penalty < best_penalty + 1e-9 && load < best_load)) {
+        best = j;
+        best_penalty = penalty;
+        best_load = load;
+      }
+    };
+    for (const int j : pile_sites) consider(j);
+    if (best < 0) {
+      for (int j = 0; j < num_sites; ++j) consider(j);  // spill anywhere
+    }
+    if (best < 0) return std::nullopt;
+    plan.primary[static_cast<std::size_t>(i)] = best;
+    used[static_cast<std::size_t>(best)] += group.servers;
+    pile_count[static_cast<std::size_t>(best)] += 1;
+  }
+
+  if (!with_dr) {
+    if (!check_plan(instance, plan).empty()) return std::nullopt;
+    model.price_plan(plan);
+    return plan;
+  }
+
+  // Share-aware secondary assignment: pick the site whose backup pool grows
+  // the least (weighted by backup capex + base space).
+  std::vector<std::vector<long long>> load(
+      static_cast<std::size_t>(num_sites),
+      std::vector<long long>(static_cast<std::size_t>(num_sites), 0));
+  std::vector<long long> pool(static_cast<std::size_t>(num_sites), 0);
+  plan.secondary.assign(static_cast<std::size_t>(num_groups), -1);
+  for (const int i : order) {
+    const auto& group = instance.groups[static_cast<std::size_t>(i)];
+    const int a = plan.primary[static_cast<std::size_t>(i)];
+    int best = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int b = 0; b < num_sites; ++b) {
+      if (b == a) continue;
+      if (!group.allowed_sites.empty() &&
+          std::find(group.allowed_sites.begin(), group.allowed_sites.end(),
+                    b) == group.allowed_sites.end()) {
+        continue;
+      }
+      const long long grown =
+          dedicated ? pool[static_cast<std::size_t>(b)] + group.servers
+                    : std::max(pool[static_cast<std::size_t>(b)],
+                               load[static_cast<std::size_t>(a)][
+                                   static_cast<std::size_t>(b)] +
+                                   group.servers);
+      const long long increase = grown - pool[static_cast<std::size_t>(b)];
+      const auto cap = static_cast<long long>(
+          instance.sites[static_cast<std::size_t>(b)].capacity_servers);
+      if (used[static_cast<std::size_t>(b)] + grown > cap) continue;
+      const double cost =
+          static_cast<double>(increase) *
+              (params.dr_server_cost +
+               per_server[static_cast<std::size_t>(b)]) +
+          placement_cost(i, b);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = b;
+      }
+    }
+    if (best < 0) return std::nullopt;
+    plan.secondary[static_cast<std::size_t>(i)] = best;
+    load[static_cast<std::size_t>(a)][static_cast<std::size_t>(best)] +=
+        group.servers;
+    pool[static_cast<std::size_t>(best)] =
+        dedicated ? pool[static_cast<std::size_t>(best)] + group.servers
+                  : std::max(pool[static_cast<std::size_t>(best)],
+                             load[static_cast<std::size_t>(a)][
+                                 static_cast<std::size_t>(best)]);
+  }
+  plan.backup_servers =
+      dedicated
+          ? dedicated_backup_servers(instance, plan.primary, plan.secondary)
+          : required_backup_servers(instance, plan.primary, plan.secondary);
+  if (!check_plan(instance, plan).empty()) return std::nullopt;
+  model.price_plan(plan);
+  return plan;
+}
+
+}  // namespace
+
+PlannerReport EtransformPlanner::plan_heuristic(const CostModel& model) const {
+  PlannerReport report;
+  bool have_plan = false;
+  const bool dedicated =
+      options_.dr_sizing == PlannerOptions::DrSizing::kDedicated;
+  // Business-impact cap (omega) carried into every seed and polish.
+  const int num_groups = model.instance().num_groups();
+  const int group_limit =
+      options_.business_impact_omega < 1.0
+          ? static_cast<int>(options_.business_impact_omega * num_groups)
+          : 0;
+  if (group_limit > 0 &&
+      static_cast<long long>(group_limit) * model.instance().num_sites() <
+          num_groups) {
+    throw InfeasibleError(
+        "planner: omega too tight — even spreading over every site exceeds "
+        "the per-site group cap");
+  }
+  // Race several seeds through a light polish (first-improvement search is
+  // basin-sensitive; the winner gets the full polish at the end).
+  LocalSearchOptions light = options_.local_search;
+  light.enable_swaps = false;
+  light.max_passes = std::min(light.max_passes, 8);
+  light.dedicated_backups = dedicated;
+  light.max_groups_per_site = group_limit;
+  const auto race = [&](Plan candidate) {
+    candidate.algorithm = "etransform";
+    improve_plan(model, candidate, light);
+    if (!have_plan || candidate.cost.total() < report.plan.cost.total()) {
+      report.plan = std::move(candidate);
+      have_plan = true;
+    }
+  };
+
+  for (const bool volume_aware : {true, false}) {
+    GreedyOptions seed_options;
+    seed_options.volume_aware = volume_aware;
+    seed_options.max_groups_per_site = group_limit;
+    Plan candidate = plan_greedy(model, options_.enable_dr, seed_options);
+    if (options_.enable_dr && !dedicated) {
+      // Greedy DR over-provisions (dedicated counts); normalize to the
+      // single-failure sharing law before polishing.
+      candidate.backup_servers = required_backup_servers(
+          model.instance(), candidate.primary, candidate.secondary);
+      model.price_plan(candidate);
+    }
+    race(std::move(candidate));
+  }
+  // The manual plan covers the "few big sites" basin local moves cannot
+  // always reach (tier thresholds are lumpy). It ignores omega, so it only
+  // qualifies as a seed when no cap is active.
+  if (!options_.enable_dr && group_limit == 0) {
+    try {
+      race(plan_manual(model, false));
+    } catch (const InfeasibleError&) {
+      // Manual's a-priori site picking can dead-end; other seeds stand.
+    }
+  }
+  // K-pile seeds: consolidation shapes for non-DR (deep volume tiers), and
+  // in DR mode the spread shapes single moves cannot reach (lowering
+  // max_a load(a,b) needs coordinated moves) — what Fig. 8 selects among.
+  {
+    const int num_sites = model.instance().num_sites();
+    for (int piles = 1; piles <= num_sites; piles = piles < 8 ? piles + 1
+                                                              : piles * 2) {
+      auto seed = spread_seed_plan(model, piles, options_.enable_dr,
+                                   dedicated, group_limit);
+      if (!seed.has_value()) continue;
+      race(std::move(*seed));
+    }
+  }
+  // Full polish (swaps included) on the winning basin.
+  LocalSearchOptions full = options_.local_search;
+  full.dedicated_backups = dedicated;
+  full.max_groups_per_site = group_limit;
+  improve_plan(model, report.plan, full);
+  if (options_.compute_lower_bound && !options_.enable_dr) {
+    report.lower_bound = lagrangian_lower_bound(model).lower_bound;
+  }
+  return report;
+}
+
+}  // namespace etransform

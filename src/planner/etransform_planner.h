@@ -1,0 +1,108 @@
+// The eTransform planner: turns an instance into a "to-be" plan.
+//
+// Engine selection mirrors the reproduction strategy documented in
+// DESIGN.md:
+//  * exact     — build the MILP (formulation.h) and solve it with
+//                branch-and-bound. Used whenever the variable counts are
+//                within a from-scratch solver's reach (the enterprise1 /
+//                Florida scale, and all the Fig. 7-10 parameter studies).
+//  * two-stage — DR only: stage 1 solves the joint placement with the
+//                dedicated-sizing surrogate (or heuristically at very large
+//                scale), stage 2 fixes the primaries and re-optimizes the
+//                secondaries with the exact shared-sizing rows; a final
+//                local-search polish may move primaries again.
+//  * heuristic — greedy seed + exact-evaluation local search, with an
+//                optional Lagrangian lower bound to certify the gap. Used at
+//                the Federal scale (190k binaries), where the paper relied
+//                on CPLEX.
+// kAuto picks per instance size.
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "milp/branch_and_bound.h"
+#include "model/plan.h"
+#include "planner/local_search.h"
+
+namespace etransform {
+
+/// Planner configuration.
+struct PlannerOptions {
+  enum class Engine { kAuto, kExact, kHeuristic };
+  Engine engine = Engine::kAuto;
+
+  /// Also produce a disaster-recovery plan (paper §IV).
+  bool enable_dr = false;
+  /// DR backup sizing. kShared (default) plans for a single concurrent
+  /// failure and shares backup pools across primaries (§IV-B). kDedicated
+  /// gives every group its own backups — the paper's prescription for
+  /// surviving multiple concurrent failures (§IV-A).
+  enum class DrSizing { kShared, kDedicated };
+  DrSizing dr_sizing = DrSizing::kShared;
+  /// Business impact parameter omega: max fraction of groups per site.
+  /// Enforced by the MILP engines; the heuristic path ignores it.
+  double business_impact_omega = 1.0;
+  /// Model volume discounts (tier binaries). Off = base-price ablation.
+  bool economies_of_scale = true;
+
+  /// Branch-and-bound budget for exact solves.
+  milp::MilpOptions milp = default_milp_options();
+
+  /// kAuto switches to the heuristic above this many assignment binaries.
+  int exact_var_limit = 8000;
+  /// kAuto uses the joint J_abc DR formulation up to this many J variables,
+  /// then falls back to the two-stage method. (The joint LP has ~M*N^2 rows
+  /// as well as variables, so this gate bounds solver memory and time.)
+  int joint_dr_var_limit = 4096;
+
+  LocalSearchOptions local_search;
+  /// Compute the Lagrangian bound on heuristic solves (non-DR only).
+  bool compute_lower_bound = false;
+
+  static milp::MilpOptions default_milp_options() {
+    milp::MilpOptions options;
+    options.max_nodes = 20000;
+    options.time_limit_ms = 60000;
+    options.relative_gap = 1e-6;
+    return options;
+  }
+};
+
+/// The plan plus solver provenance.
+struct PlannerReport {
+  Plan plan;
+  /// True if the plan came out of the MILP solver (possibly polished).
+  bool used_exact_solver = false;
+  /// True if optimality was proven (exact solve closed the gap).
+  bool proven_optimal = false;
+  /// Lower bound on the optimal total cost (MILP bound or Lagrangian bound);
+  /// NaN when not computed.
+  double lower_bound = std::numeric_limits<double>::quiet_NaN();
+  /// Branch-and-bound nodes expanded (0 on pure-heuristic solves).
+  int milp_nodes = 0;
+};
+
+/// The planner. Stateless between calls; safe to reuse across instances.
+class EtransformPlanner {
+ public:
+  explicit EtransformPlanner(PlannerOptions options = {});
+
+  /// Plans the instance behind `model`. Throws InfeasibleError when no
+  /// feasible plan exists, InvalidInputError on malformed input.
+  [[nodiscard]] PlannerReport plan(const CostModel& model) const;
+
+  [[nodiscard]] const PlannerOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] PlannerReport plan_exact(const CostModel& model,
+                                         bool joint_dr) const;
+  [[nodiscard]] PlannerReport plan_two_stage_dr(const CostModel& model,
+                                                bool exact_stage1) const;
+  [[nodiscard]] PlannerReport plan_heuristic(const CostModel& model) const;
+
+  PlannerOptions options_;
+};
+
+}  // namespace etransform

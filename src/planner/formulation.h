@@ -1,0 +1,96 @@
+// MILP formulation of the transformation & consolidation problem
+// (paper §III-B) and its disaster-recovery extension (§IV).
+//
+// Decision variables:
+//   X_ij in {0,1}   group i's primary site is j      (only allowed pairs)
+//   Y_ij in {0,1}   group i's secondary (DR) site is j
+//   G_j  >= 0       backup servers provisioned at site j
+//   J_abc >= 0      linearization of X_ca AND Y_cb for shared backup sizing
+//                   (continuous suffices: the minimization drives J to
+//                   max(0, X+Y-1), which is all the sizing rows need)
+//   q/z tier vars   Schoomer step-function linearization of every volume-
+//                   discount schedule (z_k picks the tier, q_k carries the
+//                   quantity, q_k in [tier lower edge, tier upper edge])
+//
+// Constraints: one site per group; site capacity over primaries + backups;
+// X_ij + Y_ij <= 1; business impact sum_i X_ij <= omega*M; pairwise
+// separation rows; shared backup sizing G_b >= sum_c J_abc * S_c for all a
+// (or the fixed-primary collapse / dedicated over-sizing variants).
+//
+// The objective carries per-placement latency penalties and VPN WAN costs on
+// X/Y, tier-priced site aggregates (space on servers, power on kWh, labor on
+// admins, flat-mode WAN on megabits), and backup capex zeta * sum G_j.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "lp/model.h"
+#include "model/plan.h"
+
+namespace etransform {
+
+/// Which DR backup-sizing rows to emit.
+enum class BackupSizing {
+  /// Exact shared sizing via J_abc variables (M*N^2 of them): G_b >=
+  /// sum_c J_abc S_c for every potential failing site a. Only viable for
+  /// small/medium instances.
+  kSharedJoint,
+  /// Exact shared sizing with the primary assignment fixed (stage 2 of the
+  /// two-stage method): G_b >= sum_{i: primary_i = a} S_i Y_ib, N^2 rows,
+  /// no J variables.
+  kSharedFixedPrimary,
+  /// Dedicated over-sizing G_b >= sum_i S_i Y_ib (upper bound; used as the
+  /// stage-1 surrogate where J would be too large).
+  kDedicated,
+};
+
+/// Options controlling what gets emitted.
+struct FormulationOptions {
+  bool enable_dr = false;
+  /// Business impact parameter omega (§IV-B): no site may host more than
+  /// omega * M application groups. 1.0 disables the row.
+  double business_impact_omega = 1.0;
+  /// false replaces every schedule with its base (first-tier) price,
+  /// dropping all tier binaries — the "no economies of scale" ablation.
+  bool economies_of_scale = true;
+  BackupSizing backup_sizing = BackupSizing::kSharedJoint;
+  /// Required when backup_sizing == kSharedFixedPrimary: primary_i per group.
+  const std::vector<int>* fixed_primary = nullptr;
+  /// decode_plan: provision dedicated per-site sums instead of recomputing
+  /// the single-failure sharing law (multi-failure planning).
+  bool decode_dedicated_counts = false;
+};
+
+/// The built model plus the variable maps needed to decode a solution.
+struct Formulation {
+  lp::Model model;
+  /// x[i][j] = variable index of X_ij, or -1 when the pair is disallowed /
+  /// fixed. With kSharedFixedPrimary no X variables exist.
+  std::vector<std::vector<int>> x;
+  /// y[i][j] = variable index of Y_ij, or -1. Empty without DR.
+  std::vector<std::vector<int>> y;
+  /// g[j] = variable index of G_j. Empty without DR.
+  std::vector<int> g;
+};
+
+/// Builds the MILP. Throws InvalidInputError on inconsistent options (e.g.
+/// kSharedFixedPrimary without fixed_primary).
+[[nodiscard]] Formulation build_formulation(const CostModel& cost,
+                                            const FormulationOptions& options);
+
+/// Decodes solver values back into a Plan: reads X/Y, recomputes the backup
+/// counts exactly via the sharing law, and prices the plan with the cost
+/// model. Throws InvalidInputError if some group has no selected site.
+[[nodiscard]] Plan decode_plan(const CostModel& cost,
+                               const Formulation& formulation,
+                               const FormulationOptions& options,
+                               const std::vector<double>& values,
+                               const std::string& algorithm);
+
+/// True if the group may be placed at site j under its pin / allowed-sites
+/// constraints (shared by the planner and the heuristics).
+[[nodiscard]] bool group_allowed_at(const ApplicationGroup& group, int site);
+
+}  // namespace etransform

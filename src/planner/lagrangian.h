@@ -1,0 +1,41 @@
+// Lagrangian lower bound for the (non-DR) consolidation problem.
+//
+// Relaxing the site capacity rows with multipliers lambda_j >= 0 decomposes
+// the problem per application group: each group independently picks the site
+// minimizing cLB_ij + lambda_j * S_i, where cLB_ij is a provable
+// under-estimate of the group's placement cost (deepest-discount tier unit
+// prices, exact VPN/latency terms). Subgradient ascent on lambda then yields
+// a valid lower bound on the optimal plan cost.
+//
+// On instances too large for the exact MILP (the Federal dataset) this bound
+// certifies the optimality gap of the heuristic plan the planner reports —
+// the role CPLEX's own bound plays in the paper's setup.
+#pragma once
+
+#include "cost/cost_model.h"
+
+namespace etransform {
+
+/// Tuning for the subgradient ascent.
+struct LagrangianOptions {
+  int max_iterations = 150;
+  /// Initial Polyak step scale; halved after `patience` non-improving steps.
+  double step_scale = 2.0;
+  int patience = 10;
+  /// Upper bound used by the Polyak step. <= 0 means "estimate internally"
+  /// (cheapest-site relaxation sum, ignoring capacity).
+  double upper_bound = -1.0;
+};
+
+/// Result of the bound computation.
+struct LagrangianBound {
+  /// Valid lower bound on the optimal total plan cost.
+  double lower_bound = 0.0;
+  int iterations = 0;
+};
+
+/// Computes the bound. Throws InvalidInputError on malformed instances.
+[[nodiscard]] LagrangianBound lagrangian_lower_bound(
+    const CostModel& model, const LagrangianOptions& options = {});
+
+}  // namespace etransform

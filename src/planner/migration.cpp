@@ -1,0 +1,204 @@
+#include "planner/migration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/error.h"
+
+namespace etransform {
+
+MigrationSchedule schedule_migration(const ConsolidationInstance& instance,
+                                     const Plan& plan,
+                                     const MigrationLimits& limits) {
+  const int num_groups = instance.num_groups();
+  if (static_cast<int>(plan.primary.size()) != num_groups) {
+    throw InvalidInputError("schedule_migration: plan does not match instance");
+  }
+  if (limits.wan_budget_megabits < 0.0 || limits.max_moves < 0) {
+    throw InvalidInputError("schedule_migration: negative limit");
+  }
+  const double budget = limits.wan_budget_megabits;
+  for (const auto& group : instance.groups) {
+    if (budget > 0.0 && group.monthly_data_megabits > budget) {
+      throw InvalidInputError(
+          "schedule_migration: group '" + group.name +
+          "' alone exceeds the per-wave WAN budget");
+    }
+  }
+
+  // Separation partners must not share a wave.
+  std::vector<std::vector<int>> partners(static_cast<std::size_t>(num_groups));
+  for (const auto& sep : instance.separations) {
+    partners[static_cast<std::size_t>(sep.group_a)].push_back(sep.group_b);
+    partners[static_cast<std::size_t>(sep.group_b)].push_back(sep.group_a);
+  }
+
+  // First-fit-decreasing by data volume.
+  std::vector<int> order(static_cast<std::size_t>(num_groups));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return instance.groups[static_cast<std::size_t>(a)].monthly_data_megabits >
+           instance.groups[static_cast<std::size_t>(b)].monthly_data_megabits;
+  });
+
+  MigrationSchedule schedule;
+  std::vector<std::set<int>> wave_members;  // for the separation test
+  std::vector<int> wave_of(static_cast<std::size_t>(num_groups), -1);
+  for (const int i : order) {
+    const auto& group = instance.groups[static_cast<std::size_t>(i)];
+    bool placed = false;
+    for (std::size_t w = 0; w < schedule.waves.size() && !placed; ++w) {
+      auto& wave = schedule.waves[w];
+      if (budget > 0.0 &&
+          wave.data_megabits + group.monthly_data_megabits > budget) {
+        continue;
+      }
+      if (limits.max_moves > 0 &&
+          static_cast<int>(wave.groups.size()) >= limits.max_moves) {
+        continue;
+      }
+      bool conflicted = false;
+      for (const int partner : partners[static_cast<std::size_t>(i)]) {
+        conflicted |= wave_members[w].count(partner) > 0;
+      }
+      if (conflicted) continue;
+      wave.groups.push_back(i);
+      wave.data_megabits += group.monthly_data_megabits;
+      wave_members[w].insert(i);
+      wave_of[static_cast<std::size_t>(i)] = static_cast<int>(w);
+      placed = true;
+    }
+    if (!placed) {
+      MigrationWave wave;
+      wave.groups.push_back(i);
+      wave.data_megabits = group.monthly_data_megabits;
+      schedule.waves.push_back(std::move(wave));
+      wave_members.emplace_back(std::set<int>{i});
+      wave_of[static_cast<std::size_t>(i)] =
+          static_cast<int>(schedule.waves.size()) - 1;
+    }
+  }
+
+  // DR: provision each backup site at the start of the earliest wave any of
+  // its protected groups moves in.
+  if (plan.has_dr()) {
+    std::vector<int> earliest(static_cast<std::size_t>(instance.num_sites()),
+                              -1);
+    for (int i = 0; i < num_groups; ++i) {
+      const int b = plan.secondary[static_cast<std::size_t>(i)];
+      const int w = wave_of[static_cast<std::size_t>(i)];
+      if (earliest[static_cast<std::size_t>(b)] < 0 ||
+          w < earliest[static_cast<std::size_t>(b)]) {
+        earliest[static_cast<std::size_t>(b)] = w;
+      }
+    }
+    for (int j = 0; j < instance.num_sites(); ++j) {
+      const int w = earliest[static_cast<std::size_t>(j)];
+      if (w >= 0 && plan.backup_servers[static_cast<std::size_t>(j)] > 0) {
+        schedule.waves[static_cast<std::size_t>(w)]
+            .provisioned_sites.push_back(j);
+      }
+    }
+  }
+
+  // Bin-packing lower bound.
+  double total_data = 0.0;
+  for (const auto& group : instance.groups) {
+    total_data += group.monthly_data_megabits;
+  }
+  int bound = 1;
+  if (budget > 0.0) {
+    bound = std::max(bound,
+                     static_cast<int>(std::ceil(total_data / budget - 1e-9)));
+  }
+  if (limits.max_moves > 0) {
+    bound = std::max(
+        bound, (num_groups + limits.max_moves - 1) / limits.max_moves);
+  }
+  schedule.lower_bound_waves = bound;
+  return schedule;
+}
+
+std::vector<std::string> check_schedule(const ConsolidationInstance& instance,
+                                        const Plan& plan,
+                                        const MigrationLimits& limits,
+                                        const MigrationSchedule& schedule) {
+  std::vector<std::string> problems;
+  const int num_groups = instance.num_groups();
+  std::vector<int> wave_of(static_cast<std::size_t>(num_groups), -1);
+  for (std::size_t w = 0; w < schedule.waves.size(); ++w) {
+    const auto& wave = schedule.waves[w];
+    double data = 0.0;
+    for (const int i : wave.groups) {
+      if (i < 0 || i >= num_groups) {
+        problems.push_back("wave " + std::to_string(w) +
+                           " references an unknown group");
+        continue;
+      }
+      if (wave_of[static_cast<std::size_t>(i)] >= 0) {
+        problems.push_back(
+            "group '" + instance.groups[static_cast<std::size_t>(i)].name +
+            "' scheduled twice");
+      }
+      wave_of[static_cast<std::size_t>(i)] = static_cast<int>(w);
+      data += instance.groups[static_cast<std::size_t>(i)]
+                  .monthly_data_megabits;
+    }
+    if (limits.wan_budget_megabits > 0.0 &&
+        data > limits.wan_budget_megabits * (1.0 + 1e-9)) {
+      problems.push_back("wave " + std::to_string(w) +
+                         " exceeds the WAN budget");
+    }
+    if (limits.max_moves > 0 &&
+        static_cast<int>(wave.groups.size()) > limits.max_moves) {
+      problems.push_back("wave " + std::to_string(w) + " exceeds max moves");
+    }
+  }
+  for (int i = 0; i < num_groups; ++i) {
+    if (wave_of[static_cast<std::size_t>(i)] < 0) {
+      problems.push_back(
+          "group '" + instance.groups[static_cast<std::size_t>(i)].name +
+          "' never scheduled");
+    }
+  }
+  for (const auto& sep : instance.separations) {
+    if (wave_of[static_cast<std::size_t>(sep.group_a)] >= 0 &&
+        wave_of[static_cast<std::size_t>(sep.group_a)] ==
+            wave_of[static_cast<std::size_t>(sep.group_b)]) {
+      problems.push_back(
+          "separated groups '" +
+          instance.groups[static_cast<std::size_t>(sep.group_a)].name +
+          "' and '" +
+          instance.groups[static_cast<std::size_t>(sep.group_b)].name +
+          "' move in the same wave");
+    }
+  }
+  if (plan.has_dr()) {
+    std::vector<int> provisioned_at(
+        static_cast<std::size_t>(instance.num_sites()), -1);
+    for (std::size_t w = 0; w < schedule.waves.size(); ++w) {
+      for (const int j : schedule.waves[w].provisioned_sites) {
+        if (j >= 0 && j < instance.num_sites() &&
+            provisioned_at[static_cast<std::size_t>(j)] < 0) {
+          provisioned_at[static_cast<std::size_t>(j)] = static_cast<int>(w);
+        }
+      }
+    }
+    for (int i = 0; i < num_groups; ++i) {
+      const int b = plan.secondary[static_cast<std::size_t>(i)];
+      if (plan.backup_servers[static_cast<std::size_t>(b)] == 0) continue;
+      if (provisioned_at[static_cast<std::size_t>(b)] < 0 ||
+          provisioned_at[static_cast<std::size_t>(b)] >
+              wave_of[static_cast<std::size_t>(i)]) {
+        problems.push_back(
+            "group '" + instance.groups[static_cast<std::size_t>(i)].name +
+            "' moves before its backup site is provisioned");
+      }
+    }
+  }
+  return problems;
+}
+
+}  // namespace etransform

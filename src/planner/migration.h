@@ -1,0 +1,71 @@
+// Phased migration scheduling: turning a "to-be" plan into executable waves.
+//
+// A transformation program does not move a thousand applications over one
+// weekend. This module batches the moves into waves subject to the
+// operational limits migration teams actually face:
+//   * per-wave WAN budget — the bytes that can be copied in one window
+//     (each group's move transfers its monthly data volume once),
+//   * per-wave move count — how many cutovers the teams can run at once,
+//   * shared-risk separation — two groups under a separation constraint
+//     never move in the same wave (one stays up while the other cuts over),
+//   * DR ordering — a group's backup site must have its pool provisioned in
+//     an earlier or equal wave, so failover exists from day one.
+// Scheduling is first-fit-decreasing by data volume, which keeps the wave
+// count near the bin-packing lower bound; the result is validated and the
+// lower bound reported.
+#pragma once
+
+#include <vector>
+
+#include "model/entities.h"
+#include "model/plan.h"
+
+namespace etransform {
+
+/// Operational limits for one migration wave.
+struct MigrationLimits {
+  /// Max megabits copied per wave; 0 = unlimited.
+  double wan_budget_megabits = 0.0;
+  /// Max group moves per wave; 0 = unlimited.
+  int max_moves = 0;
+};
+
+/// One wave: groups cut over together; backup pools provisioned first.
+struct MigrationWave {
+  /// Group indices moving in this wave.
+  std::vector<int> groups;
+  /// Sites whose DR pools are provisioned at the start of this wave.
+  std::vector<int> provisioned_sites;
+  /// Megabits copied in this wave.
+  double data_megabits = 0.0;
+};
+
+/// The full schedule.
+struct MigrationSchedule {
+  std::vector<MigrationWave> waves;
+  /// Simple bin-packing lower bound on the wave count (data / budget and
+  /// moves / max_moves, rounded up).
+  int lower_bound_waves = 0;
+
+  [[nodiscard]] int wave_count() const {
+    return static_cast<int>(waves.size());
+  }
+};
+
+/// Builds a schedule moving every group exactly once from its as-is center
+/// to its planned site. Throws InvalidInputError if the plan does not match
+/// the instance or a limit makes some single move impossible (a group's
+/// data exceeding the WAN budget).
+[[nodiscard]] MigrationSchedule schedule_migration(
+    const ConsolidationInstance& instance, const Plan& plan,
+    const MigrationLimits& limits = {});
+
+/// Validation: every group scheduled exactly once, limits respected in
+/// every wave, separated pairs in different waves, and each DR group's
+/// backup site provisioned no later than its move. Returns human-readable
+/// violations (empty = valid).
+[[nodiscard]] std::vector<std::string> check_schedule(
+    const ConsolidationInstance& instance, const Plan& plan,
+    const MigrationLimits& limits, const MigrationSchedule& schedule);
+
+}  // namespace etransform

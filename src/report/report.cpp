@@ -1,0 +1,126 @@
+#include "report/report.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "common/money.h"
+#include "common/table.h"
+
+namespace etransform {
+
+AlgorithmResult summarize(const std::string& label, const Plan& plan) {
+  AlgorithmResult result;
+  result.label = label;
+  result.operational_cost = plan.cost.operational();
+  result.latency_penalty = plan.cost.latency_penalty;
+  result.latency_violations = plan.latency_violations;
+  return result;
+}
+
+AlgorithmResult summarize(const std::string& label, const CostBreakdown& cost,
+                          int violations) {
+  AlgorithmResult result;
+  result.label = label;
+  result.operational_cost = cost.operational();
+  result.latency_penalty = cost.latency_penalty;
+  result.latency_violations = violations;
+  return result;
+}
+
+std::string render_comparison(const std::string& dataset,
+                              const std::vector<AlgorithmResult>& results) {
+  if (results.empty()) {
+    throw InvalidInputError("render_comparison: no results");
+  }
+  TextTable table({"algorithm", "cost", "latency penalty", "total",
+                   "reduction", "violations"});
+  const Money baseline = results.front().total();
+  for (const auto& result : results) {
+    const double reduction =
+        baseline > 0.0 ? (result.total() - baseline) / baseline * 100.0 : 0.0;
+    table.add_row({result.label, format_money_compact(result.operational_cost),
+                   format_money_compact(result.latency_penalty),
+                   format_money_compact(result.total()),
+                   &result == &results.front() ? "-"
+                                               : format_percent(reduction),
+                   std::to_string(result.latency_violations)});
+  }
+  return "[" + dataset + "]\n" + table.render();
+}
+
+std::string render_cost_breakdown(const CostBreakdown& cost) {
+  TextTable table({"component", "monthly cost"});
+  table.add_row({"space", format_money(cost.space)});
+  table.add_row({"power", format_money(cost.power)});
+  table.add_row({"labor", format_money(cost.labor)});
+  table.add_row({"wan", format_money(cost.wan)});
+  table.add_row({"latency penalty", format_money(cost.latency_penalty)});
+  if (cost.backup_capex > 0.0) {
+    table.add_row({"backup capex", format_money(cost.backup_capex)});
+  }
+  table.add_row({"total", format_money(cost.total())});
+  return table.render();
+}
+
+std::string render_plan_summary(const ConsolidationInstance& instance,
+                                const Plan& plan) {
+  struct SiteRow {
+    int groups = 0;
+    long long servers = 0;
+    int backups = 0;
+  };
+  std::map<int, SiteRow> rows;
+  for (int i = 0; i < instance.num_groups(); ++i) {
+    const int j = plan.primary[static_cast<std::size_t>(i)];
+    rows[j].groups += 1;
+    rows[j].servers += instance.groups[static_cast<std::size_t>(i)].servers;
+  }
+  if (plan.has_dr()) {
+    for (int j = 0; j < instance.num_sites(); ++j) {
+      const int backups = plan.backup_servers[static_cast<std::size_t>(j)];
+      if (backups > 0) rows[j].backups = backups;
+    }
+  }
+  TextTable table(plan.has_dr()
+                      ? std::vector<std::string>{"site", "groups", "servers",
+                                                 "backup servers"}
+                      : std::vector<std::string>{"site", "groups", "servers"});
+  for (const auto& [site, row] : rows) {
+    std::vector<std::string> cells = {
+        instance.sites[static_cast<std::size_t>(site)].name,
+        std::to_string(row.groups), std::to_string(row.servers)};
+    if (plan.has_dr()) cells.push_back(std::to_string(row.backups));
+    table.add_row(std::move(cells));
+  }
+  std::string out = "to-be state (" + plan.algorithm + "): " +
+                    std::to_string(plan.sites_used()) + " of " +
+                    std::to_string(instance.num_sites()) + " sites used, " +
+                    std::to_string(plan.latency_violations) +
+                    " latency violations\n";
+  out += table.render();
+  out += "\n";
+  out += render_cost_breakdown(plan.cost);
+  return out;
+}
+
+std::string render_instance_summary(const ConsolidationInstance& instance) {
+  double total_users = 0.0;
+  for (const auto& group : instance.groups) total_users += group.total_users();
+  long long capacity = 0;
+  for (const auto& site : instance.sites) capacity += site.capacity_servers;
+  TextTable table({"statistic", "value"});
+  table.add_row({"dataset", instance.name});
+  table.add_row({"application groups", std::to_string(instance.num_groups())});
+  table.add_row({"physical servers", std::to_string(instance.total_servers())});
+  table.add_row(
+      {"as-is data centers",
+       std::to_string(instance.as_is_centers.size())});
+  table.add_row({"target data centers", std::to_string(instance.num_sites())});
+  table.add_row({"target capacity (servers)", std::to_string(capacity)});
+  table.add_row({"user locations", std::to_string(instance.num_locations())});
+  table.add_row({"users", std::to_string(static_cast<long long>(total_users))});
+  return table.render();
+}
+
+}  // namespace etransform

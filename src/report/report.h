@@ -1,0 +1,51 @@
+// Report rendering: plan summaries, cost breakdowns, and the comparison
+// tables that reproduce the paper's Fig. 4/6 panels as text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/plan.h"
+
+namespace etransform {
+
+/// One bar of a Fig. 4/6-style comparison.
+struct AlgorithmResult {
+  std::string label;
+  Money operational_cost = 0.0;
+  Money latency_penalty = 0.0;
+  int latency_violations = 0;
+
+  [[nodiscard]] Money total() const {
+    return operational_cost + latency_penalty;
+  }
+};
+
+/// Builds a result row from a priced plan.
+[[nodiscard]] AlgorithmResult summarize(const std::string& label,
+                                        const Plan& plan);
+
+/// Builds a result row from a raw cost breakdown (as-is rows).
+[[nodiscard]] AlgorithmResult summarize(const std::string& label,
+                                        const CostBreakdown& cost,
+                                        int violations);
+
+/// Renders the Fig. 4/6 panel for one dataset: cost + penalty per
+/// algorithm, percentage reduction vs the first (as-is) row, and the
+/// violation counts.
+[[nodiscard]] std::string render_comparison(
+    const std::string& dataset, const std::vector<AlgorithmResult>& results);
+
+/// Renders a cost breakdown as a two-column table.
+[[nodiscard]] std::string render_cost_breakdown(const CostBreakdown& cost);
+
+/// Renders a "to-be" state summary: sites used, servers and groups per site,
+/// backups per site for DR plans, and the plan's cost/violations.
+[[nodiscard]] std::string render_plan_summary(
+    const ConsolidationInstance& instance, const Plan& plan);
+
+/// Renders dataset statistics in the style of Table II / Fig. 3.
+[[nodiscard]] std::string render_instance_summary(
+    const ConsolidationInstance& instance);
+
+}  // namespace etransform

@@ -1,0 +1,57 @@
+// Placement sensitivity analysis for a finished plan.
+//
+// The paper's output-generation module turns the LP solution into a "to-be"
+// state; operators then ask "how locked-in is each decision?". For every
+// application group this computes the runner-up site and the *regret* —
+// the exact cost increase if the group were forced to its second-best
+// placement with everything else held fixed — and per site the utilization
+// headroom. Groups with near-zero regret are free to move during migration
+// scheduling; high-regret groups are the plan's anchors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "model/plan.h"
+
+namespace etransform {
+
+/// Sensitivity of one group's primary placement.
+struct GroupSensitivity {
+  int group = -1;
+  int chosen_site = -1;
+  /// Best alternative site (respecting pins/allowed/capacity), or -1 if the
+  /// group has no feasible alternative.
+  int runner_up_site = -1;
+  /// Exact plan-cost increase of moving the group to the runner-up.
+  Money regret = 0.0;
+};
+
+/// Utilization of one site under the plan.
+struct SiteUtilization {
+  int site = -1;
+  long long servers = 0;   // primaries + provisioned backups
+  int capacity = 0;
+  /// servers / capacity in [0, 1].
+  double utilization = 0.0;
+};
+
+/// Full sensitivity analysis of a non-DR or DR plan (DR plans evaluate
+/// primary-move regret with secondaries fixed).
+struct SensitivityReport {
+  std::vector<GroupSensitivity> groups;   // ordered by descending regret
+  std::vector<SiteUtilization> sites;     // ordered by site index
+};
+
+/// Computes the report. The plan must be feasible for the model's instance
+/// (check_plan empty); throws InvalidInputError otherwise.
+[[nodiscard]] SensitivityReport analyze_sensitivity(const CostModel& model,
+                                                    const Plan& plan);
+
+/// Renders the report as text tables (top `max_groups` regrets).
+[[nodiscard]] std::string render_sensitivity(
+    const ConsolidationInstance& instance, const SensitivityReport& report,
+    std::size_t max_groups = 15);
+
+}  // namespace etransform

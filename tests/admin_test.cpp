@@ -1,0 +1,105 @@
+// Tests for the iterative-modification admin interface (paper Fig. 5).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "datagen/generators.h"
+#include "planner/admin.h"
+
+namespace etransform {
+namespace {
+
+ConsolidationInstance instance_for_session(std::uint64_t seed = 9) {
+  Rng rng(seed);
+  return make_random_instance(rng, 8, 4, 2);
+}
+
+TEST(ScenarioSession, ReplanProducesFeasiblePlan) {
+  ScenarioSession session(instance_for_session());
+  const PlannerReport& report = session.replan();
+  EXPECT_TRUE(check_plan(session.instance(), report.plan).empty());
+  EXPECT_TRUE(session.last_report().has_value());
+}
+
+TEST(ScenarioSession, PinIsHonoredAfterReplan) {
+  ScenarioSession session(instance_for_session());
+  session.replan();
+  session.pin_group(0, 3);
+  const PlannerReport& report = session.replan();
+  EXPECT_EQ(report.plan.primary[0], 3);
+  EXPECT_EQ(session.modification_log().size(), 1u);
+}
+
+TEST(ScenarioSession, ForbidRemovesSiteFromConsideration) {
+  ScenarioSession session(instance_for_session(11));
+  const int before = session.replan().plan.primary[2];
+  session.forbid_site(2, before);
+  const PlannerReport& report = session.replan();
+  EXPECT_NE(report.plan.primary[2], before);
+}
+
+TEST(ScenarioSession, SeparationKeepsGroupsApart) {
+  ScenarioSession session(instance_for_session(13));
+  session.require_separation(0, 1);
+  const PlannerReport& report = session.replan();
+  EXPECT_NE(report.plan.primary[0], report.plan.primary[1]);
+}
+
+TEST(ScenarioSession, LatencyPenaltyChangeShiftsPlacement) {
+  // Make group 0 infinitely latency-averse: it must land at its best-latency
+  // site afterwards.
+  ScenarioSession session(instance_for_session(17));
+  session.replan();
+  session.set_latency_penalty(
+      0, LatencyPenaltyFunction::single_step(5.0, 1.0e7));
+  const PlannerReport& report = session.replan();
+  const CostModel model(session.instance());
+  const int placed = report.plan.primary[0];
+  for (int j = 0; j < session.instance().num_sites(); ++j) {
+    EXPECT_LE(model.latency_penalty(0, placed),
+              model.latency_penalty(0, j) + 1e-6);
+  }
+}
+
+TEST(ScenarioSession, ModificationsInvalidateTheLastReport) {
+  ScenarioSession session(instance_for_session(19));
+  session.replan();
+  EXPECT_TRUE(session.last_report().has_value());
+  session.pin_group(1, 0);
+  EXPECT_FALSE(session.last_report().has_value());
+}
+
+TEST(ScenarioSession, RejectsBadModifications) {
+  ScenarioSession session(instance_for_session(23));
+  EXPECT_THROW(session.pin_group(99, 0), InvalidInputError);
+  EXPECT_THROW(session.pin_group(0, 99), InvalidInputError);
+  EXPECT_THROW(session.require_separation(2, 2), InvalidInputError);
+  session.pin_group(0, 1);
+  EXPECT_THROW(session.forbid_site(0, 1), InvalidInputError);
+}
+
+TEST(ScenarioSession, ForbiddingEverySiteThrows) {
+  ScenarioSession session(instance_for_session(29));
+  for (int j = 0; j < 3; ++j) session.forbid_site(0, j);
+  EXPECT_THROW(session.forbid_site(0, 3), InfeasibleError);
+}
+
+TEST(ScenarioSession, AccumulatedConstraintsComposeAcrossReplans) {
+  ScenarioSession session(instance_for_session(31));
+  session.pin_group(0, 2);
+  session.require_separation(1, 2);
+  session.replan();
+  session.forbid_site(3, session.last_report()
+                             ? (*session.last_report()).plan.primary[3]
+                             : 0);
+  const auto forbidden = session.instance().groups[3].allowed_sites;
+  const PlannerReport& report = session.replan();
+  EXPECT_EQ(report.plan.primary[0], 2);
+  EXPECT_NE(report.plan.primary[1], report.plan.primary[2]);
+  EXPECT_TRUE(std::find(forbidden.begin(), forbidden.end(),
+                        report.plan.primary[3]) != forbidden.end());
+  EXPECT_EQ(session.modification_log().size(), 3u);
+}
+
+}  // namespace
+}  // namespace etransform

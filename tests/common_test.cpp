@@ -1,0 +1,227 @@
+// Unit tests for the common utilities: RNG determinism and distributions,
+// money/table formatting, string helpers, CSV escaping, strong ids.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/ids.h"
+#include "common/money.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace etransform {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(5, 4), InvalidInputError);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) {
+    counts[rng.weighted_index(weights)]++;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(Rng, WeightedIndexRejectsBadWeights) {
+  Rng rng(1);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), InvalidInputError);
+  EXPECT_THROW(rng.weighted_index({1.0, -1.0}), InvalidInputError);
+}
+
+TEST(SplitTotalLognormal, SumsExactlyAndRespectsMinimum) {
+  Rng rng(23);
+  const auto shares = split_total_lognormal(rng, 1070, 190, 1.0, 1.0, 1);
+  EXPECT_EQ(std::accumulate(shares.begin(), shares.end(), 0), 1070);
+  for (const int s : shares) EXPECT_GE(s, 1);
+}
+
+TEST(SplitTotalLognormal, HeavyTailProducesSpread) {
+  Rng rng(29);
+  const auto shares = split_total_lognormal(rng, 10000, 100, 1.0, 1.2, 1);
+  const auto [lo, hi] = std::minmax_element(shares.begin(), shares.end());
+  EXPECT_GT(*hi, 4 * *lo);
+}
+
+TEST(SplitTotalLognormal, RejectsImpossibleTotals) {
+  Rng rng(1);
+  EXPECT_THROW(split_total_lognormal(rng, 5, 10, 0.0, 1.0, 1),
+               InvalidInputError);
+  EXPECT_THROW(split_total_lognormal(rng, 10, 0, 0.0, 1.0, 1),
+               InvalidInputError);
+}
+
+TEST(Money, FormatsWithThousandsSeparators) {
+  EXPECT_EQ(format_money(0.0), "$0.00");
+  EXPECT_EQ(format_money(1234567.891), "$1,234,567.89");
+  EXPECT_EQ(format_money(-42.5), "-$42.50");
+  EXPECT_EQ(format_money(999.994), "$999.99");
+}
+
+TEST(Money, CompactSuffixes) {
+  EXPECT_EQ(format_money_compact(1500.0), "$1.50K");
+  EXPECT_EQ(format_money_compact(2.5e6), "$2.50M");
+  EXPECT_EQ(format_money_compact(3.2e9), "$3.20B");
+  EXPECT_EQ(format_money_compact(-1.0e6), "-$1.00M");
+  EXPECT_EQ(format_money_compact(12.0), "$12.00");
+}
+
+TEST(Strings, TrimRemovesEdges) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto fields = split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty) {
+  const auto fields = split_whitespace("  a \t b\nc  ");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+  EXPECT_TRUE(starts_with_icase("Subject To", "subject"));
+  EXPECT_FALSE(starts_with_icase("Sub", "subject"));
+  EXPECT_TRUE(equals_icase("END", "end"));
+  EXPECT_FALSE(equals_icase("end", "ends"));
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"x", "y"});
+  writer.write_row({"1", "2,3"});
+  EXPECT_EQ(out.str(), "x,y\n1,\"2,3\"\n");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "cost"});
+  table.add_row({"alpha", "$10.00"});
+  table.add_row({"b", "$1,000.00"});
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("$1,000.00"), std::string::npos);
+  // All lines equally wide for data rows.
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidInputError);
+  EXPECT_THROW(TextTable({}), InvalidInputError);
+}
+
+TEST(FormatHelpers, DoubleAndPercent) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_percent(-43.21), "-43.2%");
+  EXPECT_EQ(format_percent(12.0), "+12.0%");
+}
+
+TEST(StrongId, DistinctTypesAndOrdering) {
+  const GroupId g1(1);
+  const GroupId g2(2);
+  EXPECT_LT(g1, g2);
+  EXPECT_EQ(GroupId(3), GroupId(3));
+  EXPECT_EQ(g1.value(), 1u);
+  static_assert(!std::is_convertible_v<GroupId, SiteId>);
+  static_assert(!std::is_convertible_v<std::size_t, GroupId>);
+}
+
+}  // namespace
+}  // namespace etransform

@@ -1,0 +1,209 @@
+// Tests for the dataset generators: Table II statistics, §VI-B setup rules,
+// determinism, and scenario shapes for Figs. 7-10.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "cost/cost_model.h"
+#include "datagen/generators.h"
+
+namespace etransform {
+namespace {
+
+TEST(Datagen, Enterprise1MatchesTableII) {
+  const auto instance = make_enterprise1();
+  EXPECT_EQ(instance.num_groups(), 190);
+  EXPECT_EQ(instance.total_servers(), 1070);
+  EXPECT_EQ(instance.as_is_centers.size(), 67u);
+  EXPECT_EQ(instance.num_sites(), 10);
+  EXPECT_EQ(instance.num_locations(), 4);
+  double users = 0.0;
+  for (const auto& group : instance.groups) users += group.total_users();
+  EXPECT_NEAR(users, 18913.0, 1.0);
+}
+
+TEST(Datagen, FloridaMatchesTableII) {
+  const auto instance = make_florida();
+  EXPECT_EQ(instance.num_groups(), 190);
+  EXPECT_EQ(instance.total_servers(), 3907);
+  EXPECT_EQ(instance.as_is_centers.size(), 43u);
+  EXPECT_EQ(instance.num_sites(), 10);
+}
+
+TEST(Datagen, FederalMatchesTableII) {
+  const auto instance = make_federal();
+  EXPECT_EQ(instance.num_groups(), 1900);
+  EXPECT_EQ(instance.total_servers(), 42800);
+  EXPECT_EQ(instance.as_is_centers.size(), 2094u);
+  EXPECT_EQ(instance.num_sites(), 100);
+}
+
+TEST(Datagen, HalfTheGroupsAreLatencySensitive) {
+  const auto instance = make_enterprise1();
+  int sensitive = 0;
+  for (const auto& group : instance.groups) {
+    if (!group.latency_penalty.is_insensitive()) {
+      ++sensitive;
+      // $100 per user beyond 10 ms (§VI-B).
+      EXPECT_DOUBLE_EQ(group.latency_penalty.penalty_per_user(11.0), 100.0);
+      EXPECT_DOUBLE_EQ(group.latency_penalty.penalty_per_user(9.0), 0.0);
+    }
+  }
+  EXPECT_EQ(sensitive, 95);
+}
+
+TEST(Datagen, SitesFallIntoFiveLatencyClasses) {
+  const auto instance = make_enterprise1();
+  for (const auto& row : instance.latency_ms) {
+    const std::multiset<double> values(row.begin(), row.end());
+    const bool near_one =
+        values == std::multiset<double>{5.0, 20.0, 20.0, 20.0};
+    const bool central =
+        values == std::multiset<double>{10.0, 10.0, 10.0, 10.0};
+    EXPECT_TRUE(near_one || central);
+  }
+}
+
+TEST(Datagen, GroupSizesAreHeavyTailed) {
+  const auto instance = make_enterprise1();
+  int biggest = 0;
+  int smallest = 1 << 30;
+  for (const auto& group : instance.groups) {
+    biggest = std::max(biggest, group.servers);
+    smallest = std::min(smallest, group.servers);
+  }
+  EXPECT_EQ(smallest, 1);
+  EXPECT_GT(biggest, 20);
+}
+
+TEST(Datagen, DeterministicPerSeed) {
+  const auto a = make_enterprise1(42);
+  const auto b = make_enterprise1(42);
+  const auto c = make_enterprise1(7);
+  ASSERT_EQ(a.num_groups(), b.num_groups());
+  for (int i = 0; i < a.num_groups(); ++i) {
+    EXPECT_EQ(a.groups[static_cast<std::size_t>(i)].servers,
+              b.groups[static_cast<std::size_t>(i)].servers);
+  }
+  bool any_difference = false;
+  for (int i = 0; i < a.num_groups(); ++i) {
+    any_difference |= a.groups[static_cast<std::size_t>(i)].servers !=
+                      c.groups[static_cast<std::size_t>(i)].servers;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Datagen, AsIsRatesExceedTargetBaseRates) {
+  // The consolidation story requires the old estate to be pricier than the
+  // target colocation sites on average.
+  const auto instance = make_enterprise1();
+  double as_is_space = 0.0;
+  for (const auto& center : instance.as_is_centers) {
+    as_is_space += center.space_cost_per_server;
+  }
+  as_is_space /= static_cast<double>(instance.as_is_centers.size());
+  double target_space = 0.0;
+  for (const auto& site : instance.sites) {
+    target_space += site.space_cost_per_server.unit_price(0.0);
+  }
+  target_space /= instance.num_sites();
+  EXPECT_GT(as_is_space, target_space);
+}
+
+TEST(Datagen, TargetSitesHaveVolumeDiscounts) {
+  const auto instance = make_enterprise1();
+  for (const auto& site : instance.sites) {
+    EXPECT_FALSE(site.space_cost_per_server.is_flat());
+    EXPECT_GT(site.space_cost_per_server.unit_price(0.0),
+              site.space_cost_per_server.unit_price(
+                  site.capacity_servers));
+  }
+}
+
+TEST(Datagen, LatencyLineShape) {
+  LatencyLineSpec spec;
+  spec.penalty_per_user = 50.0;
+  spec.fraction_users_near = 0.25;
+  const auto instance = make_latency_line(spec);
+  EXPECT_EQ(instance.num_sites(), 10);
+  EXPECT_EQ(instance.num_locations(), 2);
+  EXPECT_EQ(instance.total_servers(), 1070);
+  // Latency rises away from "near", falls toward "far"; space cost rises.
+  EXPECT_DOUBLE_EQ(instance.latency_ms[0][0], 5.0);
+  EXPECT_DOUBLE_EQ(instance.latency_ms[9][0], 5.0 + 15.0 * 9);
+  EXPECT_DOUBLE_EQ(instance.latency_ms[9][1], 5.0);
+  EXPECT_LT(instance.sites[0].space_cost_per_server.unit_price(0.0),
+            instance.sites[9].space_cost_per_server.unit_price(0.0));
+  // User split honored.
+  EXPECT_NEAR(instance.groups[0].users_per_location[0], 0.25, 1e-12);
+  EXPECT_NEAR(instance.groups[0].users_per_location[1], 0.75, 1e-12);
+}
+
+TEST(Datagen, VpnTradeoffIsUShaped) {
+  VpnTradeoffSpec spec;
+  const auto instance = make_vpn_tradeoff(spec);
+  EXPECT_TRUE(instance.use_vpn_links);
+  EXPECT_EQ(instance.num_groups(), 700);
+  // Space rises with k, VPN cost falls with k.
+  for (int k = 1; k < instance.num_sites(); ++k) {
+    EXPECT_GT(
+        instance.sites[static_cast<std::size_t>(k)]
+            .space_cost_per_server.unit_price(0.0),
+        instance.sites[static_cast<std::size_t>(k - 1)]
+            .space_cost_per_server.unit_price(0.0));
+    EXPECT_LT(instance.vpn_link_monthly_cost[static_cast<std::size_t>(k)][0],
+              instance.vpn_link_monthly_cost[static_cast<std::size_t>(k - 1)]
+                                            [0]);
+  }
+}
+
+TEST(Datagen, RejectsBadSpecs) {
+  EnterpriseSpec bad;
+  bad.num_groups = 0;
+  EXPECT_THROW((void)make_enterprise(bad), InvalidInputError);
+  LatencyLineSpec bad_line;
+  bad_line.num_sites = 1;
+  EXPECT_THROW((void)make_latency_line(bad_line), InvalidInputError);
+  VpnTradeoffSpec bad_vpn;
+  bad_vpn.site_capacity = 0;
+  EXPECT_THROW((void)make_vpn_tradeoff(bad_vpn), InvalidInputError);
+}
+
+TEST(Datagen, AsIsPlacementSitsNearUsers) {
+  // Enterprises grew next to their users: groups with a dominant user
+  // region live in a center of that region, so the as-is state's latency
+  // violations come only from the uniform-user class (~1/5 of the 95
+  // sensitive groups).
+  const auto instance = make_enterprise1();
+  const CostModel model(instance);
+  EXPECT_LT(model.as_is_latency_violations(), 35);
+  EXPECT_GT(model.as_is_latency_violations(), 0);
+}
+
+TEST(Datagen, AsIsCostExceedsTypicalPlanCost) {
+  // The consolidation story: the dispersed estate at retail rates costs a
+  // multiple of what the colocation sites charge at volume.
+  const auto instance = make_enterprise1();
+  const CostModel model(instance);
+  const CostBreakdown as_is = model.as_is_cost();
+  // Rough floor: all servers at the cheapest site's deepest tier.
+  Money cheapest_unit = 1e18;
+  for (const auto& site : instance.sites) {
+    cheapest_unit = std::min(
+        cheapest_unit,
+        site.space_cost_per_server.unit_price(site.capacity_servers));
+  }
+  EXPECT_GT(as_is.space, 2.0 * cheapest_unit * instance.total_servers());
+}
+
+TEST(Datagen, RandomInstancesAlwaysValidate) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    EXPECT_NO_THROW((void)make_random_instance(rng, 10, 4, 3));
+  }
+}
+
+}  // namespace
+}  // namespace etransform

@@ -1,0 +1,134 @@
+// Tests for application grouping from traffic matrices.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "model/grouping.h"
+
+namespace etransform {
+namespace {
+
+std::vector<ApplicationSpec> three_apps() {
+  ApplicationSpec web;
+  web.name = "web";
+  web.servers = 2;
+  web.monthly_data_megabits = 1000.0;
+  web.users_per_location = {10.0, 0.0};
+  web.latency_penalty = LatencyPenaltyFunction::single_step(10.0, 100.0);
+  ApplicationSpec db;
+  db.name = "db";
+  db.servers = 4;
+  db.monthly_data_megabits = 0.0;
+  db.users_per_location = {0.0, 0.0};
+  ApplicationSpec batch;
+  batch.name = "batch";
+  batch.servers = 3;
+  batch.monthly_data_megabits = 500.0;
+  batch.users_per_location = {0.0, 5.0};
+  return {web, db, batch};
+}
+
+TEST(Grouping, ClustersByTrafficThreshold) {
+  // web <-> db exchange heavy traffic; batch is independent.
+  const std::vector<std::vector<double>> traffic = {
+      {0.0, 900.0, 0.1},
+      {900.0, 0.0, 0.0},
+      {0.1, 0.0, 0.0},
+  };
+  GroupingOptions options;
+  options.traffic_threshold_megabits = 100.0;
+  const GroupingResult result =
+      build_application_groups(three_apps(), traffic, options);
+  ASSERT_EQ(result.groups.size(), 2u);
+  EXPECT_EQ(result.membership[0], result.membership[1]);
+  EXPECT_NE(result.membership[0], result.membership[2]);
+  const auto& merged =
+      result.groups[static_cast<std::size_t>(result.membership[0])];
+  EXPECT_EQ(merged.servers, 6);
+  EXPECT_DOUBLE_EQ(merged.monthly_data_megabits, 1000.0);
+  EXPECT_DOUBLE_EQ(merged.users_per_location[0], 10.0);
+  // The group inherits web's latency SLA.
+  EXPECT_DOUBLE_EQ(merged.latency_penalty.penalty_per_user(11.0), 100.0);
+  EXPECT_DOUBLE_EQ(result.intra_group_traffic_megabits, 1800.0);
+}
+
+TEST(Grouping, TransitivityChainsClusters) {
+  // a-b heavy, b-c heavy, a-c nothing: one group by transitivity.
+  const std::vector<std::vector<double>> traffic = {
+      {0.0, 500.0, 0.0},
+      {500.0, 0.0, 500.0},
+      {0.0, 500.0, 0.0},
+  };
+  const GroupingResult result =
+      build_application_groups(three_apps(), traffic, {});
+  EXPECT_EQ(result.groups.size(), 1u);
+  EXPECT_EQ(result.groups[0].servers, 9);
+}
+
+TEST(Grouping, HighThresholdKeepsEveryoneApart) {
+  const std::vector<std::vector<double>> traffic = {
+      {0.0, 900.0, 0.1},
+      {900.0, 0.0, 0.0},
+      {0.1, 0.0, 0.0},
+  };
+  GroupingOptions options;
+  options.traffic_threshold_megabits = 1.0e9;
+  const GroupingResult result =
+      build_application_groups(three_apps(), traffic, options);
+  EXPECT_EQ(result.groups.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.intra_group_traffic_megabits, 0.0);
+}
+
+TEST(Grouping, EnforcesMaxGroupServers) {
+  const std::vector<std::vector<double>> traffic = {
+      {0.0, 900.0, 900.0},
+      {900.0, 0.0, 900.0},
+      {900.0, 900.0, 0.0},
+  };
+  GroupingOptions options;
+  options.max_group_servers = 5;  // cluster needs 9
+  EXPECT_THROW((void)build_application_groups(three_apps(), traffic, options),
+               InfeasibleError);
+}
+
+TEST(Grouping, RejectsMalformedInput) {
+  EXPECT_THROW((void)build_application_groups({}, {}, {}), InvalidInputError);
+  auto apps = three_apps();
+  EXPECT_THROW((void)build_application_groups(
+                   apps, {{0.0, 1.0}, {1.0, 0.0}}, {}),
+               InvalidInputError);
+  const std::vector<std::vector<double>> negative = {
+      {0.0, -1.0, 0.0}, {-1.0, 0.0, 0.0}, {0.0, 0.0, 0.0}};
+  EXPECT_THROW((void)build_application_groups(apps, negative, {}),
+               InvalidInputError);
+  apps[1].users_per_location = {1.0};
+  const std::vector<std::vector<double>> zero(
+      3, std::vector<double>(3, 0.0));
+  EXPECT_THROW((void)build_application_groups(apps, zero, {}),
+               InvalidInputError);
+  GroupingOptions bad;
+  bad.traffic_threshold_megabits = 0.0;
+  EXPECT_THROW(
+      (void)build_application_groups(three_apps(), zero, bad),
+      InvalidInputError);
+}
+
+TEST(MergeLatencyPenalties, TakesPointwiseMaximum) {
+  const auto a = LatencyPenaltyFunction::single_step(10.0, 100.0);
+  const LatencyPenaltyFunction b({{5.0, 20.0}, {50.0, 150.0}});
+  const auto merged = merge_latency_penalties(a, b);
+  EXPECT_DOUBLE_EQ(merged.penalty_per_user(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(merged.penalty_per_user(7.0), 20.0);    // b only
+  EXPECT_DOUBLE_EQ(merged.penalty_per_user(20.0), 100.0);  // a dominates
+  EXPECT_DOUBLE_EQ(merged.penalty_per_user(60.0), 150.0);  // b's top step
+}
+
+TEST(MergeLatencyPenalties, IdentityWithInsensitive) {
+  const auto a = LatencyPenaltyFunction::single_step(10.0, 100.0);
+  const LatencyPenaltyFunction none;
+  EXPECT_DOUBLE_EQ(
+      merge_latency_penalties(a, none).penalty_per_user(11.0), 100.0);
+  EXPECT_TRUE(merge_latency_penalties(none, none).is_insensitive());
+}
+
+}  // namespace
+}  // namespace etransform

@@ -1,0 +1,182 @@
+// Integration tests: the paper's qualitative claims, asserted end-to-end on
+// shrunken datasets (the bench binaries print the full-scale versions).
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "cost/cost_model.h"
+#include "datagen/generators.h"
+#include "planner/etransform_planner.h"
+
+namespace etransform {
+namespace {
+
+EnterpriseSpec mini_spec(std::uint64_t seed) {
+  EnterpriseSpec spec;
+  spec.name = "mini";
+  spec.num_groups = 24;
+  spec.total_servers = 140;
+  spec.num_as_is_centers = 8;
+  spec.num_target_sites = 5;
+  spec.total_users = 2400.0;
+  spec.seed = seed;
+  return spec;
+}
+
+PlannerOptions fast_options(bool dr = false) {
+  PlannerOptions options;
+  options.enable_dr = dr;
+  options.milp.time_limit_ms = 8000;
+  options.milp.max_nodes = 8000;
+  return options;
+}
+
+TEST(Integration, Fig4ShapeOnMiniDataset) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto instance = make_enterprise(mini_spec(seed));
+    const CostModel model(instance);
+
+    const Money as_is = model.as_is_cost().total();
+    const Plan manual = plan_manual(model, false);
+    const Plan greedy = plan_greedy(model, false);
+    const EtransformPlanner planner(fast_options());
+    const PlannerReport report = planner.plan(model);
+
+    // Everyone beats as-is; eTransform beats both baselines (Fig. 4d).
+    EXPECT_LT(manual.cost.total(), as_is) << "seed " << seed;
+    EXPECT_LT(greedy.cost.total(), as_is) << "seed " << seed;
+    EXPECT_LE(report.plan.cost.total(), greedy.cost.total() + 1e-6)
+        << "seed " << seed;
+    EXPECT_LE(report.plan.cost.total(), manual.cost.total() + 1e-6)
+        << "seed " << seed;
+    // eTransform satisfies (nearly) all latency constraints (Fig. 4e);
+    // manual, being latency-blind, violates at least as many.
+    EXPECT_LE(report.plan.latency_violations, manual.latency_violations)
+        << "seed " << seed;
+    // Meaningful reduction on the mini estate (the >50% headline is a
+    // full-dataset property, exercised by bench_fig4_consolidation; tiny
+    // estates have high draw variance).
+    EXPECT_LT(report.plan.cost.total(), 0.85 * as_is) << "seed " << seed;
+  }
+}
+
+TEST(Integration, Fig6ShapeOnMiniDataset) {
+  const auto instance = make_enterprise(mini_spec(7));
+  const CostModel model(instance);
+
+  const Money as_is_dr = as_is_plus_dr_cost(model).total();
+  const Plan manual = plan_manual(model, true);
+  const Plan greedy = plan_greedy(model, true);
+  const EtransformPlanner planner(fast_options(true));
+  const PlannerReport report = planner.plan(model);
+
+  EXPECT_TRUE(check_plan(instance, report.plan).empty());
+  // The integrated plan beats bolting DR onto the as-is estate by a wide
+  // margin (paper: >25% cheaper) and beats both DR baselines.
+  EXPECT_LT(report.plan.cost.total(), 0.75 * as_is_dr);
+  EXPECT_LE(report.plan.cost.total(), greedy.cost.total() + 1e-6);
+  EXPECT_LE(report.plan.cost.total(), manual.cost.total() + 1e-6);
+  // Shared backups: eTransform provisions fewer backup servers than
+  // greedy's dedicated mirror.
+  EXPECT_LE(report.plan.total_backup_servers(),
+            greedy.total_backup_servers());
+}
+
+TEST(Integration, Fig7ShapeLatencySweep) {
+  // Users far from the cheap site: rising penalties move groups toward the
+  // users — total cost saturates, mean latency falls.
+  double previous_latency = 1e18;
+  double cost_at_zero = 0.0;
+  double cost_at_high = 0.0;
+  for (const double penalty : {0.0, 60.0, 120.0}) {
+    LatencyLineSpec spec;
+    spec.num_groups = 40;
+    spec.total_servers = 200;
+    spec.penalty_per_user = penalty;
+    spec.fraction_users_near = 0.0;
+    spec.users_per_group = 2.0;
+    const auto instance = make_latency_line(spec);
+    const CostModel model(instance);
+    const EtransformPlanner planner(fast_options());
+    const PlannerReport report = planner.plan(model);
+
+    double weighted = 0.0;
+    double users = 0.0;
+    for (int i = 0; i < instance.num_groups(); ++i) {
+      const auto& group = instance.groups[static_cast<std::size_t>(i)];
+      weighted += group.total_users() *
+                  model.average_latency(
+                      i, report.plan.primary[static_cast<std::size_t>(i)]);
+      users += group.total_users();
+    }
+    const double mean_latency = weighted / users;
+    EXPECT_LE(mean_latency, previous_latency + 1e-9);
+    previous_latency = mean_latency;
+    if (penalty == 0.0) cost_at_zero = report.plan.cost.total();
+    if (penalty == 120.0) cost_at_high = report.plan.cost.total();
+  }
+  EXPECT_GT(cost_at_high, cost_at_zero);   // penalties push cost up...
+  EXPECT_LT(previous_latency, 20.0);       // ...but latency ends near users
+}
+
+TEST(Integration, Fig9UShapedTradeoff) {
+  VpnTradeoffSpec spec;
+  spec.num_groups = 0;  // only the site cost structure matters here
+  const auto instance = make_vpn_tradeoff(spec);
+  ApplicationGroup probe;
+  probe.name = "probe";
+  probe.servers = 1;
+  probe.monthly_data_megabits = spec.data_per_group_megabits;
+  probe.users_per_location = {1.0};
+  auto probed = instance;
+  probed.groups.push_back(probe);
+  probed.as_is_centers.push_back(
+      AsIsDataCenter{"asis", {0, 0}, 1, 10.0, 0.0, 0.0, 0.0});
+  probed.as_is_placement = {0};
+  probed.as_is_latency_ms.push_back({1.0});
+  const CostModel model(probed);
+
+  std::vector<double> totals;
+  for (int j = 0; j < probed.num_sites(); ++j) {
+    totals.push_back(model.assignment_cost(0, j));
+  }
+  // U-shape: the minimum is interior, and max/min is large (paper: ~7x).
+  const auto lowest = std::min_element(totals.begin(), totals.end());
+  const auto highest = std::max_element(totals.begin(), totals.end());
+  EXPECT_NE(lowest, totals.begin());
+  EXPECT_NE(lowest, totals.end() - 1);
+  EXPECT_GT(*highest / *lowest, 4.0);
+}
+
+TEST(Integration, Fig10FillsCheapestSiteFirst) {
+  VpnTradeoffSpec spec;
+  spec.num_groups = 150;
+  const auto instance = make_vpn_tradeoff(spec);
+  const CostModel model(instance);
+  const EtransformPlanner planner(fast_options());
+  const PlannerReport report = planner.plan(model);
+  EXPECT_EQ(report.plan.sites_used(), 2);  // 150 groups / 100 capacity
+
+  // The fuller site must be the globally cheapest one for a single group.
+  std::vector<int> counts(static_cast<std::size_t>(instance.num_sites()), 0);
+  for (const int j : report.plan.primary) {
+    counts[static_cast<std::size_t>(j)] += 1;
+  }
+  int fullest = 0;
+  for (int j = 1; j < instance.num_sites(); ++j) {
+    if (counts[static_cast<std::size_t>(j)] >
+        counts[static_cast<std::size_t>(fullest)]) {
+      fullest = j;
+    }
+  }
+  int cheapest = 0;
+  for (int j = 1; j < instance.num_sites(); ++j) {
+    if (model.assignment_cost(0, j) < model.assignment_cost(0, cheapest)) {
+      cheapest = j;
+    }
+  }
+  EXPECT_EQ(fullest, cheapest);
+  EXPECT_EQ(counts[static_cast<std::size_t>(cheapest)], 100);  // filled
+}
+
+}  // namespace
+}  // namespace etransform

@@ -1,0 +1,198 @@
+// Tests for the local-search improver and the Lagrangian lower bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "common/random.h"
+#include "datagen/generators.h"
+#include "planner/lagrangian.h"
+#include "planner/local_search.h"
+
+namespace etransform {
+namespace {
+
+TEST(LocalSearch, NeverMakesAPlanWorseOrInfeasible) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const auto instance = make_random_instance(rng, 12, 4, 3);
+    const CostModel model(instance);
+    Plan plan = plan_manual(model, false);
+    const Money before = plan.cost.total();
+    improve_plan(model, plan);
+    EXPECT_LE(plan.cost.total(), before + 1e-6) << "seed " << seed;
+    EXPECT_TRUE(check_plan(instance, plan).empty()) << "seed " << seed;
+  }
+}
+
+TEST(LocalSearch, FixesObviouslyBadPlacement) {
+  // Everything starts at the expensive site; local search must relocate.
+  ConsolidationInstance instance;
+  instance.locations = {UserLocation{"l", {0, 0}}};
+  for (int i = 0; i < 5; ++i) {
+    ApplicationGroup group;
+    group.name = "g" + std::to_string(i);
+    group.servers = 2;
+    group.users_per_location = {1.0};
+    instance.groups.push_back(group);
+  }
+  for (int j = 0; j < 2; ++j) {
+    DataCenterSite site;
+    site.name = "dc" + std::to_string(j);
+    site.capacity_servers = 20;
+    site.space_cost_per_server = StepSchedule::flat(j == 0 ? 200.0 : 10.0);
+    instance.sites.push_back(site);
+    instance.latency_ms.push_back({5.0});
+  }
+  const CostModel model(instance);
+  Plan plan;
+  plan.primary.assign(5, 0);
+  model.price_plan(plan);
+  EXPECT_TRUE(improve_plan(model, plan));
+  for (const int j : plan.primary) EXPECT_EQ(j, 1);
+}
+
+TEST(LocalSearch, SwapsEscapeCapacityDeadlock) {
+  // Two sites of capacity 4; a 3-server group sits where a 4-server group
+  // wants to be; single moves cannot fix it, a swap can.
+  ConsolidationInstance instance;
+  instance.locations = {UserLocation{"near", {0, 0}},
+                        UserLocation{"far", {100, 0}}};
+  ApplicationGroup big;
+  big.name = "big";
+  big.servers = 4;
+  big.users_per_location = {50.0, 0.0};
+  big.latency_penalty = LatencyPenaltyFunction::single_step(10.0, 100.0);
+  ApplicationGroup small;
+  small.name = "small";
+  small.servers = 3;
+  small.users_per_location = {0.0, 50.0};
+  small.latency_penalty = LatencyPenaltyFunction::single_step(10.0, 100.0);
+  instance.groups = {big, small};
+  for (int j = 0; j < 2; ++j) {
+    DataCenterSite site;
+    site.name = j == 0 ? "near-dc" : "far-dc";
+    site.capacity_servers = 4;
+    site.space_cost_per_server = StepSchedule::flat(10.0);
+    instance.sites.push_back(site);
+  }
+  instance.latency_ms = {{5.0, 30.0}, {30.0, 5.0}};
+  const CostModel model(instance);
+  Plan plan;
+  plan.primary = {1, 0};  // both groups far from their users
+  model.price_plan(plan);
+  EXPECT_GT(plan.latency_violations, 0);
+  EXPECT_TRUE(improve_plan(model, plan));
+  EXPECT_EQ(plan.primary[0], 0);
+  EXPECT_EQ(plan.primary[1], 1);
+  EXPECT_EQ(plan.latency_violations, 0);
+}
+
+TEST(LocalSearch, ImprovesDrPlansIncludingSharing) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed + 20);
+    const auto instance = make_random_instance(rng, 10, 4, 2);
+    const CostModel model(instance);
+    Plan plan = plan_greedy(model, true);
+    // Normalize the greedy dedicated counts to the sharing law first.
+    plan.backup_servers = required_backup_servers(instance, plan.primary,
+                                                  plan.secondary);
+    model.price_plan(plan);
+    const Money before = plan.cost.total();
+    improve_plan(model, plan);
+    EXPECT_LE(plan.cost.total(), before + 1e-6);
+    EXPECT_TRUE(check_plan(instance, plan).empty()) << "seed " << seed;
+    // The improved plan still carries exactly the sharing-law counts.
+    EXPECT_EQ(plan.backup_servers,
+              required_backup_servers(instance, plan.primary, plan.secondary));
+  }
+}
+
+TEST(LocalSearch, IncrementalCostMatchesReprice) {
+  // After improvement, price_plan from scratch must agree with the plan's
+  // stored cost (the incremental bookkeeping has no drift).
+  Rng rng(33);
+  const auto instance = make_random_instance(rng, 12, 4, 2);
+  const CostModel model(instance);
+  Plan plan = plan_greedy(model, true);
+  plan.backup_servers =
+      required_backup_servers(instance, plan.primary, plan.secondary);
+  model.price_plan(plan);
+  improve_plan(model, plan);
+  Plan repriced = plan;
+  model.price_plan(repriced);
+  EXPECT_NEAR(repriced.cost.total(), plan.cost.total(),
+              1e-7 * std::max(1.0, plan.cost.total()));
+}
+
+TEST(LocalSearch, RespectsPinsAndSeparations) {
+  Rng rng(44);
+  auto instance = make_random_instance(rng, 8, 4, 2);
+  instance.groups[0].pinned_site = 2;
+  instance.separations.push_back({1, 2});
+  const CostModel model(instance);
+  Plan plan;
+  plan.primary.assign(static_cast<std::size_t>(instance.num_groups()), 2);
+  plan.primary[1] = 0;  // keep the separated pair apart initially
+  model.price_plan(plan);
+  ASSERT_TRUE(check_plan(instance, plan).empty());
+  improve_plan(model, plan);
+  EXPECT_EQ(plan.primary[0], 2);
+  EXPECT_NE(plan.primary[1], plan.primary[2]);
+  EXPECT_TRUE(check_plan(instance, plan).empty());
+}
+
+TEST(LocalSearch, RejectsMismatchedPlan) {
+  Rng rng(55);
+  const auto instance = make_random_instance(rng, 5, 3, 2);
+  const CostModel model(instance);
+  Plan plan;
+  plan.primary = {0, 1};
+  EXPECT_THROW(improve_plan(model, plan), InvalidInputError);
+}
+
+TEST(Lagrangian, BoundsEveryFeasiblePlanFromBelow) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed + 60);
+    const auto instance = make_random_instance(rng, 10, 3, 2);
+    const CostModel model(instance);
+    const auto bound = lagrangian_lower_bound(model);
+    const Plan greedy = plan_greedy(model, false);
+    EXPECT_LE(bound.lower_bound, greedy.cost.total() + 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST(Lagrangian, TightensWithBindingCapacity) {
+  // When capacity binds, the multipliers must lift the bound above the
+  // naive cheapest-site relaxation.
+  ConsolidationInstance instance;
+  instance.locations = {UserLocation{"l", {0, 0}}};
+  for (int i = 0; i < 4; ++i) {
+    ApplicationGroup group;
+    group.name = "g" + std::to_string(i);
+    group.servers = 2;
+    group.users_per_location = {1.0};
+    instance.groups.push_back(group);
+  }
+  DataCenterSite cheap;
+  cheap.name = "cheap";
+  cheap.capacity_servers = 4;  // only half the estate fits
+  cheap.space_cost_per_server = StepSchedule::flat(10.0);
+  DataCenterSite pricey = cheap;
+  pricey.name = "pricey";
+  pricey.capacity_servers = 100;
+  pricey.space_cost_per_server = StepSchedule::flat(100.0);
+  instance.sites = {cheap, pricey};
+  instance.latency_ms = {{5.0}, {5.0}};
+  const CostModel model(instance);
+  const auto bound = lagrangian_lower_bound(model);
+  // Naive relaxation: all four groups at the cheap site = 8 * 10 = 80.
+  // True optimum: 4 servers cheap + 4 pricey = 40 + 400 = 440.
+  EXPECT_GT(bound.lower_bound, 80.0 + 1.0);
+  EXPECT_LE(bound.lower_bound, 440.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace etransform

@@ -1,0 +1,130 @@
+// Unit tests for the LP model builder: construction, validation, term
+// merging, objective evaluation, feasibility checking.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "lp/model.h"
+
+namespace etransform::lp {
+namespace {
+
+TEST(Model, AddVariableAssignsDenseIndices) {
+  Model m;
+  EXPECT_EQ(m.add_continuous("x"), 0);
+  EXPECT_EQ(m.add_binary("b"), 1);
+  EXPECT_EQ(m.add_variable("g", 0.0, 10.0, true), 2);
+  EXPECT_EQ(m.num_variables(), 3);
+  EXPECT_EQ(m.variable(0).name, "x");
+  EXPECT_TRUE(m.variable(1).is_integer);
+  EXPECT_EQ(m.variable(1).upper, 1.0);
+  EXPECT_EQ(m.variable(2).upper, 10.0);
+}
+
+TEST(Model, RejectsBadVariables) {
+  Model m;
+  EXPECT_THROW(m.add_variable("", 0.0, 1.0), InvalidInputError);
+  EXPECT_THROW(m.add_variable("x", 2.0, 1.0), InvalidInputError);
+}
+
+TEST(Model, RejectsOutOfRangeTerms) {
+  Model m;
+  m.add_continuous("x");
+  EXPECT_THROW(m.add_constraint("c", {{5, 1.0}}, Relation::kLessEqual, 1.0),
+               InvalidInputError);
+  EXPECT_THROW(m.set_objective(Sense::kMinimize, {{-1, 1.0}}),
+               InvalidInputError);
+}
+
+TEST(Model, RejectsNonFiniteCoefficients) {
+  Model m;
+  const int x = m.add_continuous("x");
+  EXPECT_THROW(
+      m.add_constraint("c", {{x, kInfinity}}, Relation::kLessEqual, 1.0),
+      InvalidInputError);
+  EXPECT_THROW(m.add_constraint("c", {{x, 1.0}}, Relation::kEqual, kInfinity),
+               InvalidInputError);
+  // Infinite rhs on an inequality is a vacuous row, not an error.
+  EXPECT_NO_THROW(
+      m.add_constraint("c", {{x, 1.0}}, Relation::kLessEqual, kInfinity));
+  m.validate();
+}
+
+TEST(Model, MergeTermsCombinesDuplicates) {
+  const auto merged = merge_terms({{2, 1.0}, {0, 2.0}, {2, 3.0}, {1, -1.0},
+                                   {1, 1.0}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].var, 0);
+  EXPECT_EQ(merged[0].coef, 2.0);
+  EXPECT_EQ(merged[1].var, 2);
+  EXPECT_EQ(merged[1].coef, 4.0);
+}
+
+TEST(Model, NormalizeMergesRowsAndObjective) {
+  Model m;
+  const int x = m.add_continuous("x");
+  m.set_objective(Sense::kMinimize, {{x, 1.0}, {x, 2.0}});
+  m.add_constraint("c", {{x, 1.0}, {x, -1.0}}, Relation::kLessEqual, 5.0);
+  m.normalize();
+  ASSERT_EQ(m.objective().size(), 1u);
+  EXPECT_EQ(m.objective()[0].coef, 3.0);
+  EXPECT_TRUE(m.constraint(0).terms.empty());
+}
+
+TEST(Model, EvaluateObjectiveIncludesConstant) {
+  Model m;
+  const int x = m.add_continuous("x");
+  const int y = m.add_continuous("y");
+  m.set_objective(Sense::kMinimize, {{x, 2.0}, {y, -1.0}}, 10.0);
+  EXPECT_DOUBLE_EQ(m.evaluate_objective({3.0, 4.0}), 12.0);
+  EXPECT_THROW((void)m.evaluate_objective({1.0}), InvalidInputError);
+}
+
+TEST(Model, FeasibilityChecksRowsBoundsAndIntegrality) {
+  Model m;
+  const int x = m.add_variable("x", 0.0, 5.0, true);
+  const int y = m.add_continuous("y", 0.0, 10.0);
+  m.add_constraint("cap", {{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 6.0);
+  m.add_constraint("min", {{y, 1.0}}, Relation::kGreaterEqual, 1.0);
+  m.add_constraint("tie", {{x, 2.0}, {y, -1.0}}, Relation::kEqual, 0.0);
+  EXPECT_TRUE(m.is_feasible({2.0, 4.0}));
+  EXPECT_FALSE(m.is_feasible({2.5, 5.0}));   // fractional integer
+  EXPECT_FALSE(m.is_feasible({3.0, 6.0}));   // violates cap
+  EXPECT_FALSE(m.is_feasible({0.0, 0.0}));   // violates min
+  EXPECT_FALSE(m.is_feasible({1.0, 3.0}));   // violates tie
+  EXPECT_FALSE(m.is_feasible({6.0, 1.0}));   // violates upper bound
+  EXPECT_FALSE(m.is_feasible({1.0}));        // wrong arity
+}
+
+TEST(Model, SetBoundsAndIntegerMutateExistingVariable) {
+  Model m;
+  const int x = m.add_continuous("x");
+  m.set_bounds(x, 1.0, 2.0);
+  m.set_integer(x, true);
+  EXPECT_EQ(m.variable(x).lower, 1.0);
+  EXPECT_EQ(m.variable(x).upper, 2.0);
+  EXPECT_TRUE(m.variable(x).is_integer);
+  EXPECT_TRUE(m.has_integer_variables());
+  EXPECT_THROW(m.set_bounds(x, 3.0, 2.0), InvalidInputError);
+  EXPECT_THROW(m.set_bounds(9, 0.0, 1.0), InvalidInputError);
+  EXPECT_THROW(m.set_integer(9, true), InvalidInputError);
+}
+
+TEST(Model, AccessorsRejectOutOfRange) {
+  Model m;
+  m.add_continuous("x");
+  EXPECT_THROW((void)m.variable(1), InvalidInputError);
+  EXPECT_THROW((void)m.constraint(0), InvalidInputError);
+}
+
+TEST(Model, AddObjectiveTermAccumulates) {
+  Model m;
+  const int x = m.add_continuous("x");
+  m.set_objective(Sense::kMinimize, {{x, 1.0}});
+  m.add_objective_term(x, 2.0);
+  m.normalize();
+  ASSERT_EQ(m.objective().size(), 1u);
+  EXPECT_EQ(m.objective()[0].coef, 3.0);
+}
+
+}  // namespace
+}  // namespace etransform::lp

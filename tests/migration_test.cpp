@@ -1,0 +1,156 @@
+// Tests for the phased migration scheduler.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "datagen/generators.h"
+#include "planner/etransform_planner.h"
+#include "planner/migration.h"
+
+namespace etransform {
+namespace {
+
+std::pair<ConsolidationInstance, Plan> planned_instance(std::uint64_t seed,
+                                                        bool dr = false) {
+  Rng rng(seed);
+  auto instance = make_random_instance(rng, 12, 4, 2);
+  const CostModel model(instance);
+  PlannerOptions options;
+  options.enable_dr = dr;
+  options.engine = PlannerOptions::Engine::kHeuristic;
+  const EtransformPlanner planner(options);
+  return {std::move(instance), planner.plan(model).plan};
+}
+
+TEST(Migration, UnlimitedBudgetYieldsOneWave) {
+  const auto [instance, plan] = planned_instance(1);
+  const MigrationSchedule schedule = schedule_migration(instance, plan);
+  EXPECT_EQ(schedule.wave_count(), 1);
+  EXPECT_TRUE(check_schedule(instance, plan, {}, schedule).empty());
+}
+
+TEST(Migration, MoveLimitBatchesWaves) {
+  const auto [instance, plan] = planned_instance(2);
+  MigrationLimits limits;
+  limits.max_moves = 5;
+  const MigrationSchedule schedule =
+      schedule_migration(instance, plan, limits);
+  EXPECT_EQ(schedule.wave_count(), 3);  // ceil(12 / 5)
+  EXPECT_EQ(schedule.lower_bound_waves, 3);
+  EXPECT_TRUE(check_schedule(instance, plan, limits, schedule).empty());
+}
+
+TEST(Migration, WanBudgetRespectedAndNearLowerBound) {
+  const auto [instance, plan] = planned_instance(3);
+  double total = 0.0;
+  double biggest = 0.0;
+  for (const auto& group : instance.groups) {
+    total += group.monthly_data_megabits;
+    biggest = std::max(biggest, group.monthly_data_megabits);
+  }
+  MigrationLimits limits;
+  limits.wan_budget_megabits = std::max(total / 4.0, biggest);
+  const MigrationSchedule schedule =
+      schedule_migration(instance, plan, limits);
+  EXPECT_TRUE(check_schedule(instance, plan, limits, schedule).empty());
+  // First-fit-decreasing stays within a small factor of the bound.
+  EXPECT_LE(schedule.wave_count(), schedule.lower_bound_waves + 2);
+}
+
+TEST(Migration, SeparatedGroupsNeverShareAWave) {
+  auto [instance, plan] = planned_instance(4);
+  instance.separations.push_back({0, 1});
+  instance.separations.push_back({2, 3});
+  const MigrationSchedule schedule = schedule_migration(instance, plan);
+  EXPECT_TRUE(check_schedule(instance, plan, {}, schedule).empty());
+  EXPECT_GE(schedule.wave_count(), 2);  // partners forced apart
+}
+
+TEST(Migration, DrPoolsProvisionedBeforeMoves) {
+  const auto [instance, plan] = planned_instance(5, /*dr=*/true);
+  MigrationLimits limits;
+  limits.max_moves = 3;
+  const MigrationSchedule schedule =
+      schedule_migration(instance, plan, limits);
+  EXPECT_TRUE(check_schedule(instance, plan, limits, schedule).empty());
+  // Some wave provisions at least one backup site.
+  bool any = false;
+  for (const auto& wave : schedule.waves) {
+    any |= !wave.provisioned_sites.empty();
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(Migration, RejectsImpossibleBudgets) {
+  const auto [instance, plan] = planned_instance(6);
+  MigrationLimits limits;
+  limits.wan_budget_megabits = 0.5;  // below any single group's data
+  EXPECT_THROW((void)schedule_migration(instance, plan, limits),
+               InvalidInputError);
+  MigrationLimits negative;
+  negative.max_moves = -1;
+  EXPECT_THROW((void)schedule_migration(instance, plan, negative),
+               InvalidInputError);
+}
+
+TEST(Migration, CheckScheduleFlagsTampering) {
+  const auto [instance, plan] = planned_instance(7);
+  MigrationLimits limits;
+  limits.max_moves = 4;
+  MigrationSchedule schedule = schedule_migration(instance, plan, limits);
+  ASSERT_TRUE(check_schedule(instance, plan, limits, schedule).empty());
+  // Drop one group: flagged as never scheduled.
+  MigrationSchedule missing = schedule;
+  missing.waves[0].groups.pop_back();
+  EXPECT_FALSE(check_schedule(instance, plan, limits, missing).empty());
+  // Duplicate a group: flagged as scheduled twice.
+  MigrationSchedule duplicated = schedule;
+  duplicated.waves.back().groups.push_back(schedule.waves[0].groups[0]);
+  EXPECT_FALSE(check_schedule(instance, plan, limits, duplicated).empty());
+}
+
+TEST(Migration, WaveCountMonotoneInMoveLimit) {
+  const auto [instance, plan] = planned_instance(9);
+  int previous = 1 << 30;
+  for (const int limit : {2, 4, 8}) {
+    MigrationLimits limits;
+    limits.max_moves = limit;
+    const MigrationSchedule schedule =
+        schedule_migration(instance, plan, limits);
+    EXPECT_LE(schedule.wave_count(), previous);
+    previous = schedule.wave_count();
+  }
+}
+
+class MigrationPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MigrationPropertyTest, SchedulesAreAlwaysValid) {
+  Rng rng(GetParam() + 40000);
+  auto instance = make_random_instance(
+      rng, 8 + static_cast<int>(GetParam() % 8), 4, 2);
+  if (GetParam() % 2 == 0) instance.separations.push_back({0, 1});
+  const CostModel model(instance);
+  PlannerOptions options;
+  options.engine = PlannerOptions::Engine::kHeuristic;
+  options.enable_dr = (GetParam() % 3 == 0);
+  const Plan plan = EtransformPlanner(options).plan(model).plan;
+  MigrationLimits limits;
+  double biggest = 0.0;
+  for (const auto& group : instance.groups) {
+    biggest = std::max(biggest, group.monthly_data_megabits);
+  }
+  limits.wan_budget_megabits = biggest * (1.0 + rng.uniform());
+  limits.max_moves = 1 + static_cast<int>(rng.uniform_int(1, 4));
+  const MigrationSchedule schedule =
+      schedule_migration(instance, plan, limits);
+  EXPECT_TRUE(check_schedule(instance, plan, limits, schedule).empty())
+      << "seed " << GetParam();
+  EXPECT_GE(schedule.wave_count(), schedule.lower_bound_waves);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace etransform

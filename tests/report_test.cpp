@@ -1,0 +1,85 @@
+// Tests for report rendering.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "cost/cost_model.h"
+#include "datagen/generators.h"
+#include "report/report.h"
+
+namespace etransform {
+namespace {
+
+TEST(Report, SummarizeFromPlanCopiesFields) {
+  Plan plan;
+  plan.primary = {0};
+  plan.cost.space = 100.0;
+  plan.cost.latency_penalty = 25.0;
+  plan.latency_violations = 3;
+  const AlgorithmResult result = summarize("X", plan);
+  EXPECT_EQ(result.label, "X");
+  EXPECT_DOUBLE_EQ(result.operational_cost, 100.0);
+  EXPECT_DOUBLE_EQ(result.latency_penalty, 25.0);
+  EXPECT_DOUBLE_EQ(result.total(), 125.0);
+  EXPECT_EQ(result.latency_violations, 3);
+}
+
+TEST(Report, ComparisonShowsReductionsAgainstFirstRow) {
+  AlgorithmResult as_is{"AS-IS", 1000.0, 0.0, 0};
+  AlgorithmResult better{"eTransform", 400.0, 0.0, 0};
+  AlgorithmResult worse{"manual", 1100.0, 100.0, 7};
+  const std::string text =
+      render_comparison("dataset-x", {as_is, better, worse});
+  EXPECT_NE(text.find("dataset-x"), std::string::npos);
+  EXPECT_NE(text.find("-60.0%"), std::string::npos);
+  EXPECT_NE(text.find("+20.0%"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  EXPECT_THROW((void)render_comparison("x", {}), InvalidInputError);
+}
+
+TEST(Report, CostBreakdownListsAllComponents) {
+  CostBreakdown cost;
+  cost.space = 1;
+  cost.power = 2;
+  cost.labor = 3;
+  cost.wan = 4;
+  cost.latency_penalty = 5;
+  const std::string text = render_cost_breakdown(cost);
+  for (const char* label :
+       {"space", "power", "labor", "wan", "latency penalty", "total"}) {
+    EXPECT_NE(text.find(label), std::string::npos) << label;
+  }
+  EXPECT_EQ(text.find("backup capex"), std::string::npos);
+  cost.backup_capex = 6;
+  EXPECT_NE(render_cost_breakdown(cost).find("backup capex"),
+            std::string::npos);
+}
+
+TEST(Report, PlanSummaryListsSitesAndBackups) {
+  Rng rng(3);
+  const auto instance = make_random_instance(rng, 6, 3, 2);
+  const CostModel model(instance);
+  Plan plan;
+  plan.primary.assign(static_cast<std::size_t>(instance.num_groups()), 0);
+  plan.secondary.assign(static_cast<std::size_t>(instance.num_groups()), 1);
+  plan.backup_servers =
+      required_backup_servers(instance, plan.primary, plan.secondary);
+  model.price_plan(plan);
+  plan.algorithm = "test";
+  const std::string text = render_plan_summary(instance, plan);
+  EXPECT_NE(text.find("to-be state"), std::string::npos);
+  EXPECT_NE(text.find("backup servers"), std::string::npos);
+  EXPECT_NE(text.find(instance.sites[0].name), std::string::npos);
+}
+
+TEST(Report, InstanceSummaryShowsTableIIStatistics) {
+  Rng rng(5);
+  const auto instance = make_random_instance(rng, 6, 3, 2);
+  const std::string text = render_instance_summary(instance);
+  EXPECT_NE(text.find("application groups"), std::string::npos);
+  EXPECT_NE(text.find("physical servers"), std::string::npos);
+  EXPECT_NE(text.find("target data centers"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace etransform

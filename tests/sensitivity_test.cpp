@@ -1,0 +1,124 @@
+// Tests for the placement sensitivity analysis.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "datagen/generators.h"
+#include "planner/etransform_planner.h"
+#include "report/sensitivity.h"
+
+namespace etransform {
+namespace {
+
+TEST(Sensitivity, RegretIsNonNegativeForOptimalPlans) {
+  // If the plan is optimal, moving any single group cannot reduce cost, so
+  // every regret is >= 0 (up to solver tolerance).
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    const auto instance = make_random_instance(rng, 8, 3, 2);
+    const CostModel model(instance);
+    PlannerOptions options;
+    options.milp.time_limit_ms = 5000;
+    const EtransformPlanner planner(options);
+    const PlannerReport report = planner.plan(model);
+    const SensitivityReport sensitivity =
+        analyze_sensitivity(model, report.plan);
+    for (const auto& g : sensitivity.groups) {
+      if (g.runner_up_site >= 0) {
+        EXPECT_GE(g.regret, -1e-5) << "seed " << seed << " group " << g.group;
+      }
+    }
+  }
+}
+
+TEST(Sensitivity, RegretMatchesHandComputation) {
+  // Two flat-price sites: regret of moving a group from the cheap site to
+  // the pricey one is exactly servers * price delta.
+  ConsolidationInstance instance;
+  instance.locations = {UserLocation{"l", {0, 0}}};
+  for (int i = 0; i < 2; ++i) {
+    ApplicationGroup group;
+    group.name = "g" + std::to_string(i);
+    group.servers = 3;
+    group.users_per_location = {1.0};
+    instance.groups.push_back(group);
+  }
+  for (int j = 0; j < 2; ++j) {
+    DataCenterSite site;
+    site.name = "dc" + std::to_string(j);
+    site.capacity_servers = 20;
+    site.space_cost_per_server = StepSchedule::flat(j == 0 ? 40.0 : 100.0);
+    instance.sites.push_back(site);
+    instance.latency_ms.push_back({5.0});
+  }
+  const CostModel model(instance);
+  Plan plan;
+  plan.primary = {0, 0};
+  model.price_plan(plan);
+  const SensitivityReport report = analyze_sensitivity(model, plan);
+  ASSERT_EQ(report.groups.size(), 2u);
+  for (const auto& g : report.groups) {
+    EXPECT_EQ(g.chosen_site, 0);
+    EXPECT_EQ(g.runner_up_site, 1);
+    EXPECT_NEAR(g.regret, 3 * (100.0 - 40.0), 1e-9);
+  }
+}
+
+TEST(Sensitivity, SortedByDescendingRegret) {
+  Rng rng(11);
+  const auto instance = make_random_instance(rng, 10, 4, 2);
+  const CostModel model(instance);
+  Plan plan = [&] {
+    PlannerOptions options;
+    options.engine = PlannerOptions::Engine::kHeuristic;
+    return EtransformPlanner(options).plan(model).plan;
+  }();
+  const SensitivityReport report = analyze_sensitivity(model, plan);
+  for (std::size_t k = 1; k < report.groups.size(); ++k) {
+    EXPECT_GE(report.groups[k - 1].regret, report.groups[k].regret);
+  }
+}
+
+TEST(Sensitivity, SiteUtilizationAccountsBackups) {
+  Rng rng(13);
+  const auto instance = make_random_instance(rng, 8, 4, 2);
+  const CostModel model(instance);
+  PlannerOptions options;
+  options.enable_dr = true;
+  options.engine = PlannerOptions::Engine::kHeuristic;
+  const PlannerReport planned = EtransformPlanner(options).plan(model);
+  const SensitivityReport report = analyze_sensitivity(model, planned.plan);
+  long long total = 0;
+  for (const auto& site : report.sites) {
+    EXPECT_LE(site.servers, site.capacity);
+    total += site.servers;
+  }
+  EXPECT_EQ(total, instance.total_servers() +
+                       planned.plan.total_backup_servers());
+}
+
+TEST(Sensitivity, RejectsInfeasiblePlans) {
+  Rng rng(17);
+  const auto instance = make_random_instance(rng, 5, 3, 2);
+  const CostModel model(instance);
+  Plan bogus;
+  bogus.primary.assign(5, 0);
+  bogus.primary[0] = 99;
+  EXPECT_THROW((void)analyze_sensitivity(model, bogus), InvalidInputError);
+}
+
+TEST(Sensitivity, RenderListsTopRegrets) {
+  Rng rng(19);
+  const auto instance = make_random_instance(rng, 6, 3, 2);
+  const CostModel model(instance);
+  PlannerOptions options;
+  options.engine = PlannerOptions::Engine::kHeuristic;
+  const PlannerReport planned = EtransformPlanner(options).plan(model);
+  const SensitivityReport report = analyze_sensitivity(model, planned.plan);
+  const std::string text = render_sensitivity(instance, report, 3);
+  EXPECT_NE(text.find("placement regret"), std::string::npos);
+  EXPECT_NE(text.find("site utilization"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace etransform
