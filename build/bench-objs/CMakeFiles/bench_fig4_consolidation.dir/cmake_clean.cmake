@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_consolidation"
+  "../bench/bench_fig4_consolidation.pdb"
+  "CMakeFiles/bench_fig4_consolidation.dir/bench_fig4_consolidation.cpp.o"
+  "CMakeFiles/bench_fig4_consolidation.dir/bench_fig4_consolidation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

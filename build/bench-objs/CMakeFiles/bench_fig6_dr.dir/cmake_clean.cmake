@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_dr"
+  "../bench/bench_fig6_dr.pdb"
+  "CMakeFiles/bench_fig6_dr.dir/bench_fig6_dr.cpp.o"
+  "CMakeFiles/bench_fig6_dr.dir/bench_fig6_dr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_dr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_latency_penalty"
+  "../bench/bench_fig7_latency_penalty.pdb"
+  "CMakeFiles/bench_fig7_latency_penalty.dir/bench_fig7_latency_penalty.cpp.o"
+  "CMakeFiles/bench_fig7_latency_penalty.dir/bench_fig7_latency_penalty.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_latency_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_dr_server_cost"
+  "../bench/bench_fig8_dr_server_cost.pdb"
+  "CMakeFiles/bench_fig8_dr_server_cost.dir/bench_fig8_dr_server_cost.cpp.o"
+  "CMakeFiles/bench_fig8_dr_server_cost.dir/bench_fig8_dr_server_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dr_server_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

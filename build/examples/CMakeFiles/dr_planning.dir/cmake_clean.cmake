@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_planning.dir/dr_planning.cpp.o"
+  "CMakeFiles/dr_planning.dir/dr_planning.cpp.o.d"
+  "dr_planning"
+  "dr_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_consolidation.dir/enterprise_consolidation.cpp.o"
+  "CMakeFiles/enterprise_consolidation.dir/enterprise_consolidation.cpp.o.d"
+  "enterprise_consolidation"
+  "enterprise_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etransform_cli.dir/etransform_cli.cpp.o"
+  "CMakeFiles/etransform_cli.dir/etransform_cli.cpp.o.d"
+  "etransform_cli"
+  "etransform_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etransform_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_planning.dir/iterative_planning.cpp.o"
+  "CMakeFiles/iterative_planning.dir/iterative_planning.cpp.o.d"
+  "iterative_planning"
+  "iterative_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_tool.dir/lp_tool.cpp.o"
+  "CMakeFiles/lp_tool.dir/lp_tool.cpp.o.d"
+  "lp_tool"
+  "lp_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/et_baselines.dir/baselines.cpp.o.d"
+  "libet_baselines.a"
+  "libet_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

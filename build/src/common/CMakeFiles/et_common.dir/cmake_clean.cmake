@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_common.dir/csv.cpp.o"
+  "CMakeFiles/et_common.dir/csv.cpp.o.d"
+  "CMakeFiles/et_common.dir/logging.cpp.o"
+  "CMakeFiles/et_common.dir/logging.cpp.o.d"
+  "CMakeFiles/et_common.dir/money.cpp.o"
+  "CMakeFiles/et_common.dir/money.cpp.o.d"
+  "CMakeFiles/et_common.dir/random.cpp.o"
+  "CMakeFiles/et_common.dir/random.cpp.o.d"
+  "CMakeFiles/et_common.dir/strings.cpp.o"
+  "CMakeFiles/et_common.dir/strings.cpp.o.d"
+  "CMakeFiles/et_common.dir/table.cpp.o"
+  "CMakeFiles/et_common.dir/table.cpp.o.d"
+  "libet_common.a"
+  "libet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_cost.dir/cost_model.cpp.o"
+  "CMakeFiles/et_cost.dir/cost_model.cpp.o.d"
+  "libet_cost.a"
+  "libet_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

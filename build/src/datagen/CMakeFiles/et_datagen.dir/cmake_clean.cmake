@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_datagen.dir/generators.cpp.o"
+  "CMakeFiles/et_datagen.dir/generators.cpp.o.d"
+  "libet_datagen.a"
+  "libet_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

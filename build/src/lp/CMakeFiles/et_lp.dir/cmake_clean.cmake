@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_lp.dir/lp_format.cpp.o"
+  "CMakeFiles/et_lp.dir/lp_format.cpp.o.d"
+  "CMakeFiles/et_lp.dir/model.cpp.o"
+  "CMakeFiles/et_lp.dir/model.cpp.o.d"
+  "CMakeFiles/et_lp.dir/presolve.cpp.o"
+  "CMakeFiles/et_lp.dir/presolve.cpp.o.d"
+  "CMakeFiles/et_lp.dir/simplex.cpp.o"
+  "CMakeFiles/et_lp.dir/simplex.cpp.o.d"
+  "libet_lp.a"
+  "libet_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_milp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/et_milp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/et_milp.dir/brute_force.cpp.o"
+  "CMakeFiles/et_milp.dir/brute_force.cpp.o.d"
+  "libet_milp.a"
+  "libet_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

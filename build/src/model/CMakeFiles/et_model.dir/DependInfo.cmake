@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/cost_schedule.cpp" "src/model/CMakeFiles/et_model.dir/cost_schedule.cpp.o" "gcc" "src/model/CMakeFiles/et_model.dir/cost_schedule.cpp.o.d"
+  "/root/repo/src/model/entities.cpp" "src/model/CMakeFiles/et_model.dir/entities.cpp.o" "gcc" "src/model/CMakeFiles/et_model.dir/entities.cpp.o.d"
+  "/root/repo/src/model/grouping.cpp" "src/model/CMakeFiles/et_model.dir/grouping.cpp.o" "gcc" "src/model/CMakeFiles/et_model.dir/grouping.cpp.o.d"
+  "/root/repo/src/model/instance_io.cpp" "src/model/CMakeFiles/et_model.dir/instance_io.cpp.o" "gcc" "src/model/CMakeFiles/et_model.dir/instance_io.cpp.o.d"
+  "/root/repo/src/model/latency.cpp" "src/model/CMakeFiles/et_model.dir/latency.cpp.o" "gcc" "src/model/CMakeFiles/et_model.dir/latency.cpp.o.d"
+  "/root/repo/src/model/plan.cpp" "src/model/CMakeFiles/et_model.dir/plan.cpp.o" "gcc" "src/model/CMakeFiles/et_model.dir/plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

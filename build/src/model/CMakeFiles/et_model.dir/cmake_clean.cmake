@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_model.dir/cost_schedule.cpp.o"
+  "CMakeFiles/et_model.dir/cost_schedule.cpp.o.d"
+  "CMakeFiles/et_model.dir/entities.cpp.o"
+  "CMakeFiles/et_model.dir/entities.cpp.o.d"
+  "CMakeFiles/et_model.dir/grouping.cpp.o"
+  "CMakeFiles/et_model.dir/grouping.cpp.o.d"
+  "CMakeFiles/et_model.dir/instance_io.cpp.o"
+  "CMakeFiles/et_model.dir/instance_io.cpp.o.d"
+  "CMakeFiles/et_model.dir/latency.cpp.o"
+  "CMakeFiles/et_model.dir/latency.cpp.o.d"
+  "CMakeFiles/et_model.dir/plan.cpp.o"
+  "CMakeFiles/et_model.dir/plan.cpp.o.d"
+  "libet_model.a"
+  "libet_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

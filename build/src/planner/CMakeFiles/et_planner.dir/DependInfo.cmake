@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planner/admin.cpp" "src/planner/CMakeFiles/et_planner.dir/admin.cpp.o" "gcc" "src/planner/CMakeFiles/et_planner.dir/admin.cpp.o.d"
+  "/root/repo/src/planner/etransform_planner.cpp" "src/planner/CMakeFiles/et_planner.dir/etransform_planner.cpp.o" "gcc" "src/planner/CMakeFiles/et_planner.dir/etransform_planner.cpp.o.d"
+  "/root/repo/src/planner/formulation.cpp" "src/planner/CMakeFiles/et_planner.dir/formulation.cpp.o" "gcc" "src/planner/CMakeFiles/et_planner.dir/formulation.cpp.o.d"
+  "/root/repo/src/planner/lagrangian.cpp" "src/planner/CMakeFiles/et_planner.dir/lagrangian.cpp.o" "gcc" "src/planner/CMakeFiles/et_planner.dir/lagrangian.cpp.o.d"
+  "/root/repo/src/planner/local_search.cpp" "src/planner/CMakeFiles/et_planner.dir/local_search.cpp.o" "gcc" "src/planner/CMakeFiles/et_planner.dir/local_search.cpp.o.d"
+  "/root/repo/src/planner/migration.cpp" "src/planner/CMakeFiles/et_planner.dir/migration.cpp.o" "gcc" "src/planner/CMakeFiles/et_planner.dir/migration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/et_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/et_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/et_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/et_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/et_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

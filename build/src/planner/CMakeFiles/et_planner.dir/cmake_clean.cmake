@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_planner.dir/admin.cpp.o"
+  "CMakeFiles/et_planner.dir/admin.cpp.o.d"
+  "CMakeFiles/et_planner.dir/etransform_planner.cpp.o"
+  "CMakeFiles/et_planner.dir/etransform_planner.cpp.o.d"
+  "CMakeFiles/et_planner.dir/formulation.cpp.o"
+  "CMakeFiles/et_planner.dir/formulation.cpp.o.d"
+  "CMakeFiles/et_planner.dir/lagrangian.cpp.o"
+  "CMakeFiles/et_planner.dir/lagrangian.cpp.o.d"
+  "CMakeFiles/et_planner.dir/local_search.cpp.o"
+  "CMakeFiles/et_planner.dir/local_search.cpp.o.d"
+  "CMakeFiles/et_planner.dir/migration.cpp.o"
+  "CMakeFiles/et_planner.dir/migration.cpp.o.d"
+  "libet_planner.a"
+  "libet_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

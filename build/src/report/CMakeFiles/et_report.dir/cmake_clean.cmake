@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_report.dir/report.cpp.o"
+  "CMakeFiles/et_report.dir/report.cpp.o.d"
+  "CMakeFiles/et_report.dir/sensitivity.cpp.o"
+  "CMakeFiles/et_report.dir/sensitivity.cpp.o.d"
+  "libet_report.a"
+  "libet_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouping_test.dir/grouping_test.cpp.o"
+  "CMakeFiles/grouping_test.dir/grouping_test.cpp.o.d"
+  "grouping_test"
+  "grouping_test.pdb"
+  "grouping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_model_test.dir/lp_model_test.cpp.o"
+  "CMakeFiles/lp_model_test.dir/lp_model_test.cpp.o.d"
+  "lp_model_test"
+  "lp_model_test.pdb"
+  "lp_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/migration_test.cpp" "tests/CMakeFiles/migration_test.dir/migration_test.cpp.o" "gcc" "tests/CMakeFiles/migration_test.dir/migration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/planner/CMakeFiles/et_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/et_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/et_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/et_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/et_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/et_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/et_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

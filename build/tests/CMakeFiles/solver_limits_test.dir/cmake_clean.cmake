@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_limits_test.dir/solver_limits_test.cpp.o"
+  "CMakeFiles/solver_limits_test.dir/solver_limits_test.cpp.o.d"
+  "solver_limits_test"
+  "solver_limits_test.pdb"
+  "solver_limits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

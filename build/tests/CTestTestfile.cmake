@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_model_test[1]_include.cmake")
+include("/root/repo/build/tests/simplex_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_format_test[1]_include.cmake")
+include("/root/repo/build/tests/milp_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/formulation_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/local_search_test[1]_include.cmake")
+include("/root/repo/build/tests/admin_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_property_test[1]_include.cmake")
+include("/root/repo/build/tests/instance_io_test[1]_include.cmake")
+include("/root/repo/build/tests/presolve_test[1]_include.cmake")
+include("/root/repo/build/tests/sensitivity_test[1]_include.cmake")
+include("/root/repo/build/tests/grouping_test[1]_include.cmake")
+include("/root/repo/build/tests/migration_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_limits_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_robustness_test[1]_include.cmake")
