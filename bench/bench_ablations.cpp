@@ -30,7 +30,8 @@ void ablate_economies() {
     options.economies_of_scale = modeled;
     options.milp.time_limit_ms = 20000;
     const EtransformPlanner planner(options);
-    const PlannerReport report = planner.plan(model);
+    SolveContext ctx;
+    const PlannerReport report = planner.plan(model, ctx);
     table.add_row({modeled ? "yes" : "no (base prices)",
                    format_money_compact(report.plan.cost.total())});
   }
@@ -54,7 +55,8 @@ void ablate_omega() {
     options.business_impact_omega = omega;
     options.milp.time_limit_ms = 15000;
     const EtransformPlanner planner(options);
-    const PlannerReport report = planner.plan(model);
+    SolveContext ctx;
+    const PlannerReport report = planner.plan(model, ctx);
     table.add_row({format_double(omega, 2),
                    std::to_string(report.plan.sites_used()),
                    format_money_compact(report.plan.cost.total())});

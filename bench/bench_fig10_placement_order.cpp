@@ -36,7 +36,8 @@ void run() {
     // engine solves these at the LP root. Above the var gate kAuto flips to
     // the (equally exact here) heuristic.
     const EtransformPlanner planner(options);
-    const PlannerReport report = planner.plan(model);
+    SolveContext ctx;
+    const PlannerReport report = planner.plan(model, ctx);
 
     std::map<int, int> groups_per_site;
     for (const int j : report.plan.primary) groups_per_site[j] += 1;

@@ -39,7 +39,8 @@ void run_dataset(const ConsolidationInstance& instance) {
   PlannerOptions options;
   options.compute_lower_bound = true;
   const EtransformPlanner planner(options);
-  const PlannerReport report = planner.plan(model);
+  SolveContext ctx;
+  const PlannerReport report = planner.plan(model, ctx);
   results.push_back(summarize("eTRANSFORM", report.plan));
 
   std::printf("%s", render_comparison(instance.name, results).c_str());

@@ -57,7 +57,8 @@ void run_sweep() {
       const auto instance = make_latency_line(spec);
       const CostModel model(instance);
       const EtransformPlanner planner;
-      const PlannerReport report = planner.plan(model);
+      SolveContext ctx;
+      const PlannerReport report = planner.plan(model, ctx);
 
       double user_weighted_latency = 0.0;
       double users = 0.0;

@@ -44,7 +44,8 @@ void run_sweep() {
     // engine optimizes the exact shared-sizing objective directly.
     options.engine = PlannerOptions::Engine::kHeuristic;
     const EtransformPlanner planner(options);
-    const PlannerReport report = planner.plan(model);
+    SolveContext ctx;
+    const PlannerReport report = planner.plan(model, ctx);
     std::vector<std::string> row = {
         format_double(zeta, 0), std::to_string(report.plan.sites_used()),
         std::to_string(report.plan.total_backup_servers()),

@@ -43,7 +43,8 @@ void BM_SimplexRandomLp(benchmark::State& state) {
                                static_cast<int>(state.range(0)) / 2);
   const lp::SimplexSolver solver;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(solver.solve(model));
+    SolveContext ctx;
+    benchmark::DoNotOptimize(solver.solve(model, ctx));
   }
 }
 BENCHMARK(BM_SimplexRandomLp)->Arg(50)->Arg(200)->Arg(800);
@@ -65,7 +66,8 @@ void BM_BranchAndBoundKnapsack(benchmark::State& state) {
   model.add_constraint("cap", cap, lp::Relation::kLessEqual, 0.4 * total);
   const milp::BranchAndBoundSolver solver;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(solver.solve(model));
+    SolveContext ctx;
+    benchmark::DoNotOptimize(solver.solve(model, ctx));
   }
 }
 BENCHMARK(BM_BranchAndBoundKnapsack)->Arg(20)->Arg(40);
@@ -77,7 +79,8 @@ void BM_PlannerEnterprise1(benchmark::State& state) {
   options.milp.time_limit_ms = 20000;
   const EtransformPlanner planner(options);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(planner.plan(model));
+    SolveContext ctx;
+    benchmark::DoNotOptimize(planner.plan(model, ctx));
   }
 }
 BENCHMARK(BM_PlannerEnterprise1)->Unit(benchmark::kMillisecond)->Iterations(1);
@@ -91,7 +94,8 @@ void BM_GreedyFederal(benchmark::State& state) {
   options.local_search.enable_swaps = false;
   const EtransformPlanner planner(options);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(planner.plan(model));
+    SolveContext ctx;
+    benchmark::DoNotOptimize(planner.plan(model, ctx));
   }
 }
 BENCHMARK(BM_GreedyFederal)->Unit(benchmark::kMillisecond)->Iterations(1);

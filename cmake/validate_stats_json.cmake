@@ -1,0 +1,63 @@
+# Runs etransform_cli plan --stats-json and validates that the emitted file
+# is well-formed JSON with the expected solve-stats shape (per-phase wall
+# times and counters). Driven by ctest:
+#   cmake -DCLI=<path> -DWORK_DIR=<dir> -P validate_stats_json.cmake
+# Requires CMake >= 3.19 for string(JSON).
+cmake_minimum_required(VERSION 3.19)
+
+if(NOT DEFINED CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<etransform_cli> -DWORK_DIR=<dir> "
+                      "-P validate_stats_json.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(instance "${WORK_DIR}/stats_check.etf")
+set(stats_json "${WORK_DIR}/stats_check.json")
+
+execute_process(
+  COMMAND "${CLI}" generate enterprise1 -o "${instance}"
+  RESULT_VARIABLE generate_result)
+if(NOT generate_result EQUAL 0)
+  message(FATAL_ERROR "etransform_cli generate failed (${generate_result})")
+endif()
+
+# Heuristic engine keeps the check fast; the stats tree still carries the
+# planner/heuristic/local-search phases.
+execute_process(
+  COMMAND "${CLI}" plan "${instance}" --engine heuristic
+          --stats-json "${stats_json}"
+  RESULT_VARIABLE plan_result
+  OUTPUT_QUIET)
+if(NOT plan_result EQUAL 0)
+  message(FATAL_ERROR "etransform_cli plan failed (${plan_result})")
+endif()
+
+file(READ "${stats_json}" stats)
+
+# string(JSON) fails the script with a clear message on malformed JSON.
+string(JSON root_name GET "${stats}" "name")
+if(NOT root_name STREQUAL "planner")
+  message(FATAL_ERROR "root stats name is '${root_name}', want 'planner'")
+endif()
+
+string(JSON wall_ms GET "${stats}" "wall_ms")
+if(wall_ms LESS_EQUAL 0)
+  message(FATAL_ERROR "planner wall_ms is '${wall_ms}', want > 0")
+endif()
+
+string(JSON child_count LENGTH "${stats}" "children")
+if(child_count LESS 1)
+  message(FATAL_ERROR "planner stats has no child phases")
+endif()
+
+# Every child phase must carry a numeric wall time.
+math(EXPR last "${child_count} - 1")
+foreach(i RANGE ${last})
+  string(JSON phase_name GET "${stats}" "children" ${i} "name")
+  string(JSON phase_wall GET "${stats}" "children" ${i} "wall_ms")
+  if(phase_wall LESS 0)
+    message(FATAL_ERROR "phase '${phase_name}' has negative wall_ms")
+  endif()
+endforeach()
+
+message(STATUS "stats JSON OK: ${child_count} phases under '${root_name}'")

@@ -34,7 +34,8 @@ int main() {
     options.business_impact_omega = omega;
     options.milp.time_limit_ms = 20000;
     const EtransformPlanner planner(options);
-    const PlannerReport report = planner.plan(model);
+    SolveContext ctx;
+    const PlannerReport report = planner.plan(model, ctx);
 
     std::vector<int> per_site(static_cast<std::size_t>(instance.num_sites()),
                               0);
@@ -64,7 +65,8 @@ int main() {
     options.dr_sizing = dedicated ? PlannerOptions::DrSizing::kDedicated
                                   : PlannerOptions::DrSizing::kShared;
     const EtransformPlanner planner(options);
-    const PlannerReport report = planner.plan(model);
+    SolveContext ctx;
+    const PlannerReport report = planner.plan(model, ctx);
     sizing.add_row({dedicated ? "dedicated (multi-failure)"
                               : "shared (single failure)",
                     std::to_string(report.plan.total_backup_servers()),

@@ -28,7 +28,8 @@ int main() {
   results.push_back(summarize("GREEDY", plan_greedy(model, false)));
 
   const EtransformPlanner planner;
-  const PlannerReport report = planner.plan(model);
+  SolveContext ctx;
+  const PlannerReport report = planner.plan(model, ctx);
   results.push_back(summarize("eTRANSFORM", report.plan));
 
   std::printf("%s\n", render_comparison(instance.name, results).c_str());

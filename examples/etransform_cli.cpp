@@ -8,9 +8,14 @@
 //       Price the current ("as-is") estate.
 //   etransform_cli plan <in.etf> [--dr] [--omega X] [--engine auto|exact|
 //       heuristic] [--no-economies] [--lp-out model.lp] [--time-limit ms]
+//       [--trace] [--stats-json stats.json]
 //       Compute the "to-be" plan and print the full report. --lp-out also
 //       writes the MILP in CPLEX LP format (feed it to lp_tool, or to an
-//       actual CPLEX, to audit the optimization engine).
+//       actual CPLEX, to audit the optimization engine). --trace streams
+//       solver events (presolve reductions, simplex phases, B&B incumbents
+//       and bound moves) to stderr as they happen; --stats-json dumps the
+//       hierarchical SolveStats tree (per-phase wall times, pivot/node
+//       counters, incumbent/bound trace) as JSON.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -43,6 +48,7 @@ int usage() {
       "  etransform_cli plan <in.etf> [--dr] [--omega X] [--sensitivity]\n"
       "      [--engine auto|exact|heuristic] [--no-economies]\n"
       "      [--lp-out model.lp] [--time-limit ms]\n"
+      "      [--trace] [--stats-json stats.json]\n"
       "      [--migrate] [--wan-budget megabits] [--max-moves N]\n");
   return 1;
 }
@@ -97,6 +103,8 @@ int cmd_plan(int argc, char** argv) {
 
   PlannerOptions options;
   std::string lp_out;
+  std::string stats_json_out;
+  bool trace = false;
   bool sensitivity = false;
   bool migrate = false;
   MigrationLimits migration_limits;
@@ -131,6 +139,10 @@ int cmd_plan(int argc, char** argv) {
       lp_out = argv[++a];
     } else if (flag == "--time-limit" && a + 1 < argc) {
       options.milp.time_limit_ms = std::stoi(argv[++a]);
+    } else if (flag == "--trace") {
+      trace = true;
+    } else if (flag == "--stats-json" && a + 1 < argc) {
+      stats_json_out = argv[++a];
     } else {
       return usage();
     }
@@ -154,8 +166,44 @@ int cmd_plan(int argc, char** argv) {
                  formulation.model.num_constraints());
   }
 
+  SolveContext ctx;
+  if (trace) {
+    ctx.events.on_presolve_reduction = [](const PresolveReductionEvent& e) {
+      std::fprintf(stderr, "[trace] presolve %s: -%d rows -%d vars\n", e.rule,
+                   e.rows_removed, e.vars_removed);
+    };
+    ctx.events.on_simplex_phase = [](const SimplexPhaseEvent& e) {
+      std::fprintf(stderr, "[trace] simplex phase %d done: %d pivots, obj %g\n",
+                   e.phase, e.pivots, e.objective);
+    };
+    ctx.events.on_incumbent = [](const IncumbentEvent& e) {
+      std::fprintf(stderr,
+                   "[trace] incumbent %g at node %lld (%.1f ms)\n",
+                   e.objective, e.node, e.time_ms);
+    };
+    ctx.events.on_bound_improvement = [](const BoundEvent& e) {
+      std::fprintf(stderr, "[trace] bound %g (incumbent %g) at node %lld\n",
+                   e.bound, e.incumbent, e.node);
+    };
+    ctx.events.on_node = [](const NodeEvent& e) {
+      if (e.node % 1000 != 0) return;  // keep the stream readable
+      std::fprintf(stderr,
+                   "[trace] node %lld depth %d relax %g bound %g open %d\n",
+                   e.node, e.depth, e.relaxation, e.best_bound, e.open_nodes);
+    };
+  }
+
   const EtransformPlanner planner(options);
-  const PlannerReport report = planner.plan(model);
+  const PlannerReport report = planner.plan(model, ctx);
+  if (!stats_json_out.empty()) {
+    std::ofstream out(stats_json_out);
+    if (!out) {
+      throw InvalidInputError("cannot write '" + stats_json_out + "'");
+    }
+    out << report.stats.to_json() << "\n";
+    std::fprintf(stderr, "solve stats written to %s\n",
+                 stats_json_out.c_str());
+  }
   std::printf("%s", render_plan_summary(instance, report.plan).c_str());
   if (!instance.as_is_placement.empty()) {
     const Money as_is = model.as_is_cost().total();
@@ -164,9 +212,13 @@ int cmd_plan(int argc, char** argv) {
                 format_money_compact(report.plan.cost.total()).c_str(),
                 (report.plan.cost.total() - as_is) / as_is * 100.0);
   }
-  std::printf("solver: %s%s\n",
+  std::printf("solver: %s%s%s\n",
               report.used_exact_solver ? "exact MILP" : "heuristic",
-              report.proven_optimal ? " (proven optimal)" : "");
+              report.proven_optimal ? " (proven optimal)" : "",
+              report.interrupted ? " (interrupted)" : "");
+  if (trace) {
+    std::printf("\n%s", render_solve_stats(report.stats).c_str());
+  }
   if (sensitivity) {
     std::printf("\n%s",
                 render_sensitivity(instance,

@@ -106,7 +106,8 @@ int main() {
   options.enable_dr = true;
   options.milp.time_limit_ms = 15000;
   const EtransformPlanner planner(options);
-  const PlannerReport report = planner.plan(model);
+  SolveContext ctx;
+  const PlannerReport report = planner.plan(model, ctx);
   std::printf("\n%s\n", render_plan_summary(instance, report.plan).c_str());
 
   // ---- 4. migration waves --------------------------------------------------

@@ -37,7 +37,8 @@ int solve_text(const std::string& text, const char* output_path) {
   std::fprintf(stderr, "parsed: %d variables, %d constraints, %s\n",
                model.num_variables(), model.num_constraints(),
                model.has_integer_variables() ? "MILP" : "LP");
-  const lp::PresolveResult presolved = lp::presolve(model);
+  SolveContext ctx;
+  const lp::PresolveResult presolved = lp::presolve(model, ctx);
   lp::LpSolution solution;
   if (presolved.status == lp::PresolveStatus::kInfeasible) {
     std::fprintf(stderr, "presolve: infeasible\n");
@@ -48,7 +49,7 @@ int solve_text(const std::string& text, const char* output_path) {
     const lp::Model& reduced = presolved.reduced;
     if (reduced.has_integer_variables()) {
       const milp::BranchAndBoundSolver solver;
-      const milp::MilpSolution milp_solution = solver.solve(reduced);
+      const milp::MilpSolution milp_solution = solver.solve(reduced, ctx);
       std::fprintf(stderr, "branch-and-bound: %s, %d nodes, %d LP pivots\n",
                    milp::to_string(milp_solution.status), milp_solution.nodes,
                    milp_solution.lp_iterations);
@@ -63,7 +64,7 @@ int solve_text(const std::string& text, const char* output_path) {
       }
     } else {
       const lp::SimplexSolver solver;
-      solution = solver.solve(reduced);
+      solution = solver.solve(reduced, ctx);
       std::fprintf(stderr, "simplex: %s in %d pivots\n",
                    lp::to_string(solution.status), solution.iterations);
       if (solution.status == lp::SolveStatus::kOptimal) {

@@ -99,7 +99,8 @@ int main() {
   // Plan.
   const CostModel model(instance);
   const EtransformPlanner planner;
-  const PlannerReport report = planner.plan(model);
+  SolveContext ctx;
+  const PlannerReport report = planner.plan(model, ctx);
 
   std::printf("as-is monthly cost:\n%s\n",
               render_cost_breakdown(model.as_is_cost()).c_str());

@@ -1,0 +1,159 @@
+#include "common/solve_context.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace etransform {
+
+namespace {
+
+/// JSON has no NaN/inf; emit null for non-finite samples (absent incumbent).
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", v);
+  out += buffer;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_stats_json(std::string& out, const SolveStats& stats) {
+  out += "{\"name\":";
+  append_json_string(out, stats.name);
+  out += ",\"wall_ms\":";
+  append_json_number(out, stats.wall_ms);
+  out += ",\"metrics\":{";
+  for (std::size_t k = 0; k < stats.metrics.size(); ++k) {
+    if (k > 0) out += ',';
+    append_json_string(out, stats.metrics[k].first);
+    out += ':';
+    append_json_number(out, stats.metrics[k].second);
+  }
+  out += '}';
+  if (!stats.trace.empty()) {
+    out += ",\"trace\":[";
+    for (std::size_t k = 0; k < stats.trace.size(); ++k) {
+      if (k > 0) out += ',';
+      const TracePoint& p = stats.trace[k];
+      out += "{\"time_ms\":";
+      append_json_number(out, p.time_ms);
+      out += ",\"node\":";
+      append_json_number(out, static_cast<double>(p.node));
+      out += ",\"incumbent\":";
+      append_json_number(out, p.incumbent);
+      out += ",\"bound\":";
+      append_json_number(out, p.bound);
+      out += '}';
+    }
+    out += ']';
+  }
+  if (!stats.children.empty()) {
+    out += ",\"children\":[";
+    for (std::size_t k = 0; k < stats.children.size(); ++k) {
+      if (k > 0) out += ',';
+      append_stats_json(out, stats.children[k]);
+    }
+    out += ']';
+  }
+  out += '}';
+}
+
+void append_render(std::ostringstream& out, const SolveStats& stats,
+                   int depth) {
+  for (int k = 0; k < depth; ++k) out << "  ";
+  out << stats.name << ": " << std::fixed;
+  out.precision(1);
+  out << stats.wall_ms << " ms";
+  out.unsetf(std::ios_base::floatfield);
+  out.precision(6);
+  for (const auto& [key, value] : stats.metrics) {
+    out << ", " << key << "=" << value;
+  }
+  if (!stats.trace.empty()) {
+    out << ", trace=" << stats.trace.size() << " samples";
+  }
+  out << "\n";
+  for (const SolveStats& c : stats.children) {
+    append_render(out, c, depth + 1);
+  }
+}
+
+}  // namespace
+
+SolveStats& SolveStats::child(std::string_view child_name) {
+  for (SolveStats& c : children) {
+    if (c.name == child_name) return c;
+  }
+  SolveStats fresh;
+  fresh.name = std::string(child_name);
+  children.push_back(std::move(fresh));
+  return children.back();
+}
+
+const SolveStats* SolveStats::find(std::string_view child_name) const {
+  for (const SolveStats& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+void SolveStats::add(std::string_view key, double delta) {
+  for (auto& [name_, value] : metrics) {
+    if (name_ == key) {
+      value += delta;
+      return;
+    }
+  }
+  metrics.emplace_back(std::string(key), delta);
+}
+
+double SolveStats::metric(std::string_view key) const {
+  for (const auto& [name_, value] : metrics) {
+    if (name_ == key) return value;
+  }
+  return 0.0;
+}
+
+double SolveStats::deep_metric(std::string_view key) const {
+  double total = metric(key);
+  for (const SolveStats& c : children) total += c.deep_metric(key);
+  return total;
+}
+
+std::string SolveStats::to_json() const {
+  std::string out;
+  append_stats_json(out, *this);
+  return out;
+}
+
+std::string SolveStats::render() const {
+  std::ostringstream out;
+  append_render(out, *this, 0);
+  return out.str();
+}
+
+}  // namespace etransform

@@ -1,0 +1,249 @@
+// SolveContext: the unified observability & control layer for the solver
+// stack (simplex -> presolve -> branch-and-bound -> planner).
+//
+// One SolveContext is threaded by reference through every solver entry
+// point. It carries three concerns:
+//
+//  * control  — a monotonic Deadline plus a cooperative cancellation token.
+//    Solvers poll should_stop() at bounded intervals (the simplex checks
+//    every refactor_interval pivots, branch-and-bound before every node) and
+//    unwind with kTimeLimit / kCancelled statuses, returning whatever
+//    partial result they hold.
+//  * events   — optional callbacks fired at structural moments of a solve
+//    (simplex phase completion, presolve reductions, B&B nodes, incumbent
+//    and bound updates). Unset callbacks cost one branch per event site.
+//    Callbacks may call request_cancel() to stop the solve from inside.
+//  * stats    — a hierarchical SolveStats tree (per-phase wall time plus
+//    named counters and an incumbent/bound trace) built via SolveScope
+//    RAII nodes. Layers aggregate into shared children ("simplex" under
+//    "branch_and_bound"), so a 10k-node MILP produces a handful of tree
+//    nodes, not 10k.
+//
+// A default-constructed SolveContext has no deadline, no cancellation, and
+// no callbacks: the legacy signatures forward through one, so the overhead
+// of the redesign on the hot path is a few predictable branches.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace etransform {
+
+// ---------------------------------------------------------------------------
+// Event payloads. Plain value types on purpose: common/ must not depend on
+// lp/ or milp/, and payloads must stay cheap to build even when unused.
+
+/// Fired when a simplex phase (1 = feasibility, 2 = optimality) finishes.
+struct SimplexPhaseEvent {
+  int phase = 0;            ///< 1 or 2.
+  int pivots = 0;           ///< Pivots spent in this phase.
+  double objective = 0.0;   ///< Internal phase objective at completion.
+};
+
+/// Fired for each presolve reduction as it is applied.
+struct PresolveReductionEvent {
+  /// Reduction rule: "fix_variable", "empty_row", or "singleton_row".
+  const char* rule = "";
+  int rows_removed = 0;  ///< Rows removed by this reduction.
+  int vars_removed = 0;  ///< Variables substituted out by this reduction.
+};
+
+/// Fired after each branch-and-bound node is processed.
+struct NodeEvent {
+  long long node = 0;        ///< 1-based node counter.
+  int depth = 0;             ///< Depth in the B&B tree (root = 0).
+  double relaxation = 0.0;   ///< Node LP bound (model sense); NaN if LP failed.
+  double best_bound = 0.0;   ///< Global dual bound (model sense).
+  double incumbent = 0.0;    ///< Incumbent objective; NaN when none yet.
+  int open_nodes = 0;        ///< Nodes still open after this one.
+};
+
+/// Fired when branch-and-bound finds a new incumbent.
+struct IncumbentEvent {
+  long long node = 0;       ///< Node at which the incumbent was found.
+  double objective = 0.0;   ///< Incumbent objective (model sense).
+  double time_ms = 0.0;     ///< Context wall time at the improvement.
+};
+
+/// Fired when the global dual bound improves.
+struct BoundEvent {
+  long long node = 0;      ///< Node count when the bound moved.
+  double bound = 0.0;      ///< New global bound (model sense).
+  double incumbent = 0.0;  ///< Current incumbent; NaN when none yet.
+};
+
+/// The optional callback set. Check before firing:
+/// `if (ctx.events.on_node) ctx.events.on_node(e);`
+struct SolveEvents {
+  std::function<void(const SimplexPhaseEvent&)> on_simplex_phase;
+  std::function<void(const PresolveReductionEvent&)> on_presolve_reduction;
+  std::function<void(const NodeEvent&)> on_node;
+  std::function<void(const IncumbentEvent&)> on_incumbent;
+  std::function<void(const BoundEvent&)> on_bound_improvement;
+};
+
+// ---------------------------------------------------------------------------
+// Stats tree.
+
+/// One sample of the incumbent/bound trace kept by branch-and-bound.
+struct TracePoint {
+  double time_ms = 0.0;   ///< Context wall time of the sample.
+  long long node = 0;     ///< Node count at the sample.
+  double incumbent = 0.0; ///< Incumbent objective; NaN when none yet.
+  double bound = 0.0;     ///< Global dual bound.
+};
+
+/// A node of the hierarchical solve-statistics tree: wall time, ordered
+/// named counters, an optional incumbent/bound trace, and children.
+/// Metrics accumulate (add() sums), so repeated scopes with the same name
+/// aggregate instead of growing the tree.
+struct SolveStats {
+  std::string name = "solve";
+  double wall_ms = 0.0;
+  std::vector<std::pair<std::string, double>> metrics;
+  std::vector<TracePoint> trace;
+  std::vector<SolveStats> children;
+
+  /// Finds or creates the child named `child_name`.
+  SolveStats& child(std::string_view child_name);
+
+  /// The child named `child_name`, or nullptr. Searches this node's direct
+  /// children only.
+  [[nodiscard]] const SolveStats* find(std::string_view child_name) const;
+
+  /// Adds `delta` to the metric named `key` (creating it at 0 first).
+  void add(std::string_view key, double delta);
+
+  /// Current value of the metric named `key` (0 when absent).
+  [[nodiscard]] double metric(std::string_view key) const;
+
+  /// Sum of `key` over this node and all descendants.
+  [[nodiscard]] double deep_metric(std::string_view key) const;
+
+  /// Machine-readable JSON object for the subtree (stable key order).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Human-readable indented tree for report output.
+  [[nodiscard]] std::string render() const;
+};
+
+// ---------------------------------------------------------------------------
+// The context.
+
+class SolveContext {
+ public:
+  SolveContext() = default;
+  explicit SolveContext(Deadline deadline) : deadline_(deadline) {}
+
+  // The cancellation token is an atomic; the context is identity, not value.
+  SolveContext(const SolveContext&) = delete;
+  SolveContext& operator=(const SolveContext&) = delete;
+
+  /// The active deadline (unlimited by default).
+  [[nodiscard]] const Deadline& deadline() const { return deadline_; }
+  void set_deadline(Deadline deadline) { deadline_ = deadline; }
+  /// Convenience: expire `ms` milliseconds from now.
+  void set_time_limit_ms(double ms) { deadline_ = Deadline::after_ms(ms); }
+
+  /// Requests cooperative cancellation. Safe to call from any thread or
+  /// from inside an event callback; solvers notice at their next poll.
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True when a solver should unwind: cancellation beats the deadline
+  /// (callers asked for it explicitly).
+  [[nodiscard]] bool should_stop() const {
+    return cancelled() || deadline_.expired();
+  }
+
+  /// Milliseconds since the context was created.
+  [[nodiscard]] double elapsed_ms() const { return stopwatch_.elapsed_ms(); }
+
+  /// Event callbacks (all optional).
+  SolveEvents events;
+
+  /// Root of the stats tree.
+  [[nodiscard]] SolveStats& stats() { return root_; }
+  [[nodiscard]] const SolveStats& stats() const { return root_; }
+
+  /// The stats node scopes currently write into (the root outside any
+  /// SolveScope).
+  [[nodiscard]] SolveStats& current_stats() { return *current_; }
+
+ private:
+  friend class SolveScope;
+
+  Deadline deadline_;
+  std::atomic<bool> cancelled_{false};
+  Stopwatch stopwatch_;
+  SolveStats root_;
+  SolveStats* current_ = &root_;
+};
+
+/// RAII stats scope: on construction finds-or-creates `name` under the
+/// context's current node and makes it current; on destruction (or an
+/// explicit close()) adds the elapsed wall time and restores the parent.
+///
+/// Scopes must nest like stack frames. Only the innermost (current) node's
+/// children may grow, so SolveStats pointers held by enclosing scopes stay
+/// valid.
+class SolveScope {
+ public:
+  SolveScope(SolveContext& ctx, std::string_view name)
+      : ctx_(ctx), node_(&ctx.current_->child(name)), parent_(ctx.current_) {
+    ctx_.current_ = node_;
+  }
+
+  SolveScope(const SolveScope&) = delete;
+  SolveScope& operator=(const SolveScope&) = delete;
+
+  ~SolveScope() { close(); }
+
+  /// Ends the scope early (idempotent): records wall time, restores parent.
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    node_->wall_ms += stopwatch_.elapsed_ms();
+    ctx_.current_ = parent_;
+  }
+
+  /// The stats node this scope writes into.
+  [[nodiscard]] SolveStats& stats() { return *node_; }
+
+ private:
+  SolveContext& ctx_;
+  SolveStats* node_;
+  SolveStats* parent_;
+  Stopwatch stopwatch_;
+  bool closed_ = false;
+};
+
+/// RAII deadline tightener: within the guard's lifetime the context deadline
+/// is the earlier of its current deadline and `limit`; the original deadline
+/// is restored on destruction. Used by branch-and-bound to honor
+/// MilpOptions::time_limit_ms without the caller losing its own deadline.
+class DeadlineGuard {
+ public:
+  DeadlineGuard(SolveContext& ctx, Deadline limit)
+      : ctx_(ctx), saved_(ctx.deadline()) {
+    ctx_.set_deadline(Deadline::earliest(saved_, limit));
+  }
+
+  DeadlineGuard(const DeadlineGuard&) = delete;
+  DeadlineGuard& operator=(const DeadlineGuard&) = delete;
+
+  ~DeadlineGuard() { ctx_.set_deadline(saved_); }
+
+ private:
+  SolveContext& ctx_;
+  Deadline saved_;
+};
+
+}  // namespace etransform

@@ -1,0 +1,82 @@
+// Monotonic timing primitives shared by the solver stack.
+//
+// Stopwatch measures elapsed wall time on the steady clock; Deadline is a
+// point on that clock that solvers poll cooperatively (never a hard signal).
+// Both are trivially copyable value types so they can be embedded in options
+// structs and passed across layers without ownership questions.
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+namespace etransform {
+
+/// Elapsed wall time on the monotonic clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement from now.
+  void reset() { start_ = Clock::now(); }
+
+  /// Milliseconds since construction or the last reset().
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A monotonic-clock deadline. Default-constructed deadlines never expire;
+/// finite ones are fixed points in time, so nesting solver layers can share
+/// one deadline without re-arming bugs (unlike relative "time budget" ints).
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+
+  /// Never expires (explicit spelling of the default).
+  [[nodiscard]] static Deadline unlimited() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now. Non-positive budgets expire
+  /// immediately.
+  [[nodiscard]] static Deadline after_ms(double ms) {
+    Deadline d;
+    d.finite_ = true;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(ms));
+    return d;
+  }
+
+  /// True when this deadline can never expire.
+  [[nodiscard]] bool is_unlimited() const { return !finite_; }
+
+  /// True once the deadline has passed.
+  [[nodiscard]] bool expired() const {
+    return finite_ && Clock::now() >= at_;
+  }
+
+  /// Milliseconds until expiry (negative once expired; +inf when unlimited).
+  [[nodiscard]] double remaining_ms() const {
+    if (!finite_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(at_ - Clock::now())
+        .count();
+  }
+
+  /// Whichever of the two deadlines falls first.
+  [[nodiscard]] static Deadline earliest(Deadline a, Deadline b) {
+    if (a.is_unlimited()) return b;
+    if (b.is_unlimited()) return a;
+    return a.at_ <= b.at_ ? a : b;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool finite_ = false;
+  Clock::time_point at_{};
+};
+
+}  // namespace etransform

@@ -38,7 +38,21 @@ bool tighten_integer_bounds(Working& w, int j) {
 }  // namespace
 
 PresolveResult presolve(const Model& model) {
+  SolveContext ctx;
+  return presolve(model, ctx);
+}
+
+PresolveResult presolve(const Model& model, SolveContext& ctx) {
   model.validate();
+  SolveScope scope(ctx, "presolve");
+  const auto fire = [&ctx](const char* rule, int rows, int vars) {
+    if (!ctx.events.on_presolve_reduction) return;
+    PresolveReductionEvent event;
+    event.rule = rule;
+    event.rows_removed = rows;
+    event.vars_removed = vars;
+    ctx.events.on_presolve_reduction(event);
+  };
   const int n = model.num_variables();
   Working w;
   w.lower.resize(static_cast<std::size_t>(n));
@@ -69,8 +83,13 @@ PresolveResult presolve(const Model& model) {
     if (!tighten_integer_bounds(w, j)) return infeasible();
   }
 
+  int passes = 0;
   bool changed = true;
-  while (changed) {
+  // Interruption poll per pass: every completed reduction is independently
+  // equivalence-preserving, so stopping early just yields a less-reduced
+  // (still correct) model.
+  while (changed && !ctx.should_stop()) {
+    ++passes;
     changed = false;
     // Fix variables with equal bounds.
     for (int j = 0; j < n; ++j) {
@@ -81,6 +100,7 @@ PresolveResult presolve(const Model& model) {
       if (std::isfinite(lo) && std::abs(hi - lo) <= kTol) {
         w.var_fixed[static_cast<std::size_t>(j)] = true;
         w.fixed_value[static_cast<std::size_t>(j)] = lo;
+        fire("fix_variable", 0, 1);
         changed = true;
       }
     }
@@ -112,6 +132,7 @@ PresolveResult presolve(const Model& model) {
             (row.relation == Relation::kEqual && std::abs(row.rhs) <= kTol);
         if (!satisfied) return infeasible();
         w.row_removed[r] = true;
+        fire("empty_row", 1, 0);
         changed = true;
         continue;
       }
@@ -138,6 +159,7 @@ PresolveResult presolve(const Model& model) {
         if (!tighten_integer_bounds(w, j)) return infeasible();
         if (lo > hi + kTol) return infeasible();
         w.row_removed[r] = true;
+        fire("singleton_row", 1, 0);
         changed = true;
         continue;
       }
@@ -190,6 +212,10 @@ PresolveResult presolve(const Model& model) {
     result.reduced.add_constraint(w.rows[r].name, std::move(terms),
                                   w.rows[r].relation, w.rows[r].rhs);
   }
+  SolveStats& stats = scope.stats();
+  stats.add("passes", passes);
+  stats.add("rows_removed", result.rows_removed);
+  stats.add("vars_removed", result.vars_removed);
   return result;
 }
 

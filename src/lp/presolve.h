@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "common/solve_context.h"
 #include "lp/model.h"
 
 namespace etransform::lp {
@@ -36,7 +37,14 @@ struct PresolveResult {
   int vars_removed = 0;
 };
 
-/// Presolves `model`. Throws InvalidInputError on malformed models.
+/// Presolves `model` under `ctx`: fires `on_presolve_reduction` per applied
+/// reduction, tallies removals into the context's "presolve" stats node, and
+/// stops early (returning the valid partial reduction — every prefix of the
+/// fixpoint is equivalence-preserving) when the deadline expires or
+/// cancellation is requested. Throws InvalidInputError on malformed models.
+[[nodiscard]] PresolveResult presolve(const Model& model, SolveContext& ctx);
+
+/// Deprecated: presolve under a throwaway default SolveContext.
 [[nodiscard]] PresolveResult presolve(const Model& model);
 
 /// Maps a solution of `result.reduced` back to the original variables.

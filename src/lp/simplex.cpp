@@ -15,6 +15,8 @@ const char* to_string(SolveStatus status) {
     case SolveStatus::kInfeasible: return "infeasible";
     case SolveStatus::kUnbounded: return "unbounded";
     case SolveStatus::kIterationLimit: return "iteration_limit";
+    case SolveStatus::kTimeLimit: return "time_limit";
+    case SolveStatus::kCancelled: return "cancelled";
   }
   return "?";
 }
@@ -234,9 +236,11 @@ StandardForm build_standard_form(const Model& model,
 /// Dense working state of the bounded simplex on a StandardForm.
 class Tableau {
  public:
-  Tableau(const StandardForm& sf, const SimplexOptions& options)
+  Tableau(const StandardForm& sf, const SimplexOptions& options,
+          SolveContext& ctx)
       : sf_(sf),
         options_(options),
+        ctx_(ctx),
         m_(static_cast<int>(sf.rhs.size())),
         n_(static_cast<int>(sf.columns.size())),
         binv_(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_),
@@ -257,33 +261,41 @@ class Tableau {
   }
 
   /// Runs phases 1 and 2. Returns the final status.
-  SolveStatus run(int* iterations_used) {
+  SolveStatus run() {
     SolveStatus status = SolveStatus::kOptimal;
     if (needs_phase1()) {
       phase1_ = true;
       status = iterate();
       phase1_ = false;
+      phase1_iterations_ = iterations_;
       if (status == SolveStatus::kOptimal) {
+        fire_phase_event(1, iterations_, phase1_objective());
         // Relative test: rows scale with the data (rhs can be ~1e9).
         double rhs_scale = 1.0;
         for (const double b : sf_.rhs) {
           rhs_scale = std::max(rhs_scale, std::abs(b));
         }
         if (phase1_objective() > options_.feasibility_tol * rhs_scale) {
-          *iterations_used = iterations_;
           return SolveStatus::kInfeasible;
         }
         seal_artificials();
       } else {
-        *iterations_used = iterations_;
         return status == SolveStatus::kUnbounded ? SolveStatus::kInfeasible
                                                  : status;
       }
     }
     status = iterate();
-    *iterations_used = iterations_;
+    if (status == SolveStatus::kOptimal) {
+      fire_phase_event(2, iterations_ - phase1_iterations_,
+                       internal_objective());
+    }
     return status;
   }
+
+  [[nodiscard]] int iterations() const { return iterations_; }
+  [[nodiscard]] int phase1_iterations() const { return phase1_iterations_; }
+  [[nodiscard]] int refactorizations() const { return refactorizations_; }
+  [[nodiscard]] int degenerate_pivots() const { return degenerate_pivots_; }
 
   /// Objective of the internal minimization (no shift/constant applied).
   [[nodiscard]] double internal_objective() const {
@@ -315,6 +327,23 @@ class Tableau {
   }
 
  private:
+  void fire_phase_event(int phase, int pivots, double objective) {
+    if (!ctx_.events.on_simplex_phase) return;
+    SimplexPhaseEvent event;
+    event.phase = phase;
+    event.pivots = pivots;
+    event.objective = objective;
+    ctx_.events.on_simplex_phase(event);
+  }
+
+  /// Cooperative interruption: the pivot loop calls this every
+  /// `refactor_interval` pivots. Cancellation wins over the deadline.
+  [[nodiscard]] SolveStatus interruption_status() const {
+    if (ctx_.cancelled()) return SolveStatus::kCancelled;
+    if (ctx_.deadline().expired()) return SolveStatus::kTimeLimit;
+    return SolveStatus::kOptimal;  // sentinel: keep going
+  }
+
   [[nodiscard]] double& binv_at(int r, int c) {
     return binv_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_) +
                  static_cast<std::size_t>(c)];
@@ -397,6 +426,7 @@ class Tableau {
   /// Rebuilds Binv from the basis by Gauss-Jordan and recomputes basic values.
   /// Returns false if the basis matrix is numerically singular.
   bool refactorize() {
+    ++refactorizations_;
     // Build dense B.
     std::vector<double> b_mat(
         static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_), 0.0);
@@ -492,10 +522,20 @@ class Tableau {
     int degenerate_run = 0;
     bool use_bland = false;
     int pivots_since_refactor = 0;
+    int pivots_since_poll = options_.refactor_interval;  // poll on entry
     while (true) {
       if (iterations_ >= options_.max_iterations) {
         return SolveStatus::kIterationLimit;
       }
+      // Deadline/cancellation poll, every refactor_interval pivots. Bounds
+      // how long past its budget one LP can run to one refactorization
+      // interval of pivot work.
+      if (pivots_since_poll >= options_.refactor_interval) {
+        pivots_since_poll = 0;
+        const SolveStatus interrupted = interruption_status();
+        if (interrupted != SolveStatus::kOptimal) return interrupted;
+      }
+      ++pivots_since_poll;
       compute_duals(y);
       // Pricing.
       int entering = -1;
@@ -590,6 +630,7 @@ class Tableau {
       ++iterations_;
       if (t_max < 1e-10) {
         ++degenerate_run;
+        ++degenerate_pivots_;
         if (degenerate_run > options_.degeneracy_threshold) use_bland = true;
       } else {
         degenerate_run = 0;
@@ -652,6 +693,7 @@ class Tableau {
 
   const StandardForm& sf_;
   const SimplexOptions& options_;
+  SolveContext& ctx_;
   int m_;
   int n_;
   std::vector<double> binv_;
@@ -661,6 +703,9 @@ class Tableau {
   std::vector<double> upper_;
   bool phase1_ = false;
   int iterations_ = 0;
+  int phase1_iterations_ = 0;
+  int refactorizations_ = 0;
+  int degenerate_pivots_ = 0;
 };
 
 }  // namespace
@@ -668,23 +713,38 @@ class Tableau {
 SimplexSolver::SimplexSolver(SimplexOptions options) : options_(options) {}
 
 LpSolution SimplexSolver::solve(const Model& model) const {
+  SolveContext ctx;
+  return solve(model, ctx);
+}
+
+LpSolution SimplexSolver::solve(const Model& model,
+                                const std::vector<double>& lower,
+                                const std::vector<double>& upper) const {
+  SolveContext ctx;
+  return solve(model, lower, upper, ctx);
+}
+
+LpSolution SimplexSolver::solve(const Model& model, SolveContext& ctx) const {
   std::vector<double> lower(static_cast<std::size_t>(model.num_variables()));
   std::vector<double> upper(static_cast<std::size_t>(model.num_variables()));
   for (int j = 0; j < model.num_variables(); ++j) {
     lower[static_cast<std::size_t>(j)] = model.variable(j).lower;
     upper[static_cast<std::size_t>(j)] = model.variable(j).upper;
   }
-  return solve(model, lower, upper);
+  return solve(model, lower, upper, ctx);
 }
 
 LpSolution SimplexSolver::solve(const Model& model,
                                 const std::vector<double>& lower,
-                                const std::vector<double>& upper) const {
+                                const std::vector<double>& upper,
+                                SolveContext& ctx) const {
   model.validate();
   if (lower.size() != static_cast<std::size_t>(model.num_variables()) ||
       upper.size() != static_cast<std::size_t>(model.num_variables())) {
     throw InvalidInputError("solve: bound override size mismatch");
   }
+  SolveScope scope(ctx, "simplex");
+  scope.stats().add("calls", 1.0);
   LpSolution solution;
   const StandardForm sf = build_standard_form(model, lower, upper);
   if (sf.trivially_infeasible) {
@@ -694,11 +754,18 @@ LpSolution SimplexSolver::solve(const Model& model,
     return solution;
   }
 
-  Tableau tableau(sf, options_);
-  int iterations = 0;
-  const SolveStatus status = tableau.run(&iterations);
+  Tableau tableau(sf, options_, ctx);
+  const SolveStatus status = tableau.run();
   solution.status = status;
-  solution.iterations = iterations;
+  solution.iterations = tableau.iterations();
+  solution.phase1_iterations = tableau.phase1_iterations();
+  solution.refactorizations = tableau.refactorizations();
+  solution.degenerate_pivots = tableau.degenerate_pivots();
+  SolveStats& stats = scope.stats();
+  stats.add("pivots", solution.iterations);
+  stats.add("phase1_pivots", solution.phase1_iterations);
+  stats.add("refactorizations", solution.refactorizations);
+  stats.add("degenerate_pivots", solution.degenerate_pivots);
   if (status != SolveStatus::kOptimal) return solution;
 
   const double sense_sign = model.sense() == Sense::kMinimize ? 1.0 : -1.0;

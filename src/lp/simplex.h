@@ -15,10 +15,16 @@
 //    degenerate pivots, which guarantees termination.
 //  * The constraint matrix is stored column-sparse; per-iteration cost is
 //    O(m^2 + nnz).
+//  * Control & observability flow through a SolveContext: the deadline and
+//    cancellation token are polled every `refactor_interval` pivots inside
+//    the pivot loop, `on_simplex_phase` fires as each phase completes, and
+//    pivot/refactorization/degeneracy counters aggregate into the context's
+//    "simplex" stats node.
 #pragma once
 
 #include <vector>
 
+#include "common/solve_context.h"
 #include "lp/model.h"
 
 namespace etransform::lp {
@@ -28,7 +34,9 @@ enum class SolveStatus {
   kOptimal,
   kInfeasible,
   kUnbounded,
-  kIterationLimit,
+  kIterationLimit,  // pivot budget (SimplexOptions::max_iterations) exhausted
+  kTimeLimit,       // SolveContext deadline expired mid-solve
+  kCancelled,       // SolveContext::request_cancel() observed mid-solve
 };
 
 /// Human-readable status name.
@@ -44,7 +52,8 @@ struct SimplexOptions {
   double pivot_tol = 1e-9;
   /// Primal feasibility tolerance (phase-1 objective must reach below this).
   double feasibility_tol = 1e-7;
-  /// Rebuild the basis inverse every this many pivots.
+  /// Rebuild the basis inverse every this many pivots. Also the cadence of
+  /// deadline/cancellation polls inside the pivot loop.
   int refactor_interval = 128;
   /// Consecutive degenerate pivots before switching to Bland's rule.
   int degeneracy_threshold = 64;
@@ -66,6 +75,12 @@ struct LpSolution {
   std::vector<double> duals;
   /// Total simplex pivots used.
   int iterations = 0;
+  /// Pivots spent in phase 1 (0 when the slack basis was feasible).
+  int phase1_iterations = 0;
+  /// Basis-inverse rebuilds performed.
+  int refactorizations = 0;
+  /// Degenerate (zero-step) pivots encountered.
+  int degenerate_pivots = 0;
 };
 
 /// The LP engine. Stateless between solves; safe to reuse.
@@ -73,13 +88,23 @@ class SimplexSolver {
  public:
   explicit SimplexSolver(SimplexOptions options = {});
 
-  /// Solves the LP relaxation of `model`. Throws InvalidInputError on
-  /// malformed models; never throws for infeasible/unbounded (reported via
-  /// status).
-  [[nodiscard]] LpSolution solve(const Model& model) const;
+  /// Solves the LP relaxation of `model` under `ctx` (deadline, cancel
+  /// token, events, stats). Throws InvalidInputError on malformed models;
+  /// never throws for infeasible/unbounded (reported via status).
+  [[nodiscard]] LpSolution solve(const Model& model, SolveContext& ctx) const;
 
   /// Solves with per-variable bound overrides (used by branch-and-bound).
   /// `lower`/`upper` must each have one entry per model variable.
+  [[nodiscard]] LpSolution solve(const Model& model,
+                                 const std::vector<double>& lower,
+                                 const std::vector<double>& upper,
+                                 SolveContext& ctx) const;
+
+  /// Deprecated: solves under a throwaway default SolveContext (no deadline,
+  /// no events; stats are discarded). Prefer the context-based overloads.
+  [[nodiscard]] LpSolution solve(const Model& model) const;
+
+  /// Deprecated: bound-override solve under a throwaway default context.
   [[nodiscard]] LpSolution solve(const Model& model,
                                  const std::vector<double>& lower,
                                  const std::vector<double>& upper) const;

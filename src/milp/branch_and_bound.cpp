@@ -1,10 +1,10 @@
 #include "milp/branch_and_bound.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <optional>
 
 #include "common/error.h"
 #include "common/logging.h"
@@ -17,6 +17,12 @@ using lp::LpSolution;
 using lp::Model;
 using lp::SimplexSolver;
 using lp::SolveStatus;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Incumbent/bound trace entries kept per solve. Bounds memory on
+/// pathological trees where the dual bound moves at almost every node.
+constexpr std::size_t kMaxTracePoints = 4096;
 
 /// One open node: a set of tightened variable bounds plus the parent's
 /// relaxation value used for best-first ordering.
@@ -35,6 +41,8 @@ class OpenNodes {
   void push(std::shared_ptr<Node> node) { nodes_.push_back(std::move(node)); }
 
   [[nodiscard]] bool empty() const { return nodes_.empty(); }
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
 
   /// Smallest parent bound among open nodes (the global bound).
   [[nodiscard]] double best_bound() const {
@@ -110,6 +118,8 @@ const char* to_string(MilpStatus status) {
     case MilpStatus::kInfeasible: return "infeasible";
     case MilpStatus::kUnbounded: return "unbounded";
     case MilpStatus::kNoSolutionFound: return "no_solution_found";
+    case MilpStatus::kTimeLimit: return "time_limit";
+    case MilpStatus::kCancelled: return "cancelled";
   }
   return "?";
 }
@@ -118,14 +128,37 @@ BranchAndBoundSolver::BranchAndBoundSolver(MilpOptions options)
     : options_(options) {}
 
 MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
+  SolveContext ctx;
+  return solve(model, ctx);
+}
+
+MilpSolution BranchAndBoundSolver::solve(const Model& model,
+                                         SolveContext& ctx) const {
   model.validate();
-  const auto started = std::chrono::steady_clock::now();
-  const auto out_of_time = [&]() {
-    if (options_.time_limit_ms <= 0) return false;
-    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-                             std::chrono::steady_clock::now() - started)
-                             .count();
-    return elapsed >= options_.time_limit_ms;
+  // time_limit_ms tightens — never loosens — the caller's deadline.
+  const DeadlineGuard guard(
+      ctx, options_.time_limit_ms > 0
+               ? Deadline::after_ms(static_cast<double>(options_.time_limit_ms))
+               : Deadline::unlimited());
+  SolveScope scope(ctx, "branch_and_bound");
+  MilpSolution result = solve_impl(model, ctx, scope.stats());
+  scope.close();
+  result.stats = scope.stats();
+  return result;
+}
+
+MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
+                                              SolveContext& ctx,
+                                              SolveStats& stats) const {
+  // Cancellation beats the deadline when both apply.
+  const auto interruption = [&ctx]() -> std::optional<MilpStatus> {
+    if (ctx.cancelled()) return MilpStatus::kCancelled;
+    if (ctx.deadline().expired()) return MilpStatus::kTimeLimit;
+    return std::nullopt;
+  };
+  const auto milp_status_of_lp = [](SolveStatus status) {
+    return status == SolveStatus::kCancelled ? MilpStatus::kCancelled
+                                             : MilpStatus::kTimeLimit;
   };
 
   const double sense_sign = model.sense() == lp::Sense::kMinimize ? 1.0 : -1.0;
@@ -152,6 +185,16 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
   std::vector<double> incumbent_values;
   double global_bound = -lp::kInfinity;
 
+  const auto record_trace = [&](double bound_internal) {
+    if (stats.trace.size() >= kMaxTracePoints) return;
+    TracePoint point;
+    point.time_ms = ctx.elapsed_ms();
+    point.node = result.nodes;
+    point.incumbent = have_incumbent ? sense_sign * incumbent : kNaN;
+    point.bound = sense_sign * bound_internal;
+    stats.trace.push_back(point);
+  };
+
   const auto try_incumbent = [&](const std::vector<double>& values,
                                  double objective_model_sense) {
     const double internal = sense_sign * objective_model_sense;
@@ -160,6 +203,15 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
       incumbent = internal;
       incumbent_values = values;
       snap_integers(model, incumbent_values, options_.integrality_tol);
+      stats.add("incumbents", 1.0);
+      record_trace(global_bound);
+      if (ctx.events.on_incumbent) {
+        IncumbentEvent event;
+        event.node = result.nodes;
+        event.objective = objective_model_sense;
+        event.time_ms = ctx.elapsed_ms();
+        ctx.events.on_incumbent(event);
+      }
       ET_LOG(kDebug) << "milp: new incumbent " << objective_model_sense;
     }
   };
@@ -171,6 +223,7 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
   // branch-and-bound proceeds.
   const auto dive = [&](std::vector<double> lower, std::vector<double> upper,
                         const LpSolution& start) {
+    SolveScope dive_scope(ctx, "root_dive");
     LpSolution current = start;
     for (int depth = 0; depth < 64; ++depth) {
       if (all_integral(model, current.values, options_.integrality_tol)) {
@@ -193,7 +246,7 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
           std::round(current.values[static_cast<std::size_t>(j)]);
       lower[static_cast<std::size_t>(j)] = fixed;
       upper[static_cast<std::size_t>(j)] = fixed;
-      current = lp_solver.solve(model, lower, upper);
+      current = lp_solver.solve(model, lower, upper, ctx);
       result.lp_iterations += current.iterations;
       if (current.status != SolveStatus::kOptimal) return;
       if (have_incumbent && sense_sign * current.objective >= incumbent) {
@@ -203,7 +256,11 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
   };
 
   // Root relaxation.
-  LpSolution root = lp_solver.solve(model, root_lower, root_upper);
+  LpSolution root;
+  {
+    SolveScope root_scope(ctx, "root_lp");
+    root = lp_solver.solve(model, root_lower, root_upper, ctx);
+  }
   result.lp_iterations += root.iterations;
   ++result.nodes;
   switch (root.status) {
@@ -216,10 +273,27 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
     case SolveStatus::kIterationLimit:
       result.status = MilpStatus::kNoSolutionFound;
       return result;
+    case SolveStatus::kTimeLimit:
+    case SolveStatus::kCancelled:
+      // Interrupted before any bound or incumbent existed.
+      result.status = milp_status_of_lp(root.status);
+      stats.add("nodes", result.nodes);
+      return result;
     case SolveStatus::kOptimal:
       break;
   }
   global_bound = sense_sign * root.objective;
+  record_trace(global_bound);
+  if (ctx.events.on_node) {
+    NodeEvent event;
+    event.node = result.nodes;
+    event.depth = 0;
+    event.relaxation = root.objective;
+    event.best_bound = sense_sign * global_bound;
+    event.incumbent = kNaN;
+    event.open_nodes = 0;
+    ctx.events.on_node(event);
+  }
 
   if (all_integral(model, root.values, options_.integrality_tol)) {
     try_incumbent(root.values, root.objective);
@@ -227,6 +301,7 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
     result.objective = sense_sign * incumbent;
     result.best_bound = sense_sign * global_bound;
     result.values = std::move(incumbent_values);
+    stats.add("nodes", result.nodes);
     return result;
   }
   if (options_.root_dive) {
@@ -249,14 +324,29 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
   };
 
   bool budget_exhausted = false;
+  std::optional<MilpStatus> interrupted;
   while (!open.empty()) {
     // The best open node defines the global bound.
-    global_bound = open.best_bound();
+    const double fresh_bound = open.best_bound();
+    if (fresh_bound > global_bound + 1e-12) {
+      stats.add("bound_improvements", 1.0);
+      record_trace(fresh_bound);
+      if (ctx.events.on_bound_improvement) {
+        BoundEvent event;
+        event.node = result.nodes;
+        event.bound = sense_sign * fresh_bound;
+        event.incumbent = have_incumbent ? sense_sign * incumbent : kNaN;
+        ctx.events.on_bound_improvement(event);
+      }
+    }
+    global_bound = fresh_bound;
     if (gap_closed()) break;
-    if (result.nodes >= options_.max_nodes || out_of_time()) {
+    if (result.nodes >= options_.max_nodes) {
       budget_exhausted = true;
       break;
     }
+    interrupted = interruption();
+    if (interrupted) break;
     const std::shared_ptr<Node> node =
         open.pop(/*depth_first=*/!have_incumbent);
     if (have_incumbent && node->parent_bound >= incumbent - 1e-12) {
@@ -264,13 +354,32 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
     }
 
     const LpSolution relaxed =
-        lp_solver.solve(model, node->lower, node->upper);
+        lp_solver.solve(model, node->lower, node->upper, ctx);
     result.lp_iterations += relaxed.iterations;
     ++result.nodes;
+    if (ctx.events.on_node) {
+      NodeEvent event;
+      event.node = result.nodes;
+      event.depth = node->depth;
+      event.relaxation = relaxed.status == SolveStatus::kOptimal
+                             ? relaxed.objective
+                             : kNaN;
+      event.best_bound = sense_sign * global_bound;
+      event.incumbent = have_incumbent ? sense_sign * incumbent : kNaN;
+      event.open_nodes = open.size();
+      ctx.events.on_node(event);
+    }
     if (relaxed.status == SolveStatus::kInfeasible) continue;
     if (relaxed.status == SolveStatus::kIterationLimit) {
       budget_exhausted = true;
       continue;
+    }
+    if (relaxed.status == SolveStatus::kTimeLimit ||
+        relaxed.status == SolveStatus::kCancelled) {
+      // The deadline fired inside this node's LP; its bound is unusable,
+      // so drop the node and unwind with the partial tree.
+      interrupted = milp_status_of_lp(relaxed.status);
+      break;
     }
     if (relaxed.status == SolveStatus::kUnbounded) {
       // A bounded-root MILP node cannot become unbounded by tightening
@@ -316,12 +425,20 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
     }
   }
 
-  if (open.empty() && !budget_exhausted) {
+  if (open.empty() && !budget_exhausted && !interrupted) {
     // Exhausted the tree: the incumbent (if any) is optimal.
     global_bound = have_incumbent ? incumbent : global_bound;
   }
 
-  if (have_incumbent) {
+  if (interrupted) {
+    // Deadline or cancellation: report exactly that, with the incumbent (if
+    // any) and the best proven bound so far as valid partial results.
+    result.status = *interrupted;
+    if (have_incumbent) {
+      result.objective = sense_sign * incumbent;
+      result.values = std::move(incumbent_values);
+    }
+  } else if (have_incumbent) {
     result.status = (!budget_exhausted && (open.empty() || gap_closed()))
                         ? MilpStatus::kOptimal
                         : MilpStatus::kFeasible;
@@ -334,6 +451,8 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
   result.best_bound = sense_sign * std::min(global_bound,
                                             have_incumbent ? incumbent
                                                            : global_bound);
+  stats.add("nodes", result.nodes);
+  record_trace(global_bound);
   return result;
 }
 

@@ -7,11 +7,19 @@
 // best-first by parent relaxation bound, which keeps the global lower bound
 // tight and enables early termination at a requested gap. A depth-limited
 // diving heuristic runs at the root to seed the incumbent.
+//
+// Control & observability flow through a SolveContext: the deadline
+// (tightened by MilpOptions::time_limit_ms) and cancellation token are
+// honored inside every node's LP — not just between nodes — `on_node`,
+// `on_incumbent`, and `on_bound_improvement` events fire as the tree is
+// explored, and the solve builds a "branch_and_bound" stats subtree with an
+// incumbent/bound trace (also copied into MilpSolution::stats).
 #pragma once
 
 #include <optional>
 #include <vector>
 
+#include "common/solve_context.h"
 #include "lp/model.h"
 #include "lp/simplex.h"
 
@@ -21,7 +29,9 @@ namespace etransform::milp {
 struct MilpOptions {
   /// Maximum branch-and-bound nodes to expand.
   int max_nodes = 200000;
-  /// Wall-clock budget in milliseconds; 0 disables the limit.
+  /// Wall-clock budget in milliseconds; 0 disables the limit. Combined with
+  /// the SolveContext deadline (whichever falls first wins) and enforced
+  /// inside node LPs at refactorization granularity.
   int time_limit_ms = 0;
   /// Stop once (incumbent - bound) / max(1, |incumbent|) <= relative_gap.
   double relative_gap = 1e-9;
@@ -35,11 +45,14 @@ struct MilpOptions {
 
 /// Result status of a MILP solve.
 enum class MilpStatus {
-  kOptimal,         // incumbent proven optimal within relative_gap
-  kFeasible,        // incumbent found but budget exhausted before proof
-  kInfeasible,      // no integer-feasible point exists
-  kUnbounded,       // LP relaxation unbounded
-  kNoSolutionFound  // budget exhausted with no incumbent
+  kOptimal,          // incumbent proven optimal within relative_gap
+  kFeasible,         // incumbent found but node budget exhausted before proof
+  kInfeasible,       // no integer-feasible point exists
+  kUnbounded,        // LP relaxation unbounded
+  kNoSolutionFound,  // node budget exhausted with no incumbent
+  kTimeLimit,        // deadline (time_limit_ms or context) expired; check
+                     // values.empty() for whether an incumbent exists
+  kCancelled,        // cancellation requested; incumbent may exist
 };
 
 /// Human-readable status name.
@@ -48,16 +61,23 @@ enum class MilpStatus {
 /// Outcome of a MILP solve.
 struct MilpSolution {
   MilpStatus status = MilpStatus::kNoSolutionFound;
-  /// Incumbent objective (model sense). Valid for kOptimal/kFeasible.
+  /// Incumbent objective (model sense). Valid whenever `values` is
+  /// non-empty (kOptimal, kFeasible, and interrupted solves that found one).
   double objective = 0.0;
   /// Proven bound on the optimum (lower bound when minimizing).
   double best_bound = 0.0;
-  /// Incumbent variable values. Valid for kOptimal/kFeasible.
+  /// Incumbent variable values; empty when no incumbent was found.
   std::vector<double> values;
   /// Nodes expanded.
   int nodes = 0;
   /// Total simplex iterations across all nodes.
   int lp_iterations = 0;
+  /// The "branch_and_bound" stats subtree for this solve: per-phase wall
+  /// times, aggregated simplex counters, and the incumbent/bound trace.
+  SolveStats stats;
+
+  /// True when `values` holds a feasible incumbent.
+  [[nodiscard]] bool has_incumbent() const { return !values.empty(); }
 };
 
 /// The MILP engine. Stateless between solves; safe to reuse.
@@ -65,11 +85,20 @@ class BranchAndBoundSolver {
  public:
   explicit BranchAndBoundSolver(MilpOptions options = {});
 
-  /// Solves `model` to optimality (or to the configured budget). Throws
-  /// InvalidInputError on malformed models.
+  /// Solves `model` to optimality (or to the configured budget) under
+  /// `ctx`. Throws InvalidInputError on malformed models.
+  [[nodiscard]] MilpSolution solve(const lp::Model& model,
+                                   SolveContext& ctx) const;
+
+  /// Deprecated: solves under a throwaway default SolveContext (no external
+  /// deadline or events; stats still land in MilpSolution::stats).
   [[nodiscard]] MilpSolution solve(const lp::Model& model) const;
 
  private:
+  [[nodiscard]] MilpSolution solve_impl(const lp::Model& model,
+                                        SolveContext& ctx,
+                                        SolveStats& stats) const;
+
   MilpOptions options_;
 };
 

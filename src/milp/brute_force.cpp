@@ -15,7 +15,14 @@ using lp::SolveStatus;
 
 MilpSolution solve_brute_force(const Model& model,
                                std::uint64_t max_assignments) {
+  SolveContext ctx;
+  return solve_brute_force(model, ctx, max_assignments);
+}
+
+MilpSolution solve_brute_force(const Model& model, SolveContext& ctx,
+                               std::uint64_t max_assignments) {
   model.validate();
+  SolveScope scope(ctx, "brute_force");
   const int n = model.num_variables();
   std::vector<int> integer_vars;
   std::uint64_t combinations = 1;
@@ -60,12 +67,18 @@ MilpSolution solve_brute_force(const Model& model,
   }
 
   for (std::uint64_t iteration = 0; iteration < combinations; ++iteration) {
+    if (ctx.should_stop()) {
+      result.status = ctx.cancelled() ? MilpStatus::kCancelled
+                                      : MilpStatus::kTimeLimit;
+      if (have_best) result.objective = sense_sign * best_internal;
+      return result;
+    }
     for (std::size_t k = 0; k < integer_vars.size(); ++k) {
       const auto j = static_cast<std::size_t>(integer_vars[k]);
       lower[j] = assignment[k];
       upper[j] = assignment[k];
     }
-    const lp::LpSolution lp = lp_solver.solve(model, lower, upper);
+    const lp::LpSolution lp = lp_solver.solve(model, lower, upper, ctx);
     result.lp_iterations += lp.iterations;
     ++result.nodes;
     if (lp.status == SolveStatus::kUnbounded) {

@@ -12,9 +12,17 @@
 
 namespace etransform::milp {
 
-/// Solves `model` by exhaustive enumeration. Throws InvalidInputError if an
-/// integer variable has an unbounded or non-finite domain, or if the total
-/// number of integer assignments exceeds `max_assignments`.
+/// Solves `model` by exhaustive enumeration under `ctx` (the cancellation
+/// token and deadline are polled between assignments; interruption returns
+/// kTimeLimit / kCancelled with the best incumbent so far). Throws
+/// InvalidInputError if an integer variable has an unbounded or non-finite
+/// domain, or if the total number of integer assignments exceeds
+/// `max_assignments`.
+[[nodiscard]] MilpSolution solve_brute_force(
+    const lp::Model& model, SolveContext& ctx,
+    std::uint64_t max_assignments = 1u << 22);
+
+/// Deprecated: enumerates under a throwaway default SolveContext.
 [[nodiscard]] MilpSolution solve_brute_force(
     const lp::Model& model, std::uint64_t max_assignments = 1u << 22);
 

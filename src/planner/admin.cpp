@@ -103,7 +103,8 @@ const PlannerReport& ScenarioSession::replan() {
   validate_instance(instance_);
   const CostModel model(instance_);
   const EtransformPlanner planner(options_);
-  report_ = planner.plan(model);
+  SolveContext ctx;
+  report_ = planner.plan(model, ctx);
   return *report_;
 }
 

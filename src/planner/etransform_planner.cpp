@@ -9,6 +9,7 @@
 #include "baselines/baselines.h"
 #include "common/error.h"
 #include "common/logging.h"
+#include "lp/presolve.h"
 #include "planner/formulation.h"
 #include "planner/lagrangian.h"
 
@@ -37,6 +38,22 @@ EtransformPlanner::EtransformPlanner(PlannerOptions options)
     : options_(options) {}
 
 PlannerReport EtransformPlanner::plan(const CostModel& model) const {
+  SolveContext ctx;
+  return plan(model, ctx);
+}
+
+PlannerReport EtransformPlanner::plan(const CostModel& model,
+                                      SolveContext& ctx) const {
+  SolveScope scope(ctx, "planner");
+  PlannerReport report = plan_dispatch(model, ctx);
+  scope.close();
+  report.stats = scope.stats();
+  report.interrupted = ctx.should_stop();
+  return report;
+}
+
+PlannerReport EtransformPlanner::plan_dispatch(const CostModel& model,
+                                               SolveContext& ctx) const {
   const auto& instance = model.instance();
   const long long x_vars = count_assignment_vars(instance);
   const long long joint_j_vars =
@@ -50,26 +67,73 @@ PlannerReport EtransformPlanner::plan(const CostModel& model) const {
   }
 
   if (engine == Engine::kHeuristic) {
-    return plan_heuristic(model);
+    return plan_heuristic(model, ctx);
   }
 
   // Exact path.
   if (!options_.enable_dr) {
-    return plan_exact(model, /*joint_dr=*/false);
+    return plan_exact(model, /*joint_dr=*/false, ctx);
   }
   if (options_.dr_sizing == PlannerOptions::DrSizing::kDedicated) {
     // Dedicated sizing is a plain linear term: the "surrogate" formulation
     // is exact here, no sharing variables needed.
-    return plan_exact(model, /*joint_dr=*/false);
+    return plan_exact(model, /*joint_dr=*/false, ctx);
   }
   if (joint_j_vars <= options_.joint_dr_var_limit) {
-    return plan_exact(model, /*joint_dr=*/true);
+    return plan_exact(model, /*joint_dr=*/true, ctx);
   }
-  return plan_two_stage_dr(model, /*exact_stage1=*/true);
+  return plan_two_stage_dr(model, /*exact_stage1=*/true, ctx);
 }
 
+namespace {
+
+/// Solves a formulation MILP through the presolve -> branch-and-bound
+/// pipeline: presolve shrinks the model (the formulations carry plenty of
+/// singleton tier rows), B&B solves the reduction, and the incumbent is
+/// postsolved back to formulation variable indices. Returns kInfeasible
+/// directly when presolve proves it.
+milp::MilpSolution solve_formulation_milp(const lp::Model& model,
+                                          const milp::MilpOptions& options,
+                                          SolveContext& ctx) {
+  const lp::PresolveResult presolved = lp::presolve(model, ctx);
+  if (presolved.status == lp::PresolveStatus::kInfeasible) {
+    milp::MilpSolution solution;
+    solution.status = milp::MilpStatus::kInfeasible;
+    return solution;
+  }
+  ET_LOG(kInfo) << "planner: presolve removed " << presolved.vars_removed
+                << " vars, " << presolved.rows_removed << " rows";
+  const milp::BranchAndBoundSolver solver(options);
+  milp::MilpSolution solution = solver.solve(presolved.reduced, ctx);
+  if (solution.has_incumbent()) {
+    solution.values = lp::postsolve(presolved, solution.values);
+  }
+  return solution;
+}
+
+/// True when a MILP solve delivered an incumbent that can be decoded into a
+/// plan (optimal, budget-limited, or interrupted with a solution in hand).
+bool usable_incumbent(const milp::MilpSolution& solution) {
+  switch (solution.status) {
+    case milp::MilpStatus::kOptimal:
+    case milp::MilpStatus::kFeasible:
+      return true;
+    case milp::MilpStatus::kTimeLimit:
+    case milp::MilpStatus::kCancelled:
+      return solution.has_incumbent();
+    case milp::MilpStatus::kInfeasible:
+    case milp::MilpStatus::kUnbounded:
+    case milp::MilpStatus::kNoSolutionFound:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
 PlannerReport EtransformPlanner::plan_exact(const CostModel& model,
-                                            bool joint_dr) const {
+                                            bool joint_dr,
+                                            SolveContext& ctx) const {
   const bool dedicated =
       options_.dr_sizing == PlannerOptions::DrSizing::kDedicated;
   FormulationOptions formulation_options;
@@ -79,27 +143,34 @@ PlannerReport EtransformPlanner::plan_exact(const CostModel& model,
   formulation_options.backup_sizing = joint_dr ? BackupSizing::kSharedJoint
                                                : BackupSizing::kDedicated;
   formulation_options.decode_dedicated_counts = dedicated;
-  const Formulation formulation = build_formulation(model,
-                                                    formulation_options);
+  Formulation formulation;
+  {
+    SolveScope formulation_scope(ctx, "formulation");
+    formulation = build_formulation(model, formulation_options);
+    formulation_scope.stats().add("variables",
+                                  formulation.model.num_variables());
+    formulation_scope.stats().add("rows",
+                                  formulation.model.num_constraints());
+  }
   ET_LOG(kInfo) << "planner: exact MILP with "
                 << formulation.model.num_variables() << " vars, "
                 << formulation.model.num_constraints() << " rows";
 
-  const milp::BranchAndBoundSolver solver(options_.milp);
-  const milp::MilpSolution solution = solver.solve(formulation.model);
+  const milp::MilpSolution solution =
+      solve_formulation_milp(formulation.model, options_.milp, ctx);
   switch (solution.status) {
     case milp::MilpStatus::kInfeasible:
       throw InfeasibleError("planner: instance admits no feasible plan");
     case milp::MilpStatus::kUnbounded:
       throw UnboundedError("planner: formulation unbounded (modelling bug)");
-    case milp::MilpStatus::kNoSolutionFound: {
-      ET_LOG(kWarning) << "planner: exact budget exhausted with no incumbent;"
-                       << " falling back to heuristic";
-      return plan_heuristic(model);
-    }
-    case milp::MilpStatus::kOptimal:
-    case milp::MilpStatus::kFeasible:
+    default:
       break;
+  }
+  if (!usable_incumbent(solution)) {
+    ET_LOG(kWarning) << "planner: exact solve ended ("
+                     << milp::to_string(solution.status)
+                     << ") with no incumbent; falling back to heuristic";
+    return plan_heuristic(model, ctx);
   }
 
   PlannerReport report;
@@ -113,9 +184,13 @@ PlannerReport EtransformPlanner::plan_exact(const CostModel& model,
   // and shared-mode plans decoded from the dedicated surrogate often do.
   // Budget-limited incumbents also race the heuristic plan (solution-pool
   // style) so a starved branch-and-bound never returns something greedy
-  // would beat.
-  if (!report.proven_optimal ||
-      (options_.enable_dr && !joint_dr && !dedicated)) {
+  // would beat. A context-level interruption (deadline/cancel still in
+  // force out here, unlike the MILP's own time_limit_ms) skips both: the
+  // caller asked us to stop.
+  const bool stopped = ctx.should_stop();
+  if (!stopped && (!report.proven_optimal ||
+                   (options_.enable_dr && !joint_dr && !dedicated))) {
+    SolveScope polish_scope(ctx, "local_search");
     LocalSearchOptions polish = options_.local_search;
     polish.dedicated_backups = dedicated;
     if (options_.business_impact_omega < 1.0) {
@@ -124,8 +199,8 @@ PlannerReport EtransformPlanner::plan_exact(const CostModel& model,
     }
     improve_plan(model, report.plan, polish);
   }
-  if (!report.proven_optimal) {
-    const PlannerReport heuristic = plan_heuristic(model);
+  if (!stopped && !report.proven_optimal) {
+    const PlannerReport heuristic = plan_heuristic(model, ctx);
     if (heuristic.plan.cost.total() < report.plan.cost.total()) {
       report.plan = heuristic.plan;
       report.used_exact_solver = false;
@@ -135,16 +210,24 @@ PlannerReport EtransformPlanner::plan_exact(const CostModel& model,
 }
 
 PlannerReport EtransformPlanner::plan_two_stage_dr(const CostModel& model,
-                                                   bool exact_stage1) const {
+                                                   bool exact_stage1,
+                                                   SolveContext& ctx) const {
   // Stage 1: joint placement with the dedicated-sizing surrogate.
   PlannerReport stage1;
-  if (exact_stage1) {
-    stage1 = plan_exact(model, /*joint_dr=*/false);
-  } else {
-    stage1 = plan_heuristic(model);
+  {
+    SolveScope stage1_scope(ctx, "stage1");
+    if (exact_stage1) {
+      stage1 = plan_exact(model, /*joint_dr=*/false, ctx);
+    } else {
+      stage1 = plan_heuristic(model, ctx);
+    }
+  }
+  if (ctx.should_stop()) {
+    return stage1;  // deadline/cancel hit inside stage 1: best effort out
   }
 
   // Stage 2: primaries fixed, exact shared sizing of the secondaries.
+  SolveScope stage2_scope(ctx, "stage2");
   FormulationOptions formulation_options;
   formulation_options.enable_dr = true;
   formulation_options.business_impact_omega = options_.business_impact_omega;
@@ -155,12 +238,11 @@ PlannerReport EtransformPlanner::plan_two_stage_dr(const CostModel& model,
                                                     formulation_options);
   ET_LOG(kInfo) << "planner: stage-2 DR MILP with "
                 << formulation.model.num_variables() << " vars";
-  const milp::BranchAndBoundSolver solver(options_.milp);
-  const milp::MilpSolution solution = solver.solve(formulation.model);
+  const milp::MilpSolution solution =
+      solve_formulation_milp(formulation.model, options_.milp, ctx);
 
   PlannerReport report;
-  if (solution.status == milp::MilpStatus::kOptimal ||
-      solution.status == milp::MilpStatus::kFeasible) {
+  if (usable_incumbent(solution)) {
     report.plan = decode_plan(model, formulation, formulation_options,
                               solution.values, "etransform");
     report.used_exact_solver = true;
@@ -170,7 +252,10 @@ PlannerReport EtransformPlanner::plan_two_stage_dr(const CostModel& model,
     report = stage1;
   }
   // Final polish may relocate primaries now that sharing is in effect.
-  improve_plan(model, report.plan, options_.local_search);
+  if (!ctx.should_stop()) {
+    SolveScope polish_scope(ctx, "local_search");
+    improve_plan(model, report.plan, options_.local_search);
+  }
   if (report.plan.cost.total() > stage1.plan.cost.total()) {
     report.plan = stage1.plan;  // never return worse than stage 1
   }
@@ -334,7 +419,9 @@ std::optional<Plan> spread_seed_plan(const CostModel& model, int piles,
 
 }  // namespace
 
-PlannerReport EtransformPlanner::plan_heuristic(const CostModel& model) const {
+PlannerReport EtransformPlanner::plan_heuristic(const CostModel& model,
+                                                SolveContext& ctx) const {
+  SolveScope scope(ctx, "heuristic");
   PlannerReport report;
   bool have_plan = false;
   const bool dedicated =
@@ -362,6 +449,7 @@ PlannerReport EtransformPlanner::plan_heuristic(const CostModel& model) const {
   const auto race = [&](Plan candidate) {
     candidate.algorithm = "etransform";
     improve_plan(model, candidate, light);
+    scope.stats().add("seeds_raced", 1.0);
     if (!have_plan || candidate.cost.total() < report.plan.cost.total()) {
       report.plan = std::move(candidate);
       have_plan = true;
@@ -369,6 +457,7 @@ PlannerReport EtransformPlanner::plan_heuristic(const CostModel& model) const {
   };
 
   for (const bool volume_aware : {true, false}) {
+    if (have_plan && ctx.should_stop()) break;
     GreedyOptions seed_options;
     seed_options.volume_aware = volume_aware;
     seed_options.max_groups_per_site = group_limit;
@@ -399,6 +488,7 @@ PlannerReport EtransformPlanner::plan_heuristic(const CostModel& model) const {
     const int num_sites = model.instance().num_sites();
     for (int piles = 1; piles <= num_sites; piles = piles < 8 ? piles + 1
                                                               : piles * 2) {
+      if (have_plan && ctx.should_stop()) break;
       auto seed = spread_seed_plan(model, piles, options_.enable_dr,
                                    dedicated, group_limit);
       if (!seed.has_value()) continue;
@@ -406,11 +496,16 @@ PlannerReport EtransformPlanner::plan_heuristic(const CostModel& model) const {
     }
   }
   // Full polish (swaps included) on the winning basin.
-  LocalSearchOptions full = options_.local_search;
-  full.dedicated_backups = dedicated;
-  full.max_groups_per_site = group_limit;
-  improve_plan(model, report.plan, full);
-  if (options_.compute_lower_bound && !options_.enable_dr) {
+  if (!ctx.should_stop()) {
+    SolveScope polish_scope(ctx, "local_search");
+    LocalSearchOptions full = options_.local_search;
+    full.dedicated_backups = dedicated;
+    full.max_groups_per_site = group_limit;
+    improve_plan(model, report.plan, full);
+  }
+  if (options_.compute_lower_bound && !options_.enable_dr &&
+      !ctx.should_stop()) {
+    SolveScope bound_scope(ctx, "lagrangian");
     report.lower_bound = lagrangian_lower_bound(model).lower_bound;
   }
   return report;

@@ -21,6 +21,7 @@
 #include <limits>
 #include <string>
 
+#include "common/solve_context.h"
 #include "cost/cost_model.h"
 #include "milp/branch_and_bound.h"
 #include "model/plan.h"
@@ -70,18 +71,26 @@ struct PlannerOptions {
   }
 };
 
-/// The plan plus solver provenance.
+/// The plan plus solver provenance and the solve's observability record.
 struct PlannerReport {
   Plan plan;
   /// True if the plan came out of the MILP solver (possibly polished).
   bool used_exact_solver = false;
   /// True if optimality was proven (exact solve closed the gap).
   bool proven_optimal = false;
+  /// True when the solve was cut short by the SolveContext deadline or a
+  /// cancellation request (the plan is the best found by then).
+  bool interrupted = false;
   /// Lower bound on the optimal total cost (MILP bound or Lagrangian bound);
   /// NaN when not computed.
   double lower_bound = std::numeric_limits<double>::quiet_NaN();
   /// Branch-and-bound nodes expanded (0 on pure-heuristic solves).
   int milp_nodes = 0;
+  /// The "planner" stats subtree: per-stage wall times (formulation /
+  /// presolve / branch-and-bound with root LP / local-search polish /
+  /// heuristic seeds), aggregated simplex counters, and the MILP
+  /// incumbent/bound trace. render_solve_stats() in report/ prints it.
+  SolveStats stats;
 };
 
 /// The planner. Stateless between calls; safe to reuse across instances.
@@ -89,18 +98,31 @@ class EtransformPlanner {
  public:
   explicit EtransformPlanner(PlannerOptions options = {});
 
-  /// Plans the instance behind `model`. Throws InfeasibleError when no
-  /// feasible plan exists, InvalidInputError on malformed input.
+  /// Plans the instance behind `model` under `ctx`: the context's deadline
+  /// and cancellation token are honored throughout the MILP stack (an
+  /// interrupted solve returns the best plan found, flagged via
+  /// PlannerReport::interrupted), events stream solver progress, and the
+  /// stats tree lands in PlannerReport::stats. Throws InfeasibleError when
+  /// no feasible plan exists, InvalidInputError on malformed input.
+  [[nodiscard]] PlannerReport plan(const CostModel& model,
+                                   SolveContext& ctx) const;
+
+  /// Deprecated: plans under a throwaway default SolveContext (no deadline
+  /// or events; stats still land in PlannerReport::stats).
   [[nodiscard]] PlannerReport plan(const CostModel& model) const;
 
   [[nodiscard]] const PlannerOptions& options() const { return options_; }
 
  private:
-  [[nodiscard]] PlannerReport plan_exact(const CostModel& model,
-                                         bool joint_dr) const;
+  [[nodiscard]] PlannerReport plan_dispatch(const CostModel& model,
+                                            SolveContext& ctx) const;
+  [[nodiscard]] PlannerReport plan_exact(const CostModel& model, bool joint_dr,
+                                         SolveContext& ctx) const;
   [[nodiscard]] PlannerReport plan_two_stage_dr(const CostModel& model,
-                                                bool exact_stage1) const;
-  [[nodiscard]] PlannerReport plan_heuristic(const CostModel& model) const;
+                                                bool exact_stage1,
+                                                SolveContext& ctx) const;
+  [[nodiscard]] PlannerReport plan_heuristic(const CostModel& model,
+                                             SolveContext& ctx) const;
 
   PlannerOptions options_;
 };

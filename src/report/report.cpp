@@ -1,6 +1,8 @@
 #include "report/report.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <map>
 
 #include "common/error.h"
@@ -120,6 +122,47 @@ std::string render_instance_summary(const ConsolidationInstance& instance) {
   table.add_row({"target capacity (servers)", std::to_string(capacity)});
   table.add_row({"user locations", std::to_string(instance.num_locations())});
   table.add_row({"users", std::to_string(static_cast<long long>(total_users))});
+  return table.render();
+}
+
+namespace {
+
+/// Formats a metric value: integers without decimals, rest with two.
+std::string format_metric(double value) {
+  if (std::abs(value - std::round(value)) < 1e-9 &&
+      std::abs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(std::llround(value)));
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", value);
+  return buffer;
+}
+
+void add_stats_rows(TextTable& table, const SolveStats& stats, int depth) {
+  std::string counters;
+  for (const auto& [key, value] : stats.metrics) {
+    if (!counters.empty()) counters += ", ";
+    counters += key + "=" + format_metric(value);
+  }
+  if (!stats.trace.empty()) {
+    if (!counters.empty()) counters += ", ";
+    counters += "trace_points=" + std::to_string(stats.trace.size());
+  }
+  char wall[64];
+  std::snprintf(wall, sizeof(wall), "%.2f", stats.wall_ms);
+  table.add_row({std::string(static_cast<std::size_t>(depth) * 2, ' ') +
+                     stats.name,
+                 wall, counters});
+  for (const auto& child : stats.children) {
+    add_stats_rows(table, child, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::string render_solve_stats(const SolveStats& stats) {
+  TextTable table({"stage", "wall ms", "counters"});
+  add_stats_rows(table, stats, 0);
   return table.render();
 }
 

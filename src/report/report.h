@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/solve_context.h"
 #include "model/plan.h"
 
 namespace etransform {
@@ -47,5 +48,11 @@ struct AlgorithmResult {
 /// Renders dataset statistics in the style of Table II / Fig. 3.
 [[nodiscard]] std::string render_instance_summary(
     const ConsolidationInstance& instance);
+
+/// Renders a SolveStats tree (e.g. PlannerReport::stats) as a table: one row
+/// per stage, depth shown by indentation, with wall time and the stage's
+/// counters. Trace points are summarized, not listed (use to_json for the
+/// full trace).
+[[nodiscard]] std::string render_solve_stats(const SolveStats& stats);
 
 }  // namespace etransform

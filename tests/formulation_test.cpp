@@ -23,7 +23,8 @@ milp::MilpSolution solve(const lp::Model& model) {
   milp::MilpOptions options;
   options.time_limit_ms = 30000;
   const milp::BranchAndBoundSolver solver(options);
-  return solver.solve(model);
+  SolveContext ctx;
+  return solver.solve(model, ctx);
 }
 
 TEST(Formulation, NonDrDecodesToFeasiblePlan) {

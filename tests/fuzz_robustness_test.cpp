@@ -51,7 +51,8 @@ TEST_P(LpParserFuzz, MutatedLpFilesNeverCrash) {
     try {
       const lp::Model parsed = lp::parse_lp(mutated);
       // If it parsed, it must also solve without crashing.
-      (void)lp::SimplexSolver().solve(parsed);
+      SolveContext ctx;
+      (void)lp::SimplexSolver().solve(parsed, ctx);
     } catch (const Error&) {
       // Typed rejection is the expected outcome for broken inputs.
     }

@@ -39,7 +39,8 @@ TEST(Integration, Fig4ShapeOnMiniDataset) {
     const Plan manual = plan_manual(model, false);
     const Plan greedy = plan_greedy(model, false);
     const EtransformPlanner planner(fast_options());
-    const PlannerReport report = planner.plan(model);
+    SolveContext ctx;
+    const PlannerReport report = planner.plan(model, ctx);
 
     // Everyone beats as-is; eTransform beats both baselines (Fig. 4d).
     EXPECT_LT(manual.cost.total(), as_is) << "seed " << seed;
@@ -67,7 +68,8 @@ TEST(Integration, Fig6ShapeOnMiniDataset) {
   const Plan manual = plan_manual(model, true);
   const Plan greedy = plan_greedy(model, true);
   const EtransformPlanner planner(fast_options(true));
-  const PlannerReport report = planner.plan(model);
+  SolveContext ctx;
+  const PlannerReport report = planner.plan(model, ctx);
 
   EXPECT_TRUE(check_plan(instance, report.plan).empty());
   // The integrated plan beats bolting DR onto the as-is estate by a wide
@@ -97,7 +99,8 @@ TEST(Integration, Fig7ShapeLatencySweep) {
     const auto instance = make_latency_line(spec);
     const CostModel model(instance);
     const EtransformPlanner planner(fast_options());
-    const PlannerReport report = planner.plan(model);
+    SolveContext ctx;
+    const PlannerReport report = planner.plan(model, ctx);
 
     double weighted = 0.0;
     double users = 0.0;
@@ -153,7 +156,8 @@ TEST(Integration, Fig10FillsCheapestSiteFirst) {
   const auto instance = make_vpn_tradeoff(spec);
   const CostModel model(instance);
   const EtransformPlanner planner(fast_options());
-  const PlannerReport report = planner.plan(model);
+  SolveContext ctx;
+  const PlannerReport report = planner.plan(model, ctx);
   EXPECT_EQ(report.plan.sites_used(), 2);  // 150 groups / 100 capacity
 
   // The fuller site must be the globally cheapest one for a single group.

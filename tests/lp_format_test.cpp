@@ -63,8 +63,9 @@ TEST(LpRoundTrip, SolvesToTheSameOptimum) {
   m.add_constraint("c2", {{y, 2.0}}, Relation::kLessEqual, 12.0);
   m.add_constraint("c3", {{x, 3.0}, {y, 2.0}}, Relation::kLessEqual, 18.0);
   const SimplexSolver solver;
-  const auto direct = solver.solve(m);
-  const auto reparsed = solver.solve(parse_lp(write_lp(m)));
+  SolveContext ctx;
+  const auto direct = solver.solve(m, ctx);
+  const auto reparsed = solver.solve(parse_lp(write_lp(m)), ctx);
   ASSERT_EQ(direct.status, SolveStatus::kOptimal);
   ASSERT_EQ(reparsed.status, SolveStatus::kOptimal);
   EXPECT_NEAR(direct.objective, reparsed.objective, 1e-9);
@@ -92,7 +93,8 @@ TEST(LpWriter, UniquifiesDuplicateNames) {
   const Model reparsed = parse_lp(write_lp(m));
   EXPECT_EQ(reparsed.num_variables(), 2);
   const SimplexSolver solver;
-  const auto s = solver.solve(reparsed);
+  SolveContext ctx;
+  const auto s = solver.solve(reparsed, ctx);
   ASSERT_EQ(s.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s.objective, 2.0, 1e-9);  // all weight on the cheap copy
 }
@@ -194,7 +196,8 @@ TEST(SolutionFile, RoundTripsThroughText) {
   const int x = m.add_continuous("x", 0.0, 4.0);
   m.set_objective(Sense::kMaximize, {{x, 2.0}});
   const SimplexSolver solver;
-  const auto solution = solver.solve(m);
+  SolveContext ctx;
+  const auto solution = solver.solve(m, ctx);
   const std::string text = write_solution(m, solution);
   const SolutionFile parsed = parse_solution(text);
   EXPECT_EQ(parsed.status, "optimal");

@@ -63,8 +63,9 @@ TEST_P(LpRoundTripProperty, SolverOutcomeSurvivesFileFormat) {
   const Model original = random_model(rng, /*with_integers=*/false);
   const Model reparsed = parse_lp(write_lp(original));
   const SimplexSolver solver;
-  const auto a = solver.solve(original);
-  const auto b = solver.solve(reparsed);
+  SolveContext ctx;
+  const auto a = solver.solve(original, ctx);
+  const auto b = solver.solve(reparsed, ctx);
   ASSERT_EQ(a.status, b.status);
   if (a.status == SolveStatus::kOptimal) {
     EXPECT_NEAR(a.objective, b.objective,
@@ -82,7 +83,8 @@ TEST_P(SimplexFeasibilityProperty, OptimalPointsAreFeasible) {
   Rng rng(GetParam() + 10000);
   const Model m = random_model(rng, /*with_integers=*/false);
   const SimplexSolver solver;
-  const auto s = solver.solve(m);
+  SolveContext ctx;
+  const auto s = solver.solve(m, ctx);
   if (s.status == SolveStatus::kOptimal) {
     EXPECT_TRUE(m.is_feasible(s.values, 1e-5));
   }
@@ -131,7 +133,8 @@ TEST_P(DualityProperty, StandardFormDualsSatisfyStrongDuality) {
                      rhs[static_cast<std::size_t>(i)]);
   }
   const SimplexSolver solver;
-  const auto s = solver.solve(m);
+  SolveContext ctx;
+  const auto s = solver.solve(m, ctx);
   if (s.status != SolveStatus::kOptimal) return;  // rare: infeasible draw
   double dual_value = 0.0;
   for (int i = 0; i < rows; ++i) {
@@ -164,8 +167,9 @@ TEST_P(MilpRoundTripProperty, MilpOptimaSurviveFileFormat) {
   milp::MilpOptions options;
   options.time_limit_ms = 5000;
   const milp::BranchAndBoundSolver solver(options);
-  const auto a = solver.solve(original);
-  const auto b = solver.solve(reparsed);
+  SolveContext ctx;
+  const auto a = solver.solve(original, ctx);
+  const auto b = solver.solve(reparsed, ctx);
   ASSERT_EQ(a.status, b.status);
   if (a.status == milp::MilpStatus::kOptimal) {
     EXPECT_NEAR(a.objective, b.objective,

@@ -19,7 +19,8 @@ std::pair<ConsolidationInstance, Plan> planned_instance(std::uint64_t seed,
   options.enable_dr = dr;
   options.engine = PlannerOptions::Engine::kHeuristic;
   const EtransformPlanner planner(options);
-  return {std::move(instance), planner.plan(model).plan};
+  SolveContext ctx;
+  return {std::move(instance), planner.plan(model, ctx).plan};
 }
 
 TEST(Migration, UnlimitedBudgetYieldsOneWave) {
@@ -134,7 +135,8 @@ TEST_P(MigrationPropertyTest, SchedulesAreAlwaysValid) {
   PlannerOptions options;
   options.engine = PlannerOptions::Engine::kHeuristic;
   options.enable_dr = (GetParam() % 3 == 0);
-  const Plan plan = EtransformPlanner(options).plan(model).plan;
+  SolveContext ctx;
+  const Plan plan = EtransformPlanner(options).plan(model, ctx).plan;
   MigrationLimits limits;
   double biggest = 0.0;
   for (const auto& group : instance.groups) {

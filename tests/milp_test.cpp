@@ -22,7 +22,13 @@ using lp::Term;
 
 MilpSolution solve(const Model& m) {
   const BranchAndBoundSolver solver;
-  return solver.solve(m);
+  SolveContext ctx;
+  return solver.solve(m, ctx);
+}
+
+MilpSolution brute(const Model& m) {
+  SolveContext ctx;
+  return solve_brute_force(m, ctx);
 }
 
 TEST(BranchAndBound, BinaryKnapsack) {
@@ -69,7 +75,7 @@ TEST(BranchAndBound, GeneralIntegersWithWideDomain) {
   m.add_constraint("c1", {{x, 2.0}, {y, 1.0}}, Relation::kGreaterEqual, 11.0);
   m.add_constraint("c2", {{x, 1.0}, {y, 3.0}}, Relation::kGreaterEqual, 9.0);
   const auto bb = solve(m);
-  const auto reference = solve_brute_force(m);
+  const auto reference = brute(m);
   ASSERT_EQ(bb.status, MilpStatus::kOptimal);
   ASSERT_EQ(reference.status, MilpStatus::kOptimal);
   EXPECT_NEAR(bb.objective, reference.objective, 1e-6);
@@ -91,7 +97,7 @@ TEST(BranchAndBound, MixedIntegerContinuous) {
   m.add_constraint("cap2", {{f2, 1.0}, {open2, -6.0}}, Relation::kLessEqual,
                    0.0);
   const auto bb = solve(m);
-  const auto reference = solve_brute_force(m);
+  const auto reference = brute(m);
   ASSERT_EQ(bb.status, MilpStatus::kOptimal);
   EXPECT_NEAR(bb.objective, reference.objective, 1e-6);
   // Cheapest: open both, f2 = 6 (cheap flow), f1 = 2 -> 10+14+2+3 = 29.
@@ -196,7 +202,7 @@ TEST(BruteForce, RejectsUnboundedIntegerDomains) {
   Model m;
   m.add_variable("x", 0.0, lp::kInfinity, true);
   m.set_objective(Sense::kMinimize, {{0, 1.0}});
-  EXPECT_THROW((void)solve_brute_force(m), InvalidInputError);
+  EXPECT_THROW((void)brute(m), InvalidInputError);
 }
 
 TEST(BruteForce, RejectsTooManyCombinations) {
@@ -206,7 +212,8 @@ TEST(BruteForce, RejectsTooManyCombinations) {
     objective.push_back({m.add_binary("b" + std::to_string(i)), 1.0});
   }
   m.set_objective(Sense::kMinimize, objective);
-  EXPECT_THROW((void)solve_brute_force(m, 1000), InvalidInputError);
+  SolveContext ctx;
+  EXPECT_THROW((void)solve_brute_force(m, ctx, 1000), InvalidInputError);
 }
 
 // ---- randomized equivalence sweep ----------------------------------------
@@ -249,7 +256,7 @@ TEST_P(MilpRandomTest, MatchesBruteForceOnRandomAssignmentProblems) {
   m.set_objective(Sense::kMinimize, objective);
 
   const auto bb = solve(m);
-  const auto reference = solve_brute_force(m);
+  const auto reference = brute(m);
   ASSERT_EQ(bb.status == MilpStatus::kOptimal,
             reference.status == MilpStatus::kOptimal);
   if (bb.status == MilpStatus::kOptimal) {
@@ -281,7 +288,7 @@ TEST_P(KnapsackRandomTest, MatchesBruteForceOnRandomKnapsacks) {
   m.add_constraint("cap", cap, Relation::kLessEqual,
                    total_weight * rng.uniform(0.3, 0.7));
   const auto bb = solve(m);
-  const auto reference = solve_brute_force(m);
+  const auto reference = brute(m);
   ASSERT_EQ(bb.status, MilpStatus::kOptimal);
   ASSERT_EQ(reference.status, MilpStatus::kOptimal);
   EXPECT_NEAR(bb.objective, reference.objective, 1e-6);

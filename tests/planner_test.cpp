@@ -23,7 +23,8 @@ PlannerReport run_planner(const ConsolidationInstance& instance,
   options.milp.max_nodes = std::min(options.milp.max_nodes, 5000);
   const CostModel model(instance);
   const EtransformPlanner planner(options);
-  return planner.plan(model);
+  SolveContext ctx;
+  return planner.plan(model, ctx);
 }
 
 /// Exhaustively finds the cheapest feasible non-DR plan.

@@ -13,13 +13,18 @@
 namespace etransform::lp {
 namespace {
 
+PresolveResult run_presolve(const Model& m) {
+  SolveContext ctx;
+  return presolve(m, ctx);
+}
+
 TEST(Presolve, SubstitutesFixedVariables) {
   Model m;
   const int x = m.add_continuous("x", 3.0, 3.0);  // fixed
   const int y = m.add_continuous("y", 0.0, 10.0);
   m.set_objective(Sense::kMinimize, {{x, 2.0}, {y, 1.0}});
   m.add_constraint("c", {{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 5.0);
-  const auto result = presolve(m);
+  const auto result = run_presolve(m);
   ASSERT_EQ(result.status, PresolveStatus::kReduced);
   EXPECT_EQ(result.vars_removed, 1);
   EXPECT_EQ(result.reduced.num_variables(), 1);
@@ -36,7 +41,7 @@ TEST(Presolve, SingletonRowsTightenBounds) {
   m.set_objective(Sense::kMaximize, {{x, 1.0}});
   m.add_constraint("ub", {{x, 2.0}}, Relation::kLessEqual, 10.0);
   m.add_constraint("lb", {{x, -1.0}}, Relation::kLessEqual, -2.0);
-  const auto result = presolve(m);
+  const auto result = run_presolve(m);
   ASSERT_EQ(result.status, PresolveStatus::kReduced);
   EXPECT_EQ(result.reduced.num_constraints(), 0);
   EXPECT_DOUBLE_EQ(result.reduced.variable(0).lower, 2.0);
@@ -47,7 +52,7 @@ TEST(Presolve, IntegerBoundsRoundInward) {
   Model m;
   const int x = m.add_variable("x", 0.2, 7.9, true);
   m.set_objective(Sense::kMinimize, {{x, 1.0}});
-  const auto result = presolve(m);
+  const auto result = run_presolve(m);
   ASSERT_EQ(result.status, PresolveStatus::kReduced);
   EXPECT_DOUBLE_EQ(result.reduced.variable(0).lower, 1.0);
   EXPECT_DOUBLE_EQ(result.reduced.variable(0).upper, 7.0);
@@ -59,14 +64,14 @@ TEST(Presolve, DetectsInfeasibility) {
     const int x = m.add_continuous("x", 0.0, 1.0);
     m.set_objective(Sense::kMinimize, {{x, 1.0}});
     m.add_constraint("c", {{x, 1.0}}, Relation::kGreaterEqual, 2.0);
-    EXPECT_EQ(presolve(m).status, PresolveStatus::kInfeasible);
+    EXPECT_EQ(run_presolve(m).status, PresolveStatus::kInfeasible);
   }
   {
     // Integer var confined to (0.2, 0.8): no integer point.
     Model m;
     m.add_variable("x", 0.2, 0.8, true);
     m.set_objective(Sense::kMinimize, {{0, 1.0}});
-    EXPECT_EQ(presolve(m).status, PresolveStatus::kInfeasible);
+    EXPECT_EQ(run_presolve(m).status, PresolveStatus::kInfeasible);
   }
   {
     // Fixed variables make an equality row impossible.
@@ -75,7 +80,7 @@ TEST(Presolve, DetectsInfeasibility) {
     const int y = m.add_continuous("y", 2.0, 2.0);
     m.set_objective(Sense::kMinimize, {});
     m.add_constraint("c", {{x, 1.0}, {y, 1.0}}, Relation::kEqual, 7.0);
-    EXPECT_EQ(presolve(m).status, PresolveStatus::kInfeasible);
+    EXPECT_EQ(run_presolve(m).status, PresolveStatus::kInfeasible);
   }
 }
 
@@ -86,10 +91,11 @@ TEST(Presolve, PostsolveReconstructsFullSolution) {
   const int z = m.add_continuous("z", 1.0, 1.0);
   m.set_objective(Sense::kMinimize, {{x, 1.0}, {y, 1.0}, {z, 1.0}});
   m.add_constraint("c", {{y, 1.0}}, Relation::kGreaterEqual, 2.0);
-  const auto result = presolve(m);
+  const auto result = run_presolve(m);
   ASSERT_EQ(result.status, PresolveStatus::kReduced);
   const SimplexSolver solver;
-  const auto reduced = solver.solve(result.reduced);
+  SolveContext ctx;
+  const auto reduced = solver.solve(result.reduced, ctx);
   ASSERT_EQ(reduced.status, SolveStatus::kOptimal);
   const auto full = postsolve(result, reduced.values);
   ASSERT_EQ(full.size(), 3u);
@@ -104,7 +110,7 @@ TEST(Presolve, PostsolveRejectsWrongArity) {
   Model m;
   m.add_continuous("x", 0.0, 1.0);
   m.set_objective(Sense::kMinimize, {{0, 1.0}});
-  const auto result = presolve(m);
+  const auto result = run_presolve(m);
   EXPECT_THROW((void)postsolve(result, {0.0, 1.0}), InvalidInputError);
 }
 
@@ -141,13 +147,14 @@ TEST_P(PresolveEquivalence, ReducedModelHasTheSameOptimum) {
   }
 
   const milp::BranchAndBoundSolver solver;
-  const auto direct = solver.solve(m);
-  const auto result = presolve(m);
+  SolveContext ctx;
+  const auto direct = solver.solve(m, ctx);
+  const auto result = run_presolve(m);
   if (result.status == PresolveStatus::kInfeasible) {
     EXPECT_EQ(direct.status, milp::MilpStatus::kInfeasible);
     return;
   }
-  const auto reduced = solver.solve(result.reduced);
+  const auto reduced = solver.solve(result.reduced, ctx);
   ASSERT_EQ(direct.status == milp::MilpStatus::kOptimal,
             reduced.status == milp::MilpStatus::kOptimal);
   if (direct.status == milp::MilpStatus::kOptimal) {

@@ -20,7 +20,8 @@ TEST(Sensitivity, RegretIsNonNegativeForOptimalPlans) {
     PlannerOptions options;
     options.milp.time_limit_ms = 5000;
     const EtransformPlanner planner(options);
-    const PlannerReport report = planner.plan(model);
+    SolveContext ctx;
+    const PlannerReport report = planner.plan(model, ctx);
     const SensitivityReport sensitivity =
         analyze_sensitivity(model, report.plan);
     for (const auto& g : sensitivity.groups) {
@@ -71,7 +72,8 @@ TEST(Sensitivity, SortedByDescendingRegret) {
   Plan plan = [&] {
     PlannerOptions options;
     options.engine = PlannerOptions::Engine::kHeuristic;
-    return EtransformPlanner(options).plan(model).plan;
+    SolveContext ctx;
+    return EtransformPlanner(options).plan(model, ctx).plan;
   }();
   const SensitivityReport report = analyze_sensitivity(model, plan);
   for (std::size_t k = 1; k < report.groups.size(); ++k) {
@@ -86,7 +88,8 @@ TEST(Sensitivity, SiteUtilizationAccountsBackups) {
   PlannerOptions options;
   options.enable_dr = true;
   options.engine = PlannerOptions::Engine::kHeuristic;
-  const PlannerReport planned = EtransformPlanner(options).plan(model);
+  SolveContext ctx;
+  const PlannerReport planned = EtransformPlanner(options).plan(model, ctx);
   const SensitivityReport report = analyze_sensitivity(model, planned.plan);
   long long total = 0;
   for (const auto& site : report.sites) {
@@ -113,7 +116,8 @@ TEST(Sensitivity, RenderListsTopRegrets) {
   const CostModel model(instance);
   PlannerOptions options;
   options.engine = PlannerOptions::Engine::kHeuristic;
-  const PlannerReport planned = EtransformPlanner(options).plan(model);
+  SolveContext ctx;
+  const PlannerReport planned = EtransformPlanner(options).plan(model, ctx);
   const SensitivityReport report = analyze_sensitivity(model, planned.plan);
   const std::string text = render_sensitivity(instance, report, 3);
   EXPECT_NE(text.find("placement regret"), std::string::npos);

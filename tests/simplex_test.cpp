@@ -20,7 +20,8 @@ namespace {
 
 LpSolution solve(const Model& m) {
   const SimplexSolver solver;
-  return solver.solve(m);
+  SolveContext ctx;
+  return solver.solve(m, ctx);
 }
 
 TEST(Simplex, TextbookTwoVariableMaximum) {
@@ -157,7 +158,9 @@ TEST(Simplex, DetectsTriviallyInvertedBounds) {
   const int x = m.add_continuous("x");
   m.set_objective(Sense::kMinimize, {{x, 1.0}});
   const SimplexSolver solver;
-  EXPECT_EQ(solver.solve(m, {5.0}, {4.0}).status, SolveStatus::kInfeasible);
+  SolveContext ctx;
+  EXPECT_EQ(solver.solve(m, {5.0}, {4.0}, ctx).status,
+            SolveStatus::kInfeasible);
 }
 
 TEST(Simplex, DetectsUnbounded) {
@@ -233,10 +236,11 @@ TEST(Simplex, BoundOverridesDoNotMutateModel) {
   const int x = m.add_continuous("x", 0.0, 10.0);
   m.set_objective(Sense::kMaximize, {{x, 1.0}});
   const SimplexSolver solver;
-  const auto tightened = solver.solve(m, {0.0}, {4.0});
+  SolveContext ctx;
+  const auto tightened = solver.solve(m, {0.0}, {4.0}, ctx);
   ASSERT_EQ(tightened.status, SolveStatus::kOptimal);
   EXPECT_NEAR(tightened.objective, 4.0, 1e-9);
-  const auto original = solver.solve(m);
+  const auto original = solver.solve(m, ctx);
   EXPECT_NEAR(original.objective, 10.0, 1e-9);
   EXPECT_EQ(m.variable(x).upper, 10.0);
 }
@@ -245,7 +249,8 @@ TEST(Simplex, RejectsWrongOverrideArity) {
   Model m;
   m.add_continuous("x");
   const SimplexSolver solver;
-  EXPECT_THROW((void)solver.solve(m, {0.0, 0.0}, {1.0, 1.0}),
+  SolveContext ctx;
+  EXPECT_THROW((void)solver.solve(m, {0.0, 0.0}, {1.0, 1.0}, ctx),
                InvalidInputError);
 }
 

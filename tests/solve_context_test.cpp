@@ -1,0 +1,371 @@
+// Tests for the SolveContext observability & control layer: deadlines
+// interrupting the simplex mid-solve, cancellation from event callbacks,
+// event ordering and stats counters, JSON emission, and the deprecated
+// context-free overloads delegating to the context-based API.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/solve_context.h"
+#include "common/stopwatch.h"
+#include "datagen/generators.h"
+#include "lp/model.h"
+#include "lp/presolve.h"
+#include "lp/simplex.h"
+#include "milp/branch_and_bound.h"
+#include "milp/brute_force.h"
+#include "planner/etransform_planner.h"
+
+namespace etransform {
+namespace {
+
+using lp::Model;
+using lp::Relation;
+using lp::Sense;
+using lp::Term;
+
+/// A dense random LP large enough that one solve takes well over a
+/// millisecond (the basis is rows x rows and refactorizes every 128 pivots).
+Model dense_lp(int rows, int cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  std::vector<Term> objective;
+  for (int j = 0; j < cols; ++j) {
+    objective.push_back({m.add_continuous("x" + std::to_string(j), 0.0, 10.0),
+                         rng.uniform(-5.0, 5.0)});
+  }
+  m.set_objective(Sense::kMinimize, objective);
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Term> terms;
+    for (int j = 0; j < cols; ++j) terms.push_back({j, rng.uniform(0.1, 2.0)});
+    m.add_constraint("r" + std::to_string(i), terms, Relation::kGreaterEqual,
+                     rng.uniform(5.0, 50.0));
+  }
+  return m;
+}
+
+/// A knapsack MILP whose branch-and-bound tree has plenty of nodes.
+Model hard_knapsack(int items, std::uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  std::vector<Term> objective;
+  std::vector<Term> cap;
+  double total = 0.0;
+  for (int i = 0; i < items; ++i) {
+    const int b = m.add_binary("b" + std::to_string(i));
+    objective.push_back({b, rng.uniform(10.0, 20.0)});
+    const double w = rng.uniform(5.0, 10.0);
+    total += w;
+    cap.push_back({b, w});
+  }
+  m.set_objective(Sense::kMaximize, objective);
+  m.add_constraint("cap", cap, Relation::kLessEqual, total * 0.5);
+  return m;
+}
+
+// ---- deadline & cancellation plumbing ------------------------------------
+
+TEST(SolveContext, DefaultsAreUnlimited) {
+  SolveContext ctx;
+  EXPECT_FALSE(ctx.deadline().expired());
+  EXPECT_FALSE(ctx.cancelled());
+  EXPECT_FALSE(ctx.should_stop());
+  EXPECT_EQ(ctx.deadline().remaining_ms(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(SolveContext, CancelTripsShouldStop) {
+  SolveContext ctx;
+  ctx.request_cancel();
+  EXPECT_TRUE(ctx.cancelled());
+  EXPECT_TRUE(ctx.should_stop());
+}
+
+TEST(SolveContext, ExpiredDeadlineTripsShouldStop) {
+  SolveContext ctx;
+  ctx.set_time_limit_ms(0.0);
+  EXPECT_TRUE(ctx.deadline().expired());
+  EXPECT_TRUE(ctx.should_stop());
+}
+
+TEST(Deadline, EarliestPicksTheSoonerOfTwo) {
+  const Deadline never = Deadline::unlimited();
+  const Deadline soon = Deadline::after_ms(0.0);
+  EXPECT_TRUE(Deadline::earliest(never, soon).expired());
+  EXPECT_TRUE(Deadline::earliest(soon, never).expired());
+  EXPECT_FALSE(Deadline::earliest(never, never).expired());
+}
+
+TEST(DeadlineGuard, TightensThenRestores) {
+  SolveContext ctx;
+  {
+    const DeadlineGuard guard(ctx, Deadline::after_ms(0.0));
+    EXPECT_TRUE(ctx.should_stop());
+  }
+  EXPECT_FALSE(ctx.should_stop());  // caller's unlimited deadline is back
+}
+
+// ---- simplex under deadline / cancellation -------------------------------
+
+TEST(SolveContext, DeadlineInterruptsSimplexMidSolve) {
+  const Model m = dense_lp(150, 300, 7);
+  const lp::SimplexSolver solver;
+
+  // Unlimited solve establishes how much work the model takes.
+  SolveContext free_ctx;
+  const auto full = solver.solve(m, free_ctx);
+  ASSERT_EQ(full.status, lp::SolveStatus::kOptimal);
+  ASSERT_GT(full.iterations, 0);
+
+  // With a ~2 ms budget the pivot loop must notice the expiry at one of its
+  // refactorization-interval polls and return kTimeLimit with valid partial
+  // stats (never hang or report optimal after the deadline).
+  SolveContext ctx;
+  ctx.set_time_limit_ms(2.0);
+  const auto limited = solver.solve(m, ctx);
+  if (limited.status == lp::SolveStatus::kTimeLimit) {
+    EXPECT_LE(limited.iterations, full.iterations);
+    const SolveStats* simplex = ctx.stats().find("simplex");
+    ASSERT_NE(simplex, nullptr);
+    EXPECT_EQ(simplex->metric("pivots"), limited.iterations);
+  } else {
+    // A very fast machine may finish inside the budget; that is also legal.
+    EXPECT_EQ(limited.status, lp::SolveStatus::kOptimal);
+  }
+}
+
+TEST(SolveContext, PreExpiredDeadlineStopsSimplexAtFirstPoll) {
+  const Model m = dense_lp(60, 120, 11);
+  SolveContext ctx;
+  ctx.set_time_limit_ms(0.0);
+  const auto s = lp::SimplexSolver().solve(m, ctx);
+  EXPECT_EQ(s.status, lp::SolveStatus::kTimeLimit);
+  // The loop polls on entry, so not even one refactor interval of pivots.
+  EXPECT_LT(s.iterations, 128);
+}
+
+TEST(SolveContext, CancellationBeatsDeadlineInSimplexStatus) {
+  const Model m = dense_lp(60, 120, 13);
+  SolveContext ctx;
+  ctx.set_time_limit_ms(0.0);
+  ctx.request_cancel();  // both tripped: cancellation wins the status race
+  const auto s = lp::SimplexSolver().solve(m, ctx);
+  EXPECT_EQ(s.status, lp::SolveStatus::kCancelled);
+}
+
+// ---- branch-and-bound control --------------------------------------------
+
+TEST(SolveContext, CancellationFromNodeCallbackStopsBranchAndBound) {
+  const Model m = hard_knapsack(26, 3);
+  SolveContext ctx;
+  std::atomic<int> nodes_seen{0};
+  ctx.events.on_node = [&](const NodeEvent& event) {
+    (void)event;
+    if (++nodes_seen >= 5) ctx.request_cancel();
+  };
+  const auto s = milp::BranchAndBoundSolver().solve(m, ctx);
+  EXPECT_EQ(s.status, milp::MilpStatus::kCancelled);
+  EXPECT_GE(nodes_seen.load(), 5);
+  // Cancellation is polled per node and inside node LPs: the tree must stop
+  // promptly, not run to its natural end (which takes hundreds of nodes).
+  EXPECT_LT(s.nodes, 64);
+}
+
+TEST(SolveContext, MilpTimeLimitRestoresCallerDeadline) {
+  const Model m = hard_knapsack(30, 5);
+  milp::MilpOptions options;
+  options.time_limit_ms = 1;
+  options.max_nodes = 1 << 30;
+  SolveContext ctx;
+  const auto s = milp::BranchAndBoundSolver(options).solve(m, ctx);
+  EXPECT_TRUE(s.status == milp::MilpStatus::kTimeLimit ||
+              s.status == milp::MilpStatus::kOptimal);
+  EXPECT_FALSE(ctx.should_stop()) << "option deadline leaked into context";
+}
+
+// ---- events & stats ------------------------------------------------------
+
+TEST(SolveContext, EventsFireInOrderWithConsistentCounters) {
+  const Model m = hard_knapsack(14, 11);
+  SolveContext ctx;
+  int phases = 0;
+  int nodes = 0;
+  int incumbents = 0;
+  int bound_moves = 0;
+  long long last_node = -1;
+  bool incumbent_before_node_end = false;
+  ctx.events.on_simplex_phase = [&](const SimplexPhaseEvent& e) {
+    EXPECT_TRUE(e.phase == 1 || e.phase == 2);
+    EXPECT_GE(e.pivots, 0);
+    ++phases;
+  };
+  ctx.events.on_node = [&](const NodeEvent& e) {
+    EXPECT_GE(e.node, last_node) << "nodes must be announced in order";
+    last_node = e.node;
+    EXPECT_GE(e.depth, 0);
+    ++nodes;
+  };
+  ctx.events.on_incumbent = [&](const IncumbentEvent& e) {
+    EXPECT_GE(e.time_ms, 0.0);
+    incumbent_before_node_end = true;
+    ++incumbents;
+  };
+  ctx.events.on_bound_improvement = [&](const BoundEvent&) { ++bound_moves; };
+
+  const auto s = milp::BranchAndBoundSolver().solve(m, ctx);
+  ASSERT_EQ(s.status, milp::MilpStatus::kOptimal);
+  EXPECT_GT(phases, 0);
+  EXPECT_GT(nodes, 0);
+  EXPECT_GE(incumbents, 1);  // an optimal solve must announce its incumbent
+  EXPECT_TRUE(incumbent_before_node_end);
+
+  const SolveStats* bb = ctx.stats().find("branch_and_bound");
+  ASSERT_NE(bb, nullptr);
+  EXPECT_EQ(bb->metric("nodes"), s.nodes);
+  EXPECT_EQ(bb->metric("incumbents"), incumbents);
+  EXPECT_EQ(bb->metric("bound_improvements"), bound_moves);
+  EXPECT_FALSE(bb->trace.empty());
+  // The trace ends at the final optimal state: incumbent meets bound.
+  const TracePoint& last = bb->trace.back();
+  EXPECT_NEAR(last.incumbent, s.objective, 1e-6);
+  // Aggregated simplex counters roll up under the B&B subtree.
+  const SolveStats* simplex = bb->find("simplex");
+  ASSERT_NE(simplex, nullptr);
+  EXPECT_GE(simplex->metric("pivots"), 1.0);
+  EXPECT_EQ(bb->wall_ms >= 0.0, true);
+}
+
+TEST(SolveContext, PresolveFiresReductionEvents) {
+  Model m;
+  const int x = m.add_continuous("x", 3.0, 3.0);  // fixed
+  const int y = m.add_continuous("y", 0.0, 10.0);
+  m.set_objective(Sense::kMinimize, {{x, 2.0}, {y, 1.0}});
+  m.add_constraint("c", {{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 5.0);
+  SolveContext ctx;
+  std::vector<std::string> rules;
+  ctx.events.on_presolve_reduction = [&](const PresolveReductionEvent& e) {
+    rules.push_back(e.rule);
+  };
+  const auto result = lp::presolve(m, ctx);
+  ASSERT_EQ(result.status, lp::PresolveStatus::kReduced);
+  ASSERT_FALSE(rules.empty());
+  EXPECT_EQ(rules.front(), "fix_variable");
+  const SolveStats* presolve_stats = ctx.stats().find("presolve");
+  ASSERT_NE(presolve_stats, nullptr);
+  EXPECT_EQ(presolve_stats->metric("vars_removed"), result.vars_removed);
+  EXPECT_EQ(presolve_stats->metric("rows_removed"), result.rows_removed);
+}
+
+TEST(SolveStats, AggregatesRepeatedScopesInsteadOfGrowing) {
+  SolveContext ctx;
+  for (int i = 0; i < 100; ++i) {
+    SolveScope scope(ctx, "simplex");
+    scope.stats().add("calls", 1.0);
+  }
+  ASSERT_EQ(ctx.stats().children.size(), 1u);
+  EXPECT_EQ(ctx.stats().children.front().metric("calls"), 100.0);
+}
+
+TEST(SolveStats, JsonIsWellFormedAndEscapes) {
+  SolveStats stats;
+  stats.name = "root \"quoted\"";
+  stats.wall_ms = 1.5;
+  stats.add("pivots", 42.0);
+  stats.add("nan_metric", std::numeric_limits<double>::quiet_NaN());
+  stats.trace.push_back({0.5, 1, 10.0, 9.0});
+  stats.child("child").add("k", 1.0);
+  const std::string json = stats.to_json();
+  EXPECT_NE(json.find("\"root \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"pivots\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"nan_metric\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"children\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+  // Balanced braces/brackets — cheap structural sanity without a parser.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+// ---- planner integration -------------------------------------------------
+
+TEST(SolveContext, PlannerBuildsPerStageStatsTree) {
+  Rng rng(5);
+  const auto instance = make_random_instance(rng, 8, 3, 2);
+  const CostModel model(instance);
+  PlannerOptions options;
+  options.milp.time_limit_ms = 5000;
+  SolveContext ctx;
+  const PlannerReport report = EtransformPlanner(options).plan(model, ctx);
+  EXPECT_FALSE(report.interrupted);
+  EXPECT_EQ(report.stats.name, "planner");
+  EXPECT_GT(report.stats.wall_ms, 0.0);
+  // The exact path must record formulation, presolve, and B&B stages.
+  EXPECT_NE(report.stats.find("formulation"), nullptr);
+  EXPECT_NE(report.stats.find("presolve"), nullptr);
+  const SolveStats* bb = report.stats.find("branch_and_bound");
+  ASSERT_NE(bb, nullptr);
+  EXPECT_EQ(bb->deep_metric("nodes"), report.milp_nodes);
+}
+
+TEST(SolveContext, CancelledPlannerReturnsBestEffortPlan) {
+  Rng rng(6);
+  const auto instance = make_random_instance(rng, 8, 3, 2);
+  const CostModel model(instance);
+  SolveContext ctx;
+  bool cancelled_once = false;
+  ctx.events.on_incumbent = [&](const IncumbentEvent&) {
+    // Cancel as soon as the first feasible plan exists.
+    cancelled_once = true;
+    ctx.request_cancel();
+  };
+  const PlannerReport report = EtransformPlanner().plan(model, ctx);
+  if (cancelled_once) {
+    EXPECT_TRUE(report.interrupted);
+    EXPECT_TRUE(check_plan(instance, report.plan).empty())
+        << "interrupted plan must still be feasible";
+  }
+}
+
+// ---- deprecated context-free overloads -----------------------------------
+
+TEST(DeprecatedShims, DelegateToContextApi) {
+  const Model m = hard_knapsack(12, 21);
+  const lp::SimplexSolver lp_solver;
+  SolveContext ctx;
+
+  // Simplex: same result with and without an explicit context.
+  const auto with_ctx = lp_solver.solve(m, ctx);
+  const auto without_ctx = lp_solver.solve(m);
+  EXPECT_EQ(with_ctx.status, without_ctx.status);
+  EXPECT_NEAR(with_ctx.objective, without_ctx.objective, 1e-9);
+
+  // Presolve shim.
+  const auto presolved = lp::presolve(m);
+  EXPECT_EQ(presolved.status, lp::PresolveStatus::kReduced);
+
+  // Branch-and-bound shim still returns a stats subtree via MilpSolution.
+  const auto milp_solution = milp::BranchAndBoundSolver().solve(m);
+  ASSERT_EQ(milp_solution.status, milp::MilpStatus::kOptimal);
+  EXPECT_EQ(milp_solution.stats.name, "branch_and_bound");
+  EXPECT_EQ(milp_solution.stats.metric("nodes"), milp_solution.nodes);
+
+  // Brute force shim.
+  const auto brute = milp::solve_brute_force(m);
+  ASSERT_EQ(brute.status, milp::MilpStatus::kOptimal);
+  EXPECT_NEAR(brute.objective, milp_solution.objective, 1e-6);
+
+  // Planner shim.
+  Rng rng(7);
+  const auto instance = make_random_instance(rng, 6, 3, 2);
+  const CostModel model(instance);
+  const PlannerReport report = EtransformPlanner().plan(model);
+  EXPECT_EQ(report.stats.name, "planner");
+  EXPECT_TRUE(check_plan(instance, report.plan).empty());
+}
+
+}  // namespace
+}  // namespace etransform

@@ -51,7 +51,8 @@ TEST(SolverLimits, SimplexIterationLimitReported) {
     m.add_constraint("r" + std::to_string(i), terms, Relation::kGreaterEqual,
                      2.0);
   }
-  const auto s = solver.solve(m);
+  SolveContext ctx;
+  const auto s = solver.solve(m, ctx);
   EXPECT_EQ(s.status, lp::SolveStatus::kIterationLimit);
 }
 
@@ -60,11 +61,18 @@ TEST(SolverLimits, MilpTimeLimitProducesIncumbentNotProof) {
   options.time_limit_ms = 1;  // expire almost immediately
   options.max_nodes = 1 << 30;
   const milp::BranchAndBoundSolver solver(options);
-  const auto s = solver.solve(hard_knapsack(30, 5));
-  // Either the dive found an incumbent (kFeasible) or nothing yet.
-  EXPECT_TRUE(s.status == milp::MilpStatus::kFeasible ||
-              s.status == milp::MilpStatus::kNoSolutionFound ||
+  SolveContext ctx;
+  const auto s = solver.solve(hard_knapsack(30, 5), ctx);
+  // Normally the deadline fires first (kTimeLimit, with or without an
+  // incumbent); a fast machine may still close the gap inside 1 ms.
+  EXPECT_TRUE(s.status == milp::MilpStatus::kTimeLimit ||
               s.status == milp::MilpStatus::kOptimal);
+  if (s.has_incumbent()) {
+    EXPECT_TRUE(hard_knapsack(30, 5).is_feasible(s.values, 1e-6));
+  }
+  // The MilpOptions deadline is scoped to the solve: the caller's context
+  // must be usable again afterwards.
+  EXPECT_FALSE(ctx.should_stop());
 }
 
 TEST(SolverLimits, LooseRelativeGapStopsEarlyButValid) {
@@ -73,8 +81,9 @@ TEST(SolverLimits, LooseRelativeGapStopsEarlyButValid) {
   milp::MilpOptions loose = tight;
   loose.relative_gap = 0.25;
   const auto model = hard_knapsack(18, 9);
-  const auto exact = milp::BranchAndBoundSolver(tight).solve(model);
-  const auto approx = milp::BranchAndBoundSolver(loose).solve(model);
+  SolveContext ctx;
+  const auto exact = milp::BranchAndBoundSolver(tight).solve(model, ctx);
+  const auto approx = milp::BranchAndBoundSolver(loose).solve(model, ctx);
   ASSERT_EQ(exact.status, milp::MilpStatus::kOptimal);
   ASSERT_EQ(approx.status, milp::MilpStatus::kOptimal);
   // Maximization: approx incumbent within 25% of the proven optimum.
@@ -85,7 +94,8 @@ TEST(SolverLimits, LooseRelativeGapStopsEarlyButValid) {
 
 TEST(SolverLimits, NodeCountsAreReported) {
   const auto model = hard_knapsack(14, 11);
-  const auto s = milp::BranchAndBoundSolver().solve(model);
+  SolveContext ctx;
+  const auto s = milp::BranchAndBoundSolver().solve(model, ctx);
   ASSERT_EQ(s.status, milp::MilpStatus::kOptimal);
   EXPECT_GE(s.nodes, 1);
   EXPECT_GE(s.lp_iterations, 1);
@@ -95,10 +105,11 @@ TEST(SolverLimits, ZeroVariableModelSolves) {
   Model m;
   m.set_objective(Sense::kMinimize, {}, 42.0);
   const lp::SimplexSolver solver;
-  const auto s = solver.solve(m);
+  SolveContext ctx;
+  const auto s = solver.solve(m, ctx);
   ASSERT_EQ(s.status, lp::SolveStatus::kOptimal);
   EXPECT_DOUBLE_EQ(s.objective, 42.0);
-  const auto milp_solution = milp::BranchAndBoundSolver().solve(m);
+  const auto milp_solution = milp::BranchAndBoundSolver().solve(m, ctx);
   ASSERT_EQ(milp_solution.status, milp::MilpStatus::kOptimal);
   EXPECT_DOUBLE_EQ(milp_solution.objective, 42.0);
 }
@@ -109,7 +120,8 @@ TEST(SolverLimits, FixedEverythingModelSolvesImmediately) {
   const int y = m.add_continuous("y", 3.0, 3.0);
   m.set_objective(Sense::kMaximize, {{x, 2.0}, {y, 1.0}});
   m.add_constraint("c", {{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 5.0);
-  const auto s = milp::BranchAndBoundSolver().solve(m);
+  SolveContext ctx;
+  const auto s = milp::BranchAndBoundSolver().solve(m, ctx);
   ASSERT_EQ(s.status, milp::MilpStatus::kOptimal);
   EXPECT_DOUBLE_EQ(s.objective, 7.0);
 }
@@ -122,7 +134,8 @@ TEST(SolverLimits, EqualityOnlySystemWithUniqueSolution) {
   m.set_objective(Sense::kMinimize, {{x, 5.0}, {y, -2.0}});
   m.add_constraint("c1", {{x, 1.0}, {y, 1.0}}, Relation::kEqual, 7.0);
   m.add_constraint("c2", {{x, 1.0}, {y, -1.0}}, Relation::kEqual, 1.0);
-  const auto s = lp::SimplexSolver().solve(m);
+  SolveContext ctx;
+  const auto s = lp::SimplexSolver().solve(m, ctx);
   ASSERT_EQ(s.status, lp::SolveStatus::kOptimal);
   EXPECT_NEAR(s.values[static_cast<std::size_t>(x)], 4.0, 1e-7);
   EXPECT_NEAR(s.values[static_cast<std::size_t>(y)], 3.0, 1e-7);
@@ -136,7 +149,8 @@ TEST(SolverLimits, LargeCoefficientSpreadStaysAccurate) {
   m.set_objective(Sense::kMinimize, {{big, 1.5e-5}, {small, 100.0}});
   m.add_constraint("need", {{big, 1.0}, {small, 1.0e8}},
                    Relation::kGreaterEqual, 2.0e8);
-  const auto s = milp::BranchAndBoundSolver().solve(m);
+  SolveContext ctx;
+  const auto s = milp::BranchAndBoundSolver().solve(m, ctx);
   ASSERT_EQ(s.status, milp::MilpStatus::kOptimal);
   // Options: all data (2e8 * 1.5e-5 = 3000) vs pick + 1e8 data (1600).
   EXPECT_NEAR(s.objective, 1600.0, 1e-3);
