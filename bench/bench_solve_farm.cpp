@@ -1,0 +1,125 @@
+// SolveFarm harness: measures what the concurrent solve service buys on this
+// machine.
+//
+//  1. Scenario-sweep throughput — the same ScenarioSet (an omega sweep plus a
+//     latency-penalty sweep over one random estate) run on a 1-thread and an
+//     8-thread SolveService. Reports per-run wall times and the speedup. On a
+//     single-core container the speedup is ~1x by construction; the harness
+//     measures and says so rather than pretending. It also verifies the two
+//     rendered reports are byte-identical (the determinism contract).
+//
+//  2. Portfolio race — exact vs. heuristic on one instance; prints the
+//     winner, both legs' terminal states, and confirms the loser unwound via
+//     cancellation (or, single-threaded, never started).
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "datagen/generators.h"
+#include "service/scenario_set.h"
+#include "service/solve_farm.h"
+
+namespace etransform::bench {
+namespace {
+
+ScenarioSet build_sweep(std::uint64_t seed) {
+  Rng rng(seed);
+  // Sized so every scenario (including the joint-DR solves) runs to proven
+  // optimality: time-limited solves would make per-scenario work depend on
+  // wall-clock contention, poisoning both the speedup measurement and the
+  // cross-thread-count determinism check.
+  ScenarioSet set(make_random_instance(rng, 14, 4, 3));
+  set.add_omega_sweep({1.0, 0.9, 0.8, 0.7, 0.6, 0.5});
+  set.add_latency_penalty_sweep({0.0, 25.0, 50.0, 100.0, 200.0});
+  // The joint-DR MILP at this size outruns any sane bench budget; sweep the
+  // DR price on the (deterministic) heuristic engine instead.
+  PlannerOptions dr_options;
+  dr_options.engine = PlannerOptions::Engine::kHeuristic;
+  set.add_dr_cost_sweep({250.0, 500.0, 1000.0}, dr_options);
+  return set;
+}
+
+double run_sweep_ms(const ScenarioSet& set, int threads, std::string* report) {
+  SolveService service(threads);
+  Stopwatch timer;
+  const auto results = run_scenarios(set, service);
+  const double elapsed = timer.elapsed_ms();
+  *report = render_scenario_results(results);
+  return elapsed;
+}
+
+void sweep_benchmark() {
+  banner("SolveFarm scenario sweep",
+         "14 scenarios (omega / latency-penalty / DR-cost sweeps) over one "
+         "14-group estate,\nsolved on a 1-thread vs. an 8-thread "
+         "SolveService.");
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("hardware_concurrency: %u\n", cores);
+
+  const ScenarioSet set = build_sweep(2024);
+  std::string report1;
+  std::string report8;
+  // Warm-up pass so first-touch allocation noise lands outside the timings.
+  (void)run_sweep_ms(set, 1, &report1);
+  const double ms1 = run_sweep_ms(set, 1, &report1);
+  const double ms8 = run_sweep_ms(set, 8, &report8);
+  const double speedup = ms8 > 0.0 ? ms1 / ms8 : 0.0;
+
+  std::printf("1 thread : %9.1f ms\n", ms1);
+  std::printf("8 threads: %9.1f ms\n", ms8);
+  std::printf("speedup  : %9.2fx\n", speedup);
+  if (cores <= 1) {
+    std::printf(
+        "(single-core machine: parallel speedup is not observable here; "
+        "rerun on a\n multi-core host to see the farm scale)\n");
+  }
+  std::printf("reports byte-identical across thread counts: %s\n",
+              report1 == report8 ? "yes" : "NO — DETERMINISM BUG");
+
+  export_csv("solve_farm_sweep", {"threads", "wall_ms", "speedup"},
+             {{"1", std::to_string(ms1), "1.0"},
+              {"8", std::to_string(ms8), std::to_string(speedup)}});
+
+  std::printf("\n%s\n", report1.c_str());
+}
+
+void race_benchmark() {
+  banner("Portfolio race",
+         "Exact (presolve -> branch-and-bound) vs. heuristic on the same "
+         "instance;\nthe first finisher cancels the other.");
+  Rng rng(7);
+  const auto instance = make_random_instance(rng, 32, 6, 4);
+  SolveService service(0);  // hardware concurrency
+  const RaceOutcome outcome =
+      race_portfolio(service, instance, PlannerOptions());
+  std::printf("winner engine : %s\n", outcome.winner_engine.c_str());
+  std::printf("first finisher: %s\n", outcome.first_finisher.c_str());
+  std::printf("exact leg     : %-9s %8.1f ms\n", to_string(outcome.exact_state),
+              outcome.exact_ms);
+  std::printf("heuristic leg : %-9s %8.1f ms\n",
+              to_string(outcome.heuristic_state), outcome.heuristic_ms);
+  std::printf("loser cancelled: %s\n", outcome.loser_cancelled ? "yes" : "no");
+  std::printf("best plan cost : $%.0f/mo\n", outcome.best.plan.cost.total());
+
+  export_csv("solve_farm_race",
+             {"winner", "exact_state", "exact_ms", "heuristic_state",
+              "heuristic_ms", "loser_cancelled"},
+             {{outcome.winner_engine, to_string(outcome.exact_state),
+               std::to_string(outcome.exact_ms),
+               to_string(outcome.heuristic_state),
+               std::to_string(outcome.heuristic_ms),
+               outcome.loser_cancelled ? "yes" : "no"}});
+}
+
+}  // namespace
+}  // namespace etransform::bench
+
+int main() {
+  etransform::bench::sweep_benchmark();
+  etransform::bench::race_benchmark();
+  return 0;
+}

@@ -16,11 +16,21 @@
 //       and bound moves) to stderr as they happen; --stats-json dumps the
 //       hierarchical SolveStats tree (per-phase wall times, pivot/node
 //       counters, incumbent/bound trace) as JSON.
+//
+//   Concurrency (SolveFarm):
+//       --jobs N           solve on N worker threads: scenario sweeps and
+//                          the sensitivity scan fan out across a SolveService
+//       --sweep key=v1,v2  run a what-if sweep instead of a single plan; keys
+//                          are omega, dr-cost, latency-penalty (repeatable,
+//                          scenarios run in the order given)
+//       --race             race the exact and heuristic engines; the first
+//                          finisher cancels the other
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "baselines/baselines.h"
 #include "common/error.h"
@@ -33,6 +43,8 @@
 #include "planner/migration.h"
 #include "report/report.h"
 #include "report/sensitivity.h"
+#include "service/scenario_set.h"
+#include "service/solve_farm.h"
 
 using namespace etransform;
 
@@ -49,7 +61,9 @@ int usage() {
       "      [--engine auto|exact|heuristic] [--no-economies]\n"
       "      [--lp-out model.lp] [--time-limit ms]\n"
       "      [--trace] [--stats-json stats.json]\n"
-      "      [--migrate] [--wan-budget megabits] [--max-moves N]\n");
+      "      [--migrate] [--wan-budget megabits] [--max-moves N]\n"
+      "      [--jobs N] [--sweep omega|dr-cost|latency-penalty=v1,v2,...]\n"
+      "      [--race]\n");
   return 1;
 }
 
@@ -97,6 +111,69 @@ int cmd_asis(int argc, char** argv) {
   return 0;
 }
 
+std::vector<double> parse_value_list(const std::string& csv) {
+  std::vector<double> values;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) values.push_back(std::stod(item));
+  if (values.empty()) throw InvalidInputError("empty sweep value list");
+  return values;
+}
+
+/// Builds the ScenarioSet for the --sweep specs, in the order given.
+ScenarioSet build_sweep_set(const ConsolidationInstance& instance,
+                            const PlannerOptions& base,
+                            const std::vector<std::string>& specs) {
+  ScenarioSet set(instance);
+  for (const std::string& spec : specs) {
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos) {
+      throw InvalidInputError("--sweep expects key=v1,v2,... (got '" + spec +
+                              "')");
+    }
+    const std::string key = spec.substr(0, eq);
+    const std::vector<double> values = parse_value_list(spec.substr(eq + 1));
+    if (key == "omega") {
+      set.add_omega_sweep(values, base);
+    } else if (key == "dr-cost") {
+      set.add_dr_cost_sweep(values, base);
+    } else if (key == "latency-penalty") {
+      set.add_latency_penalty_sweep(values, base);
+    } else {
+      throw InvalidInputError(
+          "unknown sweep key '" + key +
+          "' (expected omega, dr-cost, or latency-penalty)");
+    }
+  }
+  return set;
+}
+
+int run_sweep(const ConsolidationInstance& instance,
+              const PlannerOptions& options,
+              const std::vector<std::string>& specs, int jobs) {
+  const ScenarioSet set = build_sweep_set(instance, options, specs);
+  SolveService service(jobs);
+  std::printf("sweeping %zu scenarios on %d worker thread%s...\n", set.size(),
+              service.num_threads(), service.num_threads() == 1 ? "" : "s");
+  const auto results = run_scenarios(set, service);
+  std::printf("%s", render_scenario_results(results).c_str());
+  return 0;
+}
+
+int run_race(const ConsolidationInstance& instance,
+             const PlannerOptions& options, int jobs) {
+  SolveService service(jobs);
+  const RaceOutcome outcome = race_portfolio(service, instance, options);
+  std::printf("portfolio race: %s wins (first finisher: %s)\n",
+              outcome.winner_engine.c_str(), outcome.first_finisher.c_str());
+  std::printf("  exact leg    : %-9s %8.1f ms\n",
+              to_string(outcome.exact_state), outcome.exact_ms);
+  std::printf("  heuristic leg: %-9s %8.1f ms\n",
+              to_string(outcome.heuristic_state), outcome.heuristic_ms);
+  std::printf("%s", render_plan_summary(instance, outcome.best.plan).c_str());
+  return 0;
+}
+
 int cmd_plan(int argc, char** argv) {
   if (argc < 3) return usage();
   const ConsolidationInstance instance = load(argv[2]);
@@ -107,11 +184,21 @@ int cmd_plan(int argc, char** argv) {
   bool trace = false;
   bool sensitivity = false;
   bool migrate = false;
+  bool race = false;
+  int jobs = 1;
+  std::vector<std::string> sweep_specs;
   MigrationLimits migration_limits;
   for (int a = 3; a < argc; ++a) {
     const std::string flag = argv[a];
     if (flag == "--sensitivity") {
       sensitivity = true;
+    } else if (flag == "--jobs" && a + 1 < argc) {
+      jobs = std::stoi(argv[++a]);
+      if (jobs < 1) return usage();
+    } else if (flag == "--sweep" && a + 1 < argc) {
+      sweep_specs.push_back(argv[++a]);
+    } else if (flag == "--race") {
+      race = true;
     } else if (flag == "--migrate") {
       migrate = true;
     } else if (flag == "--wan-budget" && a + 1 < argc) {
@@ -147,6 +234,11 @@ int cmd_plan(int argc, char** argv) {
       return usage();
     }
   }
+
+  if (!sweep_specs.empty()) {
+    return run_sweep(instance, options, sweep_specs, jobs);
+  }
+  if (race) return run_race(instance, options, jobs);
 
   const CostModel model(instance);
   if (!lp_out.empty()) {
@@ -220,10 +312,15 @@ int cmd_plan(int argc, char** argv) {
     std::printf("\n%s", render_solve_stats(report.stats).c_str());
   }
   if (sensitivity) {
+    SensitivityReport sensitivity_report;
+    if (jobs > 1) {
+      ThreadPool pool(jobs);
+      sensitivity_report = analyze_sensitivity(model, report.plan, pool);
+    } else {
+      sensitivity_report = analyze_sensitivity(model, report.plan);
+    }
     std::printf("\n%s",
-                render_sensitivity(instance,
-                                   analyze_sensitivity(model, report.plan))
-                    .c_str());
+                render_sensitivity(instance, sensitivity_report).c_str());
   }
   if (migrate) {
     const MigrationSchedule schedule =

@@ -2,11 +2,27 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace etransform {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// Serializes emission (and sink swaps) so concurrent jobs never interleave
+// characters of a line. The level check stays lock-free on the fast path.
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& sink_slot() {
+  static LogSink sink;
+  return sink;
+}
+
+thread_local std::string t_tag;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,9 +40,39 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_thread_tag(std::string tag) { t_tag = std::move(tag); }
+
+const std::string& log_thread_tag() { return t_tag; }
+
+LogTagScope::LogTagScope(std::string tag) : saved_(std::move(t_tag)) {
+  t_tag = std::move(tag);
+}
+
+LogTagScope::~LogTagScope() { t_tag = std::move(saved_); }
+
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(log_mutex());
+  sink_slot() = std::move(sink);
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (level < g_level.load() || level == LogLevel::kOff) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::string line = "[";
+  line += level_name(level);
+  line += "]";
+  if (!t_tag.empty()) {
+    line += " [";
+    line += t_tag;
+    line += "]";
+  }
+  line += " ";
+  line += message;
+  const std::lock_guard<std::mutex> lock(log_mutex());
+  if (sink_slot()) {
+    sink_slot()(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace etransform

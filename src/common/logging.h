@@ -1,10 +1,18 @@
-// Leveled logging to stderr.
+// Leveled logging to stderr, safe for concurrent solves.
 //
 // Solvers emit progress at Debug level; planners note phase transitions at
 // Info. The level is a process-wide setting so benches can silence solver
 // chatter without plumbing a logger through every call.
+//
+// Concurrency: emission is serialized by an internal mutex, so lines from
+// concurrent SolveFarm jobs never interleave mid-line. Each thread may carry
+// a tag (set_log_thread_tag, or scoped via LogTagScope) that is printed on
+// every line it emits — SolveFarm tags worker threads with the running job
+// id, so a multiplexed log remains attributable. A process-wide sink can
+// replace stderr (tests capture lines through it).
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -18,7 +26,34 @@ void set_log_level(LogLevel level);
 /// Current minimum level.
 [[nodiscard]] LogLevel log_level();
 
-/// Emits one line to stderr if `level` passes the threshold.
+/// Tags every line emitted by the *calling thread* with `[tag]` (empty
+/// clears). SolveFarm sets this to the job id for the duration of a job.
+void set_log_thread_tag(std::string tag);
+
+/// The calling thread's current tag (empty when untagged).
+[[nodiscard]] const std::string& log_thread_tag();
+
+/// RAII thread tag: sets on construction, restores the previous tag on
+/// destruction (tags nest, e.g. a job that runs a sub-solve).
+class LogTagScope {
+ public:
+  explicit LogTagScope(std::string tag);
+  ~LogTagScope();
+  LogTagScope(const LogTagScope&) = delete;
+  LogTagScope& operator=(const LogTagScope&) = delete;
+
+ private:
+  std::string saved_;
+};
+
+/// Redirects emission away from stderr (nullptr restores stderr). The sink
+/// is invoked under the logging mutex — one call at a time — with the fully
+/// formatted line (level name and thread tag already applied). Swap sinks
+/// only while no other thread is logging.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+void set_log_sink(LogSink sink);
+
+/// Emits one line if `level` passes the threshold.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

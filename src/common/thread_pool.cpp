@@ -1,0 +1,149 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+namespace etransform {
+
+namespace {
+// Which pool (if any) the current thread is a worker of, and its index.
+// Lets submit() route a worker's own submissions to its own deque.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker_index = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  queues_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      throw std::logic_error("ThreadPool::submit after shutdown");
+    }
+    target = tls_pool == this ? static_cast<std::size_t>(tls_worker_index)
+                              : next_queue_++ % queues_.size();
+    ++outstanding_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+int ThreadPool::outstanding() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+bool ThreadPool::try_pop(int index, std::function<void()>& task) {
+  // Own queue first (back: newest, cache-warm) ...
+  {
+    auto& own = *queues_[static_cast<std::size_t>(index)];
+    const std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  // ... then steal from the front of the others (oldest: likely the largest
+  // remaining chunk of work).
+  const auto n = queues_.size();
+  for (std::size_t step = 1; step < n; ++step) {
+    auto& victim = *queues_[(static_cast<std::size_t>(index) + step) % n];
+    const std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(int index) {
+  tls_pool = this;
+  tls_worker_index = index;
+  for (;;) {
+    std::function<void()> task;
+    if (!try_pop(index, task)) {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this, index, &task] {
+        if (stopping_) return true;
+        // Re-check under the wake lock: a submit may have landed between the
+        // failed pop and the wait.
+        return try_pop(index, task);
+      });
+      if (!task) return;  // stopping and nothing left to run
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, int count,
+                  const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  if (count == 1 || pool.num_threads() == 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // ~4 chunks per worker bounds both scheduling overhead and tail latency.
+  const int chunks = std::min(count, pool.num_threads() * 4);
+  const int chunk_size = (count + chunks - 1) / chunks;
+  std::mutex mu;
+  std::condition_variable done;
+  int remaining = 0;
+  for (int begin = 0; begin < count; begin += chunk_size) {
+    const int end = std::min(count, begin + chunk_size);
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      ++remaining;
+    }
+    pool.submit([&, begin, end] {
+      for (int i = begin; i < end; ++i) fn(i);
+      // Notify while holding the lock: the waiter owns mu/done, so the last
+      // task must not touch them after the waiter can possibly return.
+      const std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) done.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&] { return remaining == 0; });
+}
+
+}  // namespace etransform

@@ -1,0 +1,86 @@
+// Work-stealing thread pool shared by the concurrent layers (SolveFarm,
+// parallel sensitivity analysis).
+//
+// Each worker owns a deque of tasks guarded by its own mutex. submit() from
+// an external thread distributes round-robin; submit() from inside a worker
+// pushes to that worker's own deque (LIFO, for locality). An idle worker
+// first drains its own deque from the back, then steals from the other
+// workers' fronts, then sleeps on a shared condition variable. This keeps
+// the common case (N independent planner solves) contention-free while
+// letting uneven scenario sweeps rebalance themselves.
+//
+// Tasks must not throw: they run user work that is expected to capture its
+// own errors (SolveFarm jobs store exceptions in the job result). A task
+// that does throw terminates the process, which is preferable to silently
+// losing work.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace etransform {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; <= 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Waits for every submitted task to finish, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe to call from any thread, including from inside a
+  /// running task. Throws std::logic_error after shutdown began.
+  void submit(std::function<void()> task);
+
+  /// Blocks until no task is queued or running. New submissions made while
+  /// waiting extend the wait.
+  void wait_idle();
+
+  /// Number of worker threads.
+  [[nodiscard]] int num_threads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Tasks queued but not yet started plus tasks currently running.
+  [[nodiscard]] int outstanding() const;
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(int index);
+  bool try_pop(int index, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Guards sleep/wake and the outstanding count; per-queue mutexes guard the
+  // deques themselves.
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int outstanding_ = 0;
+  bool stopping_ = false;
+  std::size_t next_queue_ = 0;
+};
+
+/// Runs `fn(i)` for every i in [0, count) on the pool, blocking until all
+/// iterations finish. Iterations are chunked to bound scheduling overhead.
+/// Must not be called from inside a pool task (the caller blocks a slot).
+/// With count <= 1 or a single-threaded pool the loop runs inline.
+void parallel_for(ThreadPool& pool, int count,
+                  const std::function<void(int)>& fn);
+
+}  // namespace etransform

@@ -37,11 +37,6 @@ bool tighten_integer_bounds(Working& w, int j) {
 
 }  // namespace
 
-PresolveResult presolve(const Model& model) {
-  SolveContext ctx;
-  return presolve(model, ctx);
-}
-
 PresolveResult presolve(const Model& model, SolveContext& ctx) {
   model.validate();
   SolveScope scope(ctx, "presolve");

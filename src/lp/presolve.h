@@ -44,9 +44,6 @@ struct PresolveResult {
 /// cancellation is requested. Throws InvalidInputError on malformed models.
 [[nodiscard]] PresolveResult presolve(const Model& model, SolveContext& ctx);
 
-/// Deprecated: presolve under a throwaway default SolveContext.
-[[nodiscard]] PresolveResult presolve(const Model& model);
-
 /// Maps a solution of `result.reduced` back to the original variables.
 /// Throws InvalidInputError if the value count does not match the reduced
 /// model.

@@ -712,18 +712,6 @@ class Tableau {
 
 SimplexSolver::SimplexSolver(SimplexOptions options) : options_(options) {}
 
-LpSolution SimplexSolver::solve(const Model& model) const {
-  SolveContext ctx;
-  return solve(model, ctx);
-}
-
-LpSolution SimplexSolver::solve(const Model& model,
-                                const std::vector<double>& lower,
-                                const std::vector<double>& upper) const {
-  SolveContext ctx;
-  return solve(model, lower, upper, ctx);
-}
-
 LpSolution SimplexSolver::solve(const Model& model, SolveContext& ctx) const {
   std::vector<double> lower(static_cast<std::size_t>(model.num_variables()));
   std::vector<double> upper(static_cast<std::size_t>(model.num_variables()));

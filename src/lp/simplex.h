@@ -100,15 +100,6 @@ class SimplexSolver {
                                  const std::vector<double>& upper,
                                  SolveContext& ctx) const;
 
-  /// Deprecated: solves under a throwaway default SolveContext (no deadline,
-  /// no events; stats are discarded). Prefer the context-based overloads.
-  [[nodiscard]] LpSolution solve(const Model& model) const;
-
-  /// Deprecated: bound-override solve under a throwaway default context.
-  [[nodiscard]] LpSolution solve(const Model& model,
-                                 const std::vector<double>& lower,
-                                 const std::vector<double>& upper) const;
-
  private:
   SimplexOptions options_;
 };

@@ -127,11 +127,6 @@ const char* to_string(MilpStatus status) {
 BranchAndBoundSolver::BranchAndBoundSolver(MilpOptions options)
     : options_(options) {}
 
-MilpSolution BranchAndBoundSolver::solve(const Model& model) const {
-  SolveContext ctx;
-  return solve(model, ctx);
-}
-
 MilpSolution BranchAndBoundSolver::solve(const Model& model,
                                          SolveContext& ctx) const {
   model.validate();

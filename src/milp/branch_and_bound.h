@@ -90,10 +90,6 @@ class BranchAndBoundSolver {
   [[nodiscard]] MilpSolution solve(const lp::Model& model,
                                    SolveContext& ctx) const;
 
-  /// Deprecated: solves under a throwaway default SolveContext (no external
-  /// deadline or events; stats still land in MilpSolution::stats).
-  [[nodiscard]] MilpSolution solve(const lp::Model& model) const;
-
  private:
   [[nodiscard]] MilpSolution solve_impl(const lp::Model& model,
                                         SolveContext& ctx,

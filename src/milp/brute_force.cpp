@@ -13,12 +13,6 @@ using lp::SimplexSolver;
 using lp::SolveStatus;
 }  // namespace
 
-MilpSolution solve_brute_force(const Model& model,
-                               std::uint64_t max_assignments) {
-  SolveContext ctx;
-  return solve_brute_force(model, ctx, max_assignments);
-}
-
 MilpSolution solve_brute_force(const Model& model, SolveContext& ctx,
                                std::uint64_t max_assignments) {
   model.validate();

@@ -22,8 +22,4 @@ namespace etransform::milp {
     const lp::Model& model, SolveContext& ctx,
     std::uint64_t max_assignments = 1u << 22);
 
-/// Deprecated: enumerates under a throwaway default SolveContext.
-[[nodiscard]] MilpSolution solve_brute_force(
-    const lp::Model& model, std::uint64_t max_assignments = 1u << 22);
-
 }  // namespace etransform::milp

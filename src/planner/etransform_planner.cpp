@@ -37,11 +37,6 @@ long long count_assignment_vars(const ConsolidationInstance& instance) {
 EtransformPlanner::EtransformPlanner(PlannerOptions options)
     : options_(options) {}
 
-PlannerReport EtransformPlanner::plan(const CostModel& model) const {
-  SolveContext ctx;
-  return plan(model, ctx);
-}
-
 PlannerReport EtransformPlanner::plan(const CostModel& model,
                                       SolveContext& ctx) const {
   SolveScope scope(ctx, "planner");

@@ -107,10 +107,6 @@ class EtransformPlanner {
   [[nodiscard]] PlannerReport plan(const CostModel& model,
                                    SolveContext& ctx) const;
 
-  /// Deprecated: plans under a throwaway default SolveContext (no deadline
-  /// or events; stats still land in PlannerReport::stats).
-  [[nodiscard]] PlannerReport plan(const CostModel& model) const;
-
   [[nodiscard]] const PlannerOptions& options() const { return options_; }
 
  private:

@@ -1,6 +1,7 @@
 #include "report/sensitivity.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 
 #include "common/error.h"
@@ -9,8 +10,17 @@
 
 namespace etransform {
 
-SensitivityReport analyze_sensitivity(const CostModel& model,
-                                      const Plan& plan) {
+namespace {
+
+/// Runs the analysis with a pluggable loop driver so the sequential and
+/// thread-pool overloads share one kernel: `for_each_group(n, fn)` must
+/// invoke fn(i) exactly once for every i in [0, n) and return only when all
+/// are done. The per-group work reads only shared immutable aggregates, so
+/// any execution order yields the same report.
+template <typename ForEachGroup>
+SensitivityReport analyze_sensitivity_impl(const CostModel& model,
+                                           const Plan& plan,
+                                           const ForEachGroup& for_each_group) {
   const auto& instance = model.instance();
   if (!check_plan(instance, plan).empty()) {
     throw InvalidInputError("analyze_sensitivity: plan is not feasible");
@@ -56,7 +66,8 @@ SensitivityReport analyze_sensitivity(const CostModel& model,
                      j) != group.allowed_sites.end();
   };
 
-  for (int i = 0; i < num_groups; ++i) {
+  report.groups.resize(static_cast<std::size_t>(num_groups));
+  for_each_group(num_groups, [&](int i) {
     const auto& group = instance.groups[static_cast<std::size_t>(i)];
     const int a = plan.primary[static_cast<std::size_t>(i)];
     const double d =
@@ -104,12 +115,15 @@ SensitivityReport analyze_sensitivity(const CostModel& model,
     if (sensitivity.runner_up_site >= 0) {
       sensitivity.regret = best_alternative - at_a;
     }
-    report.groups.push_back(sensitivity);
-  }
-  std::sort(report.groups.begin(), report.groups.end(),
-            [](const GroupSensitivity& x, const GroupSensitivity& y) {
-              return x.regret > y.regret;
-            });
+    report.groups[static_cast<std::size_t>(i)] = sensitivity;
+  });
+  // Stable sort on the group-indexed array: identical input order whether
+  // the scan ran sequentially or on a pool, so ties break identically and
+  // the rendered report is byte-stable across thread counts.
+  std::stable_sort(report.groups.begin(), report.groups.end(),
+                   [](const GroupSensitivity& x, const GroupSensitivity& y) {
+                     return x.regret > y.regret;
+                   });
 
   for (int j = 0; j < num_sites; ++j) {
     SiteUtilization utilization;
@@ -125,6 +139,24 @@ SensitivityReport analyze_sensitivity(const CostModel& model,
     report.sites.push_back(utilization);
   }
   return report;
+}
+
+}  // namespace
+
+SensitivityReport analyze_sensitivity(const CostModel& model,
+                                      const Plan& plan) {
+  return analyze_sensitivity_impl(
+      model, plan, [](int count, const std::function<void(int)>& fn) {
+        for (int i = 0; i < count; ++i) fn(i);
+      });
+}
+
+SensitivityReport analyze_sensitivity(const CostModel& model, const Plan& plan,
+                                      ThreadPool& pool) {
+  return analyze_sensitivity_impl(
+      model, plan, [&pool](int count, const std::function<void(int)>& fn) {
+        parallel_for(pool, count, fn);
+      });
 }
 
 std::string render_sensitivity(const ConsolidationInstance& instance,

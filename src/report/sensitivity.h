@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "cost/cost_model.h"
 #include "model/plan.h"
 
@@ -48,6 +49,13 @@ struct SensitivityReport {
 /// (check_plan empty); throws InvalidInputError otherwise.
 [[nodiscard]] SensitivityReport analyze_sensitivity(const CostModel& model,
                                                     const Plan& plan);
+
+/// Same analysis with the per-group regret scan fanned out over `pool`
+/// (each group's regret is independent given the plan's site aggregates).
+/// Produces a byte-identical report to the sequential overload.
+[[nodiscard]] SensitivityReport analyze_sensitivity(const CostModel& model,
+                                                    const Plan& plan,
+                                                    ThreadPool& pool);
 
 /// Renders the report as text tables (top `max_groups` regrets).
 [[nodiscard]] std::string render_sensitivity(

@@ -1,0 +1,131 @@
+#include "service/scenario_set.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/table.h"
+#include "model/latency.h"
+#include "report/report.h"
+
+namespace etransform {
+
+namespace {
+
+/// Shortest %g rendering, for stable scenario names ("omega=0.25").
+std::string number_name(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+}  // namespace
+
+ScenarioSet::ScenarioSet(ConsolidationInstance base)
+    : base_(std::move(base)) {}
+
+void ScenarioSet::add(Scenario scenario) {
+  scenarios_.push_back(std::move(scenario));
+}
+
+void ScenarioSet::add_omega_sweep(const std::vector<double>& omegas,
+                                  const PlannerOptions& base) {
+  for (const double omega : omegas) {
+    Scenario scenario;
+    scenario.name = "omega=" + number_name(omega);
+    scenario.options = base;
+    scenario.options.business_impact_omega = omega;
+    scenarios_.push_back(std::move(scenario));
+  }
+}
+
+void ScenarioSet::add_dr_cost_sweep(const std::vector<Money>& costs,
+                                    const PlannerOptions& base) {
+  for (const Money cost : costs) {
+    Scenario scenario;
+    scenario.name = "dr_cost=" + number_name(cost);
+    scenario.options = base;
+    scenario.options.enable_dr = true;
+    scenario.mutate = [cost](ConsolidationInstance& instance) {
+      instance.params.dr_server_cost = cost;
+    };
+    scenarios_.push_back(std::move(scenario));
+  }
+}
+
+void ScenarioSet::add_latency_penalty_sweep(
+    const std::vector<Money>& penalties, const PlannerOptions& base) {
+  for (const Money penalty : penalties) {
+    Scenario scenario;
+    scenario.name = "penalty=" + number_name(penalty);
+    scenario.options = base;
+    scenario.mutate = [penalty](ConsolidationInstance& instance) {
+      for (auto& group : instance.groups) {
+        if (group.latency_penalty.is_insensitive()) continue;
+        std::vector<LatencyPenaltyStep> steps = group.latency_penalty.steps();
+        for (auto& step : steps) step.penalty_per_user = penalty;
+        group.latency_penalty = LatencyPenaltyFunction(std::move(steps));
+      }
+    };
+    scenarios_.push_back(std::move(scenario));
+  }
+}
+
+std::vector<ScenarioResult> run_scenarios(const ScenarioSet& set,
+                                          SolveService& service,
+                                          double time_limit_ms) {
+  std::vector<JobHandle> jobs;
+  jobs.reserve(set.size());
+  for (const Scenario& scenario : set.scenarios()) {
+    SolveRequest request;
+    request.name = scenario.name;
+    request.instance = set.base();
+    if (scenario.mutate) scenario.mutate(request.instance);
+    request.options = scenario.options;
+    request.time_limit_ms = time_limit_ms;
+    jobs.push_back(service.submit(std::move(request)));
+  }
+
+  std::vector<ScenarioResult> results;
+  results.reserve(jobs.size());
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    const JobState state = jobs[k]->wait();
+    ScenarioResult result;
+    result.name = set.scenarios()[k].name;
+    if (jobs[k]->has_report()) {
+      result.report = jobs[k]->report();
+    } else {
+      result.failed = true;
+      result.error = jobs[k]->error().empty() ? to_string(state)
+                                              : jobs[k]->error();
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+std::string render_scenario_results(
+    const std::vector<ScenarioResult>& results) {
+  TextTable table({"scenario", "total ($/mo)", "ops ($/mo)",
+                   "latency ($/mo)", "violations", "solver", "note"});
+  for (const ScenarioResult& result : results) {
+    if (result.failed) {
+      table.add_row({result.name, "-", "-", "-", "-", "-", result.error});
+      continue;
+    }
+    const AlgorithmResult row = summarize(result.name, result.report.plan);
+    std::string note;
+    if (result.report.proven_optimal) note = "optimal";
+    if (result.report.interrupted) {
+      note += note.empty() ? "interrupted" : " interrupted";
+    }
+    table.add_row({result.name, format_money(row.total()),
+                   format_money(row.operational_cost),
+                   format_money(row.latency_penalty),
+                   std::to_string(row.latency_violations),
+                   result.report.used_exact_solver ? "exact" : "heuristic",
+                   note});
+  }
+  return table.render();
+}
+
+}  // namespace etransform

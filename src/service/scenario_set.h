@@ -1,0 +1,89 @@
+// ScenarioSet: batch what-if sweeps over one base instance.
+//
+// The paper's consultants explore families of scenarios around a single
+// estate: the business-impact sweep (omega, Fig. 10), the DR server price
+// sweep (Fig. 8), latency-penalty sweeps (Fig. 7), and engine/economies
+// ablations. A ScenarioSet names each variant as a (PlannerOptions, instance
+// mutation) pair over a shared base instance; run_scenarios() fans the set
+// out across a SolveService and returns results in *scenario order*, so a
+// sweep's report is byte-identical whether it ran on 1 thread or 8.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/money.h"
+#include "model/entities.h"
+#include "planner/etransform_planner.h"
+#include "service/solve_farm.h"
+
+namespace etransform {
+
+/// One what-if variant: planner options plus an optional instance mutation
+/// applied to a private copy of the base instance.
+struct Scenario {
+  std::string name;
+  PlannerOptions options;
+  /// Applied to this scenario's copy of the base instance (may be null).
+  std::function<void(ConsolidationInstance&)> mutate;
+};
+
+/// An ordered collection of scenarios over one base instance.
+class ScenarioSet {
+ public:
+  explicit ScenarioSet(ConsolidationInstance base);
+
+  /// Appends one scenario.
+  void add(Scenario scenario);
+
+  /// Appends "omega=<v>" scenarios sweeping the business-impact cap
+  /// (Fig. 10) with otherwise-`base` options.
+  void add_omega_sweep(const std::vector<double>& omegas,
+                       const PlannerOptions& base = {});
+
+  /// Appends "dr_cost=<v>" DR scenarios sweeping the backup server price
+  /// zeta (Fig. 8). DR is forced on.
+  void add_dr_cost_sweep(const std::vector<Money>& costs,
+                         const PlannerOptions& base = {});
+
+  /// Appends "penalty=<v>" scenarios replacing every latency-sensitive
+  /// group's per-user step penalties with `v` (Fig. 7's x-axis).
+  void add_latency_penalty_sweep(const std::vector<Money>& penalties,
+                                 const PlannerOptions& base = {});
+
+  [[nodiscard]] const ConsolidationInstance& base() const { return base_; }
+  [[nodiscard]] const std::vector<Scenario>& scenarios() const {
+    return scenarios_;
+  }
+  [[nodiscard]] std::size_t size() const { return scenarios_.size(); }
+
+ private:
+  ConsolidationInstance base_;
+  std::vector<Scenario> scenarios_;
+};
+
+/// Result of one scenario solve.
+struct ScenarioResult {
+  std::string name;
+  /// Valid when !failed.
+  PlannerReport report;
+  bool failed = false;
+  std::string error;
+};
+
+/// Fans the set out across the service and blocks until every scenario is
+/// terminal. Results are returned in scenario order regardless of completion
+/// order. `time_limit_ms` bounds each scenario independently (0 =
+/// unlimited). Scenario failures (e.g. an infeasible omega) are reported in
+/// the result row, not thrown — one bad variant must not sink the sweep.
+[[nodiscard]] std::vector<ScenarioResult> run_scenarios(
+    const ScenarioSet& set, SolveService& service, double time_limit_ms = 0.0);
+
+/// Renders the sweep as a text table (one row per scenario, in scenario
+/// order). Deliberately timing-free so the report is deterministic across
+/// thread counts.
+[[nodiscard]] std::string render_scenario_results(
+    const std::vector<ScenarioResult>& results);
+
+}  // namespace etransform

@@ -1,0 +1,294 @@
+#include "service/solve_farm.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "cost/cost_model.h"
+
+namespace etransform {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// SolveJob
+
+SolveJob::SolveJob(long long id, SolveRequest request)
+    : id_(id), name_(request.name), request_(std::move(request)) {}
+
+JobState SolveJob::state() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+bool SolveJob::cancel_requested() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return cancel_requested_;
+}
+
+bool SolveJob::has_report() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return has_report_;
+}
+
+void SolveJob::cancel() {
+  bool cancel_queued = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    cancel_requested_ = true;
+    if (state_ == JobState::kQueued) {
+      cancel_queued = true;  // finish() below re-locks
+    } else if (state_ == JobState::kRunning) {
+      ctx_.request_cancel();
+    }
+    // Terminal states: nothing to do beyond recording the request.
+  }
+  if (cancel_queued) finish(JobState::kCancelled);
+}
+
+JobState SolveJob::wait() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  terminal_cv_.wait(lock, [this] {
+    return state_ == JobState::kDone || state_ == JobState::kCancelled ||
+           state_ == JobState::kFailed;
+  });
+  return state_;
+}
+
+bool SolveJob::finish(JobState terminal) {
+  std::function<void()> hook;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == JobState::kDone || state_ == JobState::kCancelled ||
+        state_ == JobState::kFailed) {
+      return false;
+    }
+    state_ = terminal;
+    hook = std::move(request_.on_complete);
+    terminal_cv_.notify_all();
+  }
+  // Outside the lock: the hook may cancel() other jobs or inspect this one.
+  if (hook) hook();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// JobQueue
+
+void JobQueue::push(JobHandle job) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  queue_.push(Entry{static_cast<int>(job->request_.priority), next_sequence_++,
+                    std::move(job)});
+}
+
+JobHandle JobQueue::pop() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  while (!queue_.empty()) {
+    JobHandle job = queue_.top().job;
+    queue_.pop();
+    // Claim: kQueued -> kRunning. Jobs cancelled while queued are already
+    // terminal and simply fall out of the queue here.
+    {
+      const std::lock_guard<std::mutex> job_lock(job->mu_);
+      if (job->state_ != JobState::kQueued) continue;
+      job->state_ = JobState::kRunning;
+    }
+    return job;
+  }
+  return nullptr;
+}
+
+std::size_t JobQueue::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+// ---------------------------------------------------------------------------
+// SolveService
+
+SolveService::SolveService(int num_threads) : pool_(num_threads) {}
+
+SolveService::~SolveService() {
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    shutting_down_ = true;
+  }
+  cancel_all();
+  wait_all();
+  // ~ThreadPool drains the (now trivial) remaining pool tasks and joins.
+}
+
+JobHandle SolveService::submit(SolveRequest request) {
+  JobHandle job;
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    if (shutting_down_) {
+      throw InvalidInputError("SolveService: submit after shutdown");
+    }
+    job = JobHandle(new SolveJob(next_id_++, std::move(request)));
+    live_jobs_.emplace(job->id(), job);
+  }
+  queue_.push(job);
+  // One pool task per admitted job; the task serves the *highest-priority*
+  // queued job, which is not necessarily the one admitted here.
+  pool_.submit([this] {
+    const JobHandle next = queue_.pop();
+    if (next) run_job(next);
+  });
+  return job;
+}
+
+void SolveService::run_job(const JobHandle& job) {
+  const LogTagScope tag("job-" + std::to_string(job->id()) +
+                        (job->name().empty() ? "" : ":" + job->name()));
+  ET_LOG(kInfo) << "solve_farm: start (" << job->request_.instance.num_groups()
+                << " groups, " << job->request_.instance.num_sites()
+                << " sites)";
+  const Stopwatch watch;
+  JobState terminal = JobState::kDone;
+  // The budget starts when the solve starts: queueing delay under load must
+  // not eat a job's solve time.
+  if (job->request_.time_limit_ms > 0.0) {
+    job->ctx_.set_deadline(Deadline::after_ms(job->request_.time_limit_ms));
+  }
+  try {
+    const CostModel model(job->request_.instance);
+    const EtransformPlanner planner(job->request_.options);
+    job->report_ = planner.plan(model, job->ctx_);
+    job->has_report_ = true;
+    terminal = job->ctx_.cancelled() ? JobState::kCancelled : JobState::kDone;
+  } catch (const std::exception& e) {
+    job->error_ = e.what();
+    // A planner unwound by our own cancellation is cancelled, not failed.
+    terminal =
+        job->ctx_.cancelled() ? JobState::kCancelled : JobState::kFailed;
+  }
+  job->solve_ms_ = watch.elapsed_ms();
+  ET_LOG(kInfo) << "solve_farm: " << to_string(terminal) << " in "
+                << job->solve_ms_ << " ms";
+  job->finish(terminal);
+  const std::lock_guard<std::mutex> lock(jobs_mu_);
+  live_jobs_.erase(job->id());
+}
+
+void SolveService::cancel_all() {
+  std::vector<JobHandle> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    snapshot.reserve(live_jobs_.size());
+    for (const auto& [id, job] : live_jobs_) snapshot.push_back(job);
+  }
+  for (const auto& job : snapshot) job->cancel();
+}
+
+void SolveService::wait_all() {
+  std::vector<JobHandle> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    snapshot.reserve(live_jobs_.size());
+    for (const auto& [id, job] : live_jobs_) snapshot.push_back(job);
+  }
+  for (const auto& job : snapshot) job->wait();
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (const auto& job : snapshot) live_jobs_.erase(job->id());
+  }
+  // Let the paired pool tasks retire so outstanding() settles to zero.
+  pool_.wait_idle();
+}
+
+// ---------------------------------------------------------------------------
+// Portfolio racing
+
+RaceOutcome race_portfolio(SolveService& service,
+                           const ConsolidationInstance& instance,
+                           const PlannerOptions& base, double time_limit_ms) {
+  struct Shared {
+    std::mutex mu;
+    JobHandle exact;
+    JobHandle heuristic;
+    std::string first_finisher;
+  };
+  const auto shared = std::make_shared<Shared>();
+
+  const auto make_request = [&](const char* leg,
+                                PlannerOptions::Engine engine) {
+    SolveRequest request;
+    request.name = std::string("race-") + leg;
+    request.instance = instance;
+    request.options = base;
+    request.options.engine = engine;
+    request.time_limit_ms = time_limit_ms;
+    request.priority = JobPriority::kHigh;
+    request.on_complete = [shared, leg] {
+      JobHandle loser;
+      {
+        const std::lock_guard<std::mutex> lock(shared->mu);
+        if (!shared->first_finisher.empty()) return;  // we are the loser
+        shared->first_finisher = leg;
+        loser = std::string(leg) == "exact" ? shared->heuristic
+                                            : shared->exact;
+      }
+      if (loser) loser->cancel();
+    };
+    return request;
+  };
+
+  {
+    // Hold the lock across both submits: a leg that finishes instantly must
+    // not look up the other handle before it exists.
+    const std::lock_guard<std::mutex> lock(shared->mu);
+    shared->exact =
+        service.submit(make_request("exact", PlannerOptions::Engine::kExact));
+    shared->heuristic = service.submit(
+        make_request("heuristic", PlannerOptions::Engine::kHeuristic));
+  }
+
+  RaceOutcome outcome;
+  outcome.exact_state = shared->exact->wait();
+  outcome.heuristic_state = shared->heuristic->wait();
+  outcome.exact_ms = shared->exact->solve_ms();
+  outcome.heuristic_ms = shared->heuristic->solve_ms();
+  {
+    const std::lock_guard<std::mutex> lock(shared->mu);
+    outcome.first_finisher = shared->first_finisher;
+  }
+
+  const bool exact_usable = shared->exact->has_report();
+  const bool heuristic_usable = shared->heuristic->has_report();
+  if (!exact_usable && !heuristic_usable) {
+    throw InfeasibleError("race_portfolio: both engines failed (exact: " +
+                          shared->exact->error() + "; heuristic: " +
+                          shared->heuristic->error() + ")");
+  }
+  // Best incumbent wins — normally the first finisher's plan, but at a
+  // shared deadline both legs return truncated incumbents and the cheaper
+  // one is the answer.
+  if (exact_usable &&
+      (!heuristic_usable ||
+       shared->exact->report().plan.cost.total() <=
+           shared->heuristic->report().plan.cost.total())) {
+    outcome.best = shared->exact->report();
+    outcome.winner_engine = "exact";
+  } else {
+    outcome.best = shared->heuristic->report();
+    outcome.winner_engine = "heuristic";
+  }
+  const JobState loser_state = outcome.winner_engine == "exact"
+                                   ? outcome.heuristic_state
+                                   : outcome.exact_state;
+  outcome.loser_cancelled = loser_state == JobState::kCancelled;
+  return outcome;
+}
+
+}  // namespace etransform

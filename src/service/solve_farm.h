@@ -1,0 +1,225 @@
+// SolveFarm: the concurrent solve service.
+//
+// Turns the single-shot planner into a serving-shaped subsystem:
+//
+//  * JobQueue     — a priority queue of planner requests (kHigh before
+//                   kNormal before kLow, FIFO within a class), decoupling
+//                   admission order from execution order.
+//  * SolveService — runs many EtransformPlanner instances concurrently on a
+//                   work-stealing ThreadPool. Every job owns its instance
+//                   copy, CostModel, and SolveContext, so jobs share no
+//                   mutable state; job-level cancellation and per-job
+//                   deadlines ride on SolveContext::request_cancel() and the
+//                   context deadline. Worker threads are log-tagged with the
+//                   job id for attributable multiplexed logs.
+//  * race_portfolio — launches the exact (presolve -> branch-and-bound) and
+//                   heuristic engines on the *same* instance in parallel;
+//                   the first finisher cancels the other, which unwinds
+//                   cooperatively (observable as JobState::kCancelled).
+//                   Under a deadline the best incumbent of either engine is
+//                   returned.
+//
+// Lifecycle of a job: kQueued -> kRunning -> {kDone, kCancelled, kFailed}.
+// A job cancelled before it starts never runs; a job cancelled mid-solve
+// finishes early with its best-effort plan attached (has_report() true).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "model/entities.h"
+#include "planner/etransform_planner.h"
+
+namespace etransform {
+
+/// Scheduling class of a job. Lower value = served first.
+enum class JobPriority { kHigh = 0, kNormal = 1, kLow = 2 };
+
+/// Lifecycle state of a job.
+enum class JobState {
+  kQueued,     // admitted, not yet picked up by a worker
+  kRunning,    // a worker is solving it
+  kDone,       // solved to completion (possibly deadline-truncated plan)
+  kCancelled,  // cancel observed: either never ran, or unwound mid-solve
+  kFailed,     // the planner threw (e.g. InfeasibleError); see error()
+};
+
+/// Human-readable state name.
+[[nodiscard]] const char* to_string(JobState state);
+
+/// One planner request. The instance is copied into the job so concurrent
+/// jobs never share model data.
+struct SolveRequest {
+  std::string name;
+  ConsolidationInstance instance;
+  PlannerOptions options;
+  /// Per-job wall-clock budget in milliseconds; 0 = unlimited.
+  double time_limit_ms = 0.0;
+  JobPriority priority = JobPriority::kNormal;
+  /// Optional completion hook, invoked on the worker thread right after the
+  /// job reaches a terminal state (used by race_portfolio to cancel the
+  /// loser). Must not block or throw.
+  std::function<void()> on_complete;
+};
+
+/// Handle to a submitted job. All methods are thread-safe.
+class SolveJob {
+ public:
+  [[nodiscard]] long long id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] JobState state() const;
+
+  /// Requests cooperative cancellation: a queued job is discarded, a running
+  /// job's SolveContext is cancelled and the solver stack unwinds at its
+  /// next poll. Idempotent; no-op on terminal jobs.
+  void cancel();
+
+  /// True once cancel() was called (even if the job completed first).
+  [[nodiscard]] bool cancel_requested() const;
+
+  /// Blocks until the job reaches a terminal state and returns it.
+  JobState wait() const;
+
+  /// True when a PlannerReport is attached (kDone, or kCancelled mid-solve
+  /// with a best-effort plan).
+  [[nodiscard]] bool has_report() const;
+
+  /// The job's report. Call only after wait() and only when has_report().
+  [[nodiscard]] const PlannerReport& report() const { return report_; }
+
+  /// The planner error message for kFailed jobs ("" otherwise).
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Wall-clock milliseconds the solve ran (0 until it ran).
+  [[nodiscard]] double solve_ms() const { return solve_ms_; }
+
+ private:
+  friend class SolveService;
+  friend class JobQueue;
+  SolveJob(long long id, SolveRequest request);
+
+  /// Transitions to a terminal state and fires on_complete. Returns false
+  /// if the job was already terminal.
+  bool finish(JobState terminal);
+
+  const long long id_;
+  const std::string name_;
+  SolveRequest request_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable terminal_cv_;
+  JobState state_ = JobState::kQueued;
+  bool cancel_requested_ = false;
+  bool has_report_ = false;
+
+  SolveContext ctx_;
+  PlannerReport report_;
+  std::string error_;
+  double solve_ms_ = 0.0;
+};
+
+using JobHandle = std::shared_ptr<SolveJob>;
+
+/// Thread-safe priority queue of jobs: kHigh before kNormal before kLow,
+/// FIFO within a class. pop() skips jobs cancelled while queued.
+class JobQueue {
+ public:
+  void push(JobHandle job);
+
+  /// Highest-priority admitted job that is not cancelled, or nullptr when
+  /// the queue is empty. Non-blocking: SolveService pairs every push with a
+  /// pool task, so a pop always has a job to find unless cancellation
+  /// emptied the queue.
+  [[nodiscard]] JobHandle pop();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    int priority;
+    long long sequence;
+    JobHandle job;
+    bool operator>(const Entry& other) const {
+      if (priority != other.priority) return priority > other.priority;
+      return sequence > other.sequence;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  long long next_sequence_ = 0;
+};
+
+/// The concurrent solve service.
+class SolveService {
+ public:
+  /// Starts a farm with `num_threads` workers (<= 0: hardware concurrency).
+  explicit SolveService(int num_threads = 0);
+
+  /// Graceful shutdown: cancels everything still queued or running and
+  /// waits for the workers to drain.
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Admits a request. Returns immediately with the job handle.
+  JobHandle submit(SolveRequest request);
+
+  /// Requests cancellation of every queued and running job.
+  void cancel_all();
+
+  /// Blocks until every admitted job is terminal.
+  void wait_all();
+
+  [[nodiscard]] int num_threads() const { return pool_.num_threads(); }
+  [[nodiscard]] ThreadPool& pool() { return pool_; }
+
+ private:
+  void run_job(const JobHandle& job);
+
+  JobQueue queue_;
+  mutable std::mutex jobs_mu_;
+  std::map<long long, JobHandle> live_jobs_;  // admitted, not yet terminal
+  long long next_id_ = 1;
+  bool shutting_down_ = false;
+  ThreadPool pool_;  // last member: workers stop before queues are destroyed
+};
+
+/// Outcome of a portfolio race (exact vs. heuristic on one instance).
+struct RaceOutcome {
+  /// The best plan either engine produced (the winner's, or — at a shared
+  /// deadline — the cheaper of the two incumbents).
+  PlannerReport best;
+  /// Engine that produced `best`: "exact" or "heuristic".
+  std::string winner_engine;
+  /// Engine that crossed the finish line first (may differ from
+  /// winner_engine only when both ran to the deadline).
+  std::string first_finisher;
+  /// Terminal states of the two legs.
+  JobState exact_state = JobState::kQueued;
+  JobState heuristic_state = JobState::kQueued;
+  /// True when the losing leg observably unwound via cancellation.
+  bool loser_cancelled = false;
+  /// Per-leg solve wall times.
+  double exact_ms = 0.0;
+  double heuristic_ms = 0.0;
+};
+
+/// Races the exact and heuristic engines on `instance` under `base` options
+/// (engine is overridden per leg). The first leg to finish cancels the
+/// other. `time_limit_ms` bounds both legs (0 = unlimited). Throws only if
+/// *both* legs fail; a single failed leg forfeits the race.
+[[nodiscard]] RaceOutcome race_portfolio(SolveService& service,
+                                         const ConsolidationInstance& instance,
+                                         const PlannerOptions& base,
+                                         double time_limit_ms = 0.0);
+
+}  // namespace etransform

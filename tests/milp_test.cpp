@@ -172,7 +172,8 @@ TEST(BranchAndBound, NodeLimitYieldsFeasibleOrNoSolution) {
   }
   m.set_objective(Sense::kMaximize, objective);
   m.add_constraint("cap", cap, Relation::kLessEqual, 20.0);
-  const auto s = limited.solve(m);
+  SolveContext ctx;
+  const auto s = limited.solve(m, ctx);
   EXPECT_TRUE(s.status == MilpStatus::kFeasible ||
               s.status == MilpStatus::kNoSolutionFound);
 }
@@ -193,7 +194,8 @@ TEST(BranchAndBound, RootDiveFindsIncumbentUnderNodeLimit) {
   }
   m.set_objective(Sense::kMaximize, objective);
   m.add_constraint("cap", cap, Relation::kLessEqual, 20.0);
-  const auto s = limited.solve(m);
+  SolveContext ctx;
+  const auto s = limited.solve(m, ctx);
   EXPECT_EQ(s.status, MilpStatus::kFeasible);
   EXPECT_TRUE(m.is_feasible(s.values, 1e-6));
 }

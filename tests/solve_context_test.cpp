@@ -1,11 +1,13 @@
 // Tests for the SolveContext observability & control layer: deadlines
-// interrupting the simplex mid-solve, cancellation from event callbacks,
-// event ordering and stats counters, JSON emission, and the deprecated
-// context-free overloads delegating to the context-based API.
+// interrupting the simplex mid-solve, cancellation from event callbacks and
+// from a second thread, event ordering and stats counters, and JSON emission.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -330,41 +332,79 @@ TEST(SolveContext, CancelledPlannerReturnsBestEffortPlan) {
   }
 }
 
-// ---- deprecated context-free overloads -----------------------------------
+// ---- cross-thread cancellation -------------------------------------------
+//
+// request_cancel() is an atomic flag, so any thread may flip it while a
+// solver runs on another. These tests make the interleaving deterministic by
+// parking the solver thread inside an event callback until the cancelling
+// thread has actually issued the request: the solver's next cooperative poll
+// is then guaranteed to observe it.
 
-TEST(DeprecatedShims, DelegateToContextApi) {
-  const Model m = hard_knapsack(12, 21);
-  const lp::SimplexSolver lp_solver;
+TEST(CrossThreadCancel, SecondThreadCancelsSimplexMidSolve) {
+  const Model m = dense_lp(80, 160, 17);
   SolveContext ctx;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool phase1_done = false;
+  bool cancel_issued = false;
 
-  // Simplex: same result with and without an explicit context.
-  const auto with_ctx = lp_solver.solve(m, ctx);
-  const auto without_ctx = lp_solver.solve(m);
-  EXPECT_EQ(with_ctx.status, without_ctx.status);
-  EXPECT_NEAR(with_ctx.objective, without_ctx.objective, 1e-9);
+  // Park the solver thread after phase 1; the phase-2 pivot loop polls the
+  // context on entry, so it must see the cancellation before pivoting.
+  ctx.events.on_simplex_phase = [&](const SimplexPhaseEvent& e) {
+    if (e.phase != 1) return;
+    std::unique_lock<std::mutex> lock(mu);
+    phase1_done = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return cancel_issued; });
+  };
 
-  // Presolve shim.
-  const auto presolved = lp::presolve(m);
-  EXPECT_EQ(presolved.status, lp::PresolveStatus::kReduced);
+  std::thread canceller([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return phase1_done; });
+    ctx.request_cancel();
+    cancel_issued = true;
+    cv.notify_all();
+  });
 
-  // Branch-and-bound shim still returns a stats subtree via MilpSolution.
-  const auto milp_solution = milp::BranchAndBoundSolver().solve(m);
-  ASSERT_EQ(milp_solution.status, milp::MilpStatus::kOptimal);
-  EXPECT_EQ(milp_solution.stats.name, "branch_and_bound");
-  EXPECT_EQ(milp_solution.stats.metric("nodes"), milp_solution.nodes);
+  const auto s = lp::SimplexSolver().solve(m, ctx);
+  canceller.join();
+  EXPECT_EQ(s.status, lp::SolveStatus::kCancelled);
+  EXPECT_TRUE(ctx.cancelled());
+}
 
-  // Brute force shim.
-  const auto brute = milp::solve_brute_force(m);
-  ASSERT_EQ(brute.status, milp::MilpStatus::kOptimal);
-  EXPECT_NEAR(brute.objective, milp_solution.objective, 1e-6);
+TEST(CrossThreadCancel, SecondThreadCancelsBranchAndBoundKeepsIncumbent) {
+  const Model m = hard_knapsack(26, 9);
+  SolveContext ctx;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool have_incumbent = false;
+  bool cancel_issued = false;
 
-  // Planner shim.
-  Rng rng(7);
-  const auto instance = make_random_instance(rng, 6, 3, 2);
-  const CostModel model(instance);
-  const PlannerReport report = EtransformPlanner().plan(model);
-  EXPECT_EQ(report.stats.name, "planner");
-  EXPECT_TRUE(check_plan(instance, report.plan).empty());
+  // Park the solver once the first incumbent exists, cancel from the second
+  // thread, and require the interrupted solve to hand that incumbent back.
+  ctx.events.on_incumbent = [&](const IncumbentEvent&) {
+    std::unique_lock<std::mutex> lock(mu);
+    have_incumbent = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return cancel_issued; });
+  };
+
+  std::thread canceller([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return have_incumbent; });
+    ctx.request_cancel();
+    cancel_issued = true;
+    cv.notify_all();
+  });
+
+  const auto s = milp::BranchAndBoundSolver().solve(m, ctx);
+  canceller.join();
+  EXPECT_EQ(s.status, milp::MilpStatus::kCancelled);
+  ASSERT_FALSE(s.values.empty()) << "cancelled solve must keep its incumbent";
+  EXPECT_TRUE(m.is_feasible(s.values, 1e-6));
+  EXPECT_GT(s.objective, 0.0);
+  // The tree must stop promptly instead of running to its natural end.
+  EXPECT_LT(s.nodes, 512);
 }
 
 }  // namespace

@@ -1,0 +1,473 @@
+// Tests for the SolveFarm subsystem: the work-stealing ThreadPool, the
+// priority JobQueue (observed through a single-threaded service), concurrent
+// SolveService jobs with per-job cancellation, portfolio racing, scenario
+// sweeps whose reports are byte-identical across thread counts, the parallel
+// sensitivity path, and thread-safe tagged logging.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "datagen/generators.h"
+#include "model/plan.h"
+#include "report/sensitivity.h"
+#include "service/scenario_set.h"
+#include "service/solve_farm.h"
+
+namespace etransform {
+namespace {
+
+// ---- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.outstanding(), 0);
+}
+
+TEST(ThreadPool, SubmitFromInsideAWorkerTask) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &count] {
+      // A task spawning subtasks must not deadlock or lose work.
+      for (int j = 0; j < 4; ++j) pool.submit([&count] { ++count; });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, 257, [&hits](int i) { ++hits[static_cast<size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Degenerate counts run inline.
+  std::atomic<int> one{0};
+  parallel_for(pool, 1, [&one](int) { ++one; });
+  EXPECT_EQ(one.load(), 1);
+  parallel_for(pool, 0, [&one](int) { ++one; });
+  EXPECT_EQ(one.load(), 1);
+}
+
+// ---- SolveService --------------------------------------------------------
+
+ConsolidationInstance small_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  return make_random_instance(rng, 8, 3, 2);
+}
+
+SolveRequest small_request(const std::string& name, std::uint64_t seed) {
+  SolveRequest request;
+  request.name = name;
+  request.instance = small_instance(seed);
+  return request;
+}
+
+TEST(SolveService, ConcurrentJobsAllProduceFeasiblePlans) {
+  SolveService service(4);
+  std::vector<JobHandle> jobs;
+  std::vector<ConsolidationInstance> instances;
+  for (int i = 0; i < 8; ++i) {
+    auto request = small_request("job" + std::to_string(i),
+                                 static_cast<std::uint64_t>(100 + i));
+    instances.push_back(request.instance);
+    jobs.push_back(service.submit(std::move(request)));
+  }
+  service.wait_all();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(jobs[static_cast<size_t>(i)]->state(), JobState::kDone);
+    ASSERT_TRUE(jobs[static_cast<size_t>(i)]->has_report());
+    const PlannerReport& report = jobs[static_cast<size_t>(i)]->report();
+    EXPECT_TRUE(
+        check_plan(instances[static_cast<size_t>(i)], report.plan).empty())
+        << "job " << i << " produced an infeasible plan";
+    EXPECT_GT(report.plan.cost.total(), 0.0);
+  }
+}
+
+TEST(SolveService, JobIdsAreUniqueAndStatesReadable) {
+  SolveService service(2);
+  const JobHandle a = service.submit(small_request("a", 1));
+  const JobHandle b = service.submit(small_request("b", 2));
+  EXPECT_NE(a->id(), b->id());
+  EXPECT_EQ(a->name(), "a");
+  a->wait();
+  b->wait();
+  EXPECT_STREQ(to_string(a->state()), "done");
+}
+
+// Parks the single worker of `service` until the returned function is
+// called, so jobs submitted meanwhile stay queued.
+std::function<void()> block_single_worker(SolveService& service) {
+  auto released = std::make_shared<std::atomic<bool>>(false);
+  auto mu = std::make_shared<std::mutex>();
+  auto cv = std::make_shared<std::condition_variable>();
+  service.pool().submit([released, mu, cv] {
+    std::unique_lock<std::mutex> lock(*mu);
+    cv->wait(lock, [&] { return released->load(); });
+  });
+  return [released, mu, cv] {
+    {
+      std::lock_guard<std::mutex> lock(*mu);
+      released->store(true);
+    }
+    cv->notify_all();
+  };
+}
+
+TEST(SolveService, QueueServesHigherPriorityFirst) {
+  SolveService service(1);
+  const auto release = block_single_worker(service);
+
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  auto record = [&order_mu, &order](const std::string& name) {
+    return [&order_mu, &order, name] {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(name);
+    };
+  };
+  // Admitted low, normal, high — must run high, normal, low.
+  auto low = small_request("low", 11);
+  low.priority = JobPriority::kLow;
+  low.on_complete = record("low");
+  auto normal = small_request("normal", 12);
+  normal.priority = JobPriority::kNormal;
+  normal.on_complete = record("normal");
+  auto high = small_request("high", 13);
+  high.priority = JobPriority::kHigh;
+  high.on_complete = record("high");
+
+  const JobHandle j1 = service.submit(std::move(low));
+  const JobHandle j2 = service.submit(std::move(normal));
+  const JobHandle j3 = service.submit(std::move(high));
+  release();
+  service.wait_all();
+
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "high");
+  EXPECT_EQ(order[1], "normal");
+  EXPECT_EQ(order[2], "low");
+  EXPECT_EQ(j1->state(), JobState::kDone);
+  EXPECT_EQ(j2->state(), JobState::kDone);
+  EXPECT_EQ(j3->state(), JobState::kDone);
+}
+
+TEST(SolveService, CancellingAQueuedJobPreventsItFromRunning) {
+  SolveService service(1);
+  const auto release = block_single_worker(service);
+
+  const JobHandle job = service.submit(small_request("doomed", 21));
+  EXPECT_EQ(job->state(), JobState::kQueued);
+  job->cancel();
+  EXPECT_TRUE(job->cancel_requested());
+  release();
+  EXPECT_EQ(job->wait(), JobState::kCancelled);
+  EXPECT_FALSE(job->has_report());
+  EXPECT_EQ(job->solve_ms(), 0.0);
+  service.wait_all();
+}
+
+TEST(SolveService, CancellingARunningJobUnwindsViaContext) {
+  SolveService service(1);
+  // A hard exact instance: enough binaries and a tight business-impact cap
+  // that branch-and-bound runs long enough to be cancelled mid-solve.
+  Rng rng(31);
+  SolveRequest request;
+  request.name = "long-solve";
+  request.instance = make_random_instance(rng, 20, 6, 3);
+  request.options.engine = PlannerOptions::Engine::kExact;
+  request.options.business_impact_omega = 0.4;
+  request.options.milp.max_nodes = 1 << 30;
+  request.options.milp.time_limit_ms = 600000;
+  const JobHandle job = service.submit(std::move(request));
+
+  while (job->state() == JobState::kQueued) std::this_thread::yield();
+  job->cancel();
+  EXPECT_EQ(job->wait(), JobState::kCancelled);
+  service.wait_all();
+}
+
+TEST(SolveService, CancelAllDrainsTheFarm) {
+  SolveService service(1);
+  const auto release = block_single_worker(service);
+  std::vector<JobHandle> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(
+        service.submit(small_request("bulk" + std::to_string(i),
+                                     static_cast<std::uint64_t>(40 + i))));
+  }
+  service.cancel_all();
+  release();
+  service.wait_all();
+  for (const JobHandle& job : jobs) {
+    EXPECT_EQ(job->state(), JobState::kCancelled);
+  }
+}
+
+TEST(SolveService, DestructorShutsDownGracefullyWithQueuedWork) {
+  std::vector<JobHandle> jobs;
+  {
+    SolveService service(1);
+    const auto release = block_single_worker(service);
+    for (int i = 0; i < 4; ++i) {
+      jobs.push_back(
+          service.submit(small_request("shutdown" + std::to_string(i),
+                                       static_cast<std::uint64_t>(50 + i))));
+    }
+    release();
+    // Destructor cancels what is still pending and waits for the drain.
+  }
+  for (const JobHandle& job : jobs) {
+    const JobState state = job->state();
+    EXPECT_TRUE(state == JobState::kDone || state == JobState::kCancelled)
+        << to_string(state);
+  }
+}
+
+TEST(SolveService, PerJobDeadlineTruncatesTheSolve) {
+  SolveService service(2);
+  Rng rng(61);
+  SolveRequest request;
+  request.name = "deadline";
+  request.instance = make_random_instance(rng, 16, 5, 3);
+  request.options.engine = PlannerOptions::Engine::kExact;
+  request.options.business_impact_omega = 0.5;
+  request.options.milp.max_nodes = 1 << 30;
+  request.options.milp.time_limit_ms = 600000;
+  request.time_limit_ms = 20.0;
+  const JobHandle job = service.submit(std::move(request));
+  const JobState state = job->wait();
+  // A deadline-truncated solve is kDone with interrupted set (or, on a very
+  // fast machine, a clean finish inside the budget).
+  EXPECT_EQ(state, JobState::kDone);
+  ASSERT_TRUE(job->has_report());
+  service.wait_all();
+}
+
+// ---- portfolio racing ----------------------------------------------------
+
+TEST(RacePortfolio, SingleThreadWinnerCancelsQueuedLoser) {
+  // With one worker the exact leg (admitted first) runs to completion and
+  // its on_complete cancels the still-queued heuristic leg: the loser must
+  // observably unwind via kCancelled without ever running.
+  SolveService service(1);
+  const ConsolidationInstance instance = small_instance(71);
+  const RaceOutcome outcome =
+      race_portfolio(service, instance, PlannerOptions());
+  EXPECT_EQ(outcome.winner_engine, "exact");
+  EXPECT_EQ(outcome.first_finisher, "exact");
+  EXPECT_EQ(outcome.exact_state, JobState::kDone);
+  EXPECT_EQ(outcome.heuristic_state, JobState::kCancelled);
+  EXPECT_TRUE(outcome.loser_cancelled);
+  EXPECT_TRUE(check_plan(instance, outcome.best.plan).empty());
+}
+
+TEST(RacePortfolio, ConcurrentRaceReturnsAUsableBestPlan) {
+  SolveService service(4);
+  const ConsolidationInstance instance = small_instance(73);
+  const RaceOutcome outcome =
+      race_portfolio(service, instance, PlannerOptions());
+  EXPECT_TRUE(outcome.winner_engine == "exact" ||
+              outcome.winner_engine == "heuristic");
+  EXPECT_TRUE(check_plan(instance, outcome.best.plan).empty());
+  EXPECT_GT(outcome.best.plan.cost.total(), 0.0);
+  // Both legs reached a terminal state.
+  EXPECT_TRUE(outcome.exact_state == JobState::kDone ||
+              outcome.exact_state == JobState::kCancelled);
+  EXPECT_TRUE(outcome.heuristic_state == JobState::kDone ||
+              outcome.heuristic_state == JobState::kCancelled);
+  // The winner's plan is never worse than a completed loser's.
+  if (outcome.exact_state == JobState::kDone &&
+      outcome.heuristic_state == JobState::kDone) {
+    EXPECT_EQ(outcome.winner_engine, "exact");
+  }
+}
+
+// ---- scenario sweeps -----------------------------------------------------
+
+ScenarioSet demo_sweep(std::uint64_t seed) {
+  ScenarioSet set(small_instance(seed));
+  set.add_omega_sweep({1.0, 0.75, 0.5});
+  set.add_latency_penalty_sweep({0.0, 50.0});
+  return set;
+}
+
+TEST(ScenarioSet, SweepBuildersNameScenariosInOrder) {
+  const ScenarioSet set = demo_sweep(81);
+  ASSERT_EQ(set.size(), 5u);
+  EXPECT_EQ(set.scenarios()[0].name, "omega=1");
+  EXPECT_EQ(set.scenarios()[1].name, "omega=0.75");
+  EXPECT_EQ(set.scenarios()[2].name, "omega=0.5");
+  EXPECT_EQ(set.scenarios()[3].name, "penalty=0");
+  EXPECT_EQ(set.scenarios()[4].name, "penalty=50");
+}
+
+TEST(ScenarioSet, ResultsComeBackInScenarioOrder) {
+  const ScenarioSet set = demo_sweep(83);
+  SolveService service(4);
+  const auto results = run_scenarios(set, service);
+  ASSERT_EQ(results.size(), set.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].name, set.scenarios()[i].name);
+    EXPECT_FALSE(results[i].failed) << results[i].error;
+  }
+}
+
+TEST(ScenarioSet, SweepReportIsIdenticalAcrossThreadCounts) {
+  const ScenarioSet set = demo_sweep(85);
+  std::string sequential;
+  std::string parallel;
+  {
+    SolveService service(1);
+    sequential = render_scenario_results(run_scenarios(set, service));
+  }
+  {
+    SolveService service(8);
+    parallel = render_scenario_results(run_scenarios(set, service));
+  }
+  EXPECT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, parallel)
+      << "sweep reports must be byte-identical across thread counts";
+}
+
+TEST(ScenarioSet, AFailingScenarioDoesNotSinkTheSweep) {
+  ScenarioSet set(small_instance(87));
+  Scenario good;
+  good.name = "good";
+  set.add(good);
+  Scenario bad;
+  bad.name = "bad";
+  bad.mutate = [](ConsolidationInstance& instance) {
+    // Zero capacity everywhere: structurally infeasible.
+    for (auto& site : instance.sites) site.capacity_servers = 0;
+  };
+  set.add(bad);
+  SolveService service(2);
+  const auto results = run_scenarios(set, service);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].failed);
+  EXPECT_TRUE(results[1].failed);
+  EXPECT_FALSE(results[1].error.empty());
+  const std::string rendered = render_scenario_results(results);
+  EXPECT_NE(rendered.find("bad"), std::string::npos);
+}
+
+// ---- parallel sensitivity ------------------------------------------------
+
+TEST(ParallelSensitivity, MatchesSequentialExactly) {
+  const ConsolidationInstance instance = small_instance(91);
+  const CostModel model(instance);
+  SolveContext ctx;
+  const PlannerReport report = EtransformPlanner().plan(model, ctx);
+
+  const SensitivityReport sequential = analyze_sensitivity(model, report.plan);
+  ThreadPool pool(4);
+  const SensitivityReport parallel =
+      analyze_sensitivity(model, report.plan, pool);
+
+  ASSERT_EQ(sequential.groups.size(), parallel.groups.size());
+  for (std::size_t i = 0; i < sequential.groups.size(); ++i) {
+    EXPECT_EQ(sequential.groups[i].group, parallel.groups[i].group);
+    EXPECT_EQ(sequential.groups[i].chosen_site, parallel.groups[i].chosen_site);
+    EXPECT_EQ(sequential.groups[i].runner_up_site,
+              parallel.groups[i].runner_up_site);
+    EXPECT_EQ(sequential.groups[i].regret, parallel.groups[i].regret);
+  }
+  ASSERT_EQ(sequential.sites.size(), parallel.sites.size());
+  for (std::size_t i = 0; i < sequential.sites.size(); ++i) {
+    EXPECT_EQ(sequential.sites[i].servers, parallel.sites[i].servers);
+    EXPECT_EQ(sequential.sites[i].utilization, parallel.sites[i].utilization);
+  }
+  EXPECT_EQ(render_sensitivity(instance, sequential),
+            render_sensitivity(instance, parallel));
+}
+
+// ---- thread-safe logging -------------------------------------------------
+
+TEST(Logging, ConcurrentTaggedLinesNeverInterleave) {
+  struct SinkGuard {
+    ~SinkGuard() { set_log_sink(nullptr); }
+  } guard;
+
+  std::vector<std::string> lines;
+  set_log_sink([&lines](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  const LogLevel saved_level = log_level();
+  set_log_level(LogLevel::kInfo);
+
+  {
+    ThreadPool pool(4);
+    for (int t = 0; t < 4; ++t) {
+      pool.submit([t] {
+        LogTagScope tag("worker-" + std::to_string(t));
+        for (int i = 0; i < 25; ++i) {
+          ET_LOG(kInfo) << "message " << i << " from " << t;
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  set_log_level(saved_level);
+  set_log_sink(nullptr);
+
+  ASSERT_EQ(lines.size(), 100u);
+  std::set<std::string> distinct(lines.begin(), lines.end());
+  EXPECT_EQ(distinct.size(), 100u) << "every line must be unique and intact";
+  for (const std::string& line : lines) {
+    // "[INFO] [worker-T] message I from T" — tag matches the payload's
+    // thread, proving tags never leak across threads.
+    ASSERT_EQ(line.rfind("[INFO] [worker-", 0), 0u) << line;
+    const char tag_thread = line[std::string("[INFO] [worker-").size()];
+    EXPECT_EQ(line.back(), tag_thread) << line;
+  }
+}
+
+TEST(Logging, TagScopeNestsAndRestores) {
+  EXPECT_EQ(log_thread_tag(), "");
+  {
+    LogTagScope outer("outer");
+    EXPECT_EQ(log_thread_tag(), "outer");
+    {
+      LogTagScope inner("inner");
+      EXPECT_EQ(log_thread_tag(), "inner");
+    }
+    EXPECT_EQ(log_thread_tag(), "outer");
+  }
+  EXPECT_EQ(log_thread_tag(), "");
+}
+
+}  // namespace
+}  // namespace etransform
