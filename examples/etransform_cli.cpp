@@ -150,20 +150,22 @@ ScenarioSet build_sweep_set(const ConsolidationInstance& instance,
 
 int run_sweep(const ConsolidationInstance& instance,
               const PlannerOptions& options,
-              const std::vector<std::string>& specs, int jobs) {
+              const std::vector<std::string>& specs, int jobs,
+              double time_limit_ms) {
   const ScenarioSet set = build_sweep_set(instance, options, specs);
   SolveService service(jobs);
   std::printf("sweeping %zu scenarios on %d worker thread%s...\n", set.size(),
               service.num_threads(), service.num_threads() == 1 ? "" : "s");
-  const auto results = run_scenarios(set, service);
+  const auto results = run_scenarios(set, service, time_limit_ms);
   std::printf("%s", render_scenario_results(results).c_str());
   return 0;
 }
 
 int run_race(const ConsolidationInstance& instance,
-             const PlannerOptions& options, int jobs) {
+             const PlannerOptions& options, int jobs, double time_limit_ms) {
   SolveService service(jobs);
-  const RaceOutcome outcome = race_portfolio(service, instance, options);
+  const RaceOutcome outcome =
+      race_portfolio(service, instance, options, time_limit_ms);
   std::printf("portfolio race: %s wins (first finisher: %s)\n",
               outcome.winner_engine.c_str(), outcome.first_finisher.c_str());
   std::printf("  exact leg    : %-9s %8.1f ms\n",
@@ -186,6 +188,7 @@ int cmd_plan(int argc, char** argv) {
   bool migrate = false;
   bool race = false;
   int jobs = 1;
+  double time_limit_ms = 0.0;
   std::vector<std::string> sweep_specs;
   MigrationLimits migration_limits;
   for (int a = 3; a < argc; ++a) {
@@ -225,7 +228,10 @@ int cmd_plan(int argc, char** argv) {
     } else if (flag == "--lp-out" && a + 1 < argc) {
       lp_out = argv[++a];
     } else if (flag == "--time-limit" && a + 1 < argc) {
-      options.milp.time_limit_ms = std::stoi(argv[++a]);
+      time_limit_ms = std::stod(argv[++a]);
+      // The MILP-internal budget too, so a plain `plan` (no SolveFarm job
+      // wrapping it in a deadline context) still honors the flag.
+      options.milp.time_limit_ms = static_cast<int>(time_limit_ms);
     } else if (flag == "--trace") {
       trace = true;
     } else if (flag == "--stats-json" && a + 1 < argc) {
@@ -236,9 +242,9 @@ int cmd_plan(int argc, char** argv) {
   }
 
   if (!sweep_specs.empty()) {
-    return run_sweep(instance, options, sweep_specs, jobs);
+    return run_sweep(instance, options, sweep_specs, jobs, time_limit_ms);
   }
-  if (race) return run_race(instance, options, jobs);
+  if (race) return run_race(instance, options, jobs, time_limit_ms);
 
   const CostModel model(instance);
   if (!lp_out.empty()) {

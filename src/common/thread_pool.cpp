@@ -39,18 +39,22 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-  std::size_t target;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      throw std::logic_error("ThreadPool::submit after shutdown");
-    }
-    target = tls_pool == this ? static_cast<std::size_t>(tls_worker_index)
-                              : next_queue_++ % queues_.size();
-    ++outstanding_;
+  // Publish the task and notify while holding mu_. A worker scans the queues
+  // inside its wait predicate with mu_ held, so a push made outside mu_ can
+  // land just after the scan but fire its notify before the worker blocks —
+  // a lost wakeup that strands the task. Under mu_ the push/notify pair
+  // cannot interleave with a predicate pass (lock order mu_ -> queue.mu
+  // matches the predicate's try_pop).
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    throw std::logic_error("ThreadPool::submit after shutdown");
   }
+  const std::size_t target = tls_pool == this
+                                 ? static_cast<std::size_t>(tls_worker_index)
+                                 : next_queue_++ % queues_.size();
+  ++outstanding_;
   {
-    const std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    const std::lock_guard<std::mutex> queue_lock(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
   }
   work_available_.notify_one();

@@ -41,19 +41,37 @@ bool SolveJob::has_report() const {
   return has_report_;
 }
 
+std::string SolveJob::error() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+double SolveJob::solve_ms() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return solve_ms_;
+}
+
 void SolveJob::cancel() {
-  bool cancel_queued = false;
+  std::function<void()> hook;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     cancel_requested_ = true;
     if (state_ == JobState::kQueued) {
-      cancel_queued = true;  // finish() below re-locks
+      // kQueued -> kCancelled must happen inside this critical section:
+      // dropping the lock first would let JobQueue::pop() claim the job
+      // (kQueued -> kRunning) in the gap, after which a bare terminal write
+      // would release waiters while the solve still runs.
+      state_ = JobState::kCancelled;
+      hook = std::move(request_.on_complete);
+      terminal_cv_.notify_all();
     } else if (state_ == JobState::kRunning) {
       ctx_.request_cancel();
     }
     // Terminal states: nothing to do beyond recording the request.
   }
-  if (cancel_queued) finish(JobState::kCancelled);
+  // Outside the lock, matching finish(): the hook may cancel() other jobs
+  // or inspect this one.
+  if (hook) hook();
 }
 
 JobState SolveJob::wait() const {
@@ -164,18 +182,31 @@ void SolveService::run_job(const JobHandle& job) {
   try {
     const CostModel model(job->request_.instance);
     const EtransformPlanner planner(job->request_.options);
-    job->report_ = planner.plan(model, job->ctx_);
-    job->has_report_ = true;
+    PlannerReport report = planner.plan(model, job->ctx_);
+    {
+      // Result writes under mu_: clients may poll has_report()/solve_ms()
+      // while the job is still running.
+      const std::lock_guard<std::mutex> lock(job->mu_);
+      job->report_ = std::move(report);
+      job->has_report_ = true;
+    }
     terminal = job->ctx_.cancelled() ? JobState::kCancelled : JobState::kDone;
   } catch (const std::exception& e) {
-    job->error_ = e.what();
+    {
+      const std::lock_guard<std::mutex> lock(job->mu_);
+      job->error_ = e.what();
+    }
     // A planner unwound by our own cancellation is cancelled, not failed.
     terminal =
         job->ctx_.cancelled() ? JobState::kCancelled : JobState::kFailed;
   }
-  job->solve_ms_ = watch.elapsed_ms();
-  ET_LOG(kInfo) << "solve_farm: " << to_string(terminal) << " in "
-                << job->solve_ms_ << " ms";
+  const double solve_ms = watch.elapsed_ms();
+  {
+    const std::lock_guard<std::mutex> lock(job->mu_);
+    job->solve_ms_ = solve_ms;
+  }
+  ET_LOG(kInfo) << "solve_farm: " << to_string(terminal) << " in " << solve_ms
+                << " ms";
   job->finish(terminal);
   const std::lock_guard<std::mutex> lock(jobs_mu_);
   live_jobs_.erase(job->id());

@@ -91,14 +91,15 @@ class SolveJob {
   /// with a best-effort plan).
   [[nodiscard]] bool has_report() const;
 
-  /// The job's report. Call only after wait() and only when has_report().
+  /// The job's report. Call only after wait() returned and has_report() is
+  /// true (wait() orders the worker's result writes before the return).
   [[nodiscard]] const PlannerReport& report() const { return report_; }
 
   /// The planner error message for kFailed jobs ("" otherwise).
-  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::string error() const;
 
   /// Wall-clock milliseconds the solve ran (0 until it ran).
-  [[nodiscard]] double solve_ms() const { return solve_ms_; }
+  [[nodiscard]] double solve_ms() const;
 
  private:
   friend class SolveService;

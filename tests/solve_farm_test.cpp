@@ -62,6 +62,20 @@ TEST(ThreadPool, WaitIdleIsReusable) {
   EXPECT_EQ(count.load(), 2);
 }
 
+TEST(ThreadPool, SubmitWhileWorkerIdlesNeverStrandsATask) {
+  // Regression: submit() used to push the task outside the wake mutex, so
+  // its notify could fire while the lone worker was mid-predicate (already
+  // past the scan of that queue, not yet blocked) and get lost, stranding
+  // the task and hanging wait_idle(). Hammer the idle -> submit edge.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 3000; ++i) {
+    pool.submit([&count] { ++count; });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(count.load(), 3000);
+}
+
 TEST(ThreadPool, DefaultsToAtLeastOneThread) {
   ThreadPool pool(0);
   EXPECT_GE(pool.num_threads(), 1);
@@ -197,6 +211,30 @@ TEST(SolveService, CancellingAQueuedJobPreventsItFromRunning) {
   EXPECT_FALSE(job->has_report());
   EXPECT_EQ(job->solve_ms(), 0.0);
   service.wait_all();
+}
+
+TEST(SolveService, CancelRacingTheQueueClaimNeverStrandsARunningSolve) {
+  // Regression: cancel() used to observe kQueued, drop the lock, and only
+  // then mark the job terminal. JobQueue::pop() could claim the job in the
+  // gap, so wait() returned kCancelled while the solve still ran and later
+  // wrote its results over the released waiters. Race the two paths and
+  // assert the terminal state and report visibility are stable after wait().
+  for (int iter = 0; iter < 50; ++iter) {
+    SolveService service(1);
+    const auto release = block_single_worker(service);
+    const JobHandle job = service.submit(
+        small_request("victim", static_cast<std::uint64_t>(100 + iter)));
+    std::thread canceller([&job] { job->cancel(); });
+    release();  // pop() claims concurrently with the cancel
+    canceller.join();
+    const JobState terminal = job->wait();
+    const bool had_report = job->has_report();
+    service.wait_all();
+    EXPECT_TRUE(terminal == JobState::kCancelled ||
+                terminal == JobState::kDone);
+    EXPECT_EQ(job->state(), terminal);
+    EXPECT_EQ(job->has_report(), had_report);
+  }
 }
 
 TEST(SolveService, CancellingARunningJobUnwindsViaContext) {
