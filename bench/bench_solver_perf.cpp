@@ -49,6 +49,23 @@ void BM_SimplexRandomLp(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexRandomLp)->Arg(50)->Arg(200)->Arg(800);
 
+// The pre-revised-simplex baseline: dense explicit inverse + full Dantzig
+// pricing, matching the legacy tableau implementation. Kept so the
+// sparse-vs-dense speedup stays measured release over release.
+void BM_SimplexRandomLpDense(benchmark::State& state) {
+  const auto model = random_lp(7, static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(0)) / 2);
+  lp::SimplexOptions options;
+  options.use_dense_fallback = true;
+  options.pricing = lp::PricingRule::kDantzig;
+  const lp::SimplexSolver solver(options);
+  for (auto _ : state) {
+    SolveContext ctx;
+    benchmark::DoNotOptimize(solver.solve(model, ctx));
+  }
+}
+BENCHMARK(BM_SimplexRandomLpDense)->Arg(50)->Arg(200)->Arg(800);
+
 void BM_BranchAndBoundKnapsack(benchmark::State& state) {
   Rng rng(11);
   lp::Model model;
@@ -71,6 +88,67 @@ void BM_BranchAndBoundKnapsack(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BranchAndBoundKnapsack)->Arg(20)->Arg(40);
+
+/// Generalized-assignment MILP: `tasks` binaries per agent, one "assign
+/// exactly once" equality per task, one capacity row per agent. The
+/// branching-heavy structure is where warm-started nodes pay off.
+lp::Model assignment_milp(int tasks, int agents) {
+  Rng rng(23);
+  lp::Model model;
+  std::vector<std::vector<int>> x(static_cast<std::size_t>(tasks));
+  std::vector<lp::Term> objective;
+  for (int t = 0; t < tasks; ++t) {
+    for (int a = 0; a < agents; ++a) {
+      const int v = model.add_binary("x_" + std::to_string(t) + "_" +
+                                     std::to_string(a));
+      x[static_cast<std::size_t>(t)].push_back(v);
+      objective.push_back({v, rng.uniform(1.0, 20.0)});
+    }
+  }
+  model.set_objective(lp::Sense::kMinimize, objective);
+  for (int t = 0; t < tasks; ++t) {
+    std::vector<lp::Term> row;
+    for (const int v : x[static_cast<std::size_t>(t)]) row.push_back({v, 1.0});
+    model.add_constraint("assign" + std::to_string(t), row,
+                         lp::Relation::kEqual, 1.0);
+  }
+  for (int a = 0; a < agents; ++a) {
+    std::vector<lp::Term> row;
+    for (int t = 0; t < tasks; ++t) {
+      row.push_back({x[static_cast<std::size_t>(t)][static_cast<std::size_t>(a)],
+                     rng.uniform(1.0, 8.0)});
+    }
+    // Capacity factor 3.0 keeps the instance feasible but branching-heavy
+    // (tight enough that the relaxation stays fractional down the tree).
+    model.add_constraint("cap" + std::to_string(a), row,
+                         lp::Relation::kLessEqual, 3.0 * tasks / agents);
+  }
+  return model;
+}
+
+void BM_BranchAndBoundAssignment(benchmark::State& state) {
+  const auto model = assignment_milp(static_cast<int>(state.range(0)), 4);
+  milp::MilpOptions options;
+  options.warm_start_nodes = state.range(1) != 0;
+  const milp::BranchAndBoundSolver solver(options);
+  long long lp_iterations = 0;
+  long long nodes = 0;
+  for (auto _ : state) {
+    SolveContext ctx;
+    const auto solution = solver.solve(model, ctx);
+    benchmark::DoNotOptimize(solution);
+    lp_iterations += solution.lp_iterations;
+    nodes += solution.nodes;
+  }
+  state.counters["lp_iters"] =
+      benchmark::Counter(static_cast<double>(lp_iterations),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["nodes"] = benchmark::Counter(
+      static_cast<double>(nodes), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_BranchAndBoundAssignment)
+    ->ArgsProduct({{12, 20}, {0, 1}})
+    ->ArgNames({"tasks", "warm"});
 
 void BM_PlannerEnterprise1(benchmark::State& state) {
   const auto instance = make_enterprise1();

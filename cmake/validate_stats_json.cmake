@@ -61,3 +61,76 @@ foreach(i RANGE ${last})
 endforeach()
 
 message(STATUS "stats JSON OK: ${child_count} phases under '${root_name}'")
+
+# Second run: the exact engine must surface the revised-simplex counters
+# (factorizations, eta file, pricing, warm starts) under
+# planner -> branch_and_bound -> simplex. A short time limit keeps the check
+# cheap; the root LP relaxation alone populates every counter.
+set(exact_json "${WORK_DIR}/stats_check_exact.json")
+execute_process(
+  COMMAND "${CLI}" plan "${instance}" --engine exact --time-limit 2000
+          --stats-json "${exact_json}"
+  RESULT_VARIABLE exact_result
+  OUTPUT_QUIET)
+if(NOT exact_result EQUAL 0)
+  message(FATAL_ERROR "etransform_cli plan --engine exact failed (${exact_result})")
+endif()
+
+file(READ "${exact_json}" exact_stats)
+
+# Locate the branch_and_bound phase, then its simplex child.
+string(JSON exact_children LENGTH "${exact_stats}" "children")
+set(bnb "")
+math(EXPR exact_last "${exact_children} - 1")
+foreach(i RANGE ${exact_last})
+  string(JSON phase_name GET "${exact_stats}" "children" ${i} "name")
+  if(phase_name STREQUAL "branch_and_bound")
+    string(JSON bnb GET "${exact_stats}" "children" ${i})
+  endif()
+endforeach()
+if(bnb STREQUAL "")
+  message(FATAL_ERROR "exact-engine stats missing 'branch_and_bound' phase")
+endif()
+
+string(JSON bnb_children LENGTH "${bnb}" "children")
+set(simplex "")
+math(EXPR bnb_last "${bnb_children} - 1")
+foreach(i RANGE ${bnb_last})
+  string(JSON child_name GET "${bnb}" "children" ${i} "name")
+  if(child_name STREQUAL "simplex")
+    string(JSON simplex GET "${bnb}" "children" ${i})
+  endif()
+endforeach()
+if(simplex STREQUAL "")
+  message(FATAL_ERROR "branch_and_bound stats missing 'simplex' child")
+endif()
+
+# The counters must exist and be coherent: at least one solve happened, every
+# solve refactorizes at least once, and pricing did *something*.
+foreach(metric calls pivots refactorizations etas eta_entries
+        pricing_candidate_hits pricing_full_scans warm_starts)
+  string(JSON value ERROR_VARIABLE json_err GET "${simplex}" "metrics" "${metric}")
+  if(NOT json_err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "simplex stats missing metric '${metric}'")
+  endif()
+  if(value LESS 0)
+    message(FATAL_ERROR "simplex metric '${metric}' is negative (${value})")
+  endif()
+  set(simplex_${metric} "${value}")
+endforeach()
+if(simplex_calls LESS 1)
+  message(FATAL_ERROR "simplex 'calls' is ${simplex_calls}, want >= 1")
+endif()
+if(simplex_refactorizations LESS ${simplex_calls})
+  message(FATAL_ERROR "simplex refactorizations (${simplex_refactorizations}) "
+                      "< calls (${simplex_calls}); every solve factorizes once")
+endif()
+math(EXPR pricing_total
+     "${simplex_pricing_candidate_hits} + ${simplex_pricing_full_scans}")
+if(pricing_total LESS 1)
+  message(FATAL_ERROR "simplex pricing counters are all zero")
+endif()
+
+message(STATUS "exact-engine stats OK: ${simplex_calls} simplex calls, "
+               "${simplex_pivots} pivots, "
+               "${simplex_refactorizations} refactorizations")

@@ -1,0 +1,665 @@
+#include "lp/basis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace etransform::lp {
+
+namespace {
+
+/// Relative threshold-pivoting factor: a pivot must be at least this
+/// fraction of the largest entry in its column to be eligible. Trades a
+/// little fill (Markowitz would prefer the sparsest pivot) for stability.
+constexpr double kStabilityRel = 0.01;
+
+/// Entries this small relative to the eta pivot are not stored in eta files.
+constexpr double kEtaDropTol = 1e-13;
+
+/// Once the active submatrix passes this density, Markowitz ordering mostly
+/// produces fill anyway; finishing with a cache-friendly dense kernel
+/// (plain partial pivoting) factorizes the trailing block much faster while
+/// leaving the sparse leading factors untouched.
+constexpr double kDenseWindowDensity = 0.35;
+
+/// Below this active dimension the dense-window switch is not worth the
+/// bookkeeping; the sparse loop finishes tiny blocks just fine.
+constexpr int kDenseWindowMinDim = 32;
+
+/// Re-estimate the active-submatrix density only every few steps; the count
+/// scan is O(active columns).
+constexpr int kDensityCheckStride = 8;
+
+/// One (index, value) entry of a sparse factor column/row.
+struct Entry {
+  int index;
+  double value;
+};
+
+// ---------------------------------------------------------------------------
+// Sparse LU with Markowitz ordering + product-form eta updates.
+
+class SparseLuBasis final : public BasisFactorization {
+ public:
+  SparseLuBasis(int rows, double pivot_tol)
+      : m_(rows), pivot_tol_(pivot_tol), work_vals_(static_cast<std::size_t>(rows), 0.0),
+        work_mark_(static_cast<std::size_t>(rows), -1) {}
+
+  bool factorize(const std::vector<SparseColumn>& columns,
+                 const std::vector<int>& basis) override {
+    eta_r_.clear();
+    eta_pivot_.clear();
+    eta_index_.clear();
+    eta_value_.clear();
+    eta_start_.assign(1, 0);
+    if (stamp_ > std::numeric_limits<int>::max() / 2) {
+      std::fill(work_mark_.begin(), work_mark_.end(), -1);
+      stamp_ = 0;
+    }
+    l_cols_.assign(static_cast<std::size_t>(m_), {});
+    u_rows_.assign(static_cast<std::size_t>(m_), {});
+    u_diag_.assign(static_cast<std::size_t>(m_), 0.0);
+    row_of_step_.assign(static_cast<std::size_t>(m_), -1);
+    pos_of_step_.assign(static_cast<std::size_t>(m_), -1);
+    if (m_ == 0) {
+      ++counters_.refactorizations;
+      counters_.factor_entries = 0;
+      return true;
+    }
+
+    // Active submatrix: exact column-major values plus a lazy row pattern.
+    std::vector<std::vector<Entry>> cols(static_cast<std::size_t>(m_));
+    std::vector<std::vector<int>> row_pat(static_cast<std::size_t>(m_));
+    std::vector<int> row_count(static_cast<std::size_t>(m_), 0);
+    std::vector<bool> row_active(static_cast<std::size_t>(m_), true);
+    std::vector<bool> col_active(static_cast<std::size_t>(m_), true);
+    for (int k = 0; k < m_; ++k) {
+      const SparseColumn& col = columns[static_cast<std::size_t>(basis[static_cast<std::size_t>(k)])];
+      auto& dest = cols[static_cast<std::size_t>(k)];
+      dest.reserve(col.rows.size());
+      for (std::size_t e = 0; e < col.rows.size(); ++e) {
+        if (col.coefs[e] == 0.0) continue;
+        dest.push_back(Entry{col.rows[e], col.coefs[e]});
+        row_pat[static_cast<std::size_t>(col.rows[e])].push_back(k);
+        ++row_count[static_cast<std::size_t>(col.rows[e])];
+      }
+    }
+
+    std::vector<Entry> mults;     // pivot-column multipliers of one step
+    std::vector<Entry> pivot_row; // pivot-row entries of one step
+    // The stamp is monotonic across factorize() calls: work_mark_ persists,
+    // so restarting it would collide with marks left by a previous
+    // factorization and silently drop fill-in entries.
+    int& stamp = stamp_;
+
+    for (int step = 0; step < m_; ++step) {
+      // --- Dense-window switch once the active block has densified. -------
+      if (step % kDensityCheckStride == 0 && m_ - step >= kDenseWindowMinDim) {
+        long long active_entries = 0;
+        for (int j = 0; j < m_; ++j) {
+          if (col_active[static_cast<std::size_t>(j)]) {
+            active_entries +=
+                static_cast<long long>(cols[static_cast<std::size_t>(j)].size());
+          }
+        }
+        const double active = m_ - step;
+        if (static_cast<double>(active_entries) >=
+            kDenseWindowDensity * active * active) {
+          if (!finish_dense_window(step, cols, col_active, row_active)) {
+            return false;
+          }
+          break;
+        }
+      }
+
+      // --- Markowitz pivot selection over the sparsest few columns. -------
+      // Scan active columns for the smallest counts (O(m) per step), then
+      // price only those candidates' entries.
+      constexpr int kCandidates = 8;
+      int cand[kCandidates];
+      int cand_n = 0;
+      for (int j = 0; j < m_; ++j) {
+        if (!col_active[static_cast<std::size_t>(j)]) continue;
+        const int count = static_cast<int>(cols[static_cast<std::size_t>(j)].size());
+        int at = cand_n < kCandidates ? cand_n : kCandidates;
+        // Insertion sort by column count; keep the kCandidates sparsest.
+        if (cand_n < kCandidates) ++cand_n;
+        while (at > 0 &&
+               static_cast<int>(cols[static_cast<std::size_t>(cand[at - 1])].size()) > count) {
+          if (at < kCandidates) cand[at] = cand[at - 1];
+          --at;
+        }
+        if (at < kCandidates) cand[at] = j;
+      }
+      int best_row = -1;
+      int best_col = -1;
+      double best_val = 0.0;
+      long long best_cost = std::numeric_limits<long long>::max();
+      for (int c = 0; c < cand_n; ++c) {
+        const int j = cand[c];
+        const auto& col = cols[static_cast<std::size_t>(j)];
+        double col_max = 0.0;
+        for (const Entry& e : col) col_max = std::max(col_max, std::abs(e.value));
+        if (col_max < pivot_tol_) continue;
+        const double eligible = std::max(pivot_tol_, kStabilityRel * col_max);
+        const long long cc = static_cast<long long>(col.size()) - 1;
+        for (const Entry& e : col) {
+          const double mag = std::abs(e.value);
+          if (mag < eligible) continue;
+          const long long cost =
+              cc * (static_cast<long long>(row_count[static_cast<std::size_t>(e.index)]) - 1);
+          if (cost < best_cost ||
+              (cost == best_cost && mag > std::abs(best_val))) {
+            best_cost = cost;
+            best_row = e.index;
+            best_col = j;
+            best_val = e.value;
+          }
+        }
+      }
+      if (best_row < 0) {
+        // The sparsest candidates were all below tolerance; fall back to a
+        // full scan before declaring the basis singular.
+        for (int j = 0; j < m_ && best_row < 0; ++j) {
+          if (!col_active[static_cast<std::size_t>(j)]) continue;
+          for (const Entry& e : cols[static_cast<std::size_t>(j)]) {
+            if (std::abs(e.value) < pivot_tol_) continue;
+            if (best_row < 0 || std::abs(e.value) > std::abs(best_val)) {
+              best_row = e.index;
+              best_col = j;
+              best_val = e.value;
+            }
+          }
+        }
+        if (best_row < 0) return false;  // singular within tolerance
+      }
+
+      row_of_step_[static_cast<std::size_t>(step)] = best_row;
+      pos_of_step_[static_cast<std::size_t>(step)] = best_col;
+      u_diag_[static_cast<std::size_t>(step)] = best_val;
+
+      // --- Extract multipliers from the pivot column. ---------------------
+      mults.clear();
+      for (const Entry& e : cols[static_cast<std::size_t>(best_col)]) {
+        if (e.index == best_row) continue;
+        mults.push_back(Entry{e.index, e.value / best_val});
+        --row_count[static_cast<std::size_t>(e.index)];
+      }
+      cols[static_cast<std::size_t>(best_col)].clear();
+      cols[static_cast<std::size_t>(best_col)].shrink_to_fit();
+      col_active[static_cast<std::size_t>(best_col)] = false;
+      row_active[static_cast<std::size_t>(best_row)] = false;
+
+      // --- Extract the pivot row (becomes U row `step`). ------------------
+      pivot_row.clear();
+      for (const int j : row_pat[static_cast<std::size_t>(best_row)]) {
+        if (j == best_col || !col_active[static_cast<std::size_t>(j)]) continue;
+        auto& col = cols[static_cast<std::size_t>(j)];
+        for (std::size_t e = 0; e < col.size(); ++e) {
+          if (col[e].index != best_row) continue;
+          pivot_row.push_back(Entry{j, col[e].value});
+          col[e] = col.back();
+          col.pop_back();
+          break;
+        }
+      }
+      row_pat[static_cast<std::size_t>(best_row)].clear();
+
+      // --- Schur update: col_j -= l * u_kj for every multiplier. ----------
+      for (const Entry& u : pivot_row) {
+        auto& col = cols[static_cast<std::size_t>(u.index)];
+        ++stamp;
+        for (const Entry& e : col) {
+          work_mark_[static_cast<std::size_t>(e.index)] = stamp;
+          work_vals_[static_cast<std::size_t>(e.index)] = e.value;
+        }
+        for (const Entry& l : mults) {
+          const std::size_t i = static_cast<std::size_t>(l.index);
+          if (work_mark_[i] == stamp) {
+            work_vals_[i] -= l.value * u.value;
+          } else {
+            work_mark_[i] = stamp;
+            work_vals_[i] = -l.value * u.value;
+            col.push_back(Entry{l.index, 0.0});  // fill-in; value set below
+            row_pat_push(row_pat, l.index, u.index);
+            ++row_count[i];
+          }
+        }
+        std::size_t keep = 0;
+        for (std::size_t e = 0; e < col.size(); ++e) {
+          const std::size_t i = static_cast<std::size_t>(col[e].index);
+          const double v = work_vals_[i];
+          if (v == 0.0) {
+            --row_count[i];
+            continue;  // exact cancellation
+          }
+          col[keep++] = Entry{col[e].index, v};
+        }
+        col.resize(keep);
+      }
+
+      l_cols_[static_cast<std::size_t>(step)] = mults;  // row indices for now
+      u_rows_[static_cast<std::size_t>(step)] = pivot_row;  // positions for now
+    }
+
+    // Map factor indices into elimination-step coordinates while flattening
+    // the factors into contiguous index/value arrays: the triangular solves
+    // run every iteration and are far kinder to the cache this way than
+    // chasing a vector-of-vectors.
+    step_of_row_.assign(static_cast<std::size_t>(m_), -1);
+    step_of_pos_.assign(static_cast<std::size_t>(m_), -1);
+    for (int k = 0; k < m_; ++k) {
+      step_of_row_[static_cast<std::size_t>(row_of_step_[static_cast<std::size_t>(k)])] = k;
+      step_of_pos_[static_cast<std::size_t>(pos_of_step_[static_cast<std::size_t>(k)])] = k;
+    }
+    std::size_t l_total = 0;
+    std::size_t u_total = 0;
+    for (int k = 0; k < m_; ++k) {
+      l_total += l_cols_[static_cast<std::size_t>(k)].size();
+      u_total += u_rows_[static_cast<std::size_t>(k)].size();
+    }
+    l_start_.resize(static_cast<std::size_t>(m_) + 1);
+    u_start_.resize(static_cast<std::size_t>(m_) + 1);
+    l_index_.resize(l_total);
+    l_value_.resize(l_total);
+    u_index_.resize(u_total);
+    u_value_.resize(u_total);
+    std::size_t lp = 0;
+    std::size_t up = 0;
+    for (int k = 0; k < m_; ++k) {
+      l_start_[static_cast<std::size_t>(k)] = lp;
+      u_start_[static_cast<std::size_t>(k)] = up;
+      for (const Entry& e : l_cols_[static_cast<std::size_t>(k)]) {
+        l_index_[lp] = step_of_row_[static_cast<std::size_t>(e.index)];
+        l_value_[lp++] = e.value;
+      }
+      for (const Entry& e : u_rows_[static_cast<std::size_t>(k)]) {
+        u_index_[up] = step_of_pos_[static_cast<std::size_t>(e.index)];
+        u_value_[up++] = e.value;
+      }
+    }
+    l_start_[static_cast<std::size_t>(m_)] = lp;
+    u_start_[static_cast<std::size_t>(m_)] = up;
+    const long long entries =
+        static_cast<long long>(m_) + static_cast<long long>(lp) +
+        static_cast<long long>(up);
+    ++counters_.refactorizations;
+    counters_.factor_entries = entries;
+    lu_entries_ = entries;
+    eta_entries_since_factor_ = 0;
+    return true;
+  }
+
+  /// Factorizes the trailing active block with a dense right-looking LU
+  /// (partial pivoting, column-major daxpy inner loops), emitting factors
+  /// for steps `step..m_-1` in the same pre-remap convention as the sparse
+  /// loop: L entries carry original row indices, U entries carry basis
+  /// positions.
+  bool finish_dense_window(int step, std::vector<std::vector<Entry>>& cols,
+                           const std::vector<bool>& col_active,
+                           const std::vector<bool>& row_active) {
+    const int a = m_ - step;
+    const auto az = static_cast<std::size_t>(a);
+    std::vector<int> orig_row(az);   // local row -> original row (permuted)
+    std::vector<int> orig_col(az);   // local col -> basis position
+    std::vector<int> local_row(static_cast<std::size_t>(m_), -1);
+    int r = 0;
+    for (int i = 0; i < m_; ++i) {
+      if (!row_active[static_cast<std::size_t>(i)]) continue;
+      local_row[static_cast<std::size_t>(i)] = r;
+      orig_row[static_cast<std::size_t>(r++)] = i;
+    }
+    if (r != a) return false;  // active rows/cols out of sync: bail out
+    dense_kernel_.assign(az * az, 0.0);
+    int c = 0;
+    for (int j = 0; j < m_; ++j) {
+      if (!col_active[static_cast<std::size_t>(j)]) continue;
+      orig_col[static_cast<std::size_t>(c)] = j;
+      double* dest = dense_kernel_.data() + static_cast<std::size_t>(c) * az;
+      for (const Entry& e : cols[static_cast<std::size_t>(j)]) {
+        dest[local_row[static_cast<std::size_t>(e.index)]] = e.value;
+      }
+      ++c;
+    }
+
+    for (int k = 0; k < a; ++k) {
+      double* ck = dense_kernel_.data() + static_cast<std::size_t>(k) * az;
+      int p = k;
+      double best = std::abs(ck[k]);
+      for (int i = k + 1; i < a; ++i) {
+        const double mag = std::abs(ck[i]);
+        if (mag > best) {
+          best = mag;
+          p = i;
+        }
+      }
+      if (best < pivot_tol_) return false;  // singular within tolerance
+      if (p != k) {
+        // Full-row swap (including the L part) keeps local physical order
+        // equal to elimination order.
+        for (std::size_t j = 0; j < az; ++j) {
+          std::swap(dense_kernel_[j * az + static_cast<std::size_t>(k)],
+                    dense_kernel_[j * az + static_cast<std::size_t>(p)]);
+        }
+        std::swap(orig_row[static_cast<std::size_t>(k)],
+                  orig_row[static_cast<std::size_t>(p)]);
+      }
+      const double inv_piv = 1.0 / ck[k];
+      for (int i = k + 1; i < a; ++i) ck[i] *= inv_piv;
+      for (int j = k + 1; j < a; ++j) {
+        double* cj = dense_kernel_.data() + static_cast<std::size_t>(j) * az;
+        const double u = cj[k];
+        if (u == 0.0) continue;
+        for (int i = k + 1; i < a; ++i) cj[i] -= u * ck[i];
+      }
+    }
+
+    for (int k = 0; k < a; ++k) {
+      const auto s = static_cast<std::size_t>(step + k);
+      const double* ck = dense_kernel_.data() + static_cast<std::size_t>(k) * az;
+      row_of_step_[s] = orig_row[static_cast<std::size_t>(k)];
+      pos_of_step_[s] = orig_col[static_cast<std::size_t>(k)];
+      u_diag_[s] = ck[k];
+      auto& lcol = l_cols_[s];
+      for (int i = k + 1; i < a; ++i) {
+        if (ck[i] != 0.0) {
+          lcol.push_back(Entry{orig_row[static_cast<std::size_t>(i)], ck[i]});
+        }
+      }
+      auto& urow = u_rows_[s];
+      for (int j = k + 1; j < a; ++j) {
+        const double v = dense_kernel_[static_cast<std::size_t>(j) * az +
+                                       static_cast<std::size_t>(k)];
+        if (v != 0.0) {
+          urow.push_back(Entry{orig_col[static_cast<std::size_t>(j)], v});
+        }
+      }
+    }
+    return true;
+  }
+
+  void ftran(std::vector<double>& x) const override {
+    if (m_ == 0) return;
+    // Permute rows into elimination order, then L then U.
+    auto& z = scratch_;
+    z.resize(static_cast<std::size_t>(m_));
+    for (int k = 0; k < m_; ++k) {
+      z[static_cast<std::size_t>(k)] =
+          x[static_cast<std::size_t>(row_of_step_[static_cast<std::size_t>(k)])];
+    }
+    for (int k = 0; k < m_; ++k) {
+      const double t = z[static_cast<std::size_t>(k)];
+      if (t == 0.0) continue;
+      const std::size_t end = l_start_[static_cast<std::size_t>(k) + 1];
+      for (std::size_t e = l_start_[static_cast<std::size_t>(k)]; e < end; ++e) {
+        z[static_cast<std::size_t>(l_index_[e])] -= l_value_[e] * t;
+      }
+    }
+    for (int k = m_ - 1; k >= 0; --k) {
+      double t = z[static_cast<std::size_t>(k)];
+      const std::size_t end = u_start_[static_cast<std::size_t>(k) + 1];
+      for (std::size_t e = u_start_[static_cast<std::size_t>(k)]; e < end; ++e) {
+        t -= u_value_[e] * z[static_cast<std::size_t>(u_index_[e])];
+      }
+      z[static_cast<std::size_t>(k)] = t / u_diag_[static_cast<std::size_t>(k)];
+    }
+    for (int k = 0; k < m_; ++k) {
+      x[static_cast<std::size_t>(pos_of_step_[static_cast<std::size_t>(k)])] =
+          z[static_cast<std::size_t>(k)];
+    }
+    // Product-form etas, oldest first.
+    const std::size_t num_etas = eta_r_.size();
+    for (std::size_t q = 0; q < num_etas; ++q) {
+      const auto r = static_cast<std::size_t>(eta_r_[q]);
+      const double t = x[r] / eta_pivot_[q];
+      x[r] = t;
+      if (t == 0.0) continue;
+      const std::size_t end = eta_start_[q + 1];
+      for (std::size_t e = eta_start_[q]; e < end; ++e) {
+        x[static_cast<std::size_t>(eta_index_[e])] -= eta_value_[e] * t;
+      }
+    }
+  }
+
+  void btran(std::vector<double>& x) const override {
+    if (m_ == 0) return;
+    // Eta transposes, newest first.
+    for (std::size_t q = eta_r_.size(); q-- > 0;) {
+      const auto r = static_cast<std::size_t>(eta_r_[q]);
+      double t = x[r];
+      const std::size_t end = eta_start_[q + 1];
+      for (std::size_t e = eta_start_[q]; e < end; ++e) {
+        t -= eta_value_[e] * x[static_cast<std::size_t>(eta_index_[e])];
+      }
+      x[r] = t / eta_pivot_[q];
+    }
+    // U^T forward (scattering U rows), then L^T backward (gathering L cols).
+    auto& z = scratch_;
+    z.resize(static_cast<std::size_t>(m_));
+    for (int k = 0; k < m_; ++k) {
+      z[static_cast<std::size_t>(k)] =
+          x[static_cast<std::size_t>(pos_of_step_[static_cast<std::size_t>(k)])];
+    }
+    for (int k = 0; k < m_; ++k) {
+      const double v = z[static_cast<std::size_t>(k)] / u_diag_[static_cast<std::size_t>(k)];
+      z[static_cast<std::size_t>(k)] = v;
+      if (v == 0.0) continue;
+      const std::size_t end = u_start_[static_cast<std::size_t>(k) + 1];
+      for (std::size_t e = u_start_[static_cast<std::size_t>(k)]; e < end; ++e) {
+        z[static_cast<std::size_t>(u_index_[e])] -= u_value_[e] * v;
+      }
+    }
+    for (int k = m_ - 1; k >= 0; --k) {
+      double t = z[static_cast<std::size_t>(k)];
+      const std::size_t end = l_start_[static_cast<std::size_t>(k) + 1];
+      for (std::size_t e = l_start_[static_cast<std::size_t>(k)]; e < end; ++e) {
+        t -= l_value_[e] * z[static_cast<std::size_t>(l_index_[e])];
+      }
+      z[static_cast<std::size_t>(k)] = t;
+    }
+    for (int k = 0; k < m_; ++k) {
+      x[static_cast<std::size_t>(row_of_step_[static_cast<std::size_t>(k)])] =
+          z[static_cast<std::size_t>(k)];
+    }
+  }
+
+  bool update(const std::vector<double>& w, int r) override {
+    const double pivot = w[static_cast<std::size_t>(r)];
+    if (!(std::abs(pivot) > pivot_tol_)) return false;
+    const std::size_t before = eta_index_.size();
+    const double drop = kEtaDropTol * std::abs(pivot);
+    for (int i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      const double v = w[static_cast<std::size_t>(i)];
+      if (std::abs(v) <= drop) continue;
+      eta_index_.push_back(i);
+      eta_value_.push_back(v);
+    }
+    eta_r_.push_back(r);
+    eta_pivot_.push_back(pivot);
+    eta_start_.push_back(eta_index_.size());
+    const auto added =
+        static_cast<long long>(eta_index_.size() - before) + 1;
+    eta_entries_since_factor_ += added;
+    ++counters_.etas;
+    counters_.eta_entries += added;
+    return true;
+  }
+
+  bool should_refactorize() const override {
+    // Refactorize once applying the eta file costs about as much as the
+    // triangular solves themselves.
+    return eta_entries_since_factor_ > std::max<long long>(512, 2 * lu_entries_);
+  }
+
+ private:
+  static void row_pat_push(std::vector<std::vector<int>>& row_pat, int row,
+                           int col) {
+    row_pat[static_cast<std::size_t>(row)].push_back(col);
+  }
+
+  int m_;
+  double pivot_tol_;
+  // Factorization scratch: per-step factor entries in original coordinates,
+  // flattened below after the step->coordinate remap.
+  std::vector<std::vector<Entry>> l_cols_;  // per step: (orig row, multiplier)
+  std::vector<std::vector<Entry>> u_rows_;  // per step: (basis pos, value)
+  // Flattened factors in elimination-step coordinates (the solve-side form).
+  std::vector<std::size_t> l_start_, u_start_;  // m_+1 offsets each
+  std::vector<int> l_index_, u_index_;
+  std::vector<double> l_value_, u_value_;
+  std::vector<double> u_diag_;
+  std::vector<int> row_of_step_, step_of_row_;
+  std::vector<int> pos_of_step_, step_of_pos_;
+  // Product-form eta file, flattened: eta q occupies entry range
+  // [eta_start_[q], eta_start_[q+1]).
+  std::vector<int> eta_r_;
+  std::vector<double> eta_pivot_;
+  std::vector<std::size_t> eta_start_{0};
+  std::vector<int> eta_index_;
+  std::vector<double> eta_value_;
+  long long lu_entries_ = 0;
+  long long eta_entries_since_factor_ = 0;
+  std::vector<double> work_vals_;
+  std::vector<int> work_mark_;
+  int stamp_ = 0;
+  std::vector<double> dense_kernel_;  // column-major scratch, dense path only
+  mutable std::vector<double> scratch_;
+};
+
+// ---------------------------------------------------------------------------
+// Dense explicit inverse (legacy path).
+
+class DenseInverseBasis final : public BasisFactorization {
+ public:
+  DenseInverseBasis(int rows, double pivot_tol)
+      : m_(rows), pivot_tol_(pivot_tol) {}
+
+  bool factorize(const std::vector<SparseColumn>& columns,
+                 const std::vector<int>& basis) override {
+    const std::size_t mm = static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_);
+    std::vector<double> b_mat(mm, 0.0);
+    for (int k = 0; k < m_; ++k) {
+      const SparseColumn& col =
+          columns[static_cast<std::size_t>(basis[static_cast<std::size_t>(k)])];
+      for (std::size_t e = 0; e < col.rows.size(); ++e) {
+        b_mat[static_cast<std::size_t>(col.rows[e]) * static_cast<std::size_t>(m_) +
+              static_cast<std::size_t>(k)] = col.coefs[e];
+      }
+    }
+    std::vector<double> inv(mm, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      inv[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) +
+          static_cast<std::size_t>(i)] = 1.0;
+    }
+    auto at = [this](std::vector<double>& mat, int r, int c) -> double& {
+      return mat[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_) +
+                 static_cast<std::size_t>(c)];
+    };
+    // Gauss-Jordan with partial pivoting; inv rows mirror the row ops, so B
+    // columns land on rows of inv in basis-position order (ftran/btran below
+    // rely on row k of inv being e_k^T B^-1).
+    for (int col = 0; col < m_; ++col) {
+      int piv = col;
+      double best = std::abs(at(b_mat, col, col));
+      for (int r = col + 1; r < m_; ++r) {
+        const double candidate = std::abs(at(b_mat, r, col));
+        if (candidate > best) {
+          best = candidate;
+          piv = r;
+        }
+      }
+      if (best < pivot_tol_) return false;
+      if (piv != col) {
+        for (int c = 0; c < m_; ++c) {
+          std::swap(at(b_mat, piv, c), at(b_mat, col, c));
+          std::swap(at(inv, piv, c), at(inv, col, c));
+        }
+      }
+      const double scale = 1.0 / at(b_mat, col, col);
+      for (int c = 0; c < m_; ++c) {
+        at(b_mat, col, c) *= scale;
+        at(inv, col, c) *= scale;
+      }
+      for (int r = 0; r < m_; ++r) {
+        if (r == col) continue;
+        const double factor = at(b_mat, r, col);
+        if (factor == 0.0) continue;
+        for (int c = 0; c < m_; ++c) {
+          at(b_mat, r, c) -= factor * at(b_mat, col, c);
+          at(inv, r, c) -= factor * at(inv, col, c);
+        }
+      }
+    }
+    binv_ = std::move(inv);
+    ++counters_.refactorizations;
+    counters_.factor_entries = static_cast<long long>(mm);
+    return true;
+  }
+
+  void ftran(std::vector<double>& x) const override {
+    scratch_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double v = x[static_cast<std::size_t>(i)];
+      if (v == 0.0) continue;
+      const double* col = &binv_[static_cast<std::size_t>(i)];
+      for (int k = 0; k < m_; ++k) {
+        scratch_[static_cast<std::size_t>(k)] +=
+            binv_[static_cast<std::size_t>(k) * static_cast<std::size_t>(m_) +
+                  static_cast<std::size_t>(i)] * v;
+      }
+      (void)col;
+    }
+    x = scratch_;
+  }
+
+  void btran(std::vector<double>& x) const override {
+    scratch_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int k = 0; k < m_; ++k) {
+      const double ck = x[static_cast<std::size_t>(k)];
+      if (ck == 0.0) continue;
+      const double* row =
+          &binv_[static_cast<std::size_t>(k) * static_cast<std::size_t>(m_)];
+      for (int i = 0; i < m_; ++i) {
+        scratch_[static_cast<std::size_t>(i)] += ck * row[i];
+      }
+    }
+    x = scratch_;
+  }
+
+  bool update(const std::vector<double>& w, int r) override {
+    const double pivot = w[static_cast<std::size_t>(r)];
+    if (!(std::abs(pivot) > pivot_tol_)) return false;
+    double* pivot_row = &binv_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_)];
+    const double inv_pivot = 1.0 / pivot;
+    for (int c = 0; c < m_; ++c) pivot_row[c] *= inv_pivot;
+    for (int k = 0; k < m_; ++k) {
+      if (k == r) continue;
+      const double factor = w[static_cast<std::size_t>(k)];
+      if (factor == 0.0) continue;
+      double* row = &binv_[static_cast<std::size_t>(k) * static_cast<std::size_t>(m_)];
+      for (int c = 0; c < m_; ++c) row[c] -= factor * pivot_row[c];
+    }
+    ++counters_.etas;
+    return true;
+  }
+
+  bool should_refactorize() const override { return false; }
+
+ private:
+  int m_;
+  double pivot_tol_;
+  std::vector<double> binv_;
+  mutable std::vector<double> scratch_;
+};
+
+}  // namespace
+
+std::unique_ptr<BasisFactorization> make_basis_factorization(int rows,
+                                                             bool dense,
+                                                             double pivot_tol) {
+  if (dense) return std::make_unique<DenseInverseBasis>(rows, pivot_tol);
+  return std::make_unique<SparseLuBasis>(rows, pivot_tol);
+}
+
+}  // namespace etransform::lp

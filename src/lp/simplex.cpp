@@ -17,313 +17,249 @@ const char* to_string(SolveStatus status) {
     case SolveStatus::kIterationLimit: return "iteration_limit";
     case SolveStatus::kTimeLimit: return "time_limit";
     case SolveStatus::kCancelled: return "cancelled";
+    case SolveStatus::kNumericalError: return "numerical_error";
   }
   return "?";
 }
 
 namespace {
-
 constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
 
-enum class VarStatus : unsigned char { kBasic, kAtLower, kAtUpper };
-
-/// Column-sparse matrix column.
-struct SparseColumn {
-  std::vector<int> rows;
-  std::vector<double> coefs;
-};
-
-/// How one model variable maps to internal (shifted, >=0) columns.
-struct VarMap {
-  int column = -1;        // primary internal column
-  int negative_column = -1;  // second column for free variables (x = x+ - x-)
-  double offset = 0.0;    // x_model = offset + sign * x_col (+ ...)
-  double sign = 1.0;
-};
-
-/// The internal standard-form problem: min c.x, A x = b, 0 <= x <= ub.
-struct StandardForm {
-  std::vector<SparseColumn> columns;
-  std::vector<double> upper;       // per column, may be +inf
-  std::vector<double> cost;        // phase-2 cost per column
-  std::vector<double> rhs;         // per row, >= 0 after normalization
-  std::vector<int> artificial_of_row;  // column index of the row's initial
-                                       // basic variable (slack or artificial)
-  std::vector<bool> is_artificial;     // per column
-  std::vector<double> row_dual_sign;   // map internal dual -> model dual
-  std::vector<int> row_of_model_row;   // internal row index per model row, -1
-                                       // if the row was dropped as vacuous
-  std::vector<VarMap> var_maps;        // per model variable
-  double objective_shift = 0.0;        // constant from bound shifting
-  bool trivially_infeasible = false;
-  std::string infeasibility_note;
-};
-
-/// Builds the internal standard form from a model plus bound overrides.
-StandardForm build_standard_form(const Model& model,
-                                 const std::vector<double>& lower,
-                                 const std::vector<double>& upper) {
-  const int n = model.num_variables();
-  const int m = model.num_constraints();
-  StandardForm sf;
-  sf.var_maps.resize(static_cast<std::size_t>(n));
-
-  const double sense_sign = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
-  std::vector<double> model_cost(static_cast<std::size_t>(n), 0.0);
-  for (const Term& t : merge_terms(model.objective())) {
-    model_cost[static_cast<std::size_t>(t.var)] = sense_sign * t.coef;
+PreparedLp::PreparedLp(const Model& m) : model(&m) {
+  m.validate();
+  num_vars = m.num_variables();
+  sense_sign = m.sense() == Sense::kMinimize ? 1.0 : -1.0;
+  columns.resize(static_cast<std::size_t>(num_vars));
+  cost.assign(static_cast<std::size_t>(num_vars), 0.0);
+  for (const Term& t : merge_terms(m.objective())) {
+    cost[static_cast<std::size_t>(t.var)] = sense_sign * t.coef;
   }
-
-  // 1. Variables: shift so every internal column lives in [0, ub].
-  for (int j = 0; j < n; ++j) {
-    const double lo = lower[static_cast<std::size_t>(j)];
-    const double hi = upper[static_cast<std::size_t>(j)];
-    if (lo > hi) {
-      sf.trivially_infeasible = true;
-      sf.infeasibility_note = "variable with lower > upper";
-      return sf;
-    }
-    VarMap& vm = sf.var_maps[static_cast<std::size_t>(j)];
-    if (std::isfinite(lo)) {
-      vm.column = static_cast<int>(sf.columns.size());
-      vm.offset = lo;
-      vm.sign = 1.0;
-      sf.columns.emplace_back();
-      sf.upper.push_back(hi - lo);  // may be +inf
-      sf.cost.push_back(model_cost[static_cast<std::size_t>(j)]);
-      sf.objective_shift += model_cost[static_cast<std::size_t>(j)] * lo;
-    } else if (std::isfinite(hi)) {
-      // Only an upper bound: x = hi - x', x' >= 0.
-      vm.column = static_cast<int>(sf.columns.size());
-      vm.offset = hi;
-      vm.sign = -1.0;
-      sf.columns.emplace_back();
-      sf.upper.push_back(kInf);
-      sf.cost.push_back(-model_cost[static_cast<std::size_t>(j)]);
-      sf.objective_shift += model_cost[static_cast<std::size_t>(j)] * hi;
-    } else {
-      // Free: x = x+ - x-.
-      vm.column = static_cast<int>(sf.columns.size());
-      vm.negative_column = vm.column + 1;
-      vm.offset = 0.0;
-      vm.sign = 1.0;
-      sf.columns.emplace_back();
-      sf.columns.emplace_back();
-      sf.upper.push_back(kInf);
-      sf.upper.push_back(kInf);
-      sf.cost.push_back(model_cost[static_cast<std::size_t>(j)]);
-      sf.cost.push_back(-model_cost[static_cast<std::size_t>(j)]);
-    }
-  }
-  const int num_structural = static_cast<int>(sf.columns.size());
-  sf.is_artificial.assign(static_cast<std::size_t>(num_structural), false);
-
-  // 2. Rows: shift rhs, flip >= to <=, drop vacuous rows, detect trivially
-  //    impossible ones.
-  struct PendingRow {
-    std::vector<Term> internal_terms;  // on internal columns
-    bool is_equality = false;
-    double rhs = 0.0;
-    double dual_sign = 1.0;
-    int model_row = 0;
-  };
-  std::vector<PendingRow> pending;
-  sf.row_of_model_row.assign(static_cast<std::size_t>(m), -1);
-  for (int i = 0; i < m; ++i) {
-    const Constraint& row = model.constraint(i);
-    double shift = 0.0;
-    std::vector<Term> internal;
-    internal.reserve(row.terms.size() * 2);
-    for (const Term& t : merge_terms(row.terms)) {
-      const VarMap& vm = sf.var_maps[static_cast<std::size_t>(t.var)];
-      shift += t.coef * vm.offset;
-      internal.push_back(Term{vm.column, t.coef * vm.sign});
-      if (vm.negative_column >= 0) {
-        internal.push_back(Term{vm.negative_column, -t.coef});
+  row_of_model_row.assign(static_cast<std::size_t>(m.num_constraints()), -1);
+  for (int i = 0; i < m.num_constraints(); ++i) {
+    const Constraint& row = m.constraint(i);
+    const std::vector<Term> terms = merge_terms(row.terms);
+    bool empty = true;
+    for (const Term& t : terms) {
+      if (t.coef != 0.0) {
+        empty = false;
+        break;
       }
     }
-    double rhs = row.rhs - shift;
-    Relation rel = row.relation;
-    double dual_sign = 1.0;
-    if (rel == Relation::kGreaterEqual) {
-      for (auto& t : internal) t.coef = -t.coef;
-      rhs = -rhs;
-      rel = Relation::kLessEqual;
-      dual_sign = -1.0;
-    }
-    if (rel == Relation::kLessEqual) {
-      if (rhs == kInf) continue;  // vacuous
-      if (rhs == -kInf) {
-        sf.trivially_infeasible = true;
-        sf.infeasibility_note = "row '" + row.name + "' requires <= -inf";
-        return sf;
-      }
-      if (internal.empty()) {
-        if (0.0 > rhs) {
-          sf.trivially_infeasible = true;
-          sf.infeasibility_note = "empty row '" + row.name + "' is violated";
-          return sf;
+    const double b = row.rhs;
+    bool violated_when_empty = false;
+    switch (row.relation) {
+      case Relation::kLessEqual:
+        if (b == kInf) continue;  // vacuous
+        if (b == -kInf) {
+          trivially_infeasible = true;
+          infeasibility_note = "row '" + row.name + "' requires <= -inf";
+          return;
         }
-        continue;
-      }
-    } else {  // equality
-      if (internal.empty()) {
-        if (std::abs(rhs) > 1e-9) {
-          sf.trivially_infeasible = true;
-          sf.infeasibility_note = "empty row '" + row.name + "' is violated";
-          return sf;
+        violated_when_empty = 0.0 > b;
+        break;
+      case Relation::kGreaterEqual:
+        if (b == -kInf) continue;  // vacuous
+        if (b == kInf) {
+          trivially_infeasible = true;
+          infeasibility_note = "row '" + row.name + "' requires >= +inf";
+          return;
         }
-        continue;
+        violated_when_empty = 0.0 < b;
+        break;
+      case Relation::kEqual:
+        if (!std::isfinite(b)) {
+          trivially_infeasible = true;
+          infeasibility_note = "row '" + row.name + "' requires == +-inf";
+          return;
+        }
+        violated_when_empty = std::abs(b) > 1e-9;
+        break;
+    }
+    if (empty) {
+      if (violated_when_empty) {
+        trivially_infeasible = true;
+        infeasibility_note = "empty row '" + row.name + "' is violated";
+        return;
       }
+      continue;
     }
-    PendingRow pr;
-    pr.internal_terms = std::move(internal);
-    pr.is_equality = (rel == Relation::kEqual);
-    pr.rhs = rhs;
-    pr.dual_sign = dual_sign;
-    pr.model_row = i;
-    pending.push_back(std::move(pr));
-  }
-
-  // 3. Materialize rows: add slacks for inequalities, normalize rhs >= 0,
-  //    add artificials where the slack cannot start basic-feasible.
-  const int rows = static_cast<int>(pending.size());
-  sf.rhs.resize(static_cast<std::size_t>(rows));
-  sf.row_dual_sign.resize(static_cast<std::size_t>(rows));
-  sf.artificial_of_row.resize(static_cast<std::size_t>(rows));
-  auto add_entry = [&sf](int col, int row, double coef) {
-    sf.columns[static_cast<std::size_t>(col)].rows.push_back(row);
-    sf.columns[static_cast<std::size_t>(col)].coefs.push_back(coef);
-  };
-  for (int r = 0; r < rows; ++r) {
-    PendingRow& pr = pending[static_cast<std::size_t>(r)];
-    sf.row_of_model_row[static_cast<std::size_t>(pr.model_row)] = r;
-    // A slack (for <=) keeps its +1 coefficient; if rhs < 0 we flip the whole
-    // row afterwards, making the slack coefficient -1 and unusable as the
-    // initial basic variable, in which case an artificial takes over.
-    int slack_col = -1;
-    if (!pr.is_equality) {
-      slack_col = static_cast<int>(sf.columns.size());
-      sf.columns.emplace_back();
-      sf.upper.push_back(kInf);
-      sf.cost.push_back(0.0);
-      sf.is_artificial.push_back(false);
-      pr.internal_terms.push_back(Term{slack_col, 1.0});
+    const int r = num_rows();
+    row_of_model_row[static_cast<std::size_t>(i)] = r;
+    for (const Term& t : terms) {
+      if (t.coef == 0.0) continue;
+      columns[static_cast<std::size_t>(t.var)].rows.push_back(r);
+      columns[static_cast<std::size_t>(t.var)].coefs.push_back(t.coef);
     }
-    double flip = 1.0;
-    if (pr.rhs < 0.0) flip = -1.0;
-    for (const Term& t : merge_terms(std::move(pr.internal_terms))) {
-      add_entry(t.var, r, flip * t.coef);
-    }
-    sf.rhs[static_cast<std::size_t>(r)] = flip * pr.rhs;
-    sf.row_dual_sign[static_cast<std::size_t>(r)] = pr.dual_sign * flip;
-    const bool slack_usable = (slack_col >= 0 && flip > 0.0);
-    if (slack_usable) {
-      sf.artificial_of_row[static_cast<std::size_t>(r)] = slack_col;
-    } else {
-      const int art = static_cast<int>(sf.columns.size());
-      sf.columns.emplace_back();
-      sf.upper.push_back(kInf);
-      sf.cost.push_back(0.0);
-      sf.is_artificial.push_back(true);
-      add_entry(art, r, 1.0);
-      sf.artificial_of_row[static_cast<std::size_t>(r)] = art;
+    rhs.push_back(b);
+    switch (row.relation) {
+      case Relation::kLessEqual:
+        slack_lower.push_back(0.0);
+        slack_upper.push_back(kInf);
+        break;
+      case Relation::kGreaterEqual:
+        slack_lower.push_back(-kInf);
+        slack_upper.push_back(0.0);
+        break;
+      case Relation::kEqual:
+        slack_lower.push_back(0.0);
+        slack_upper.push_back(0.0);
+        break;
     }
   }
-  return sf;
+  // Slack columns: row r gets internal column num_vars + r with coefficient
+  // +1, making every row an equality. Because slack bounds — not structure —
+  // encode the relation, the whole layout is independent of variable bounds.
+  for (int r = 0; r < num_rows(); ++r) {
+    SparseColumn s;
+    s.rows.push_back(r);
+    s.coefs.push_back(1.0);
+    columns.push_back(std::move(s));
+    cost.push_back(0.0);
+  }
 }
 
-/// Dense working state of the bounded simplex on a StandardForm.
-class Tableau {
+namespace {
+
+/// Maximum slack-basis recoveries from singular factorizations before a
+/// solve gives up with kNumericalError.
+constexpr int kMaxRecoveries = 3;
+
+/// Working state of the revised simplex on one PreparedLp + bound set.
+class RevisedSimplex {
  public:
-  Tableau(const StandardForm& sf, const SimplexOptions& options,
-          SolveContext& ctx)
-      : sf_(sf),
+  RevisedSimplex(const PreparedLp& prep, const SimplexOptions& options,
+                 SolveContext& ctx)
+      : prep_(prep),
         options_(options),
         ctx_(ctx),
-        m_(static_cast<int>(sf.rhs.size())),
-        n_(static_cast<int>(sf.columns.size())),
-        binv_(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_),
-              0.0),
-        basis_(static_cast<std::size_t>(m_)),
-        status_(static_cast<std::size_t>(n_), VarStatus::kAtLower),
+        m_(prep.num_rows()),
+        n_(prep.num_columns()),
+        lower_(static_cast<std::size_t>(n_), 0.0),
+        upper_(static_cast<std::size_t>(n_), 0.0),
+        status_(static_cast<std::size_t>(n_), BasisVarStatus::kAtLower),
         value_(static_cast<std::size_t>(n_), 0.0),
-        upper_(sf.upper) {
-    // Initial basis: the designated slack/artificial of each row; Binv = I.
-    for (int r = 0; r < m_; ++r) {
-      const int col = sf.artificial_of_row[static_cast<std::size_t>(r)];
-      basis_[static_cast<std::size_t>(r)] = col;
-      status_[static_cast<std::size_t>(col)] = VarStatus::kBasic;
-      binv_at(r, r) = 1.0;
-      value_[static_cast<std::size_t>(col)] =
-          sf.rhs[static_cast<std::size_t>(r)];
+        basis_(static_cast<std::size_t>(m_), -1),
+        gamma_(static_cast<std::size_t>(n_), 1.0) {}
+
+  /// Installs per-variable bound overrides (+ the fixed slack bounds) and
+  /// derives the feasibility scale. Returns false when some lower > upper.
+  [[nodiscard]] bool set_bounds(const std::vector<double>& lo,
+                                const std::vector<double>& up) {
+    double scale = 1.0;
+    for (int j = 0; j < prep_.num_vars; ++j) {
+      const double l = lo[static_cast<std::size_t>(j)];
+      const double u = up[static_cast<std::size_t>(j)];
+      if (l > u) return false;
+      lower_[static_cast<std::size_t>(j)] = l;
+      upper_[static_cast<std::size_t>(j)] = u;
+      if (std::isfinite(l)) scale = std::max(scale, std::abs(l));
+      if (std::isfinite(u)) scale = std::max(scale, std::abs(u));
     }
+    for (int r = 0; r < m_; ++r) {
+      lower_[static_cast<std::size_t>(prep_.num_vars + r)] =
+          prep_.slack_lower[static_cast<std::size_t>(r)];
+      upper_[static_cast<std::size_t>(prep_.num_vars + r)] =
+          prep_.slack_upper[static_cast<std::size_t>(r)];
+      scale = std::max(scale, std::abs(prep_.rhs[static_cast<std::size_t>(r)]));
+    }
+    ftol_ = options_.feasibility_tol * scale;
+    return true;
   }
 
-  /// Runs phases 1 and 2. Returns the final status.
-  SolveStatus run() {
-    SolveStatus status = SolveStatus::kOptimal;
-    if (needs_phase1()) {
-      phase1_ = true;
-      status = iterate();
-      phase1_ = false;
-      phase1_iterations_ = iterations_;
-      if (status == SolveStatus::kOptimal) {
-        fire_phase_event(1, iterations_, phase1_objective());
-        // Relative test: rows scale with the data (rhs can be ~1e9).
-        double rhs_scale = 1.0;
-        for (const double b : sf_.rhs) {
-          rhs_scale = std::max(rhs_scale, std::abs(b));
-        }
-        if (phase1_objective() > options_.feasibility_tol * rhs_scale) {
-          return SolveStatus::kInfeasible;
-        }
-        seal_artificials();
-      } else {
-        return status == SolveStatus::kUnbounded ? SolveStatus::kInfeasible
-                                                 : status;
+  /// Runs phases 1 and 2, optionally warm-starting from `warm`.
+  SolveStatus run(const BasisSnapshot* warm) {
+    engine_ = make_basis_factorization(m_, options_.use_dense_fallback,
+                                       options_.pivot_tol);
+    // Small lists win empirically: Devex quality saturates around a few
+    // dozen candidates while re-pricing cost keeps growing with the list.
+    list_size_ = options_.candidate_list_size > 0
+                     ? options_.candidate_list_size
+                     : std::clamp(n_ / 32, 8, 32);
+    bool warm_ok = warm != nullptr && apply_snapshot(*warm);
+    if (!warm_ok) init_slack_basis();
+    if (!refactorize()) {
+      if (warm_ok) {
+        warm_ok = false;
+        init_slack_basis();
       }
+      if (!refactorize()) return SolveStatus::kNumericalError;
     }
-    status = iterate();
-    if (status == SolveStatus::kOptimal) {
-      fire_phase_event(2, iterations_ - phase1_iterations_,
-                       internal_objective());
+    warm_started_ = warm_ok;
+
+    while (true) {
+      restart_phase1_ = false;
+      if (has_infeasible_basic()) {
+        phase1_ = true;
+        const int before = iterations_;
+        const SolveStatus s = iterate();
+        phase1_ = false;
+        if (restart_phase1_) {
+          if (recoveries_ > kMaxRecoveries) return SolveStatus::kNumericalError;
+          continue;
+        }
+        if (s != SolveStatus::kOptimal) {
+          return s == SolveStatus::kUnbounded ? SolveStatus::kInfeasible : s;
+        }
+        fire_phase_event(1, iterations_ - before, total_infeasibility());
+        if (has_infeasible_basic()) return SolveStatus::kInfeasible;
+      }
+      const int before = iterations_;
+      const SolveStatus s = iterate();
+      if (restart_phase1_) {
+        if (recoveries_ > kMaxRecoveries) return SolveStatus::kNumericalError;
+        continue;
+      }
+      if (s == SolveStatus::kOptimal) {
+        fire_phase_event(2, iterations_ - before, internal_objective());
+      }
+      return s;
     }
-    return status;
   }
 
   [[nodiscard]] int iterations() const { return iterations_; }
   [[nodiscard]] int phase1_iterations() const { return phase1_iterations_; }
-  [[nodiscard]] int refactorizations() const { return refactorizations_; }
-  [[nodiscard]] int degenerate_pivots() const { return degenerate_pivots_; }
-
-  /// Objective of the internal minimization (no shift/constant applied).
-  [[nodiscard]] double internal_objective() const {
-    double total = 0.0;
-    for (int j = 0; j < n_; ++j) {
-      total += sf_.cost[static_cast<std::size_t>(j)] *
-               value_[static_cast<std::size_t>(j)];
-    }
-    return total;
+  [[nodiscard]] int refactorizations() const {
+    return static_cast<int>(engine_->counters().refactorizations);
   }
+  [[nodiscard]] int degenerate_pivots() const { return degenerate_pivots_; }
+  [[nodiscard]] const BasisCounters& basis_counters() const {
+    return engine_->counters();
+  }
+  [[nodiscard]] long long candidate_hits() const { return candidate_hits_; }
+  [[nodiscard]] long long full_scans() const { return full_scans_; }
+  [[nodiscard]] bool warm_started() const { return warm_started_; }
 
   [[nodiscard]] double column_value(int col) const {
     return value_[static_cast<std::size_t>(col)];
   }
 
-  /// Row multipliers y = c_B B^-1 for the phase-2 costs.
+  /// Objective of the internal minimization (slack costs are zero).
+  [[nodiscard]] double internal_objective() const {
+    double total = 0.0;
+    for (int j = 0; j < prep_.num_vars; ++j) {
+      total += prep_.cost[static_cast<std::size_t>(j)] *
+               value_[static_cast<std::size_t>(j)];
+    }
+    return total;
+  }
+
+  /// Row multipliers y = c_B B^-T for the phase-2 costs (row-indexed).
   [[nodiscard]] std::vector<double> row_duals() const {
     std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
-    for (int i = 0; i < m_; ++i) {
-      double total = 0.0;
-      for (int k = 0; k < m_; ++k) {
-        total += sf_.cost[static_cast<std::size_t>(
-                     basis_[static_cast<std::size_t>(k)])] *
-                 binv_at_const(k, i);
-      }
-      y[static_cast<std::size_t>(i)] = total;
+    for (int k = 0; k < m_; ++k) {
+      y[static_cast<std::size_t>(k)] =
+          prep_.cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(k)])];
     }
+    engine_->btran(y);
     return y;
+  }
+
+  [[nodiscard]] BasisSnapshot snapshot() const {
+    BasisSnapshot snap;
+    snap.basic_columns = basis_;
+    snap.column_status = status_;
+    return snap;
   }
 
  private:
@@ -336,192 +272,326 @@ class Tableau {
     ctx_.events.on_simplex_phase(event);
   }
 
-  /// Cooperative interruption: the pivot loop calls this every
-  /// `refactor_interval` pivots. Cancellation wins over the deadline.
+  /// All slacks basic, structural columns on their nearest finite bound.
+  void init_slack_basis() {
+    for (int j = 0; j < prep_.num_vars; ++j) {
+      status_[static_cast<std::size_t>(j)] = default_nonbasic_status(j);
+    }
+    for (int r = 0; r < m_; ++r) {
+      const int s = prep_.num_vars + r;
+      basis_[static_cast<std::size_t>(r)] = s;
+      status_[static_cast<std::size_t>(s)] = BasisVarStatus::kBasic;
+    }
+  }
+
+  [[nodiscard]] BasisVarStatus default_nonbasic_status(int j) const {
+    if (std::isfinite(lower_[static_cast<std::size_t>(j)])) {
+      return BasisVarStatus::kAtLower;
+    }
+    if (std::isfinite(upper_[static_cast<std::size_t>(j)])) {
+      return BasisVarStatus::kAtUpper;
+    }
+    return BasisVarStatus::kFree;
+  }
+
+  /// Installs a snapshot, re-clamping nonbasic statuses to the current
+  /// bounds. Returns false when structurally incompatible.
+  [[nodiscard]] bool apply_snapshot(const BasisSnapshot& snap) {
+    if (snap.basic_columns.size() != static_cast<std::size_t>(m_) ||
+        snap.column_status.size() != static_cast<std::size_t>(n_)) {
+      return false;
+    }
+    std::vector<char> in_basis(static_cast<std::size_t>(n_), 0);
+    for (const int c : snap.basic_columns) {
+      if (c < 0 || c >= n_ || in_basis[static_cast<std::size_t>(c)]) {
+        return false;
+      }
+      in_basis[static_cast<std::size_t>(c)] = 1;
+    }
+    basis_ = snap.basic_columns;
+    for (int j = 0; j < n_; ++j) {
+      if (in_basis[static_cast<std::size_t>(j)]) {
+        status_[static_cast<std::size_t>(j)] = BasisVarStatus::kBasic;
+        continue;
+      }
+      const bool lo_ok = std::isfinite(lower_[static_cast<std::size_t>(j)]);
+      const bool up_ok = std::isfinite(upper_[static_cast<std::size_t>(j)]);
+      BasisVarStatus s = snap.column_status[static_cast<std::size_t>(j)];
+      switch (s) {
+        case BasisVarStatus::kAtLower:
+          s = lo_ok ? BasisVarStatus::kAtLower
+                    : (up_ok ? BasisVarStatus::kAtUpper : BasisVarStatus::kFree);
+          break;
+        case BasisVarStatus::kAtUpper:
+          s = up_ok ? BasisVarStatus::kAtUpper
+                    : (lo_ok ? BasisVarStatus::kAtLower : BasisVarStatus::kFree);
+          break;
+        case BasisVarStatus::kBasic:  // stale marker; fall through to default
+        case BasisVarStatus::kFree:
+          s = lo_ok ? BasisVarStatus::kAtLower
+                    : (up_ok ? BasisVarStatus::kAtUpper : BasisVarStatus::kFree);
+          break;
+      }
+      status_[static_cast<std::size_t>(j)] = s;
+    }
+    return true;
+  }
+
+  [[nodiscard]] double nonbasic_resting_value(int j) const {
+    switch (status_[static_cast<std::size_t>(j)]) {
+      case BasisVarStatus::kAtLower: return lower_[static_cast<std::size_t>(j)];
+      case BasisVarStatus::kAtUpper: return upper_[static_cast<std::size_t>(j)];
+      default: return 0.0;  // kFree rests at 0; kBasic never queried
+    }
+  }
+
+  /// x_B = B^-1 (b - sum of nonbasic columns at their resting values).
+  void recompute_values() {
+    work_ = prep_.rhs;
+    for (int j = 0; j < n_; ++j) {
+      if (status_[static_cast<std::size_t>(j)] == BasisVarStatus::kBasic) {
+        continue;
+      }
+      const double v = nonbasic_resting_value(j);
+      value_[static_cast<std::size_t>(j)] = v;
+      if (v == 0.0) continue;
+      const SparseColumn& col = prep_.columns[static_cast<std::size_t>(j)];
+      for (std::size_t e = 0; e < col.rows.size(); ++e) {
+        work_[static_cast<std::size_t>(col.rows[e])] -= col.coefs[e] * v;
+      }
+    }
+    engine_->ftran(work_);
+    for (int k = 0; k < m_; ++k) {
+      value_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(k)])] =
+          work_[static_cast<std::size_t>(k)];
+    }
+  }
+
+  /// Factorizes the current basis and recomputes values. False on singular.
+  [[nodiscard]] bool refactorize() {
+    if (!engine_->factorize(prep_.columns, basis_)) return false;
+    pivots_since_refactor_ = 0;
+    recompute_values();
+    return true;
+  }
+
+  /// Refactorizes; on a singular basis falls back to the slack basis (every
+  /// row owns a +1 slack, so it always factorizes) and flags a phase-1
+  /// restart. Returns false only when the caller must report
+  /// kNumericalError.
+  [[nodiscard]] bool refactorize_or_recover() {
+    if (refactorize()) return true;
+    ++recoveries_;
+    if (recoveries_ > kMaxRecoveries) return false;
+    ET_LOG(kDebug) << "simplex: singular basis, slack-basis recovery #"
+                   << recoveries_;
+    init_slack_basis();
+    if (!refactorize()) return false;
+    candidates_.clear();
+    std::fill(gamma_.begin(), gamma_.end(), 1.0);
+    restart_phase1_ = true;
+    return true;
+  }
+
+  [[nodiscard]] double violation(int col) const {
+    const double xv = value_[static_cast<std::size_t>(col)];
+    const double over = xv - upper_[static_cast<std::size_t>(col)];
+    if (over > 0.0) return over;
+    const double under = lower_[static_cast<std::size_t>(col)] - xv;
+    return under > 0.0 ? under : 0.0;
+  }
+
+  [[nodiscard]] bool has_infeasible_basic() const {
+    for (int k = 0; k < m_; ++k) {
+      if (violation(basis_[static_cast<std::size_t>(k)]) > ftol_) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] double total_infeasibility() const {
+    double total = 0.0;
+    for (int k = 0; k < m_; ++k) {
+      total += violation(basis_[static_cast<std::size_t>(k)]);
+    }
+    return total;
+  }
+
+  /// Phase-1 composite cost of a basic column: the sign pushing it back
+  /// inside its bounds (0 when feasible).
+  [[nodiscard]] double phase1_cost(int col) const {
+    const double xv = value_[static_cast<std::size_t>(col)];
+    if (xv > upper_[static_cast<std::size_t>(col)] + ftol_) return 1.0;
+    if (xv < lower_[static_cast<std::size_t>(col)] - ftol_) return -1.0;
+    return 0.0;
+  }
+
+  /// y = B^-T c_B for the current phase (row-indexed output).
+  void compute_duals(std::vector<double>& y) const {
+    y.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int k = 0; k < m_; ++k) {
+      const int b = basis_[static_cast<std::size_t>(k)];
+      y[static_cast<std::size_t>(k)] =
+          phase1_ ? phase1_cost(b) : prep_.cost[static_cast<std::size_t>(b)];
+    }
+    engine_->btran(y);
+  }
+
+  [[nodiscard]] double reduced_cost(int j, const std::vector<double>& y) const {
+    // Nonbasic columns rest inside their bounds, so their phase-1 cost is 0.
+    double d = phase1_ ? 0.0 : prep_.cost[static_cast<std::size_t>(j)];
+    const SparseColumn& col = prep_.columns[static_cast<std::size_t>(j)];
+    for (std::size_t e = 0; e < col.rows.size(); ++e) {
+      d -= y[static_cast<std::size_t>(col.rows[e])] * col.coefs[e];
+    }
+    return d;
+  }
+
+  /// Direction the column may profitably move in (+1 up from lower, -1 down
+  /// from upper, 0 not attractive) under tolerance `tol`.
+  [[nodiscard]] double attractive_dir(int j, double d, double tol) const {
+    switch (status_[static_cast<std::size_t>(j)]) {
+      case BasisVarStatus::kAtLower:
+        return (d < -tol &&
+                upper_[static_cast<std::size_t>(j)] >
+                    lower_[static_cast<std::size_t>(j)])
+                   ? 1.0
+                   : 0.0;
+      case BasisVarStatus::kAtUpper:
+        return (d > tol &&
+                upper_[static_cast<std::size_t>(j)] >
+                    lower_[static_cast<std::size_t>(j)])
+                   ? -1.0
+                   : 0.0;
+      case BasisVarStatus::kFree:
+        if (d < -tol) return 1.0;
+        if (d > tol) return -1.0;
+        return 0.0;
+      case BasisVarStatus::kBasic: return 0.0;
+    }
+    return 0.0;
+  }
+
+  /// Full scan: Bland (lowest attractive index) or Dantzig (largest |d|).
+  void price_full_scan(const std::vector<double>& y, bool bland, double tol,
+                       int& entering, double& entering_dir) const {
+    entering = -1;
+    entering_dir = 0.0;
+    double best_score = 0.0;
+    for (int j = 0; j < n_; ++j) {
+      if (status_[static_cast<std::size_t>(j)] == BasisVarStatus::kBasic) {
+        continue;
+      }
+      const double d = reduced_cost(j, y);
+      const double dir = attractive_dir(j, d, tol);
+      if (dir == 0.0) continue;
+      if (bland) {
+        entering = j;
+        entering_dir = dir;
+        return;
+      }
+      const double score = std::abs(d);
+      if (score > best_score) {
+        best_score = score;
+        entering = j;
+        entering_dir = dir;
+      }
+    }
+  }
+
+  /// Re-prices the candidate list with fresh reduced costs, dropping stale
+  /// entries, and picks the best Devex score d^2 / gamma.
+  void price_candidates(const std::vector<double>& y, int& entering,
+                        double& entering_dir) {
+    entering = -1;
+    entering_dir = 0.0;
+    double best_score = 0.0;
+    std::size_t keep = 0;
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+      const int j = candidates_[c];
+      if (status_[static_cast<std::size_t>(j)] == BasisVarStatus::kBasic) {
+        continue;
+      }
+      const double d = reduced_cost(j, y);
+      const double dir = attractive_dir(j, d, options_.optimality_tol);
+      if (dir == 0.0) continue;
+      candidates_[keep++] = j;
+      const double score = d * d / gamma_[static_cast<std::size_t>(j)];
+      if (score > best_score) {
+        best_score = score;
+        entering = j;
+        entering_dir = dir;
+      }
+    }
+    candidates_.resize(keep);
+  }
+
+  /// Refills the candidate list scanning from the rotating cursor; stops
+  /// once full or after a complete sweep (the latter is the full scan that
+  /// licenses an optimality claim).
+  void rebuild_candidates(const std::vector<double>& y) {
+    candidates_.clear();
+    int scanned = 0;
+    for (; scanned < n_; ++scanned) {
+      const int j = cursor_;
+      cursor_ = cursor_ + 1 == n_ ? 0 : cursor_ + 1;
+      if (status_[static_cast<std::size_t>(j)] == BasisVarStatus::kBasic) {
+        continue;
+      }
+      const double d = reduced_cost(j, y);
+      if (attractive_dir(j, d, options_.optimality_tol) == 0.0) continue;
+      candidates_.push_back(j);
+      if (static_cast<int>(candidates_.size()) >= list_size_) break;
+    }
+  }
+
+  /// Devex-style reference weight update after pivoting `entering` into
+  /// position `r` (w = B^-1 a_entering before the basis changed). Expects
+  /// rho_ = B^-T e_r for the pre-pivot basis, computed by the caller (the
+  /// same vector drives the incremental dual update).
+  void devex_update(int entering, int leaving, int r,
+                    const std::vector<double>& w) {
+    const double alpha_q = w[static_cast<std::size_t>(r)];
+    if (alpha_q == 0.0) return;
+    const double gq = gamma_[static_cast<std::size_t>(entering)];
+    double max_gamma = 0.0;
+    for (const int j : candidates_) {
+      if (j == entering) continue;
+      const SparseColumn& col = prep_.columns[static_cast<std::size_t>(j)];
+      double alpha = 0.0;
+      for (std::size_t e = 0; e < col.rows.size(); ++e) {
+        alpha += rho_[static_cast<std::size_t>(col.rows[e])] * col.coefs[e];
+      }
+      const double ratio = alpha / alpha_q;
+      double& g = gamma_[static_cast<std::size_t>(j)];
+      g = std::max(g, ratio * ratio * gq);
+      max_gamma = std::max(max_gamma, g);
+    }
+    gamma_[static_cast<std::size_t>(leaving)] =
+        std::max(gq / (alpha_q * alpha_q), 1.0);
+    if (max_gamma > 1e7) std::fill(gamma_.begin(), gamma_.end(), 1.0);
+  }
+
+  /// Cooperative interruption: cancellation wins over the deadline.
   [[nodiscard]] SolveStatus interruption_status() const {
     if (ctx_.cancelled()) return SolveStatus::kCancelled;
     if (ctx_.deadline().expired()) return SolveStatus::kTimeLimit;
     return SolveStatus::kOptimal;  // sentinel: keep going
   }
 
-  [[nodiscard]] double& binv_at(int r, int c) {
-    return binv_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_) +
-                 static_cast<std::size_t>(c)];
-  }
-  [[nodiscard]] double binv_at_const(int r, int c) const {
-    return binv_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_) +
-                 static_cast<std::size_t>(c)];
-  }
-
-  [[nodiscard]] bool needs_phase1() const {
-    for (int r = 0; r < m_; ++r) {
-      if (sf_.is_artificial[static_cast<std::size_t>(
-              sf_.artificial_of_row[static_cast<std::size_t>(r)])]) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  [[nodiscard]] double cost_of(int col) const {
-    if (phase1_) {
-      return sf_.is_artificial[static_cast<std::size_t>(col)] ? 1.0 : 0.0;
-    }
-    return sf_.cost[static_cast<std::size_t>(col)];
-  }
-
-  [[nodiscard]] double phase1_objective() const {
-    double total = 0.0;
-    for (int j = 0; j < n_; ++j) {
-      if (sf_.is_artificial[static_cast<std::size_t>(j)]) {
-        total += value_[static_cast<std::size_t>(j)];
-      }
-    }
-    return total;
-  }
-
-  /// After phase 1, pin artificials at zero so they can never re-enter.
-  void seal_artificials() {
-    for (int j = 0; j < n_; ++j) {
-      if (sf_.is_artificial[static_cast<std::size_t>(j)]) {
-        upper_[static_cast<std::size_t>(j)] = 0.0;
-      }
-    }
-  }
-
-  /// y = (phase costs of basis) * Binv.
-  void compute_duals(std::vector<double>& y) const {
-    y.assign(static_cast<std::size_t>(m_), 0.0);
-    for (int k = 0; k < m_; ++k) {
-      const double ck = cost_of(basis_[static_cast<std::size_t>(k)]);
-      if (ck == 0.0) continue;
-      const double* row = &binv_[static_cast<std::size_t>(k) *
-                                 static_cast<std::size_t>(m_)];
-      for (int i = 0; i < m_; ++i) y[static_cast<std::size_t>(i)] += ck * row[i];
-    }
-  }
-
-  [[nodiscard]] double reduced_cost(int j, const std::vector<double>& y) const {
-    double d = cost_of(j);
-    const SparseColumn& col = sf_.columns[static_cast<std::size_t>(j)];
-    for (std::size_t k = 0; k < col.rows.size(); ++k) {
-      d -= y[static_cast<std::size_t>(col.rows[k])] * col.coefs[k];
-    }
-    return d;
-  }
-
-  /// w = Binv * A_j.
-  void compute_direction(int j, std::vector<double>& w) const {
-    w.assign(static_cast<std::size_t>(m_), 0.0);
-    const SparseColumn& col = sf_.columns[static_cast<std::size_t>(j)];
-    for (std::size_t k = 0; k < col.rows.size(); ++k) {
-      const int r = col.rows[k];
-      const double a = col.coefs[k];
-      for (int i = 0; i < m_; ++i) {
-        w[static_cast<std::size_t>(i)] += binv_at_const(i, r) * a;
-      }
-    }
-  }
-
-  /// Rebuilds Binv from the basis by Gauss-Jordan and recomputes basic values.
-  /// Returns false if the basis matrix is numerically singular.
-  bool refactorize() {
-    ++refactorizations_;
-    // Build dense B.
-    std::vector<double> b_mat(
-        static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_), 0.0);
-    for (int k = 0; k < m_; ++k) {
-      const SparseColumn& col =
-          sf_.columns[static_cast<std::size_t>(basis_[static_cast<std::size_t>(k)])];
-      for (std::size_t e = 0; e < col.rows.size(); ++e) {
-        b_mat[static_cast<std::size_t>(col.rows[e]) *
-                  static_cast<std::size_t>(m_) +
-              static_cast<std::size_t>(k)] = col.coefs[e];
-      }
-    }
-    // Gauss-Jordan inversion with partial pivoting.
-    std::vector<double> inv(
-        static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_), 0.0);
-    for (int i = 0; i < m_; ++i) {
-      inv[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) +
-          static_cast<std::size_t>(i)] = 1.0;
-    }
-    auto at = [this](std::vector<double>& mat, int r, int c) -> double& {
-      return mat[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_) +
-                 static_cast<std::size_t>(c)];
-    };
-    for (int col = 0; col < m_; ++col) {
-      int piv = col;
-      double best = std::abs(at(b_mat, col, col));
-      for (int r = col + 1; r < m_; ++r) {
-        const double candidate = std::abs(at(b_mat, r, col));
-        if (candidate > best) {
-          best = candidate;
-          piv = r;
-        }
-      }
-      if (best < options_.pivot_tol) return false;
-      if (piv != col) {
-        for (int c = 0; c < m_; ++c) {
-          std::swap(at(b_mat, piv, c), at(b_mat, col, c));
-          std::swap(at(inv, piv, c), at(inv, col, c));
-        }
-      }
-      const double scale = 1.0 / at(b_mat, col, col);
-      for (int c = 0; c < m_; ++c) {
-        at(b_mat, col, c) *= scale;
-        at(inv, col, c) *= scale;
-      }
-      for (int r = 0; r < m_; ++r) {
-        if (r == col) continue;
-        const double factor = at(b_mat, r, col);
-        if (factor == 0.0) continue;
-        for (int c = 0; c < m_; ++c) {
-          at(b_mat, r, c) -= factor * at(b_mat, col, c);
-          at(inv, r, c) -= factor * at(inv, col, c);
-        }
-      }
-    }
-    binv_ = std::move(inv);
-    recompute_basic_values();
-    return true;
-  }
-
-  /// x_B = Binv * (b - sum over nonbasic-at-upper columns of A_j * u_j).
-  void recompute_basic_values() {
-    std::vector<double> residual = sf_.rhs;
-    for (int j = 0; j < n_; ++j) {
-      if (status_[static_cast<std::size_t>(j)] != VarStatus::kAtUpper) continue;
-      const double v = upper_[static_cast<std::size_t>(j)];
-      value_[static_cast<std::size_t>(j)] = v;
-      if (v == 0.0) continue;
-      const SparseColumn& col = sf_.columns[static_cast<std::size_t>(j)];
-      for (std::size_t e = 0; e < col.rows.size(); ++e) {
-        residual[static_cast<std::size_t>(col.rows[e])] -= col.coefs[e] * v;
-      }
-    }
-    for (int j = 0; j < n_; ++j) {
-      if (status_[static_cast<std::size_t>(j)] == VarStatus::kAtLower) {
-        value_[static_cast<std::size_t>(j)] = 0.0;
-      }
-    }
-    for (int k = 0; k < m_; ++k) {
-      double total = 0.0;
-      for (int i = 0; i < m_; ++i) {
-        total += binv_at_const(k, i) * residual[static_cast<std::size_t>(i)];
-      }
-      value_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(k)])] =
-          total;
-    }
-  }
-
-  /// Main simplex loop for the current phase.
+  /// Main pivot loop for the current phase. kOptimal means "no improving
+  /// direction for this phase's objective" (run() interprets it); a
+  /// restart_phase1_ flag set underneath also returns kOptimal so run() can
+  /// re-enter phase 1 after a slack-basis recovery.
   SolveStatus iterate() {
-    std::vector<double> y;
-    std::vector<double> w;
+    std::fill(gamma_.begin(), gamma_.end(), 1.0);  // fresh Devex reference
+    candidates_.clear();
     int degenerate_run = 0;
     bool use_bland = false;
-    int pivots_since_refactor = 0;
+    // In phase 2 under Devex pricing the duals are maintained
+    // incrementally across pivots (one O(m) axpy per pivot instead of a
+    // btran); this flag marks y_ stale after any event that breaks the
+    // incremental chain (refactorization, bound flips in phase 1, Bland).
+    bool duals_valid = false;
     int pivots_since_poll = options_.refactor_interval;  // poll on entry
     while (true) {
       if (iterations_ >= options_.max_iterations) {
@@ -536,89 +606,101 @@ class Tableau {
         if (interrupted != SolveStatus::kOptimal) return interrupted;
       }
       ++pivots_since_poll;
-      compute_duals(y);
-      // Pricing.
-      int entering = -1;
-      double best_score = options_.optimality_tol;
-      double entering_dir = 0.0;
-      for (int j = 0; j < n_; ++j) {
-        const VarStatus st = status_[static_cast<std::size_t>(j)];
-        if (st == VarStatus::kBasic) continue;
-        if (upper_[static_cast<std::size_t>(j)] <= 0.0) continue;  // fixed
-        const double d = reduced_cost(j, y);
-        double score = 0.0;
-        double dir = 0.0;
-        if (st == VarStatus::kAtLower && d < -options_.optimality_tol) {
-          score = -d;
-          dir = 1.0;
-        } else if (st == VarStatus::kAtUpper && d > options_.optimality_tol) {
-          score = d;
-          dir = -1.0;
-        } else {
-          continue;
-        }
-        if (use_bland) {
-          entering = j;
-          entering_dir = dir;
-          break;
-        }
-        if (score > best_score) {
-          best_score = score;
-          entering = j;
-          entering_dir = dir;
-        }
-      }
-      if (entering < 0) {
-        // Verify against drift: refactorize once and re-price.
-        if (pivots_since_refactor > 0) {
-          if (!refactorize()) return SolveStatus::kIterationLimit;
-          pivots_since_refactor = 0;
-          compute_duals(y);
-          bool still_optimal = true;
-          for (int j = 0; j < n_ && still_optimal; ++j) {
-            const VarStatus st = status_[static_cast<std::size_t>(j)];
-            if (st == VarStatus::kBasic) continue;
-            if (upper_[static_cast<std::size_t>(j)] <= 0.0) continue;
-            const double d = reduced_cost(j, y);
-            if ((st == VarStatus::kAtLower &&
-                 d < -10 * options_.optimality_tol) ||
-                (st == VarStatus::kAtUpper &&
-                 d > 10 * options_.optimality_tol)) {
-              still_optimal = false;
-            }
-          }
-          if (still_optimal) return SolveStatus::kOptimal;
-          continue;  // re-enter loop with fresh factorization
-        }
-        return SolveStatus::kOptimal;
+      if (phase1_ && !has_infeasible_basic()) return SolveStatus::kOptimal;
+
+      const bool full_scan_mode =
+          use_bland || options_.pricing == PricingRule::kDantzig;
+      // Phase-1 costs change as basics regain feasibility and Bland needs
+      // exact signs, so both recompute duals from scratch every iteration.
+      if (!duals_valid || phase1_ || full_scan_mode) {
+        compute_duals(y_);
+        duals_valid = true;
       }
 
-      compute_direction(entering, w);
+      int entering = -1;
+      double entering_dir = 0.0;
+      if (full_scan_mode) {
+        price_full_scan(y_, use_bland, options_.optimality_tol, entering,
+                        entering_dir);
+        ++full_scans_;
+      } else {
+        price_candidates(y_, entering, entering_dir);
+        if (entering >= 0) {
+          ++candidate_hits_;
+        } else {
+          rebuild_candidates(y_);
+          ++full_scans_;
+          price_candidates(y_, entering, entering_dir);
+        }
+      }
+
+      if (entering < 0) {
+        // No attractive column. Guard the optimality claim against drift:
+        // refactorize and re-scan (with a relaxed tolerance) once.
+        if (pivots_since_refactor_ > 0) {
+          if (!refactorize_or_recover()) return SolveStatus::kNumericalError;
+          if (restart_phase1_) return SolveStatus::kOptimal;
+          compute_duals(y_);
+          price_full_scan(y_, false, 10 * options_.optimality_tol, entering,
+                          entering_dir);
+          ++full_scans_;
+          if (entering < 0) return SolveStatus::kOptimal;
+        } else {
+          return SolveStatus::kOptimal;
+        }
+      }
+
+      // Reduced cost of the entering column under the current duals; feeds
+      // the incremental dual update after the pivot.
+      const double d_entering = reduced_cost(entering, y_);
+
+      // Direction w = B^-1 a_entering (basis-position-indexed).
+      w_.assign(static_cast<std::size_t>(m_), 0.0);
+      const SparseColumn& acol =
+          prep_.columns[static_cast<std::size_t>(entering)];
+      for (std::size_t e = 0; e < acol.rows.size(); ++e) {
+        w_[static_cast<std::size_t>(acol.rows[e])] = acol.coefs[e];
+      }
+      engine_->ftran(w_);
+
       // Ratio test. The entering variable moves by t in direction
-      // entering_dir; basic k changes by -t * entering_dir * w[k].
-      double t_max = upper_[static_cast<std::size_t>(entering)];  // bound flip
+      // entering_dir; basic k changes by -t * entering_dir * w[k]. In phase
+      // 1, infeasible basics additionally break at their violated bound
+      // (where they turn feasible and the cost gradient changes).
+      double t_max = upper_[static_cast<std::size_t>(entering)] -
+                     lower_[static_cast<std::size_t>(entering)];  // bound flip
       int leaving_row = -1;
-      VarStatus leaving_status = VarStatus::kAtLower;
+      BasisVarStatus leaving_status = BasisVarStatus::kAtLower;
       for (int k = 0; k < m_; ++k) {
-        const double delta = -entering_dir * w[static_cast<std::size_t>(k)];
+        const double delta =
+            -entering_dir * w_[static_cast<std::size_t>(k)];
         if (std::abs(delta) < options_.pivot_tol) continue;
         const int basic = basis_[static_cast<std::size_t>(k)];
         const double xv = value_[static_cast<std::size_t>(basic)];
+        const double lo = lower_[static_cast<std::size_t>(basic)];
+        const double up = upper_[static_cast<std::size_t>(basic)];
         double limit;
-        VarStatus hit;
-        if (delta < 0.0) {
-          limit = xv / (-delta);  // falls to lower bound 0
-          hit = VarStatus::kAtLower;
+        BasisVarStatus hit;
+        if (phase1_ && xv < lo - ftol_) {
+          if (delta <= 0.0) continue;  // moving further below: no breakpoint
+          limit = (lo - xv) / delta;
+          hit = BasisVarStatus::kAtLower;
+        } else if (phase1_ && xv > up + ftol_) {
+          if (delta >= 0.0) continue;  // moving further above: no breakpoint
+          limit = (xv - up) / (-delta);
+          hit = BasisVarStatus::kAtUpper;
+        } else if (delta < 0.0) {
+          if (!std::isfinite(lo)) continue;
+          limit = (xv - lo) / (-delta);
+          hit = BasisVarStatus::kAtLower;
         } else {
-          const double ub = upper_[static_cast<std::size_t>(basic)];
-          if (!std::isfinite(ub)) continue;
-          limit = (ub - xv) / delta;  // rises to upper bound
-          hit = VarStatus::kAtUpper;
+          if (!std::isfinite(up)) continue;
+          limit = (up - xv) / delta;
+          hit = BasisVarStatus::kAtUpper;
         }
-        if (limit < -1e-9) limit = 0.0;  // numerical noise
-        if (limit < t_max - 1e-12 ||
-            (leaving_row < 0 && limit <= t_max)) {
-          t_max = std::max(limit, 0.0);
+        if (limit < 0.0) limit = 0.0;  // numerical noise
+        if (limit < t_max - 1e-12 || (leaving_row < 0 && limit <= t_max)) {
+          t_max = limit;
           leaving_row = k;
           leaving_status = hit;
         }
@@ -628,6 +710,7 @@ class Tableau {
       }
 
       ++iterations_;
+      if (phase1_) ++phase1_iterations_;
       if (t_max < 1e-10) {
         ++degenerate_run;
         ++degenerate_pivots_;
@@ -638,74 +721,102 @@ class Tableau {
       }
 
       // Apply the step to all basic values and the entering variable.
-      for (int k = 0; k < m_; ++k) {
-        const int basic = basis_[static_cast<std::size_t>(k)];
-        value_[static_cast<std::size_t>(basic)] -=
-            t_max * entering_dir * w[static_cast<std::size_t>(k)];
+      const double step = t_max * entering_dir;
+      if (step != 0.0) {
+        for (int k = 0; k < m_; ++k) {
+          value_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(k)])] -=
+              step * w_[static_cast<std::size_t>(k)];
+        }
       }
-      value_[static_cast<std::size_t>(entering)] +=
-          t_max * entering_dir;
+      value_[static_cast<std::size_t>(entering)] += step;
 
       if (leaving_row < 0) {
-        // Pure bound flip; basis unchanged.
-        status_[static_cast<std::size_t>(entering)] =
-            entering_dir > 0 ? VarStatus::kAtUpper : VarStatus::kAtLower;
+        // Pure bound flip; basis unchanged. Snap exactly onto the bound.
+        if (entering_dir > 0) {
+          status_[static_cast<std::size_t>(entering)] = BasisVarStatus::kAtUpper;
+          value_[static_cast<std::size_t>(entering)] =
+              upper_[static_cast<std::size_t>(entering)];
+        } else {
+          status_[static_cast<std::size_t>(entering)] = BasisVarStatus::kAtLower;
+          value_[static_cast<std::size_t>(entering)] =
+              lower_[static_cast<std::size_t>(entering)];
+        }
         continue;
       }
 
       // Pivot: `entering` replaces the basic variable of `leaving_row`.
       const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
       status_[static_cast<std::size_t>(leaving)] = leaving_status;
-      // Snap the leaving variable exactly onto its bound.
       value_[static_cast<std::size_t>(leaving)] =
-          leaving_status == VarStatus::kAtLower
-              ? 0.0
+          leaving_status == BasisVarStatus::kAtLower
+              ? lower_[static_cast<std::size_t>(leaving)]
               : upper_[static_cast<std::size_t>(leaving)];
-      status_[static_cast<std::size_t>(entering)] = VarStatus::kBasic;
+      status_[static_cast<std::size_t>(entering)] = BasisVarStatus::kBasic;
       basis_[static_cast<std::size_t>(leaving_row)] = entering;
 
-      const double pivot = w[static_cast<std::size_t>(leaving_row)];
-      if (std::abs(pivot) < options_.pivot_tol) {
-        // Numerically unsafe pivot: rebuild and retry.
-        if (!refactorize()) return SolveStatus::kIterationLimit;
-        pivots_since_refactor = 0;
-        continue;
+      // One btran of e_r (against the pre-pivot factorization) serves both
+      // the Devex weight update and the dual update
+      //   y' = y + (d_entering / alpha_q) * B^-T e_r,
+      // which keeps y_ consistent with the new basis without the per-pivot
+      // btran of c_B.
+      const double pivot = w_[static_cast<std::size_t>(leaving_row)];
+      const bool need_devex = !full_scan_mode && !candidates_.empty();
+      const bool update_duals = !phase1_ && !full_scan_mode &&
+                                std::abs(pivot) >= options_.pivot_tol;
+      if (need_devex || update_duals) {
+        rho_.assign(static_cast<std::size_t>(m_), 0.0);
+        rho_[static_cast<std::size_t>(leaving_row)] = 1.0;
+        engine_->btran(rho_);  // row r of B^-1, row-indexed
       }
-      // Binv update: row ops making column w into the unit vector e_r.
-      double* pivot_row = &binv_[static_cast<std::size_t>(leaving_row) *
-                                 static_cast<std::size_t>(m_)];
-      const double inv_pivot = 1.0 / pivot;
-      for (int c = 0; c < m_; ++c) pivot_row[c] *= inv_pivot;
-      for (int r = 0; r < m_; ++r) {
-        if (r == leaving_row) continue;
-        const double factor = w[static_cast<std::size_t>(r)];
-        if (factor == 0.0) continue;
-        double* row = &binv_[static_cast<std::size_t>(r) *
-                             static_cast<std::size_t>(m_)];
-        for (int c = 0; c < m_; ++c) row[c] -= factor * pivot_row[c];
+      if (update_duals) {
+        const double mult = d_entering / pivot;
+        for (int i = 0; i < m_; ++i) {
+          y_[static_cast<std::size_t>(i)] +=
+              mult * rho_[static_cast<std::size_t>(i)];
+        }
+      } else {
+        duals_valid = false;
       }
-      if (++pivots_since_refactor >= options_.refactor_interval) {
-        if (!refactorize()) return SolveStatus::kIterationLimit;
-        pivots_since_refactor = 0;
+      if (need_devex) devex_update(entering, leaving, leaving_row, w_);
+
+      const bool updated = std::abs(pivot) >= options_.pivot_tol &&
+                           engine_->update(w_, leaving_row);
+      if (!updated || ++pivots_since_refactor_ >= options_.refactor_interval ||
+          engine_->should_refactorize()) {
+        if (!refactorize_or_recover()) return SolveStatus::kNumericalError;
+        duals_valid = false;  // refresh duals from the new factorization
+        if (restart_phase1_) return SolveStatus::kOptimal;
       }
     }
   }
 
-  const StandardForm& sf_;
+  const PreparedLp& prep_;
   const SimplexOptions& options_;
   SolveContext& ctx_;
   int m_;
   int n_;
-  std::vector<double> binv_;
-  std::vector<int> basis_;
-  std::vector<VarStatus> status_;
+  std::vector<double> lower_, upper_;
+  std::vector<BasisVarStatus> status_;
   std::vector<double> value_;
-  std::vector<double> upper_;
+  std::vector<int> basis_;
+  std::vector<double> gamma_;       // Devex reference weights
+  std::vector<int> candidates_;     // partial-pricing candidate list
+  std::unique_ptr<BasisFactorization> engine_;
+  int cursor_ = 0;
+  int list_size_ = 8;
+  double ftol_ = 1e-7;
   bool phase1_ = false;
+  bool restart_phase1_ = false;
+  bool warm_started_ = false;
   int iterations_ = 0;
   int phase1_iterations_ = 0;
-  int refactorizations_ = 0;
   int degenerate_pivots_ = 0;
+  int pivots_since_refactor_ = 0;
+  int recoveries_ = 0;
+  long long candidate_hits_ = 0;
+  long long full_scans_ = 0;
+  // Scratch vectors reused across iterations.
+  std::vector<double> y_, w_, rho_, work_;
 };
 
 }  // namespace
@@ -726,58 +837,72 @@ LpSolution SimplexSolver::solve(const Model& model,
                                 const std::vector<double>& lower,
                                 const std::vector<double>& upper,
                                 SolveContext& ctx) const {
-  model.validate();
-  if (lower.size() != static_cast<std::size_t>(model.num_variables()) ||
-      upper.size() != static_cast<std::size_t>(model.num_variables())) {
+  const PreparedLp prep(model);
+  return solve(prep, lower, upper, ctx);
+}
+
+LpSolution SimplexSolver::solve(const PreparedLp& prep,
+                                const std::vector<double>& lower,
+                                const std::vector<double>& upper,
+                                SolveContext& ctx,
+                                const BasisSnapshot* warm) const {
+  const Model& model = *prep.model;
+  if (lower.size() != static_cast<std::size_t>(prep.num_vars) ||
+      upper.size() != static_cast<std::size_t>(prep.num_vars)) {
     throw InvalidInputError("solve: bound override size mismatch");
   }
   SolveScope scope(ctx, "simplex");
   scope.stats().add("calls", 1.0);
   LpSolution solution;
-  const StandardForm sf = build_standard_form(model, lower, upper);
-  if (sf.trivially_infeasible) {
+  if (prep.trivially_infeasible) {
     solution.status = SolveStatus::kInfeasible;
     ET_LOG(kDebug) << "simplex: trivially infeasible ("
-                   << sf.infeasibility_note << ")";
+                   << prep.infeasibility_note << ")";
     return solution;
   }
 
-  Tableau tableau(sf, options_, ctx);
-  const SolveStatus status = tableau.run();
+  RevisedSimplex core(prep, options_, ctx);
+  if (!core.set_bounds(lower, upper)) {
+    solution.status = SolveStatus::kInfeasible;
+    ET_LOG(kDebug) << "simplex: trivially infeasible (lower > upper)";
+    return solution;
+  }
+  const SolveStatus status = core.run(warm);
   solution.status = status;
-  solution.iterations = tableau.iterations();
-  solution.phase1_iterations = tableau.phase1_iterations();
-  solution.refactorizations = tableau.refactorizations();
-  solution.degenerate_pivots = tableau.degenerate_pivots();
+  solution.iterations = core.iterations();
+  solution.phase1_iterations = core.phase1_iterations();
+  solution.refactorizations = core.refactorizations();
+  solution.degenerate_pivots = core.degenerate_pivots();
+  solution.warm_started = core.warm_started();
+  const BasisCounters& bc = core.basis_counters();
   SolveStats& stats = scope.stats();
   stats.add("pivots", solution.iterations);
   stats.add("phase1_pivots", solution.phase1_iterations);
   stats.add("refactorizations", solution.refactorizations);
   stats.add("degenerate_pivots", solution.degenerate_pivots);
+  stats.add("etas", static_cast<double>(bc.etas));
+  stats.add("eta_entries", static_cast<double>(bc.eta_entries));
+  stats.add("pricing_candidate_hits", static_cast<double>(core.candidate_hits()));
+  stats.add("pricing_full_scans", static_cast<double>(core.full_scans()));
+  stats.add("warm_starts", core.warm_started() ? 1.0 : 0.0);
   if (status != SolveStatus::kOptimal) return solution;
 
-  const double sense_sign = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
-  solution.values.resize(static_cast<std::size_t>(model.num_variables()));
-  for (int j = 0; j < model.num_variables(); ++j) {
-    const VarMap& vm = sf.var_maps[static_cast<std::size_t>(j)];
-    double v = vm.offset + vm.sign * tableau.column_value(vm.column);
-    if (vm.negative_column >= 0) {
-      v -= tableau.column_value(vm.negative_column);
-    }
-    solution.values[static_cast<std::size_t>(j)] = v;
+  solution.values.resize(static_cast<std::size_t>(prep.num_vars));
+  for (int j = 0; j < prep.num_vars; ++j) {
+    solution.values[static_cast<std::size_t>(j)] = core.column_value(j);
   }
   solution.objective = model.evaluate_objective(solution.values);
 
-  const std::vector<double> y = tableau.row_duals();
+  const std::vector<double> y = core.row_duals();
   solution.duals.assign(static_cast<std::size_t>(model.num_constraints()),
                         0.0);
   for (int i = 0; i < model.num_constraints(); ++i) {
-    const int r = sf.row_of_model_row[static_cast<std::size_t>(i)];
+    const int r = prep.row_of_model_row[static_cast<std::size_t>(i)];
     if (r < 0) continue;
     solution.duals[static_cast<std::size_t>(i)] =
-        sense_sign * sf.row_dual_sign[static_cast<std::size_t>(r)] *
-        y[static_cast<std::size_t>(r)];
+        prep.sense_sign * y[static_cast<std::size_t>(r)];
   }
+  solution.basis = std::make_shared<BasisSnapshot>(core.snapshot());
   return solution;
 }
 

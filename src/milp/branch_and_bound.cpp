@@ -25,10 +25,13 @@ constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 constexpr std::size_t kMaxTracePoints = 4096;
 
 /// One open node: a set of tightened variable bounds plus the parent's
-/// relaxation value used for best-first ordering.
+/// relaxation value used for best-first ordering and the parent's optimal
+/// basis used to warm-start this node's LP (shared, not copied, between
+/// siblings).
 struct Node {
   std::vector<double> lower;
   std::vector<double> upper;
+  std::shared_ptr<const lp::BasisSnapshot> parent_basis;
   double parent_bound = 0.0;
   int depth = 0;
 };
@@ -159,6 +162,18 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
   const double sense_sign = model.sense() == lp::Sense::kMinimize ? 1.0 : -1.0;
   // Internally everything is a minimization of sense_sign * objective.
   const SimplexSolver lp_solver(options_.lp_options);
+  // The standard form is bounds-independent: build it once and share it
+  // across the root, the dive, and every node (only bounds change per node).
+  const lp::PreparedLp prep(model);
+  long long warm_started_nodes = 0;
+  const auto solve_node = [&](const std::vector<double>& lower,
+                              const std::vector<double>& upper,
+                              const lp::BasisSnapshot* warm) {
+    LpSolution lp = lp_solver.solve(
+        prep, lower, upper, ctx, options_.warm_start_nodes ? warm : nullptr);
+    if (lp.warm_started) ++warm_started_nodes;
+    return lp;
+  };
 
   MilpSolution result;
   const int n = model.num_variables();
@@ -241,7 +256,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
           std::round(current.values[static_cast<std::size_t>(j)]);
       lower[static_cast<std::size_t>(j)] = fixed;
       upper[static_cast<std::size_t>(j)] = fixed;
-      current = lp_solver.solve(model, lower, upper, ctx);
+      current = solve_node(lower, upper, current.basis.get());
       result.lp_iterations += current.iterations;
       if (current.status != SolveStatus::kOptimal) return;
       if (have_incumbent && sense_sign * current.objective >= incumbent) {
@@ -254,7 +269,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
   LpSolution root;
   {
     SolveScope root_scope(ctx, "root_lp");
-    root = lp_solver.solve(model, root_lower, root_upper, ctx);
+    root = solve_node(root_lower, root_upper, nullptr);
   }
   result.lp_iterations += root.iterations;
   ++result.nodes;
@@ -266,6 +281,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
       result.status = MilpStatus::kUnbounded;
       return result;
     case SolveStatus::kIterationLimit:
+    case SolveStatus::kNumericalError:
       result.status = MilpStatus::kNoSolutionFound;
       return result;
     case SolveStatus::kTimeLimit:
@@ -308,6 +324,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
     auto root_node = std::make_shared<Node>();
     root_node->lower = root_lower;
     root_node->upper = root_upper;
+    root_node->parent_basis = root.basis;
     root_node->parent_bound = sense_sign * root.objective;
     open.push(std::move(root_node));
   }
@@ -349,7 +366,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
     }
 
     const LpSolution relaxed =
-        lp_solver.solve(model, node->lower, node->upper, ctx);
+        solve_node(node->lower, node->upper, node->parent_basis.get());
     result.lp_iterations += relaxed.iterations;
     ++result.nodes;
     if (ctx.events.on_node) {
@@ -376,9 +393,11 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
       interrupted = milp_status_of_lp(relaxed.status);
       break;
     }
-    if (relaxed.status == SolveStatus::kUnbounded) {
+    if (relaxed.status == SolveStatus::kUnbounded ||
+        relaxed.status == SolveStatus::kNumericalError) {
       // A bounded-root MILP node cannot become unbounded by tightening
-      // bounds; treat defensively as a failed node.
+      // bounds, and a numerically failed node has no usable bound; treat
+      // either defensively as a failed node.
       continue;
     }
     const double node_bound = sense_sign * relaxed.objective;
@@ -398,6 +417,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
       child->lower = node->lower;
       child->upper = node->upper;
       child->upper[static_cast<std::size_t>(j)] = std::floor(v);
+      child->parent_basis = relaxed.basis;
       child->parent_bound = node_bound;
       child->depth = node->depth + 1;
       if (child->lower[static_cast<std::size_t>(j)] <=
@@ -411,6 +431,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
       child->lower = node->lower;
       child->upper = node->upper;
       child->lower[static_cast<std::size_t>(j)] = std::ceil(v);
+      child->parent_basis = relaxed.basis;
       child->parent_bound = node_bound;
       child->depth = node->depth + 1;
       if (child->lower[static_cast<std::size_t>(j)] <=
@@ -447,6 +468,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
                                             have_incumbent ? incumbent
                                                            : global_bound);
   stats.add("nodes", result.nodes);
+  stats.add("warm_started_nodes", static_cast<double>(warm_started_nodes));
   record_trace(global_bound);
   return result;
 }

@@ -1,12 +1,15 @@
 // Branch-and-bound MILP solver built on the simplex LP engine.
 //
 // Integer variables are enforced by branching on fractional values and
-// tightening variable bounds in child nodes; each node re-solves the LP
-// relaxation from scratch (our dense simplex is fast at the model sizes the
-// planner emits, so warm starts are unnecessary). Node selection is
-// best-first by parent relaxation bound, which keeps the global lower bound
-// tight and enables early termination at a requested gap. A depth-limited
-// diving heuristic runs at the root to seed the incumbent.
+// tightening variable bounds in child nodes. The LP standard form is
+// prepared once per solve (lp::PreparedLp) and shared by every node — only
+// bounds change down the tree — and each child warm-starts the simplex from
+// its parent's optimal basis (see MilpOptions::warm_start_nodes), so most
+// nodes skip phase 1 entirely and resume dual-feasible after the bound
+// change. Node selection is best-first by parent relaxation bound, which
+// keeps the global lower bound tight and enables early termination at a
+// requested gap. A depth-limited diving heuristic runs at the root to seed
+// the incumbent.
 //
 // Control & observability flow through a SolveContext: the deadline
 // (tightened by MilpOptions::time_limit_ms) and cancellation token are
@@ -39,6 +42,9 @@ struct MilpOptions {
   double integrality_tol = 1e-6;
   /// Run the diving heuristic at the root to find an early incumbent.
   bool root_dive = true;
+  /// Warm-start each node's LP from its parent's optimal basis instead of
+  /// cold-starting phase 1. Off is only useful for A/B measurements.
+  bool warm_start_nodes = true;
   /// Options forwarded to the LP engine.
   lp::SimplexOptions lp_options;
 };

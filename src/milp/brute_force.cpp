@@ -1,6 +1,7 @@
 #include "milp/brute_force.h"
 
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "common/error.h"
@@ -43,6 +44,10 @@ MilpSolution solve_brute_force(const Model& model, SolveContext& ctx,
 
   const double sense_sign = model.sense() == lp::Sense::kMinimize ? 1.0 : -1.0;
   const SimplexSolver lp_solver;
+  // One standard form shared by all assignments; only bounds change, and
+  // each enumerated LP warm-starts from the previous one's basis.
+  const lp::PreparedLp prep(model);
+  std::shared_ptr<const lp::BasisSnapshot> warm;
   MilpSolution result;
   bool have_best = false;
   double best_internal = 0.0;
@@ -72,7 +77,9 @@ MilpSolution solve_brute_force(const Model& model, SolveContext& ctx,
       lower[j] = assignment[k];
       upper[j] = assignment[k];
     }
-    const lp::LpSolution lp = lp_solver.solve(model, lower, upper, ctx);
+    const lp::LpSolution lp = lp_solver.solve(prep, lower, upper, ctx,
+                                              warm.get());
+    if (lp.basis) warm = lp.basis;
     result.lp_iterations += lp.iterations;
     ++result.nodes;
     if (lp.status == SolveStatus::kUnbounded) {

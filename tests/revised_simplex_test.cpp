@@ -1,0 +1,309 @@
+// Tests for the sparse revised simplex core: sparse-vs-dense differential
+// agreement, cycling/degeneracy under partial pricing, warm-start
+// regressions, numerical-error reporting, and the basis-engine contract
+// across repeated refactorizations.
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lp/basis.h"
+#include "lp/simplex.h"
+#include "milp/branch_and_bound.h"
+
+namespace etransform::lp {
+namespace {
+
+Model random_lp(std::uint64_t seed, int vars, int rows, double density) {
+  Rng rng(seed);
+  Model model;
+  std::vector<Term> objective;
+  for (int j = 0; j < vars; ++j) {
+    const int v = model.add_continuous("x" + std::to_string(j), 0.0,
+                                       rng.uniform(1.0, 10.0));
+    objective.push_back({v, rng.uniform(-5.0, 5.0)});
+  }
+  model.set_objective(Sense::kMinimize, objective);
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Term> terms;
+    for (int j = 0; j < vars; ++j) {
+      if (rng.uniform() < density) terms.push_back({j, rng.uniform(-2.0, 2.0)});
+    }
+    model.add_constraint("r" + std::to_string(i), terms, Relation::kLessEqual,
+                         rng.uniform(1.0, 20.0));
+  }
+  return model;
+}
+
+LpSolution solve_sparse(const Model& model) {
+  SolveContext ctx;
+  return SimplexSolver().solve(model, ctx);
+}
+
+LpSolution solve_dense(const Model& model) {
+  SimplexOptions options;
+  options.use_dense_fallback = true;
+  options.pricing = PricingRule::kDantzig;
+  SolveContext ctx;
+  return SimplexSolver(options).solve(model, ctx);
+}
+
+// The two engines take different pivot paths but must agree on the optimum.
+// Densities above the dense-window threshold exercise the hybrid
+// Markowitz-then-dense factorization; sparse ones stay pure Markowitz.
+TEST(RevisedSimplex, SparseAndDenseAgreeOnRandomLps) {
+  const struct {
+    std::uint64_t seed;
+    int vars;
+    int rows;
+    double density;
+  } cases[] = {
+      {3, 40, 20, 0.3},  {4, 40, 30, 0.7},  {5, 80, 40, 0.1},
+      {6, 80, 40, 0.5},  {7, 120, 60, 0.3}, {8, 60, 60, 0.9},
+  };
+  for (const auto& c : cases) {
+    const Model model = random_lp(c.seed, c.vars, c.rows, c.density);
+    const LpSolution sparse = solve_sparse(model);
+    const LpSolution dense = solve_dense(model);
+    SCOPED_TRACE("seed=" + std::to_string(c.seed));
+    ASSERT_EQ(sparse.status, SolveStatus::kOptimal);
+    ASSERT_EQ(dense.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(sparse.objective, dense.objective,
+                1e-6 * (1.0 + std::abs(dense.objective)));
+    // Duals of an optimal basis certify the objective; both engines must
+    // produce complementary prices even if the optimal basis differs.
+    ASSERT_EQ(sparse.duals.size(), dense.duals.size());
+    double sparse_dual_obj = 0.0;
+    double dense_dual_obj = 0.0;
+    for (std::size_t r = 0; r < sparse.duals.size(); ++r) {
+      sparse_dual_obj += sparse.duals[r];
+      dense_dual_obj += dense.duals[r];
+    }
+    EXPECT_TRUE(std::isfinite(sparse_dual_obj));
+    EXPECT_TRUE(std::isfinite(dense_dual_obj));
+  }
+}
+
+// Beale's classic cycling example: Dantzig pricing without safeguards
+// cycles forever on it. Partial pricing with the Bland fallback must
+// terminate at the optimum, objective -1/20.
+TEST(RevisedSimplex, BealeCyclingLpTerminates) {
+  Model model;
+  const int x4 = model.add_continuous("x4", 0.0, kInfinity);
+  const int x5 = model.add_continuous("x5", 0.0, kInfinity);
+  const int x6 = model.add_continuous("x6", 0.0, kInfinity);
+  const int x7 = model.add_continuous("x7", 0.0, kInfinity);
+  model.set_objective(Sense::kMinimize, {{x4, -0.75},
+                                         {x5, 150.0},
+                                         {x6, -0.02},
+                                         {x7, 6.0}});
+  model.add_constraint("r1",
+                       {{x4, 0.25}, {x5, -60.0}, {x6, -1.0 / 25.0}, {x7, 9.0}},
+                       Relation::kLessEqual, 0.0);
+  model.add_constraint("r2",
+                       {{x4, 0.5}, {x5, -90.0}, {x6, -1.0 / 50.0}, {x7, 3.0}},
+                       Relation::kLessEqual, 0.0);
+  model.add_constraint("r3", {{x6, 1.0}}, Relation::kLessEqual, 1.0);
+
+  const LpSolution sparse = solve_sparse(model);
+  ASSERT_EQ(sparse.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sparse.objective, -0.05, 1e-9);
+  EXPECT_LT(sparse.iterations, 1000);
+
+  const LpSolution dense = solve_dense(model);
+  ASSERT_EQ(dense.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(dense.objective, -0.05, 1e-9);
+}
+
+// Warm-starting from the parent's optimal basis after a single branching
+// bound change must re-solve in far fewer pivots than a cold start, and
+// reach the same optimum.
+TEST(RevisedSimplex, WarmStartAfterBoundChangeSavesIterations) {
+  const Model model = random_lp(11, 100, 50, 0.3);
+  const PreparedLp prep(model);
+  const SimplexSolver solver;
+
+  std::vector<double> lower(static_cast<std::size_t>(model.num_variables()));
+  std::vector<double> upper(static_cast<std::size_t>(model.num_variables()));
+  for (int j = 0; j < model.num_variables(); ++j) {
+    lower[static_cast<std::size_t>(j)] = model.variable(j).lower;
+    upper[static_cast<std::size_t>(j)] = model.variable(j).upper;
+  }
+
+  SolveContext root_ctx;
+  const LpSolution root = solver.solve(prep, lower, upper, root_ctx);
+  ASSERT_EQ(root.status, SolveStatus::kOptimal);
+  ASSERT_NE(root.basis, nullptr);
+
+  // "Branch": fix the first variable with a fractional-looking value to 0.
+  upper[0] = 0.0;
+
+  SolveContext cold_ctx;
+  const LpSolution cold = solver.solve(prep, lower, upper, cold_ctx);
+  SolveContext warm_ctx;
+  const LpSolution warm =
+      solver.solve(prep, lower, upper, warm_ctx, root.basis.get());
+
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, cold.objective,
+              1e-6 * (1.0 + std::abs(cold.objective)));
+  EXPECT_LT(warm.iterations, cold.iterations);
+  EXPECT_LE(warm.phase1_iterations, cold.phase1_iterations);
+}
+
+// A numerically singular basis must be reported as such by the engine, for
+// both factorization paths.
+TEST(RevisedSimplex, EnginesRejectSingularBasis) {
+  // Two identical columns plus one slack: rank 2 < 3.
+  std::vector<SparseColumn> columns(3);
+  columns[0].rows = {0, 1, 2};
+  columns[0].coefs = {1.0, 2.0, 3.0};
+  columns[1] = columns[0];
+  columns[2].rows = {2};
+  columns[2].coefs = {1.0};
+  const std::vector<int> basis = {0, 1, 2};
+  for (const bool dense : {false, true}) {
+    const auto engine = make_basis_factorization(3, dense, 1e-9);
+    EXPECT_FALSE(engine->factorize(columns, basis))
+        << (dense ? "dense" : "sparse");
+  }
+}
+
+// Regression for a factorization-reuse bug: the Schur-update scratch marks
+// persist across factorize() calls, so a second factorization of the same
+// object must still produce the same factors as a fresh engine (the broken
+// version silently dropped fill-in entries on every refactorization).
+TEST(RevisedSimplex, RefactorizeTwiceMatchesFreshEngine) {
+  const int m = 40;
+  Rng rng(17);
+  std::vector<SparseColumn> columns(static_cast<std::size_t>(2 * m));
+  for (int j = 0; j < 2 * m; ++j) {
+    auto& col = columns[static_cast<std::size_t>(j)];
+    for (int i = 0; i < m; ++i) {
+      if (rng.uniform() < 0.25) {
+        col.rows.push_back(i);
+        col.coefs.push_back(rng.uniform(-2.0, 2.0));
+      }
+    }
+    // Guarantee a structural diagonal so random bases stay nonsingular.
+    const int diag = j % m;
+    col.rows.push_back(diag);
+    col.coefs.push_back(3.0 + rng.uniform(0.0, 1.0));
+  }
+  std::vector<int> basis(static_cast<std::size_t>(m));
+  for (int k = 0; k < m; ++k) basis[static_cast<std::size_t>(k)] = k;
+
+  const auto engine = make_basis_factorization(m, /*dense=*/false, 1e-9);
+  ASSERT_TRUE(engine->factorize(columns, basis));
+
+  // Pivot a few replacement columns in via product-form updates.
+  std::vector<double> w(static_cast<std::size_t>(m));
+  for (int pivot = 0; pivot < 6; ++pivot) {
+    const int entering = m + pivot;
+    const SparseColumn& col = columns[static_cast<std::size_t>(entering)];
+    std::fill(w.begin(), w.end(), 0.0);
+    for (std::size_t e = 0; e < col.rows.size(); ++e) {
+      w[static_cast<std::size_t>(col.rows[e])] = col.coefs[e];
+    }
+    engine->ftran(w);
+    const int r = pivot;  // replace basis position `pivot`
+    ASSERT_TRUE(engine->update(w, r));
+    basis[static_cast<std::size_t>(r)] = entering;
+  }
+
+  // Refactorize the SAME engine object, then compare its solves against a
+  // brand-new engine factorizing the same basis.
+  ASSERT_TRUE(engine->factorize(columns, basis));
+  const auto fresh = make_basis_factorization(m, /*dense=*/false, 1e-9);
+  ASSERT_TRUE(fresh->factorize(columns, basis));
+
+  Rng probe_rng(23);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<double> x(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      x[static_cast<std::size_t>(i)] = probe_rng.uniform(-1.0, 1.0);
+    }
+    std::vector<double> ftran_reused = x;
+    std::vector<double> ftran_fresh = x;
+    engine->ftran(ftran_reused);
+    fresh->ftran(ftran_fresh);
+    std::vector<double> btran_reused = x;
+    std::vector<double> btran_fresh = x;
+    engine->btran(btran_reused);
+    fresh->btran(btran_fresh);
+    for (int i = 0; i < m; ++i) {
+      EXPECT_NEAR(ftran_reused[static_cast<std::size_t>(i)],
+                  ftran_fresh[static_cast<std::size_t>(i)], 1e-8)
+          << "ftran trial " << trial << " row " << i;
+      EXPECT_NEAR(btran_reused[static_cast<std::size_t>(i)],
+                  btran_fresh[static_cast<std::size_t>(i)], 1e-8)
+          << "btran trial " << trial << " row " << i;
+    }
+  }
+}
+
+// B&B node warm-starting must reduce the total simplex work on a
+// branching-heavy assignment MILP without changing the optimum.
+TEST(RevisedSimplex, BranchAndBoundWarmStartReducesLpIterations) {
+  Rng rng(23);
+  Model model;
+  const int tasks = 8;
+  const int agents = 3;
+  std::vector<std::vector<int>> x(static_cast<std::size_t>(tasks));
+  std::vector<Term> objective;
+  for (int t = 0; t < tasks; ++t) {
+    for (int a = 0; a < agents; ++a) {
+      const int v = model.add_binary("x_" + std::to_string(t) + "_" +
+                                     std::to_string(a));
+      x[static_cast<std::size_t>(t)].push_back(v);
+      objective.push_back({v, rng.uniform(1.0, 20.0)});
+    }
+  }
+  model.set_objective(Sense::kMinimize, objective);
+  for (int t = 0; t < tasks; ++t) {
+    std::vector<Term> row;
+    for (const int v : x[static_cast<std::size_t>(t)]) row.push_back({v, 1.0});
+    model.add_constraint("assign" + std::to_string(t), row, Relation::kEqual,
+                         1.0);
+  }
+  for (int a = 0; a < agents; ++a) {
+    std::vector<Term> row;
+    for (int t = 0; t < tasks; ++t) {
+      row.push_back(
+          {x[static_cast<std::size_t>(t)][static_cast<std::size_t>(a)],
+           rng.uniform(1.0, 8.0)});
+    }
+    model.add_constraint("cap" + std::to_string(a), row, Relation::kLessEqual,
+                         3.0 * tasks / agents);
+  }
+
+  milp::MilpOptions warm_options;
+  warm_options.warm_start_nodes = true;
+  milp::MilpOptions cold_options;
+  cold_options.warm_start_nodes = false;
+
+  SolveContext warm_ctx;
+  const auto warm = milp::BranchAndBoundSolver(warm_options).solve(model,
+                                                                   warm_ctx);
+  SolveContext cold_ctx;
+  const auto cold = milp::BranchAndBoundSolver(cold_options).solve(model,
+                                                                   cold_ctx);
+
+  ASSERT_EQ(warm.status, milp::MilpStatus::kOptimal);
+  ASSERT_EQ(cold.status, milp::MilpStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-6);
+  EXPECT_LT(warm.lp_iterations, cold.lp_iterations);
+
+  // The stats tree records how many nodes actually reused a parent basis.
+  const SolveStats* bb = warm_ctx.stats().find("branch_and_bound");
+  ASSERT_NE(bb, nullptr);
+  EXPECT_GT(bb->metric("warm_started_nodes"), 0.0);
+}
+
+}  // namespace
+}  // namespace etransform::lp
