@@ -13,6 +13,8 @@
 #include "milp/branch_and_bound.h"
 #include "planner/etransform_planner.h"
 #include "planner/lagrangian.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace etransform {
 namespace {
@@ -48,6 +50,29 @@ void BM_SimplexRandomLp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimplexRandomLp)->Arg(50)->Arg(200)->Arg(800);
+
+// Same solve with a live trace recorder and metrics registry attached —
+// the delta against BM_SimplexRandomLp is the telemetry overhead on a
+// fully-instrumented solve.
+void BM_SimplexRandomLpTraced(benchmark::State& state) {
+  const auto model = random_lp(7, static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(0)) / 2);
+  const lp::SimplexSolver solver;
+  telemetry::TraceRecorder recorder(/*capacity_per_thread=*/1 << 20);
+  telemetry::MetricsRegistry registry;
+  for (auto _ : state) {
+    if (recorder.recorded() > (1 << 19)) {
+      state.PauseTiming();
+      recorder.clear();
+      state.ResumeTiming();
+    }
+    SolveContext ctx;
+    ctx.set_trace(&recorder);
+    ctx.set_metrics(&registry);
+    benchmark::DoNotOptimize(solver.solve(model, ctx));
+  }
+}
+BENCHMARK(BM_SimplexRandomLpTraced)->Arg(200)->Arg(800);
 
 // The pre-revised-simplex baseline: dense explicit inverse + full Dantzig
 // pricing, matching the legacy tableau implementation. Kept so the

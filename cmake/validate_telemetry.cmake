@@ -1,0 +1,192 @@
+# Runs etransform_cli plan --sweep --telemetry-dir and validates the emitted
+# run artifacts:
+#   * trace.json   — parses as JSON, every duration begin has a matching end
+#                    per thread track, timestamps never regress within a
+#                    track, async job begin/end counts balance.
+#   * metrics.prom — Prometheus text format: every non-comment line is
+#                    `name{labels} value`, and the farm gauge / latency
+#                    histogram / terminal counters the sweep must produce are
+#                    present.
+#   * stats.json   — parses as JSON (one entry per sweep scenario).
+# Driven by ctest:
+#   cmake -DCLI=<path> -DWORK_DIR=<dir> -P validate_telemetry.cmake
+# Requires CMake >= 3.19 for string(JSON).
+cmake_minimum_required(VERSION 3.19)
+
+if(NOT DEFINED CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<etransform_cli> -DWORK_DIR=<dir> "
+                      "-P validate_telemetry.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(instance "${WORK_DIR}/telemetry_check.etf")
+set(telemetry_dir "${WORK_DIR}/run")
+
+execute_process(
+  COMMAND "${CLI}" generate enterprise1 -o "${instance}"
+  RESULT_VARIABLE generate_result)
+if(NOT generate_result EQUAL 0)
+  message(FATAL_ERROR "etransform_cli generate failed (${generate_result})")
+endif()
+
+# A 2-worker sweep exercises the whole telemetry surface: farm async job
+# lifecycles, worker-thread tracks, queue/latency metrics, per-scenario stats.
+execute_process(
+  COMMAND "${CLI}" plan "${instance}" --engine heuristic --jobs 2
+          --sweep omega=1.0,0.7 --telemetry-dir "${telemetry_dir}"
+  RESULT_VARIABLE plan_result
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT plan_result EQUAL 0)
+  message(FATAL_ERROR "etransform_cli plan --telemetry-dir failed (${plan_result})")
+endif()
+
+foreach(artifact trace.json metrics.prom stats.json)
+  if(NOT EXISTS "${telemetry_dir}/${artifact}")
+    message(FATAL_ERROR "telemetry dir is missing ${artifact}")
+  endif()
+endforeach()
+
+# ---- trace.json -----------------------------------------------------------
+
+file(READ "${telemetry_dir}/trace.json" trace)
+
+string(JSON unit GET "${trace}" "displayTimeUnit")
+if(NOT unit STREQUAL "ms")
+  message(FATAL_ERROR "trace displayTimeUnit is '${unit}', want 'ms'")
+endif()
+
+string(JSON event_count LENGTH "${trace}" "traceEvents")
+if(event_count LESS 10)
+  message(FATAL_ERROR "trace has only ${event_count} events; sweep should "
+                      "produce far more")
+endif()
+
+# Walk the events (capped: string(JSON) is slow) checking per-track duration
+# nesting and timestamp monotonicity. Track state is kept in per-tid
+# variables: depth_<tid> and last_ts_<tid>.
+set(check_cap 800)
+if(event_count LESS check_cap)
+  set(check_cap ${event_count})
+endif()
+math(EXPR check_last "${check_cap} - 1")
+set(seen_tids "")
+foreach(i RANGE ${check_last})
+  string(JSON ph GET "${trace}" "traceEvents" ${i} "ph")
+  if(ph STREQUAL "M")
+    continue()
+  endif()
+  string(JSON tid GET "${trace}" "traceEvents" ${i} "tid")
+  string(JSON ts GET "${trace}" "traceEvents" ${i} "ts")
+  if(NOT ts MATCHES "^[0-9]+$")
+    message(FATAL_ERROR "event ${i} has non-integer ts '${ts}'")
+  endif()
+  if(NOT tid IN_LIST seen_tids)
+    list(APPEND seen_tids ${tid})
+    set(depth_${tid} 0)
+    set(last_ts_${tid} 0)
+  endif()
+  if(ts LESS last_ts_${tid})
+    message(FATAL_ERROR "event ${i}: ts ${ts} regresses below "
+                        "${last_ts_${tid}} on tid ${tid}")
+  endif()
+  set(last_ts_${tid} ${ts})
+  if(ph STREQUAL "B")
+    math(EXPR depth_${tid} "${depth_${tid}} + 1")
+  elseif(ph STREQUAL "E")
+    math(EXPR depth_${tid} "${depth_${tid}} - 1")
+    if(depth_${tid} LESS 0)
+      message(FATAL_ERROR "event ${i}: 'E' without matching 'B' on tid ${tid}")
+    endif()
+  endif()
+endforeach()
+
+# Global pairing balance over the whole file (regex is cheap where the
+# element-wise walk is not). The drain synthesizes closing events, so counts
+# must match exactly.
+string(REGEX MATCHALL "\"ph\":\"B\"" begins "${trace}")
+string(REGEX MATCHALL "\"ph\":\"E\"" ends "${trace}")
+list(LENGTH begins begin_count)
+list(LENGTH ends end_count)
+if(NOT begin_count EQUAL end_count)
+  message(FATAL_ERROR "unbalanced duration events: ${begin_count} B vs "
+                      "${end_count} E")
+endif()
+string(REGEX MATCHALL "\"ph\":\"b\"" async_begins "${trace}")
+string(REGEX MATCHALL "\"ph\":\"e\"" async_ends "${trace}")
+list(LENGTH async_begins async_begin_count)
+list(LENGTH async_ends async_end_count)
+if(NOT async_begin_count EQUAL async_end_count)
+  message(FATAL_ERROR "unbalanced async events: ${async_begin_count} b vs "
+                      "${async_end_count} e")
+endif()
+if(async_begin_count LESS 2)
+  message(FATAL_ERROR "expected >= 2 async job lifecycles (one per sweep "
+                      "scenario), got ${async_begin_count}")
+endif()
+
+# The worker threads must have named tracks.
+if(NOT trace MATCHES "worker-0")
+  message(FATAL_ERROR "trace has no 'worker-0' thread-name metadata")
+endif()
+
+list(LENGTH seen_tids tid_count)
+message(STATUS "trace OK: ${event_count} events, ${tid_count}+ thread tracks, "
+               "${begin_count} B/E pairs, ${async_begin_count} job lifecycles")
+
+# ---- metrics.prom ---------------------------------------------------------
+
+file(READ "${telemetry_dir}/metrics.prom" prom)
+
+foreach(needle
+        "# TYPE etransform_farm_queue_depth gauge"
+        "# TYPE etransform_farm_jobs_inflight gauge"
+        "# TYPE etransform_farm_jobs_submitted_total counter"
+        "# TYPE etransform_farm_jobs_cancelled_total counter"
+        "# TYPE etransform_farm_job_wait_ms histogram"
+        "# TYPE etransform_farm_job_solve_ms histogram"
+        "etransform_farm_job_solve_ms_bucket{le=\"+Inf\"}"
+        "etransform_farm_job_wait_ms_sum"
+        "etransform_farm_job_solve_ms_count")
+  string(FIND "${prom}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "metrics.prom is missing: ${needle}")
+  endif()
+endforeach()
+
+# Line-level exposition lint: every line is a comment or `name{labels} value`.
+string(REPLACE "\n" ";" prom_lines "${prom}")
+set(sample_count 0)
+foreach(line IN LISTS prom_lines)
+  if(line STREQUAL "")
+    continue()
+  endif()
+  if(line MATCHES "^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ")
+    continue()
+  endif()
+  if(NOT line MATCHES "^[a-zA-Z_:][a-zA-Z0-9_:]*(\\{le=\"[^\"]+\"\\})? -?[0-9][0-9.eE+-]*$")
+    message(FATAL_ERROR "metrics.prom line fails format lint: ${line}")
+  endif()
+  math(EXPR sample_count "${sample_count} + 1")
+endforeach()
+if(sample_count LESS 10)
+  message(FATAL_ERROR "metrics.prom has only ${sample_count} samples")
+endif()
+
+# Both sweep scenarios must be accounted as terminal.
+string(REGEX MATCH "etransform_farm_jobs_submitted_total ([0-9.]+)" _ "${prom}")
+if(NOT CMAKE_MATCH_1 GREATER_EQUAL 2)
+  message(FATAL_ERROR "submitted counter is '${CMAKE_MATCH_1}', want >= 2")
+endif()
+
+message(STATUS "metrics.prom OK: ${sample_count} samples")
+
+# ---- stats.json -----------------------------------------------------------
+
+file(READ "${telemetry_dir}/stats.json" sweep_stats)
+string(JSON scenario_count LENGTH "${sweep_stats}")
+if(scenario_count LESS 2)
+  message(FATAL_ERROR "stats.json has ${scenario_count} entries, want 2 "
+                      "(one per sweep scenario)")
+endif()
+string(JSON first_name GET "${sweep_stats}" 0 "name")
+message(STATUS "stats.json OK: ${scenario_count} scenarios, root '${first_name}'")

@@ -45,6 +45,9 @@
 #include "report/sensitivity.h"
 #include "service/scenario_set.h"
 #include "service/solve_farm.h"
+#include "telemetry/artifacts.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 using namespace etransform;
 
@@ -60,10 +63,13 @@ int usage() {
       "  etransform_cli plan <in.etf> [--dr] [--omega X] [--sensitivity]\n"
       "      [--engine auto|exact|heuristic] [--no-economies]\n"
       "      [--lp-out model.lp] [--time-limit ms]\n"
-      "      [--trace] [--stats-json stats.json]\n"
+      "      [--trace] [--stats-json stats.json] [--telemetry-dir DIR]\n"
       "      [--migrate] [--wan-budget megabits] [--max-moves N]\n"
       "      [--jobs N] [--sweep omega|dr-cost|latency-penalty=v1,v2,...]\n"
-      "      [--race]\n");
+      "      [--race]\n"
+      "  --telemetry-dir writes trace.json (Chrome Trace Event Format, open\n"
+      "  in Perfetto), metrics.prom (Prometheus text exposition), and\n"
+      "  stats.json into DIR after the run.\n");
   return 1;
 }
 
@@ -148,22 +154,66 @@ ScenarioSet build_sweep_set(const ConsolidationInstance& instance,
   return set;
 }
 
+/// Flushes telemetry to `dir` and reports where it went (run epilogue shared
+/// by the plan/sweep/race paths). No-op when `dir` is empty.
+void flush_telemetry(const std::string& dir,
+                     const telemetry::TraceRecorder* recorder,
+                     const telemetry::MetricsRegistry* registry,
+                     const std::string& stats_json) {
+  if (dir.empty()) return;
+  telemetry::ArtifactPaths paths;
+  std::string error;
+  if (!telemetry::write_run_artifacts(dir, recorder, registry, stats_json,
+                                      &paths, &error)) {
+    throw InvalidInputError("--telemetry-dir: " + error);
+  }
+  std::fprintf(stderr, "telemetry written to %s (%zu spans, %llu dropped)\n",
+               dir.c_str(), recorder != nullptr ? recorder->recorded() : 0,
+               static_cast<unsigned long long>(
+                   recorder != nullptr ? recorder->dropped() : 0));
+}
+
 int run_sweep(const ConsolidationInstance& instance,
               const PlannerOptions& options,
               const std::vector<std::string>& specs, int jobs,
-              double time_limit_ms) {
+              double time_limit_ms, const std::string& telemetry_dir) {
   const ScenarioSet set = build_sweep_set(instance, options, specs);
+  // Declared before the service: workers may still touch the recorder while
+  // the service drains in its destructor.
+  telemetry::TraceRecorder recorder;
+  telemetry::MetricsRegistry registry;
   SolveService service(jobs);
+  if (!telemetry_dir.empty()) {
+    recorder.set_current_thread_name("main");
+    service.attach_telemetry(&recorder, &registry);
+  }
   std::printf("sweeping %zu scenarios on %d worker thread%s...\n", set.size(),
               service.num_threads(), service.num_threads() == 1 ? "" : "s");
   const auto results = run_scenarios(set, service, time_limit_ms);
   std::printf("%s", render_scenario_results(results).c_str());
+  if (!telemetry_dir.empty()) {
+    // stats.json: one entry per scenario, in scenario order.
+    std::string stats_json = "[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i > 0) stats_json += ',';
+      stats_json += results[i].failed ? "null" : results[i].report.stats.to_json();
+    }
+    stats_json += ']';
+    flush_telemetry(telemetry_dir, &recorder, &registry, stats_json);
+  }
   return 0;
 }
 
 int run_race(const ConsolidationInstance& instance,
-             const PlannerOptions& options, int jobs, double time_limit_ms) {
+             const PlannerOptions& options, int jobs, double time_limit_ms,
+             const std::string& telemetry_dir) {
+  telemetry::TraceRecorder recorder;
+  telemetry::MetricsRegistry registry;
   SolveService service(jobs);
+  if (!telemetry_dir.empty()) {
+    recorder.set_current_thread_name("main");
+    service.attach_telemetry(&recorder, &registry);
+  }
   const RaceOutcome outcome =
       race_portfolio(service, instance, options, time_limit_ms);
   std::printf("portfolio race: %s wins (first finisher: %s)\n",
@@ -173,6 +223,10 @@ int run_race(const ConsolidationInstance& instance,
   std::printf("  heuristic leg: %-9s %8.1f ms\n",
               to_string(outcome.heuristic_state), outcome.heuristic_ms);
   std::printf("%s", render_plan_summary(instance, outcome.best.plan).c_str());
+  if (!telemetry_dir.empty()) {
+    flush_telemetry(telemetry_dir, &recorder, &registry,
+                    outcome.best.stats.to_json());
+  }
   return 0;
 }
 
@@ -183,6 +237,7 @@ int cmd_plan(int argc, char** argv) {
   PlannerOptions options;
   std::string lp_out;
   std::string stats_json_out;
+  std::string telemetry_dir;
   bool trace = false;
   bool sensitivity = false;
   bool migrate = false;
@@ -236,15 +291,24 @@ int cmd_plan(int argc, char** argv) {
       trace = true;
     } else if (flag == "--stats-json" && a + 1 < argc) {
       stats_json_out = argv[++a];
+    } else if (flag == "--telemetry-dir" && a + 1 < argc) {
+      telemetry_dir = argv[++a];
     } else {
       return usage();
     }
   }
 
+  // Solver events go through the logging layer (serialized, thread-tagged)
+  // rather than raw stderr, so traced concurrent runs stay line-atomic.
+  if (trace && log_level() > LogLevel::kInfo) set_log_level(LogLevel::kInfo);
+
   if (!sweep_specs.empty()) {
-    return run_sweep(instance, options, sweep_specs, jobs, time_limit_ms);
+    return run_sweep(instance, options, sweep_specs, jobs, time_limit_ms,
+                     telemetry_dir);
   }
-  if (race) return run_race(instance, options, jobs, time_limit_ms);
+  if (race) {
+    return run_race(instance, options, jobs, time_limit_ms, telemetry_dir);
+  }
 
   const CostModel model(instance);
   if (!lp_out.empty()) {
@@ -265,34 +329,42 @@ int cmd_plan(int argc, char** argv) {
   }
 
   SolveContext ctx;
+  telemetry::TraceRecorder recorder;
+  telemetry::MetricsRegistry registry;
+  if (!telemetry_dir.empty()) {
+    recorder.set_current_thread_name("main");
+    ctx.set_trace(&recorder);
+    ctx.set_metrics(&registry);
+  }
   if (trace) {
     ctx.events.on_presolve_reduction = [](const PresolveReductionEvent& e) {
-      std::fprintf(stderr, "[trace] presolve %s: -%d rows -%d vars\n", e.rule,
-                   e.rows_removed, e.vars_removed);
+      ET_LOG(kInfo) << "[trace] presolve " << e.rule << ": -" << e.rows_removed
+                    << " rows -" << e.vars_removed << " vars";
     };
     ctx.events.on_simplex_phase = [](const SimplexPhaseEvent& e) {
-      std::fprintf(stderr, "[trace] simplex phase %d done: %d pivots, obj %g\n",
-                   e.phase, e.pivots, e.objective);
+      ET_LOG(kInfo) << "[trace] simplex phase " << e.phase << " done: "
+                    << e.pivots << " pivots, obj " << e.objective;
     };
     ctx.events.on_incumbent = [](const IncumbentEvent& e) {
-      std::fprintf(stderr,
-                   "[trace] incumbent %g at node %lld (%.1f ms)\n",
-                   e.objective, e.node, e.time_ms);
+      ET_LOG(kInfo) << "[trace] incumbent " << e.objective << " at node "
+                    << e.node << " (" << e.time_ms << " ms)";
     };
     ctx.events.on_bound_improvement = [](const BoundEvent& e) {
-      std::fprintf(stderr, "[trace] bound %g (incumbent %g) at node %lld\n",
-                   e.bound, e.incumbent, e.node);
+      ET_LOG(kInfo) << "[trace] bound " << e.bound << " (incumbent "
+                    << e.incumbent << ") at node " << e.node;
     };
     ctx.events.on_node = [](const NodeEvent& e) {
       if (e.node % 1000 != 0) return;  // keep the stream readable
-      std::fprintf(stderr,
-                   "[trace] node %lld depth %d relax %g bound %g open %d\n",
-                   e.node, e.depth, e.relaxation, e.best_bound, e.open_nodes);
+      ET_LOG(kInfo) << "[trace] node " << e.node << " depth " << e.depth
+                    << " relax " << e.relaxation << " bound " << e.best_bound
+                    << " open " << e.open_nodes;
     };
   }
 
   const EtransformPlanner planner(options);
   const PlannerReport report = planner.plan(model, ctx);
+  flush_telemetry(telemetry_dir, &recorder, &registry,
+                  report.stats.to_json());
   if (!stats_json_out.empty()) {
     std::ofstream out(stats_json_out);
     if (!out) {

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "telemetry/trace.h"
+
 namespace etransform {
 
 namespace {
@@ -114,11 +116,24 @@ SolveStats& SolveStats::child(std::string_view child_name) {
   return children.back();
 }
 
-const SolveStats* SolveStats::find(std::string_view child_name) const {
-  for (const SolveStats& c : children) {
-    if (c.name == child_name) return &c;
+const SolveStats* SolveStats::find(std::string_view path) const {
+  const SolveStats* node = this;
+  while (node != nullptr && !path.empty()) {
+    const std::size_t dot = path.find('.');
+    const std::string_view segment =
+        dot == std::string_view::npos ? path : path.substr(0, dot);
+    path = dot == std::string_view::npos ? std::string_view{}
+                                         : path.substr(dot + 1);
+    const SolveStats* next = nullptr;
+    for (const SolveStats& c : node->children) {
+      if (c.name == segment) {
+        next = &c;
+        break;
+      }
+    }
+    node = next;
   }
-  return nullptr;
+  return node == this ? nullptr : node;
 }
 
 void SolveStats::add(std::string_view key, double delta) {
@@ -154,6 +169,34 @@ std::string SolveStats::render() const {
   std::ostringstream out;
   append_render(out, *this, 0);
   return out.str();
+}
+
+SolveScope::SolveScope(SolveContext& ctx, std::string_view name)
+    : ctx_(ctx),
+      node_(&ctx.current_->child(name)),
+      parent_(ctx.current_),
+      prev_open_(ctx.open_scope_) {
+  ctx_.current_ = node_;
+  ctx_.open_scope_ = this;
+  if (telemetry::TraceRecorder* rec = ctx_.trace_) {
+    rec->begin("solve", node_->name);
+  }
+}
+
+void SolveScope::close() {
+  if (closed_) return;
+  // Flush still-open child scopes innermost-out so their wall time lands in
+  // the tree before this node records its own.
+  while (ctx_.open_scope_ != nullptr && ctx_.open_scope_ != this) {
+    ctx_.open_scope_->close();
+  }
+  closed_ = true;
+  node_->wall_ms += stopwatch_.elapsed_ms();
+  ctx_.current_ = parent_;
+  ctx_.open_scope_ = prev_open_;
+  if (telemetry::TraceRecorder* rec = ctx_.trace_) {
+    rec->end("solve", node_->name);
+  }
 }
 
 }  // namespace etransform

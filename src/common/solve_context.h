@@ -32,6 +32,11 @@
 
 #include "common/stopwatch.h"
 
+namespace etransform::telemetry {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace etransform::telemetry
+
 namespace etransform {
 
 // ---------------------------------------------------------------------------
@@ -112,9 +117,10 @@ struct SolveStats {
   /// Finds or creates the child named `child_name`.
   SolveStats& child(std::string_view child_name);
 
-  /// The child named `child_name`, or nullptr. Searches this node's direct
-  /// children only.
-  [[nodiscard]] const SolveStats* find(std::string_view child_name) const;
+  /// The descendant at `path`, or nullptr. A plain name searches this node's
+  /// direct children; a dotted path ("branch_and_bound.simplex") walks one
+  /// level per segment.
+  [[nodiscard]] const SolveStats* find(std::string_view path) const;
 
   /// Adds `delta` to the metric named `key` (creating it at 0 first).
   void add(std::string_view key, double delta);
@@ -134,6 +140,8 @@ struct SolveStats {
 
 // ---------------------------------------------------------------------------
 // The context.
+
+class SolveScope;
 
 class SolveContext {
  public:
@@ -177,6 +185,19 @@ class SolveContext {
   /// SolveScope).
   [[nodiscard]] SolveStats& current_stats() { return *current_; }
 
+  /// Optional trace recorder: when set, every SolveScope emits a trace span
+  /// and solver instrumentation points record phase/factorization spans.
+  /// The recorder must outlive the context. Null by default (one branch per
+  /// instrumentation site, mirroring the unset-callback cost of events).
+  [[nodiscard]] telemetry::TraceRecorder* trace() const { return trace_; }
+  void set_trace(telemetry::TraceRecorder* trace) { trace_ = trace; }
+
+  /// Optional metrics registry: when set, solvers bump process-wide counters
+  /// (pivots, refactorizations) alongside the per-solve stats tree. The
+  /// registry must outlive the context. Null by default.
+  [[nodiscard]] telemetry::MetricsRegistry* metrics() const { return metrics_; }
+  void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   friend class SolveScope;
 
@@ -185,34 +206,34 @@ class SolveContext {
   Stopwatch stopwatch_;
   SolveStats root_;
   SolveStats* current_ = &root_;
+  SolveScope* open_scope_ = nullptr;
+  telemetry::TraceRecorder* trace_ = nullptr;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// RAII stats scope: on construction finds-or-creates `name` under the
 /// context's current node and makes it current; on destruction (or an
 /// explicit close()) adds the elapsed wall time and restores the parent.
+/// When the context has a trace recorder attached, the scope also emits a
+/// matching begin/end trace span (category "solve").
 ///
 /// Scopes must nest like stack frames. Only the innermost (current) node's
 /// children may grow, so SolveStats pointers held by enclosing scopes stay
-/// valid.
+/// valid. Closing a scope while children are still open closes the children
+/// first (innermost-out), so their wall time lands in the tree before the
+/// parent's does.
 class SolveScope {
  public:
-  SolveScope(SolveContext& ctx, std::string_view name)
-      : ctx_(ctx), node_(&ctx.current_->child(name)), parent_(ctx.current_) {
-    ctx_.current_ = node_;
-  }
+  SolveScope(SolveContext& ctx, std::string_view name);
 
   SolveScope(const SolveScope&) = delete;
   SolveScope& operator=(const SolveScope&) = delete;
 
   ~SolveScope() { close(); }
 
-  /// Ends the scope early (idempotent): records wall time, restores parent.
-  void close() {
-    if (closed_) return;
-    closed_ = true;
-    node_->wall_ms += stopwatch_.elapsed_ms();
-    ctx_.current_ = parent_;
-  }
+  /// Ends the scope early (idempotent): flushes any still-open child scopes,
+  /// records wall time, restores the parent.
+  void close();
 
   /// The stats node this scope writes into.
   [[nodiscard]] SolveStats& stats() { return *node_; }
@@ -221,6 +242,7 @@ class SolveScope {
   SolveContext& ctx_;
   SolveStats* node_;
   SolveStats* parent_;
+  SolveScope* prev_open_;
   Stopwatch stopwatch_;
   bool closed_ = false;
 };

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "telemetry/trace.h"
 
 namespace etransform {
 
@@ -99,6 +102,7 @@ bool ThreadPool::try_pop(int index, std::function<void()>& task) {
 void ThreadPool::worker_loop(int index) {
   tls_pool = this;
   tls_worker_index = index;
+  telemetry::TraceRecorder* named_for = nullptr;
   for (;;) {
     std::function<void()> task;
     if (!try_pop(index, task)) {
@@ -111,7 +115,16 @@ void ThreadPool::worker_loop(int index) {
       });
       if (!task) return;  // stopping and nothing left to run
     }
-    task();
+    telemetry::TraceRecorder* recorder =
+        trace_recorder_.load(std::memory_order_acquire);
+    if (recorder != nullptr && recorder != named_for) {
+      recorder->set_current_thread_name("worker-" + std::to_string(index));
+      named_for = recorder;
+    }
+    {
+      const telemetry::TraceSpan span(recorder, "pool", "pool.task");
+      task();
+    }
     {
       const std::lock_guard<std::mutex> lock(mu_);
       if (--outstanding_ == 0) all_done_.notify_all();

@@ -15,6 +15,7 @@
 // losing work.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -23,6 +24,10 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+namespace etransform::telemetry {
+class TraceRecorder;
+}  // namespace etransform::telemetry
 
 namespace etransform {
 
@@ -54,6 +59,14 @@ class ThreadPool {
   /// Tasks queued but not yet started plus tasks currently running.
   [[nodiscard]] int outstanding() const;
 
+  /// Attaches (or detaches, with nullptr) a trace recorder. While attached,
+  /// every task runs inside a "pool.task" span and workers name their trace
+  /// track "worker-N" on first use. The recorder must outlive the pool or be
+  /// detached first. Safe to call from any thread.
+  void set_trace_recorder(telemetry::TraceRecorder* recorder) {
+    trace_recorder_.store(recorder, std::memory_order_release);
+  }
+
  private:
   struct WorkerQueue {
     std::mutex mu;
@@ -74,6 +87,8 @@ class ThreadPool {
   int outstanding_ = 0;
   bool stopping_ = false;
   std::size_t next_queue_ = 0;
+
+  std::atomic<telemetry::TraceRecorder*> trace_recorder_{nullptr};
 };
 
 /// Runs `fn(i)` for every i in [0, count) on the pool, blocking until all

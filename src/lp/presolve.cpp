@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "telemetry/trace.h"
 
 namespace etransform::lp {
 
@@ -41,6 +42,9 @@ PresolveResult presolve(const Model& model, SolveContext& ctx) {
   model.validate();
   SolveScope scope(ctx, "presolve");
   const auto fire = [&ctx](const char* rule, int rows, int vars) {
+    if (telemetry::TraceRecorder* rec = ctx.trace()) {
+      rec->instant("lp", rule, rows + vars);
+    }
     if (!ctx.events.on_presolve_reduction) return;
     PresolveReductionEvent event;
     event.rule = rule;
@@ -84,6 +88,7 @@ PresolveResult presolve(const Model& model, SolveContext& ctx) {
   // equivalence-preserving, so stopping early just yields a less-reduced
   // (still correct) model.
   while (changed && !ctx.should_stop()) {
+    const telemetry::TraceSpan pass_span(ctx.trace(), "lp", "presolve.pass");
     ++passes;
     changed = false;
     // Fix variables with equal bounds.

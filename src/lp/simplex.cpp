@@ -6,6 +6,8 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace etransform::lp {
 
@@ -192,7 +194,12 @@ class RevisedSimplex {
       if (has_infeasible_basic()) {
         phase1_ = true;
         const int before = iterations_;
-        const SolveStatus s = iterate();
+        SolveStatus s;
+        {
+          const telemetry::TraceSpan span(ctx_.trace(), "lp",
+                                          "simplex.phase1");
+          s = iterate();
+        }
         phase1_ = false;
         if (restart_phase1_) {
           if (recoveries_ > kMaxRecoveries) return SolveStatus::kNumericalError;
@@ -205,7 +212,11 @@ class RevisedSimplex {
         if (has_infeasible_basic()) return SolveStatus::kInfeasible;
       }
       const int before = iterations_;
-      const SolveStatus s = iterate();
+      SolveStatus s;
+      {
+        const telemetry::TraceSpan span(ctx_.trace(), "lp", "simplex.phase2");
+        s = iterate();
+      }
       if (restart_phase1_) {
         if (recoveries_ > kMaxRecoveries) return SolveStatus::kNumericalError;
         continue;
@@ -369,6 +380,7 @@ class RevisedSimplex {
 
   /// Factorizes the current basis and recomputes values. False on singular.
   [[nodiscard]] bool refactorize() {
+    const telemetry::TraceSpan span(ctx_.trace(), "lp", "simplex.factorize");
     if (!engine_->factorize(prep_.columns, basis_)) return false;
     pivots_since_refactor_ = 0;
     recompute_values();
@@ -885,6 +897,17 @@ LpSolution SimplexSolver::solve(const PreparedLp& prep,
   stats.add("pricing_candidate_hits", static_cast<double>(core.candidate_hits()));
   stats.add("pricing_full_scans", static_cast<double>(core.full_scans()));
   stats.add("warm_starts", core.warm_started() ? 1.0 : 0.0);
+  if (telemetry::MetricsRegistry* reg = ctx.metrics()) {
+    reg->counter("etransform_simplex_solves_total",
+                 "Simplex solve() calls observed by this registry")
+        .increment();
+    reg->counter("etransform_simplex_pivots_total",
+                 "Simplex pivots across all solves")
+        .add(solution.iterations);
+    reg->counter("etransform_simplex_refactorizations_total",
+                 "Basis refactorizations across all solves")
+        .add(solution.refactorizations);
+  }
   if (status != SolveStatus::kOptimal) return solution;
 
   solution.values.resize(static_cast<std::size_t>(prep.num_vars));

@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "telemetry/trace.h"
 
 namespace etransform::milp {
 
@@ -337,7 +338,18 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
 
   bool budget_exhausted = false;
   std::optional<MilpStatus> interrupted;
+  // Per-node spans would dominate the trace; batch them so a million-node
+  // search stays viewable. Each span covers up to kNodesPerBatchSpan nodes.
+  constexpr long long kNodesPerBatchSpan = 256;
+  std::optional<telemetry::TraceSpan> batch_span;
+  long long next_batch_node = 0;
   while (!open.empty()) {
+    if (telemetry::TraceRecorder* rec = ctx.trace();
+        rec != nullptr && result.nodes >= next_batch_node) {
+      batch_span.reset();
+      batch_span.emplace(rec, "milp", "bnb.node_batch");
+      next_batch_node = result.nodes + kNodesPerBatchSpan;
+    }
     // The best open node defines the global bound.
     const double fresh_bound = open.best_bound();
     if (fresh_bound > global_bound + 1e-12) {
@@ -440,6 +452,8 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
       }
     }
   }
+
+  batch_span.reset();
 
   if (open.empty() && !budget_exhausted && !interrupted) {
     // Exhausted the tree: the incumbent (if any) is optimal.

@@ -6,8 +6,27 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "cost/cost_model.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace etransform {
+
+// Instruments are resolved once at attach_telemetry() so the per-job path
+// pays pointer bumps, not name lookups. Null members mean "not attached" or
+// "no registry" — every use is guarded.
+struct FarmTelemetry {
+  telemetry::TraceRecorder* trace = nullptr;
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::Gauge* queue_depth = nullptr;
+  telemetry::Gauge* jobs_inflight = nullptr;
+  telemetry::Counter* submitted = nullptr;
+  telemetry::Counter* done = nullptr;
+  telemetry::Counter* cancelled = nullptr;
+  telemetry::Counter* failed = nullptr;
+  telemetry::Counter* deadline_hits = nullptr;
+  telemetry::Histogram* wait_ms = nullptr;
+  telemetry::Histogram* solve_ms = nullptr;
+};
 
 const char* to_string(JobState state) {
   switch (state) {
@@ -53,6 +72,7 @@ double SolveJob::solve_ms() const {
 
 void SolveJob::cancel() {
   std::function<void()> hook;
+  bool cancelled_while_queued = false;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     cancel_requested_ = true;
@@ -62,12 +82,21 @@ void SolveJob::cancel() {
       // (kQueued -> kRunning) in the gap, after which a bare terminal write
       // would release waiters while the solve still runs.
       state_ = JobState::kCancelled;
+      cancelled_while_queued = true;
       hook = std::move(request_.on_complete);
       terminal_cv_.notify_all();
     } else if (state_ == JobState::kRunning) {
       ctx_.request_cancel();
     }
     // Terminal states: nothing to do beyond recording the request.
+  }
+  // A job cancelled while queued never reaches run_job, so its lifecycle
+  // telemetry terminates here (running jobs record theirs in run_job).
+  if (cancelled_while_queued && telemetry_ != nullptr) {
+    if (telemetry_->cancelled != nullptr) telemetry_->cancelled->increment();
+    if (telemetry_->trace != nullptr) {
+      telemetry_->trace->async_end("job", "job", id_);
+    }
   }
   // Outside the lock, matching finish(): the hook may cancel() other jobs
   // or inspect this one.
@@ -154,9 +183,23 @@ JobHandle SolveService::submit(SolveRequest request) {
       throw InvalidInputError("SolveService: submit after shutdown");
     }
     job = JobHandle(new SolveJob(next_id_++, std::move(request)));
+    job->telemetry_ = telemetry_;
     live_jobs_.emplace(job->id(), job);
   }
+  if (const auto& telem = job->telemetry_) {
+    job->ctx_.set_trace(telem->trace);
+    job->ctx_.set_metrics(telem->metrics);
+  }
   queue_.push(job);
+  if (const auto& telem = job->telemetry_) {
+    if (telem->submitted != nullptr) telem->submitted->increment();
+    if (telem->queue_depth != nullptr) {
+      telem->queue_depth->set(static_cast<double>(queue_.size()));
+    }
+    if (telem->trace != nullptr) {
+      telem->trace->async_begin("job", "job", job->id());
+    }
+  }
   // One pool task per admitted job; the task serves the *highest-priority*
   // queued job, which is not necessarily the one admitted here.
   pool_.submit([this] {
@@ -173,32 +216,50 @@ void SolveService::run_job(const JobHandle& job) {
                 << " groups, " << job->request_.instance.num_sites()
                 << " sites)";
   const Stopwatch watch;
+  const std::shared_ptr<FarmTelemetry> telem = job->telemetry_;
+  if (telem != nullptr) {
+    if (telem->wait_ms != nullptr) {
+      telem->wait_ms->observe(job->wait_watch_.elapsed_ms());
+    }
+    if (telem->queue_depth != nullptr) {
+      telem->queue_depth->set(static_cast<double>(queue_.size()));
+    }
+    if (telem->jobs_inflight != nullptr) telem->jobs_inflight->add(1.0);
+    if (telem->trace != nullptr) {
+      telem->trace->async_instant("job", "claim", job->id());
+    }
+  }
   JobState terminal = JobState::kDone;
   // The budget starts when the solve starts: queueing delay under load must
   // not eat a job's solve time.
   if (job->request_.time_limit_ms > 0.0) {
     job->ctx_.set_deadline(Deadline::after_ms(job->request_.time_limit_ms));
   }
-  try {
-    const CostModel model(job->request_.instance);
-    const EtransformPlanner planner(job->request_.options);
-    PlannerReport report = planner.plan(model, job->ctx_);
-    {
-      // Result writes under mu_: clients may poll has_report()/solve_ms()
-      // while the job is still running.
-      const std::lock_guard<std::mutex> lock(job->mu_);
-      job->report_ = std::move(report);
-      job->has_report_ = true;
+  {
+    const telemetry::TraceSpan solve_span(
+        telem != nullptr ? telem->trace : nullptr, "job", "job.solve");
+    try {
+      const CostModel model(job->request_.instance);
+      const EtransformPlanner planner(job->request_.options);
+      PlannerReport report = planner.plan(model, job->ctx_);
+      {
+        // Result writes under mu_: clients may poll has_report()/solve_ms()
+        // while the job is still running.
+        const std::lock_guard<std::mutex> lock(job->mu_);
+        job->report_ = std::move(report);
+        job->has_report_ = true;
+      }
+      terminal =
+          job->ctx_.cancelled() ? JobState::kCancelled : JobState::kDone;
+    } catch (const std::exception& e) {
+      {
+        const std::lock_guard<std::mutex> lock(job->mu_);
+        job->error_ = e.what();
+      }
+      // A planner unwound by our own cancellation is cancelled, not failed.
+      terminal =
+          job->ctx_.cancelled() ? JobState::kCancelled : JobState::kFailed;
     }
-    terminal = job->ctx_.cancelled() ? JobState::kCancelled : JobState::kDone;
-  } catch (const std::exception& e) {
-    {
-      const std::lock_guard<std::mutex> lock(job->mu_);
-      job->error_ = e.what();
-    }
-    // A planner unwound by our own cancellation is cancelled, not failed.
-    terminal =
-        job->ctx_.cancelled() ? JobState::kCancelled : JobState::kFailed;
   }
   const double solve_ms = watch.elapsed_ms();
   {
@@ -207,9 +268,61 @@ void SolveService::run_job(const JobHandle& job) {
   }
   ET_LOG(kInfo) << "solve_farm: " << to_string(terminal) << " in " << solve_ms
                 << " ms";
+  if (telem != nullptr) {
+    if (telem->jobs_inflight != nullptr) telem->jobs_inflight->add(-1.0);
+    if (telem->solve_ms != nullptr) telem->solve_ms->observe(solve_ms);
+    telemetry::Counter* outcome =
+        terminal == JobState::kDone
+            ? telem->done
+            : terminal == JobState::kCancelled ? telem->cancelled
+                                               : telem->failed;
+    if (outcome != nullptr) outcome->increment();
+    if (telem->deadline_hits != nullptr && job->request_.time_limit_ms > 0.0 &&
+        job->ctx_.deadline().expired()) {
+      telem->deadline_hits->increment();
+    }
+    if (telem->trace != nullptr) {
+      telem->trace->async_end("job", "job", job->id());
+    }
+  }
   job->finish(terminal);
   const std::lock_guard<std::mutex> lock(jobs_mu_);
   live_jobs_.erase(job->id());
+}
+
+void SolveService::attach_telemetry(telemetry::TraceRecorder* trace,
+                                    telemetry::MetricsRegistry* metrics) {
+  auto telem = std::make_shared<FarmTelemetry>();
+  telem->trace = trace;
+  telem->metrics = metrics;
+  if (metrics != nullptr) {
+    telem->queue_depth =
+        &metrics->gauge("etransform_farm_queue_depth",
+                        "Jobs admitted but not yet claimed by a worker");
+    telem->jobs_inflight = &metrics->gauge("etransform_farm_jobs_inflight",
+                                           "Jobs currently solving");
+    telem->submitted = &metrics->counter("etransform_farm_jobs_submitted_total",
+                                         "Jobs admitted to the farm");
+    telem->done = &metrics->counter("etransform_farm_jobs_done_total",
+                                    "Jobs that completed their solve");
+    telem->cancelled =
+        &metrics->counter("etransform_farm_jobs_cancelled_total",
+                          "Jobs cancelled while queued or mid-solve");
+    telem->failed = &metrics->counter("etransform_farm_jobs_failed_total",
+                                      "Jobs whose planner threw");
+    telem->deadline_hits =
+        &metrics->counter("etransform_farm_deadline_hits_total",
+                          "Jobs whose per-job time limit expired");
+    telem->wait_ms = &metrics->histogram("etransform_farm_job_wait_ms",
+                                         "Queue wait per job in milliseconds");
+    telem->solve_ms = &metrics->histogram(
+        "etransform_farm_job_solve_ms", "Solve wall time per job in ms");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    telemetry_ = std::move(telem);
+  }
+  pool_.set_trace_recorder(trace);
 }
 
 void SolveService::cancel_all() {

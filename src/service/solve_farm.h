@@ -33,11 +33,21 @@
 #include <string>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "model/entities.h"
 #include "planner/etransform_planner.h"
 
+namespace etransform::telemetry {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace etransform::telemetry
+
 namespace etransform {
+
+/// Pre-resolved telemetry instruments shared by the service and its jobs
+/// (defined in solve_farm.cpp; null pointer members mean "not attached").
+struct FarmTelemetry;
 
 /// Scheduling class of a job. Lower value = served first.
 enum class JobPriority { kHigh = 0, kNormal = 1, kLow = 2 };
@@ -124,6 +134,12 @@ class SolveJob {
   PlannerReport report_;
   std::string error_;
   double solve_ms_ = 0.0;
+
+  /// Started at admission; read by the worker to observe queue wait.
+  Stopwatch wait_watch_;
+  /// Shared with the service so cancel-path telemetry outlives detached
+  /// handles. Set once at submit, immutable afterwards.
+  std::shared_ptr<FarmTelemetry> telemetry_;
 };
 
 using JobHandle = std::shared_ptr<SolveJob>;
@@ -183,6 +199,16 @@ class SolveService {
   [[nodiscard]] int num_threads() const { return pool_.num_threads(); }
   [[nodiscard]] ThreadPool& pool() { return pool_; }
 
+  /// Attaches observability: every subsequent job records its lifecycle as
+  /// async trace events keyed by job id (enqueue -> claim -> solve ->
+  /// terminal), runs with `trace`/`metrics` on its SolveContext, and the
+  /// farm maintains queue-depth/in-flight gauges, terminal-state counters,
+  /// and wait/solve latency histograms in `metrics`. Either argument may be
+  /// null; both must outlive the service. Jobs already admitted are
+  /// unaffected.
+  void attach_telemetry(telemetry::TraceRecorder* trace,
+                        telemetry::MetricsRegistry* metrics);
+
  private:
   void run_job(const JobHandle& job);
 
@@ -191,6 +217,7 @@ class SolveService {
   std::map<long long, JobHandle> live_jobs_;  // admitted, not yet terminal
   long long next_id_ = 1;
   bool shutting_down_ = false;
+  std::shared_ptr<FarmTelemetry> telemetry_;
   ThreadPool pool_;  // last member: workers stop before queues are destroyed
 };
 

@@ -1,0 +1,80 @@
+#include "telemetry/artifacts.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace etransform::telemetry {
+
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+bool write_text_file(const std::string& path, std::string_view content,
+                     std::string* error) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) {
+      set_error(error, "cannot create '" + p.parent_path().string() +
+                           "': " + ec.message());
+      return false;
+    }
+  }
+  std::ofstream out(p, std::ios::binary);
+  if (!out) {
+    set_error(error, "cannot write '" + path + "'");
+    return false;
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.close();
+  if (!out) {
+    set_error(error, "short write to '" + path + "'");
+    return false;
+  }
+  return true;
+}
+
+bool write_run_artifacts(const std::string& dir, const TraceRecorder* trace,
+                         const MetricsRegistry* metrics,
+                         std::string_view stats_json, ArtifactPaths* paths,
+                         std::string* error) {
+  const std::filesystem::path base(dir);
+  std::error_code ec;
+  std::filesystem::create_directories(base, ec);
+  if (ec) {
+    set_error(error, "cannot create '" + dir + "': " + ec.message());
+    return false;
+  }
+  ArtifactPaths written;
+  if (trace != nullptr) {
+    written.trace_json = (base / "trace.json").string();
+    if (!write_text_file(written.trace_json, trace->to_chrome_json(), error)) {
+      return false;
+    }
+  }
+  if (metrics != nullptr) {
+    written.metrics_prom = (base / "metrics.prom").string();
+    if (!write_text_file(written.metrics_prom, metrics->render_prometheus(),
+                         error)) {
+      return false;
+    }
+  }
+  if (!stats_json.empty()) {
+    written.stats_json = (base / "stats.json").string();
+    std::string payload(stats_json);
+    payload += '\n';
+    if (!write_text_file(written.stats_json, payload, error)) return false;
+  }
+  if (paths != nullptr) *paths = written;
+  return true;
+}
+
+}  // namespace etransform::telemetry

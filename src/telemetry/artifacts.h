@@ -1,0 +1,43 @@
+// Run-artifact writer: one directory per run holding the exported
+// observability files —
+//
+//   trace.json    Chrome Trace Event Format (open in Perfetto)
+//   metrics.prom  Prometheus text exposition (scrape or `promtool check`)
+//   stats.json    the hierarchical SolveStats tree (caller-rendered JSON)
+//
+// Deliberately decoupled from the solver stack: the stats payload arrives as
+// an opaque JSON string, so this layer depends only on the recorder and
+// registry it drains.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace etransform::telemetry {
+
+class TraceRecorder;
+class MetricsRegistry;
+
+/// Paths actually written (empty when the corresponding input was absent).
+struct ArtifactPaths {
+  std::string trace_json;
+  std::string metrics_prom;
+  std::string stats_json;
+};
+
+/// Writes `content` to `path`, creating parent directories. Returns false and
+/// fills `*error` (if given) on failure.
+bool write_text_file(const std::string& path, std::string_view content,
+                     std::string* error = nullptr);
+
+/// Creates `dir` and writes every artifact that has a source: trace.json
+/// when `trace` is non-null, metrics.prom when `metrics` is non-null, and
+/// stats.json when `stats_json` is non-empty. Returns false on the first
+/// failure (earlier files may already be on disk).
+bool write_run_artifacts(const std::string& dir, const TraceRecorder* trace,
+                         const MetricsRegistry* metrics,
+                         std::string_view stats_json,
+                         ArtifactPaths* paths = nullptr,
+                         std::string* error = nullptr);
+
+}  // namespace etransform::telemetry

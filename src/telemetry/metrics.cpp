@@ -1,0 +1,170 @@
+#include "telemetry/metrics.h"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace etransform::telemetry {
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  const auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(name.front())) return false;
+  for (const char c : name.substr(1)) {
+    if (!tail(c)) return false;
+  }
+  return true;
+}
+
+void append_number(std::string& out, double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", v);
+  out += buffer;
+}
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    case 2: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> MetricsRegistry::log_buckets(double lo, double hi,
+                                                 double factor) {
+  std::vector<double> bounds;
+  if (lo <= 0.0 || factor <= 1.0) {
+    throw std::invalid_argument("log_buckets: need lo > 0 and factor > 1");
+  }
+  for (double b = lo; b < hi * factor; b *= factor) {
+    bounds.push_back(b);
+    if (bounds.size() >= 64) break;  // runaway-factor backstop
+  }
+  return bounds;
+}
+
+std::vector<double> MetricsRegistry::default_latency_ms_buckets() {
+  // 0.25ms .. ~2min in x2 steps: 20 buckets covering sub-ms LP solves
+  // through multi-second MILPs and minute-scale sweeps.
+  return log_buckets(0.25, 120000.0, 2.0);
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    std::string_view name, std::string_view help, Kind kind,
+    std::vector<double>* bounds) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("invalid metric name '" + std::string(name) +
+                                "'");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->name == name) {
+      if (entry->kind != kind) {
+        throw std::invalid_argument(
+            "metric '" + std::string(name) + "' already registered as " +
+            kind_name(static_cast<int>(entry->kind)) + ", requested " +
+            kind_name(static_cast<int>(kind)));
+      }
+      return *entry;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name.assign(name);
+  entry->help.assign(help);
+  entry->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram: {
+      std::vector<double> b =
+          bounds != nullptr && !bounds->empty() ? std::move(*bounds)
+                                                : default_latency_ms_buckets();
+      entry->histogram.reset(new Histogram(std::move(b)));
+      break;
+    }
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  return *find_or_create(name, help, Kind::kCounter, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  return *find_or_create(name, help, Kind::kGauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help,
+                                      std::vector<double> bounds) {
+  return *find_or_create(name, help, Kind::kHistogram, &bounds).histogram;
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& entry : entries_) {
+    if (!entry->help.empty()) {
+      out += "# HELP " + entry->name + " " + entry->help + "\n";
+    }
+    out += "# TYPE " + entry->name + " " +
+           kind_name(static_cast<int>(entry->kind)) + "\n";
+    switch (entry->kind) {
+      case Kind::kCounter:
+        out += entry->name + " ";
+        append_number(out, entry->counter->value());
+        out += '\n';
+        break;
+      case Kind::kGauge:
+        out += entry->name + " ";
+        append_number(out, entry->gauge->value());
+        out += '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket_count(i);
+          out += entry->name + "_bucket{le=\"";
+          append_number(out, h.bounds()[i]);
+          out += "\"} " + std::to_string(cumulative) + "\n";
+        }
+        cumulative += h.bucket_count(h.bounds().size());
+        out += entry->name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(cumulative) + "\n";
+        out += entry->name + "_sum ";
+        append_number(out, h.sum());
+        out += '\n';
+        out += entry->name + "_count " + std::to_string(cumulative) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace etransform::telemetry

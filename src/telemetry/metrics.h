@@ -1,0 +1,147 @@
+// MetricsRegistry: named counters, gauges, and log-bucketed histograms with
+// a Prometheus text-exposition dump.
+//
+// Instruments are registered once (mutex-guarded, by name) and then updated
+// lock-free: counters and gauges are a single atomic double; a histogram
+// observation is one atomic add per bucket counter plus one for the sum.
+// Registration returns a stable reference — instrument storage never moves —
+// so hot paths hold a pointer and pay no name lookup.
+//
+// The exposition format follows the Prometheus text format: `# HELP` and
+// `# TYPE` comments, cumulative `_bucket{le="..."}` lines ending in
+// `le="+Inf"`, and `_sum` / `_count` totals per histogram. Metric names are
+// validated against [a-zA-Z_:][a-zA-Z0-9_:]* at registration.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace etransform::telemetry {
+
+namespace detail {
+/// Portable atomic += for doubles (CAS loop; fetch_add on atomic<double> is
+/// C++20 but not universally lock-free yet).
+inline void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Monotonically increasing count. Negative deltas are ignored.
+class Counter {
+ public:
+  void add(double delta) {
+    if (delta > 0.0) detail::atomic_add(value_, delta);
+  }
+  void increment() { add(1.0); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A value that can go up and down (queue depth, jobs in flight).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) { detail::atomic_add(value_, delta); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket bounds are upper bounds (inclusive), in
+/// increasing order; an implicit +Inf bucket catches the tail.
+class Histogram {
+ public:
+  void observe(double v) {
+    detail::atomic_add(sum_, v);
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      total += counts_[i].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Count in bucket `i` (i == bounds().size() is the +Inf bucket).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds + Inf
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or registers the counter named `name`. Throws std::invalid_argument
+  /// on an invalid name or if `name` is already registered as another kind.
+  Counter& counter(std::string_view name, std::string_view help = "");
+  Gauge& gauge(std::string_view name, std::string_view help = "");
+
+  /// Finds or registers a histogram. An empty `bounds` uses the default
+  /// log-spaced latency buckets (milliseconds, 0.25ms .. ~2min).
+  Histogram& histogram(std::string_view name, std::string_view help = "",
+                       std::vector<double> bounds = {});
+
+  /// Log-spaced bucket bounds: lo, lo*factor, ... up to >= hi.
+  [[nodiscard]] static std::vector<double> log_buckets(double lo, double hi,
+                                                       double factor = 2.0);
+
+  /// The default latency buckets used when none are given.
+  [[nodiscard]] static std::vector<double> default_latency_ms_buckets();
+
+  /// Prometheus text exposition of every registered instrument, in
+  /// registration order.
+  [[nodiscard]] std::string render_prometheus() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(std::string_view name, std::string_view help,
+                        Kind kind, std::vector<double>* bounds);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace etransform::telemetry

@@ -1,0 +1,242 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace etransform::telemetry {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_recorder_id{1};
+
+/// Per-thread cache of "which recorder did I last record into, and where is
+/// my buffer". Keyed by a globally unique recorder id (never an address, so
+/// a recorder allocated where a destroyed one lived cannot alias a stale
+/// cache entry).
+struct TlsSlot {
+  std::uint64_t recorder_id = 0;
+  void* buffer = nullptr;
+};
+thread_local TlsSlot tls_slot;
+
+/// Bounded NUL-terminated copy into a fixed record field.
+template <std::size_t N>
+void copy_field(char (&dst)[N], std::string_view src) {
+  const std::size_t n = std::min(src.size(), N - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Emits one trace event object. `ph` is the Chrome phase character.
+void append_event(std::string& out, bool& first, char ph, int tid,
+                  std::uint64_t ts_us, std::string_view cat,
+                  std::string_view name, const std::int64_t* id,
+                  const std::int64_t* arg) {
+  if (!first) out += ',';
+  first = false;
+  out += "{\"ph\":\"";
+  out += ph;
+  out += "\",\"pid\":1,\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"ts\":";
+  out += std::to_string(ts_us);
+  out += ",\"cat\":";
+  append_json_escaped(out, cat);
+  out += ",\"name\":";
+  append_json_escaped(out, name);
+  if (ph == 'i') out += ",\"s\":\"t\"";  // instant scope: thread
+  if (id != nullptr) {
+    out += ",\"id\":";
+    out += std::to_string(*id);
+  }
+  if (arg != nullptr && *arg != 0) {
+    out += ",\"args\":{\"value\":";
+    out += std::to_string(*arg);
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity_per_thread)
+    : recorder_id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      capacity_(std::max<std::size_t>(capacity_per_thread, 16)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+std::uint64_t TraceRecorder::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::current_buffer() {
+  if (tls_slot.recorder_id == recorder_id_) {
+    return static_cast<ThreadBuffer*>(tls_slot.buffer);
+  }
+  // Slow path: first record from this thread (or the thread last recorded
+  // into a different recorder). Find or create this thread's buffer.
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::thread::id me = std::this_thread::get_id();
+  for (const auto& buffer : buffers_) {
+    if (buffer->owner == me) {
+      tls_slot = {recorder_id_, buffer.get()};
+      return buffer.get();
+    }
+  }
+  auto fresh = std::make_unique<ThreadBuffer>();
+  fresh->records.resize(capacity_);
+  fresh->owner = me;
+  fresh->tid = static_cast<int>(buffers_.size()) + 1;
+  fresh->name = "thread-" + std::to_string(fresh->tid);
+  ThreadBuffer* raw = fresh.get();
+  buffers_.push_back(std::move(fresh));
+  tls_slot = {recorder_id_, raw};
+  return raw;
+}
+
+void TraceRecorder::set_current_thread_name(std::string_view name) {
+  ThreadBuffer* buffer = current_buffer();
+  const std::lock_guard<std::mutex> lock(mu_);
+  buffer->name.assign(name);
+}
+
+void TraceRecorder::record(TraceRecord::Type type, std::string_view cat,
+                           std::string_view name, std::int64_t id) {
+  ThreadBuffer* buffer = current_buffer();
+  const std::size_t n = buffer->count.load(std::memory_order_relaxed);
+  if (n >= capacity_) {
+    buffer->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceRecord& r = buffer->records[n];
+  r.ts_us = now_us();
+  r.id = id;
+  r.type = type;
+  copy_field(r.cat, cat);
+  copy_field(r.name, name);
+  // Publish: a drain that acquire-loads count sees the record fully written.
+  buffer->count.store(n + 1, std::memory_order_release);
+}
+
+std::size_t TraceRecorder::recorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += buffer->count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int TraceRecorder::thread_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(buffers_.size());
+}
+
+void TraceRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    buffer->count.store(0, std::memory_order_relaxed);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buffer : buffers_) {
+    // Track metadata so Perfetto labels the track.
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(buffer->tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    append_json_escaped(out, buffer->name);
+    out += "}}";
+
+    const std::size_t n = buffer->count.load(std::memory_order_acquire);
+    // Open-span stack for balance: a begin whose end was not published yet
+    // (drain mid-run) is closed synthetically; an end whose begin was
+    // cleared away is skipped. The exported stream is always balanced.
+    std::vector<const TraceRecord*> open;
+    std::uint64_t last_ts = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const TraceRecord& r = buffer->records[k];
+      last_ts = std::max(last_ts, r.ts_us);
+      switch (r.type) {
+        case TraceRecord::Type::kBegin:
+          append_event(out, first, 'B', buffer->tid, r.ts_us, r.cat, r.name,
+                       nullptr, &r.id);
+          open.push_back(&r);
+          break;
+        case TraceRecord::Type::kEnd:
+          if (open.empty()) break;  // begin lost to clear(); keep balance
+          open.pop_back();
+          append_event(out, first, 'E', buffer->tid, r.ts_us, r.cat, r.name,
+                       nullptr, nullptr);
+          break;
+        case TraceRecord::Type::kInstant:
+          append_event(out, first, 'i', buffer->tid, r.ts_us, r.cat, r.name,
+                       nullptr, &r.id);
+          break;
+        case TraceRecord::Type::kAsyncBegin:
+          append_event(out, first, 'b', buffer->tid, r.ts_us, r.cat, r.name,
+                       &r.id, nullptr);
+          break;
+        case TraceRecord::Type::kAsyncInstant:
+          append_event(out, first, 'n', buffer->tid, r.ts_us, r.cat, r.name,
+                       &r.id, nullptr);
+          break;
+        case TraceRecord::Type::kAsyncEnd:
+          append_event(out, first, 'e', buffer->tid, r.ts_us, r.cat, r.name,
+                       &r.id, nullptr);
+          break;
+      }
+    }
+    // Close spans still open at drain time, innermost first.
+    for (auto it = open.rbegin(); it != open.rend(); ++it) {
+      append_event(out, first, 'E', buffer->tid, last_ts, (*it)->cat,
+                   (*it)->name, nullptr, nullptr);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace etransform::telemetry

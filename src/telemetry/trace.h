@@ -1,0 +1,167 @@
+// TraceRecorder: cross-thread span tracing drained into Chrome Trace Event
+// Format JSON (viewable in Perfetto / chrome://tracing).
+//
+// Design constraints, in order:
+//
+//  * Disabled must be free. Every instrumentation point guards on a nullable
+//    TraceRecorder*; with a null recorder a TraceSpan is a single branch and
+//    three pointer stores — no allocation, no atomics (the same contract
+//    SolveEvents established for callbacks).
+//  * Enabled must be lock-free on the hot path. Each recording thread owns a
+//    fixed-capacity ring of TraceRecords; a record is written in place and
+//    then *published* with a release store of the count, so a concurrent
+//    drain (acquire load) never reads a half-written record. The only mutex
+//    is taken on a thread's first record (registration) and during drains.
+//  * Full buffers drop, never block and never wrap. Overwriting old records
+//    would tear begin/end pairing; dropping new ones keeps every published
+//    record immutable (TSan-clean) and is counted in dropped().
+//
+// Record vocabulary (matching the Chrome trace "ph" field):
+//  * begin/end        — duration events ("B"/"E"); strictly nested per
+//                       thread because they are only emitted by RAII
+//                       TraceSpan guards and SolveScope.
+//  * instant          — point events ("i"), e.g. one presolve reduction.
+//  * async begin/instant/end — cross-thread lifecycles ("b"/"n"/"e") keyed
+//                       by an id, e.g. a SolveFarm job that is enqueued on
+//                       the caller thread and solved on a worker.
+//
+// Names and categories are copied into fixed-width fields at record time
+// (bounded memcpy, no allocation), so callers may pass transient strings.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace etransform::telemetry {
+
+/// One published trace record. Fixed-size POD so a thread's ring is a flat
+/// preallocated array and the hot path never allocates.
+struct TraceRecord {
+  enum class Type : std::uint8_t {
+    kBegin,
+    kEnd,
+    kInstant,
+    kAsyncBegin,
+    kAsyncInstant,
+    kAsyncEnd,
+  };
+
+  std::uint64_t ts_us = 0;  ///< Integer microseconds since the recorder epoch.
+  std::int64_t id = 0;      ///< Async id, or a numeric arg for instants.
+  Type type = Type::kInstant;
+  char cat[15] = {};   ///< Category, NUL-terminated (truncated if longer).
+  char name[40] = {};  ///< Event name, NUL-terminated (truncated if longer).
+};
+
+class TraceRecorder {
+ public:
+  /// `capacity_per_thread` bounds each thread's ring; records past it are
+  /// dropped (and counted), never overwritten.
+  explicit TraceRecorder(std::size_t capacity_per_thread = 1 << 15);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Names the calling thread's track in the exported trace ("worker-3").
+  /// Registers the thread if it has not recorded yet.
+  void set_current_thread_name(std::string_view name);
+
+  // Hot-path recording (lock-free after the calling thread's first record).
+  void begin(std::string_view cat, std::string_view name) {
+    record(TraceRecord::Type::kBegin, cat, name, 0);
+  }
+  void end(std::string_view cat, std::string_view name) {
+    record(TraceRecord::Type::kEnd, cat, name, 0);
+  }
+  void instant(std::string_view cat, std::string_view name,
+               std::int64_t arg = 0) {
+    record(TraceRecord::Type::kInstant, cat, name, arg);
+  }
+  void async_begin(std::string_view cat, std::string_view name,
+                   std::int64_t id) {
+    record(TraceRecord::Type::kAsyncBegin, cat, name, id);
+  }
+  void async_instant(std::string_view cat, std::string_view name,
+                     std::int64_t id) {
+    record(TraceRecord::Type::kAsyncInstant, cat, name, id);
+  }
+  void async_end(std::string_view cat, std::string_view name,
+                 std::int64_t id) {
+    record(TraceRecord::Type::kAsyncEnd, cat, name, id);
+  }
+
+  /// Microseconds since the recorder was constructed (the trace epoch).
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// Published records across all threads (safe while recording continues).
+  [[nodiscard]] std::size_t recorded() const;
+
+  /// Records dropped because a thread's ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Threads that have recorded at least once.
+  [[nodiscard]] int thread_count() const;
+
+  /// Resets every thread's ring to empty. NOT safe while any thread is
+  /// recording — benchmark/test use only.
+  void clear();
+
+  /// Drains everything published so far into a Chrome Trace Event Format
+  /// JSON document. Safe to call while other threads keep recording (their
+  /// later records are simply not included). Spans still open at drain time
+  /// are closed with a synthetic "E" at the thread's last timestamp, so the
+  /// output always has balanced begin/end pairs.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  struct ThreadBuffer {
+    std::vector<TraceRecord> records;  // preallocated to capacity
+    std::atomic<std::size_t> count{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::thread::id owner;
+    std::string name;
+    int tid = 0;
+  };
+
+  void record(TraceRecord::Type type, std::string_view cat,
+              std::string_view name, std::int64_t id);
+  ThreadBuffer* current_buffer();
+
+  const std::uint64_t recorder_id_;  // globally unique, for TLS cache keying
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  // guards buffers_ growth and thread names
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII duration span. With a null recorder the constructor and destructor
+/// are each a single predictable branch — safe to leave in hot loops.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, const char* cat, const char* name)
+      : recorder_(recorder), cat_(cat), name_(name) {
+    if (recorder_ != nullptr) recorder_->begin(cat_, name_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (recorder_ != nullptr) recorder_->end(cat_, name_);
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  const char* cat_;
+  const char* name_;
+};
+
+}  // namespace etransform::telemetry

@@ -5,12 +5,14 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/random.h"
+#include "json_lite.h"
 #include "common/solve_context.h"
 #include "common/stopwatch.h"
 #include "datagen/generators.h"
@@ -290,6 +292,96 @@ TEST(SolveStats, JsonIsWellFormedAndEscapes) {
             std::count(json.begin(), json.end(), '}'));
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(SolveStats, JsonRoundTripsHostileNamesThroughAValidator) {
+  // Names exercising every escape class the emitter handles: quotes,
+  // backslashes, newline/tab, and sub-0x20 control characters.
+  const std::string hostile = "q\"uo\\te\nnew\tline\x01\x1f end";
+  SolveStats stats;
+  stats.name = hostile;
+  stats.wall_ms = 2.0;
+  stats.add("metric \"with\\escapes\"", 7.0);
+  stats.child("child\nname").add("k", 3.0);
+
+  test::JValue doc;
+  std::string error;
+  ASSERT_TRUE(test::json_parse(stats.to_json(), doc, &error)) << error;
+  ASSERT_EQ(doc.kind, test::JValue::Kind::kObject);
+  // Decoding the emitted JSON must yield the original bytes exactly.
+  const test::JValue* name = doc.get("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->str, hostile);
+  const test::JValue* metrics = doc.get("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->get("metric \"with\\escapes\""), nullptr);
+  EXPECT_EQ(metrics->get("metric \"with\\escapes\"")->num, 7.0);
+  const test::JValue* children = doc.get("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->arr.size(), 1u);
+  EXPECT_EQ(children->arr[0].get("name")->str, "child\nname");
+}
+
+TEST(SolveStats, DeepMetricSumsOverNestedChildren) {
+  SolveStats stats;
+  stats.add("pivots", 1.0);
+  stats.child("a").add("pivots", 10.0);
+  stats.child("a").child("a1").add("pivots", 100.0);
+  stats.child("b").add("pivots", 1000.0);
+  EXPECT_EQ(stats.deep_metric("pivots"), 1111.0);
+  // Re-fetch: child() references are invalidated by sibling insertion.
+  ASSERT_NE(stats.find("a"), nullptr);
+  EXPECT_EQ(stats.find("a")->deep_metric("pivots"), 110.0);
+  EXPECT_EQ(stats.deep_metric("absent"), 0.0);
+}
+
+TEST(SolveStats, RenderShowsEveryNodeWithMetricsAndIndentation) {
+  SolveStats stats;
+  stats.name = "root";
+  stats.wall_ms = 12.0;
+  stats.add("calls", 2.0);
+  SolveStats& child = stats.child("inner");
+  child.wall_ms = 5.0;
+  child.trace.push_back({1.0, 1, 2.0, 3.0});
+  const std::string text = stats.render();
+  EXPECT_NE(text.find("root: 12.0 ms, calls=2"), std::string::npos);
+  EXPECT_NE(text.find("\n  inner: 5.0 ms"), std::string::npos)
+      << "children indent two spaces under the parent:\n" << text;
+  EXPECT_NE(text.find("trace=1 samples"), std::string::npos);
+}
+
+TEST(SolveStats, FindWalksDottedPaths) {
+  SolveStats stats;
+  stats.child("branch_and_bound").child("simplex").add("pivots", 5.0);
+  const SolveStats* deep = stats.find("branch_and_bound.simplex");
+  ASSERT_NE(deep, nullptr);
+  EXPECT_EQ(deep->metric("pivots"), 5.0);
+  // Single names still address direct children only.
+  EXPECT_NE(stats.find("branch_and_bound"), nullptr);
+  EXPECT_EQ(stats.find("simplex"), nullptr);
+  EXPECT_EQ(stats.find("branch_and_bound.missing"), nullptr);
+  EXPECT_EQ(stats.find("missing.simplex"), nullptr);
+  EXPECT_EQ(stats.find(""), nullptr);
+}
+
+TEST(SolveScope, EarlyParentCloseFlushesOpenChildWallTime) {
+  SolveContext ctx;
+  auto parent = std::make_unique<SolveScope>(ctx, "parent");
+  auto child = std::make_unique<SolveScope>(ctx, "child");
+  SolveStats& child_stats = child->stats();
+  // Closing the parent while the child is still open must flush the child
+  // first (innermost-out), so no wall time is lost from the tree.
+  parent->close();
+  EXPECT_GE(child_stats.wall_ms, 0.0);
+  EXPECT_GE(parent->stats().wall_ms, child_stats.wall_ms);
+  EXPECT_EQ(&ctx.current_stats(), &ctx.stats())
+      << "current node must return to the root";
+  // The child's own close (via destructor) is now a no-op; wall time must
+  // not be double-counted.
+  const double flushed = child_stats.wall_ms;
+  child.reset();
+  EXPECT_EQ(child_stats.wall_ms, flushed);
+  parent.reset();
 }
 
 // ---- planner integration -------------------------------------------------

@@ -1,0 +1,567 @@
+// Tests for the telemetry subsystem: trace recorder allocation discipline
+// (zero-allocation hot path), drop-never-wrap semantics, Chrome JSON drain
+// validity under concurrency, metrics registry math and Prometheus
+// exposition, artifact writing, and end-to-end SolveFarm/SolveScope
+// integration.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <new>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/random.h"
+#include "common/solve_context.h"
+#include "datagen/generators.h"
+#include "json_lite.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "service/solve_farm.h"
+#include "telemetry/artifacts.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter. Counts every scalar/array new in the process so
+// tests can assert the recorder's hot path allocates nothing.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace etransform {
+namespace {
+
+using telemetry::MetricsRegistry;
+using telemetry::TraceRecorder;
+using telemetry::TraceSpan;
+
+std::uint64_t allocations() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+/// Parses a drained trace and fails the test on malformed JSON.
+test::JValue parse_trace(const std::string& json) {
+  test::JValue doc;
+  std::string error;
+  EXPECT_TRUE(test::json_parse(json, doc, &error)) << error;
+  return doc;
+}
+
+/// Per-tid duration balance: every "E" closes an earlier "B"; all depths
+/// return to zero; timestamps never go backwards within a tid.
+void expect_balanced_and_monotonic(const test::JValue& doc) {
+  const test::JValue* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::map<double, int> depth;
+  std::map<double, double> last_ts;
+  for (const test::JValue& e : events->arr) {
+    const std::string& ph = e.get("ph")->str;
+    if (ph == "M") continue;
+    const double tid = e.get("tid")->num;
+    const double ts = e.get("ts")->num;
+    EXPECT_GE(ts, last_ts[tid]) << "timestamps regress within tid " << tid;
+    last_ts[tid] = ts;
+    if (ph == "B") ++depth[tid];
+    if (ph == "E") {
+      --depth[tid];
+      EXPECT_GE(depth[tid], 0) << "E without matching B on tid " << tid;
+    }
+  }
+  for (const auto& [tid, d] : depth) {
+    EXPECT_EQ(d, 0) << "unbalanced spans on tid " << tid;
+  }
+}
+
+// ---- recorder basics ------------------------------------------------------
+
+TEST(TraceRecorder, DrainsNestedSpansAsBalancedChromeJson) {
+  TraceRecorder recorder;
+  recorder.set_current_thread_name("main");
+  recorder.begin("a", "outer");
+  recorder.begin("a", "inner");
+  recorder.instant("a", "tick", 42);
+  recorder.end("a", "inner");
+  recorder.end("a", "outer");
+  EXPECT_EQ(recorder.recorded(), 5u);
+  EXPECT_EQ(recorder.thread_count(), 1);
+
+  const test::JValue doc = parse_trace(recorder.to_chrome_json());
+  EXPECT_EQ(doc.get("displayTimeUnit")->str, "ms");
+  const test::JValue* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // 1 thread_name metadata record + 5 events.
+  ASSERT_EQ(events->arr.size(), 6u);
+  EXPECT_EQ(events->arr[0].get("ph")->str, "M");
+  EXPECT_EQ(events->arr[0].get("args")->get("name")->str, "main");
+  EXPECT_EQ(events->arr[1].get("name")->str, "outer");
+  EXPECT_EQ(events->arr[1].get("ph")->str, "B");
+  const test::JValue& instant = events->arr[3];
+  EXPECT_EQ(instant.get("ph")->str, "i");
+  EXPECT_EQ(instant.get("s")->str, "t");
+  EXPECT_EQ(instant.get("args")->get("value")->num, 42.0);
+  expect_balanced_and_monotonic(doc);
+}
+
+TEST(TraceRecorder, AsyncEventsCarryTheirIdAcrossThreads) {
+  TraceRecorder recorder;
+  recorder.async_begin("job", "job", 7);
+  std::thread worker([&] {
+    recorder.async_instant("job", "claim", 7);
+    recorder.async_end("job", "job", 7);
+  });
+  worker.join();
+  const test::JValue doc = parse_trace(recorder.to_chrome_json());
+  int b = 0;
+  int n = 0;
+  int e = 0;
+  for (const test::JValue& event : doc.get("traceEvents")->arr) {
+    const std::string& ph = event.get("ph")->str;
+    if (ph == "M") continue;
+    ASSERT_NE(event.get("id"), nullptr) << "async events must carry an id";
+    EXPECT_EQ(event.get("id")->num, 7.0);
+    if (ph == "b") ++b;
+    if (ph == "n") ++n;
+    if (ph == "e") ++e;
+  }
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(n, 1);
+  EXPECT_EQ(e, 1);
+  EXPECT_EQ(recorder.thread_count(), 2);
+}
+
+TEST(TraceRecorder, TruncatesOverlongNamesInsteadOfCorrupting) {
+  TraceRecorder recorder;
+  const std::string long_name(200, 'x');
+  recorder.begin("category-name-far-beyond-fifteen", long_name);
+  recorder.end("category-name-far-beyond-fifteen", long_name);
+  const test::JValue doc = parse_trace(recorder.to_chrome_json());
+  const test::JValue* events = doc.get("traceEvents");
+  bool saw = false;
+  for (const test::JValue& e : events->arr) {
+    if (e.get("ph")->str != "B") continue;
+    saw = true;
+    EXPECT_LT(e.get("name")->str.size(), long_name.size());
+    EXPECT_EQ(e.get("name")->str.substr(0, 8), "xxxxxxxx");
+    EXPECT_LE(e.get("cat")->str.size(), 14u);
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(TraceRecorder, OpenSpansAreSynthesizedClosedAtDrain) {
+  TraceRecorder recorder;
+  recorder.begin("a", "left-open");
+  recorder.begin("a", "also-open");
+  const test::JValue doc = parse_trace(recorder.to_chrome_json());
+  expect_balanced_and_monotonic(doc);
+  int ends = 0;
+  for (const test::JValue& e : doc.get("traceEvents")->arr) {
+    if (e.get("ph")->str == "E") ++ends;
+  }
+  EXPECT_EQ(ends, 2) << "drain must close both open spans synthetically";
+}
+
+TEST(TraceRecorder, FullBufferDropsNewRecordsAndStaysBalanced) {
+  // 16 is the recorder's minimum per-thread capacity.
+  TraceRecorder recorder(/*capacity_per_thread=*/16);
+  for (int i = 0; i < 100; ++i) {
+    recorder.begin("a", "span");
+    recorder.instant("a", "tick");
+    recorder.end("a", "span");
+  }
+  EXPECT_LE(recorder.recorded(), 16u);
+  EXPECT_GT(recorder.dropped(), 0u);
+  expect_balanced_and_monotonic(parse_trace(recorder.to_chrome_json()));
+}
+
+TEST(TraceRecorder, ClearResetsForReuse) {
+  TraceRecorder recorder;
+  recorder.begin("a", "x");
+  recorder.end("a", "x");
+  ASSERT_EQ(recorder.recorded(), 2u);
+  recorder.clear();
+  EXPECT_EQ(recorder.recorded(), 0u);
+  recorder.instant("a", "after-clear");
+  EXPECT_EQ(recorder.recorded(), 1u);
+  expect_balanced_and_monotonic(parse_trace(recorder.to_chrome_json()));
+}
+
+// ---- allocation discipline ------------------------------------------------
+
+TEST(TraceRecorder, DisabledSpanIsAllocationFree) {
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 1000; ++i) {
+    const TraceSpan span(nullptr, "lp", "simplex.factorize");
+  }
+  EXPECT_EQ(allocations() - before, 0u)
+      << "a null-recorder TraceSpan must be a branch, not an allocation";
+}
+
+TEST(TraceRecorder, EnabledHotPathIsAllocationFreeAfterRegistration) {
+  TraceRecorder recorder(/*capacity_per_thread=*/1 << 14);
+  recorder.instant("warm", "register-thread");  // first record registers
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 1000; ++i) {
+    const TraceSpan span(&recorder, "lp", "simplex.factorize");
+    recorder.instant("lp", "tick", i);
+  }
+  EXPECT_EQ(allocations() - before, 0u)
+      << "recording into the preallocated ring must not allocate";
+  EXPECT_EQ(recorder.recorded(), 3001u);
+}
+
+// ---- concurrency (primary TSan target) ------------------------------------
+
+TEST(TraceRecorder, ConcurrentRecordingAndDrainingIsSafe) {
+  TraceRecorder recorder(/*capacity_per_thread=*/1 << 12);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 400;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      recorder.set_current_thread_name("worker-" + std::to_string(t));
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        const TraceSpan span(&recorder, "test", "work");
+        recorder.async_instant("test", "beat", t);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Drain concurrently with the writers: must be safe (and see a prefix).
+  for (int drains = 0; drains < 5; ++drains) {
+    const test::JValue doc = parse_trace(recorder.to_chrome_json());
+    expect_balanced_and_monotonic(doc);
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread * 3);
+  EXPECT_EQ(recorder.thread_count(), kThreads);
+  const test::JValue doc = parse_trace(recorder.to_chrome_json());
+  expect_balanced_and_monotonic(doc);
+  std::set<std::string> names;
+  for (const test::JValue& e : doc.get("traceEvents")->arr) {
+    if (e.get("ph")->str == "M") names.insert(e.get("args")->get("name")->str);
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kThreads));
+}
+
+// ---- metrics registry -----------------------------------------------------
+
+TEST(Metrics, CounterIsMonotoneAndIgnoresNegativeDeltas) {
+  MetricsRegistry registry;
+  telemetry::Counter& c = registry.counter("etransform_test_total", "help");
+  c.increment();
+  c.add(4.0);
+  c.add(-100.0);  // ignored: counters only go up
+  c.add(0.0);     // ignored
+  EXPECT_EQ(c.value(), 5.0);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&registry.counter("etransform_test_total"), &c);
+}
+
+TEST(Metrics, GaugeMovesBothWays) {
+  MetricsRegistry registry;
+  telemetry::Gauge& g = registry.gauge("etransform_depth");
+  g.set(10.0);
+  g.add(-3.0);
+  EXPECT_EQ(g.value(), 7.0);
+}
+
+TEST(Metrics, HistogramBucketsObservationsCumulatively) {
+  MetricsRegistry registry;
+  telemetry::Histogram& h =
+      registry.histogram("etransform_lat_ms", "", {1.0, 2.0, 4.0});
+  for (const double v : {0.5, 1.5, 3.0, 100.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // <= 1
+  EXPECT_EQ(h.bucket_count(1), 1u);  // (1, 2]
+  EXPECT_EQ(h.bucket_count(2), 1u);  // (2, 4]
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +Inf
+
+  const std::string prom = registry.render_prometheus();
+  EXPECT_NE(prom.find("etransform_lat_ms_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("etransform_lat_ms_bucket{le=\"4\"} 3\n"),
+            std::string::npos)
+      << "buckets must be cumulative";
+  EXPECT_NE(prom.find("etransform_lat_ms_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("etransform_lat_ms_sum 105\n"), std::string::npos);
+  EXPECT_NE(prom.find("etransform_lat_ms_count 4\n"), std::string::npos);
+}
+
+TEST(Metrics, LogBucketsSpanTheRequestedRange) {
+  const std::vector<double> b = MetricsRegistry::log_buckets(1.0, 8.0, 2.0);
+  EXPECT_EQ(b, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_THROW(MetricsRegistry::log_buckets(0.0, 8.0), std::invalid_argument);
+  EXPECT_THROW(MetricsRegistry::log_buckets(1.0, 8.0, 1.0),
+               std::invalid_argument);
+  const std::vector<double> defaults =
+      MetricsRegistry::default_latency_ms_buckets();
+  ASSERT_FALSE(defaults.empty());
+  EXPECT_LT(defaults.front(), 1.0);      // sub-ms LP solves land in a bucket
+  EXPECT_GE(defaults.back(), 60000.0);   // minute-scale sweeps do too
+}
+
+TEST(Metrics, RejectsInvalidNamesAndKindMismatches) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter("0starts_with_digit"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("has space"), std::invalid_argument);
+  EXPECT_THROW(registry.counter(""), std::invalid_argument);
+  registry.counter("etransform_x_total");
+  EXPECT_THROW(registry.gauge("etransform_x_total"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("etransform_x_total"),
+               std::invalid_argument);
+}
+
+TEST(Metrics, ExpositionPassesALineLevelFormatLint) {
+  MetricsRegistry registry;
+  registry.counter("etransform_a_total", "a counter").add(3.0);
+  registry.gauge("etransform_b", "a gauge").set(-2.5);
+  registry.histogram("etransform_c_ms", "a histogram").observe(10.0);
+  const std::string prom = registry.render_prometheus();
+  // Every line is either a # HELP/# TYPE comment or `name{labels} value`.
+  const std::regex comment(R"(^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$)");
+  const std::regex sample(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9][0-9.eE+\-]*$)");
+  std::istringstream lines(prom);
+  std::string line;
+  int samples = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "no blank lines in the exposition";
+    if (line[0] == '#') {
+      EXPECT_TRUE(std::regex_match(line, comment)) << line;
+    } else {
+      EXPECT_TRUE(std::regex_match(line, sample)) << line;
+      ++samples;
+    }
+  }
+  // counter + gauge + (buckets + Inf + sum + count).
+  EXPECT_GE(samples, 2 + 4);
+}
+
+TEST(Metrics, ConcurrentUpdatesLoseNothing) {
+  MetricsRegistry registry;
+  telemetry::Counter& c = registry.counter("etransform_hits_total");
+  telemetry::Gauge& g = registry.gauge("etransform_level");
+  telemetry::Histogram& h = registry.histogram("etransform_obs_ms");
+  constexpr int kThreads = 8;
+  constexpr int kOps = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOps; ++i) {
+        c.increment();
+        g.add(1.0);
+        h.observe(1.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(c.value(), static_cast<double>(kThreads) * kOps);
+  EXPECT_EQ(g.value(), static_cast<double>(kThreads) * kOps);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads) * kOps);
+}
+
+// ---- artifacts ------------------------------------------------------------
+
+TEST(Artifacts, WritesEveryRequestedFileIntoTheRunDirectory) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("etransform_telemetry_test_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  TraceRecorder recorder;
+  recorder.instant("t", "x");
+  MetricsRegistry registry;
+  registry.counter("etransform_y_total").increment();
+
+  telemetry::ArtifactPaths paths;
+  std::string error;
+  ASSERT_TRUE(telemetry::write_run_artifacts(dir.string(), &recorder,
+                                             &registry, "{\"k\":1}", &paths,
+                                             &error))
+      << error;
+  EXPECT_TRUE(std::filesystem::exists(paths.trace_json));
+  EXPECT_TRUE(std::filesystem::exists(paths.metrics_prom));
+  EXPECT_TRUE(std::filesystem::exists(paths.stats_json));
+
+  std::ifstream trace_in(paths.trace_json);
+  std::stringstream trace_text;
+  trace_text << trace_in.rdbuf();
+  parse_trace(trace_text.str());
+
+  // Null sources are skipped, not errors.
+  telemetry::ArtifactPaths partial;
+  ASSERT_TRUE(telemetry::write_run_artifacts(
+      (dir / "partial").string(), nullptr, nullptr, "", &partial, &error));
+  EXPECT_TRUE(partial.trace_json.empty());
+  EXPECT_TRUE(partial.metrics_prom.empty());
+  EXPECT_TRUE(partial.stats_json.empty());
+  std::filesystem::remove_all(dir);
+}
+
+// ---- solver-stack integration ---------------------------------------------
+
+TEST(Integration, SolveScopesEmitMatchingTraceSpans) {
+  TraceRecorder recorder;
+  SolveContext ctx;
+  ctx.set_trace(&recorder);
+  {
+    SolveScope outer(ctx, "planner");
+    SolveScope inner(ctx, "simplex");
+  }
+  const test::JValue doc = parse_trace(recorder.to_chrome_json());
+  expect_balanced_and_monotonic(doc);
+  std::vector<std::string> sequence;
+  for (const test::JValue& e : doc.get("traceEvents")->arr) {
+    const std::string& ph = e.get("ph")->str;
+    if (ph == "B" || ph == "E") {
+      sequence.push_back(ph + ":" + e.get("name")->str);
+      EXPECT_EQ(e.get("cat")->str, "solve");
+    }
+  }
+  const std::vector<std::string> expected = {"B:planner", "B:simplex",
+                                             "E:simplex", "E:planner"};
+  EXPECT_EQ(sequence, expected);
+}
+
+TEST(Integration, SimplexPublishesProcessCountersWhenRegistryAttached) {
+  lp::Model m;
+  const int x = m.add_continuous("x", 0.0, 10.0);
+  const int y = m.add_continuous("y", 0.0, 10.0);
+  m.set_objective(lp::Sense::kMaximize, {{x, 3.0}, {y, 2.0}});
+  m.add_constraint("c1", {{x, 1.0}, {y, 1.0}}, lp::Relation::kLessEqual, 8.0);
+  m.add_constraint("c2", {{x, 2.0}, {y, 1.0}}, lp::Relation::kLessEqual, 12.0);
+
+  MetricsRegistry registry;
+  TraceRecorder recorder;
+  SolveContext ctx;
+  ctx.set_metrics(&registry);
+  ctx.set_trace(&recorder);
+  const auto solution = lp::SimplexSolver().solve(m, ctx);
+  ASSERT_EQ(solution.status, lp::SolveStatus::kOptimal);
+  EXPECT_EQ(registry.counter("etransform_simplex_solves_total").value(), 1.0);
+  EXPECT_GE(registry.counter("etransform_simplex_pivots_total").value(), 1.0);
+  EXPECT_GE(
+      registry.counter("etransform_simplex_refactorizations_total").value(),
+      1.0);
+  // The factorization shows up as an "lp" span inside the "simplex" scope.
+  const std::string json = recorder.to_chrome_json();
+  EXPECT_NE(json.find("simplex.factorize"), std::string::npos);
+  expect_balanced_and_monotonic(parse_trace(json));
+}
+
+TEST(Integration, SolveFarmLifecycleIsFullyAccounted) {
+  TraceRecorder recorder;
+  MetricsRegistry registry;
+  Rng rng(21);
+  const auto instance = make_random_instance(rng, 6, 3, 2);
+
+  {
+    SolveService service(2);
+    service.attach_telemetry(&recorder, &registry);
+    PlannerOptions options;
+    options.engine = PlannerOptions::Engine::kHeuristic;
+    std::vector<JobHandle> jobs;
+    for (int i = 0; i < 6; ++i) {
+      SolveRequest request;
+      request.name = "job-" + std::to_string(i);
+      request.instance = instance;
+      request.options = options;
+      jobs.push_back(service.submit(request));
+    }
+    // A burst of low-priority jobs, immediately cancelled: most are still
+    // queued, so the cancel path must finish their lifecycle itself.
+    std::vector<JobHandle> doomed;
+    for (int i = 0; i < 4; ++i) {
+      SolveRequest request;
+      request.name = "doomed-" + std::to_string(i);
+      request.instance = instance;
+      request.options = options;
+      request.priority = JobPriority::kLow;
+      doomed.push_back(service.submit(request));
+    }
+    for (const auto& job : doomed) job->cancel();
+    service.wait_all();
+    for (const auto& job : jobs) EXPECT_EQ(job->state(), JobState::kDone);
+  }
+
+  const double submitted =
+      registry.counter("etransform_farm_jobs_submitted_total").value();
+  const double done = registry.counter("etransform_farm_jobs_done_total").value();
+  const double cancelled =
+      registry.counter("etransform_farm_jobs_cancelled_total").value();
+  const double failed =
+      registry.counter("etransform_farm_jobs_failed_total").value();
+  EXPECT_EQ(submitted, 10.0);
+  EXPECT_GE(done, 6.0);
+  EXPECT_EQ(done + cancelled + failed, submitted)
+      << "every admitted job must reach exactly one terminal counter";
+  EXPECT_EQ(registry.gauge("etransform_farm_jobs_inflight").value(), 0.0);
+  // Wait/solve latency is observed once per *claimed* job (jobs cancelled
+  // while still queued are never claimed), so the two histograms agree with
+  // each other and bracket the terminal counters.
+  const std::uint64_t claimed =
+      registry.histogram("etransform_farm_job_wait_ms").count();
+  EXPECT_EQ(registry.histogram("etransform_farm_job_solve_ms").count(),
+            claimed);
+  EXPECT_GE(claimed, static_cast<std::uint64_t>(done + failed));
+  EXPECT_LE(claimed, static_cast<std::uint64_t>(submitted));
+
+  // Trace: async job lifecycles balance (b == e, same ids), and the worker
+  // threads announced themselves.
+  const test::JValue doc = parse_trace(recorder.to_chrome_json());
+  expect_balanced_and_monotonic(doc);
+  int async_begin = 0;
+  int async_end = 0;
+  std::set<std::string> thread_names;
+  for (const test::JValue& e : doc.get("traceEvents")->arr) {
+    const std::string& ph = e.get("ph")->str;
+    if (ph == "M") thread_names.insert(e.get("args")->get("name")->str);
+    if (ph == "b") ++async_begin;
+    if (ph == "e") ++async_end;
+  }
+  EXPECT_EQ(async_begin, 10);
+  EXPECT_EQ(async_end, 10);
+  EXPECT_TRUE(thread_names.count("worker-0") == 1 ||
+              thread_names.count("worker-1") == 1)
+      << "pool workers must name their trace tracks";
+}
+
+}  // namespace
+}  // namespace etransform
