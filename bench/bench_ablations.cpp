@@ -28,7 +28,7 @@ void ablate_economies() {
   for (const bool modeled : {true, false}) {
     PlannerOptions options;
     options.economies_of_scale = modeled;
-    options.milp.time_limit_ms = 20000;
+    options.milp.search.time_limit_ms = 20000;
     const EtransformPlanner planner(options);
     SolveContext ctx;
     const PlannerReport report = planner.plan(model, ctx);
@@ -53,7 +53,7 @@ void ablate_omega() {
     PlannerOptions options;
     options.enable_dr = true;
     options.business_impact_omega = omega;
-    options.milp.time_limit_ms = 15000;
+    options.milp.search.time_limit_ms = 15000;
     const EtransformPlanner planner(options);
     SolveContext ctx;
     const PlannerReport report = planner.plan(model, ctx);

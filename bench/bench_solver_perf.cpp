@@ -153,8 +153,18 @@ lp::Model assignment_milp(int tasks, int agents) {
 
 void BM_BranchAndBoundAssignment(benchmark::State& state) {
   const auto model = assignment_milp(static_cast<int>(state.range(0)), 4);
-  milp::MilpOptions options;
-  options.warm_start_nodes = state.range(1) != 0;
+  milp::SolverOptions options;
+  options.search.warm_start_nodes = state.range(1) != 0;
+  // cuts:0 is the legacy configuration (no root cuts, most-fractional
+  // branching); cuts:1 is production (Gomory+cover cuts, reliability
+  // pseudocosts). The pair measures what the cutting pipeline buys.
+  if (state.range(2) != 0) {
+    options.cuts.enable = true;
+    options.branching.rule = milp::BranchingOptions::Rule::kPseudocost;
+  } else {
+    options.cuts.enable = false;
+    options.branching.rule = milp::BranchingOptions::Rule::kMostFractional;
+  }
   const milp::BranchAndBoundSolver solver(options);
   long long lp_iterations = 0;
   long long nodes = 0;
@@ -172,14 +182,14 @@ void BM_BranchAndBoundAssignment(benchmark::State& state) {
       static_cast<double>(nodes), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_BranchAndBoundAssignment)
-    ->ArgsProduct({{12, 20}, {0, 1}})
-    ->ArgNames({"tasks", "warm"});
+    ->ArgsProduct({{12, 20}, {0, 1}, {0, 1}})
+    ->ArgNames({"tasks", "warm", "cuts"});
 
 void BM_PlannerEnterprise1(benchmark::State& state) {
   const auto instance = make_enterprise1();
   const CostModel model(instance);
   PlannerOptions options;
-  options.milp.time_limit_ms = 20000;
+  options.milp.search.time_limit_ms = 20000;
   const EtransformPlanner planner(options);
   for (auto _ : state) {
     SolveContext ctx;

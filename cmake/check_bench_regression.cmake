@@ -1,0 +1,98 @@
+# Compares a fresh bench_solver_perf JSON run against the committed baseline
+# (BENCH_solver.json at the repo root) and fails when the branch-and-bound
+# node count of any matching assignment-MILP configuration regresses by more
+# than 20%. Node counts are deterministic (unlike timings), so a tight
+# multiplicative ceiling is safe in CI. Driven by the bench-smoke job:
+#   cmake -DCURRENT=<fresh.json> -DBASELINE=<BENCH_solver.json> \
+#         -P check_bench_regression.cmake
+# Requires CMake >= 3.19 for string(JSON).
+cmake_minimum_required(VERSION 3.19)
+
+if(NOT DEFINED CURRENT OR NOT DEFINED BASELINE)
+  message(FATAL_ERROR "usage: cmake -DCURRENT=<fresh.json> "
+                      "-DBASELINE=<baseline.json> -P check_bench_regression.cmake")
+endif()
+
+file(READ "${CURRENT}" current_json)
+file(READ "${BASELINE}" baseline_json)
+
+# google-benchmark writes counters in scientific notation
+# ("7.6400000000000000e+02"). math(EXPR) is integer-only, so normalize a
+# whole-valued counter to a plain integer: split mantissa/exponent, trim the
+# trailing zeros of the fraction, and shift the decimal point.
+function(parse_counter value out)
+  if(value MATCHES "^([0-9]+)(\\.([0-9]*))?([eE]\\+?(-?[0-9]+))?$")
+    set(whole "${CMAKE_MATCH_1}")
+    set(frac "${CMAKE_MATCH_3}")
+    set(exponent "${CMAKE_MATCH_5}")
+    if(exponent STREQUAL "")
+      set(exponent 0)
+    endif()
+    string(REGEX REPLACE "0+$" "" frac "${frac}")
+    string(LENGTH "${frac}" frac_len)
+    math(EXPR shift "${exponent} - ${frac_len}")
+    if(shift LESS 0)
+      message(FATAL_ERROR "counter '${value}' is not a whole number")
+    endif()
+    string(REPEAT "0" ${shift} zeros)
+    set(digits "${whole}${frac}${zeros}")
+    math(EXPR digits "${digits} + 0")  # canonicalize (drops leading zeros)
+    set(${out} "${digits}" PARENT_SCOPE)
+  else()
+    message(FATAL_ERROR "unparseable counter value '${value}'")
+  endif()
+endfunction()
+
+# Index the baseline: benchmark name -> node count.
+string(JSON baseline_count LENGTH "${baseline_json}" "benchmarks")
+math(EXPR baseline_last "${baseline_count} - 1")
+foreach(i RANGE ${baseline_last})
+  string(JSON name GET "${baseline_json}" "benchmarks" ${i} "name")
+  string(JSON nodes ERROR_VARIABLE json_err GET "${baseline_json}"
+         "benchmarks" ${i} "nodes")
+  if(NOT json_err STREQUAL "NOTFOUND")
+    continue()  # benchmark without a nodes counter
+  endif()
+  parse_counter("${nodes}" nodes_int)
+  string(MD5 key "${name}")
+  set(baseline_nodes_${key} "${nodes_int}")
+endforeach()
+
+string(JSON current_count LENGTH "${current_json}" "benchmarks")
+math(EXPR current_last "${current_count} - 1")
+set(checked 0)
+foreach(i RANGE ${current_last})
+  string(JSON name GET "${current_json}" "benchmarks" ${i} "name")
+  if(NOT name MATCHES "^BM_BranchAndBound")
+    continue()
+  endif()
+  string(JSON nodes ERROR_VARIABLE json_err GET "${current_json}"
+         "benchmarks" ${i} "nodes")
+  if(NOT json_err STREQUAL "NOTFOUND")
+    continue()
+  endif()
+  string(MD5 key "${name}")
+  if(NOT DEFINED baseline_nodes_${key})
+    message(STATUS "no baseline for ${name}; skipping (new configuration)")
+    continue()
+  endif()
+  parse_counter("${nodes}" current_nodes)
+  math(EXPR allowed "${baseline_nodes_${key}} * 12 / 10")
+  if(current_nodes GREATER allowed)
+    message(FATAL_ERROR
+            "node-count regression in ${name}: ${current_nodes} nodes vs "
+            "baseline ${baseline_nodes_${key}} (ceiling ${allowed}, +20%). "
+            "If the search legitimately changed, regenerate BENCH_solver.json.")
+  endif()
+  message(STATUS "${name}: ${current_nodes} nodes "
+                 "(baseline ${baseline_nodes_${key}}, ceiling ${allowed})")
+  math(EXPR checked "${checked} + 1")
+endforeach()
+
+if(checked EQUAL 0)
+  message(FATAL_ERROR "no branch-and-bound node counters matched the "
+                      "baseline; name scheme drift?")
+endif()
+
+message(STATUS "bench regression check OK: ${checked} configurations within "
+               "+20% of committed node counts")

@@ -134,3 +134,51 @@ endif()
 message(STATUS "exact-engine stats OK: ${simplex_calls} simplex calls, "
                "${simplex_pivots} pivots, "
                "${simplex_refactorizations} refactorizations")
+
+# The cut-and-branch pipeline must be visible in the same tree: a 'cuts'
+# child under branch_and_bound with the round/pool tallies, plus the
+# pseudocost branching counters on the branch_and_bound node itself.
+foreach(metric nodes strong_branch_probes pseudocost_updates)
+  string(JSON value ERROR_VARIABLE json_err GET "${bnb}" "metrics" "${metric}")
+  if(NOT json_err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "branch_and_bound stats missing metric '${metric}'")
+  endif()
+  if(value LESS 0)
+    message(FATAL_ERROR "branch_and_bound metric '${metric}' is negative "
+                        "(${value})")
+  endif()
+  set(bnb_${metric} "${value}")
+endforeach()
+
+set(cuts "")
+foreach(i RANGE ${bnb_last})
+  string(JSON child_name GET "${bnb}" "children" ${i} "name")
+  if(child_name STREQUAL "cuts")
+    string(JSON cuts GET "${bnb}" "children" ${i})
+  endif()
+endforeach()
+if(cuts STREQUAL "")
+  message(FATAL_ERROR "branch_and_bound stats missing 'cuts' child "
+                      "(cut separation runs at the root by default)")
+endif()
+
+foreach(metric rounds generated applied purged)
+  string(JSON value ERROR_VARIABLE json_err GET "${cuts}" "metrics" "${metric}")
+  if(NOT json_err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "cuts stats missing metric '${metric}'")
+  endif()
+  if(value LESS 0)
+    message(FATAL_ERROR "cuts metric '${metric}' is negative (${value})")
+  endif()
+  set(cuts_${metric} "${value}")
+endforeach()
+if(cuts_rounds LESS 1)
+  message(FATAL_ERROR "cuts 'rounds' is ${cuts_rounds}, want >= 1 (the root "
+                      "relaxation of this instance is fractional)")
+endif()
+
+message(STATUS "cut/branching stats OK: ${cuts_rounds} cut rounds, "
+               "${cuts_generated} generated / ${cuts_applied} applied / "
+               "${cuts_purged} purged; ${bnb_strong_branch_probes} probes, "
+               "${bnb_pseudocost_updates} pseudocost updates over "
+               "${bnb_nodes} nodes")

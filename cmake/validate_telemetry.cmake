@@ -190,3 +190,37 @@ if(scenario_count LESS 2)
 endif()
 string(JSON first_name GET "${sweep_stats}" 0 "name")
 message(STATUS "stats.json OK: ${scenario_count} scenarios, root '${first_name}'")
+
+# ---- exact engine: cut & branching telemetry ------------------------------
+# A second, single-scenario run on the exact engine must surface the MILP
+# cut-pipeline spans and the pseudocost/strong-branching metrics introduced
+# with the cut-and-branch subsystem.
+set(exact_dir "${WORK_DIR}/run_exact")
+execute_process(
+  COMMAND "${CLI}" plan "${instance}" --engine exact --time-limit 2000
+          --telemetry-dir "${exact_dir}"
+  RESULT_VARIABLE exact_result
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT exact_result EQUAL 0)
+  message(FATAL_ERROR "etransform_cli plan --engine exact --telemetry-dir "
+                      "failed (${exact_result})")
+endif()
+
+file(READ "${exact_dir}/trace.json" exact_trace)
+if(NOT exact_trace MATCHES "\"name\":\"cuts\\.round\"")
+  message(FATAL_ERROR "exact-engine trace.json has no 'cuts.round' span")
+endif()
+
+file(READ "${exact_dir}/metrics.prom" exact_prom)
+foreach(needle
+        "# TYPE etransform_milp_cut_rounds_total counter"
+        "# TYPE etransform_milp_strong_branch_probes_total counter"
+        "# TYPE etransform_milp_pseudocost_init_degradation histogram"
+        "etransform_milp_pseudocost_init_degradation_bucket{le=\"+Inf\"}")
+  string(FIND "${exact_prom}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "exact-engine metrics.prom is missing: ${needle}")
+  endif()
+endforeach()
+
+message(STATUS "exact-engine telemetry OK: cut spans and MILP counters present")

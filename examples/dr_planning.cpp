@@ -32,7 +32,7 @@ int main() {
     PlannerOptions options;
     options.enable_dr = true;
     options.business_impact_omega = omega;
-    options.milp.time_limit_ms = 20000;
+    options.milp.search.time_limit_ms = 20000;
     const EtransformPlanner planner(options);
     SolveContext ctx;
     const PlannerReport report = planner.plan(model, ctx);
@@ -61,7 +61,7 @@ int main() {
   for (const bool dedicated : {false, true}) {
     PlannerOptions options;
     options.enable_dr = true;
-    options.milp.time_limit_ms = 20000;
+    options.milp.search.time_limit_ms = 20000;
     options.dr_sizing = dedicated ? PlannerOptions::DrSizing::kDedicated
                                   : PlannerOptions::DrSizing::kShared;
     const EtransformPlanner planner(options);

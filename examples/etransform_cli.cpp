@@ -8,20 +8,25 @@
 //       Price the current ("as-is") estate.
 //   etransform_cli plan <in.etf> [--dr] [--omega X] [--engine auto|exact|
 //       heuristic] [--no-economies] [--lp-out model.lp] [--time-limit ms]
+//       [--cuts on|off|gomory|cover] [--cut-rounds N]
+//       [--branching pseudocost|most-fractional] [--no-presolve]
 //       [--trace] [--stats-json stats.json]
 //       Compute the "to-be" plan and print the full report. --lp-out also
 //       writes the MILP in CPLEX LP format (feed it to lp_tool, or to an
-//       actual CPLEX, to audit the optimization engine). --trace streams
-//       solver events (presolve reductions, simplex phases, B&B incumbents
-//       and bound moves) to stderr as they happen; --stats-json dumps the
-//       hierarchical SolveStats tree (per-phase wall times, pivot/node
-//       counters, incumbent/bound trace) as JSON.
+//       actual CPLEX, to audit the optimization engine). --cuts /
+//       --cut-rounds / --branching tune the exact engine's root
+//       cutting-plane loop and branching rule (milp::SolverOptions).
+//       --trace streams solver events (presolve reductions, simplex phases,
+//       B&B incumbents and bound moves) to stderr as they happen;
+//       --stats-json dumps the hierarchical SolveStats tree (per-phase wall
+//       times, pivot/node counters, incumbent/bound trace) as JSON.
 //
 //   Concurrency (SolveFarm):
 //       --jobs N           solve on N worker threads: scenario sweeps and
 //                          the sensitivity scan fan out across a SolveService
 //       --sweep key=v1,v2  run a what-if sweep instead of a single plan; keys
-//                          are omega, dr-cost, latency-penalty (repeatable,
+//                          are omega, dr-cost, latency-penalty, and cuts
+//                          (races the four cut configurations; repeatable,
 //                          scenarios run in the order given)
 //       --race             race the exact and heuristic engines; the first
 //                          finisher cancels the other
@@ -63,13 +68,21 @@ int usage() {
       "  etransform_cli plan <in.etf> [--dr] [--omega X] [--sensitivity]\n"
       "      [--engine auto|exact|heuristic] [--no-economies]\n"
       "      [--lp-out model.lp] [--time-limit ms]\n"
+      "      [--cuts on|off|gomory|cover] [--cut-rounds N]\n"
+      "      [--branching pseudocost|most-fractional] [--no-presolve]\n"
       "      [--trace] [--stats-json stats.json] [--telemetry-dir DIR]\n"
       "      [--migrate] [--wan-budget megabits] [--max-moves N]\n"
-      "      [--jobs N] [--sweep omega|dr-cost|latency-penalty=v1,v2,...]\n"
+      "      [--jobs N] [--sweep omega|dr-cost|latency-penalty|cuts=...]\n"
       "      [--race]\n"
-      "  --telemetry-dir writes trace.json (Chrome Trace Event Format, open\n"
-      "  in Perfetto), metrics.prom (Prometheus text exposition), and\n"
-      "  stats.json into DIR after the run.\n");
+      "  --cuts selects the root cutting-plane configuration for exact\n"
+      "  solves (default on = Gomory + cover); --cut-rounds caps separation\n"
+      "  rounds; --branching picks the variable-selection rule (default\n"
+      "  pseudocost, reliability-initialized by strong branching);\n"
+      "  --no-presolve solves the raw formulation. --sweep cuts=all races\n"
+      "  the four cut configurations as scenarios (the value list is\n"
+      "  ignored). --telemetry-dir writes trace.json (Chrome Trace Event\n"
+      "  Format, open in Perfetto), metrics.prom (Prometheus text\n"
+      "  exposition), and stats.json into DIR after the run.\n");
   return 1;
 }
 
@@ -138,6 +151,12 @@ ScenarioSet build_sweep_set(const ConsolidationInstance& instance,
                               "')");
     }
     const std::string key = spec.substr(0, eq);
+    if (key == "cuts") {
+      // The cut sweep enumerates the four fixed configurations; the value
+      // list only marks the spec as present.
+      set.add_cut_config_sweep(base);
+      continue;
+    }
     const std::vector<double> values = parse_value_list(spec.substr(eq + 1));
     if (key == "omega") {
       set.add_omega_sweep(values, base);
@@ -148,7 +167,7 @@ ScenarioSet build_sweep_set(const ConsolidationInstance& instance,
     } else {
       throw InvalidInputError(
           "unknown sweep key '" + key +
-          "' (expected omega, dr-cost, or latency-penalty)");
+          "' (expected omega, dr-cost, latency-penalty, or cuts)");
     }
   }
   return set;
@@ -286,7 +305,41 @@ int cmd_plan(int argc, char** argv) {
       time_limit_ms = std::stod(argv[++a]);
       // The MILP-internal budget too, so a plain `plan` (no SolveFarm job
       // wrapping it in a deadline context) still honors the flag.
-      options.milp.time_limit_ms = static_cast<int>(time_limit_ms);
+      options.milp.search.time_limit_ms = static_cast<int>(time_limit_ms);
+    } else if (flag == "--cuts" && a + 1 < argc) {
+      const std::string mode = argv[++a];
+      if (mode == "on") {
+        options.milp.cuts.enable = true;
+        options.milp.cuts.gomory = true;
+        options.milp.cuts.cover = true;
+      } else if (mode == "off") {
+        options.milp.cuts.enable = false;
+      } else if (mode == "gomory") {
+        options.milp.cuts.enable = true;
+        options.milp.cuts.gomory = true;
+        options.milp.cuts.cover = false;
+      } else if (mode == "cover") {
+        options.milp.cuts.enable = true;
+        options.milp.cuts.gomory = false;
+        options.milp.cuts.cover = true;
+      } else {
+        return usage();
+      }
+    } else if (flag == "--cut-rounds" && a + 1 < argc) {
+      options.milp.cuts.max_rounds = std::stoi(argv[++a]);
+    } else if (flag == "--branching" && a + 1 < argc) {
+      const std::string rule = argv[++a];
+      if (rule == "pseudocost") {
+        options.milp.branching.rule =
+            milp::BranchingOptions::Rule::kPseudocost;
+      } else if (rule == "most-fractional") {
+        options.milp.branching.rule =
+            milp::BranchingOptions::Rule::kMostFractional;
+      } else {
+        return usage();
+      }
+    } else if (flag == "--no-presolve") {
+      options.milp.presolve.enable = false;
     } else if (flag == "--trace") {
       trace = true;
     } else if (flag == "--stats-json" && a + 1 < argc) {

@@ -104,7 +104,7 @@ int main() {
   const CostModel model(instance);
   PlannerOptions options;
   options.enable_dr = true;
-  options.milp.time_limit_ms = 15000;
+  options.milp.search.time_limit_ms = 15000;
   const EtransformPlanner planner(options);
   SolveContext ctx;
   const PlannerReport report = planner.plan(model, ctx);

@@ -120,10 +120,14 @@ const SolveStats* SolveStats::find(std::string_view path) const {
   const SolveStats* node = this;
   while (node != nullptr && !path.empty()) {
     const std::size_t dot = path.find('.');
-    const std::string_view segment =
-        dot == std::string_view::npos ? path : path.substr(0, dot);
-    path = dot == std::string_view::npos ? std::string_view{}
-                                         : path.substr(dot + 1);
+    const bool had_dot = dot != std::string_view::npos;
+    const std::string_view segment = had_dot ? path.substr(0, dot) : path;
+    path = had_dot ? path.substr(dot + 1) : std::string_view{};
+    // Malformed paths ("", ".", "a..b", "a.", ".a") have an empty segment
+    // somewhere; a child can never be addressed as "", so resolve to
+    // not-found instead of matching by accident (a trailing dot used to
+    // return the node before it).
+    if (segment.empty() || (had_dot && path.empty())) return nullptr;
     const SolveStats* next = nullptr;
     for (const SolveStats& c : node->children) {
       if (c.name == segment) {

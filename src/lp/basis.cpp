@@ -655,6 +655,35 @@ class DenseInverseBasis final : public BasisFactorization {
 
 }  // namespace
 
+bool TableauRowExtractor::load(int rows,
+                               const std::vector<SparseColumn>& columns,
+                               const std::vector<int>& basic_columns,
+                               double pivot_tol) {
+  rows_ = rows;
+  rho_.assign(static_cast<std::size_t>(rows), 0.0);
+  // The sparse LU path is always adequate here: extraction is read-only, so
+  // the dense fallback's only advantage (cheap explicit-inverse updates)
+  // never applies.
+  engine_ = make_basis_factorization(rows, /*dense=*/false, pivot_tol);
+  return engine_->factorize(columns, basic_columns);
+}
+
+const std::vector<double>& TableauRowExtractor::row_multipliers(int position) {
+  std::fill(rho_.begin(), rho_.end(), 0.0);
+  rho_[static_cast<std::size_t>(position)] = 1.0;
+  engine_->btran(rho_);
+  return rho_;
+}
+
+double TableauRowExtractor::row_coefficient(const std::vector<double>& rho,
+                                            const SparseColumn& column) {
+  double dot = 0.0;
+  for (std::size_t e = 0; e < column.rows.size(); ++e) {
+    dot += rho[static_cast<std::size_t>(column.rows[e])] * column.coefs[e];
+  }
+  return dot;
+}
+
 std::unique_ptr<BasisFactorization> make_basis_factorization(int rows,
                                                              bool dense,
                                                              double pivot_tol) {

@@ -80,4 +80,36 @@ class BasisFactorization {
 [[nodiscard]] std::unique_ptr<BasisFactorization> make_basis_factorization(
     int rows, bool dense, double pivot_tol);
 
+/// BTRAN-based simplex tableau row extraction over a basis snapshot.
+///
+/// Given the column matrix A and an (ordered) basic column set B, the
+/// simplex tableau row for basis position p is
+///     abar_j = (B^-1 A)_pj = rho . A_j   with   rho = B^-T e_p,
+/// so one BTRAN of a unit vector plus one sparse dot product per column
+/// yields any row without ever forming B^-1. Cut separators (Gomory cuts in
+/// milp/cuts.*) use this to read tableau rows off the optimal basis the LP
+/// solve returned.
+class TableauRowExtractor {
+ public:
+  /// Factorizes B whose p-th column is `columns[basic_columns[p]]`.
+  /// `columns` must outlive the extractor. Returns false when the basis is
+  /// singular to within `pivot_tol` (the extractor is then unusable).
+  [[nodiscard]] bool load(int rows, const std::vector<SparseColumn>& columns,
+                          const std::vector<int>& basic_columns,
+                          double pivot_tol = 1e-9);
+
+  /// rho = B^-T e_position, the row multipliers of tableau row `position`
+  /// (row-indexed, dense, length `rows`). Valid until the next call.
+  [[nodiscard]] const std::vector<double>& row_multipliers(int position);
+
+  /// abar_j = rho . column — one tableau-row coefficient.
+  [[nodiscard]] static double row_coefficient(const std::vector<double>& rho,
+                                              const SparseColumn& column);
+
+ private:
+  std::unique_ptr<BasisFactorization> engine_;
+  std::vector<double> rho_;
+  int rows_ = 0;
+};
+
 }  // namespace etransform::lp

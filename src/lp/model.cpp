@@ -68,6 +68,13 @@ int Model::add_constraint(const std::string& name, std::vector<Term> terms,
   return static_cast<int>(constraints_.size()) - 1;
 }
 
+void Model::set_row_structure(int row, RowStructure structure) {
+  if (row < 0 || row >= num_constraints()) {
+    throw InvalidInputError("set_row_structure: unknown constraint index");
+  }
+  constraints_[static_cast<std::size_t>(row)].structure = structure;
+}
+
 void Model::set_objective(Sense sense, std::vector<Term> terms,
                           double constant) {
   check_terms(terms);

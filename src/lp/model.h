@@ -37,12 +37,26 @@ struct Variable {
   bool is_integer = false;
 };
 
+/// Structural hint a model builder can attach to a row so downstream
+/// consumers (e.g. the MILP cut separators) know what the row encodes
+/// without pattern-matching coefficients. Purely advisory: solvers must
+/// remain correct when every row is kGeneric (presolve, for instance, drops
+/// tags when it rebuilds rows).
+enum class RowStructure : unsigned char {
+  kGeneric,         // no structure claimed
+  kKnapsack,        // sum(a_j x_j) <= b with a_j > 0 over binary x_j
+                    // (the planner's per-site capacity rows)
+  kBusinessImpact,  // cardinality row sum(x_j) <= omega * M over binaries
+                    // (the planner's omega business-impact rows)
+};
+
 /// One linear constraint `sum(terms) relation rhs`.
 struct Constraint {
   std::string name;
   std::vector<Term> terms;
   Relation relation = Relation::kLessEqual;
   double rhs = 0.0;
+  RowStructure structure = RowStructure::kGeneric;
 };
 
 /// A linear (or mixed-integer linear) optimization model.
@@ -68,6 +82,9 @@ class Model {
   /// out-of-range variables cause InvalidInputError.
   int add_constraint(const std::string& name, std::vector<Term> terms,
                      Relation relation, double rhs);
+
+  /// Attaches a structural hint to an existing row (see RowStructure).
+  void set_row_structure(int row, RowStructure structure);
 
   /// Replaces the objective. Terms referencing out-of-range variables cause
   /// InvalidInputError. `constant` is added to every reported objective value.

@@ -5,9 +5,12 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
 namespace etransform::milp {
@@ -25,16 +28,28 @@ constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 /// pathological trees where the dual bound moves at almost every node.
 constexpr std::size_t kMaxTracePoints = 4096;
 
+/// Pseudocost estimates are floored at this so a zero-degradation direction
+/// never zeroes out the product score.
+constexpr double kScoreEps = 1e-6;
+
+/// Scoring value for a branching direction a strong-branching probe proved
+/// infeasible (fixing the variable prunes the subtree outright).
+constexpr double kInfeasibleScore = 1e8;
+
 /// One open node: a set of tightened variable bounds plus the parent's
 /// relaxation value used for best-first ordering and the parent's optimal
 /// basis used to warm-start this node's LP (shared, not copied, between
-/// siblings).
+/// siblings). `branch_*` records how this node was created so its LP value
+/// can feed the branching variable's pseudocost.
 struct Node {
   std::vector<double> lower;
   std::vector<double> upper;
   std::shared_ptr<const lp::BasisSnapshot> parent_basis;
   double parent_bound = 0.0;
   int depth = 0;
+  int branch_var = -1;
+  bool branch_up = false;
+  double branch_frac = 0.0;  // parent fractional part of branch_var
 };
 
 /// Open-node pool with hybrid selection: depth-first while no incumbent
@@ -113,6 +128,114 @@ void snap_integers(const Model& model, std::vector<double>& values,
   }
 }
 
+/// Per-variable branching history: average objective degradation per unit of
+/// fraction, per direction. Variables without observations inherit the
+/// global average (a freshly measured strong-branch value beats both; see
+/// select_branch in solve_impl).
+class Pseudocosts {
+ public:
+  explicit Pseudocosts(int num_vars)
+      : down_sum_(static_cast<std::size_t>(num_vars), 0.0),
+        up_sum_(static_cast<std::size_t>(num_vars), 0.0),
+        down_n_(static_cast<std::size_t>(num_vars), 0),
+        up_n_(static_cast<std::size_t>(num_vars), 0) {}
+
+  void update(int j, bool up, double per_frac) {
+    per_frac = std::max(per_frac, 0.0);
+    if (up) {
+      up_sum_[static_cast<std::size_t>(j)] += per_frac;
+      ++up_n_[static_cast<std::size_t>(j)];
+      global_up_sum_ += per_frac;
+      ++global_up_n_;
+    } else {
+      down_sum_[static_cast<std::size_t>(j)] += per_frac;
+      ++down_n_[static_cast<std::size_t>(j)];
+      global_down_sum_ += per_frac;
+      ++global_down_n_;
+    }
+  }
+
+  [[nodiscard]] double estimate(int j, bool up) const {
+    const int n = up ? up_n_[static_cast<std::size_t>(j)]
+                     : down_n_[static_cast<std::size_t>(j)];
+    if (n > 0) {
+      const double sum = up ? up_sum_[static_cast<std::size_t>(j)]
+                            : down_sum_[static_cast<std::size_t>(j)];
+      return sum / n;
+    }
+    const long long gn = up ? global_up_n_ : global_down_n_;
+    if (gn > 0) return (up ? global_up_sum_ : global_down_sum_) / gn;
+    return 1.0;
+  }
+
+  /// Observations in the weaker direction — the reliability measure.
+  [[nodiscard]] int observations(int j) const {
+    return std::min(down_n_[static_cast<std::size_t>(j)],
+                    up_n_[static_cast<std::size_t>(j)]);
+  }
+
+ private:
+  std::vector<double> down_sum_;
+  std::vector<double> up_sum_;
+  std::vector<int> down_n_;
+  std::vector<int> up_n_;
+  double global_down_sum_ = 0.0;
+  double global_up_sum_ = 0.0;
+  long long global_down_n_ = 0;
+  long long global_up_n_ = 0;
+};
+
+/// Extends a basis snapshot of the previous standard form onto a rebuilt
+/// one whose rows are base rows (identity-mapped) plus the current cut set.
+/// `old_row_of_new[r]` is the previous row index of new row r, or -1 for a
+/// fresh cut row. Old column indices carry over verbatim (model columns
+/// lead, surviving slacks keep their row's slot, new slacks append), so:
+/// each surviving row keeps its old basic column, fresh rows start with
+/// their own slack basic, and rows whose old basic column vanished with a
+/// purged row fall back to their slack. Stale nonbasic statuses are
+/// re-clamped by the simplex when the snapshot is applied.
+lp::BasisSnapshot extend_basis(const lp::BasisSnapshot& old, int num_vars,
+                               const std::vector<int>& old_row_of_new,
+                               int new_rows, int new_cols) {
+  lp::BasisSnapshot snap;
+  snap.basic_columns.assign(static_cast<std::size_t>(new_rows), -1);
+  snap.column_status.assign(static_cast<std::size_t>(new_cols),
+                            lp::BasisVarStatus::kAtLower);
+  for (int j = 0; j < num_vars; ++j) {
+    snap.column_status[static_cast<std::size_t>(j)] =
+        old.column_status[static_cast<std::size_t>(j)];
+  }
+  for (int r = 0; r < new_rows; ++r) {
+    const int o = old_row_of_new[static_cast<std::size_t>(r)];
+    if (o >= 0) {
+      snap.column_status[static_cast<std::size_t>(num_vars + r)] =
+          old.column_status[static_cast<std::size_t>(num_vars + o)];
+    }
+  }
+  std::vector<char> used(static_cast<std::size_t>(new_cols), 0);
+  for (int r = 0; r < new_rows; ++r) {
+    const int o = old_row_of_new[static_cast<std::size_t>(r)];
+    int b = num_vars + r;  // own slack: fresh rows, and the fallback
+    if (o >= 0) {
+      const int ob = old.basic_columns[static_cast<std::size_t>(o)];
+      // An old slack basic maps onto this row's (re-indexed) slack; a model
+      // column carries over unless another surviving row already took it.
+      if (ob < num_vars && !used[static_cast<std::size_t>(ob)]) b = ob;
+    }
+    if (used[static_cast<std::size_t>(b)]) b = num_vars + r;
+    used[static_cast<std::size_t>(b)] = 1;
+    snap.basic_columns[static_cast<std::size_t>(r)] = b;
+  }
+  for (int r = 0; r < new_rows; ++r) {
+    snap.column_status[static_cast<std::size_t>(
+        snap.basic_columns[static_cast<std::size_t>(r)])] =
+        lp::BasisVarStatus::kBasic;
+  }
+  // Model columns whose basic row was purged keep a stale kBasic marker;
+  // apply_snapshot demotes those to a resting bound.
+  return snap;
+}
+
 }  // namespace
 
 const char* to_string(MilpStatus status) {
@@ -128,17 +251,23 @@ const char* to_string(MilpStatus status) {
   return "?";
 }
 
-BranchAndBoundSolver::BranchAndBoundSolver(MilpOptions options)
+BranchAndBoundSolver::BranchAndBoundSolver(SolverOptions options)
     : options_(options) {}
+
+void BranchAndBoundSolver::add_cut_generator(
+    std::shared_ptr<CutGenerator> generator) {
+  generators_.push_back(std::move(generator));
+}
 
 MilpSolution BranchAndBoundSolver::solve(const Model& model,
                                          SolveContext& ctx) const {
   model.validate();
   // time_limit_ms tightens — never loosens — the caller's deadline.
   const DeadlineGuard guard(
-      ctx, options_.time_limit_ms > 0
-               ? Deadline::after_ms(static_cast<double>(options_.time_limit_ms))
-               : Deadline::unlimited());
+      ctx,
+      options_.search.time_limit_ms > 0
+          ? Deadline::after_ms(static_cast<double>(options_.search.time_limit_ms))
+          : Deadline::unlimited());
   SolveScope scope(ctx, "branch_and_bound");
   MilpSolution result = solve_impl(model, ctx, scope.stats());
   scope.close();
@@ -161,17 +290,22 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
   };
 
   const double sense_sign = model.sense() == lp::Sense::kMinimize ? 1.0 : -1.0;
+  const double integrality_tol = options_.search.integrality_tol;
   // Internally everything is a minimization of sense_sign * objective.
-  const SimplexSolver lp_solver(options_.lp_options);
+  const SimplexSolver lp_solver(options_.lp);
   // The standard form is bounds-independent: build it once and share it
-  // across the root, the dive, and every node (only bounds change per node).
-  const lp::PreparedLp prep(model);
+  // across the root, the dive, and every node (only bounds change per
+  // node). The root cutting loop may rebind `prep` to a strengthened form
+  // over `cut_model` (base rows + accepted cut rows).
+  lp::Model cut_model;
+  auto prep = std::make_unique<lp::PreparedLp>(model);
   long long warm_started_nodes = 0;
   const auto solve_node = [&](const std::vector<double>& lower,
                               const std::vector<double>& upper,
                               const lp::BasisSnapshot* warm) {
     LpSolution lp = lp_solver.solve(
-        prep, lower, upper, ctx, options_.warm_start_nodes ? warm : nullptr);
+        *prep, lower, upper, ctx,
+        options_.search.warm_start_nodes ? warm : nullptr);
     if (lp.warm_started) ++warm_started_nodes;
     return lp;
   };
@@ -213,7 +347,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
       have_incumbent = true;
       incumbent = internal;
       incumbent_values = values;
-      snap_integers(model, incumbent_values, options_.integrality_tol);
+      snap_integers(model, incumbent_values, integrality_tol);
       stats.add("incumbents", 1.0);
       record_trace(global_bound);
       if (ctx.events.on_incumbent) {
@@ -237,7 +371,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
     SolveScope dive_scope(ctx, "root_dive");
     LpSolution current = start;
     for (int depth = 0; depth < 64; ++depth) {
-      if (all_integral(model, current.values, options_.integrality_tol)) {
+      if (all_integral(model, current.values, integrality_tol)) {
         try_incumbent(current.values, current.objective);
         return;
       }
@@ -250,8 +384,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
           upper[static_cast<std::size_t>(j)] = rounded;
         }
       }
-      const int j =
-          most_fractional(model, current.values, options_.integrality_tol);
+      const int j = most_fractional(model, current.values, integrality_tol);
       if (j < 0) return;
       const double fixed =
           std::round(current.values[static_cast<std::size_t>(j)]);
@@ -307,7 +440,188 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
     ctx.events.on_node(event);
   }
 
-  if (all_integral(model, root.values, options_.integrality_tol)) {
+  // ---- root cutting loop (cut-and-branch) --------------------------------
+  // Cuts are separated only here, under the original bounds, so every
+  // accepted row is valid for the whole tree. Each round: separate ->
+  // purge aged cuts -> rebuild the standard form over base + pool ->
+  // extend the previous basis (new slacks basic) -> re-solve warm, letting
+  // the composite phase 1 repair the violated cut slacks in primal space
+  // ("re-factorize + primal warm start"; see the header for why this is
+  // preferred over adding a dual pivot loop).
+  if (options_.cuts.enable && model.has_integer_variables()) {
+    SolveScope cuts_scope(ctx, "cuts");
+    SolveStats& cstats = cuts_scope.stats();
+    std::vector<std::shared_ptr<CutGenerator>> generators = generators_;
+    if (generators.empty()) {
+      generators = default_cut_generators(options_.cuts);
+    }
+
+    CutPool pool;
+    std::vector<long long> applied_ids;  // pool id per cut row in `prep`
+    const int base_rows = prep->num_rows();
+    LpSolution current = root;
+    bool cuts_failed = false;
+    std::optional<MilpStatus> cut_interrupt;
+
+    const auto rebuild_and_resolve = [&]() -> bool {
+      std::vector<int> old_row_of_new;
+      old_row_of_new.reserve(static_cast<std::size_t>(base_rows) +
+                             static_cast<std::size_t>(pool.size()));
+      for (int r = 0; r < base_rows; ++r) old_row_of_new.push_back(r);
+      std::vector<long long> new_ids;
+      new_ids.reserve(static_cast<std::size_t>(pool.size()));
+      lp::Model next = model;  // base rows keep their kept-row indices
+      for (const Cut& cut : pool.cuts()) {
+        next.add_constraint(cut.name, cut.terms, cut.relation, cut.rhs);
+        int old_index = -1;
+        for (std::size_t k = 0; k < applied_ids.size(); ++k) {
+          if (applied_ids[k] == cut.id) {
+            old_index = base_rows + static_cast<int>(k);
+            break;
+          }
+        }
+        old_row_of_new.push_back(old_index);
+        new_ids.push_back(cut.id);
+      }
+      cut_model = std::move(next);
+      auto next_prep = std::make_unique<lp::PreparedLp>(cut_model);
+      const lp::BasisSnapshot warm =
+          extend_basis(*current.basis, prep->num_vars, old_row_of_new,
+                       next_prep->num_rows(), next_prep->num_columns());
+      prep = std::move(next_prep);
+      applied_ids = std::move(new_ids);
+      LpSolution next_sol =
+          lp_solver.solve(*prep, root_lower, root_upper, ctx, &warm);
+      result.lp_iterations += next_sol.iterations;
+      current = std::move(next_sol);
+      return current.status == SolveStatus::kOptimal;
+    };
+
+    int rounds = 0;
+    double round_obj = sense_sign * current.objective;
+    int stalled_rounds = 0;
+    if (!all_integral(model, current.values, integrality_tol)) {
+      while (rounds < options_.cuts.max_rounds) {
+        if (auto stop = interruption()) {
+          cut_interrupt = stop;
+          break;
+        }
+        const telemetry::TraceSpan round_span(ctx.trace(), "milp",
+                                              "cuts.round");
+        SeparationContext sctx;
+        sctx.model = prep->model;
+        sctx.prep = prep.get();
+        sctx.lower = &root_lower;
+        sctx.upper = &root_upper;
+        sctx.options = options_.cuts;
+        sctx.integrality_tol = integrality_tol;
+        int fresh = 0;
+        for (const auto& generator : generators) {
+          const long long before = pool.total_generated();
+          fresh += generator->separate(sctx, current, pool);
+          cstats.add(std::string(generator->name()) + "_cuts",
+                     static_cast<double>(pool.total_generated() - before));
+        }
+        // A dry round still counts: "rounds" reports separation attempts,
+        // which is what the stats validator keys on.
+        ++rounds;
+        if (fresh == 0) break;
+        pool.purge(options_.cuts.max_inactive_rounds);
+        if (!rebuild_and_resolve()) {
+          cuts_failed = true;
+          break;
+        }
+        pool.record_activity(current.values, 1e-7);
+        if (all_integral(model, current.values, integrality_tol)) break;
+        // Tailing off: separation that no longer moves the bound just piles
+        // rows onto every node LP — stop after two flat rounds.
+        const double obj = sense_sign * current.objective;
+        const double gain = (obj - round_obj) / std::max(1.0, std::abs(obj));
+        stalled_rounds = gain < options_.cuts.tailoff ? stalled_rounds + 1 : 0;
+        round_obj = obj;
+        if (stalled_rounds >= 2) break;
+      }
+      // Final aging sweep: rows that went slack in the last rounds leave
+      // before the tree is explored (they would only slow node LPs).
+      if (!cuts_failed && !cut_interrupt &&
+          pool.purge(options_.cuts.max_inactive_rounds) > 0) {
+        if (!rebuild_and_resolve()) cuts_failed = true;
+      }
+    }
+
+    if (cuts_failed) {
+      // Defensive: a valid cut system cannot make the root infeasible, but
+      // an interrupted or numerically failed re-solve must not poison the
+      // tree. Drop every cut and restore the clean root relaxation.
+      const SolveStatus failed_status = current.status;
+      ET_LOG(kWarning) << "milp: cut loop LP ended ("
+                       << lp::to_string(failed_status)
+                       << "); discarding " << pool.size() << " cuts";
+      applied_ids.clear();
+      prep = std::make_unique<lp::PreparedLp>(model);
+      current = lp_solver.solve(*prep, root_lower, root_upper, ctx,
+                                root.basis.get());
+      result.lp_iterations += current.iterations;
+      if (failed_status == SolveStatus::kTimeLimit ||
+          failed_status == SolveStatus::kCancelled) {
+        cut_interrupt = milp_status_of_lp(failed_status);
+      }
+    }
+
+    result.cuts.rounds = rounds;
+    result.cuts.generated = pool.total_generated();
+    result.cuts.applied = cuts_failed ? 0 : pool.size();
+    result.cuts.purged = pool.total_purged();
+    cstats.add("rounds", static_cast<double>(result.cuts.rounds));
+    cstats.add("generated", static_cast<double>(result.cuts.generated));
+    cstats.add("applied", static_cast<double>(result.cuts.applied));
+    cstats.add("purged", static_cast<double>(result.cuts.purged));
+    if (telemetry::MetricsRegistry* mreg = ctx.metrics()) {
+      mreg->counter("etransform_milp_cut_rounds_total",
+                    "Root cut separation rounds")
+          .add(static_cast<double>(result.cuts.rounds));
+      mreg->counter("etransform_milp_cuts_generated_total",
+                    "Cuts accepted into the pool")
+          .add(static_cast<double>(result.cuts.generated));
+      mreg->counter("etransform_milp_cuts_applied_total",
+                    "Cut rows in the final root relaxation")
+          .add(static_cast<double>(result.cuts.applied));
+      mreg->counter("etransform_milp_cuts_purged_total",
+                    "Cuts aged out by the activity policy")
+          .add(static_cast<double>(result.cuts.purged));
+    }
+
+    if (current.status == SolveStatus::kOptimal) {
+      // Adopt the strengthened root; cuts only tighten, but guard against
+      // numerical dips so the proven bound never regresses.
+      root = std::move(current);
+      if (sense_sign * root.objective > global_bound) {
+        global_bound = sense_sign * root.objective;
+        record_trace(global_bound);
+      }
+    } else if (cut_interrupt) {
+      result.status = *cut_interrupt;
+      result.best_bound = sense_sign * global_bound;
+      stats.add("nodes", result.nodes);
+      return result;
+    } else {
+      // Clean-root restore failed numerically: no usable relaxation.
+      result.status = MilpStatus::kNoSolutionFound;
+      result.best_bound = sense_sign * global_bound;
+      stats.add("nodes", result.nodes);
+      return result;
+    }
+    if (cut_interrupt) {
+      // Interrupted mid-loop but the (possibly strengthened) root is
+      // optimal: unwind with the valid bound.
+      result.status = *cut_interrupt;
+      result.best_bound = sense_sign * global_bound;
+      stats.add("nodes", result.nodes);
+      return result;
+    }
+  }
+
+  if (all_integral(model, root.values, integrality_tol)) {
     try_incumbent(root.values, root.objective);
     result.status = MilpStatus::kOptimal;
     result.objective = sense_sign * incumbent;
@@ -316,9 +630,143 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
     stats.add("nodes", result.nodes);
     return result;
   }
-  if (options_.root_dive) {
+  if (options_.search.root_dive) {
     dive(root_lower, root_upper, root);
   }
+
+  // ---- branching machinery ----------------------------------------------
+  Pseudocosts pc(n);
+  long long pseudocost_updates = 0;
+  long long strong_branch_probes = 0;
+  int probe_budget = options_.branching.max_strong_branch_probes;
+  lp::SimplexOptions sb_lp_options = options_.lp;
+  sb_lp_options.max_iterations = options_.branching.strong_branch_iterations;
+  const SimplexSolver sb_solver(sb_lp_options);
+  telemetry::Histogram* pc_init_histogram = nullptr;
+  if (telemetry::MetricsRegistry* mreg = ctx.metrics();
+      mreg != nullptr &&
+      options_.branching.rule == BranchingOptions::Rule::kPseudocost) {
+    pc_init_histogram = &mreg->histogram(
+        "etransform_milp_pseudocost_init_degradation",
+        "Per-unit-fraction objective degradation measured by "
+        "strong-branching probes",
+        telemetry::MetricsRegistry::log_buckets(1e-4, 1e4, 10.0));
+    mreg->counter("etransform_milp_strong_branch_probes_total",
+                  "Strong-branching probes (two child LPs each)");
+  }
+
+  // Iteration-capped probe of one branching direction from the node's own
+  // optimal basis. Returns the measured per-unit-fraction degradation, the
+  // infeasible sentinel, or NaN when the probe was inconclusive.
+  const auto probe_direction = [&](const Node& node, const LpSolution& relaxed,
+                                   double node_bound, int j, bool up,
+                                   double frac_moved) -> double {
+    std::vector<double> lower = node.lower;
+    std::vector<double> upper = node.upper;
+    const double v = relaxed.values[static_cast<std::size_t>(j)];
+    if (up) {
+      lower[static_cast<std::size_t>(j)] = std::ceil(v);
+    } else {
+      upper[static_cast<std::size_t>(j)] = std::floor(v);
+    }
+    const LpSolution sol =
+        sb_solver.solve(*prep, lower, upper, ctx, relaxed.basis.get());
+    result.lp_iterations += sol.iterations;
+    if (sol.status == SolveStatus::kInfeasible) return kInfeasibleScore;
+    if (sol.status != SolveStatus::kOptimal) return kNaN;
+    const double per_frac =
+        std::max(0.0, sense_sign * sol.objective - node_bound) /
+        std::max(frac_moved, 1e-9);
+    pc.update(j, up, per_frac);
+    ++pseudocost_updates;
+    if (pc_init_histogram != nullptr) pc_init_histogram->observe(per_frac);
+    return per_frac;
+  };
+
+  // Picks the branching variable for a node. Pseudocost product scoring
+  // with strong-branching reliability initialization at shallow depth;
+  // falls back to the legacy most-fractional rule when configured.
+  const auto select_branch = [&](const Node& node, const LpSolution& relaxed,
+                                 double node_bound) -> int {
+    if (options_.branching.rule == BranchingOptions::Rule::kMostFractional) {
+      return most_fractional(model, relaxed.values, integrality_tol);
+    }
+    struct Candidate {
+      int var = 0;
+      double f = 0.0;     // fractional part
+      double dist = 0.0;  // distance to integrality
+    };
+    std::vector<Candidate> cands;
+    for (int j = 0; j < n; ++j) {
+      if (!model.variable(j).is_integer) continue;
+      const double v = relaxed.values[static_cast<std::size_t>(j)];
+      const double f = v - std::floor(v);
+      const double dist = std::min(f, 1.0 - f);
+      if (dist <= integrality_tol) continue;
+      cands.push_back(Candidate{j, f, dist});
+    }
+    if (cands.empty()) return -1;
+    // Probing every unreliable candidate would cost two LPs each; probe
+    // only the most fractional few per node, the rest score on estimates.
+    std::vector<char> may_probe(cands.size(), 0);
+    if (node.depth <= options_.branching.strong_branch_max_depth &&
+        probe_budget > 0) {
+      std::vector<std::size_t> by_dist(cands.size());
+      for (std::size_t k = 0; k < cands.size(); ++k) by_dist[k] = k;
+      std::sort(by_dist.begin(), by_dist.end(),
+                [&](std::size_t a, std::size_t b) {
+                  if (cands[a].dist != cands[b].dist) {
+                    return cands[a].dist > cands[b].dist;
+                  }
+                  return cands[a].var < cands[b].var;
+                });
+      int allowed = options_.branching.max_probes_per_node;
+      for (const std::size_t k : by_dist) {
+        if (allowed <= 0) break;
+        if (pc.observations(cands[k].var) >= options_.branching.reliability) {
+          continue;
+        }
+        may_probe[k] = 1;
+        --allowed;
+      }
+    }
+    int best = -1;
+    double best_score = -1.0;
+    double best_dist = 0.0;
+    for (std::size_t k = 0; k < cands.size(); ++k) {
+      const int j = cands[k].var;
+      const double f = cands[k].f;
+      const double dist = cands[k].dist;
+      double down_est = pc.estimate(j, /*up=*/false) * f;
+      double up_est = pc.estimate(j, /*up=*/true) * (1.0 - f);
+      if (may_probe[k] && probe_budget > 0 && !ctx.deadline().expired() &&
+          !ctx.cancelled()) {
+        --probe_budget;
+        ++strong_branch_probes;
+        const double down = probe_direction(node, relaxed, node_bound, j,
+                                            /*up=*/false, f);
+        const double up = probe_direction(node, relaxed, node_bound, j,
+                                          /*up=*/true, 1.0 - f);
+        // A freshly measured value beats any historical average.
+        if (!std::isnan(down)) {
+          down_est = down == kInfeasibleScore ? down : down * f;
+        }
+        if (!std::isnan(up)) {
+          up_est = up == kInfeasibleScore ? up : up * (1.0 - f);
+        }
+      }
+      const double score =
+          std::max(down_est, kScoreEps) * std::max(up_est, kScoreEps);
+      if (score > best_score + 1e-12 ||
+          (score > best_score - 1e-12 && dist > best_dist)) {
+        best_score = score;
+        best_dist = dist;
+        best = j;
+      }
+    }
+    return best >= 0 ? best
+                     : most_fractional(model, relaxed.values, integrality_tol);
+  };
 
   OpenNodes open;
   {
@@ -333,7 +781,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
   const auto gap_closed = [&]() {
     if (!have_incumbent) return false;
     const double denom = std::max(1.0, std::abs(incumbent));
-    return (incumbent - global_bound) / denom <= options_.relative_gap;
+    return (incumbent - global_bound) / denom <= options_.search.relative_gap;
   };
 
   bool budget_exhausted = false;
@@ -365,7 +813,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
     }
     global_bound = fresh_bound;
     if (gap_closed()) break;
-    if (result.nodes >= options_.max_nodes) {
+    if (result.nodes >= options_.search.max_nodes) {
       budget_exhausted = true;
       break;
     }
@@ -413,16 +861,28 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
       continue;
     }
     const double node_bound = sense_sign * relaxed.objective;
+    // This node's LP value is the branching outcome its parent predicted:
+    // feed the realized degradation back into the pseudocosts.
+    if (node->branch_var >= 0) {
+      const double frac_moved =
+          node->branch_up ? 1.0 - node->branch_frac : node->branch_frac;
+      if (frac_moved > 1e-9) {
+        pc.update(node->branch_var, node->branch_up,
+                  (node_bound - node->parent_bound) / frac_moved);
+        ++pseudocost_updates;
+      }
+    }
     if (have_incumbent && node_bound >= incumbent - 1e-12) continue;
 
-    if (all_integral(model, relaxed.values, options_.integrality_tol)) {
+    if (all_integral(model, relaxed.values, integrality_tol)) {
       try_incumbent(relaxed.values, relaxed.objective);
       continue;
     }
 
-    const int j =
-        most_fractional(model, relaxed.values, options_.integrality_tol);
+    const int j = select_branch(*node, relaxed, node_bound);
+    if (j < 0) continue;  // integral within tolerance after probing
     const double v = relaxed.values[static_cast<std::size_t>(j)];
+    const double frac = v - std::floor(v);
     // Down child: x_j <= floor(v).
     {
       auto child = std::make_shared<Node>();
@@ -432,6 +892,9 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
       child->parent_basis = relaxed.basis;
       child->parent_bound = node_bound;
       child->depth = node->depth + 1;
+      child->branch_var = j;
+      child->branch_up = false;
+      child->branch_frac = frac;
       if (child->lower[static_cast<std::size_t>(j)] <=
           child->upper[static_cast<std::size_t>(j)]) {
         open.push(std::move(child));
@@ -446,6 +909,9 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
       child->parent_basis = relaxed.basis;
       child->parent_bound = node_bound;
       child->depth = node->depth + 1;
+      child->branch_var = j;
+      child->branch_up = true;
+      child->branch_frac = frac;
       if (child->lower[static_cast<std::size_t>(j)] <=
           child->upper[static_cast<std::size_t>(j)]) {
         open.push(std::move(child));
@@ -483,6 +949,15 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
                                                            : global_bound);
   stats.add("nodes", result.nodes);
   stats.add("warm_started_nodes", static_cast<double>(warm_started_nodes));
+  stats.add("strong_branch_probes",
+            static_cast<double>(strong_branch_probes));
+  stats.add("pseudocost_updates", static_cast<double>(pseudocost_updates));
+  if (telemetry::MetricsRegistry* mreg = ctx.metrics();
+      mreg != nullptr && strong_branch_probes > 0) {
+    mreg->counter("etransform_milp_strong_branch_probes_total",
+                  "Strong-branching probes (two child LPs each)")
+        .add(static_cast<double>(strong_branch_probes));
+  }
   record_trace(global_bound);
   return result;
 }

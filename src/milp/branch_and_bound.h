@@ -4,37 +4,62 @@
 // tightening variable bounds in child nodes. The LP standard form is
 // prepared once per solve (lp::PreparedLp) and shared by every node — only
 // bounds change down the tree — and each child warm-starts the simplex from
-// its parent's optimal basis (see MilpOptions::warm_start_nodes), so most
-// nodes skip phase 1 entirely and resume dual-feasible after the bound
+// its parent's optimal basis (see SearchOptions::warm_start_nodes), so most
+// nodes skip phase 1 entirely and resume near-feasible after the bound
 // change. Node selection is best-first by parent relaxation bound, which
 // keeps the global lower bound tight and enables early termination at a
 // requested gap. A depth-limited diving heuristic runs at the root to seed
 // the incumbent.
 //
+// Root cutting planes (cut-and-branch): before branching starts, registered
+// CutGenerators (Gomory mixed-integer + lifted cover by default; see
+// milp/cuts.h) tighten the root relaxation over several separation rounds.
+// Cut rows are appended to a working copy of the model, the standard form
+// is re-prepared (new slack columns land at the end, so the previous basis
+// extends verbatim), and the LP re-solves warm: re-factorize + composite
+// phase 1 repairs the violated cut slacks in primal space. A dual simplex
+// would resume dual-feasible instead, but the composite phase 1 already
+// repairs arbitrary bound changes for node warm starts, so reusing it keeps
+// one pivot loop for both paths — that is the documented design choice.
+// Cuts whose rows stay slack for CutOptions::max_inactive_rounds
+// consecutive root solves are purged before the tree is explored.
+//
+// Branching is pseudocost-based (BranchingOptions::kPseudocost): each
+// variable maintains average per-unit-fraction objective degradations per
+// direction, reliability-initialized by strong-branching probes (two
+// iteration-capped child LPs) at shallow depth until enough real
+// observations exist. The legacy most-fractional rule remains available.
+//
 // Control & observability flow through a SolveContext: the deadline
-// (tightened by MilpOptions::time_limit_ms) and cancellation token are
+// (tightened by SearchOptions::time_limit_ms) and cancellation token are
 // honored inside every node's LP — not just between nodes — `on_node`,
 // `on_incumbent`, and `on_bound_improvement` events fire as the tree is
-// explored, and the solve builds a "branch_and_bound" stats subtree with an
-// incumbent/bound trace (also copied into MilpSolution::stats).
+// explored, and the solve builds a "branch_and_bound" stats subtree (cut
+// rounds under "cuts", strong-branching counters, incumbent/bound trace)
+// also copied into MilpSolution::stats.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/solve_context.h"
 #include "lp/model.h"
 #include "lp/simplex.h"
+#include "milp/cuts.h"
+#include "milp/solver_options.h"
 
 namespace etransform::milp {
 
-/// Tuning knobs for branch-and-bound.
+/// DEPRECATED: the legacy flat tuning struct, kept for one PR as an alias
+/// for the consolidated SolverOptions (solver_options.h). It converts
+/// implicitly — `BranchAndBoundSolver solver(MilpOptions{...})` and
+/// `options.milp = MilpOptions{...}` keep compiling — but exposes none of
+/// the new cut/branching knobs. New code should construct SolverOptions.
 struct MilpOptions {
   /// Maximum branch-and-bound nodes to expand.
   int max_nodes = 200000;
-  /// Wall-clock budget in milliseconds; 0 disables the limit. Combined with
-  /// the SolveContext deadline (whichever falls first wins) and enforced
-  /// inside node LPs at refactorization granularity.
+  /// Wall-clock budget in milliseconds; 0 disables the limit.
   int time_limit_ms = 0;
   /// Stop once (incumbent - bound) / max(1, |incumbent|) <= relative_gap.
   double relative_gap = 1e-9;
@@ -42,11 +67,24 @@ struct MilpOptions {
   double integrality_tol = 1e-6;
   /// Run the diving heuristic at the root to find an early incumbent.
   bool root_dive = true;
-  /// Warm-start each node's LP from its parent's optimal basis instead of
-  /// cold-starting phase 1. Off is only useful for A/B measurements.
+  /// Warm-start each node's LP from its parent's optimal basis.
   bool warm_start_nodes = true;
   /// Options forwarded to the LP engine.
   lp::SimplexOptions lp_options;
+
+  /// Lossless upgrade to the consolidated aggregate (cuts/branching/presolve
+  /// sub-structs keep their defaults).
+  operator SolverOptions() const {  // NOLINT(google-explicit-constructor)
+    SolverOptions options;
+    options.search.max_nodes = max_nodes;
+    options.search.time_limit_ms = time_limit_ms;
+    options.search.relative_gap = relative_gap;
+    options.search.integrality_tol = integrality_tol;
+    options.search.root_dive = root_dive;
+    options.search.warm_start_nodes = warm_start_nodes;
+    options.lp = lp_options;
+    return options;
+  }
 };
 
 /// Result status of a MILP solve.
@@ -76,32 +114,49 @@ struct MilpSolution {
   std::vector<double> values;
   /// Nodes expanded.
   int nodes = 0;
-  /// Total simplex iterations across all nodes.
+  /// Total simplex iterations across all nodes (root cut re-solves and
+  /// strong-branching probes included).
   int lp_iterations = 0;
+  /// Root cut-generation activity (all zeroes when cuts were disabled or
+  /// the model has no integer variables).
+  CutStats cuts;
   /// The "branch_and_bound" stats subtree for this solve: per-phase wall
   /// times, aggregated simplex counters, and the incumbent/bound trace.
   SolveStats stats;
 
   /// True when `values` holds a feasible incumbent.
   [[nodiscard]] bool has_incumbent() const { return !values.empty(); }
+  /// Root cut-generation activity; see CutStats.
+  [[nodiscard]] const CutStats& cut_stats() const { return cuts; }
 };
 
-/// The MILP engine. Stateless between solves; safe to reuse.
+/// The MILP engine. Stateless between solves; safe to reuse — but a solver
+/// with registered cut generators must not run concurrent solves, since
+/// generators may keep per-solve scratch state.
 class BranchAndBoundSolver {
  public:
-  explicit BranchAndBoundSolver(MilpOptions options = {});
+  explicit BranchAndBoundSolver(SolverOptions options = {});
+
+  /// Registers a cut separator to run in the root cutting loop. Registered
+  /// generators *replace* the built-in set (register the built-ins from
+  /// default_cut_generators() alongside your own to keep them). Generators
+  /// only fire when SolverOptions::cuts.enable is on.
+  void add_cut_generator(std::shared_ptr<CutGenerator> generator);
 
   /// Solves `model` to optimality (or to the configured budget) under
   /// `ctx`. Throws InvalidInputError on malformed models.
   [[nodiscard]] MilpSolution solve(const lp::Model& model,
                                    SolveContext& ctx) const;
 
+  [[nodiscard]] const SolverOptions& options() const { return options_; }
+
  private:
   [[nodiscard]] MilpSolution solve_impl(const lp::Model& model,
                                         SolveContext& ctx,
                                         SolveStats& stats) const;
 
-  MilpOptions options_;
+  SolverOptions options_;
+  std::vector<std::shared_ptr<CutGenerator>> generators_;
 };
 
 }  // namespace etransform::milp

@@ -1,0 +1,490 @@
+#include "milp/cuts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "lp/basis.h"
+
+namespace etransform::milp {
+
+namespace {
+
+using lp::BasisVarStatus;
+using lp::Relation;
+using lp::RowStructure;
+using lp::Term;
+
+/// Coefficients below this are numerical noise, not structure.
+constexpr double kCoefEps = 1e-11;
+/// Reject cuts whose coefficient magnitudes span more than this ratio (or
+/// exceed it outright): such rows destabilize the LU more than they tighten
+/// the relaxation.
+constexpr double kMaxDynamicRange = 1e7;
+
+double frac(double v) { return v - std::floor(v); }
+
+/// 2-norm of a term vector, floored at 1 so normalized violations and
+/// binding tolerances stay meaningful on tiny rows.
+double row_norm(const std::vector<Term>& terms) {
+  double sq = 0.0;
+  for (const Term& t : terms) sq += t.coef * t.coef;
+  return std::max(1.0, std::sqrt(sq));
+}
+
+/// Canonical textual form of a cut row: relation, rhs, then the (merged,
+/// var-sorted) terms. Logically identical cuts collide regardless of the
+/// generator or round that produced them.
+std::string signature(const Cut& cut) {
+  std::string sig;
+  sig.reserve(cut.terms.size() * 16 + 16);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%d:%.9g", static_cast<int>(cut.relation),
+                cut.rhs);
+  sig += buf;
+  for (const Term& t : cut.terms) {
+    std::snprintf(buf, sizeof buf, "|%d:%.9g", t.var, t.coef);
+    sig += buf;
+  }
+  return sig;
+}
+
+}  // namespace
+
+bool CutPool::add(Cut cut) {
+  cut.terms = lp::merge_terms(std::move(cut.terms));
+  if (cut.terms.empty()) return false;
+  std::string sig = signature(cut);
+  for (const std::string& s : signatures_) {
+    if (s == sig) return false;
+  }
+  cut.id = next_id_++;
+  cut.rounds_inactive = 0;
+  signatures_.push_back(std::move(sig));
+  cuts_.push_back(std::move(cut));
+  ++total_generated_;
+  return true;
+}
+
+void CutPool::record_activity(const std::vector<double>& values, double tol) {
+  for (Cut& cut : cuts_) {
+    const double lhs = cut_activity(cut, values);
+    // Slack toward the interior; an equality cut is binding by definition.
+    const double slack = cut.relation == Relation::kGreaterEqual
+                             ? lhs - cut.rhs
+                             : cut.rhs - lhs;
+    if (slack <= tol * row_norm(cut.terms)) {
+      cut.rounds_inactive = 0;
+    } else {
+      ++cut.rounds_inactive;
+    }
+  }
+}
+
+int CutPool::purge(int max_inactive_rounds) {
+  int removed = 0;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < cuts_.size(); ++i) {
+    if (cuts_[i].rounds_inactive >= max_inactive_rounds) {
+      ++removed;
+      continue;
+    }
+    if (w != i) {
+      cuts_[w] = std::move(cuts_[i]);
+      signatures_[w] = std::move(signatures_[i]);
+    }
+    ++w;
+  }
+  cuts_.resize(w);
+  signatures_.resize(w);
+  total_purged_ += removed;
+  return removed;
+}
+
+double cut_activity(const Cut& cut, const std::vector<double>& values) {
+  double lhs = 0.0;
+  for (const Term& t : cut.terms) {
+    lhs += t.coef * values[static_cast<std::size_t>(t.var)];
+  }
+  return lhs;
+}
+
+bool cut_satisfied(const Cut& cut, const std::vector<double>& values,
+                   double tol) {
+  const double lhs = cut_activity(cut, values);
+  const double scaled = tol * row_norm(cut.terms);
+  switch (cut.relation) {
+    case Relation::kLessEqual: return lhs <= cut.rhs + scaled;
+    case Relation::kGreaterEqual: return lhs >= cut.rhs - scaled;
+    case Relation::kEqual: return std::abs(lhs - cut.rhs) <= scaled;
+  }
+  return false;
+}
+
+int GomoryMixedIntegerCutGenerator::separate(const SeparationContext& sep,
+                                             const lp::LpSolution& sol,
+                                             CutPool& pool) {
+  const lp::PreparedLp& prep = *sep.prep;
+  const lp::Model& model = *sep.model;
+  if (sol.status != lp::SolveStatus::kOptimal || sol.basis == nullptr) {
+    return 0;
+  }
+  const lp::BasisSnapshot& basis = *sol.basis;
+  const int m = prep.num_rows();
+  const int n = prep.num_columns();
+  const int nv = prep.num_vars;
+  if (static_cast<int>(basis.basic_columns.size()) != m ||
+      static_cast<int>(basis.column_status.size()) != n) {
+    return 0;
+  }
+
+  // Internal values: model variables verbatim, slacks s_r = rhs_r - a_r.x.
+  std::vector<double> vals(static_cast<std::size_t>(n), 0.0);
+  for (int j = 0; j < nv; ++j) {
+    vals[static_cast<std::size_t>(j)] = sol.values[static_cast<std::size_t>(j)];
+  }
+  {
+    std::vector<double> activity(static_cast<std::size_t>(m), 0.0);
+    for (int j = 0; j < nv; ++j) {
+      const double x = vals[static_cast<std::size_t>(j)];
+      if (x == 0.0) continue;
+      const lp::SparseColumn& col = prep.columns[static_cast<std::size_t>(j)];
+      for (std::size_t e = 0; e < col.rows.size(); ++e) {
+        activity[static_cast<std::size_t>(col.rows[e])] += col.coefs[e] * x;
+      }
+    }
+    for (int r = 0; r < m; ++r) {
+      vals[static_cast<std::size_t>(nv + r)] =
+          prep.rhs[static_cast<std::size_t>(r)] -
+          activity[static_cast<std::size_t>(r)];
+    }
+  }
+
+  // Internal bounds: root bounds for variables, relation bounds for slacks.
+  std::vector<double> lo(static_cast<std::size_t>(n));
+  std::vector<double> up(static_cast<std::size_t>(n));
+  for (int j = 0; j < nv; ++j) {
+    lo[static_cast<std::size_t>(j)] = (*sep.lower)[static_cast<std::size_t>(j)];
+    up[static_cast<std::size_t>(j)] = (*sep.upper)[static_cast<std::size_t>(j)];
+  }
+  for (int r = 0; r < m; ++r) {
+    lo[static_cast<std::size_t>(nv + r)] =
+        prep.slack_lower[static_cast<std::size_t>(r)];
+    up[static_cast<std::size_t>(nv + r)] =
+        prep.slack_upper[static_cast<std::size_t>(r)];
+  }
+
+  // Row-major structural coefficients, for substituting slacks out of cuts.
+  std::vector<std::vector<Term>> row_terms(static_cast<std::size_t>(m));
+  for (int j = 0; j < nv; ++j) {
+    const lp::SparseColumn& col = prep.columns[static_cast<std::size_t>(j)];
+    for (std::size_t e = 0; e < col.rows.size(); ++e) {
+      row_terms[static_cast<std::size_t>(col.rows[e])].push_back(
+          Term{j, col.coefs[e]});
+    }
+  }
+
+  // Candidate tableau rows: basic integer variables, most fractional first.
+  struct Candidate {
+    int position = 0;
+    double score = 0.0;
+  };
+  std::vector<Candidate> candidates;
+  const double away =
+      std::max(sep.options.min_fractionality, sep.integrality_tol);
+  for (int p = 0; p < m; ++p) {
+    const int b = basis.basic_columns[static_cast<std::size_t>(p)];
+    if (b >= nv || !model.variable(b).is_integer) continue;
+    const double f = frac(vals[static_cast<std::size_t>(b)]);
+    const double dist = std::min(f, 1.0 - f);
+    if (dist < away) continue;
+    candidates.push_back(Candidate{p, dist});
+  }
+  if (candidates.empty()) return 0;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+
+  lp::TableauRowExtractor extractor;
+  if (!extractor.load(m, prep.columns, basis.basic_columns)) return 0;
+
+  // Dense cuts tax every node LP in the tree; unless a row is sparse
+  // (relative to the column count, with a small-model floor) it is not
+  // worth keeping no matter how violated it is. The absolute ceiling keeps
+  // large models honest: at thousands of columns even a modest fraction
+  // yields rows so long the warm re-solve after adding them turns
+  // ill-conditioned.
+  constexpr double kAbsoluteNnzCeiling = 150.0;
+  const std::size_t max_nnz = static_cast<std::size_t>(std::max(
+      24.0, std::min(kAbsoluteNnzCeiling,
+                     sep.options.max_density * static_cast<double>(nv))));
+
+  std::vector<Cut> built;
+  for (const Candidate& cand : candidates) {
+    const std::vector<double>& rho = extractor.row_multipliers(cand.position);
+    const int b = basis.basic_columns[static_cast<std::size_t>(cand.position)];
+    const double f0 = frac(vals[static_cast<std::size_t>(b)]);
+
+    // Tableau row p: x_B = bbar - sum_j abar_j (x_j - rest_j) over nonbasic
+    // j. Shifting each nonbasic onto its resting bound (t_j = x_j - l_j at
+    // lower, u_j - x_j at upper, t_j >= 0) gives x_B = bbar - sum d_j t_j
+    // with d_j = abar_j * shift_sign, and the Gomory mixed-integer
+    // inequality sum g_j t_j >= 1 follows from x_B integral.
+    bool ok = true;
+    std::vector<Term> coefs;  // internal-column space
+    double rhs = 1.0;
+    for (int j = 0; j < n; ++j) {
+      const BasisVarStatus st = basis.column_status[static_cast<std::size_t>(j)];
+      if (st == BasisVarStatus::kBasic) continue;
+      const double abar = lp::TableauRowExtractor::row_coefficient(
+          rho, prep.columns[static_cast<std::size_t>(j)]);
+      if (std::abs(abar) <= kCoefEps) continue;
+      double bound = 0.0;
+      double shift_sign = 0.0;  // x_j = bound + shift_sign * t_j
+      if (st == BasisVarStatus::kAtLower) {
+        bound = lo[static_cast<std::size_t>(j)];
+        shift_sign = 1.0;
+      } else if (st == BasisVarStatus::kAtUpper) {
+        bound = up[static_cast<std::size_t>(j)];
+        shift_sign = -1.0;
+      } else {
+        // A free nonbasic with tableau weight has no valid shift.
+        ok = false;
+        break;
+      }
+      if (!std::isfinite(bound)) {
+        ok = false;
+        break;
+      }
+      const double d = abar * shift_sign;
+      // Integer shifted variables keep integrality (integer bound shift);
+      // treating one as continuous would also be valid, just weaker.
+      const bool integral = j < nv && model.variable(j).is_integer;
+      double g = 0.0;
+      if (integral) {
+        const double fj = frac(d);
+        g = fj <= f0 + 1e-12 ? fj / f0 : (1.0 - fj) / (1.0 - f0);
+      } else {
+        g = d > 0.0 ? d / f0 : -d / (1.0 - f0);
+      }
+      if (g <= kCoefEps) continue;
+      // g * t_j translated back: t_j = shift_sign * (x_j - bound).
+      const double c = g * shift_sign;
+      coefs.push_back(Term{j, c});
+      rhs += c * bound;
+    }
+    if (!ok || coefs.empty()) continue;
+
+    // Substitute slack columns out: s_r = rhs_r - a_r . x.
+    std::vector<Term> terms;
+    for (const Term& t : coefs) {
+      if (t.var < nv) {
+        terms.push_back(t);
+        continue;
+      }
+      const int r = t.var - nv;
+      rhs -= t.coef * prep.rhs[static_cast<std::size_t>(r)];
+      for (const Term& a : row_terms[static_cast<std::size_t>(r)]) {
+        terms.push_back(Term{a.var, -t.coef * a.coef});
+      }
+    }
+    terms = lp::merge_terms(std::move(terms));
+    if (terms.empty()) continue;
+
+    // Numerical guards: fold negligible coefficients into the rhs
+    // conservatively (a >= row stays valid when the rhs absorbs the dropped
+    // term's largest possible contribution) and reject rows whose
+    // coefficient range would destabilize the LP.
+    double cmax = 0.0;
+    for (const Term& t : terms) cmax = std::max(cmax, std::abs(t.coef));
+    const double drop = std::max(kCoefEps, 1e-10 * cmax);
+    std::vector<Term> kept;
+    double cmin = std::numeric_limits<double>::infinity();
+    ok = true;
+    for (const Term& t : terms) {
+      if (std::abs(t.coef) > drop) {
+        kept.push_back(t);
+        cmin = std::min(cmin, std::abs(t.coef));
+        continue;
+      }
+      const double l = (*sep.lower)[static_cast<std::size_t>(t.var)];
+      const double u = (*sep.upper)[static_cast<std::size_t>(t.var)];
+      const double worst = std::max(t.coef * l, t.coef * u);
+      if (!std::isfinite(worst)) {
+        // Unbounded variable: cannot fold; keep the tiny term instead.
+        kept.push_back(t);
+        cmin = std::min(cmin, std::abs(t.coef));
+        continue;
+      }
+      rhs -= worst;
+    }
+    if (kept.empty() || kept.size() > max_nnz || !std::isfinite(rhs)) {
+      continue;
+    }
+    if (cmax > kMaxDynamicRange ||
+        cmax / std::max(cmin, kCoefEps) > kMaxDynamicRange) {
+      continue;
+    }
+
+    Cut cut;
+    cut.name = "gomory_" + model.variable(b).name;
+    cut.terms = std::move(kept);
+    cut.relation = Relation::kGreaterEqual;
+    cut.rhs = rhs;
+    cut.violation =
+        (cut.rhs - cut_activity(cut, sol.values)) / row_norm(cut.terms);
+    if (cut.violation < sep.options.min_violation) continue;
+    built.push_back(std::move(cut));
+  }
+
+  // Deepest cuts first: rank the round's survivors by normalized violation
+  // and accept only the per-round budget.
+  std::sort(built.begin(), built.end(), [](const Cut& a, const Cut& b) {
+    return a.violation > b.violation;
+  });
+  int accepted = 0;
+  for (Cut& cut : built) {
+    if (accepted >= sep.options.max_cuts_per_round) break;
+    cut.name += "_r" + std::to_string(pool.total_generated());
+    if (pool.add(std::move(cut))) ++accepted;
+  }
+  return accepted;
+}
+
+namespace {
+
+/// True when `row` has binary-knapsack shape under the root bounds: a <=
+/// relation with finite rhs and positive weights over [0,1] integers. Tags
+/// are advisory, so even tagged rows are re-checked before use.
+bool knapsack_shape(const lp::Model& model, const lp::Constraint& row,
+                    const std::vector<double>& lower,
+                    const std::vector<double>& upper,
+                    const std::vector<Term>& items) {
+  if (row.relation != Relation::kLessEqual || !std::isfinite(row.rhs)) {
+    return false;
+  }
+  if (items.empty()) return false;
+  for (const Term& t : items) {
+    if (t.coef <= 0.0) return false;
+    if (!model.variable(t.var).is_integer) return false;
+    if (lower[static_cast<std::size_t>(t.var)] < -1e-9 ||
+        upper[static_cast<std::size_t>(t.var)] > 1.0 + 1e-9) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int CoverCutGenerator::separate(const SeparationContext& sep,
+                                const lp::LpSolution& sol, CutPool& pool) {
+  if (sol.status != lp::SolveStatus::kOptimal) return 0;
+  const lp::Model& model = *sep.model;
+  const std::vector<double>& x = sol.values;
+
+  // Tagged rows first: the formulation marked them as knapsack-structured
+  // (capacity / omega business-impact rows), so they get priority under the
+  // per-round budget. Untagged rows are auto-detected afterwards — presolve
+  // rebuilds rows without tags, and generic MILPs never had them.
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(model.num_constraints()));
+  for (int r = 0; r < model.num_constraints(); ++r) {
+    if (model.constraint(r).structure != RowStructure::kGeneric) {
+      order.push_back(r);
+    }
+  }
+  for (int r = 0; r < model.num_constraints(); ++r) {
+    if (model.constraint(r).structure == RowStructure::kGeneric) {
+      order.push_back(r);
+    }
+  }
+
+  int accepted = 0;
+  for (const int r : order) {
+    if (accepted >= sep.options.max_cuts_per_round) break;
+    const lp::Constraint& row = model.constraint(r);
+    const std::vector<Term> items = lp::merge_terms(row.terms);
+    if (!knapsack_shape(model, row, *sep.lower, *sep.upper, items)) continue;
+    const double b = row.rhs;
+
+    // Greedy minimal cover: take items cheapest in (1 - x*_j) per unit of
+    // weight until the weight exceeds b, then shed any member the cover
+    // does not need (least fractional first) to sharpen the inequality.
+    std::vector<std::size_t> by_ratio(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) by_ratio[i] = i;
+    std::sort(by_ratio.begin(), by_ratio.end(),
+              [&](std::size_t a, std::size_t c) {
+                const double ra =
+                    (1.0 - x[static_cast<std::size_t>(items[a].var)]) /
+                    items[a].coef;
+                const double rc =
+                    (1.0 - x[static_cast<std::size_t>(items[c].var)]) /
+                    items[c].coef;
+                return ra < rc;
+              });
+    const double margin = 1e-9 * std::max(1.0, std::abs(b));
+    std::vector<std::size_t> cover;
+    double weight = 0.0;
+    for (const std::size_t i : by_ratio) {
+      if (weight > b + margin) break;
+      cover.push_back(i);
+      weight += items[i].coef;
+    }
+    if (weight <= b + margin) continue;  // whole row fits: no cover exists
+
+    std::sort(cover.begin(), cover.end(), [&](std::size_t a, std::size_t c) {
+      return x[static_cast<std::size_t>(items[a].var)] <
+             x[static_cast<std::size_t>(items[c].var)];
+    });
+    std::vector<std::size_t> minimal;
+    for (std::size_t k = 0; k < cover.size(); ++k) {
+      const std::size_t i = cover[k];
+      if (weight - items[i].coef > b + margin) {
+        weight -= items[i].coef;  // still a cover without it
+      } else {
+        minimal.push_back(i);
+      }
+    }
+    if (minimal.size() < 2) continue;  // |C|=1 is a bound, not a cut
+
+    // Extended cover E(C) = C + every item at least as heavy as C's
+    // heaviest member; sum_{E} x_j <= |C| - 1 stays valid because any |C|
+    // members of E weigh at least as much as C does.
+    double amax = 0.0;
+    for (const std::size_t i : minimal) amax = std::max(amax, items[i].coef);
+    std::vector<char> in_cover(items.size(), 0);
+    for (const std::size_t i : minimal) in_cover[i] = 1;
+    Cut cut;
+    cut.name = "cover_" + row.name + "_r" +
+               std::to_string(pool.total_generated());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (in_cover[i] || items[i].coef >= amax - 1e-12) {
+        cut.terms.push_back(Term{items[i].var, 1.0});
+      }
+    }
+    cut.relation = Relation::kLessEqual;
+    cut.rhs = static_cast<double>(minimal.size()) - 1.0;
+    cut.violation =
+        (cut_activity(cut, x) - cut.rhs) / row_norm(cut.terms);
+    if (cut.violation < sep.options.min_violation) continue;
+    if (pool.add(std::move(cut))) ++accepted;
+  }
+  return accepted;
+}
+
+std::vector<std::shared_ptr<CutGenerator>> default_cut_generators(
+    const CutOptions& options) {
+  std::vector<std::shared_ptr<CutGenerator>> generators;
+  if (options.cover) {
+    generators.push_back(std::make_shared<CoverCutGenerator>());
+  }
+  if (options.gomory) {
+    generators.push_back(std::make_shared<GomoryMixedIntegerCutGenerator>());
+  }
+  return generators;
+}
+
+}  // namespace etransform::milp

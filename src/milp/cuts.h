@@ -1,0 +1,161 @@
+// Cutting-plane subsystem for branch-and-bound: the pluggable CutGenerator
+// interface, two production separators, and the activity-aged CutPool.
+//
+// Cuts are separated only at the root node under the original variable
+// bounds (cut-and-branch), so every accepted inequality is valid for the
+// whole tree: the strengthened relaxation is rebuilt once and shared by
+// every node. Each separation round reads the fractional optimum plus its
+// simplex basis, asks every registered generator for violated valid
+// inequalities, appends the accepted rows to the working model, and
+// re-solves warm (re-factorize + composite-phase-1 primal repair; see
+// branch_and_bound.cpp for why dual pivoting is not needed).
+//
+// Generators shipped here:
+//  * GomoryMixedIntegerCutGenerator — reads simplex tableau rows of
+//    fractional basic integer variables straight off the revised-simplex
+//    basis (one BTRAN per row; lp::TableauRowExtractor) and applies the
+//    bound-shifted Gomory mixed-integer rounding. Works on any MILP.
+//  * CoverCutGenerator — lifted (extended) knapsack cover cuts on rows the
+//    formulation tagged lp::RowStructure::kKnapsack / kBusinessImpact, plus
+//    rows auto-detected as binary knapsacks (presolve drops tags, and the
+//    solver-bench MILPs never had them).
+//
+// Writing your own separator is the extension point documented in
+// DESIGN.md: subclass CutGenerator, emit valid inequalities over *model*
+// variables into the CutPool, and register it on a BranchAndBoundSolver.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "milp/solver_options.h"
+
+namespace etransform::milp {
+
+/// One valid inequality over model variables, produced by a generator.
+struct Cut {
+  std::string name;
+  std::vector<lp::Term> terms;
+  lp::Relation relation = lp::Relation::kLessEqual;
+  double rhs = 0.0;
+  /// Normalized violation (violation / ||coefficients||) at generation time.
+  double violation = 0.0;
+  /// Pool bookkeeping: consecutive root LP solves this cut was slack in.
+  int rounds_inactive = 0;
+  /// Stable pool id, assigned by CutPool::add.
+  long long id = -1;
+};
+
+/// Aggregate cut activity for one solve, surfaced via
+/// MilpSolution::cut_stats().
+struct CutStats {
+  long long rounds = 0;     ///< separation rounds run at the root
+  long long generated = 0;  ///< cuts accepted into the pool
+  long long applied = 0;    ///< cut rows in the final relaxation
+  long long purged = 0;     ///< cuts aged out by the activity policy
+};
+
+/// The pool of accepted cuts. Owns deduplication, activity aging, and the
+/// generated/purged tallies. One pool lives per solve.
+class CutPool {
+ public:
+  /// Accepts a cut unless an identical row (same relation/rhs/terms after
+  /// normalization) is already pooled. Returns false on duplicates.
+  bool add(Cut cut);
+
+  /// Re-scores every cut against the latest root LP point: a cut binding
+  /// (within `tol`, scaled by the row norm) resets its inactivity streak,
+  /// a slack one extends it.
+  void record_activity(const std::vector<double>& values, double tol);
+
+  /// Drops cuts inactive for >= `max_inactive_rounds` consecutive solves.
+  /// Returns the number purged.
+  int purge(int max_inactive_rounds);
+
+  [[nodiscard]] const std::vector<Cut>& cuts() const { return cuts_; }
+  [[nodiscard]] int size() const { return static_cast<int>(cuts_.size()); }
+  [[nodiscard]] long long total_generated() const { return total_generated_; }
+  [[nodiscard]] long long total_purged() const { return total_purged_; }
+
+ private:
+  std::vector<Cut> cuts_;
+  std::vector<std::string> signatures_;  // parallel to cuts_
+  long long next_id_ = 0;
+  long long total_generated_ = 0;
+  long long total_purged_ = 0;
+};
+
+/// Everything a separator may read: the current root relaxation (which
+/// already contains previously accepted cut rows), its standard form, and
+/// the root bounds per model variable. All pointers outlive the call.
+struct SeparationContext {
+  const lp::Model* model = nullptr;        // == prep->model
+  const lp::PreparedLp* prep = nullptr;    // current standard form
+  const std::vector<double>* lower = nullptr;  // root bounds, one per var
+  const std::vector<double>* upper = nullptr;
+  CutOptions options;
+  double integrality_tol = 1e-6;
+};
+
+/// A cut separator. Implementations read the fractional optimum in `lp`
+/// (solved over `ctx.prep`) and add violated *globally valid* inequalities
+/// over model variables to `pool`. Called once per root separation round;
+/// implementations may keep state across rounds but must not assume calls
+/// from a single thread across different solves share that state usefully
+/// (BranchAndBoundSolver is documented non-reentrant per generator set).
+class CutGenerator {
+ public:
+  virtual ~CutGenerator() = default;
+
+  /// Separator name, used in telemetry and cut names.
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Appends violated cuts to `pool`; returns how many were accepted.
+  virtual int separate(const SeparationContext& ctx, const lp::LpSolution& lp,
+                       CutPool& pool) = 0;
+};
+
+/// Gomory mixed-integer cuts off the revised-simplex basis. For every basic
+/// integer variable whose value is at least `CutOptions::min_fractionality`
+/// away from an integer, one BTRAN (lp::TableauRowExtractor) recovers the
+/// tableau row, the nonbasic variables are shifted onto their resting
+/// bounds, and the mixed-integer rounding inequality is translated back to
+/// model-variable space (row slacks substituted out).
+class GomoryMixedIntegerCutGenerator : public CutGenerator {
+ public:
+  [[nodiscard]] const char* name() const override { return "gomory"; }
+  int separate(const SeparationContext& ctx, const lp::LpSolution& lp,
+               CutPool& pool) override;
+};
+
+/// Lifted knapsack cover cuts sum_{j in E(C)} x_j <= |C| - 1, from a greedy
+/// minimal cover C of a binary knapsack row extended by every item at least
+/// as heavy as the heaviest cover member. Rows tagged by the formulation
+/// (kKnapsack capacity rows, kBusinessImpact omega rows) are preferred;
+/// untagged rows are auto-detected.
+class CoverCutGenerator : public CutGenerator {
+ public:
+  [[nodiscard]] const char* name() const override { return "cover"; }
+  int separate(const SeparationContext& ctx, const lp::LpSolution& lp,
+               CutPool& pool) override;
+};
+
+/// The production separator set for `options` (Gomory and/or cover,
+/// per the toggles). Used when no generator was registered explicitly.
+[[nodiscard]] std::vector<std::shared_ptr<CutGenerator>>
+default_cut_generators(const CutOptions& options);
+
+/// Left-hand-side value of `cut` at a model-variable assignment.
+[[nodiscard]] double cut_activity(const Cut& cut,
+                                  const std::vector<double>& values);
+
+/// True when `values` satisfies `cut` within `tol` — the check the validity
+/// property tests run against known integer optima.
+[[nodiscard]] bool cut_satisfied(const Cut& cut,
+                                 const std::vector<double>& values,
+                                 double tol = 1e-6);
+
+}  // namespace etransform::milp

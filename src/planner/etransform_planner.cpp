@@ -86,10 +86,16 @@ namespace {
 /// pipeline: presolve shrinks the model (the formulations carry plenty of
 /// singleton tier rows), B&B solves the reduction, and the incumbent is
 /// postsolved back to formulation variable indices. Returns kInfeasible
-/// directly when presolve proves it.
+/// directly when presolve proves it. options.presolve.enable skips the
+/// reduction entirely (useful for A/B runs and for keeping the
+/// formulation's row-structure tags visible to the cover separator).
 milp::MilpSolution solve_formulation_milp(const lp::Model& model,
-                                          const milp::MilpOptions& options,
+                                          const milp::SolverOptions& options,
                                           SolveContext& ctx) {
+  const milp::BranchAndBoundSolver solver(options);
+  if (!options.presolve.enable) {
+    return solver.solve(model, ctx);
+  }
   const lp::PresolveResult presolved = lp::presolve(model, ctx);
   if (presolved.status == lp::PresolveStatus::kInfeasible) {
     milp::MilpSolution solution;
@@ -98,7 +104,6 @@ milp::MilpSolution solve_formulation_milp(const lp::Model& model,
   }
   ET_LOG(kInfo) << "planner: presolve removed " << presolved.vars_removed
                 << " vars, " << presolved.rows_removed << " rows";
-  const milp::BranchAndBoundSolver solver(options);
   milp::MilpSolution solution = solver.solve(presolved.reduced, ctx);
   if (solution.has_incumbent()) {
     solution.values = lp::postsolve(presolved, solution.values);

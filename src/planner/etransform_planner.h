@@ -48,8 +48,11 @@ struct PlannerOptions {
   /// Model volume discounts (tier binaries). Off = base-price ablation.
   bool economies_of_scale = true;
 
-  /// Branch-and-bound budget for exact solves.
-  milp::MilpOptions milp = default_milp_options();
+  /// Full MILP stack configuration for exact solves: search budget, root
+  /// cutting planes, branching rule, simplex engine, and the presolve gate
+  /// (milp.presolve.enable controls whether lp::presolve runs before
+  /// branch-and-bound).
+  milp::SolverOptions milp = default_solver_options();
 
   /// kAuto switches to the heuristic above this many assignment binaries.
   int exact_var_limit = 8000;
@@ -62,12 +65,17 @@ struct PlannerOptions {
   /// Compute the Lagrangian bound on heuristic solves (non-DR only).
   bool compute_lower_bound = false;
 
-  static milp::MilpOptions default_milp_options() {
-    milp::MilpOptions options;
-    options.max_nodes = 20000;
-    options.time_limit_ms = 60000;
-    options.relative_gap = 1e-6;
+  static milp::SolverOptions default_solver_options() {
+    milp::SolverOptions options;
+    options.search.max_nodes = 20000;
+    options.search.time_limit_ms = 60000;
+    options.search.relative_gap = 1e-6;
     return options;
+  }
+
+  /// DEPRECATED alias for default_solver_options(), kept for one PR.
+  static milp::SolverOptions default_milp_options() {
+    return default_solver_options();
   }
 };
 

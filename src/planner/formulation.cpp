@@ -11,6 +11,7 @@ namespace {
 
 using lp::Model;
 using lp::Relation;
+using lp::RowStructure;
 using lp::Sense;
 using lp::Term;
 
@@ -338,6 +339,11 @@ Formulation build_formulation(const CostModel& cost,
       model.add_constraint("capacity_" + std::to_string(j), capacity,
                            Relation::kLessEqual,
                            site.capacity_servers - fixed_servers);
+      // Structure tag for the cover-cut separator: a pure-binary capacity
+      // row is a knapsack (with DR enabled the continuous G_j term makes the
+      // separator skip it, which is correct — the tag stays advisory).
+      model.set_row_structure(model.num_constraints() - 1,
+                              RowStructure::kKnapsack);
     }
 
     if (!fixed_primary && options.business_impact_omega < 1.0) {
@@ -351,6 +357,10 @@ Formulation build_formulation(const CostModel& cost,
         model.add_constraint("impact_" + std::to_string(j), std::move(impact),
                              Relation::kLessEqual,
                              options.business_impact_omega * num_groups);
+        // Omega rows are unit-coefficient knapsacks over the site's x
+        // binaries; the business-impact tag lets separators prioritize them.
+        model.set_row_structure(model.num_constraints() - 1,
+                                RowStructure::kBusinessImpact);
       }
     }
 

@@ -70,6 +70,29 @@ void ScenarioSet::add_latency_penalty_sweep(
   }
 }
 
+void ScenarioSet::add_cut_config_sweep(const PlannerOptions& base) {
+  struct Config {
+    const char* name;
+    bool gomory;
+    bool cover;
+  };
+  static constexpr Config kConfigs[] = {
+      {"cuts=off", false, false},
+      {"cuts=gomory", true, false},
+      {"cuts=cover", false, true},
+      {"cuts=all", true, true},
+  };
+  for (const Config& config : kConfigs) {
+    Scenario scenario;
+    scenario.name = config.name;
+    scenario.options = base;
+    scenario.options.milp.cuts.enable = config.gomory || config.cover;
+    scenario.options.milp.cuts.gomory = config.gomory;
+    scenario.options.milp.cuts.cover = config.cover;
+    scenarios_.push_back(std::move(scenario));
+  }
+}
+
 std::vector<ScenarioResult> run_scenarios(const ScenarioSet& set,
                                           SolveService& service,
                                           double time_limit_ms) {

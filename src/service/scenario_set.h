@@ -52,6 +52,12 @@ class ScenarioSet {
   void add_latency_penalty_sweep(const std::vector<Money>& penalties,
                                  const PlannerOptions& base = {});
 
+  /// Appends one scenario per cut configuration ("cuts=off", "cuts=gomory",
+  /// "cuts=cover", "cuts=all") with otherwise-`base` options, so a SolveFarm
+  /// sweep — or race_first_result — can race the cutting-plane setups
+  /// against each other on the same instance.
+  void add_cut_config_sweep(const PlannerOptions& base = {});
+
   [[nodiscard]] const ConsolidationInstance& base() const { return base_; }
   [[nodiscard]] const std::vector<Scenario>& scenarios() const {
     return scenarios_;

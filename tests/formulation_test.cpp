@@ -20,8 +20,8 @@ ConsolidationInstance small_instance(std::uint64_t seed = 5) {
 }
 
 milp::MilpSolution solve(const lp::Model& model) {
-  milp::MilpOptions options;
-  options.time_limit_ms = 30000;
+  milp::SolverOptions options;
+  options.search.time_limit_ms = 30000;
   const milp::BranchAndBoundSolver solver(options);
   SolveContext ctx;
   return solver.solve(model, ctx);

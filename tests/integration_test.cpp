@@ -25,8 +25,8 @@ EnterpriseSpec mini_spec(std::uint64_t seed) {
 PlannerOptions fast_options(bool dr = false) {
   PlannerOptions options;
   options.enable_dr = dr;
-  options.milp.time_limit_ms = 8000;
-  options.milp.max_nodes = 8000;
+  options.milp.search.time_limit_ms = 8000;
+  options.milp.search.max_nodes = 8000;
   return options;
 }
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "common/random.h"
 #include "milp/branch_and_bound.h"
 #include "milp/brute_force.h"
+#include "milp/cuts.h"
 
 namespace etransform::milp {
 namespace {
@@ -157,9 +159,10 @@ TEST(BranchAndBound, BestBoundBracketsOptimum) {
 }
 
 TEST(BranchAndBound, NodeLimitYieldsFeasibleOrNoSolution) {
-  MilpOptions options;
-  options.max_nodes = 1;
-  options.root_dive = false;
+  SolverOptions options;
+  options.search.max_nodes = 1;
+  options.search.root_dive = false;
+  options.cuts.enable = false;
   const BranchAndBoundSolver limited(options);
   Model m;
   std::vector<Term> objective;
@@ -179,9 +182,10 @@ TEST(BranchAndBound, NodeLimitYieldsFeasibleOrNoSolution) {
 }
 
 TEST(BranchAndBound, RootDiveFindsIncumbentUnderNodeLimit) {
-  MilpOptions options;
-  options.max_nodes = 1;
-  options.root_dive = true;
+  SolverOptions options;
+  options.search.max_nodes = 1;
+  options.search.root_dive = true;
+  options.cuts.enable = false;
   const BranchAndBoundSolver limited(options);
   Model m;
   std::vector<Term> objective;
@@ -299,6 +303,202 @@ TEST_P(KnapsackRandomTest, MatchesBruteForceOnRandomKnapsacks) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackRandomTest,
                          ::testing::Range<std::uint64_t>(0, 30));
+
+// ---------------------------------------------------------------------------
+// Cut pipeline
+// ---------------------------------------------------------------------------
+
+MilpSolution solve_with(const Model& m, const SolverOptions& options) {
+  const BranchAndBoundSolver solver(options);
+  SolveContext ctx;
+  return solver.solve(m, ctx);
+}
+
+/// The production configuration: cuts on, pseudocost branching.
+SolverOptions production_options() { return SolverOptions{}; }
+
+/// The pre-cut solver: no cuts, most-fractional branching.
+SolverOptions legacy_options() {
+  SolverOptions options;
+  options.cuts.enable = false;
+  options.branching.rule = BranchingOptions::Rule::kMostFractional;
+  return options;
+}
+
+/// The classic 3-item knapsack whose LP relaxation is fractional: the LP
+/// takes items 1 and 2 plus 2/3 of item 3, so both separators fire (the
+/// minimal cover {0,1,2} gives x0+x1+x2 <= 2, violated by 2/3).
+Model fractional_knapsack() {
+  Model m;
+  const double value[3] = {60, 100, 120};
+  const double weight[3] = {10, 20, 30};
+  std::vector<Term> objective;
+  std::vector<Term> cap;
+  for (int i = 0; i < 3; ++i) {
+    const int b = m.add_binary("item" + std::to_string(i));
+    objective.push_back({b, value[i]});
+    cap.push_back({b, weight[i]});
+  }
+  m.set_objective(Sense::kMaximize, objective);
+  m.add_constraint("cap", cap, Relation::kLessEqual, 50.0);
+  return m;
+}
+
+TEST(CutPipeline, CutStatsAreConsistentAndVisible) {
+  const Model m = fractional_knapsack();
+  const auto s = solve_with(m, production_options());
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 220.0, 1e-6);
+
+  // The fractional root guarantees at least one separation round found work.
+  EXPECT_GE(s.cuts.rounds, 1);
+  EXPECT_GE(s.cuts.generated, 1);
+  EXPECT_LE(s.cuts.applied + s.cuts.purged, s.cuts.generated);
+  EXPECT_GE(s.cuts.applied, 0);
+
+  // The accessor and the field are the same object.
+  EXPECT_EQ(s.cut_stats().generated, s.cuts.generated);
+  EXPECT_EQ(s.cut_stats().applied, s.cuts.applied);
+
+  // The same tallies are published in the stats tree for --stats-json.
+  const SolveStats* cuts = s.stats.find("cuts");
+  ASSERT_NE(cuts, nullptr);
+  EXPECT_NEAR(cuts->metric("generated"),
+              static_cast<double>(s.cuts.generated), 1e-9);
+  EXPECT_NEAR(cuts->metric("applied"), static_cast<double>(s.cuts.applied),
+              1e-9);
+}
+
+TEST(CutPipeline, CutsOffMatchesLegacySolverExactly) {
+  const Model m = fractional_knapsack();
+  const auto off = solve_with(m, legacy_options());
+  ASSERT_EQ(off.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(off.objective, 220.0, 1e-6);
+  EXPECT_EQ(off.cuts.rounds, 0);
+  EXPECT_EQ(off.cuts.generated, 0);
+  EXPECT_EQ(off.cuts.applied, 0);
+}
+
+/// Differential: cuts+pseudocosts must change the search, never the answer.
+class CutDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CutDifferentialTest, CutsPreserveOptimaOnRandomInstances) {
+  Rng rng(GetParam() + 7000);
+  // Small assignment MILP with knapsack-style capacity rows: every group
+  // goes to exactly one site, sites have weight budgets. Both separators
+  // have material to work with and brute force stays cheap.
+  const int groups = static_cast<int>(rng.uniform_int(4, 7));
+  const int sites = static_cast<int>(rng.uniform_int(2, 3));
+  Model m;
+  std::vector<std::vector<int>> x(static_cast<std::size_t>(groups));
+  std::vector<Term> objective;
+  for (int i = 0; i < groups; ++i) {
+    for (int j = 0; j < sites; ++j) {
+      const int v = m.add_binary("x" + std::to_string(i) + "_" +
+                                 std::to_string(j));
+      x[static_cast<std::size_t>(i)].push_back(v);
+      objective.push_back({v, rng.uniform(1.0, 12.0)});
+    }
+  }
+  m.set_objective(Sense::kMinimize, objective);
+  for (int i = 0; i < groups; ++i) {
+    std::vector<Term> assign;
+    for (int j = 0; j < sites; ++j) {
+      assign.push_back({x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0});
+    }
+    m.add_constraint("assign" + std::to_string(i), assign, Relation::kEqual,
+                     1.0);
+  }
+  for (int j = 0; j < sites; ++j) {
+    std::vector<Term> cap;
+    for (int i = 0; i < groups; ++i) {
+      cap.push_back({x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                     rng.uniform(1.0, 6.0)});
+    }
+    m.add_constraint("cap" + std::to_string(j), cap, Relation::kLessEqual,
+                     rng.uniform(2.0, 5.0) * groups / sites);
+  }
+
+  const auto with_cuts = solve_with(m, production_options());
+  const auto without = solve_with(m, legacy_options());
+  const auto reference = brute(m);
+  ASSERT_EQ(with_cuts.status, without.status);
+  ASSERT_EQ(with_cuts.status == MilpStatus::kOptimal,
+            reference.status == MilpStatus::kOptimal);
+  if (with_cuts.status == MilpStatus::kOptimal) {
+    EXPECT_NEAR(with_cuts.objective, reference.objective, 1e-6);
+    EXPECT_NEAR(without.objective, reference.objective, 1e-6);
+    EXPECT_TRUE(m.is_feasible(with_cuts.values, 1e-6));
+    EXPECT_TRUE(m.is_feasible(without.values, 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutDifferentialTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+/// A user-written separator per the DESIGN.md extension recipe: emits the
+/// (valid) cover inequality x0+x1+x2 <= 2 for fractional_knapsack() once.
+class HandRolledCoverGenerator : public CutGenerator {
+ public:
+  [[nodiscard]] const char* name() const override { return "hand_cover"; }
+  int separate(const SeparationContext& /*ctx*/, const lp::LpSolution& lp,
+               CutPool& pool) override {
+    ++calls;
+    const double activity = lp.values[0] + lp.values[1] + lp.values[2];
+    if (activity <= 2.0 + 1e-6) return 0;  // not violated (later rounds)
+    Cut cut;
+    cut.name = "hand_cover";
+    cut.terms = {{0, 1.0}, {1, 1.0}, {2, 1.0}};
+    cut.relation = lp::Relation::kLessEqual;
+    cut.rhs = 2.0;
+    cut.violation = activity - 2.0;
+    return pool.add(std::move(cut)) ? 1 : 0;
+  }
+  int calls = 0;
+};
+
+TEST(CutPipeline, RegisteredGeneratorReplacesBuiltinsAndIsApplied) {
+  const Model m = fractional_knapsack();
+  BranchAndBoundSolver solver(production_options());
+  auto generator = std::make_shared<HandRolledCoverGenerator>();
+  solver.add_cut_generator(generator);
+  SolveContext ctx;
+  const auto s = solver.solve(m, ctx);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 220.0, 1e-6);
+  EXPECT_GE(generator->calls, 1);
+  EXPECT_GE(s.cuts.generated, 1);
+  // The per-generator tally uses the registered name, not the built-ins'.
+  const SolveStats* cuts = s.stats.find("cuts");
+  ASSERT_NE(cuts, nullptr);
+  EXPECT_GE(cuts->metric("hand_cover_cuts"), 1.0);
+  EXPECT_NEAR(cuts->metric("gomory_cuts"), 0.0, 1e-9);
+}
+
+TEST(DeprecatedMilpOptions, ConvertsLosslesslyAndStillSolves) {
+  MilpOptions legacy;
+  legacy.max_nodes = 5000;
+  legacy.time_limit_ms = 30000;
+  legacy.relative_gap = 1e-7;
+  legacy.integrality_tol = 1e-5;
+  legacy.root_dive = false;
+  legacy.warm_start_nodes = false;
+
+  const SolverOptions upgraded = legacy;
+  EXPECT_EQ(upgraded.search.max_nodes, 5000);
+  EXPECT_EQ(upgraded.search.time_limit_ms, 30000);
+  EXPECT_NEAR(upgraded.search.relative_gap, 1e-7, 0.0);
+  EXPECT_NEAR(upgraded.search.integrality_tol, 1e-5, 0.0);
+  EXPECT_FALSE(upgraded.search.root_dive);
+  EXPECT_FALSE(upgraded.search.warm_start_nodes);
+
+  // Legacy construction still compiles and solves (one-PR migration shim).
+  const BranchAndBoundSolver solver(legacy);
+  SolveContext ctx;
+  const auto s = solver.solve(fractional_knapsack(), ctx);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 220.0, 1e-6);
+}
 
 }  // namespace
 }  // namespace etransform::milp

@@ -19,8 +19,8 @@ namespace {
 PlannerReport run_planner(const ConsolidationInstance& instance,
                           PlannerOptions options = {}) {
   // Keep the suite fast: tiny instances don't need the production budget.
-  options.milp.time_limit_ms = std::min(options.milp.time_limit_ms, 5000);
-  options.milp.max_nodes = std::min(options.milp.max_nodes, 5000);
+  options.milp.search.time_limit_ms = std::min(options.milp.search.time_limit_ms, 5000);
+  options.milp.search.max_nodes = std::min(options.milp.search.max_nodes, 5000);
   const CostModel model(instance);
   const EtransformPlanner planner(options);
   SolveContext ctx;

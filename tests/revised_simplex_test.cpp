@@ -282,10 +282,14 @@ TEST(RevisedSimplex, BranchAndBoundWarmStartReducesLpIterations) {
                          3.0 * tasks / agents);
   }
 
-  milp::MilpOptions warm_options;
-  warm_options.warm_start_nodes = true;
-  milp::MilpOptions cold_options;
-  cold_options.warm_start_nodes = false;
+  // Cuts off: the root cutting loop can close this instance at the root,
+  // and this test is specifically about node-LP warm starts in the tree.
+  milp::SolverOptions warm_options;
+  warm_options.search.warm_start_nodes = true;
+  warm_options.cuts.enable = false;
+  milp::SolverOptions cold_options;
+  cold_options.search.warm_start_nodes = false;
+  cold_options.cuts.enable = false;
 
   SolveContext warm_ctx;
   const auto warm = milp::BranchAndBoundSolver(warm_options).solve(model,
@@ -303,6 +307,81 @@ TEST(RevisedSimplex, BranchAndBoundWarmStartReducesLpIterations) {
   const SolveStats* bb = warm_ctx.stats().find("branch_and_bound");
   ASSERT_NE(bb, nullptr);
   EXPECT_GT(bb->metric("warm_started_nodes"), 0.0);
+}
+
+// TableauRowExtractor recovers rows of B^-1 A by one BTRAN each (the cut
+// separators build Gomory cuts from them). Two identities pin it down on an
+// optimal basis of a random LP:
+//   * the coefficient of the q-th basic column in tableau row p is δ_pq
+//     (B^-1 B = I),
+//   * every tableau row is satisfied by the primal point: since A x = b in
+//     the internal form, rho_p . (A x) must equal rho_p . b.
+TEST(RevisedSimplex, TableauRowExtractorRecoversIdentityOnBasicColumns) {
+  const Model model = random_lp(/*seed=*/11, /*vars=*/8, /*rows=*/6,
+                                /*density=*/0.6);
+  const PreparedLp prep(model);
+  std::vector<double> lower;
+  std::vector<double> upper;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    lower.push_back(model.variable(j).lower);
+    upper.push_back(model.variable(j).upper);
+  }
+  SolveContext ctx;
+  const auto solution =
+      SimplexSolver().solve(prep, lower, upper, ctx);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  ASSERT_NE(solution.basis, nullptr);
+  const auto& basic = solution.basis->basic_columns;
+  ASSERT_EQ(static_cast<int>(basic.size()), prep.num_rows());
+
+  TableauRowExtractor extractor;
+  ASSERT_TRUE(extractor.load(prep.num_rows(), prep.columns, basic));
+
+  // Internal primal point: model variables then one slack per row
+  // (a.x + s = rhs).
+  std::vector<double> internal(static_cast<std::size_t>(prep.num_columns()),
+                               0.0);
+  for (int j = 0; j < prep.num_vars; ++j) {
+    internal[static_cast<std::size_t>(j)] = solution.values[static_cast<std::size_t>(j)];
+  }
+  std::vector<double> activity(static_cast<std::size_t>(prep.num_rows()), 0.0);
+  for (int j = 0; j < prep.num_vars; ++j) {
+    const auto& column = prep.columns[static_cast<std::size_t>(j)];
+    for (std::size_t k = 0; k < column.rows.size(); ++k) {
+      activity[static_cast<std::size_t>(column.rows[k])] +=
+          column.coefs[k] * internal[static_cast<std::size_t>(j)];
+    }
+  }
+  for (int r = 0; r < prep.num_rows(); ++r) {
+    internal[static_cast<std::size_t>(prep.num_vars + r)] =
+        prep.rhs[static_cast<std::size_t>(r)] -
+        activity[static_cast<std::size_t>(r)];
+  }
+
+  for (int p = 0; p < prep.num_rows(); ++p) {
+    const auto& rho = extractor.row_multipliers(p);
+    // Identity block over the basic columns.
+    for (int q = 0; q < prep.num_rows(); ++q) {
+      const double coef = TableauRowExtractor::row_coefficient(
+          rho, prep.columns[static_cast<std::size_t>(
+                   basic[static_cast<std::size_t>(q)])]);
+      EXPECT_NEAR(coef, p == q ? 1.0 : 0.0, 1e-8)
+          << "tableau row " << p << ", basic column " << q;
+    }
+    // Row equation: sum_j abar_j x_j == rho . rhs at the primal point.
+    double lhs = 0.0;
+    for (int c = 0; c < prep.num_columns(); ++c) {
+      lhs += TableauRowExtractor::row_coefficient(
+                 rho, prep.columns[static_cast<std::size_t>(c)]) *
+             internal[static_cast<std::size_t>(c)];
+    }
+    double rhs = 0.0;
+    for (int r = 0; r < prep.num_rows(); ++r) {
+      rhs += rho[static_cast<std::size_t>(r)] *
+             prep.rhs[static_cast<std::size_t>(r)];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-7) << "tableau row " << p;
+  }
 }
 
 }  // namespace

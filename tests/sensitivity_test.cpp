@@ -18,7 +18,7 @@ TEST(Sensitivity, RegretIsNonNegativeForOptimalPlans) {
     const auto instance = make_random_instance(rng, 8, 3, 2);
     const CostModel model(instance);
     PlannerOptions options;
-    options.milp.time_limit_ms = 5000;
+    options.milp.search.time_limit_ms = 5000;
     const EtransformPlanner planner(options);
     SolveContext ctx;
     const PlannerReport report = planner.plan(model, ctx);

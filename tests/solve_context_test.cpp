@@ -180,9 +180,9 @@ TEST(SolveContext, CancellationFromNodeCallbackStopsBranchAndBound) {
 
 TEST(SolveContext, MilpTimeLimitRestoresCallerDeadline) {
   const Model m = hard_knapsack(30, 5);
-  milp::MilpOptions options;
-  options.time_limit_ms = 1;
-  options.max_nodes = 1 << 30;
+  milp::SolverOptions options;
+  options.search.time_limit_ms = 1;
+  options.search.max_nodes = 1 << 30;
   SolveContext ctx;
   const auto s = milp::BranchAndBoundSolver(options).solve(m, ctx);
   EXPECT_TRUE(s.status == milp::MilpStatus::kTimeLimit ||
@@ -235,10 +235,10 @@ TEST(SolveContext, EventsFireInOrderWithConsistentCounters) {
   // The trace ends at the final optimal state: incumbent meets bound.
   const TracePoint& last = bb->trace.back();
   EXPECT_NEAR(last.incumbent, s.objective, 1e-6);
-  // Aggregated simplex counters roll up under the B&B subtree.
-  const SolveStats* simplex = bb->find("simplex");
-  ASSERT_NE(simplex, nullptr);
-  EXPECT_GE(simplex->metric("pivots"), 1.0);
+  // Aggregated simplex counters roll up somewhere under the B&B subtree
+  // (under "root_lp"/"cuts" scopes when the root closes the gap, directly
+  // under the node loop otherwise).
+  EXPECT_GE(bb->deep_metric("pivots"), 1.0);
   EXPECT_EQ(bb->wall_ms >= 0.0, true);
 }
 
@@ -364,6 +364,24 @@ TEST(SolveStats, FindWalksDottedPaths) {
   EXPECT_EQ(stats.find(""), nullptr);
 }
 
+TEST(SolveStats, FindRejectsMalformedDottedPaths) {
+  // Regression test: an empty path segment used to match the first child
+  // whose name happened to be empty (or walk into the wrong node) instead
+  // of failing the lookup. Every malformed spelling must return null, even
+  // when an empty-named child actually exists.
+  SolveStats stats;
+  stats.child("a").child("b").add("n", 1.0);
+  stats.child("");  // hostile: deliberately empty child name
+  EXPECT_EQ(stats.find("."), nullptr);
+  EXPECT_EQ(stats.find(".a"), nullptr);
+  EXPECT_EQ(stats.find("a."), nullptr);
+  EXPECT_EQ(stats.find("a..b"), nullptr);
+  EXPECT_EQ(stats.find(".."), nullptr);
+  // Well-formed paths still resolve around the hostile sibling.
+  ASSERT_NE(stats.find("a.b"), nullptr);
+  EXPECT_EQ(stats.find("a.b")->metric("n"), 1.0);
+}
+
 TEST(SolveScope, EarlyParentCloseFlushesOpenChildWallTime) {
   SolveContext ctx;
   auto parent = std::make_unique<SolveScope>(ctx, "parent");
@@ -391,7 +409,7 @@ TEST(SolveContext, PlannerBuildsPerStageStatsTree) {
   const auto instance = make_random_instance(rng, 8, 3, 2);
   const CostModel model(instance);
   PlannerOptions options;
-  options.milp.time_limit_ms = 5000;
+  options.milp.search.time_limit_ms = 5000;
   SolveContext ctx;
   const PlannerReport report = EtransformPlanner(options).plan(model, ctx);
   EXPECT_FALSE(report.interrupted);

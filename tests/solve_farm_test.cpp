@@ -247,8 +247,8 @@ TEST(SolveService, CancellingARunningJobUnwindsViaContext) {
   request.instance = make_random_instance(rng, 20, 6, 3);
   request.options.engine = PlannerOptions::Engine::kExact;
   request.options.business_impact_omega = 0.4;
-  request.options.milp.max_nodes = 1 << 30;
-  request.options.milp.time_limit_ms = 600000;
+  request.options.milp.search.max_nodes = 1 << 30;
+  request.options.milp.search.time_limit_ms = 600000;
   const JobHandle job = service.submit(std::move(request));
 
   while (job->state() == JobState::kQueued) std::this_thread::yield();
@@ -302,8 +302,8 @@ TEST(SolveService, PerJobDeadlineTruncatesTheSolve) {
   request.instance = make_random_instance(rng, 16, 5, 3);
   request.options.engine = PlannerOptions::Engine::kExact;
   request.options.business_impact_omega = 0.5;
-  request.options.milp.max_nodes = 1 << 30;
-  request.options.milp.time_limit_ms = 600000;
+  request.options.milp.search.max_nodes = 1 << 30;
+  request.options.milp.search.time_limit_ms = 600000;
   request.time_limit_ms = 20.0;
   const JobHandle job = service.submit(std::move(request));
   const JobState state = job->wait();

@@ -57,9 +57,9 @@ TEST(SolverLimits, SimplexIterationLimitReported) {
 }
 
 TEST(SolverLimits, MilpTimeLimitProducesIncumbentNotProof) {
-  milp::MilpOptions options;
-  options.time_limit_ms = 1;  // expire almost immediately
-  options.max_nodes = 1 << 30;
+  milp::SolverOptions options;
+  options.search.time_limit_ms = 1;  // expire almost immediately
+  options.search.max_nodes = 1 << 30;
   const milp::BranchAndBoundSolver solver(options);
   SolveContext ctx;
   const auto s = solver.solve(hard_knapsack(30, 5), ctx);
@@ -70,16 +70,16 @@ TEST(SolverLimits, MilpTimeLimitProducesIncumbentNotProof) {
   if (s.has_incumbent()) {
     EXPECT_TRUE(hard_knapsack(30, 5).is_feasible(s.values, 1e-6));
   }
-  // The MilpOptions deadline is scoped to the solve: the caller's context
+  // The search.time_limit_ms deadline is scoped to the solve: the caller's context
   // must be usable again afterwards.
   EXPECT_FALSE(ctx.should_stop());
 }
 
 TEST(SolverLimits, LooseRelativeGapStopsEarlyButValid) {
-  milp::MilpOptions tight;
-  tight.relative_gap = 1e-9;
-  milp::MilpOptions loose = tight;
-  loose.relative_gap = 0.25;
+  milp::SolverOptions tight;
+  tight.search.relative_gap = 1e-9;
+  milp::SolverOptions loose = tight;
+  loose.search.relative_gap = 0.25;
   const auto model = hard_knapsack(18, 9);
   SolveContext ctx;
   const auto exact = milp::BranchAndBoundSolver(tight).solve(model, ctx);
