@@ -9,7 +9,7 @@
 #include "common/random.h"
 #include "cost/cost_model.h"
 #include "datagen/generators.h"
-#include "lp/simplex.h"
+#include "lp/lp_engine.h"
 #include "milp/branch_and_bound.h"
 #include "planner/etransform_planner.h"
 #include "planner/lagrangian.h"
@@ -43,7 +43,7 @@ lp::Model random_lp(std::uint64_t seed, int vars, int rows) {
 void BM_SimplexRandomLp(benchmark::State& state) {
   const auto model = random_lp(7, static_cast<int>(state.range(0)),
                                static_cast<int>(state.range(0)) / 2);
-  const lp::SimplexSolver solver;
+  const lp::LpEngine solver;
   for (auto _ : state) {
     SolveContext ctx;
     benchmark::DoNotOptimize(solver.solve(model, ctx));
@@ -57,7 +57,7 @@ BENCHMARK(BM_SimplexRandomLp)->Arg(50)->Arg(200)->Arg(800);
 void BM_SimplexRandomLpTraced(benchmark::State& state) {
   const auto model = random_lp(7, static_cast<int>(state.range(0)),
                                static_cast<int>(state.range(0)) / 2);
-  const lp::SimplexSolver solver;
+  const lp::LpEngine solver;
   telemetry::TraceRecorder recorder(/*capacity_per_thread=*/1 << 20);
   telemetry::MetricsRegistry registry;
   for (auto _ : state) {
@@ -83,7 +83,7 @@ void BM_SimplexRandomLpDense(benchmark::State& state) {
   lp::SimplexOptions options;
   options.use_dense_fallback = true;
   options.pricing = lp::PricingRule::kDantzig;
-  const lp::SimplexSolver solver(options);
+  const lp::LpEngine solver(options);
   for (auto _ : state) {
     SolveContext ctx;
     benchmark::DoNotOptimize(solver.solve(model, ctx));
@@ -165,6 +165,12 @@ void BM_BranchAndBoundAssignment(benchmark::State& state) {
     options.cuts.enable = false;
     options.branching.rule = milp::BranchingOptions::Rule::kMostFractional;
   }
+  // dual:0 forces every re-solve through the primal repair path (the
+  // pre-LpEngine behavior); dual:1 is production kAuto, where node and
+  // cut-round restarts reoptimize with the bound-flipping dual simplex.
+  // The pair measures what dual reoptimization buys in LP iterations.
+  options.lp.mode =
+      state.range(3) != 0 ? lp::SolveMode::kAuto : lp::SolveMode::kPrimal;
   const milp::BranchAndBoundSolver solver(options);
   long long lp_iterations = 0;
   long long nodes = 0;
@@ -182,8 +188,8 @@ void BM_BranchAndBoundAssignment(benchmark::State& state) {
       static_cast<double>(nodes), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_BranchAndBoundAssignment)
-    ->ArgsProduct({{12, 20}, {0, 1}, {0, 1}})
-    ->ArgNames({"tasks", "warm", "cuts"});
+    ->ArgsProduct({{12, 20}, {0, 1}, {0, 1}, {0, 1}})
+    ->ArgNames({"tasks", "warm", "cuts", "dual"});
 
 void BM_PlannerEnterprise1(benchmark::State& state) {
   const auto instance = make_enterprise1();

@@ -1,8 +1,10 @@
 # Compares a fresh bench_solver_perf JSON run against the committed baseline
 # (BENCH_solver.json at the repo root) and fails when the branch-and-bound
-# node count of any matching assignment-MILP configuration regresses by more
-# than 20%. Node counts are deterministic (unlike timings), so a tight
-# multiplicative ceiling is safe in CI. Driven by the bench-smoke job:
+# node count or total LP iteration count of any matching assignment-MILP
+# configuration regresses by more than 20%. Both counters are deterministic
+# (unlike timings), so a tight multiplicative ceiling is safe in CI; the
+# lp_iters ceiling is what keeps the dual-simplex reoptimization savings
+# locked in. Driven by the bench-smoke job:
 #   cmake -DCURRENT=<fresh.json> -DBASELINE=<BENCH_solver.json> \
 #         -P check_bench_regression.cmake
 # Requires CMake >= 3.19 for string(JSON).
@@ -43,19 +45,20 @@ function(parse_counter value out)
   endif()
 endfunction()
 
-# Index the baseline: benchmark name -> node count.
+# Index the baseline: benchmark name -> {node, lp_iters} counts.
 string(JSON baseline_count LENGTH "${baseline_json}" "benchmarks")
 math(EXPR baseline_last "${baseline_count} - 1")
 foreach(i RANGE ${baseline_last})
   string(JSON name GET "${baseline_json}" "benchmarks" ${i} "name")
-  string(JSON nodes ERROR_VARIABLE json_err GET "${baseline_json}"
-         "benchmarks" ${i} "nodes")
-  if(NOT json_err STREQUAL "NOTFOUND")
-    continue()  # benchmark without a nodes counter
-  endif()
-  parse_counter("${nodes}" nodes_int)
   string(MD5 key "${name}")
-  set(baseline_nodes_${key} "${nodes_int}")
+  foreach(counter nodes lp_iters)
+    string(JSON value ERROR_VARIABLE json_err GET "${baseline_json}"
+           "benchmarks" ${i} "${counter}")
+    if(json_err STREQUAL "NOTFOUND")
+      parse_counter("${value}" value_int)
+      set(baseline_${counter}_${key} "${value_int}")
+    endif()
+  endforeach()
 endforeach()
 
 string(JSON current_count LENGTH "${current_json}" "benchmarks")
@@ -76,16 +79,28 @@ foreach(i RANGE ${current_last})
     message(STATUS "no baseline for ${name}; skipping (new configuration)")
     continue()
   endif()
-  parse_counter("${nodes}" current_nodes)
-  math(EXPR allowed "${baseline_nodes_${key}} * 12 / 10")
-  if(current_nodes GREATER allowed)
-    message(FATAL_ERROR
-            "node-count regression in ${name}: ${current_nodes} nodes vs "
-            "baseline ${baseline_nodes_${key}} (ceiling ${allowed}, +20%). "
-            "If the search legitimately changed, regenerate BENCH_solver.json.")
-  endif()
-  message(STATUS "${name}: ${current_nodes} nodes "
-                 "(baseline ${baseline_nodes_${key}}, ceiling ${allowed})")
+  foreach(counter nodes lp_iters)
+    if(NOT DEFINED baseline_${counter}_${key})
+      continue()
+    endif()
+    string(JSON value ERROR_VARIABLE json_err GET "${current_json}"
+           "benchmarks" ${i} "${counter}")
+    if(NOT json_err STREQUAL "NOTFOUND")
+      message(FATAL_ERROR "${name} lost its '${counter}' counter")
+    endif()
+    parse_counter("${value}" current_value)
+    math(EXPR allowed "${baseline_${counter}_${key}} * 12 / 10")
+    if(current_value GREATER allowed)
+      message(FATAL_ERROR
+              "${counter} regression in ${name}: ${current_value} vs "
+              "baseline ${baseline_${counter}_${key}} (ceiling ${allowed}, "
+              "+20%). If the search legitimately changed, regenerate "
+              "BENCH_solver.json.")
+    endif()
+    message(STATUS "${name}: ${current_value} ${counter} "
+                   "(baseline ${baseline_${counter}_${key}}, "
+                   "ceiling ${allowed})")
+  endforeach()
   math(EXPR checked "${checked} + 1")
 endforeach()
 
@@ -95,4 +110,4 @@ if(checked EQUAL 0)
 endif()
 
 message(STATUS "bench regression check OK: ${checked} configurations within "
-               "+20% of committed node counts")
+               "+20% of committed node and lp_iters counts")

@@ -1,0 +1,104 @@
+# Validates the etransform_cli --lp-algorithm flag: an invalid value must
+# fail with the usage text, and each valid value must plan successfully with
+# the expected dual-simplex activity visible in the stats JSON (auto/dual
+# restart with dual pivots, primal never does). Driven by ctest:
+#   cmake -DCLI=<path> -DWORK_DIR=<dir> -P validate_cli_lp_algorithm.cmake
+cmake_minimum_required(VERSION 3.19)
+
+if(NOT DEFINED CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<etransform_cli> -DWORK_DIR=<dir> "
+                      "-P validate_cli_lp_algorithm.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(instance "${WORK_DIR}/lp_algorithm_check.etf")
+
+execute_process(
+  COMMAND "${CLI}" generate enterprise1 -o "${instance}"
+  RESULT_VARIABLE generate_result)
+if(NOT generate_result EQUAL 0)
+  message(FATAL_ERROR "etransform_cli generate failed (${generate_result})")
+endif()
+
+# An unknown algorithm must be rejected with the usage text, not silently
+# mapped to a default.
+execute_process(
+  COMMAND "${CLI}" plan "${instance}" --lp-algorithm bogus
+  RESULT_VARIABLE bad_result
+  OUTPUT_QUIET
+  ERROR_VARIABLE bad_stderr)
+if(bad_result EQUAL 0)
+  message(FATAL_ERROR "--lp-algorithm bogus was accepted (exit 0)")
+endif()
+if(NOT bad_stderr MATCHES "usage:")
+  message(FATAL_ERROR "--lp-algorithm bogus did not print the usage text")
+endif()
+if(NOT bad_stderr MATCHES "--lp-algorithm primal\\|dual\\|auto")
+  message(FATAL_ERROR "usage text does not document --lp-algorithm")
+endif()
+message(STATUS "invalid --lp-algorithm rejected with usage text")
+
+# Pulls the planner -> branch_and_bound -> simplex subtree's `metric` into
+# `out_var` (FATAL_ERROR when the path is missing).
+function(read_simplex_metric stats_file metric out_var)
+  file(READ "${stats_file}" stats)
+  string(JSON child_count LENGTH "${stats}" "children")
+  set(bnb "")
+  math(EXPR last "${child_count} - 1")
+  foreach(i RANGE ${last})
+    string(JSON phase_name GET "${stats}" "children" ${i} "name")
+    if(phase_name STREQUAL "branch_and_bound")
+      string(JSON bnb GET "${stats}" "children" ${i})
+    endif()
+  endforeach()
+  if(bnb STREQUAL "")
+    message(FATAL_ERROR "${stats_file}: missing 'branch_and_bound' phase")
+  endif()
+  string(JSON bnb_children LENGTH "${bnb}" "children")
+  set(simplex "")
+  math(EXPR bnb_last "${bnb_children} - 1")
+  foreach(i RANGE ${bnb_last})
+    string(JSON child_name GET "${bnb}" "children" ${i} "name")
+    if(child_name STREQUAL "simplex")
+      string(JSON simplex GET "${bnb}" "children" ${i})
+    endif()
+  endforeach()
+  if(simplex STREQUAL "")
+    message(FATAL_ERROR "${stats_file}: missing 'simplex' child")
+  endif()
+  string(JSON value ERROR_VARIABLE json_err
+         GET "${simplex}" "metrics" "${metric}")
+  if(NOT json_err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "${stats_file}: simplex missing metric '${metric}'")
+  endif()
+  set(${out_var} "${value}" PARENT_SCOPE)
+endfunction()
+
+# Each valid value must plan; auto/dual must actually run dual re-solves
+# (node restarts are dual-feasible on this instance) while primal never may.
+foreach(algorithm primal dual auto)
+  set(stats_json "${WORK_DIR}/lp_algorithm_${algorithm}.json")
+  execute_process(
+    COMMAND "${CLI}" plan "${instance}" --engine exact --time-limit 4000
+            --lp-algorithm "${algorithm}" --stats-json "${stats_json}"
+    RESULT_VARIABLE plan_result
+    OUTPUT_QUIET)
+  if(NOT plan_result EQUAL 0)
+    message(FATAL_ERROR
+            "plan --lp-algorithm ${algorithm} failed (${plan_result})")
+  endif()
+  read_simplex_metric("${stats_json}" "dual_solves" dual_solves)
+  if(algorithm STREQUAL "primal")
+    if(dual_solves GREATER 0)
+      message(FATAL_ERROR "--lp-algorithm primal ran ${dual_solves} dual "
+                          "solves; want 0")
+    endif()
+  else()
+    if(dual_solves LESS 1)
+      message(FATAL_ERROR "--lp-algorithm ${algorithm} ran no dual solves; "
+                          "node/cut restarts should have used the dual "
+                          "simplex")
+    endif()
+  endif()
+  message(STATUS "--lp-algorithm ${algorithm} OK (${dual_solves} dual solves)")
+endforeach()

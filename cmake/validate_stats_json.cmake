@@ -108,7 +108,8 @@ endif()
 # The counters must exist and be coherent: at least one solve happened, every
 # solve refactorizes at least once, and pricing did *something*.
 foreach(metric calls pivots refactorizations etas eta_entries
-        pricing_candidate_hits pricing_full_scans warm_starts)
+        pricing_candidate_hits pricing_full_scans warm_starts
+        dual_pivots bound_flips dual_solves)
   string(JSON value ERROR_VARIABLE json_err GET "${simplex}" "metrics" "${metric}")
   if(NOT json_err STREQUAL "NOTFOUND")
     message(FATAL_ERROR "simplex stats missing metric '${metric}'")

@@ -9,13 +9,15 @@
 //   etransform_cli plan <in.etf> [--dr] [--omega X] [--engine auto|exact|
 //       heuristic] [--no-economies] [--lp-out model.lp] [--time-limit ms]
 //       [--cuts on|off|gomory|cover] [--cut-rounds N]
-//       [--branching pseudocost|most-fractional] [--no-presolve]
+//       [--branching pseudocost|most-fractional]
+//       [--lp-algorithm primal|dual|auto] [--no-presolve]
 //       [--trace] [--stats-json stats.json]
 //       Compute the "to-be" plan and print the full report. --lp-out also
 //       writes the MILP in CPLEX LP format (feed it to lp_tool, or to an
 //       actual CPLEX, to audit the optimization engine). --cuts /
-//       --cut-rounds / --branching tune the exact engine's root
-//       cutting-plane loop and branching rule (milp::SolverOptions).
+//       --cut-rounds / --branching / --lp-algorithm tune the exact
+//       engine's root cutting-plane loop, branching rule, and LP pivoting
+//       algorithm (milp::SolverOptions).
 //       --trace streams solver events (presolve reductions, simplex phases,
 //       B&B incumbents and bound moves) to stderr as they happen;
 //       --stats-json dumps the hierarchical SolveStats tree (per-phase wall
@@ -69,7 +71,8 @@ int usage() {
       "      [--engine auto|exact|heuristic] [--no-economies]\n"
       "      [--lp-out model.lp] [--time-limit ms]\n"
       "      [--cuts on|off|gomory|cover] [--cut-rounds N]\n"
-      "      [--branching pseudocost|most-fractional] [--no-presolve]\n"
+      "      [--branching pseudocost|most-fractional]\n"
+      "      [--lp-algorithm primal|dual|auto] [--no-presolve]\n"
       "      [--trace] [--stats-json stats.json] [--telemetry-dir DIR]\n"
       "      [--migrate] [--wan-budget megabits] [--max-moves N]\n"
       "      [--jobs N] [--sweep omega|dr-cost|latency-penalty|cuts=...]\n"
@@ -78,6 +81,9 @@ int usage() {
       "  solves (default on = Gomory + cover); --cut-rounds caps separation\n"
       "  rounds; --branching picks the variable-selection rule (default\n"
       "  pseudocost, reliability-initialized by strong branching);\n"
+      "  --lp-algorithm picks the LP engine's pivoting rule (default auto:\n"
+      "  dual simplex on dual-feasible warm restarts — node re-solves and\n"
+      "  cut rounds — primal otherwise; primal/dual force one algorithm).\n"
       "  --no-presolve solves the raw formulation. --sweep cuts=all races\n"
       "  the four cut configurations as scenarios (the value list is\n"
       "  ignored). --telemetry-dir writes trace.json (Chrome Trace Event\n"
@@ -335,6 +341,17 @@ int cmd_plan(int argc, char** argv) {
       } else if (rule == "most-fractional") {
         options.milp.branching.rule =
             milp::BranchingOptions::Rule::kMostFractional;
+      } else {
+        return usage();
+      }
+    } else if (flag == "--lp-algorithm" && a + 1 < argc) {
+      const std::string algorithm = argv[++a];
+      if (algorithm == "primal") {
+        options.milp.lp.mode = lp::SolveMode::kPrimal;
+      } else if (algorithm == "dual") {
+        options.milp.lp.mode = lp::SolveMode::kDual;
+      } else if (algorithm == "auto") {
+        options.milp.lp.mode = lp::SolveMode::kAuto;
       } else {
         return usage();
       }

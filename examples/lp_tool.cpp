@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "lp/lp_engine.h"
 #include "lp/lp_format.h"
 #include "lp/presolve.h"
 #include "milp/branch_and_bound.h"
@@ -63,7 +64,7 @@ int solve_text(const std::string& text, const char* output_path) {
         solution.values = lp::postsolve(presolved, milp_solution.values);
       }
     } else {
-      const lp::SimplexSolver solver;
+      const lp::LpEngine solver;
       solution = solver.solve(reduced, ctx);
       std::fprintf(stderr, "simplex: %s in %d pivots\n",
                    lp::to_string(solution.status), solution.iterations);

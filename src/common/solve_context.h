@@ -250,7 +250,7 @@ class SolveScope {
 /// RAII deadline tightener: within the guard's lifetime the context deadline
 /// is the earlier of its current deadline and `limit`; the original deadline
 /// is restored on destruction. Used by branch-and-bound to honor
-/// MilpOptions::time_limit_ms without the caller losing its own deadline.
+/// SearchOptions::time_limit_ms without the caller losing its own deadline.
 class DeadlineGuard {
  public:
   DeadlineGuard(SolveContext& ctx, Deadline limit)

@@ -1,0 +1,188 @@
+#include "lp/lp_engine.h"
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "lp/simplex_core.h"
+#include "telemetry/metrics.h"
+
+namespace etransform::lp {
+
+LpEngine::LpEngine(SimplexOptions options) : options_(options) {}
+
+LpSolution LpEngine::solve(const Model& model, SolveContext& ctx) const {
+  std::vector<double> lower(static_cast<std::size_t>(model.num_variables()));
+  std::vector<double> upper(static_cast<std::size_t>(model.num_variables()));
+  for (int j = 0; j < model.num_variables(); ++j) {
+    lower[static_cast<std::size_t>(j)] = model.variable(j).lower;
+    upper[static_cast<std::size_t>(j)] = model.variable(j).upper;
+  }
+  return solve(model, lower, upper, ctx);
+}
+
+LpSolution LpEngine::solve(const Model& model, const std::vector<double>& lower,
+                           const std::vector<double>& upper,
+                           SolveContext& ctx) const {
+  const PreparedLp prep(model);
+  return solve(prep, lower, upper, ctx);
+}
+
+LpSolution LpEngine::solve(const PreparedLp& prep,
+                           const std::vector<double>& lower,
+                           const std::vector<double>& upper, SolveContext& ctx,
+                           const LpStartBasis& start) const {
+  const Model& model = *prep.model;
+  if (lower.size() != static_cast<std::size_t>(prep.num_vars) ||
+      upper.size() != static_cast<std::size_t>(prep.num_vars)) {
+    throw InvalidInputError("solve: bound override size mismatch");
+  }
+  SolveScope scope(ctx, "simplex");
+  scope.stats().add("calls", 1.0);
+  LpSolution solution;
+  if (prep.trivially_infeasible) {
+    solution.status = SolveStatus::kInfeasible;
+    ET_LOG(kDebug) << "simplex: trivially infeasible ("
+                   << prep.infeasibility_note << ")";
+    return solution;
+  }
+
+  detail::RevisedSimplex core(prep, options_, ctx);
+  if (!core.set_bounds(lower, upper)) {
+    solution.status = SolveStatus::kInfeasible;
+    ET_LOG(kDebug) << "simplex: trivially infeasible (lower > upper)";
+    return solution;
+  }
+  // Algorithm selection. kAuto only spends the dual-feasibility check when
+  // the caller advertises a reoptimization start; kDual always attempts it
+  // (even the cold slack basis is dual-feasible when no reduced cost is
+  // attractive); kPrimal never does.
+  bool try_dual = false;
+  switch (options_.mode) {
+    case SolveMode::kPrimal: break;
+    case SolveMode::kDual: try_dual = true; break;
+    case SolveMode::kAuto:
+      try_dual = start.snapshot != nullptr &&
+                 start.origin != LpStartBasis::Origin::kNone;
+      break;
+  }
+  const SolveStatus status = core.run(start.snapshot, try_dual);
+  solution.status = status;
+  solution.iterations = core.iterations();
+  solution.phase1_iterations = core.phase1_iterations();
+  solution.refactorizations = core.refactorizations();
+  solution.degenerate_pivots = core.degenerate_pivots();
+  solution.warm_started = core.warm_started();
+  solution.used_dual = core.used_dual();
+  solution.dual_pivots = core.dual_pivots();
+  solution.bound_flips = core.bound_flips();
+  const BasisCounters& bc = core.basis_counters();
+  SolveStats& stats = scope.stats();
+  stats.add("pivots", solution.iterations);
+  stats.add("phase1_pivots", solution.phase1_iterations);
+  stats.add("dual_pivots", solution.dual_pivots);
+  stats.add("bound_flips", solution.bound_flips);
+  stats.add("dual_solves", solution.used_dual ? 1.0 : 0.0);
+  stats.add("refactorizations", solution.refactorizations);
+  stats.add("degenerate_pivots", solution.degenerate_pivots);
+  stats.add("etas", static_cast<double>(bc.etas));
+  stats.add("eta_entries", static_cast<double>(bc.eta_entries));
+  stats.add("pricing_candidate_hits",
+            static_cast<double>(core.candidate_hits()));
+  stats.add("pricing_full_scans", static_cast<double>(core.full_scans()));
+  stats.add("warm_starts", core.warm_started() ? 1.0 : 0.0);
+  if (telemetry::MetricsRegistry* reg = ctx.metrics()) {
+    reg->counter("etransform_simplex_solves_total",
+                 "Simplex solve() calls observed by this registry")
+        .increment();
+    reg->counter("etransform_simplex_pivots_total",
+                 "Simplex pivots across all solves")
+        .add(solution.iterations);
+    reg->counter("etransform_simplex_refactorizations_total",
+                 "Basis refactorizations across all solves")
+        .add(solution.refactorizations);
+    reg->counter("etransform_simplex_dual_pivots_total",
+                 "Dual-simplex pivots across all solves")
+        .add(solution.dual_pivots);
+    reg->counter("etransform_simplex_bound_flips_total",
+                 "Dual ratio-test bound flips across all solves")
+        .add(solution.bound_flips);
+  }
+  if (status != SolveStatus::kOptimal) return solution;
+
+  solution.values.resize(static_cast<std::size_t>(prep.num_vars));
+  for (int j = 0; j < prep.num_vars; ++j) {
+    solution.values[static_cast<std::size_t>(j)] = core.column_value(j);
+  }
+  solution.objective = model.evaluate_objective(solution.values);
+
+  const std::vector<double> y = core.row_duals();
+  solution.duals.assign(static_cast<std::size_t>(model.num_constraints()),
+                        0.0);
+  for (int i = 0; i < model.num_constraints(); ++i) {
+    const int r = prep.row_of_model_row[static_cast<std::size_t>(i)];
+    if (r < 0) continue;
+    solution.duals[static_cast<std::size_t>(i)] =
+        prep.sense_sign * y[static_cast<std::size_t>(r)];
+  }
+  solution.basis = std::make_shared<BasisSnapshot>(core.snapshot());
+  return solution;
+}
+
+BasisSnapshot extend_basis(const BasisSnapshot& old, int num_vars,
+                           const std::vector<int>& old_row_of_new,
+                           int new_rows, int new_cols) {
+  BasisSnapshot snap;
+  snap.basic_columns.assign(static_cast<std::size_t>(new_rows), -1);
+  snap.column_status.assign(static_cast<std::size_t>(new_cols),
+                            BasisVarStatus::kAtLower);
+  for (int j = 0; j < num_vars; ++j) {
+    snap.column_status[static_cast<std::size_t>(j)] =
+        old.column_status[static_cast<std::size_t>(j)];
+  }
+  for (int r = 0; r < new_rows; ++r) {
+    const int o = old_row_of_new[static_cast<std::size_t>(r)];
+    if (o >= 0) {
+      snap.column_status[static_cast<std::size_t>(num_vars + r)] =
+          old.column_status[static_cast<std::size_t>(num_vars + o)];
+    }
+  }
+  // Inverse row map: old slack columns must be re-indexed through it — a
+  // slack basic in some *other* surviving row keeps that slack (re-homed to
+  // the slack's new column index), not the row's own. Substituting the own
+  // slack would change the basis matrix, which both risks singularity and
+  // moves the duals the kRowsAdded contract promises to preserve.
+  const int old_rows = static_cast<int>(old.basic_columns.size());
+  std::vector<int> new_row_of_old(static_cast<std::size_t>(old_rows), -1);
+  for (int r = 0; r < new_rows; ++r) {
+    const int o = old_row_of_new[static_cast<std::size_t>(r)];
+    if (o >= 0) new_row_of_old[static_cast<std::size_t>(o)] = r;
+  }
+  std::vector<char> used(static_cast<std::size_t>(new_cols), 0);
+  for (int r = 0; r < new_rows; ++r) {
+    const int o = old_row_of_new[static_cast<std::size_t>(r)];
+    int b = num_vars + r;  // own slack: fresh rows, and the fallback
+    if (o >= 0) {
+      int ob = old.basic_columns[static_cast<std::size_t>(o)];
+      if (ob >= num_vars) {
+        const int slack_row =
+            new_row_of_old[static_cast<std::size_t>(ob - num_vars)];
+        ob = slack_row >= 0 ? num_vars + slack_row : -1;  // purged: fallback
+      }
+      if (ob >= 0 && !used[static_cast<std::size_t>(ob)]) b = ob;
+    }
+    if (used[static_cast<std::size_t>(b)]) b = num_vars + r;
+    used[static_cast<std::size_t>(b)] = 1;
+    snap.basic_columns[static_cast<std::size_t>(r)] = b;
+  }
+  for (int r = 0; r < new_rows; ++r) {
+    snap.column_status[static_cast<std::size_t>(
+        snap.basic_columns[static_cast<std::size_t>(r)])] =
+        BasisVarStatus::kBasic;
+  }
+  // Model columns whose basic row was purged keep a stale kBasic marker;
+  // apply_snapshot demotes those to a resting bound.
+  return snap;
+}
+
+}  // namespace etransform::lp

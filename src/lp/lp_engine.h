@@ -1,0 +1,105 @@
+// LpEngine — the single LP solve entry point.
+//
+// Every LP in the codebase (root relaxations, branch-and-bound node
+// re-solves, cut-round restarts, strong-branching probes, standalone tools)
+// goes through LpEngine::solve. The engine owns algorithm selection
+// between the two-phase primal simplex and the bound-flipping dual simplex
+// (both over the shared sparse LU / eta machinery in lp/basis.*):
+//
+//  * SolveMode::kPrimal — primal always (cold starts, differential tests).
+//  * SolveMode::kDual   — try the dual from the start basis; fall back to
+//                         primal when it is not dual-feasible.
+//  * SolveMode::kAuto   — the default. Dual iff the caller's LpStartBasis
+//                         advertises a reoptimization origin (bound change
+//                         or appended rows) *and* the numeric
+//                         dual-feasibility check passes; primal otherwise.
+//
+// The LpStartBasis contract: `snapshot` must come from a solve of the same
+// PreparedLp (or be mapped onto it with extend_basis()); `origin` states
+// how the LP at hand differs from the one that produced the snapshot.
+// Origins are advisory — the engine re-verifies dual feasibility
+// numerically before pivoting dual, so a stale or mistaken origin costs
+// one btran and falls back to the primal warm start, never correctness.
+#pragma once
+
+#include "lp/simplex.h"
+
+namespace etransform::lp {
+
+/// Warm-start contract for LpEngine::solve.
+struct LpStartBasis {
+  /// How the LP being solved relates to the LP that produced `snapshot`.
+  enum class Origin {
+    /// No reoptimization claim: install the basis as a primal warm start.
+    kNone,
+    /// Same rows and costs; only variable bounds changed (branch-and-bound
+    /// children, iterative bound edits). The parent-optimal duals remain
+    /// feasible, so kAuto reoptimizes with the dual simplex.
+    kBoundChange,
+    /// Rows were appended and the snapshot extended via extend_basis():
+    /// new slacks enter basic, duals of the old rows carry over unchanged,
+    /// so the start stays dual-feasible (cut rounds).
+    kRowsAdded,
+  };
+
+  LpStartBasis() = default;
+  explicit LpStartBasis(const BasisSnapshot* snap,
+                        Origin snap_origin = Origin::kNone)
+      : snapshot(snap), origin(snap_origin) {}
+
+  /// Snapshot from a previous solve of the same PreparedLp; nullptr means a
+  /// cold start. Ignored when structurally incompatible.
+  const BasisSnapshot* snapshot = nullptr;
+  Origin origin = Origin::kNone;
+};
+
+/// The LP engine. Stateless between solves; safe to reuse.
+class LpEngine {
+ public:
+  explicit LpEngine(SimplexOptions options = {});
+
+  /// Solves the LP relaxation of `model` under `ctx` (deadline, cancel
+  /// token, events, stats). Throws InvalidInputError on malformed models;
+  /// never throws for infeasible/unbounded (reported via status).
+  [[nodiscard]] LpSolution solve(const Model& model, SolveContext& ctx) const;
+
+  /// Solves with per-variable bound overrides (used by branch-and-bound).
+  /// `lower`/`upper` must each have one entry per model variable.
+  [[nodiscard]] LpSolution solve(const Model& model,
+                                 const std::vector<double>& lower,
+                                 const std::vector<double>& upper,
+                                 SolveContext& ctx) const;
+
+  /// Core entry point: solves over a prebuilt standard form, optionally
+  /// restarting from `start` (see LpStartBasis). Callers that solve many
+  /// bound variants of one model (branch-and-bound) should prepare once
+  /// and call this.
+  [[nodiscard]] LpSolution solve(const PreparedLp& prep,
+                                 const std::vector<double>& lower,
+                                 const std::vector<double>& upper,
+                                 SolveContext& ctx,
+                                 const LpStartBasis& start = {}) const;
+
+  [[nodiscard]] const SimplexOptions& options() const { return options_; }
+
+ private:
+  SimplexOptions options_;
+};
+
+/// Maps a basis snapshot of one standard form onto a rebuilt one whose rows
+/// are survivors of the old form (identity- or arbitrarily re-mapped) plus
+/// appended rows. `old_row_of_new[r]` is the previous row index of new row
+/// r, or -1 for a fresh row. Old column indices carry over verbatim (model
+/// columns lead, surviving slacks keep their row's slot, new slacks
+/// append): each surviving row keeps its old basic column, fresh rows start
+/// with their own slack basic — which leaves the old duals (and hence dual
+/// feasibility) intact, the property LpStartBasis::Origin::kRowsAdded
+/// advertises. Rows whose old basic column vanished fall back to their
+/// slack; stale nonbasic statuses are re-clamped when the snapshot is
+/// applied.
+[[nodiscard]] BasisSnapshot extend_basis(const BasisSnapshot& old,
+                                         int num_vars,
+                                         const std::vector<int>& old_row_of_new,
+                                         int new_rows, int new_cols);
+
+}  // namespace etransform::lp

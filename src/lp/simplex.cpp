@@ -6,7 +6,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
-#include "telemetry/metrics.h"
+#include "lp/simplex_core.h"
 #include "telemetry/trace.h"
 
 namespace etransform::lp {
@@ -20,6 +20,15 @@ const char* to_string(SolveStatus status) {
     case SolveStatus::kTimeLimit: return "time_limit";
     case SolveStatus::kCancelled: return "cancelled";
     case SolveStatus::kNumericalError: return "numerical_error";
+  }
+  return "?";
+}
+
+const char* to_string(SolveMode mode) {
+  switch (mode) {
+    case SolveMode::kPrimal: return "primal";
+    case SolveMode::kDual: return "dual";
+    case SolveMode::kAuto: return "auto";
   }
   return "?";
 }
@@ -121,812 +130,673 @@ PreparedLp::PreparedLp(const Model& m) : model(&m) {
   }
 }
 
-namespace {
+namespace detail {
 
-/// Maximum slack-basis recoveries from singular factorizations before a
-/// solve gives up with kNumericalError.
-constexpr int kMaxRecoveries = 3;
+RevisedSimplex::RevisedSimplex(const PreparedLp& prep,
+                               const SimplexOptions& options, SolveContext& ctx)
+    : prep_(prep),
+      options_(options),
+      ctx_(ctx),
+      m_(prep.num_rows()),
+      n_(prep.num_columns()),
+      lower_(static_cast<std::size_t>(n_), 0.0),
+      upper_(static_cast<std::size_t>(n_), 0.0),
+      status_(static_cast<std::size_t>(n_), BasisVarStatus::kAtLower),
+      value_(static_cast<std::size_t>(n_), 0.0),
+      basis_(static_cast<std::size_t>(m_), -1),
+      gamma_(static_cast<std::size_t>(n_), 1.0) {}
 
-/// Working state of the revised simplex on one PreparedLp + bound set.
-class RevisedSimplex {
- public:
-  RevisedSimplex(const PreparedLp& prep, const SimplexOptions& options,
-                 SolveContext& ctx)
-      : prep_(prep),
-        options_(options),
-        ctx_(ctx),
-        m_(prep.num_rows()),
-        n_(prep.num_columns()),
-        lower_(static_cast<std::size_t>(n_), 0.0),
-        upper_(static_cast<std::size_t>(n_), 0.0),
-        status_(static_cast<std::size_t>(n_), BasisVarStatus::kAtLower),
-        value_(static_cast<std::size_t>(n_), 0.0),
-        basis_(static_cast<std::size_t>(m_), -1),
-        gamma_(static_cast<std::size_t>(n_), 1.0) {}
-
-  /// Installs per-variable bound overrides (+ the fixed slack bounds) and
-  /// derives the feasibility scale. Returns false when some lower > upper.
-  [[nodiscard]] bool set_bounds(const std::vector<double>& lo,
+bool RevisedSimplex::set_bounds(const std::vector<double>& lo,
                                 const std::vector<double>& up) {
-    double scale = 1.0;
-    for (int j = 0; j < prep_.num_vars; ++j) {
-      const double l = lo[static_cast<std::size_t>(j)];
-      const double u = up[static_cast<std::size_t>(j)];
-      if (l > u) return false;
-      lower_[static_cast<std::size_t>(j)] = l;
-      upper_[static_cast<std::size_t>(j)] = u;
-      if (std::isfinite(l)) scale = std::max(scale, std::abs(l));
-      if (std::isfinite(u)) scale = std::max(scale, std::abs(u));
+  double scale = 1.0;
+  for (int j = 0; j < prep_.num_vars; ++j) {
+    const double l = lo[static_cast<std::size_t>(j)];
+    const double u = up[static_cast<std::size_t>(j)];
+    if (l > u) return false;
+    lower_[static_cast<std::size_t>(j)] = l;
+    upper_[static_cast<std::size_t>(j)] = u;
+    if (std::isfinite(l)) scale = std::max(scale, std::abs(l));
+    if (std::isfinite(u)) scale = std::max(scale, std::abs(u));
+  }
+  for (int r = 0; r < m_; ++r) {
+    lower_[static_cast<std::size_t>(prep_.num_vars + r)] =
+        prep_.slack_lower[static_cast<std::size_t>(r)];
+    upper_[static_cast<std::size_t>(prep_.num_vars + r)] =
+        prep_.slack_upper[static_cast<std::size_t>(r)];
+    scale = std::max(scale, std::abs(prep_.rhs[static_cast<std::size_t>(r)]));
+  }
+  ftol_ = options_.feasibility_tol * scale;
+  return true;
+}
+
+SolveStatus RevisedSimplex::run(const BasisSnapshot* warm, bool try_dual) {
+  engine_ = make_basis_factorization(m_, options_.use_dense_fallback,
+                                     options_.pivot_tol);
+  // Small lists win empirically: Devex quality saturates around a few
+  // dozen candidates while re-pricing cost keeps growing with the list.
+  list_size_ = options_.candidate_list_size > 0
+                   ? options_.candidate_list_size
+                   : std::clamp(n_ / 32, 8, 32);
+  bool warm_ok = warm != nullptr && apply_snapshot(*warm);
+  if (!warm_ok) init_slack_basis();
+  if (!refactorize()) {
+    if (warm_ok) {
+      warm_ok = false;
+      init_slack_basis();
     }
-    for (int r = 0; r < m_; ++r) {
-      lower_[static_cast<std::size_t>(prep_.num_vars + r)] =
-          prep_.slack_lower[static_cast<std::size_t>(r)];
-      upper_[static_cast<std::size_t>(prep_.num_vars + r)] =
-          prep_.slack_upper[static_cast<std::size_t>(r)];
-      scale = std::max(scale, std::abs(prep_.rhs[static_cast<std::size_t>(r)]));
+    if (!refactorize()) return SolveStatus::kNumericalError;
+  }
+  warm_started_ = warm_ok;
+
+  // A warm basis that failed to apply (structural mismatch) voids any
+  // reoptimization claim — don't pivot dual from the slack fallback unless
+  // the caller asked for dual with no snapshot at all (SolveMode::kDual).
+  if (try_dual && (warm == nullptr || warm_ok) && dual_start_feasible()) {
+    used_dual_ = true;
+    SolveStatus s;
+    {
+      const telemetry::TraceSpan span(ctx_.trace(), "lp", "simplex.dual");
+      s = iterate_dual();
     }
-    ftol_ = options_.feasibility_tol * scale;
-    return true;
+    if (s != SolveStatus::kOptimal && !dual_abandoned_) return s;
+    // kOptimal: the basis is primal feasible; the phase-2 loop below merely
+    // certifies optimality against the unperturbed costs (usually 0 pivots).
+    // dual_abandoned_: the dual loop retreated (singular-basis recovery or
+    // an unusable pivot); the primal phases repair from the current point.
   }
 
-  /// Runs phases 1 and 2, optionally warm-starting from `warm`.
-  SolveStatus run(const BasisSnapshot* warm) {
-    engine_ = make_basis_factorization(m_, options_.use_dense_fallback,
-                                       options_.pivot_tol);
-    // Small lists win empirically: Devex quality saturates around a few
-    // dozen candidates while re-pricing cost keeps growing with the list.
-    list_size_ = options_.candidate_list_size > 0
-                     ? options_.candidate_list_size
-                     : std::clamp(n_ / 32, 8, 32);
-    bool warm_ok = warm != nullptr && apply_snapshot(*warm);
-    if (!warm_ok) init_slack_basis();
-    if (!refactorize()) {
-      if (warm_ok) {
-        warm_ok = false;
-        init_slack_basis();
-      }
-      if (!refactorize()) return SolveStatus::kNumericalError;
-    }
-    warm_started_ = warm_ok;
-
-    while (true) {
-      restart_phase1_ = false;
-      if (has_infeasible_basic()) {
-        phase1_ = true;
-        const int before = iterations_;
-        SolveStatus s;
-        {
-          const telemetry::TraceSpan span(ctx_.trace(), "lp",
-                                          "simplex.phase1");
-          s = iterate();
-        }
-        phase1_ = false;
-        if (restart_phase1_) {
-          if (recoveries_ > kMaxRecoveries) return SolveStatus::kNumericalError;
-          continue;
-        }
-        if (s != SolveStatus::kOptimal) {
-          return s == SolveStatus::kUnbounded ? SolveStatus::kInfeasible : s;
-        }
-        fire_phase_event(1, iterations_ - before, total_infeasibility());
-        if (has_infeasible_basic()) return SolveStatus::kInfeasible;
-      }
+  while (true) {
+    restart_phase1_ = false;
+    if (has_infeasible_basic()) {
+      phase1_ = true;
       const int before = iterations_;
       SolveStatus s;
       {
-        const telemetry::TraceSpan span(ctx_.trace(), "lp", "simplex.phase2");
+        const telemetry::TraceSpan span(ctx_.trace(), "lp", "simplex.phase1");
         s = iterate();
       }
+      phase1_ = false;
       if (restart_phase1_) {
         if (recoveries_ > kMaxRecoveries) return SolveStatus::kNumericalError;
         continue;
       }
-      if (s == SolveStatus::kOptimal) {
-        fire_phase_event(2, iterations_ - before, internal_objective());
+      if (s != SolveStatus::kOptimal) {
+        return s == SolveStatus::kUnbounded ? SolveStatus::kInfeasible : s;
       }
-      return s;
+      fire_phase_event(1, iterations_ - before, total_infeasibility());
+      if (has_infeasible_basic()) return SolveStatus::kInfeasible;
     }
-  }
-
-  [[nodiscard]] int iterations() const { return iterations_; }
-  [[nodiscard]] int phase1_iterations() const { return phase1_iterations_; }
-  [[nodiscard]] int refactorizations() const {
-    return static_cast<int>(engine_->counters().refactorizations);
-  }
-  [[nodiscard]] int degenerate_pivots() const { return degenerate_pivots_; }
-  [[nodiscard]] const BasisCounters& basis_counters() const {
-    return engine_->counters();
-  }
-  [[nodiscard]] long long candidate_hits() const { return candidate_hits_; }
-  [[nodiscard]] long long full_scans() const { return full_scans_; }
-  [[nodiscard]] bool warm_started() const { return warm_started_; }
-
-  [[nodiscard]] double column_value(int col) const {
-    return value_[static_cast<std::size_t>(col)];
-  }
-
-  /// Objective of the internal minimization (slack costs are zero).
-  [[nodiscard]] double internal_objective() const {
-    double total = 0.0;
-    for (int j = 0; j < prep_.num_vars; ++j) {
-      total += prep_.cost[static_cast<std::size_t>(j)] *
-               value_[static_cast<std::size_t>(j)];
+    const int before = iterations_;
+    SolveStatus s;
+    {
+      const telemetry::TraceSpan span(ctx_.trace(), "lp", "simplex.phase2");
+      s = iterate();
     }
-    return total;
-  }
-
-  /// Row multipliers y = c_B B^-T for the phase-2 costs (row-indexed).
-  [[nodiscard]] std::vector<double> row_duals() const {
-    std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
-    for (int k = 0; k < m_; ++k) {
-      y[static_cast<std::size_t>(k)] =
-          prep_.cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(k)])];
+    if (restart_phase1_) {
+      if (recoveries_ > kMaxRecoveries) return SolveStatus::kNumericalError;
+      continue;
     }
-    engine_->btran(y);
-    return y;
-  }
-
-  [[nodiscard]] BasisSnapshot snapshot() const {
-    BasisSnapshot snap;
-    snap.basic_columns = basis_;
-    snap.column_status = status_;
-    return snap;
-  }
-
- private:
-  void fire_phase_event(int phase, int pivots, double objective) {
-    if (!ctx_.events.on_simplex_phase) return;
-    SimplexPhaseEvent event;
-    event.phase = phase;
-    event.pivots = pivots;
-    event.objective = objective;
-    ctx_.events.on_simplex_phase(event);
-  }
-
-  /// All slacks basic, structural columns on their nearest finite bound.
-  void init_slack_basis() {
-    for (int j = 0; j < prep_.num_vars; ++j) {
-      status_[static_cast<std::size_t>(j)] = default_nonbasic_status(j);
+    if (s == SolveStatus::kOptimal) {
+      fire_phase_event(2, iterations_ - before, internal_objective());
     }
-    for (int r = 0; r < m_; ++r) {
-      const int s = prep_.num_vars + r;
-      basis_[static_cast<std::size_t>(r)] = s;
-      status_[static_cast<std::size_t>(s)] = BasisVarStatus::kBasic;
-    }
+    return s;
   }
+}
 
-  [[nodiscard]] BasisVarStatus default_nonbasic_status(int j) const {
-    if (std::isfinite(lower_[static_cast<std::size_t>(j)])) {
-      return BasisVarStatus::kAtLower;
-    }
-    if (std::isfinite(upper_[static_cast<std::size_t>(j)])) {
-      return BasisVarStatus::kAtUpper;
-    }
-    return BasisVarStatus::kFree;
+double RevisedSimplex::internal_objective() const {
+  double total = 0.0;
+  for (int j = 0; j < prep_.num_vars; ++j) {
+    total += prep_.cost[static_cast<std::size_t>(j)] *
+             value_[static_cast<std::size_t>(j)];
   }
+  return total;
+}
 
-  /// Installs a snapshot, re-clamping nonbasic statuses to the current
-  /// bounds. Returns false when structurally incompatible.
-  [[nodiscard]] bool apply_snapshot(const BasisSnapshot& snap) {
-    if (snap.basic_columns.size() != static_cast<std::size_t>(m_) ||
-        snap.column_status.size() != static_cast<std::size_t>(n_)) {
-      return false;
-    }
-    std::vector<char> in_basis(static_cast<std::size_t>(n_), 0);
-    for (const int c : snap.basic_columns) {
-      if (c < 0 || c >= n_ || in_basis[static_cast<std::size_t>(c)]) {
-        return false;
-      }
-      in_basis[static_cast<std::size_t>(c)] = 1;
-    }
-    basis_ = snap.basic_columns;
-    for (int j = 0; j < n_; ++j) {
-      if (in_basis[static_cast<std::size_t>(j)]) {
-        status_[static_cast<std::size_t>(j)] = BasisVarStatus::kBasic;
-        continue;
-      }
-      const bool lo_ok = std::isfinite(lower_[static_cast<std::size_t>(j)]);
-      const bool up_ok = std::isfinite(upper_[static_cast<std::size_t>(j)]);
-      BasisVarStatus s = snap.column_status[static_cast<std::size_t>(j)];
-      switch (s) {
-        case BasisVarStatus::kAtLower:
-          s = lo_ok ? BasisVarStatus::kAtLower
-                    : (up_ok ? BasisVarStatus::kAtUpper : BasisVarStatus::kFree);
-          break;
-        case BasisVarStatus::kAtUpper:
-          s = up_ok ? BasisVarStatus::kAtUpper
-                    : (lo_ok ? BasisVarStatus::kAtLower : BasisVarStatus::kFree);
-          break;
-        case BasisVarStatus::kBasic:  // stale marker; fall through to default
-        case BasisVarStatus::kFree:
-          s = lo_ok ? BasisVarStatus::kAtLower
-                    : (up_ok ? BasisVarStatus::kAtUpper : BasisVarStatus::kFree);
-          break;
-      }
-      status_[static_cast<std::size_t>(j)] = s;
-    }
-    return true;
+std::vector<double> RevisedSimplex::row_duals() const {
+  std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
+  for (int k = 0; k < m_; ++k) {
+    y[static_cast<std::size_t>(k)] =
+        prep_.cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(k)])];
   }
+  engine_->btran(y);
+  return y;
+}
 
-  [[nodiscard]] double nonbasic_resting_value(int j) const {
-    switch (status_[static_cast<std::size_t>(j)]) {
-      case BasisVarStatus::kAtLower: return lower_[static_cast<std::size_t>(j)];
-      case BasisVarStatus::kAtUpper: return upper_[static_cast<std::size_t>(j)];
-      default: return 0.0;  // kFree rests at 0; kBasic never queried
-    }
+BasisSnapshot RevisedSimplex::snapshot() const {
+  BasisSnapshot snap;
+  snap.basic_columns = basis_;
+  snap.column_status = status_;
+  return snap;
+}
+
+void RevisedSimplex::fire_phase_event(int phase, int pivots, double objective) {
+  if (!ctx_.events.on_simplex_phase) return;
+  SimplexPhaseEvent event;
+  event.phase = phase;
+  event.pivots = pivots;
+  event.objective = objective;
+  ctx_.events.on_simplex_phase(event);
+}
+
+/// All slacks basic, structural columns on their nearest finite bound.
+void RevisedSimplex::init_slack_basis() {
+  for (int j = 0; j < prep_.num_vars; ++j) {
+    status_[static_cast<std::size_t>(j)] = default_nonbasic_status(j);
   }
-
-  /// x_B = B^-1 (b - sum of nonbasic columns at their resting values).
-  void recompute_values() {
-    work_ = prep_.rhs;
-    for (int j = 0; j < n_; ++j) {
-      if (status_[static_cast<std::size_t>(j)] == BasisVarStatus::kBasic) {
-        continue;
-      }
-      const double v = nonbasic_resting_value(j);
-      value_[static_cast<std::size_t>(j)] = v;
-      if (v == 0.0) continue;
-      const SparseColumn& col = prep_.columns[static_cast<std::size_t>(j)];
-      for (std::size_t e = 0; e < col.rows.size(); ++e) {
-        work_[static_cast<std::size_t>(col.rows[e])] -= col.coefs[e] * v;
-      }
-    }
-    engine_->ftran(work_);
-    for (int k = 0; k < m_; ++k) {
-      value_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(k)])] =
-          work_[static_cast<std::size_t>(k)];
-    }
+  for (int r = 0; r < m_; ++r) {
+    const int s = prep_.num_vars + r;
+    basis_[static_cast<std::size_t>(r)] = s;
+    status_[static_cast<std::size_t>(s)] = BasisVarStatus::kBasic;
   }
+}
 
-  /// Factorizes the current basis and recomputes values. False on singular.
-  [[nodiscard]] bool refactorize() {
-    const telemetry::TraceSpan span(ctx_.trace(), "lp", "simplex.factorize");
-    if (!engine_->factorize(prep_.columns, basis_)) return false;
-    pivots_since_refactor_ = 0;
-    recompute_values();
-    return true;
+BasisVarStatus RevisedSimplex::default_nonbasic_status(int j) const {
+  if (std::isfinite(lower_[static_cast<std::size_t>(j)])) {
+    return BasisVarStatus::kAtLower;
   }
-
-  /// Refactorizes; on a singular basis falls back to the slack basis (every
-  /// row owns a +1 slack, so it always factorizes) and flags a phase-1
-  /// restart. Returns false only when the caller must report
-  /// kNumericalError.
-  [[nodiscard]] bool refactorize_or_recover() {
-    if (refactorize()) return true;
-    ++recoveries_;
-    if (recoveries_ > kMaxRecoveries) return false;
-    ET_LOG(kDebug) << "simplex: singular basis, slack-basis recovery #"
-                   << recoveries_;
-    init_slack_basis();
-    if (!refactorize()) return false;
-    candidates_.clear();
-    std::fill(gamma_.begin(), gamma_.end(), 1.0);
-    restart_phase1_ = true;
-    return true;
+  if (std::isfinite(upper_[static_cast<std::size_t>(j)])) {
+    return BasisVarStatus::kAtUpper;
   }
+  return BasisVarStatus::kFree;
+}
 
-  [[nodiscard]] double violation(int col) const {
-    const double xv = value_[static_cast<std::size_t>(col)];
-    const double over = xv - upper_[static_cast<std::size_t>(col)];
-    if (over > 0.0) return over;
-    const double under = lower_[static_cast<std::size_t>(col)] - xv;
-    return under > 0.0 ? under : 0.0;
-  }
-
-  [[nodiscard]] bool has_infeasible_basic() const {
-    for (int k = 0; k < m_; ++k) {
-      if (violation(basis_[static_cast<std::size_t>(k)]) > ftol_) return true;
-    }
+/// Installs a snapshot, re-clamping nonbasic statuses to the current
+/// bounds. Returns false when structurally incompatible.
+bool RevisedSimplex::apply_snapshot(const BasisSnapshot& snap) {
+  if (snap.basic_columns.size() != static_cast<std::size_t>(m_) ||
+      snap.column_status.size() != static_cast<std::size_t>(n_)) {
     return false;
   }
-
-  [[nodiscard]] double total_infeasibility() const {
-    double total = 0.0;
-    for (int k = 0; k < m_; ++k) {
-      total += violation(basis_[static_cast<std::size_t>(k)]);
+  std::vector<char> in_basis(static_cast<std::size_t>(n_), 0);
+  for (const int c : snap.basic_columns) {
+    if (c < 0 || c >= n_ || in_basis[static_cast<std::size_t>(c)]) {
+      return false;
     }
-    return total;
+    in_basis[static_cast<std::size_t>(c)] = 1;
   }
-
-  /// Phase-1 composite cost of a basic column: the sign pushing it back
-  /// inside its bounds (0 when feasible).
-  [[nodiscard]] double phase1_cost(int col) const {
-    const double xv = value_[static_cast<std::size_t>(col)];
-    if (xv > upper_[static_cast<std::size_t>(col)] + ftol_) return 1.0;
-    if (xv < lower_[static_cast<std::size_t>(col)] - ftol_) return -1.0;
-    return 0.0;
-  }
-
-  /// y = B^-T c_B for the current phase (row-indexed output).
-  void compute_duals(std::vector<double>& y) const {
-    y.assign(static_cast<std::size_t>(m_), 0.0);
-    for (int k = 0; k < m_; ++k) {
-      const int b = basis_[static_cast<std::size_t>(k)];
-      y[static_cast<std::size_t>(k)] =
-          phase1_ ? phase1_cost(b) : prep_.cost[static_cast<std::size_t>(b)];
+  basis_ = snap.basic_columns;
+  for (int j = 0; j < n_; ++j) {
+    if (in_basis[static_cast<std::size_t>(j)]) {
+      status_[static_cast<std::size_t>(j)] = BasisVarStatus::kBasic;
+      continue;
     }
-    engine_->btran(y);
+    const bool lo_ok = std::isfinite(lower_[static_cast<std::size_t>(j)]);
+    const bool up_ok = std::isfinite(upper_[static_cast<std::size_t>(j)]);
+    BasisVarStatus s = snap.column_status[static_cast<std::size_t>(j)];
+    switch (s) {
+      case BasisVarStatus::kAtLower:
+        s = lo_ok ? BasisVarStatus::kAtLower
+                  : (up_ok ? BasisVarStatus::kAtUpper : BasisVarStatus::kFree);
+        break;
+      case BasisVarStatus::kAtUpper:
+        s = up_ok ? BasisVarStatus::kAtUpper
+                  : (lo_ok ? BasisVarStatus::kAtLower : BasisVarStatus::kFree);
+        break;
+      case BasisVarStatus::kBasic:  // stale marker; fall through to default
+      case BasisVarStatus::kFree:
+        s = lo_ok ? BasisVarStatus::kAtLower
+                  : (up_ok ? BasisVarStatus::kAtUpper : BasisVarStatus::kFree);
+        break;
+    }
+    status_[static_cast<std::size_t>(j)] = s;
   }
+  return true;
+}
 
-  [[nodiscard]] double reduced_cost(int j, const std::vector<double>& y) const {
-    // Nonbasic columns rest inside their bounds, so their phase-1 cost is 0.
-    double d = phase1_ ? 0.0 : prep_.cost[static_cast<std::size_t>(j)];
+double RevisedSimplex::nonbasic_resting_value(int j) const {
+  switch (status_[static_cast<std::size_t>(j)]) {
+    case BasisVarStatus::kAtLower: return lower_[static_cast<std::size_t>(j)];
+    case BasisVarStatus::kAtUpper: return upper_[static_cast<std::size_t>(j)];
+    default: return 0.0;  // kFree rests at 0; kBasic never queried
+  }
+}
+
+/// x_B = B^-1 (b - sum of nonbasic columns at their resting values).
+void RevisedSimplex::recompute_values() {
+  work_ = prep_.rhs;
+  for (int j = 0; j < n_; ++j) {
+    if (status_[static_cast<std::size_t>(j)] == BasisVarStatus::kBasic) {
+      continue;
+    }
+    const double v = nonbasic_resting_value(j);
+    value_[static_cast<std::size_t>(j)] = v;
+    if (v == 0.0) continue;
     const SparseColumn& col = prep_.columns[static_cast<std::size_t>(j)];
     for (std::size_t e = 0; e < col.rows.size(); ++e) {
-      d -= y[static_cast<std::size_t>(col.rows[e])] * col.coefs[e];
-    }
-    return d;
-  }
-
-  /// Direction the column may profitably move in (+1 up from lower, -1 down
-  /// from upper, 0 not attractive) under tolerance `tol`.
-  [[nodiscard]] double attractive_dir(int j, double d, double tol) const {
-    switch (status_[static_cast<std::size_t>(j)]) {
-      case BasisVarStatus::kAtLower:
-        return (d < -tol &&
-                upper_[static_cast<std::size_t>(j)] >
-                    lower_[static_cast<std::size_t>(j)])
-                   ? 1.0
-                   : 0.0;
-      case BasisVarStatus::kAtUpper:
-        return (d > tol &&
-                upper_[static_cast<std::size_t>(j)] >
-                    lower_[static_cast<std::size_t>(j)])
-                   ? -1.0
-                   : 0.0;
-      case BasisVarStatus::kFree:
-        if (d < -tol) return 1.0;
-        if (d > tol) return -1.0;
-        return 0.0;
-      case BasisVarStatus::kBasic: return 0.0;
-    }
-    return 0.0;
-  }
-
-  /// Full scan: Bland (lowest attractive index) or Dantzig (largest |d|).
-  void price_full_scan(const std::vector<double>& y, bool bland, double tol,
-                       int& entering, double& entering_dir) const {
-    entering = -1;
-    entering_dir = 0.0;
-    double best_score = 0.0;
-    for (int j = 0; j < n_; ++j) {
-      if (status_[static_cast<std::size_t>(j)] == BasisVarStatus::kBasic) {
-        continue;
-      }
-      const double d = reduced_cost(j, y);
-      const double dir = attractive_dir(j, d, tol);
-      if (dir == 0.0) continue;
-      if (bland) {
-        entering = j;
-        entering_dir = dir;
-        return;
-      }
-      const double score = std::abs(d);
-      if (score > best_score) {
-        best_score = score;
-        entering = j;
-        entering_dir = dir;
-      }
+      work_[static_cast<std::size_t>(col.rows[e])] -= col.coefs[e] * v;
     }
   }
+  engine_->ftran(work_);
+  for (int k = 0; k < m_; ++k) {
+    value_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(k)])] =
+        work_[static_cast<std::size_t>(k)];
+  }
+}
 
-  /// Re-prices the candidate list with fresh reduced costs, dropping stale
-  /// entries, and picks the best Devex score d^2 / gamma.
-  void price_candidates(const std::vector<double>& y, int& entering,
-                        double& entering_dir) {
-    entering = -1;
-    entering_dir = 0.0;
-    double best_score = 0.0;
-    std::size_t keep = 0;
-    for (std::size_t c = 0; c < candidates_.size(); ++c) {
-      const int j = candidates_[c];
-      if (status_[static_cast<std::size_t>(j)] == BasisVarStatus::kBasic) {
-        continue;
-      }
-      const double d = reduced_cost(j, y);
-      const double dir = attractive_dir(j, d, options_.optimality_tol);
-      if (dir == 0.0) continue;
-      candidates_[keep++] = j;
-      const double score = d * d / gamma_[static_cast<std::size_t>(j)];
-      if (score > best_score) {
-        best_score = score;
-        entering = j;
-        entering_dir = dir;
+/// Factorizes the current basis and recomputes values. False on singular.
+bool RevisedSimplex::refactorize() {
+  const telemetry::TraceSpan span(ctx_.trace(), "lp", "simplex.factorize");
+  if (!engine_->factorize(prep_.columns, basis_)) return false;
+  pivots_since_refactor_ = 0;
+  recompute_values();
+  return true;
+}
+
+/// Refactorizes; on a singular basis falls back to the slack basis (every
+/// row owns a +1 slack, so it always factorizes) and flags a phase-1
+/// restart. Returns false only when the caller must report
+/// kNumericalError.
+bool RevisedSimplex::refactorize_or_recover() {
+  if (refactorize()) return true;
+  ++recoveries_;
+  if (recoveries_ > kMaxRecoveries) return false;
+  ET_LOG(kDebug) << "simplex: singular basis, slack-basis recovery #"
+                 << recoveries_;
+  init_slack_basis();
+  if (!refactorize()) return false;
+  candidates_.clear();
+  std::fill(gamma_.begin(), gamma_.end(), 1.0);
+  restart_phase1_ = true;
+  return true;
+}
+
+double RevisedSimplex::violation(int col) const {
+  const double xv = value_[static_cast<std::size_t>(col)];
+  const double over = xv - upper_[static_cast<std::size_t>(col)];
+  if (over > 0.0) return over;
+  const double under = lower_[static_cast<std::size_t>(col)] - xv;
+  return under > 0.0 ? under : 0.0;
+}
+
+bool RevisedSimplex::has_infeasible_basic() const {
+  for (int k = 0; k < m_; ++k) {
+    if (violation(basis_[static_cast<std::size_t>(k)]) > ftol_) return true;
+  }
+  return false;
+}
+
+double RevisedSimplex::total_infeasibility() const {
+  double total = 0.0;
+  for (int k = 0; k < m_; ++k) {
+    total += violation(basis_[static_cast<std::size_t>(k)]);
+  }
+  return total;
+}
+
+/// Phase-1 composite cost of a basic column: the sign pushing it back
+/// inside its bounds (0 when feasible).
+double RevisedSimplex::phase1_cost(int col) const {
+  const double xv = value_[static_cast<std::size_t>(col)];
+  if (xv > upper_[static_cast<std::size_t>(col)] + ftol_) return 1.0;
+  if (xv < lower_[static_cast<std::size_t>(col)] - ftol_) return -1.0;
+  return 0.0;
+}
+
+/// y = B^-T c_B for the current phase (row-indexed output).
+void RevisedSimplex::compute_duals(std::vector<double>& y) const {
+  y.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int k = 0; k < m_; ++k) {
+    const int b = basis_[static_cast<std::size_t>(k)];
+    y[static_cast<std::size_t>(k)] =
+        phase1_ ? phase1_cost(b) : prep_.cost[static_cast<std::size_t>(b)];
+  }
+  engine_->btran(y);
+}
+
+double RevisedSimplex::reduced_cost(int j, const std::vector<double>& y) const {
+  // Nonbasic columns rest inside their bounds, so their phase-1 cost is 0.
+  double d = phase1_ ? 0.0 : prep_.cost[static_cast<std::size_t>(j)];
+  const SparseColumn& col = prep_.columns[static_cast<std::size_t>(j)];
+  for (std::size_t e = 0; e < col.rows.size(); ++e) {
+    d -= y[static_cast<std::size_t>(col.rows[e])] * col.coefs[e];
+  }
+  return d;
+}
+
+/// Direction the column may profitably move in (+1 up from lower, -1 down
+/// from upper, 0 not attractive) under tolerance `tol`.
+double RevisedSimplex::attractive_dir(int j, double d, double tol) const {
+  switch (status_[static_cast<std::size_t>(j)]) {
+    case BasisVarStatus::kAtLower:
+      return (d < -tol &&
+              upper_[static_cast<std::size_t>(j)] >
+                  lower_[static_cast<std::size_t>(j)])
+                 ? 1.0
+                 : 0.0;
+    case BasisVarStatus::kAtUpper:
+      return (d > tol &&
+              upper_[static_cast<std::size_t>(j)] >
+                  lower_[static_cast<std::size_t>(j)])
+                 ? -1.0
+                 : 0.0;
+    case BasisVarStatus::kFree:
+      if (d < -tol) return 1.0;
+      if (d > tol) return -1.0;
+      return 0.0;
+    case BasisVarStatus::kBasic: return 0.0;
+  }
+  return 0.0;
+}
+
+/// Full scan: Bland (lowest attractive index) or Dantzig (largest |d|).
+void RevisedSimplex::price_full_scan(const std::vector<double>& y, bool bland,
+                                     double tol, int& entering,
+                                     double& entering_dir) const {
+  entering = -1;
+  entering_dir = 0.0;
+  double best_score = 0.0;
+  for (int j = 0; j < n_; ++j) {
+    if (status_[static_cast<std::size_t>(j)] == BasisVarStatus::kBasic) {
+      continue;
+    }
+    const double d = reduced_cost(j, y);
+    const double dir = attractive_dir(j, d, tol);
+    if (dir == 0.0) continue;
+    if (bland) {
+      entering = j;
+      entering_dir = dir;
+      return;
+    }
+    const double score = std::abs(d);
+    if (score > best_score) {
+      best_score = score;
+      entering = j;
+      entering_dir = dir;
+    }
+  }
+}
+
+/// Re-prices the candidate list with fresh reduced costs, dropping stale
+/// entries, and picks the best Devex score d^2 / gamma.
+void RevisedSimplex::price_candidates(const std::vector<double>& y,
+                                      int& entering, double& entering_dir) {
+  entering = -1;
+  entering_dir = 0.0;
+  double best_score = 0.0;
+  std::size_t keep = 0;
+  for (std::size_t c = 0; c < candidates_.size(); ++c) {
+    const int j = candidates_[c];
+    if (status_[static_cast<std::size_t>(j)] == BasisVarStatus::kBasic) {
+      continue;
+    }
+    const double d = reduced_cost(j, y);
+    const double dir = attractive_dir(j, d, options_.optimality_tol);
+    if (dir == 0.0) continue;
+    candidates_[keep++] = j;
+    const double score = d * d / gamma_[static_cast<std::size_t>(j)];
+    if (score > best_score) {
+      best_score = score;
+      entering = j;
+      entering_dir = dir;
+    }
+  }
+  candidates_.resize(keep);
+}
+
+/// Refills the candidate list scanning from the rotating cursor; stops
+/// once full or after a complete sweep (the latter is the full scan that
+/// licenses an optimality claim).
+void RevisedSimplex::rebuild_candidates(const std::vector<double>& y) {
+  candidates_.clear();
+  int scanned = 0;
+  for (; scanned < n_; ++scanned) {
+    const int j = cursor_;
+    cursor_ = cursor_ + 1 == n_ ? 0 : cursor_ + 1;
+    if (status_[static_cast<std::size_t>(j)] == BasisVarStatus::kBasic) {
+      continue;
+    }
+    const double d = reduced_cost(j, y);
+    if (attractive_dir(j, d, options_.optimality_tol) == 0.0) continue;
+    candidates_.push_back(j);
+    if (static_cast<int>(candidates_.size()) >= list_size_) break;
+  }
+}
+
+/// Devex-style reference weight update after pivoting `entering` into
+/// position `r` (w = B^-1 a_entering before the basis changed). Expects
+/// rho_ = B^-T e_r for the pre-pivot basis, computed by the caller (the
+/// same vector drives the incremental dual update).
+void RevisedSimplex::devex_update(int entering, int leaving, int r,
+                                  const std::vector<double>& w) {
+  const double alpha_q = w[static_cast<std::size_t>(r)];
+  if (alpha_q == 0.0) return;
+  const double gq = gamma_[static_cast<std::size_t>(entering)];
+  double max_gamma = 0.0;
+  for (const int j : candidates_) {
+    if (j == entering) continue;
+    const SparseColumn& col = prep_.columns[static_cast<std::size_t>(j)];
+    double alpha = 0.0;
+    for (std::size_t e = 0; e < col.rows.size(); ++e) {
+      alpha += rho_[static_cast<std::size_t>(col.rows[e])] * col.coefs[e];
+    }
+    const double ratio = alpha / alpha_q;
+    double& g = gamma_[static_cast<std::size_t>(j)];
+    g = std::max(g, ratio * ratio * gq);
+    max_gamma = std::max(max_gamma, g);
+  }
+  gamma_[static_cast<std::size_t>(leaving)] =
+      std::max(gq / (alpha_q * alpha_q), 1.0);
+  if (max_gamma > 1e7) std::fill(gamma_.begin(), gamma_.end(), 1.0);
+}
+
+/// Cooperative interruption: cancellation wins over the deadline.
+SolveStatus RevisedSimplex::interruption_status() const {
+  if (ctx_.cancelled()) return SolveStatus::kCancelled;
+  if (ctx_.deadline().expired()) return SolveStatus::kTimeLimit;
+  return SolveStatus::kOptimal;  // sentinel: keep going
+}
+
+/// Main pivot loop for the current phase. kOptimal means "no improving
+/// direction for this phase's objective" (run() interprets it); a
+/// restart_phase1_ flag set underneath also returns kOptimal so run() can
+/// re-enter phase 1 after a slack-basis recovery.
+SolveStatus RevisedSimplex::iterate() {
+  std::fill(gamma_.begin(), gamma_.end(), 1.0);  // fresh Devex reference
+  candidates_.clear();
+  int degenerate_run = 0;
+  bool use_bland = false;
+  // In phase 2 under Devex pricing the duals are maintained
+  // incrementally across pivots (one O(m) axpy per pivot instead of a
+  // btran); this flag marks y_ stale after any event that breaks the
+  // incremental chain (refactorization, bound flips in phase 1, Bland).
+  bool duals_valid = false;
+  int pivots_since_poll = options_.refactor_interval;  // poll on entry
+  while (true) {
+    if (iterations_ >= options_.max_iterations) {
+      return SolveStatus::kIterationLimit;
+    }
+    // Deadline/cancellation poll, every refactor_interval pivots. Bounds
+    // how long past its budget one LP can run to one refactorization
+    // interval of pivot work.
+    if (pivots_since_poll >= options_.refactor_interval) {
+      pivots_since_poll = 0;
+      const SolveStatus interrupted = interruption_status();
+      if (interrupted != SolveStatus::kOptimal) return interrupted;
+    }
+    ++pivots_since_poll;
+    if (phase1_ && !has_infeasible_basic()) return SolveStatus::kOptimal;
+
+    const bool full_scan_mode =
+        use_bland || options_.pricing == PricingRule::kDantzig;
+    // Phase-1 costs change as basics regain feasibility and Bland needs
+    // exact signs, so both recompute duals from scratch every iteration.
+    if (!duals_valid || phase1_ || full_scan_mode) {
+      compute_duals(y_);
+      duals_valid = true;
+    }
+
+    int entering = -1;
+    double entering_dir = 0.0;
+    if (full_scan_mode) {
+      price_full_scan(y_, use_bland, options_.optimality_tol, entering,
+                      entering_dir);
+      ++full_scans_;
+    } else {
+      price_candidates(y_, entering, entering_dir);
+      if (entering >= 0) {
+        ++candidate_hits_;
+      } else {
+        rebuild_candidates(y_);
+        ++full_scans_;
+        price_candidates(y_, entering, entering_dir);
       }
     }
-    candidates_.resize(keep);
-  }
 
-  /// Refills the candidate list scanning from the rotating cursor; stops
-  /// once full or after a complete sweep (the latter is the full scan that
-  /// licenses an optimality claim).
-  void rebuild_candidates(const std::vector<double>& y) {
-    candidates_.clear();
-    int scanned = 0;
-    for (; scanned < n_; ++scanned) {
-      const int j = cursor_;
-      cursor_ = cursor_ + 1 == n_ ? 0 : cursor_ + 1;
-      if (status_[static_cast<std::size_t>(j)] == BasisVarStatus::kBasic) {
-        continue;
-      }
-      const double d = reduced_cost(j, y);
-      if (attractive_dir(j, d, options_.optimality_tol) == 0.0) continue;
-      candidates_.push_back(j);
-      if (static_cast<int>(candidates_.size()) >= list_size_) break;
-    }
-  }
-
-  /// Devex-style reference weight update after pivoting `entering` into
-  /// position `r` (w = B^-1 a_entering before the basis changed). Expects
-  /// rho_ = B^-T e_r for the pre-pivot basis, computed by the caller (the
-  /// same vector drives the incremental dual update).
-  void devex_update(int entering, int leaving, int r,
-                    const std::vector<double>& w) {
-    const double alpha_q = w[static_cast<std::size_t>(r)];
-    if (alpha_q == 0.0) return;
-    const double gq = gamma_[static_cast<std::size_t>(entering)];
-    double max_gamma = 0.0;
-    for (const int j : candidates_) {
-      if (j == entering) continue;
-      const SparseColumn& col = prep_.columns[static_cast<std::size_t>(j)];
-      double alpha = 0.0;
-      for (std::size_t e = 0; e < col.rows.size(); ++e) {
-        alpha += rho_[static_cast<std::size_t>(col.rows[e])] * col.coefs[e];
-      }
-      const double ratio = alpha / alpha_q;
-      double& g = gamma_[static_cast<std::size_t>(j)];
-      g = std::max(g, ratio * ratio * gq);
-      max_gamma = std::max(max_gamma, g);
-    }
-    gamma_[static_cast<std::size_t>(leaving)] =
-        std::max(gq / (alpha_q * alpha_q), 1.0);
-    if (max_gamma > 1e7) std::fill(gamma_.begin(), gamma_.end(), 1.0);
-  }
-
-  /// Cooperative interruption: cancellation wins over the deadline.
-  [[nodiscard]] SolveStatus interruption_status() const {
-    if (ctx_.cancelled()) return SolveStatus::kCancelled;
-    if (ctx_.deadline().expired()) return SolveStatus::kTimeLimit;
-    return SolveStatus::kOptimal;  // sentinel: keep going
-  }
-
-  /// Main pivot loop for the current phase. kOptimal means "no improving
-  /// direction for this phase's objective" (run() interprets it); a
-  /// restart_phase1_ flag set underneath also returns kOptimal so run() can
-  /// re-enter phase 1 after a slack-basis recovery.
-  SolveStatus iterate() {
-    std::fill(gamma_.begin(), gamma_.end(), 1.0);  // fresh Devex reference
-    candidates_.clear();
-    int degenerate_run = 0;
-    bool use_bland = false;
-    // In phase 2 under Devex pricing the duals are maintained
-    // incrementally across pivots (one O(m) axpy per pivot instead of a
-    // btran); this flag marks y_ stale after any event that breaks the
-    // incremental chain (refactorization, bound flips in phase 1, Bland).
-    bool duals_valid = false;
-    int pivots_since_poll = options_.refactor_interval;  // poll on entry
-    while (true) {
-      if (iterations_ >= options_.max_iterations) {
-        return SolveStatus::kIterationLimit;
-      }
-      // Deadline/cancellation poll, every refactor_interval pivots. Bounds
-      // how long past its budget one LP can run to one refactorization
-      // interval of pivot work.
-      if (pivots_since_poll >= options_.refactor_interval) {
-        pivots_since_poll = 0;
-        const SolveStatus interrupted = interruption_status();
-        if (interrupted != SolveStatus::kOptimal) return interrupted;
-      }
-      ++pivots_since_poll;
-      if (phase1_ && !has_infeasible_basic()) return SolveStatus::kOptimal;
-
-      const bool full_scan_mode =
-          use_bland || options_.pricing == PricingRule::kDantzig;
-      // Phase-1 costs change as basics regain feasibility and Bland needs
-      // exact signs, so both recompute duals from scratch every iteration.
-      if (!duals_valid || phase1_ || full_scan_mode) {
+    if (entering < 0) {
+      // No attractive column. Guard the optimality claim against drift:
+      // refactorize and re-scan (with a relaxed tolerance) once.
+      if (pivots_since_refactor_ > 0) {
+        if (!refactorize_or_recover()) return SolveStatus::kNumericalError;
+        if (restart_phase1_) return SolveStatus::kOptimal;
         compute_duals(y_);
-        duals_valid = true;
-      }
-
-      int entering = -1;
-      double entering_dir = 0.0;
-      if (full_scan_mode) {
-        price_full_scan(y_, use_bland, options_.optimality_tol, entering,
+        price_full_scan(y_, false, 10 * options_.optimality_tol, entering,
                         entering_dir);
         ++full_scans_;
+        if (entering < 0) return SolveStatus::kOptimal;
       } else {
-        price_candidates(y_, entering, entering_dir);
-        if (entering >= 0) {
-          ++candidate_hits_;
-        } else {
-          rebuild_candidates(y_);
-          ++full_scans_;
-          price_candidates(y_, entering, entering_dir);
-        }
-      }
-
-      if (entering < 0) {
-        // No attractive column. Guard the optimality claim against drift:
-        // refactorize and re-scan (with a relaxed tolerance) once.
-        if (pivots_since_refactor_ > 0) {
-          if (!refactorize_or_recover()) return SolveStatus::kNumericalError;
-          if (restart_phase1_) return SolveStatus::kOptimal;
-          compute_duals(y_);
-          price_full_scan(y_, false, 10 * options_.optimality_tol, entering,
-                          entering_dir);
-          ++full_scans_;
-          if (entering < 0) return SolveStatus::kOptimal;
-        } else {
-          return SolveStatus::kOptimal;
-        }
-      }
-
-      // Reduced cost of the entering column under the current duals; feeds
-      // the incremental dual update after the pivot.
-      const double d_entering = reduced_cost(entering, y_);
-
-      // Direction w = B^-1 a_entering (basis-position-indexed).
-      w_.assign(static_cast<std::size_t>(m_), 0.0);
-      const SparseColumn& acol =
-          prep_.columns[static_cast<std::size_t>(entering)];
-      for (std::size_t e = 0; e < acol.rows.size(); ++e) {
-        w_[static_cast<std::size_t>(acol.rows[e])] = acol.coefs[e];
-      }
-      engine_->ftran(w_);
-
-      // Ratio test. The entering variable moves by t in direction
-      // entering_dir; basic k changes by -t * entering_dir * w[k]. In phase
-      // 1, infeasible basics additionally break at their violated bound
-      // (where they turn feasible and the cost gradient changes).
-      double t_max = upper_[static_cast<std::size_t>(entering)] -
-                     lower_[static_cast<std::size_t>(entering)];  // bound flip
-      int leaving_row = -1;
-      BasisVarStatus leaving_status = BasisVarStatus::kAtLower;
-      for (int k = 0; k < m_; ++k) {
-        const double delta =
-            -entering_dir * w_[static_cast<std::size_t>(k)];
-        if (std::abs(delta) < options_.pivot_tol) continue;
-        const int basic = basis_[static_cast<std::size_t>(k)];
-        const double xv = value_[static_cast<std::size_t>(basic)];
-        const double lo = lower_[static_cast<std::size_t>(basic)];
-        const double up = upper_[static_cast<std::size_t>(basic)];
-        double limit;
-        BasisVarStatus hit;
-        if (phase1_ && xv < lo - ftol_) {
-          if (delta <= 0.0) continue;  // moving further below: no breakpoint
-          limit = (lo - xv) / delta;
-          hit = BasisVarStatus::kAtLower;
-        } else if (phase1_ && xv > up + ftol_) {
-          if (delta >= 0.0) continue;  // moving further above: no breakpoint
-          limit = (xv - up) / (-delta);
-          hit = BasisVarStatus::kAtUpper;
-        } else if (delta < 0.0) {
-          if (!std::isfinite(lo)) continue;
-          limit = (xv - lo) / (-delta);
-          hit = BasisVarStatus::kAtLower;
-        } else {
-          if (!std::isfinite(up)) continue;
-          limit = (up - xv) / delta;
-          hit = BasisVarStatus::kAtUpper;
-        }
-        if (limit < 0.0) limit = 0.0;  // numerical noise
-        if (limit < t_max - 1e-12 || (leaving_row < 0 && limit <= t_max)) {
-          t_max = limit;
-          leaving_row = k;
-          leaving_status = hit;
-        }
-      }
-      if (!std::isfinite(t_max)) {
-        return phase1_ ? SolveStatus::kInfeasible : SolveStatus::kUnbounded;
-      }
-
-      ++iterations_;
-      if (phase1_) ++phase1_iterations_;
-      if (t_max < 1e-10) {
-        ++degenerate_run;
-        ++degenerate_pivots_;
-        if (degenerate_run > options_.degeneracy_threshold) use_bland = true;
-      } else {
-        degenerate_run = 0;
-        use_bland = false;
-      }
-
-      // Apply the step to all basic values and the entering variable.
-      const double step = t_max * entering_dir;
-      if (step != 0.0) {
-        for (int k = 0; k < m_; ++k) {
-          value_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(k)])] -=
-              step * w_[static_cast<std::size_t>(k)];
-        }
-      }
-      value_[static_cast<std::size_t>(entering)] += step;
-
-      if (leaving_row < 0) {
-        // Pure bound flip; basis unchanged. Snap exactly onto the bound.
-        if (entering_dir > 0) {
-          status_[static_cast<std::size_t>(entering)] = BasisVarStatus::kAtUpper;
-          value_[static_cast<std::size_t>(entering)] =
-              upper_[static_cast<std::size_t>(entering)];
-        } else {
-          status_[static_cast<std::size_t>(entering)] = BasisVarStatus::kAtLower;
-          value_[static_cast<std::size_t>(entering)] =
-              lower_[static_cast<std::size_t>(entering)];
-        }
-        continue;
-      }
-
-      // Pivot: `entering` replaces the basic variable of `leaving_row`.
-      const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
-      status_[static_cast<std::size_t>(leaving)] = leaving_status;
-      value_[static_cast<std::size_t>(leaving)] =
-          leaving_status == BasisVarStatus::kAtLower
-              ? lower_[static_cast<std::size_t>(leaving)]
-              : upper_[static_cast<std::size_t>(leaving)];
-      status_[static_cast<std::size_t>(entering)] = BasisVarStatus::kBasic;
-      basis_[static_cast<std::size_t>(leaving_row)] = entering;
-
-      // One btran of e_r (against the pre-pivot factorization) serves both
-      // the Devex weight update and the dual update
-      //   y' = y + (d_entering / alpha_q) * B^-T e_r,
-      // which keeps y_ consistent with the new basis without the per-pivot
-      // btran of c_B.
-      const double pivot = w_[static_cast<std::size_t>(leaving_row)];
-      const bool need_devex = !full_scan_mode && !candidates_.empty();
-      const bool update_duals = !phase1_ && !full_scan_mode &&
-                                std::abs(pivot) >= options_.pivot_tol;
-      if (need_devex || update_duals) {
-        rho_.assign(static_cast<std::size_t>(m_), 0.0);
-        rho_[static_cast<std::size_t>(leaving_row)] = 1.0;
-        engine_->btran(rho_);  // row r of B^-1, row-indexed
-      }
-      if (update_duals) {
-        const double mult = d_entering / pivot;
-        for (int i = 0; i < m_; ++i) {
-          y_[static_cast<std::size_t>(i)] +=
-              mult * rho_[static_cast<std::size_t>(i)];
-        }
-      } else {
-        duals_valid = false;
-      }
-      if (need_devex) devex_update(entering, leaving, leaving_row, w_);
-
-      const bool updated = std::abs(pivot) >= options_.pivot_tol &&
-                           engine_->update(w_, leaving_row);
-      if (!updated || ++pivots_since_refactor_ >= options_.refactor_interval ||
-          engine_->should_refactorize()) {
-        if (!refactorize_or_recover()) return SolveStatus::kNumericalError;
-        duals_valid = false;  // refresh duals from the new factorization
-        if (restart_phase1_) return SolveStatus::kOptimal;
+        return SolveStatus::kOptimal;
       }
     }
+
+    // Reduced cost of the entering column under the current duals; feeds
+    // the incremental dual update after the pivot.
+    const double d_entering = reduced_cost(entering, y_);
+
+    // Direction w = B^-1 a_entering (basis-position-indexed).
+    w_.assign(static_cast<std::size_t>(m_), 0.0);
+    const SparseColumn& acol =
+        prep_.columns[static_cast<std::size_t>(entering)];
+    for (std::size_t e = 0; e < acol.rows.size(); ++e) {
+      w_[static_cast<std::size_t>(acol.rows[e])] = acol.coefs[e];
+    }
+    engine_->ftran(w_);
+
+    // Ratio test. The entering variable moves by t in direction
+    // entering_dir; basic k changes by -t * entering_dir * w[k]. In phase
+    // 1, infeasible basics additionally break at their violated bound
+    // (where they turn feasible and the cost gradient changes).
+    double t_max = upper_[static_cast<std::size_t>(entering)] -
+                   lower_[static_cast<std::size_t>(entering)];  // bound flip
+    int leaving_row = -1;
+    BasisVarStatus leaving_status = BasisVarStatus::kAtLower;
+    for (int k = 0; k < m_; ++k) {
+      const double delta = -entering_dir * w_[static_cast<std::size_t>(k)];
+      if (std::abs(delta) < options_.pivot_tol) continue;
+      const int basic = basis_[static_cast<std::size_t>(k)];
+      const double xv = value_[static_cast<std::size_t>(basic)];
+      const double lo = lower_[static_cast<std::size_t>(basic)];
+      const double up = upper_[static_cast<std::size_t>(basic)];
+      double limit;
+      BasisVarStatus hit;
+      if (phase1_ && xv < lo - ftol_) {
+        if (delta <= 0.0) continue;  // moving further below: no breakpoint
+        limit = (lo - xv) / delta;
+        hit = BasisVarStatus::kAtLower;
+      } else if (phase1_ && xv > up + ftol_) {
+        if (delta >= 0.0) continue;  // moving further above: no breakpoint
+        limit = (xv - up) / (-delta);
+        hit = BasisVarStatus::kAtUpper;
+      } else if (delta < 0.0) {
+        if (!std::isfinite(lo)) continue;
+        limit = (xv - lo) / (-delta);
+        hit = BasisVarStatus::kAtLower;
+      } else {
+        if (!std::isfinite(up)) continue;
+        limit = (up - xv) / delta;
+        hit = BasisVarStatus::kAtUpper;
+      }
+      if (limit < 0.0) limit = 0.0;  // numerical noise
+      if (limit < t_max - 1e-12 || (leaving_row < 0 && limit <= t_max)) {
+        t_max = limit;
+        leaving_row = k;
+        leaving_status = hit;
+      }
+    }
+    if (!std::isfinite(t_max)) {
+      return phase1_ ? SolveStatus::kInfeasible : SolveStatus::kUnbounded;
+    }
+
+    ++iterations_;
+    if (phase1_) ++phase1_iterations_;
+    if (t_max < 1e-10) {
+      ++degenerate_run;
+      ++degenerate_pivots_;
+      if (degenerate_run > options_.degeneracy_threshold) use_bland = true;
+    } else {
+      degenerate_run = 0;
+      use_bland = false;
+    }
+
+    // Apply the step to all basic values and the entering variable.
+    const double step = t_max * entering_dir;
+    if (step != 0.0) {
+      for (int k = 0; k < m_; ++k) {
+        value_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(k)])] -=
+            step * w_[static_cast<std::size_t>(k)];
+      }
+    }
+    value_[static_cast<std::size_t>(entering)] += step;
+
+    if (leaving_row < 0) {
+      // Pure bound flip; basis unchanged. Snap exactly onto the bound.
+      if (entering_dir > 0) {
+        status_[static_cast<std::size_t>(entering)] = BasisVarStatus::kAtUpper;
+        value_[static_cast<std::size_t>(entering)] =
+            upper_[static_cast<std::size_t>(entering)];
+      } else {
+        status_[static_cast<std::size_t>(entering)] = BasisVarStatus::kAtLower;
+        value_[static_cast<std::size_t>(entering)] =
+            lower_[static_cast<std::size_t>(entering)];
+      }
+      continue;
+    }
+
+    // Pivot: `entering` replaces the basic variable of `leaving_row`.
+    const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
+    status_[static_cast<std::size_t>(leaving)] = leaving_status;
+    value_[static_cast<std::size_t>(leaving)] =
+        leaving_status == BasisVarStatus::kAtLower
+            ? lower_[static_cast<std::size_t>(leaving)]
+            : upper_[static_cast<std::size_t>(leaving)];
+    status_[static_cast<std::size_t>(entering)] = BasisVarStatus::kBasic;
+    basis_[static_cast<std::size_t>(leaving_row)] = entering;
+
+    // One btran of e_r (against the pre-pivot factorization) serves both
+    // the Devex weight update and the dual update
+    //   y' = y + (d_entering / alpha_q) * B^-T e_r,
+    // which keeps y_ consistent with the new basis without the per-pivot
+    // btran of c_B.
+    const double pivot = w_[static_cast<std::size_t>(leaving_row)];
+    const bool need_devex = !full_scan_mode && !candidates_.empty();
+    const bool update_duals = !phase1_ && !full_scan_mode &&
+                              std::abs(pivot) >= options_.pivot_tol;
+    if (need_devex || update_duals) {
+      rho_.assign(static_cast<std::size_t>(m_), 0.0);
+      rho_[static_cast<std::size_t>(leaving_row)] = 1.0;
+      engine_->btran(rho_);  // row r of B^-1, row-indexed
+    }
+    if (update_duals) {
+      const double mult = d_entering / pivot;
+      for (int i = 0; i < m_; ++i) {
+        y_[static_cast<std::size_t>(i)] +=
+            mult * rho_[static_cast<std::size_t>(i)];
+      }
+    } else {
+      duals_valid = false;
+    }
+    if (need_devex) devex_update(entering, leaving, leaving_row, w_);
+
+    const bool updated = std::abs(pivot) >= options_.pivot_tol &&
+                         engine_->update(w_, leaving_row);
+    if (!updated || ++pivots_since_refactor_ >= options_.refactor_interval ||
+        engine_->should_refactorize()) {
+      if (!refactorize_or_recover()) return SolveStatus::kNumericalError;
+      duals_valid = false;  // refresh duals from the new factorization
+      if (restart_phase1_) return SolveStatus::kOptimal;
+    }
   }
-
-  const PreparedLp& prep_;
-  const SimplexOptions& options_;
-  SolveContext& ctx_;
-  int m_;
-  int n_;
-  std::vector<double> lower_, upper_;
-  std::vector<BasisVarStatus> status_;
-  std::vector<double> value_;
-  std::vector<int> basis_;
-  std::vector<double> gamma_;       // Devex reference weights
-  std::vector<int> candidates_;     // partial-pricing candidate list
-  std::unique_ptr<BasisFactorization> engine_;
-  int cursor_ = 0;
-  int list_size_ = 8;
-  double ftol_ = 1e-7;
-  bool phase1_ = false;
-  bool restart_phase1_ = false;
-  bool warm_started_ = false;
-  int iterations_ = 0;
-  int phase1_iterations_ = 0;
-  int degenerate_pivots_ = 0;
-  int pivots_since_refactor_ = 0;
-  int recoveries_ = 0;
-  long long candidate_hits_ = 0;
-  long long full_scans_ = 0;
-  // Scratch vectors reused across iterations.
-  std::vector<double> y_, w_, rho_, work_;
-};
-
-}  // namespace
-
-SimplexSolver::SimplexSolver(SimplexOptions options) : options_(options) {}
-
-LpSolution SimplexSolver::solve(const Model& model, SolveContext& ctx) const {
-  std::vector<double> lower(static_cast<std::size_t>(model.num_variables()));
-  std::vector<double> upper(static_cast<std::size_t>(model.num_variables()));
-  for (int j = 0; j < model.num_variables(); ++j) {
-    lower[static_cast<std::size_t>(j)] = model.variable(j).lower;
-    upper[static_cast<std::size_t>(j)] = model.variable(j).upper;
-  }
-  return solve(model, lower, upper, ctx);
 }
 
-LpSolution SimplexSolver::solve(const Model& model,
-                                const std::vector<double>& lower,
-                                const std::vector<double>& upper,
-                                SolveContext& ctx) const {
-  const PreparedLp prep(model);
-  return solve(prep, lower, upper, ctx);
-}
-
-LpSolution SimplexSolver::solve(const PreparedLp& prep,
-                                const std::vector<double>& lower,
-                                const std::vector<double>& upper,
-                                SolveContext& ctx,
-                                const BasisSnapshot* warm) const {
-  const Model& model = *prep.model;
-  if (lower.size() != static_cast<std::size_t>(prep.num_vars) ||
-      upper.size() != static_cast<std::size_t>(prep.num_vars)) {
-    throw InvalidInputError("solve: bound override size mismatch");
-  }
-  SolveScope scope(ctx, "simplex");
-  scope.stats().add("calls", 1.0);
-  LpSolution solution;
-  if (prep.trivially_infeasible) {
-    solution.status = SolveStatus::kInfeasible;
-    ET_LOG(kDebug) << "simplex: trivially infeasible ("
-                   << prep.infeasibility_note << ")";
-    return solution;
-  }
-
-  RevisedSimplex core(prep, options_, ctx);
-  if (!core.set_bounds(lower, upper)) {
-    solution.status = SolveStatus::kInfeasible;
-    ET_LOG(kDebug) << "simplex: trivially infeasible (lower > upper)";
-    return solution;
-  }
-  const SolveStatus status = core.run(warm);
-  solution.status = status;
-  solution.iterations = core.iterations();
-  solution.phase1_iterations = core.phase1_iterations();
-  solution.refactorizations = core.refactorizations();
-  solution.degenerate_pivots = core.degenerate_pivots();
-  solution.warm_started = core.warm_started();
-  const BasisCounters& bc = core.basis_counters();
-  SolveStats& stats = scope.stats();
-  stats.add("pivots", solution.iterations);
-  stats.add("phase1_pivots", solution.phase1_iterations);
-  stats.add("refactorizations", solution.refactorizations);
-  stats.add("degenerate_pivots", solution.degenerate_pivots);
-  stats.add("etas", static_cast<double>(bc.etas));
-  stats.add("eta_entries", static_cast<double>(bc.eta_entries));
-  stats.add("pricing_candidate_hits", static_cast<double>(core.candidate_hits()));
-  stats.add("pricing_full_scans", static_cast<double>(core.full_scans()));
-  stats.add("warm_starts", core.warm_started() ? 1.0 : 0.0);
-  if (telemetry::MetricsRegistry* reg = ctx.metrics()) {
-    reg->counter("etransform_simplex_solves_total",
-                 "Simplex solve() calls observed by this registry")
-        .increment();
-    reg->counter("etransform_simplex_pivots_total",
-                 "Simplex pivots across all solves")
-        .add(solution.iterations);
-    reg->counter("etransform_simplex_refactorizations_total",
-                 "Basis refactorizations across all solves")
-        .add(solution.refactorizations);
-  }
-  if (status != SolveStatus::kOptimal) return solution;
-
-  solution.values.resize(static_cast<std::size_t>(prep.num_vars));
-  for (int j = 0; j < prep.num_vars; ++j) {
-    solution.values[static_cast<std::size_t>(j)] = core.column_value(j);
-  }
-  solution.objective = model.evaluate_objective(solution.values);
-
-  const std::vector<double> y = core.row_duals();
-  solution.duals.assign(static_cast<std::size_t>(model.num_constraints()),
-                        0.0);
-  for (int i = 0; i < model.num_constraints(); ++i) {
-    const int r = prep.row_of_model_row[static_cast<std::size_t>(i)];
-    if (r < 0) continue;
-    solution.duals[static_cast<std::size_t>(i)] =
-        prep.sense_sign * y[static_cast<std::size_t>(r)];
-  }
-  solution.basis = std::make_shared<BasisSnapshot>(core.snapshot());
-  return solution;
-}
+}  // namespace detail
 
 }  // namespace etransform::lp

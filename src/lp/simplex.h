@@ -1,11 +1,18 @@
-// Bounded-variable two-phase primal simplex — sparse revised implementation.
+// Bounded-variable revised simplex — shared types and tuning knobs.
 //
-// Solves the LP relaxation of a Model: integrality markers are ignored here
-// (branch-and-bound in milp/ enforces them by tightening bounds). Variables
-// keep their model bounds directly (finite / infinite / fixed / free); every
-// kept row becomes an equality with a sign-constrained slack, so the sparse
-// structure is independent of the bounds and can be prepared once per Model
-// (PreparedLp) and reused across bound-override solves.
+// This header holds the data model of the LP layer: statuses, options,
+// PreparedLp (the bounds-independent standard form), BasisSnapshot and
+// LpSolution. The solve entry point lives in lp/lp_engine.h (lp::LpEngine),
+// which dispatches between the two-phase primal simplex and the
+// bound-flipping dual simplex per SolveMode.
+//
+// Solves target the LP relaxation of a Model: integrality markers are
+// ignored here (branch-and-bound in milp/ enforces them by tightening
+// bounds). Variables keep their model bounds directly (finite / infinite /
+// fixed / free); every kept row becomes an equality with a sign-constrained
+// slack, so the sparse structure is independent of the bounds and can be
+// prepared once per Model (PreparedLp) and reused across bound-override
+// solves.
 //
 // Implementation notes:
 //  * The basis is held as a sparse LU factorization (Markowitz ordering)
@@ -66,8 +73,29 @@ enum class PricingRule {
   kDantzig,       // full scan, most negative reduced cost (legacy behavior)
 };
 
+/// Which simplex variant LpEngine runs.
+///
+///  * kPrimal — two-phase primal simplex, always.
+///  * kDual   — attempt the dual simplex from the start basis (the slack
+///              basis when none is supplied); fall back to primal when the
+///              start basis is not dual-feasible.
+///  * kAuto   — dual when an LpStartBasis advertises a reoptimization
+///              relationship (bound change / appended rows) *and* the
+///              numeric dual-feasibility check passes; primal otherwise.
+enum class SolveMode {
+  kPrimal,
+  kDual,
+  kAuto,
+};
+
+/// Human-readable mode name ("primal" / "dual" / "auto").
+[[nodiscard]] const char* to_string(SolveMode mode);
+
 /// Tuning knobs for the simplex.
 struct SimplexOptions {
+  /// Algorithm selection policy; see SolveMode. The default lets warm
+  /// restarts (B&B children, cut rounds) reoptimize with the dual simplex.
+  SolveMode mode = SolveMode::kAuto;
   /// Hard cap on total pivots across both phases.
   int max_iterations = 200000;
   /// Reduced-cost optimality tolerance.
@@ -95,10 +123,11 @@ enum class BasisVarStatus : unsigned char { kBasic, kAtLower, kAtUpper, kFree };
 
 /// A restartable description of a simplex basis: which internal column is
 /// basic in each row, and where every nonbasic column rests. Returned from
-/// optimal solves and accepted as a warm start by SimplexSolver::solve —
-/// valid for any solve over the *same* PreparedLp (bound overrides may
-/// differ; statuses are re-clamped to the new bounds and any resulting
-/// infeasibility is repaired by composite phase 1).
+/// optimal solves and accepted as a warm start by LpEngine::solve (wrapped
+/// in an LpStartBasis) — valid for any solve over the *same* PreparedLp
+/// (bound overrides may differ; statuses are re-clamped to the new bounds
+/// and any resulting infeasibility is repaired by the dual simplex or by
+/// composite phase 1).
 struct BasisSnapshot {
   std::vector<int> basic_columns;             // one per internal row
   std::vector<BasisVarStatus> column_status;  // one per internal column
@@ -156,38 +185,13 @@ struct LpSolution {
   int degenerate_pivots = 0;
   /// True when a supplied warm-start basis was successfully installed.
   bool warm_started = false;
-};
-
-/// The LP engine. Stateless between solves; safe to reuse.
-class SimplexSolver {
- public:
-  explicit SimplexSolver(SimplexOptions options = {});
-
-  /// Solves the LP relaxation of `model` under `ctx` (deadline, cancel
-  /// token, events, stats). Throws InvalidInputError on malformed models;
-  /// never throws for infeasible/unbounded (reported via status).
-  [[nodiscard]] LpSolution solve(const Model& model, SolveContext& ctx) const;
-
-  /// Solves with per-variable bound overrides (used by branch-and-bound).
-  /// `lower`/`upper` must each have one entry per model variable.
-  [[nodiscard]] LpSolution solve(const Model& model,
-                                 const std::vector<double>& lower,
-                                 const std::vector<double>& upper,
-                                 SolveContext& ctx) const;
-
-  /// Core entry point: solves over a prebuilt standard form, optionally
-  /// warm-starting from `warm` (a snapshot from a previous solve of the same
-  /// PreparedLp; ignored when structurally incompatible). Callers that solve
-  /// many bound variants of one model (branch-and-bound) should prepare once
-  /// and call this.
-  [[nodiscard]] LpSolution solve(const PreparedLp& prep,
-                                 const std::vector<double>& lower,
-                                 const std::vector<double>& upper,
-                                 SolveContext& ctx,
-                                 const BasisSnapshot* warm = nullptr) const;
-
- private:
-  SimplexOptions options_;
+  /// True when the dual simplex ran (it may still have handed a cleaned-up
+  /// basis to the primal phase-2 loop for the final optimality check).
+  bool used_dual = false;
+  /// Dual-simplex pivots (a subset of `iterations`).
+  int dual_pivots = 0;
+  /// Nonbasic bound flips taken by the dual ratio test (not pivots).
+  int bound_flips = 0;
 };
 
 }  // namespace etransform::lp

@@ -1,0 +1,164 @@
+// Internal working state of the revised simplex — shared by the primal
+// pivot loop (simplex.cpp) and the bound-flipping dual pivot loop
+// (dual_simplex.cpp). Not part of the public LP surface; include
+// lp/lp_engine.h instead.
+//
+// One RevisedSimplex instance covers one solve of one PreparedLp + bound
+// set. LpEngine drives it: run() installs the (warm) basis, optionally
+// attempts the dual simplex when the start basis passes the numeric
+// dual-feasibility check, and always finishes through the primal phase-2
+// loop so optimality is certified by a single code path.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/solve_context.h"
+#include "lp/basis.h"
+#include "lp/simplex.h"
+
+namespace etransform::lp::detail {
+
+/// Maximum slack-basis recoveries from singular factorizations before a
+/// solve gives up with kNumericalError.
+inline constexpr int kMaxRecoveries = 3;
+
+/// Working state of the revised simplex on one PreparedLp + bound set.
+class RevisedSimplex {
+ public:
+  RevisedSimplex(const PreparedLp& prep, const SimplexOptions& options,
+                 SolveContext& ctx);
+
+  /// Installs per-variable bound overrides (+ the fixed slack bounds) and
+  /// derives the feasibility scale. Returns false when some lower > upper.
+  [[nodiscard]] bool set_bounds(const std::vector<double>& lo,
+                                const std::vector<double>& up);
+
+  /// Runs the solve, optionally warm-starting from `warm`. When `try_dual`
+  /// is set and the installed start basis is dual-feasible, reoptimizes
+  /// with the dual simplex first; the primal phases then finish (or repair)
+  /// from wherever the dual loop left the basis.
+  SolveStatus run(const BasisSnapshot* warm, bool try_dual);
+
+  [[nodiscard]] int iterations() const { return iterations_; }
+  [[nodiscard]] int phase1_iterations() const { return phase1_iterations_; }
+  [[nodiscard]] int refactorizations() const {
+    return static_cast<int>(engine_->counters().refactorizations);
+  }
+  [[nodiscard]] int degenerate_pivots() const { return degenerate_pivots_; }
+  [[nodiscard]] const BasisCounters& basis_counters() const {
+    return engine_->counters();
+  }
+  [[nodiscard]] long long candidate_hits() const { return candidate_hits_; }
+  [[nodiscard]] long long full_scans() const { return full_scans_; }
+  [[nodiscard]] bool warm_started() const { return warm_started_; }
+  [[nodiscard]] bool used_dual() const { return used_dual_; }
+  [[nodiscard]] int dual_pivots() const { return dual_pivots_; }
+  [[nodiscard]] int bound_flips() const { return bound_flips_; }
+
+  [[nodiscard]] double column_value(int col) const {
+    return value_[static_cast<std::size_t>(col)];
+  }
+
+  /// Objective of the internal minimization (slack costs are zero).
+  [[nodiscard]] double internal_objective() const;
+
+  /// Row multipliers y = c_B B^-T for the phase-2 costs (row-indexed).
+  [[nodiscard]] std::vector<double> row_duals() const;
+
+  [[nodiscard]] BasisSnapshot snapshot() const;
+
+ private:
+  // --- shared plumbing (simplex.cpp) ---
+  void fire_phase_event(int phase, int pivots, double objective);
+  void init_slack_basis();
+  [[nodiscard]] BasisVarStatus default_nonbasic_status(int j) const;
+  [[nodiscard]] bool apply_snapshot(const BasisSnapshot& snap);
+  [[nodiscard]] double nonbasic_resting_value(int j) const;
+  void recompute_values();
+  [[nodiscard]] bool refactorize();
+  [[nodiscard]] bool refactorize_or_recover();
+  [[nodiscard]] double violation(int col) const;
+  [[nodiscard]] bool has_infeasible_basic() const;
+  [[nodiscard]] double total_infeasibility() const;
+  [[nodiscard]] SolveStatus interruption_status() const;
+
+  // --- primal pivot loop (simplex.cpp) ---
+  [[nodiscard]] double phase1_cost(int col) const;
+  void compute_duals(std::vector<double>& y) const;
+  [[nodiscard]] double reduced_cost(int j, const std::vector<double>& y) const;
+  [[nodiscard]] double attractive_dir(int j, double d, double tol) const;
+  void price_full_scan(const std::vector<double>& y, bool bland, double tol,
+                       int& entering, double& entering_dir) const;
+  void price_candidates(const std::vector<double>& y, int& entering,
+                        double& entering_dir);
+  void rebuild_candidates(const std::vector<double>& y);
+  void devex_update(int entering, int leaving, int r,
+                    const std::vector<double>& w);
+  SolveStatus iterate();
+
+  // --- dual pivot loop (dual_simplex.cpp) ---
+  /// Computes the dual tolerance, duals and reduced costs for the installed
+  /// basis and checks every nonbasic column against its feasibility
+  /// half-space. A true return licenses iterate_dual().
+  [[nodiscard]] bool dual_start_feasible();
+  /// Refreshes y_ and d_ from the (possibly perturbed) costs via one btran.
+  void dual_refresh();
+  /// Shifts every nonbasic reduced cost strictly inside its feasible
+  /// half-space (deterministic spread) to break dual-degenerate ties.
+  void dual_perturb();
+  /// Bound-flipping-ratio-test dual pivot loop. kOptimal means the basis is
+  /// primal feasible (dual-optimal); run() then certifies with the primal
+  /// phase-2 loop. Sets dual_abandoned_ when it retreats (singular-basis
+  /// recovery, unusable pivot) and the primal phases must repair instead.
+  SolveStatus iterate_dual();
+
+  const PreparedLp& prep_;
+  const SimplexOptions& options_;
+  SolveContext& ctx_;
+  int m_;
+  int n_;
+  std::vector<double> lower_, upper_;
+  std::vector<BasisVarStatus> status_;
+  std::vector<double> value_;
+  std::vector<int> basis_;
+  std::vector<double> gamma_;       // Devex reference weights
+  std::vector<int> candidates_;     // partial-pricing candidate list
+  std::unique_ptr<BasisFactorization> engine_;
+  int cursor_ = 0;
+  int list_size_ = 8;
+  double ftol_ = 1e-7;
+  bool phase1_ = false;
+  bool restart_phase1_ = false;
+  bool warm_started_ = false;
+  int iterations_ = 0;
+  int phase1_iterations_ = 0;
+  int degenerate_pivots_ = 0;
+  int pivots_since_refactor_ = 0;
+  int recoveries_ = 0;
+  long long candidate_hits_ = 0;
+  long long full_scans_ = 0;
+  // Scratch vectors reused across iterations.
+  std::vector<double> y_, w_, rho_, work_;
+
+  // Dual-simplex state (dual_simplex.cpp).
+  struct DualBreakpoint {
+    int j;             // nonbasic internal column
+    double ratio;      // dual step at which its reduced cost hits zero
+    double abs_alpha;  // |pivot row entry|, the flip slope / pivot size
+  };
+  std::vector<double> shifted_cost_;  // prep_.cost + anti-cycling shifts
+  std::vector<double> d_;             // reduced costs of nonbasic columns
+  std::vector<double> alpha_;         // dense pivot-row scratch
+  std::vector<int> alpha_nz_;         // nonbasic j with |alpha_[j]| > 0
+  std::vector<DualBreakpoint> bps_;   // ratio-test breakpoints
+  std::vector<int> flips_;            // bound flips of the current pivot
+  double dtol_ = 1e-7;                // dual feasibility tolerance (scaled)
+  bool perturbed_ = false;
+  bool used_dual_ = false;
+  bool dual_abandoned_ = false;
+  int dual_pivots_ = 0;
+  int bound_flips_ = 0;
+};
+
+}  // namespace etransform::lp::detail

@@ -17,9 +17,10 @@ namespace etransform::milp {
 
 namespace {
 
+using lp::LpEngine;
 using lp::LpSolution;
+using lp::LpStartBasis;
 using lp::Model;
-using lp::SimplexSolver;
 using lp::SolveStatus;
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
@@ -185,57 +186,6 @@ class Pseudocosts {
   long long global_up_n_ = 0;
 };
 
-/// Extends a basis snapshot of the previous standard form onto a rebuilt
-/// one whose rows are base rows (identity-mapped) plus the current cut set.
-/// `old_row_of_new[r]` is the previous row index of new row r, or -1 for a
-/// fresh cut row. Old column indices carry over verbatim (model columns
-/// lead, surviving slacks keep their row's slot, new slacks append), so:
-/// each surviving row keeps its old basic column, fresh rows start with
-/// their own slack basic, and rows whose old basic column vanished with a
-/// purged row fall back to their slack. Stale nonbasic statuses are
-/// re-clamped by the simplex when the snapshot is applied.
-lp::BasisSnapshot extend_basis(const lp::BasisSnapshot& old, int num_vars,
-                               const std::vector<int>& old_row_of_new,
-                               int new_rows, int new_cols) {
-  lp::BasisSnapshot snap;
-  snap.basic_columns.assign(static_cast<std::size_t>(new_rows), -1);
-  snap.column_status.assign(static_cast<std::size_t>(new_cols),
-                            lp::BasisVarStatus::kAtLower);
-  for (int j = 0; j < num_vars; ++j) {
-    snap.column_status[static_cast<std::size_t>(j)] =
-        old.column_status[static_cast<std::size_t>(j)];
-  }
-  for (int r = 0; r < new_rows; ++r) {
-    const int o = old_row_of_new[static_cast<std::size_t>(r)];
-    if (o >= 0) {
-      snap.column_status[static_cast<std::size_t>(num_vars + r)] =
-          old.column_status[static_cast<std::size_t>(num_vars + o)];
-    }
-  }
-  std::vector<char> used(static_cast<std::size_t>(new_cols), 0);
-  for (int r = 0; r < new_rows; ++r) {
-    const int o = old_row_of_new[static_cast<std::size_t>(r)];
-    int b = num_vars + r;  // own slack: fresh rows, and the fallback
-    if (o >= 0) {
-      const int ob = old.basic_columns[static_cast<std::size_t>(o)];
-      // An old slack basic maps onto this row's (re-indexed) slack; a model
-      // column carries over unless another surviving row already took it.
-      if (ob < num_vars && !used[static_cast<std::size_t>(ob)]) b = ob;
-    }
-    if (used[static_cast<std::size_t>(b)]) b = num_vars + r;
-    used[static_cast<std::size_t>(b)] = 1;
-    snap.basic_columns[static_cast<std::size_t>(r)] = b;
-  }
-  for (int r = 0; r < new_rows; ++r) {
-    snap.column_status[static_cast<std::size_t>(
-        snap.basic_columns[static_cast<std::size_t>(r)])] =
-        lp::BasisVarStatus::kBasic;
-  }
-  // Model columns whose basic row was purged keep a stale kBasic marker;
-  // apply_snapshot demotes those to a resting bound.
-  return snap;
-}
-
 }  // namespace
 
 const char* to_string(MilpStatus status) {
@@ -259,8 +209,9 @@ void BranchAndBoundSolver::add_cut_generator(
   generators_.push_back(std::move(generator));
 }
 
-MilpSolution BranchAndBoundSolver::solve(const Model& model,
-                                         SolveContext& ctx) const {
+MilpSolution BranchAndBoundSolver::solve(
+    const Model& model, SolveContext& ctx,
+    const lp::BasisSnapshot* root_warm) const {
   model.validate();
   // time_limit_ms tightens — never loosens — the caller's deadline.
   const DeadlineGuard guard(
@@ -269,15 +220,15 @@ MilpSolution BranchAndBoundSolver::solve(const Model& model,
           ? Deadline::after_ms(static_cast<double>(options_.search.time_limit_ms))
           : Deadline::unlimited());
   SolveScope scope(ctx, "branch_and_bound");
-  MilpSolution result = solve_impl(model, ctx, scope.stats());
+  MilpSolution result = solve_impl(model, ctx, scope.stats(), root_warm);
   scope.close();
   result.stats = scope.stats();
   return result;
 }
 
-MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
-                                              SolveContext& ctx,
-                                              SolveStats& stats) const {
+MilpSolution BranchAndBoundSolver::solve_impl(
+    const Model& model, SolveContext& ctx, SolveStats& stats,
+    const lp::BasisSnapshot* root_warm) const {
   // Cancellation beats the deadline when both apply.
   const auto interruption = [&ctx]() -> std::optional<MilpStatus> {
     if (ctx.cancelled()) return MilpStatus::kCancelled;
@@ -292,7 +243,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
   const double sense_sign = model.sense() == lp::Sense::kMinimize ? 1.0 : -1.0;
   const double integrality_tol = options_.search.integrality_tol;
   // Internally everything is a minimization of sense_sign * objective.
-  const SimplexSolver lp_solver(options_.lp);
+  const LpEngine lp_solver(options_.lp);
   // The standard form is bounds-independent: build it once and share it
   // across the root, the dive, and every node (only bounds change per
   // node). The root cutting loop may rebind `prep` to a strengthened form
@@ -300,14 +251,27 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
   lp::Model cut_model;
   auto prep = std::make_unique<lp::PreparedLp>(model);
   long long warm_started_nodes = 0;
+  long long dual_reopt_nodes = 0;
+  // Node re-solves differ from the basis-producing solve only in variable
+  // bounds, so they restart with Origin::kBoundChange — the contract that
+  // lets SolveMode::kAuto reoptimize with the dual simplex.
   const auto solve_node = [&](const std::vector<double>& lower,
                               const std::vector<double>& upper,
                               const lp::BasisSnapshot* warm) {
     LpSolution lp = lp_solver.solve(
         *prep, lower, upper, ctx,
-        options_.search.warm_start_nodes ? warm : nullptr);
+        LpStartBasis(options_.search.warm_start_nodes ? warm : nullptr,
+                     LpStartBasis::Origin::kBoundChange));
     if (lp.warm_started) ++warm_started_nodes;
+    if (lp.used_dual) ++dual_reopt_nodes;
     return lp;
+  };
+  // Every return path stamps the reoptimization tallies exactly once —
+  // cut rounds can run dual re-solves even when the strengthened root goes
+  // integral and the tree is never explored.
+  const auto stamp_reopt_counters = [&]() {
+    stats.add("warm_started_nodes", static_cast<double>(warm_started_nodes));
+    stats.add("dual_reopt_nodes", static_cast<double>(dual_reopt_nodes));
   };
 
   MilpSolution result;
@@ -399,11 +363,13 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
     }
   };
 
-  // Root relaxation.
+  // Root relaxation. `root_warm` (a clean-root basis from a previous solve
+  // of a modified variant of this model — the iterative admin path) rides
+  // the same bound-change restart contract as node re-solves.
   LpSolution root;
   {
     SolveScope root_scope(ctx, "root_lp");
-    root = solve_node(root_lower, root_upper, nullptr);
+    root = solve_node(root_lower, root_upper, root_warm);
   }
   result.lp_iterations += root.iterations;
   ++result.nodes;
@@ -427,6 +393,10 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
     case SolveStatus::kOptimal:
       break;
   }
+  // The clean-root basis (over the unmodified model's standard form) is
+  // what a future replan of a modified variant can restart from; the
+  // cut-strengthened basis below has a different shape.
+  result.root_basis = root.basis;
   global_bound = sense_sign * root.objective;
   record_trace(global_bound);
   if (ctx.events.on_node) {
@@ -444,10 +414,10 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
   // Cuts are separated only here, under the original bounds, so every
   // accepted row is valid for the whole tree. Each round: separate ->
   // purge aged cuts -> rebuild the standard form over base + pool ->
-  // extend the previous basis (new slacks basic) -> re-solve warm, letting
-  // the composite phase 1 repair the violated cut slacks in primal space
-  // ("re-factorize + primal warm start"; see the header for why this is
-  // preferred over adding a dual pivot loop).
+  // extend the previous basis via lp::extend_basis (new cut slacks enter
+  // basic, leaving the old duals intact) -> re-solve with
+  // Origin::kRowsAdded, so SolveMode::kAuto prices the violated cut rows
+  // out with the dual simplex instead of a composite phase-1 repair.
   if (options_.cuts.enable && model.has_integer_variables()) {
     SolveScope cuts_scope(ctx, "cuts");
     SolveStats& cstats = cuts_scope.stats();
@@ -486,13 +456,15 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
       cut_model = std::move(next);
       auto next_prep = std::make_unique<lp::PreparedLp>(cut_model);
       const lp::BasisSnapshot warm =
-          extend_basis(*current.basis, prep->num_vars, old_row_of_new,
-                       next_prep->num_rows(), next_prep->num_columns());
+          lp::extend_basis(*current.basis, prep->num_vars, old_row_of_new,
+                           next_prep->num_rows(), next_prep->num_columns());
       prep = std::move(next_prep);
       applied_ids = std::move(new_ids);
-      LpSolution next_sol =
-          lp_solver.solve(*prep, root_lower, root_upper, ctx, &warm);
+      LpSolution next_sol = lp_solver.solve(
+          *prep, root_lower, root_upper, ctx,
+          LpStartBasis(&warm, LpStartBasis::Origin::kRowsAdded));
       result.lp_iterations += next_sol.iterations;
+      if (next_sol.used_dual) ++dual_reopt_nodes;
       current = std::move(next_sol);
       return current.status == SolveStatus::kOptimal;
     };
@@ -559,8 +531,9 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
                        << "); discarding " << pool.size() << " cuts";
       applied_ids.clear();
       prep = std::make_unique<lp::PreparedLp>(model);
-      current = lp_solver.solve(*prep, root_lower, root_upper, ctx,
-                                root.basis.get());
+      current = lp_solver.solve(
+          *prep, root_lower, root_upper, ctx,
+          LpStartBasis(root.basis.get(), LpStartBasis::Origin::kBoundChange));
       result.lp_iterations += current.iterations;
       if (failed_status == SolveStatus::kTimeLimit ||
           failed_status == SolveStatus::kCancelled) {
@@ -603,12 +576,14 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
       result.status = *cut_interrupt;
       result.best_bound = sense_sign * global_bound;
       stats.add("nodes", result.nodes);
+      stamp_reopt_counters();
       return result;
     } else {
       // Clean-root restore failed numerically: no usable relaxation.
       result.status = MilpStatus::kNoSolutionFound;
       result.best_bound = sense_sign * global_bound;
       stats.add("nodes", result.nodes);
+      stamp_reopt_counters();
       return result;
     }
     if (cut_interrupt) {
@@ -617,6 +592,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
       result.status = *cut_interrupt;
       result.best_bound = sense_sign * global_bound;
       stats.add("nodes", result.nodes);
+      stamp_reopt_counters();
       return result;
     }
   }
@@ -628,6 +604,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
     result.best_bound = sense_sign * global_bound;
     result.values = std::move(incumbent_values);
     stats.add("nodes", result.nodes);
+    stamp_reopt_counters();
     return result;
   }
   if (options_.search.root_dive) {
@@ -641,7 +618,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
   int probe_budget = options_.branching.max_strong_branch_probes;
   lp::SimplexOptions sb_lp_options = options_.lp;
   sb_lp_options.max_iterations = options_.branching.strong_branch_iterations;
-  const SimplexSolver sb_solver(sb_lp_options);
+  const LpEngine sb_solver(sb_lp_options);
   telemetry::Histogram* pc_init_histogram = nullptr;
   if (telemetry::MetricsRegistry* mreg = ctx.metrics();
       mreg != nullptr &&
@@ -669,8 +646,9 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
     } else {
       upper[static_cast<std::size_t>(j)] = std::floor(v);
     }
-    const LpSolution sol =
-        sb_solver.solve(*prep, lower, upper, ctx, relaxed.basis.get());
+    const LpSolution sol = sb_solver.solve(
+        *prep, lower, upper, ctx,
+        LpStartBasis(relaxed.basis.get(), LpStartBasis::Origin::kBoundChange));
     result.lp_iterations += sol.iterations;
     if (sol.status == SolveStatus::kInfeasible) return kInfeasibleScore;
     if (sol.status != SolveStatus::kOptimal) return kNaN;
@@ -948,7 +926,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(const Model& model,
                                             have_incumbent ? incumbent
                                                            : global_bound);
   stats.add("nodes", result.nodes);
-  stats.add("warm_started_nodes", static_cast<double>(warm_started_nodes));
+  stamp_reopt_counters();
   stats.add("strong_branch_probes",
             static_cast<double>(strong_branch_probes));
   stats.add("pseudocost_updates", static_cast<double>(pseudocost_updates));

@@ -1,27 +1,27 @@
-// Branch-and-bound MILP solver built on the simplex LP engine.
+// Branch-and-bound MILP solver built on the LpEngine (lp/lp_engine.h).
 //
 // Integer variables are enforced by branching on fractional values and
 // tightening variable bounds in child nodes. The LP standard form is
 // prepared once per solve (lp::PreparedLp) and shared by every node — only
-// bounds change down the tree — and each child warm-starts the simplex from
-// its parent's optimal basis (see SearchOptions::warm_start_nodes), so most
-// nodes skip phase 1 entirely and resume near-feasible after the bound
-// change. Node selection is best-first by parent relaxation bound, which
-// keeps the global lower bound tight and enables early termination at a
-// requested gap. A depth-limited diving heuristic runs at the root to seed
-// the incumbent.
+// bounds change down the tree — and each child restarts the LP from its
+// parent's optimal basis (see SearchOptions::warm_start_nodes) with
+// LpStartBasis::Origin::kBoundChange: under SolveMode::kAuto (the default)
+// the bound-flipping dual simplex reoptimizes straight from the still
+// dual-feasible parent basis, and the composite primal phase 1 remains the
+// fallback when the start fails the dual-feasibility check. Node selection
+// is best-first by parent relaxation bound, which keeps the global lower
+// bound tight and enables early termination at a requested gap. A
+// depth-limited diving heuristic runs at the root to seed the incumbent.
 //
 // Root cutting planes (cut-and-branch): before branching starts, registered
 // CutGenerators (Gomory mixed-integer + lifted cover by default; see
 // milp/cuts.h) tighten the root relaxation over several separation rounds.
 // Cut rows are appended to a working copy of the model, the standard form
-// is re-prepared (new slack columns land at the end, so the previous basis
-// extends verbatim), and the LP re-solves warm: re-factorize + composite
-// phase 1 repairs the violated cut slacks in primal space. A dual simplex
-// would resume dual-feasible instead, but the composite phase 1 already
-// repairs arbitrary bound changes for node warm starts, so reusing it keeps
-// one pivot loop for both paths — that is the documented design choice.
-// Cuts whose rows stay slack for CutOptions::max_inactive_rounds
+// is re-prepared, and the previous basis maps over via lp::extend_basis()
+// (new cut slacks enter basic, so the old duals — and dual feasibility —
+// carry over verbatim); the re-solve restarts with Origin::kRowsAdded,
+// which again lets kAuto pick the dual simplex to price out the violated
+// cut rows. Cuts whose rows stay slack for CutOptions::max_inactive_rounds
 // consecutive root solves are purged before the tree is explored.
 //
 // Branching is pseudocost-based (BranchingOptions::kPseudocost): each
@@ -44,47 +44,24 @@
 #include <vector>
 
 #include "common/solve_context.h"
+#include "lp/lp_engine.h"
 #include "lp/model.h"
-#include "lp/simplex.h"
 #include "milp/cuts.h"
 #include "milp/solver_options.h"
 
 namespace etransform::milp {
 
-/// DEPRECATED: the legacy flat tuning struct, kept for one PR as an alias
-/// for the consolidated SolverOptions (solver_options.h). It converts
-/// implicitly — `BranchAndBoundSolver solver(MilpOptions{...})` and
-/// `options.milp = MilpOptions{...}` keep compiling — but exposes none of
-/// the new cut/branching knobs. New code should construct SolverOptions.
-struct MilpOptions {
-  /// Maximum branch-and-bound nodes to expand.
-  int max_nodes = 200000;
-  /// Wall-clock budget in milliseconds; 0 disables the limit.
-  int time_limit_ms = 0;
-  /// Stop once (incumbent - bound) / max(1, |incumbent|) <= relative_gap.
-  double relative_gap = 1e-9;
-  /// Integrality tolerance.
-  double integrality_tol = 1e-6;
-  /// Run the diving heuristic at the root to find an early incumbent.
-  bool root_dive = true;
-  /// Warm-start each node's LP from its parent's optimal basis.
-  bool warm_start_nodes = true;
-  /// Options forwarded to the LP engine.
-  lp::SimplexOptions lp_options;
-
-  /// Lossless upgrade to the consolidated aggregate (cuts/branching/presolve
-  /// sub-structs keep their defaults).
-  operator SolverOptions() const {  // NOLINT(google-explicit-constructor)
-    SolverOptions options;
-    options.search.max_nodes = max_nodes;
-    options.search.time_limit_ms = time_limit_ms;
-    options.search.relative_gap = relative_gap;
-    options.search.integrality_tol = integrality_tol;
-    options.search.root_dive = root_dive;
-    options.search.warm_start_nodes = warm_start_nodes;
-    options.lp = lp_options;
-    return options;
-  }
+/// REMOVED: the legacy flat `MilpOptions{...}` tuning struct (deprecated in
+/// the PR that introduced SolverOptions) is gone. Construct
+/// milp::SolverOptions (milp/solver_options.h) instead: the old flat fields
+/// now live under `.search` (max_nodes, time_limit_ms, relative_gap,
+/// integrality_tol, root_dive, warm_start_nodes) and `lp_options` is `.lp`.
+/// Any use of the name fails to compile against this poisoned declaration.
+struct [[deprecated(
+    "MilpOptions was removed; construct milp::SolverOptions "
+    "(milp/solver_options.h): flat search knobs moved under .search, "
+    "lp_options is now .lp")]] MilpOptions {
+  MilpOptions() = delete;
 };
 
 /// Result status of a MILP solve.
@@ -120,6 +97,12 @@ struct MilpSolution {
   /// Root cut-generation activity (all zeroes when cuts were disabled or
   /// the model has no integer variables).
   CutStats cuts;
+  /// Final basis of the clean (pre-cut) root relaxation, over the standard
+  /// form of the unmodified model. Callers that re-solve a modified variant
+  /// of the same model (iterative admin replans) can hand it back through
+  /// solve()'s `root_warm` to restart the next root LP; null when the root
+  /// never reached optimality.
+  std::shared_ptr<const lp::BasisSnapshot> root_basis;
   /// The "branch_and_bound" stats subtree for this solve: per-phase wall
   /// times, aggregated simplex counters, and the incumbent/bound trace.
   SolveStats stats;
@@ -144,16 +127,21 @@ class BranchAndBoundSolver {
   void add_cut_generator(std::shared_ptr<CutGenerator> generator);
 
   /// Solves `model` to optimality (or to the configured budget) under
-  /// `ctx`. Throws InvalidInputError on malformed models.
-  [[nodiscard]] MilpSolution solve(const lp::Model& model,
-                                   SolveContext& ctx) const;
+  /// `ctx`. Throws InvalidInputError on malformed models. `root_warm`, when
+  /// non-null, restarts the root relaxation from a basis of a structurally
+  /// identical model (e.g. MilpSolution::root_basis of a previous solve of
+  /// a modified variant); it is ignored when incompatible.
+  [[nodiscard]] MilpSolution solve(const lp::Model& model, SolveContext& ctx,
+                                   const lp::BasisSnapshot* root_warm =
+                                       nullptr) const;
 
   [[nodiscard]] const SolverOptions& options() const { return options_; }
 
  private:
   [[nodiscard]] MilpSolution solve_impl(const lp::Model& model,
-                                        SolveContext& ctx,
-                                        SolveStats& stats) const;
+                                        SolveContext& ctx, SolveStats& stats,
+                                        const lp::BasisSnapshot* root_warm)
+      const;
 
   SolverOptions options_;
   std::vector<std::shared_ptr<CutGenerator>> generators_;

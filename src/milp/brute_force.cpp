@@ -5,12 +5,13 @@
 #include <vector>
 
 #include "common/error.h"
+#include "lp/lp_engine.h"
 
 namespace etransform::milp {
 
 namespace {
 using lp::Model;
-using lp::SimplexSolver;
+using lp::LpEngine;
 using lp::SolveStatus;
 }  // namespace
 
@@ -43,7 +44,7 @@ MilpSolution solve_brute_force(const Model& model, SolveContext& ctx,
   }
 
   const double sense_sign = model.sense() == lp::Sense::kMinimize ? 1.0 : -1.0;
-  const SimplexSolver lp_solver;
+  const LpEngine lp_solver;
   // One standard form shared by all assignments; only bounds change, and
   // each enumerated LP warm-starts from the previous one's basis.
   const lp::PreparedLp prep(model);
@@ -77,8 +78,11 @@ MilpSolution solve_brute_force(const Model& model, SolveContext& ctx,
       lower[j] = assignment[k];
       upper[j] = assignment[k];
     }
-    const lp::LpSolution lp = lp_solver.solve(prep, lower, upper, ctx,
-                                              warm.get());
+    // Successive assignments differ only in the fixed integer bounds, so
+    // each re-solve is a kBoundChange restart (dual simplex under kAuto).
+    const lp::LpSolution lp = lp_solver.solve(
+        prep, lower, upper, ctx,
+        lp::LpStartBasis(warm.get(), lp::LpStartBasis::Origin::kBoundChange));
     if (lp.basis) warm = lp.basis;
     result.lp_iterations += lp.iterations;
     ++result.nodes;

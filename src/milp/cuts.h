@@ -7,8 +7,11 @@
 // every node. Each separation round reads the fractional optimum plus its
 // simplex basis, asks every registered generator for violated valid
 // inequalities, appends the accepted rows to the working model, and
-// re-solves warm (re-factorize + composite-phase-1 primal repair; see
-// branch_and_bound.cpp for why dual pivoting is not needed).
+// re-solves warm: the old basis is mapped onto the grown standard form via
+// lp::extend_basis() (new cut slacks basic, old duals untouched) and handed
+// to the LpEngine with LpStartBasis::Origin::kRowsAdded, so the dual
+// simplex prices out just the violated cut rows instead of repairing
+// primal feasibility from scratch.
 //
 // Generators shipped here:
 //  * GomoryMixedIntegerCutGenerator — reads simplex tableau rows of

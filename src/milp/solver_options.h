@@ -1,8 +1,9 @@
 // SolverOptions: the one documented tuning aggregate for the MILP stack.
 //
-// Historically every layer grew its own knob struct — MilpOptions for the
-// search, lp::SimplexOptions for the LP engine, nothing at all for presolve
-// — and callers had to know which layer owned which field. SolverOptions
+// Historically every layer grew its own knob struct (a flat MilpOptions for
+// the search, lp::SimplexOptions for the LP engine, nothing at all for
+// presolve) and callers had to know which layer owned which field.
+// SolverOptions
 // consolidates all of it with one sub-struct per layer:
 //
 //   SolverOptions
@@ -12,9 +13,8 @@
 //     .lp         the simplex engine (lp::SimplexOptions, unchanged)
 //     .presolve   presolve toggles (consumed by the planner pipeline)
 //
-// The legacy flat MilpOptions (branch_and_bound.h) survives this PR as a
-// deprecated alias that converts losslessly into a SolverOptions; new code
-// should construct SolverOptions directly.
+// The legacy flat MilpOptions is gone — branch_and_bound.h keeps only a
+// poisoned declaration so stale code fails to compile with a pointer here.
 #pragma once
 
 #include "lp/simplex.h"

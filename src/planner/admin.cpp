@@ -104,7 +104,12 @@ const PlannerReport& ScenarioSession::replan() {
   const CostModel model(instance_);
   const EtransformPlanner planner(options_);
   SolveContext ctx;
-  report_ = planner.plan(model, ctx);
+  // Admin modifications leave the model structurally close to the previous
+  // one, so the old root basis is usually still dual-feasible for the new
+  // root relaxation: hand it back and let the dual simplex reoptimize. The
+  // planner drops it when the shapes diverged.
+  report_ = planner.plan(model, ctx, root_basis_.get());
+  if (report_->root_basis) root_basis_ = report_->root_basis;
   return *report_;
 }
 

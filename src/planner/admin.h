@@ -7,6 +7,7 @@
 // state. Every modification is logged for the session report.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,7 +43,10 @@ class ScenarioSession {
   void set_latency_penalty(int group, LatencyPenaltyFunction penalty);
 
   /// Re-plans under the current constraints. Throws InfeasibleError if the
-  /// accumulated constraints are unsatisfiable.
+  /// accumulated constraints are unsatisfiable. Successive replans hand the
+  /// previous exact solve's root basis back to the planner
+  /// (PlannerReport::root_basis), so each modification re-solve restarts
+  /// the root relaxation instead of solving the LP from scratch.
   const PlannerReport& replan();
 
   /// The most recent plan, if replan() has been called.
@@ -66,6 +70,9 @@ class ScenarioSession {
   ConsolidationInstance instance_;
   PlannerOptions options_;
   std::optional<PlannerReport> report_;
+  /// Root basis of the last exact replan, kept across the report_.reset()
+  /// that every modification performs so the next replan can warm-start.
+  std::shared_ptr<const lp::BasisSnapshot> root_basis_;
   std::vector<std::string> log_;
 };
 

@@ -38,17 +38,20 @@ EtransformPlanner::EtransformPlanner(PlannerOptions options)
     : options_(options) {}
 
 PlannerReport EtransformPlanner::plan(const CostModel& model,
-                                      SolveContext& ctx) const {
+                                      SolveContext& ctx,
+                                      const lp::BasisSnapshot* root_warm)
+    const {
   SolveScope scope(ctx, "planner");
-  PlannerReport report = plan_dispatch(model, ctx);
+  PlannerReport report = plan_dispatch(model, ctx, root_warm);
   scope.close();
   report.stats = scope.stats();
   report.interrupted = ctx.should_stop();
   return report;
 }
 
-PlannerReport EtransformPlanner::plan_dispatch(const CostModel& model,
-                                               SolveContext& ctx) const {
+PlannerReport EtransformPlanner::plan_dispatch(
+    const CostModel& model, SolveContext& ctx,
+    const lp::BasisSnapshot* root_warm) const {
   const auto& instance = model.instance();
   const long long x_vars = count_assignment_vars(instance);
   const long long joint_j_vars =
@@ -67,15 +70,15 @@ PlannerReport EtransformPlanner::plan_dispatch(const CostModel& model,
 
   // Exact path.
   if (!options_.enable_dr) {
-    return plan_exact(model, /*joint_dr=*/false, ctx);
+    return plan_exact(model, /*joint_dr=*/false, ctx, root_warm);
   }
   if (options_.dr_sizing == PlannerOptions::DrSizing::kDedicated) {
     // Dedicated sizing is a plain linear term: the "surrogate" formulation
     // is exact here, no sharing variables needed.
-    return plan_exact(model, /*joint_dr=*/false, ctx);
+    return plan_exact(model, /*joint_dr=*/false, ctx, root_warm);
   }
   if (joint_j_vars <= options_.joint_dr_var_limit) {
-    return plan_exact(model, /*joint_dr=*/true, ctx);
+    return plan_exact(model, /*joint_dr=*/true, ctx, root_warm);
   }
   return plan_two_stage_dr(model, /*exact_stage1=*/true, ctx);
 }
@@ -91,10 +94,11 @@ namespace {
 /// formulation's row-structure tags visible to the cover separator).
 milp::MilpSolution solve_formulation_milp(const lp::Model& model,
                                           const milp::SolverOptions& options,
-                                          SolveContext& ctx) {
+                                          SolveContext& ctx,
+                                          const lp::BasisSnapshot* root_warm) {
   const milp::BranchAndBoundSolver solver(options);
   if (!options.presolve.enable) {
-    return solver.solve(model, ctx);
+    return solver.solve(model, ctx, root_warm);
   }
   const lp::PresolveResult presolved = lp::presolve(model, ctx);
   if (presolved.status == lp::PresolveStatus::kInfeasible) {
@@ -104,7 +108,8 @@ milp::MilpSolution solve_formulation_milp(const lp::Model& model,
   }
   ET_LOG(kInfo) << "planner: presolve removed " << presolved.vars_removed
                 << " vars, " << presolved.rows_removed << " rows";
-  milp::MilpSolution solution = solver.solve(presolved.reduced, ctx);
+  milp::MilpSolution solution = solver.solve(presolved.reduced, ctx,
+                                             root_warm);
   if (solution.has_incumbent()) {
     solution.values = lp::postsolve(presolved, solution.values);
   }
@@ -131,9 +136,9 @@ bool usable_incumbent(const milp::MilpSolution& solution) {
 
 }  // namespace
 
-PlannerReport EtransformPlanner::plan_exact(const CostModel& model,
-                                            bool joint_dr,
-                                            SolveContext& ctx) const {
+PlannerReport EtransformPlanner::plan_exact(
+    const CostModel& model, bool joint_dr, SolveContext& ctx,
+    const lp::BasisSnapshot* root_warm) const {
   const bool dedicated =
       options_.dr_sizing == PlannerOptions::DrSizing::kDedicated;
   FormulationOptions formulation_options;
@@ -157,7 +162,7 @@ PlannerReport EtransformPlanner::plan_exact(const CostModel& model,
                 << formulation.model.num_constraints() << " rows";
 
   const milp::MilpSolution solution =
-      solve_formulation_milp(formulation.model, options_.milp, ctx);
+      solve_formulation_milp(formulation.model, options_.milp, ctx, root_warm);
   switch (solution.status) {
     case milp::MilpStatus::kInfeasible:
       throw InfeasibleError("planner: instance admits no feasible plan");
@@ -180,6 +185,7 @@ PlannerReport EtransformPlanner::plan_exact(const CostModel& model,
   report.proven_optimal = solution.status == milp::MilpStatus::kOptimal;
   report.lower_bound = solution.best_bound;
   report.milp_nodes = solution.nodes;
+  report.root_basis = solution.root_basis;
   // Polish: a proven optimum cannot improve, but budget-limited incumbents
   // and shared-mode plans decoded from the dedicated surrogate often do.
   // Budget-limited incumbents also race the heuristic plan (solution-pool
@@ -217,7 +223,7 @@ PlannerReport EtransformPlanner::plan_two_stage_dr(const CostModel& model,
   {
     SolveScope stage1_scope(ctx, "stage1");
     if (exact_stage1) {
-      stage1 = plan_exact(model, /*joint_dr=*/false, ctx);
+      stage1 = plan_exact(model, /*joint_dr=*/false, ctx, nullptr);
     } else {
       stage1 = plan_heuristic(model, ctx);
     }
@@ -239,7 +245,7 @@ PlannerReport EtransformPlanner::plan_two_stage_dr(const CostModel& model,
   ET_LOG(kInfo) << "planner: stage-2 DR MILP with "
                 << formulation.model.num_variables() << " vars";
   const milp::MilpSolution solution =
-      solve_formulation_milp(formulation.model, options_.milp, ctx);
+      solve_formulation_milp(formulation.model, options_.milp, ctx, nullptr);
 
   PlannerReport report;
   if (usable_incumbent(solution)) {

@@ -72,11 +72,6 @@ struct PlannerOptions {
     options.search.relative_gap = 1e-6;
     return options;
   }
-
-  /// DEPRECATED alias for default_solver_options(), kept for one PR.
-  static milp::SolverOptions default_milp_options() {
-    return default_solver_options();
-  }
 };
 
 /// The plan plus solver provenance and the solve's observability record.
@@ -99,6 +94,13 @@ struct PlannerReport {
   /// heuristic seeds), aggregated simplex counters, and the MILP
   /// incumbent/bound trace. render_solve_stats() in report/ prints it.
   SolveStats stats;
+  /// Root-relaxation basis of the exact MILP solve (over the standard form
+  /// that branch-and-bound actually solved, i.e. the presolved reduction
+  /// when presolve ran). Hand it back through plan()'s `root_warm` on the
+  /// next solve of a modified variant of the same instance — the admin
+  /// replan loop — to restart the root LP with the dual simplex. Null on
+  /// heuristic solves or when the root never reached optimality.
+  std::shared_ptr<const lp::BasisSnapshot> root_basis;
 };
 
 /// The planner. Stateless between calls; safe to reuse across instances.
@@ -112,16 +114,25 @@ class EtransformPlanner {
   /// PlannerReport::interrupted), events stream solver progress, and the
   /// stats tree lands in PlannerReport::stats. Throws InfeasibleError when
   /// no feasible plan exists, InvalidInputError on malformed input.
-  [[nodiscard]] PlannerReport plan(const CostModel& model,
-                                   SolveContext& ctx) const;
+  /// `root_warm`, when non-null, restarts the exact root relaxation from a
+  /// previous solve's PlannerReport::root_basis (iterative replans); it is
+  /// advisory and ignored when the formulation or presolve reduction no
+  /// longer matches.
+  [[nodiscard]] PlannerReport plan(const CostModel& model, SolveContext& ctx,
+                                   const lp::BasisSnapshot* root_warm =
+                                       nullptr) const;
 
   [[nodiscard]] const PlannerOptions& options() const { return options_; }
 
  private:
   [[nodiscard]] PlannerReport plan_dispatch(const CostModel& model,
-                                            SolveContext& ctx) const;
+                                            SolveContext& ctx,
+                                            const lp::BasisSnapshot* root_warm)
+      const;
   [[nodiscard]] PlannerReport plan_exact(const CostModel& model, bool joint_dr,
-                                         SolveContext& ctx) const;
+                                         SolveContext& ctx,
+                                         const lp::BasisSnapshot* root_warm)
+      const;
   [[nodiscard]] PlannerReport plan_two_stage_dr(const CostModel& model,
                                                 bool exact_stage1,
                                                 SolveContext& ctx) const;

@@ -1,0 +1,320 @@
+// Tests for the bound-flipping dual simplex and the LpEngine mode
+// selection: dual-vs-primal differential agreement on reoptimization
+// restarts, bound-flip ratio tests on boxed LPs, warm starts across
+// appended cut rows (extend_basis + Origin::kRowsAdded), the
+// fallback-to-primal contract on dual-infeasible starts, and the
+// branch-and-bound end-to-end differential.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lp/lp_engine.h"
+#include "milp/branch_and_bound.h"
+
+namespace etransform::lp {
+namespace {
+
+Model random_boxed_lp(std::uint64_t seed, int vars, int rows, double density) {
+  Rng rng(seed);
+  Model model;
+  std::vector<Term> objective;
+  for (int j = 0; j < vars; ++j) {
+    const int v = model.add_continuous("x" + std::to_string(j), 0.0,
+                                       rng.uniform(1.0, 10.0));
+    objective.push_back({v, rng.uniform(-5.0, 5.0)});
+  }
+  model.set_objective(Sense::kMinimize, objective);
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Term> terms;
+    for (int j = 0; j < vars; ++j) {
+      if (rng.uniform() < density) terms.push_back({j, rng.uniform(-2.0, 2.0)});
+    }
+    model.add_constraint("r" + std::to_string(i), terms, Relation::kLessEqual,
+                         rng.uniform(1.0, 20.0));
+  }
+  return model;
+}
+
+std::vector<double> model_lowers(const Model& model) {
+  std::vector<double> lower(static_cast<std::size_t>(model.num_variables()));
+  for (int j = 0; j < model.num_variables(); ++j) {
+    lower[static_cast<std::size_t>(j)] = model.variable(j).lower;
+  }
+  return lower;
+}
+
+std::vector<double> model_uppers(const Model& model) {
+  std::vector<double> upper(static_cast<std::size_t>(model.num_variables()));
+  for (int j = 0; j < model.num_variables(); ++j) {
+    upper[static_cast<std::size_t>(j)] = model.variable(j).upper;
+  }
+  return upper;
+}
+
+// After a bound change the parent-optimal basis stays dual-feasible, so
+// kAuto + Origin::kBoundChange must reoptimize with the dual simplex and
+// land on the same optimum a cold primal solve finds.
+TEST(DualSimplex, AgreesWithPrimalAfterBoundChanges) {
+  const std::uint64_t seeds[] = {11, 12, 13, 14, 15, 16};
+  int dual_runs = 0;
+  for (const std::uint64_t seed : seeds) {
+    const Model model = random_boxed_lp(seed, 60, 30, 0.3);
+    const PreparedLp prep(model);
+    std::vector<double> lower = model_lowers(model);
+    std::vector<double> upper = model_uppers(model);
+
+    SolveContext root_ctx;
+    const LpEngine engine;
+    const LpSolution root = engine.solve(prep, lower, upper, root_ctx);
+    ASSERT_EQ(root.status, SolveStatus::kOptimal) << "seed " << seed;
+    ASSERT_NE(root.basis, nullptr);
+
+    // Tighten a third of the uppers (x = 0 stays feasible: every row is a
+    // <= with positive rhs), the branching move that leaves the parent
+    // basis dual-feasible but usually primal-infeasible.
+    Rng rng(seed * 977);
+    for (std::size_t j = 0; j < upper.size(); j += 3) {
+      upper[j] *= rng.uniform(0.1, 0.6);
+    }
+
+    SimplexOptions primal_only;
+    primal_only.mode = SolveMode::kPrimal;
+    SolveContext cold_ctx;
+    const LpSolution cold =
+        LpEngine(primal_only).solve(prep, lower, upper, cold_ctx);
+    ASSERT_EQ(cold.status, SolveStatus::kOptimal) << "seed " << seed;
+    EXPECT_FALSE(cold.used_dual);
+
+    SolveContext warm_ctx;
+    const LpSolution warm = engine.solve(
+        prep, lower, upper, warm_ctx,
+        LpStartBasis(root.basis.get(), LpStartBasis::Origin::kBoundChange));
+    ASSERT_EQ(warm.status, SolveStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(warm.objective, cold.objective,
+                1e-6 * (1.0 + std::abs(cold.objective)))
+        << "seed " << seed;
+    if (warm.used_dual) {
+      ++dual_runs;
+      EXPECT_GT(warm.dual_pivots + warm.bound_flips, 0) << "seed " << seed;
+    }
+  }
+  // The optimal basis must pass the dual-feasibility gate on most seeds —
+  // reduced costs do not move when bounds do.
+  EXPECT_GE(dual_runs, 4);
+}
+
+// A single >=-row over near-equal-cost boxed variables: forbidding the
+// variables the optimum selected leaves the row massively infeasible, and
+// one BFRT ratio test must flip through several boxed breakpoints before
+// an entering variable absorbs the rest.
+TEST(DualSimplex, BoundFlippingRatioTestFlipsBoxedVariables) {
+  const int n = 20;
+  Model model;
+  std::vector<Term> objective;
+  std::vector<Term> row;
+  for (int j = 0; j < n; ++j) {
+    const int v = model.add_continuous("x" + std::to_string(j), 0.0, 1.0);
+    objective.push_back({v, 1.0 + 0.01 * j});
+    row.push_back({v, 1.0});
+  }
+  model.set_objective(Sense::kMinimize, objective);
+  model.add_constraint("demand", row, Relation::kGreaterEqual, 10.0);
+
+  const PreparedLp prep(model);
+  std::vector<double> lower = model_lowers(model);
+  std::vector<double> upper = model_uppers(model);
+
+  SolveContext root_ctx;
+  const LpEngine engine;
+  const LpSolution root = engine.solve(prep, lower, upper, root_ctx);
+  ASSERT_EQ(root.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(root.objective, 10.0 + 0.01 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7 +
+                                             8 + 9),
+              1e-6);
+
+  // Forbid the ten cheapest variables the optimum used.
+  for (std::size_t j = 0; j < 10; ++j) upper[j] = 0.0;
+
+  SolveContext warm_ctx;
+  const LpSolution warm = engine.solve(
+      prep, lower, upper, warm_ctx,
+      LpStartBasis(root.basis.get(), LpStartBasis::Origin::kBoundChange));
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.used_dual);
+  // Ten units of demand move to the ten remaining variables; one of them
+  // enters, the others are bound flips of the same ratio test.
+  EXPECT_GE(warm.bound_flips, 5);
+  EXPECT_NEAR(warm.objective,
+              10.0 + 0.01 * (10 + 11 + 12 + 13 + 14 + 15 + 16 + 17 + 18 + 19),
+              1e-6);
+
+  SimplexOptions primal_only;
+  primal_only.mode = SolveMode::kPrimal;
+  SolveContext cold_ctx;
+  const LpSolution cold =
+      LpEngine(primal_only).solve(prep, lower, upper, cold_ctx);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-6);
+}
+
+// Appending a violated row and mapping the old basis over via extend_basis
+// keeps the old duals (new slack basic), so Origin::kRowsAdded must take
+// the dual path and agree with a cold solve of the grown model.
+TEST(DualSimplex, WarmStartsAcrossAppendedCutRow) {
+  const std::uint64_t seeds[] = {31, 32, 33, 34};
+  int dual_runs = 0;
+  for (const std::uint64_t seed : seeds) {
+    Model model = random_boxed_lp(seed, 40, 20, 0.4);
+    const PreparedLp prep(model);
+    std::vector<double> lower = model_lowers(model);
+    std::vector<double> upper = model_uppers(model);
+
+    SolveContext root_ctx;
+    const LpEngine engine;
+    const LpSolution root = engine.solve(prep, lower, upper, root_ctx);
+    ASSERT_EQ(root.status, SolveStatus::kOptimal) << "seed " << seed;
+
+    // A cut through the current optimum: sum of the fractional-support
+    // values, tightened by 20%. Feasibility survives (x = 0 satisfies it).
+    std::vector<Term> cut;
+    double activity = 0.0;
+    for (int j = 0; j < model.num_variables(); ++j) {
+      const double v = root.values[static_cast<std::size_t>(j)];
+      if (v > 1e-9) {
+        cut.push_back({j, 1.0});
+        activity += v;
+      }
+    }
+    ASSERT_FALSE(cut.empty()) << "seed " << seed;
+    model.add_constraint("cut", cut, Relation::kLessEqual, 0.8 * activity);
+
+    const PreparedLp grown(model);
+    ASSERT_EQ(grown.num_rows(), prep.num_rows() + 1) << "seed " << seed;
+    std::vector<int> old_row_of_new;
+    for (int r = 0; r < prep.num_rows(); ++r) old_row_of_new.push_back(r);
+    old_row_of_new.push_back(-1);
+    const BasisSnapshot mapped =
+        extend_basis(*root.basis, prep.num_vars, old_row_of_new,
+                     grown.num_rows(), grown.num_columns());
+
+    SolveContext warm_ctx;
+    const LpSolution warm = engine.solve(
+        grown, lower, upper, warm_ctx,
+        LpStartBasis(&mapped, LpStartBasis::Origin::kRowsAdded));
+    ASSERT_EQ(warm.status, SolveStatus::kOptimal) << "seed " << seed;
+
+    SimplexOptions primal_only;
+    primal_only.mode = SolveMode::kPrimal;
+    SolveContext cold_ctx;
+    const LpSolution cold =
+        LpEngine(primal_only).solve(grown, lower, upper, cold_ctx);
+    ASSERT_EQ(cold.status, SolveStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(warm.objective, cold.objective,
+                1e-6 * (1.0 + std::abs(cold.objective)))
+        << "seed " << seed;
+    EXPECT_TRUE(warm.warm_started) << "seed " << seed;
+    if (warm.used_dual) ++dual_runs;
+  }
+  EXPECT_GE(dual_runs, 3);
+}
+
+// A cold start carries no reoptimization claim: kAuto must not attempt the
+// dual simplex, and kDual from a dual-infeasible start (attractive reduced
+// costs at the slack basis) must fall back to the primal and still solve.
+TEST(DualSimplex, FallsBackToPrimalOnDualInfeasibleStart) {
+  // min -x - y subject to x + y <= 4, x, y in [0, 3]: at the slack basis
+  // both reduced costs are -1, so no dual-feasible start exists cold.
+  Model model;
+  const int x = model.add_continuous("x", 0.0, 3.0);
+  const int y = model.add_continuous("y", 0.0, 3.0);
+  model.set_objective(Sense::kMinimize, {{x, -1.0}, {y, -1.0}});
+  model.add_constraint("cap", {{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 4.0);
+
+  SolveContext auto_ctx;
+  const LpSolution cold = LpEngine().solve(model, auto_ctx);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(cold.used_dual);
+  EXPECT_EQ(cold.dual_pivots, 0);
+  EXPECT_NEAR(cold.objective, -4.0, 1e-9);
+
+  SimplexOptions dual_mode;
+  dual_mode.mode = SolveMode::kDual;
+  SolveContext dual_ctx;
+  const LpSolution forced = LpEngine(dual_mode).solve(model, dual_ctx);
+  ASSERT_EQ(forced.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(forced.used_dual);  // gate rejected the start; primal solved
+  EXPECT_NEAR(forced.objective, -4.0, 1e-9);
+}
+
+// End-to-end differential: branch-and-bound under forced-primal and
+// default-auto LP modes must prove the same optimum, and auto must
+// actually run dual re-solves on the node restarts.
+TEST(DualSimplex, BranchAndBoundAgreesAcrossLpModes) {
+  Rng rng(23);
+  Model model;
+  const int tasks = 8;
+  const int agents = 3;
+  std::vector<std::vector<int>> x(static_cast<std::size_t>(tasks));
+  std::vector<Term> objective;
+  for (int t = 0; t < tasks; ++t) {
+    for (int a = 0; a < agents; ++a) {
+      const int v = model.add_binary("x_" + std::to_string(t) + "_" +
+                                     std::to_string(a));
+      x[static_cast<std::size_t>(t)].push_back(v);
+      objective.push_back({v, rng.uniform(1.0, 20.0)});
+    }
+  }
+  model.set_objective(Sense::kMinimize, objective);
+  for (int t = 0; t < tasks; ++t) {
+    std::vector<Term> row;
+    for (const int v : x[static_cast<std::size_t>(t)]) row.push_back({v, 1.0});
+    model.add_constraint("assign" + std::to_string(t), row, Relation::kEqual,
+                         1.0);
+  }
+  for (int a = 0; a < agents; ++a) {
+    std::vector<Term> row;
+    for (int t = 0; t < tasks; ++t) {
+      row.push_back(
+          {x[static_cast<std::size_t>(t)][static_cast<std::size_t>(a)],
+           rng.uniform(1.0, 8.0)});
+    }
+    model.add_constraint("cap" + std::to_string(a), row, Relation::kLessEqual,
+                         3.0 * tasks / agents);
+  }
+
+  milp::SolverOptions primal_options;
+  primal_options.lp.mode = SolveMode::kPrimal;
+  milp::SolverOptions auto_options;  // default kAuto
+
+  SolveContext primal_ctx;
+  const auto primal =
+      milp::BranchAndBoundSolver(primal_options).solve(model, primal_ctx);
+  SolveContext auto_ctx;
+  const auto dual =
+      milp::BranchAndBoundSolver(auto_options).solve(model, auto_ctx);
+
+  ASSERT_EQ(primal.status, milp::MilpStatus::kOptimal);
+  ASSERT_EQ(dual.status, milp::MilpStatus::kOptimal);
+  EXPECT_NEAR(primal.objective, dual.objective, 1e-6);
+
+  // The simplex subtrees hang off whichever phase ran the LPs (root_lp,
+  // cuts, node re-solves), so aggregate over the whole branch_and_bound
+  // subtree.
+  const SolveStats* bb = auto_ctx.stats().find("branch_and_bound");
+  ASSERT_NE(bb, nullptr);
+  EXPECT_GT(bb->metric("dual_reopt_nodes"), 0.0);
+  EXPECT_GT(bb->deep_metric("dual_solves"), 0.0);
+  EXPECT_GT(bb->deep_metric("dual_pivots") + bb->deep_metric("bound_flips"),
+            0.0);
+
+  const SolveStats* primal_bb = primal_ctx.stats().find("branch_and_bound");
+  ASSERT_NE(primal_bb, nullptr);
+  EXPECT_NEAR(primal_bb->metric("dual_reopt_nodes"), 0.0, 1e-9);
+  EXPECT_NEAR(primal_bb->deep_metric("dual_solves"), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace etransform::lp

@@ -8,7 +8,7 @@
 #include "common/random.h"
 #include "datagen/generators.h"
 #include "lp/lp_format.h"
-#include "lp/simplex.h"
+#include "lp/lp_engine.h"
 #include "model/instance_io.h"
 
 namespace etransform {
@@ -52,7 +52,7 @@ TEST_P(LpParserFuzz, MutatedLpFilesNeverCrash) {
       const lp::Model parsed = lp::parse_lp(mutated);
       // If it parsed, it must also solve without crashing.
       SolveContext ctx;
-      (void)lp::SimplexSolver().solve(parsed, ctx);
+      (void)lp::LpEngine().solve(parsed, ctx);
     } catch (const Error&) {
       // Typed rejection is the expected outcome for broken inputs.
     }

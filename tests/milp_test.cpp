@@ -475,30 +475,5 @@ TEST(CutPipeline, RegisteredGeneratorReplacesBuiltinsAndIsApplied) {
   EXPECT_NEAR(cuts->metric("gomory_cuts"), 0.0, 1e-9);
 }
 
-TEST(DeprecatedMilpOptions, ConvertsLosslesslyAndStillSolves) {
-  MilpOptions legacy;
-  legacy.max_nodes = 5000;
-  legacy.time_limit_ms = 30000;
-  legacy.relative_gap = 1e-7;
-  legacy.integrality_tol = 1e-5;
-  legacy.root_dive = false;
-  legacy.warm_start_nodes = false;
-
-  const SolverOptions upgraded = legacy;
-  EXPECT_EQ(upgraded.search.max_nodes, 5000);
-  EXPECT_EQ(upgraded.search.time_limit_ms, 30000);
-  EXPECT_NEAR(upgraded.search.relative_gap, 1e-7, 0.0);
-  EXPECT_NEAR(upgraded.search.integrality_tol, 1e-5, 0.0);
-  EXPECT_FALSE(upgraded.search.root_dive);
-  EXPECT_FALSE(upgraded.search.warm_start_nodes);
-
-  // Legacy construction still compiles and solves (one-PR migration shim).
-  const BranchAndBoundSolver solver(legacy);
-  SolveContext ctx;
-  const auto s = solver.solve(fractional_knapsack(), ctx);
-  ASSERT_EQ(s.status, MilpStatus::kOptimal);
-  EXPECT_NEAR(s.objective, 220.0, 1e-6);
-}
-
 }  // namespace
 }  // namespace etransform::milp

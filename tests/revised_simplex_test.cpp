@@ -11,7 +11,7 @@
 
 #include "common/random.h"
 #include "lp/basis.h"
-#include "lp/simplex.h"
+#include "lp/lp_engine.h"
 #include "milp/branch_and_bound.h"
 
 namespace etransform::lp {
@@ -40,7 +40,7 @@ Model random_lp(std::uint64_t seed, int vars, int rows, double density) {
 
 LpSolution solve_sparse(const Model& model) {
   SolveContext ctx;
-  return SimplexSolver().solve(model, ctx);
+  return LpEngine().solve(model, ctx);
 }
 
 LpSolution solve_dense(const Model& model) {
@@ -48,7 +48,7 @@ LpSolution solve_dense(const Model& model) {
   options.use_dense_fallback = true;
   options.pricing = PricingRule::kDantzig;
   SolveContext ctx;
-  return SimplexSolver(options).solve(model, ctx);
+  return LpEngine(options).solve(model, ctx);
 }
 
 // The two engines take different pivot paths but must agree on the optimum.
@@ -124,7 +124,7 @@ TEST(RevisedSimplex, BealeCyclingLpTerminates) {
 TEST(RevisedSimplex, WarmStartAfterBoundChangeSavesIterations) {
   const Model model = random_lp(11, 100, 50, 0.3);
   const PreparedLp prep(model);
-  const SimplexSolver solver;
+  const LpEngine solver;
 
   std::vector<double> lower(static_cast<std::size_t>(model.num_variables()));
   std::vector<double> upper(static_cast<std::size_t>(model.num_variables()));
@@ -145,7 +145,8 @@ TEST(RevisedSimplex, WarmStartAfterBoundChangeSavesIterations) {
   const LpSolution cold = solver.solve(prep, lower, upper, cold_ctx);
   SolveContext warm_ctx;
   const LpSolution warm =
-      solver.solve(prep, lower, upper, warm_ctx, root.basis.get());
+      solver.solve(prep, lower, upper, warm_ctx,
+                   LpStartBasis(root.basis.get()));
 
   ASSERT_EQ(cold.status, SolveStatus::kOptimal);
   ASSERT_EQ(warm.status, SolveStatus::kOptimal);
@@ -328,7 +329,7 @@ TEST(RevisedSimplex, TableauRowExtractorRecoversIdentityOnBasicColumns) {
   }
   SolveContext ctx;
   const auto solution =
-      SimplexSolver().solve(prep, lower, upper, ctx);
+      LpEngine().solve(prep, lower, upper, ctx);
   ASSERT_EQ(solution.status, SolveStatus::kOptimal);
   ASSERT_NE(solution.basis, nullptr);
   const auto& basic = solution.basis->basic_columns;

@@ -18,7 +18,7 @@
 #include "datagen/generators.h"
 #include "lp/model.h"
 #include "lp/presolve.h"
-#include "lp/simplex.h"
+#include "lp/lp_engine.h"
 #include "milp/branch_and_bound.h"
 #include "milp/brute_force.h"
 #include "planner/etransform_planner.h"
@@ -116,7 +116,7 @@ TEST(DeadlineGuard, TightensThenRestores) {
 
 TEST(SolveContext, DeadlineInterruptsSimplexMidSolve) {
   const Model m = dense_lp(150, 300, 7);
-  const lp::SimplexSolver solver;
+  const lp::LpEngine solver;
 
   // Unlimited solve establishes how much work the model takes.
   SolveContext free_ctx;
@@ -145,7 +145,7 @@ TEST(SolveContext, PreExpiredDeadlineStopsSimplexAtFirstPoll) {
   const Model m = dense_lp(60, 120, 11);
   SolveContext ctx;
   ctx.set_time_limit_ms(0.0);
-  const auto s = lp::SimplexSolver().solve(m, ctx);
+  const auto s = lp::LpEngine().solve(m, ctx);
   EXPECT_EQ(s.status, lp::SolveStatus::kTimeLimit);
   // The loop polls on entry, so not even one refactor interval of pivots.
   EXPECT_LT(s.iterations, 128);
@@ -156,7 +156,7 @@ TEST(SolveContext, CancellationBeatsDeadlineInSimplexStatus) {
   SolveContext ctx;
   ctx.set_time_limit_ms(0.0);
   ctx.request_cancel();  // both tripped: cancellation wins the status race
-  const auto s = lp::SimplexSolver().solve(m, ctx);
+  const auto s = lp::LpEngine().solve(m, ctx);
   EXPECT_EQ(s.status, lp::SolveStatus::kCancelled);
 }
 
@@ -476,7 +476,7 @@ TEST(CrossThreadCancel, SecondThreadCancelsSimplexMidSolve) {
     cv.notify_all();
   });
 
-  const auto s = lp::SimplexSolver().solve(m, ctx);
+  const auto s = lp::LpEngine().solve(m, ctx);
   canceller.join();
   EXPECT_EQ(s.status, lp::SolveStatus::kCancelled);
   EXPECT_TRUE(ctx.cancelled());

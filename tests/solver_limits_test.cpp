@@ -4,7 +4,7 @@
 
 #include "common/random.h"
 #include "lp/model.h"
-#include "lp/simplex.h"
+#include "lp/lp_engine.h"
 #include "milp/branch_and_bound.h"
 
 namespace etransform {
@@ -36,7 +36,7 @@ Model hard_knapsack(int items, std::uint64_t seed) {
 TEST(SolverLimits, SimplexIterationLimitReported) {
   lp::SimplexOptions options;
   options.max_iterations = 1;
-  const lp::SimplexSolver solver(options);
+  const lp::LpEngine solver(options);
   Rng rng(3);
   Model m;
   std::vector<Term> objective;
@@ -104,7 +104,7 @@ TEST(SolverLimits, NodeCountsAreReported) {
 TEST(SolverLimits, ZeroVariableModelSolves) {
   Model m;
   m.set_objective(Sense::kMinimize, {}, 42.0);
-  const lp::SimplexSolver solver;
+  const lp::LpEngine solver;
   SolveContext ctx;
   const auto s = solver.solve(m, ctx);
   ASSERT_EQ(s.status, lp::SolveStatus::kOptimal);
@@ -135,7 +135,7 @@ TEST(SolverLimits, EqualityOnlySystemWithUniqueSolution) {
   m.add_constraint("c1", {{x, 1.0}, {y, 1.0}}, Relation::kEqual, 7.0);
   m.add_constraint("c2", {{x, 1.0}, {y, -1.0}}, Relation::kEqual, 1.0);
   SolveContext ctx;
-  const auto s = lp::SimplexSolver().solve(m, ctx);
+  const auto s = lp::LpEngine().solve(m, ctx);
   ASSERT_EQ(s.status, lp::SolveStatus::kOptimal);
   EXPECT_NEAR(s.values[static_cast<std::size_t>(x)], 4.0, 1e-7);
   EXPECT_NEAR(s.values[static_cast<std::size_t>(y)], 3.0, 1e-7);

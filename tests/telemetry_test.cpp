@@ -25,7 +25,7 @@
 #include "datagen/generators.h"
 #include "json_lite.h"
 #include "lp/model.h"
-#include "lp/simplex.h"
+#include "lp/lp_engine.h"
 #include "service/solve_farm.h"
 #include "telemetry/artifacts.h"
 #include "telemetry/metrics.h"
@@ -473,7 +473,7 @@ TEST(Integration, SimplexPublishesProcessCountersWhenRegistryAttached) {
   SolveContext ctx;
   ctx.set_metrics(&registry);
   ctx.set_trace(&recorder);
-  const auto solution = lp::SimplexSolver().solve(m, ctx);
+  const auto solution = lp::LpEngine().solve(m, ctx);
   ASSERT_EQ(solution.status, lp::SolveStatus::kOptimal);
   EXPECT_EQ(registry.counter("etransform_simplex_solves_total").value(), 1.0);
   EXPECT_GE(registry.counter("etransform_simplex_pivots_total").value(), 1.0);
