@@ -1,0 +1,485 @@
+// etransformd load harness: boots the daemon in-process on an ephemeral
+// port and drives open-loop HTTP traffic against it, reporting into
+// BENCH_server.json. Three phases:
+//
+//  1. Open-loop throughput — submissions arrive on a fixed schedule
+//     (independent of completions, so queueing and backpressure are
+//     exercised honestly): a configurable fraction are repeats of pre-warmed
+//     instances (cache hits), a configurable fraction are replan deltas
+//     against an exact base job, and the rest are fresh heuristic solves.
+//     Reports sustained jobs/sec, 429 rejections, and end-to-end latency
+//     percentiles split by hit/miss.
+//
+//  2. Cache economics — one cold exact solve vs. repeated identical
+//     submissions served from the instance cache; reports the speedup
+//     (the ISSUE floor is 10x; locally it is orders of magnitude).
+//
+//  3. Incremental replan — a pin delta submitted via POST /v1/replan
+//     (warm-started from the base job's root basis) vs. a fresh solve of
+//     the identically-modified instance; reports lp_iters for both.
+//
+//   bench_server_load [--jobs N] [--rate R] [--hit-ratio F]
+//                     [--delta-fraction F] [--workers N] [--out PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "datagen/generators.h"
+#include "model/instance_io.h"
+#include "server/daemon.h"
+#include "server/http.h"
+
+namespace etransform::bench {
+namespace {
+
+struct LoadOptions {
+  int jobs = 160;            // total arrivals in the throughput phase
+  double rate = 80.0;        // arrivals per second (open loop)
+  double hit_ratio = 0.4;    // fraction resubmitting a pre-warmed instance
+  double delta_fraction = 0.1;  // fraction submitted as replan deltas
+  int workers = 8;
+  std::string out = "BENCH_server.json";
+};
+
+json::Value get_json(int port, const std::string& method,
+                     const std::string& target, const std::string& body) {
+  server::ClientResponse response;
+  std::string error;
+  if (!server::http_request(port, method, target, body, &response, &error)) {
+    throw InvalidInputError("http_request: " + error);
+  }
+  json::Value doc;
+  if (!json::parse(response.body, doc, &error)) {
+    throw InvalidInputError("bad JSON from " + target + ": " + error);
+  }
+  return doc;
+}
+
+std::string plan_body(const ConsolidationInstance& instance,
+                      const std::string& engine, bool cache) {
+  json::Value body = json::Value::object();
+  body.set("instance", json::Value::string(write_instance(instance)));
+  json::Value options = json::Value::object();
+  options.set("engine", json::Value::string(engine));
+  body.set("options", std::move(options));
+  if (!cache) body.set("cache", json::Value::boolean(false));
+  return body.dump();
+}
+
+/// Submits and polls to a terminal state; returns the final status document.
+json::Value solve_and_wait(int port, const std::string& target,
+                           const std::string& body) {
+  json::Value submitted = get_json(port, "POST", target, body);
+  const json::Value* state = submitted.get("state");
+  if (state != nullptr && state->str == "done") return submitted;  // cache hit
+  const json::Value* id = submitted.get("job");
+  if (id == nullptr) {
+    throw InvalidInputError("submission rejected: " + submitted.dump());
+  }
+  const std::string job_target =
+      "/v1/jobs/" + std::to_string(static_cast<long long>(id->num));
+  while (true) {
+    json::Value doc = get_json(port, "GET", job_target, "");
+    const std::string s = doc.get("state")->str;
+    if (s == "done" || s == "cancelled" || s == "failed") return doc;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+double result_number(const json::Value& status, const char* field) {
+  const json::Value* result = status.get("result");
+  if (result == nullptr || result->get(field) == nullptr) return -1.0;
+  return result->get(field)->num;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+json::Value latency_summary(const std::vector<double>& samples) {
+  json::Value out = json::Value::object();
+  out.set("count", json::Value::number(static_cast<double>(samples.size())));
+  out.set("p50_ms", json::Value::number(percentile(samples, 0.50)));
+  out.set("p90_ms", json::Value::number(percentile(samples, 0.90)));
+  out.set("p99_ms", json::Value::number(percentile(samples, 0.99)));
+  return out;
+}
+
+/// One in-flight arrival: submit time plus the job id to poll (or a
+/// synchronous terminal latency for cache hits and rejections).
+struct Arrival {
+  long long job = -1;
+  bool hit = false;        // submitted against a pre-warmed instance
+  bool replan = false;
+  bool rejected = false;   // 429
+  double submit_ms = 0.0;  // since phase start
+  double done_ms = -1.0;   // since phase start; < 0 while outstanding
+  double service_ms = -1.0;  // server-reported worker time (solve_ms)
+};
+
+json::Value throughput_phase(int port, const LoadOptions& load) {
+  banner("open-loop throughput",
+         "fixed-rate arrivals against an in-process etransformd; hits "
+         "resubmit pre-warmed\ninstances, deltas hit POST /v1/replan, the "
+         "rest are fresh heuristic solves.");
+
+  // Pre-warm a pool of instances (these become the cache-hit targets) and
+  // one exact base job for the replan arrivals.
+  Rng rng(2027);
+  std::vector<ConsolidationInstance> pool;
+  for (int i = 0; i < 6; ++i) {
+    pool.push_back(make_random_instance(rng, 8, 3, 2));
+    (void)solve_and_wait(port, "/v1/plan", plan_body(pool.back(), "heuristic",
+                                                     /*cache=*/true));
+  }
+  const ConsolidationInstance base_instance =
+      make_random_instance(rng, 24, 6, 3);
+  const json::Value base_done = solve_and_wait(
+      port, "/v1/plan", plan_body(base_instance, "exact", /*cache=*/true));
+  const long long base_job =
+      static_cast<long long>(base_done.get("job")->num);
+
+  std::vector<Arrival> arrivals(static_cast<std::size_t>(load.jobs));
+  const Stopwatch clock;
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t fresh_seed = 777;
+  for (int i = 0; i < load.jobs; ++i) {
+    // Open loop: arrival i fires at i/rate seconds, late or not.
+    const auto due =
+        start + std::chrono::microseconds(
+                    static_cast<long long>(1e6 * static_cast<double>(i) /
+                                           load.rate));
+    std::this_thread::sleep_until(due);
+    Arrival& a = arrivals[static_cast<std::size_t>(i)];
+    const double roll = rng.uniform();
+    std::string target = "/v1/plan";
+    std::string body;
+    if (roll < load.delta_fraction) {
+      a.replan = true;
+      json::Value req = json::Value::object();
+      req.set("base_job",
+              json::Value::number(static_cast<double>(base_job)));
+      json::Value delta = json::Value::object();
+      json::Value pins = json::Value::array();
+      json::Value pin = json::Value::object();
+      pin.set("group", json::Value::number(
+                           static_cast<double>(i % base_instance.num_groups())));
+      pin.set("site", json::Value::number(
+                          static_cast<double>(i % base_instance.num_sites())));
+      pins.push(std::move(pin));
+      delta.set("pin", std::move(pins));
+      req.set("delta", std::move(delta));
+      target = "/v1/replan";
+      body = req.dump();
+    } else if (roll < load.delta_fraction + load.hit_ratio) {
+      a.hit = true;
+      body = plan_body(
+          pool[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(pool.size()) - 1))],
+          "heuristic", /*cache=*/true);
+    } else {
+      Rng fresh(fresh_seed++);
+      body = plan_body(make_random_instance(fresh, 8, 3, 2), "heuristic",
+                       /*cache=*/true);
+    }
+    a.submit_ms = clock.elapsed_ms();
+    server::ClientResponse response;
+    std::string error;
+    if (!server::http_request(port, "POST", target, body, &response,
+                              &error)) {
+      throw InvalidInputError("http_request: " + error);
+    }
+    if (response.status == 429) {
+      a.rejected = true;
+      continue;
+    }
+    json::Value doc;
+    if (!json::parse(response.body, doc, nullptr) ||
+        doc.get("job") == nullptr) {
+      throw InvalidInputError("malformed submit response: " + response.body);
+    }
+    a.job = static_cast<long long>(doc.get("job")->num);
+    const json::Value* state = doc.get("state");
+    if (state != nullptr && state->str == "done") {
+      a.done_ms = clock.elapsed_ms();  // cache hit: terminal at submission
+    }
+  }
+  const double dispatch_ms = clock.elapsed_ms();
+
+  // Drain: poll the outstanding jobs to terminal states.
+  for (Arrival& a : arrivals) {
+    if (a.job < 0 || a.done_ms >= 0.0) continue;
+    const std::string target = "/v1/jobs/" + std::to_string(a.job);
+    while (true) {
+      const json::Value doc = get_json(port, "GET", target, "");
+      const std::string s = doc.get("state")->str;
+      if (s == "done" || s == "cancelled" || s == "failed") {
+        if (doc.get("solve_ms") != nullptr) {
+          a.service_ms = doc.get("solve_ms")->num;
+        }
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    a.done_ms = clock.elapsed_ms();
+  }
+  const double total_ms = clock.elapsed_ms();
+
+  int rejected = 0;
+  int completed = 0;
+  double last_done = 0.0;
+  std::vector<double> hit_latency;   // client round trip: hits are
+                                     // terminal in the POST response
+  std::vector<double> miss_service;  // server-side worker time; the drain
+                                     // loop's observation time would
+                                     // otherwise pollute end-to-end numbers
+  for (const Arrival& a : arrivals) {
+    if (a.rejected) {
+      ++rejected;
+      continue;
+    }
+    ++completed;
+    last_done = std::max(last_done, a.done_ms);
+    if (a.hit) {
+      hit_latency.push_back(a.done_ms - a.submit_ms);
+    } else if (a.service_ms >= 0.0) {
+      miss_service.push_back(a.service_ms);
+    }
+  }
+  const double jobs_per_sec =
+      last_done > 0.0 ? 1e3 * static_cast<double>(completed) / last_done : 0.0;
+
+  std::printf("arrivals: %d at %.0f/s (hit %.0f%%, delta %.0f%%)\n",
+              load.jobs, load.rate, 100.0 * load.hit_ratio,
+              100.0 * load.delta_fraction);
+  std::printf("completed: %d   rejected(429): %d\n", completed, rejected);
+  std::printf("dispatch window: %.0f ms   drained at: %.0f ms\n", dispatch_ms,
+              total_ms);
+  std::printf("sustained: %.1f jobs/sec\n", jobs_per_sec);
+  std::printf("hit round trip p50/p90/p99 (ms):  %.2f/%.2f/%.2f\n",
+              percentile(hit_latency, 0.5), percentile(hit_latency, 0.9),
+              percentile(hit_latency, 0.99));
+  std::printf("miss worker time p50/p90/p99 (ms): %.2f/%.2f/%.2f\n",
+              percentile(miss_service, 0.5), percentile(miss_service, 0.9),
+              percentile(miss_service, 0.99));
+
+  json::Value out = json::Value::object();
+  out.set("arrival_rate_per_sec", json::Value::number(load.rate));
+  out.set("arrivals", json::Value::number(static_cast<double>(load.jobs)));
+  out.set("hit_ratio", json::Value::number(load.hit_ratio));
+  out.set("delta_fraction", json::Value::number(load.delta_fraction));
+  out.set("completed", json::Value::number(static_cast<double>(completed)));
+  out.set("rejected_429", json::Value::number(static_cast<double>(rejected)));
+  out.set("sustained_jobs_per_sec", json::Value::number(jobs_per_sec));
+  out.set("cache_hit_round_trip", latency_summary(hit_latency));
+  out.set("miss_worker_time", latency_summary(miss_service));
+  return out;
+}
+
+json::Value cache_phase(int port) {
+  banner("cache economics",
+         "one cold exact solve vs. repeated identical submissions served "
+         "from the\ninstance cache (same canonical text + options "
+         "fingerprint).");
+  Rng rng(4242);
+  // Large enough that the exact solve dominates the HTTP round trip (a
+  // ~120 ms proven-optimal MILP), so the speedup measures the cache and not
+  // transport noise.
+  const ConsolidationInstance instance = make_random_instance(rng, 100, 12, 3);
+  const std::string body = plan_body(instance, "exact", /*cache=*/true);
+
+  const Stopwatch cold_watch;
+  const json::Value cold = solve_and_wait(port, "/v1/plan", body);
+  const double cold_ms = cold_watch.elapsed_ms();
+  if (cold.get("state")->str != "done") {
+    throw InvalidInputError("cold solve did not finish: " + cold.dump());
+  }
+
+  std::vector<double> hit_ms;
+  for (int i = 0; i < 20; ++i) {
+    const Stopwatch watch;
+    const json::Value hit = solve_and_wait(port, "/v1/plan", body);
+    hit_ms.push_back(watch.elapsed_ms());
+    if (hit.get("cache_hit") == nullptr || !hit.get("cache_hit")->b) {
+      throw InvalidInputError("expected a cache hit: " + hit.dump());
+    }
+  }
+  const double hit_p50 = percentile(hit_ms, 0.5);
+  const double speedup = hit_p50 > 0.0 ? cold_ms / hit_p50 : 0.0;
+  std::printf("cold exact solve: %.2f ms (lp_iters %.0f)\n", cold_ms,
+              result_number(cold, "lp_iters"));
+  std::printf("cache hit p50:    %.3f ms over %zu requests\n", hit_p50,
+              hit_ms.size());
+  std::printf("speedup:          %.0fx %s\n", speedup,
+              speedup >= 10.0 ? "(>= 10x floor)" : "(below 10x floor!)");
+
+  json::Value out = json::Value::object();
+  out.set("cold_ms", json::Value::number(cold_ms));
+  out.set("hit_p50_ms", json::Value::number(hit_p50));
+  out.set("hit_p99_ms", json::Value::number(percentile(hit_ms, 0.99)));
+  out.set("speedup", json::Value::number(speedup));
+  out.set("meets_10x_floor", json::Value::boolean(speedup >= 10.0));
+  return out;
+}
+
+json::Value replan_phase(int port) {
+  banner("incremental replan",
+         "POST /v1/replan with a one-pin delta (warm dual-simplex restart "
+         "from the base\njob's root basis) vs. a fresh exact solve of the "
+         "identically-modified instance.");
+  Rng rng(9090);
+  const ConsolidationInstance instance = make_random_instance(rng, 40, 8, 3);
+  const json::Value base =
+      solve_and_wait(port, "/v1/plan", plan_body(instance, "exact",
+                                                 /*cache=*/false));
+  const long long base_job = static_cast<long long>(base.get("job")->num);
+
+  json::Value req = json::Value::object();
+  req.set("base_job", json::Value::number(static_cast<double>(base_job)));
+  json::Value delta = json::Value::object();
+  json::Value pins = json::Value::array();
+  json::Value pin = json::Value::object();
+  pin.set("group", json::Value::number(0));
+  pin.set("site", json::Value::number(1));
+  pins.push(std::move(pin));
+  delta.set("pin", std::move(pins));
+  req.set("delta", std::move(delta));
+  req.set("cache", json::Value::boolean(false));
+
+  const Stopwatch replan_watch;
+  const json::Value replanned =
+      solve_and_wait(port, "/v1/replan", req.dump());
+  const double replan_ms = replan_watch.elapsed_ms();
+
+  // The control: apply the same pin directly (ScenarioSession::pin_group
+  // sets pinned_site) and solve the modified instance from scratch.
+  ConsolidationInstance pinned = instance;
+  pinned.groups[0].pinned_site = 1;
+  const Stopwatch fresh_watch;
+  const json::Value fresh = solve_and_wait(
+      port, "/v1/plan", plan_body(pinned, "exact", /*cache=*/false));
+  const double fresh_ms = fresh_watch.elapsed_ms();
+
+  const double replan_iters = result_number(replanned, "lp_iters");
+  const double fresh_iters = result_number(fresh, "lp_iters");
+  const bool warm =
+      replanned.get("warm_started") != nullptr &&
+      replanned.get("warm_started")->b;
+  std::printf("base job %lld: lp_iters %.0f\n", base_job,
+              result_number(base, "lp_iters"));
+  std::printf("replan (warm=%s): lp_iters %.0f in %.1f ms\n",
+              warm ? "yes" : "no", replan_iters, replan_ms);
+  std::printf("fresh solve:      lp_iters %.0f in %.1f ms\n", fresh_iters,
+              fresh_ms);
+  std::printf("iter reduction:   %.1f%%\n",
+              fresh_iters > 0
+                  ? 100.0 * (fresh_iters - replan_iters) / fresh_iters
+                  : 0.0);
+
+  json::Value out = json::Value::object();
+  out.set("warm_started", json::Value::boolean(warm));
+  out.set("replan_lp_iters", json::Value::number(replan_iters));
+  out.set("fresh_lp_iters", json::Value::number(fresh_iters));
+  out.set("replan_ms", json::Value::number(replan_ms));
+  out.set("fresh_ms", json::Value::number(fresh_ms));
+  out.set("replan_total_cost",
+          json::Value::number(
+              replanned.get("result")->get("cost")->get("total")->num));
+  out.set("fresh_total_cost",
+          json::Value::number(
+              fresh.get("result")->get("cost")->get("total")->num));
+  return out;
+}
+
+int run(const LoadOptions& load) {
+  server::DaemonOptions options;
+  options.port = 0;
+  options.workers = load.workers;
+  options.max_queue_depth = 64;
+  server::PlannerDaemon daemon(options);
+  daemon.start();
+  const int port = daemon.port();
+  std::printf("etransformd on 127.0.0.1:%d (%d workers)\n", port,
+              load.workers);
+
+  json::Value doc = json::Value::object();
+  json::Value context = json::Value::object();
+  char stamp[64] = {0};
+  const std::time_t now = std::time(nullptr);
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%S%z",
+                std::localtime(&now));
+  context.set("date", json::Value::string(stamp));
+  context.set("hardware_concurrency",
+              json::Value::number(static_cast<double>(
+                  std::thread::hardware_concurrency())));
+  context.set("workers",
+              json::Value::number(static_cast<double>(load.workers)));
+  doc.set("context", std::move(context));
+  doc.set("throughput", throughput_phase(port, load));
+  doc.set("cache", cache_phase(port));
+  doc.set("replan", replan_phase(port));
+  daemon.stop();
+
+  std::ofstream out(load.out);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", load.out.c_str());
+    return 1;
+  }
+  out << doc.dump() << "\n";
+  std::printf("\n[data: %s]\n", load.out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace etransform::bench
+
+int main(int argc, char** argv) {
+  etransform::bench::LoadOptions load;
+  for (int a = 1; a < argc; ++a) {
+    const auto next = [&](double fallback) {
+      return a + 1 < argc ? std::atof(argv[++a]) : fallback;
+    };
+    if (std::strcmp(argv[a], "--jobs") == 0) {
+      load.jobs = static_cast<int>(next(load.jobs));
+    } else if (std::strcmp(argv[a], "--rate") == 0) {
+      load.rate = next(load.rate);
+    } else if (std::strcmp(argv[a], "--hit-ratio") == 0) {
+      load.hit_ratio = next(load.hit_ratio);
+    } else if (std::strcmp(argv[a], "--delta-fraction") == 0) {
+      load.delta_fraction = next(load.delta_fraction);
+    } else if (std::strcmp(argv[a], "--workers") == 0) {
+      load.workers = static_cast<int>(next(load.workers));
+    } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
+      load.out = argv[++a];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_server_load [--jobs N] [--rate R] "
+                   "[--hit-ratio F] [--delta-fraction F] [--workers N] "
+                   "[--out PATH]\n");
+      return 1;
+    }
+  }
+  try {
+    return etransform::bench::run(load);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_server_load: %s\n", e.what());
+    return 1;
+  }
+}

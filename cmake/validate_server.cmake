@@ -1,0 +1,196 @@
+# End-to-end check of etransformd, the planner-as-a-service daemon:
+#   * boots the daemon on an ephemeral port (--port 0 --port-file),
+#   * plans an instance through HTTP and diffs the result document's total
+#     cost against the same solve run directly by etransform_cli
+#     --result-json (the two paths share plan_result_json, so the numbers
+#     must agree exactly),
+#   * resubmits the identical request and requires a cache hit,
+#   * replans against the finished job and requires a terminal result,
+#   * lints the /metrics Prometheus exposition,
+#   * SIGTERMs the daemon and requires a graceful drain-and-exit.
+# Driven by ctest:
+#   cmake -DDAEMON=<etransformd> -DCLIENT=<etransform_client>
+#         -DCLI=<etransform_cli> -DWORK_DIR=<dir> -P validate_server.cmake
+# Requires CMake >= 3.19 for string(JSON); the process plumbing shells out
+# to sh, matching the POSIX-only CI matrix.
+cmake_minimum_required(VERSION 3.19)
+
+if(NOT DEFINED DAEMON OR NOT DEFINED CLIENT OR NOT DEFINED CLI
+   OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DDAEMON=<etransformd> "
+                      "-DCLIENT=<etransform_client> -DCLI=<etransform_cli> "
+                      "-DWORK_DIR=<dir> -P validate_server.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(instance "${WORK_DIR}/server_check.etf")
+set(port_file "${WORK_DIR}/port")
+set(pid_file "${WORK_DIR}/daemon.pid")
+set(daemon_log "${WORK_DIR}/daemon.log")
+file(REMOVE "${port_file}" "${pid_file}" "${daemon_log}")
+
+function(kill_daemon signal)
+  if(EXISTS "${pid_file}")
+    file(READ "${pid_file}" pid)
+    string(STRIP "${pid}" pid)
+    execute_process(COMMAND sh -c "kill -${signal} ${pid} 2>/dev/null"
+                    RESULT_VARIABLE ignored)
+  endif()
+endfunction()
+
+function(die message)
+  if(EXISTS "${daemon_log}")
+    file(READ "${daemon_log}" log)
+    message(STATUS "---- daemon log ----\n${log}")
+  endif()
+  kill_daemon(KILL)
+  message(FATAL_ERROR "${message}")
+endfunction()
+
+execute_process(
+  COMMAND "${CLI}" generate enterprise1 -o "${instance}"
+  RESULT_VARIABLE generate_result OUTPUT_QUIET)
+if(NOT generate_result EQUAL 0)
+  message(FATAL_ERROR "etransform_cli generate failed (${generate_result})")
+endif()
+
+# ---- boot -----------------------------------------------------------------
+
+execute_process(
+  COMMAND sh -c "'${DAEMON}' --port 0 --workers 2 --port-file '${port_file}' \
+                 -v > '${daemon_log}' 2>&1 & echo $! > '${pid_file}'"
+  RESULT_VARIABLE boot_result)
+if(NOT boot_result EQUAL 0)
+  message(FATAL_ERROR "failed to launch etransformd (${boot_result})")
+endif()
+
+foreach(i RANGE 100)
+  if(EXISTS "${port_file}")
+    break()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+endforeach()
+if(NOT EXISTS "${port_file}")
+  die("etransformd never wrote its port file")
+endif()
+file(READ "${port_file}" port)
+string(STRIP "${port}" port)
+message(STATUS "etransformd up on 127.0.0.1:${port}")
+
+execute_process(COMMAND "${CLIENT}" --port "${port}" health
+                OUTPUT_VARIABLE health RESULT_VARIABLE health_result)
+if(NOT health_result EQUAL 0)
+  die("GET /healthz failed (${health_result})")
+endif()
+string(JSON health_status GET "${health}" "status")
+if(NOT health_status STREQUAL "ok")
+  die("healthz status is '${health_status}', want 'ok'")
+endif()
+
+# ---- plan through the daemon vs. the CLI ---------------------------------
+
+execute_process(
+  COMMAND "${CLIENT}" --port "${port}" plan "${instance}" --engine heuristic
+  OUTPUT_VARIABLE daemon_doc RESULT_VARIABLE plan_result)
+if(NOT plan_result EQUAL 0)
+  die("daemon plan failed (${plan_result}): ${daemon_doc}")
+endif()
+string(JSON daemon_state GET "${daemon_doc}" "state")
+if(NOT daemon_state STREQUAL "done")
+  die("daemon plan state is '${daemon_state}', want 'done'")
+endif()
+string(JSON job GET "${daemon_doc}" "job")
+string(JSON daemon_total GET "${daemon_doc}" "result" "cost" "total")
+
+execute_process(
+  COMMAND "${CLI}" plan "${instance}" --engine heuristic
+          --result-json "${WORK_DIR}/cli_result.json"
+  RESULT_VARIABLE cli_result OUTPUT_QUIET ERROR_QUIET)
+if(NOT cli_result EQUAL 0)
+  die("etransform_cli plan --result-json failed (${cli_result})")
+endif()
+file(READ "${WORK_DIR}/cli_result.json" cli_doc)
+string(JSON cli_total GET "${cli_doc}" "cost" "total")
+
+# Same instance, same deterministic heuristic, same document writer: the
+# totals must agree exactly, not just approximately.
+if(NOT daemon_total EQUAL cli_total)
+  die("daemon total ${daemon_total} != CLI total ${cli_total}")
+endif()
+message(STATUS "plan OK: job ${job}, total ${daemon_total} matches the CLI")
+
+# ---- cache hit on resubmission -------------------------------------------
+
+execute_process(
+  COMMAND "${CLIENT}" --port "${port}" plan "${instance}" --engine heuristic
+  OUTPUT_VARIABLE hit_doc RESULT_VARIABLE hit_result)
+if(NOT hit_result EQUAL 0)
+  die("resubmission failed (${hit_result})")
+endif()
+string(JSON cache_hit GET "${hit_doc}" "cache_hit")
+if(NOT cache_hit STREQUAL "ON")
+  die("identical resubmission was not served from the cache (cache_hit "
+      "'${cache_hit}')")
+endif()
+message(STATUS "cache OK: identical resubmission hit")
+
+# ---- replan against the finished job -------------------------------------
+
+execute_process(
+  COMMAND "${CLIENT}" --port "${port}" replan "${job}" --pin 0=1
+  OUTPUT_VARIABLE replan_doc RESULT_VARIABLE replan_result)
+if(NOT replan_result EQUAL 0)
+  die("replan failed (${replan_result}): ${replan_doc}")
+endif()
+string(JSON replan_state GET "${replan_doc}" "state")
+if(NOT replan_state STREQUAL "done")
+  die("replan state is '${replan_state}', want 'done'")
+endif()
+string(JSON replan_total GET "${replan_doc}" "result" "cost" "total")
+message(STATUS "replan OK: pinned total ${replan_total}")
+
+# ---- /metrics exposition lint --------------------------------------------
+
+execute_process(COMMAND "${CLIENT}" --port "${port}" metrics
+                OUTPUT_VARIABLE prom RESULT_VARIABLE metrics_result)
+if(NOT metrics_result EQUAL 0)
+  die("GET /metrics failed (${metrics_result})")
+endif()
+foreach(needle
+        "# TYPE etransform_server_requests_total counter"
+        "# TYPE etransform_server_cache_hits_total counter"
+        "# TYPE etransform_server_cache_misses_total counter"
+        "# TYPE etransform_server_queue_depth gauge"
+        "# TYPE etransform_server_jobs_inflight gauge"
+        "# TYPE etransform_server_request_ms histogram"
+        "etransform_server_request_ms_bucket{le=\"+Inf\"}")
+  string(FIND "${prom}" "${needle}" at)
+  if(at EQUAL -1)
+    die("/metrics is missing: ${needle}")
+  endif()
+endforeach()
+string(REGEX MATCH "etransform_server_cache_hits_total ([0-9.]+)" _ "${prom}")
+if(NOT CMAKE_MATCH_1 GREATER_EQUAL 1)
+  die("cache-hit counter is '${CMAKE_MATCH_1}', want >= 1")
+endif()
+message(STATUS "/metrics OK")
+
+# ---- graceful drain on SIGTERM -------------------------------------------
+
+file(READ "${pid_file}" pid)
+string(STRIP "${pid}" pid)
+kill_daemon(TERM)
+set(exited FALSE)
+foreach(i RANGE 150)
+  execute_process(COMMAND sh -c "kill -0 ${pid} 2>/dev/null"
+                  RESULT_VARIABLE alive)
+  if(NOT alive EQUAL 0)
+    set(exited TRUE)
+    break()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+endforeach()
+if(NOT exited)
+  die("etransformd did not exit within 15s of SIGTERM")
+endif()
+message(STATUS "drain OK: daemon exited after SIGTERM")

@@ -42,6 +42,8 @@
 #include "baselines/baselines.h"
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/shutdown.h"
+#include "common/stopwatch.h"
 #include "datagen/generators.h"
 #include "lp/lp_format.h"
 #include "model/instance_io.h"
@@ -50,6 +52,7 @@
 #include "planner/migration.h"
 #include "report/report.h"
 #include "report/sensitivity.h"
+#include "server/api_json.h"
 #include "service/scenario_set.h"
 #include "service/solve_farm.h"
 #include "telemetry/artifacts.h"
@@ -73,7 +76,8 @@ int usage() {
       "      [--cuts on|off|gomory|cover] [--cut-rounds N]\n"
       "      [--branching pseudocost|most-fractional]\n"
       "      [--lp-algorithm primal|dual|auto] [--no-presolve]\n"
-      "      [--trace] [--stats-json stats.json] [--telemetry-dir DIR]\n"
+      "      [--trace] [--stats-json stats.json] [--result-json out.json]\n"
+      "      [--telemetry-dir DIR]\n"
       "      [--migrate] [--wan-budget megabits] [--max-moves N]\n"
       "      [--jobs N] [--sweep omega|dr-cost|latency-penalty|cuts=...]\n"
       "      [--race]\n"
@@ -208,6 +212,10 @@ int run_sweep(const ConsolidationInstance& instance,
   telemetry::TraceRecorder recorder;
   telemetry::MetricsRegistry registry;
   SolveService service(jobs);
+  // A signal cancels every queued and running scenario; the farm drains and
+  // partial results are reported rather than dying mid-solve.
+  ShutdownSignal shutdown;
+  shutdown.on_signal([&service] { service.cancel_all(); });
   if (!telemetry_dir.empty()) {
     recorder.set_current_thread_name("main");
     service.attach_telemetry(&recorder, &registry);
@@ -235,6 +243,8 @@ int run_race(const ConsolidationInstance& instance,
   telemetry::TraceRecorder recorder;
   telemetry::MetricsRegistry registry;
   SolveService service(jobs);
+  ShutdownSignal shutdown;
+  shutdown.on_signal([&service] { service.cancel_all(); });
   if (!telemetry_dir.empty()) {
     recorder.set_current_thread_name("main");
     service.attach_telemetry(&recorder, &registry);
@@ -262,6 +272,7 @@ int cmd_plan(int argc, char** argv) {
   PlannerOptions options;
   std::string lp_out;
   std::string stats_json_out;
+  std::string result_json_out;
   std::string telemetry_dir;
   bool trace = false;
   bool sensitivity = false;
@@ -361,6 +372,8 @@ int cmd_plan(int argc, char** argv) {
       trace = true;
     } else if (flag == "--stats-json" && a + 1 < argc) {
       stats_json_out = argv[++a];
+    } else if (flag == "--result-json" && a + 1 < argc) {
+      result_json_out = argv[++a];
     } else if (flag == "--telemetry-dir" && a + 1 < argc) {
       telemetry_dir = argv[++a];
     } else {
@@ -431,8 +444,17 @@ int cmd_plan(int argc, char** argv) {
     };
   }
 
+  // SIGINT/SIGTERM cancels the SolveContext instead of killing the process
+  // mid-solve: the stack unwinds at its next cancellation poll and the
+  // best-so-far plan is reported, flagged interrupted. A second signal
+  // force-kills.
+  ShutdownSignal shutdown;
+  shutdown.on_signal([&ctx] { ctx.request_cancel(); });
+
   const EtransformPlanner planner(options);
+  const Stopwatch solve_watch;
   const PlannerReport report = planner.plan(model, ctx);
+  const double solve_ms = solve_watch.elapsed_ms();
   flush_telemetry(telemetry_dir, &recorder, &registry,
                   report.stats.to_json());
   if (!stats_json_out.empty()) {
@@ -443,6 +465,16 @@ int cmd_plan(int argc, char** argv) {
     out << report.stats.to_json() << "\n";
     std::fprintf(stderr, "solve stats written to %s\n",
                  stats_json_out.c_str());
+  }
+  if (!result_json_out.empty()) {
+    // The same result document etransformd serves for this solve — the
+    // server e2e check diffs the two.
+    std::ofstream out(result_json_out);
+    if (!out) {
+      throw InvalidInputError("cannot write '" + result_json_out + "'");
+    }
+    out << server::plan_result_json(instance, report, solve_ms).dump() << "\n";
+    std::fprintf(stderr, "result written to %s\n", result_json_out.c_str());
   }
   std::printf("%s", render_plan_summary(instance, report.plan).c_str());
   if (!instance.as_is_placement.empty()) {

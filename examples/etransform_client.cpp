@@ -1,0 +1,209 @@
+// etransform_client — a command-line client for etransformd.
+//
+//   etransform_client --port P plan <in.etf> [--engine auto|exact|heuristic]
+//       [--dr] [--time-limit ms] [--no-cache] [--no-wait]
+//   etransform_client --port P replan <base-job> [--pin group=site ...]
+//       [--forbid group=site ...] [--no-cache] [--no-wait]
+//   etransform_client --port P status <job>
+//   etransform_client --port P events <job>
+//   etransform_client --port P cancel <job>
+//   etransform_client --port P health | metrics
+//
+// `plan` submits the instance and (by default) polls until the job is
+// terminal, then prints the result document. Everything speaks the JSON
+// schema in src/server/api_json.h; this client is deliberately thin — curl
+// works just as well (see README).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "server/http.h"
+
+using namespace etransform;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: etransform_client --port P <command>\n"
+      "  plan <in.etf> [--engine auto|exact|heuristic] [--dr]\n"
+      "       [--time-limit ms] [--no-cache] [--no-wait]\n"
+      "  replan <base-job> [--pin group=site ...] [--forbid group=site ...]\n"
+      "       [--no-cache] [--no-wait]\n"
+      "  status <job> | events <job> | cancel <job> | health | metrics\n");
+  return 1;
+}
+
+server::ClientResponse request_or_die(int port, const std::string& method,
+                                      const std::string& target,
+                                      const std::string& body) {
+  server::ClientResponse response;
+  std::string error;
+  if (!server::http_request(port, method, target, body, &response, &error)) {
+    throw InvalidInputError("etransformd at port " + std::to_string(port) +
+                            ": " + error);
+  }
+  return response;
+}
+
+/// Polls GET /v1/jobs/<id> until the state is terminal; prints the final
+/// document. Returns 0 on "done", 3 otherwise.
+int wait_for_job(int port, long long job) {
+  while (true) {
+    const server::ClientResponse response = request_or_die(
+        port, "GET", "/v1/jobs/" + std::to_string(job), "");
+    json::Value doc;
+    if (response.status != 200 || !json::parse(response.body, doc, nullptr)) {
+      std::fprintf(stderr, "error: poll failed (%d): %s\n", response.status,
+                   response.body.c_str());
+      return 3;
+    }
+    const json::Value* state = doc.get("state");
+    const std::string s = state != nullptr ? state->str : "";
+    if (s == "done" || s == "cancelled" || s == "failed") {
+      std::printf("%s\n", response.body.c_str());
+      return s == "done" ? 0 : 3;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+/// A group/site reference: all-digit specs travel as JSON numbers (the
+/// daemon resolves numbers as indices, strings as names).
+json::Value entity_ref(const std::string& spec) {
+  if (!spec.empty() &&
+      spec.find_first_not_of("0123456789") == std::string::npos) {
+    return json::Value::number(std::stod(spec));
+  }
+  return json::Value::string(spec);
+}
+
+/// Splits "group=site" into a {"group": ..., "site": ...} object.
+json::Value parse_pair(const std::string& spec, const char* flag) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos) {
+    throw InvalidInputError(std::string(flag) + " expects group=site (got '" +
+                            spec + "')");
+  }
+  json::Value pair = json::Value::object();
+  pair.set("group", entity_ref(spec.substr(0, eq)));
+  pair.set("site", entity_ref(spec.substr(eq + 1)));
+  return pair;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    int port = 7447;
+    std::vector<std::string> args;
+    for (int a = 1; a < argc; ++a) {
+      if (std::strcmp(argv[a], "--port") == 0 && a + 1 < argc) {
+        port = std::atoi(argv[++a]);
+      } else {
+        args.emplace_back(argv[a]);
+      }
+    }
+    if (args.empty()) return usage();
+    const std::string command = args[0];
+
+    if (command == "health" || command == "metrics") {
+      const server::ClientResponse response = request_or_die(
+          port, "GET", command == "health" ? "/healthz" : "/metrics", "");
+      std::printf("%s\n", response.body.c_str());
+      return response.status == 200 ? 0 : 3;
+    }
+    if (command == "status" || command == "events" || command == "cancel") {
+      if (args.size() < 2) return usage();
+      const std::string job = args[1];
+      const std::string target =
+          "/v1/jobs/" + job +
+          (command == "events" ? "/events"
+                               : command == "cancel" ? "/cancel" : "");
+      const server::ClientResponse response = request_or_die(
+          port, command == "cancel" ? "POST" : "GET", target, "");
+      std::printf("%s\n", response.body.c_str());
+      return response.status == 200 ? 0 : 3;
+    }
+
+    if (command != "plan" && command != "replan") return usage();
+    if (args.size() < 2) return usage();
+
+    json::Value body = json::Value::object();
+    bool wait = true;
+    if (command == "plan") {
+      std::ifstream in(args[1]);
+      if (!in) throw InvalidInputError("cannot open '" + args[1] + "'");
+      std::stringstream text;
+      text << in.rdbuf();
+      body.set("instance", json::Value::string(text.str()));
+    } else {
+      body.set("base_job", json::Value::number(std::atof(args[1].c_str())));
+    }
+    json::Value options = json::Value::object();
+    json::Value pins = json::Value::array();
+    json::Value forbids = json::Value::array();
+    for (std::size_t a = 2; a < args.size(); ++a) {
+      const std::string& flag = args[a];
+      if (flag == "--engine" && a + 1 < args.size()) {
+        options.set("engine", json::Value::string(args[++a]));
+      } else if (flag == "--dr") {
+        options.set("dr", json::Value::boolean(true));
+      } else if (flag == "--time-limit" && a + 1 < args.size()) {
+        body.set("time_limit_ms",
+                 json::Value::number(std::atof(args[++a].c_str())));
+      } else if (flag == "--no-cache") {
+        body.set("cache", json::Value::boolean(false));
+      } else if (flag == "--no-wait") {
+        wait = false;
+      } else if (flag == "--pin" && a + 1 < args.size()) {
+        pins.push(parse_pair(args[++a], "--pin"));
+      } else if (flag == "--forbid" && a + 1 < args.size()) {
+        forbids.push(parse_pair(args[++a], "--forbid"));
+      } else {
+        return usage();
+      }
+    }
+    if (!options.obj.empty()) body.set("options", std::move(options));
+    if (!pins.arr.empty() || !forbids.arr.empty()) {
+      json::Value delta = json::Value::object();
+      if (!pins.arr.empty()) delta.set("pin", std::move(pins));
+      if (!forbids.arr.empty()) delta.set("forbid", std::move(forbids));
+      body.set("delta", std::move(delta));
+    }
+
+    const server::ClientResponse response = request_or_die(
+        port, "POST", command == "plan" ? "/v1/plan" : "/v1/replan",
+        body.dump());
+    if (response.status != 200 && response.status != 202) {
+      std::fprintf(stderr, "error (%d): %s\n", response.status,
+                   response.body.c_str());
+      return 3;
+    }
+    json::Value submitted;
+    if (!json::parse(response.body, submitted, nullptr) ||
+        submitted.get("job") == nullptr) {
+      std::fprintf(stderr, "error: malformed response: %s\n",
+                   response.body.c_str());
+      return 3;
+    }
+    const long long job =
+        static_cast<long long>(submitted.get("job")->num);
+    if (!wait) {
+      std::printf("%s\n", response.body.c_str());
+      return 0;
+    }
+    return wait_for_job(port, job);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

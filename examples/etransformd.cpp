@@ -1,0 +1,104 @@
+// etransformd — the eTransform planner as a long-running HTTP service.
+//
+//   etransformd [--port P] [--workers N] [--max-queue N] [--cache-mb M]
+//               [--default-time-limit ms] [--port-file FILE] [-v]
+//
+// Binds 127.0.0.1:P (default 7447; 0 = kernel-assigned ephemeral port, the
+// bound port is printed and optionally written to --port-file for
+// harnesses). Serves until SIGINT/SIGTERM: the first signal drains — new
+// plan/replan requests get 503, queued and running jobs finish, then the
+// process exits 0. A second signal force-kills.
+//
+// See DESIGN.md §12 and the README's "Running the daemon" for the endpoint
+// reference and curl examples.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/shutdown.h"
+#include "server/daemon.h"
+
+using namespace etransform;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: etransformd [--port P] [--workers N] [--max-queue N]\n"
+      "                   [--cache-mb M] [--default-time-limit ms]\n"
+      "                   [--port-file FILE] [-v]\n"
+      "  --port P       listen port on 127.0.0.1 (default 7447; 0 = pick\n"
+      "                 an ephemeral port)\n"
+      "  --workers N    solver worker threads (default: hardware\n"
+      "                 concurrency)\n"
+      "  --max-queue N  reject plan/replan with 429 beyond this queue\n"
+      "                 depth (default 64)\n"
+      "  --cache-mb M   result cache budget in MiB (default 64; 0 off)\n"
+      "  --default-time-limit ms  deadline for jobs that send none\n"
+      "  --port-file F  write the bound port to F once listening\n"
+      "  -v             info-level logging\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarning);
+  server::DaemonOptions options;
+  options.port = 7447;
+  std::string port_file;
+  for (int a = 1; a < argc; ++a) {
+    const std::string flag = argv[a];
+    if (flag == "--port" && a + 1 < argc) {
+      options.port = std::atoi(argv[++a]);
+    } else if (flag == "--workers" && a + 1 < argc) {
+      options.workers = std::atoi(argv[++a]);
+    } else if (flag == "--max-queue" && a + 1 < argc) {
+      options.max_queue_depth = std::atoi(argv[++a]);
+    } else if (flag == "--cache-mb" && a + 1 < argc) {
+      options.cache_bytes =
+          static_cast<std::size_t>(std::atoll(argv[++a])) << 20;
+    } else if (flag == "--default-time-limit" && a + 1 < argc) {
+      options.default_time_limit_ms = std::atof(argv[++a]);
+    } else if (flag == "--port-file" && a + 1 < argc) {
+      port_file = argv[++a];
+    } else if (flag == "-v") {
+      set_log_level(LogLevel::kInfo);
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    server::PlannerDaemon daemon(options);
+    daemon.start();
+    std::printf("etransformd listening on 127.0.0.1:%d\n", daemon.port());
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+      // Written last, after the socket is live: harnesses poll for this
+      // file and connect the moment it appears.
+      std::ofstream out(port_file);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", port_file.c_str());
+        return 2;
+      }
+      out << daemon.port() << "\n";
+    }
+
+    ShutdownSignal shutdown;
+    shutdown.on_signal([&daemon] { daemon.request_drain(); });
+    shutdown.wait();  // first SIGINT/SIGTERM
+    std::fprintf(stderr, "etransformd: drain requested, waiting for %s\n",
+                 "in-flight jobs");
+    daemon.stop();  // waits for every admitted job, then closes the socket
+    std::fprintf(stderr, "etransformd: drained, exiting\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,350 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace etransform::json {
+
+// ---------------------------------------------------------------------------
+// Construction helpers
+
+Value Value::null() { return Value{}; }
+
+Value Value::boolean(bool v) {
+  Value out;
+  out.kind = Kind::kBool;
+  out.b = v;
+  return out;
+}
+
+Value Value::number(double v) {
+  Value out;
+  out.kind = Kind::kNumber;
+  out.num = v;
+  return out;
+}
+
+Value Value::string(std::string v) {
+  Value out;
+  out.kind = Kind::kString;
+  out.str = std::move(v);
+  return out;
+}
+
+Value Value::array() {
+  Value out;
+  out.kind = Kind::kArray;
+  return out;
+}
+
+Value Value::object() {
+  Value out;
+  out.kind = Kind::kObject;
+  return out;
+}
+
+Value& Value::set(std::string_view key, Value v) {
+  for (auto& [k, existing] : obj) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  obj.emplace_back(std::string(key), std::move(v));
+  return *this;
+}
+
+Value& Value::push(Value v) {
+  arr.push_back(std::move(v));
+  return *this;
+}
+
+const Value* Value::get(const std::string& key) const {
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  append_escaped(out, text);
+  return out;
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void Value::dump_to(std::string& out) const {
+  switch (kind) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += b ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      append_number(out, num);
+      return;
+    case Kind::kString:
+      append_escaped(out, str);
+      return;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (i > 0) out += ',';
+        arr[i].dump_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < obj.size(); ++i) {
+        if (i > 0) out += ',';
+        append_escaped(out, obj[i].first);
+        out += ':';
+        obj[i].second.dump_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser (moved verbatim in spirit from tests/json_lite.h; same strictness)
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string* error;
+
+  bool fail(const std::string& message) {
+    if (error != nullptr && error->empty()) *error = message;
+    return false;
+  }
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool literal(const char* word, std::size_t n) {
+    if (static_cast<std::size_t>(end - p) < n) return false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (p[i] != word[i]) return false;
+    }
+    p += n;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (p >= end || *p != '"') return fail("expected string");
+    ++p;
+    out.clear();
+    while (p < end && *p != '"') {
+      const unsigned char c = static_cast<unsigned char>(*p);
+      if (c < 0x20) return fail("raw control char in string");
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return fail("truncated escape");
+        switch (*p) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (end - p < 5) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = p[i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail("bad \\u escape");
+              }
+            }
+            // The library only emits \u00xx; decode BMP codepoints as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            p += 4;
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+        ++p;
+      } else {
+        out += *p++;
+      }
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (p >= end) return fail("unexpected end of input");
+    switch (*p) {
+      case 'n':
+        if (!literal("null", 4)) return fail("bad literal");
+        out.kind = Value::Kind::kNull;
+        return true;
+      case 't':
+        if (!literal("true", 4)) return fail("bad literal");
+        out.kind = Value::Kind::kBool;
+        out.b = true;
+        return true;
+      case 'f':
+        if (!literal("false", 5)) return fail("bad literal");
+        out.kind = Value::Kind::kBool;
+        out.b = false;
+        return true;
+      case '"':
+        out.kind = Value::Kind::kString;
+        return parse_string(out.str);
+      case '[': {
+        ++p;
+        out.kind = Value::Kind::kArray;
+        skip_ws();
+        if (p < end && *p == ']') {
+          ++p;
+          return true;
+        }
+        while (true) {
+          Value item;
+          if (!parse_value(item)) return false;
+          out.arr.push_back(std::move(item));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '{': {
+        ++p;
+        out.kind = Value::Kind::kObject;
+        skip_ws();
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (p >= end || *p != ':') return fail("expected ':'");
+          ++p;
+          Value item;
+          if (!parse_value(item)) return false;
+          out.obj.emplace_back(std::move(key), std::move(item));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      default: {
+        // Number.
+        char* num_end = nullptr;
+        const double v = std::strtod(p, &num_end);
+        if (num_end == p || num_end > end) return fail("bad number");
+        out.kind = Value::Kind::kNumber;
+        out.num = v;
+        p = num_end;
+        return true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Value& out, std::string* error) {
+  Parser parser{text.data(), text.data() + text.size(), error};
+  out = Value{};
+  if (!parser.parse_value(out)) return false;
+  parser.skip_ws();
+  if (parser.p != parser.end) return parser.fail("trailing garbage");
+  return true;
+}
+
+}  // namespace etransform::json

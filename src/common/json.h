@@ -1,0 +1,79 @@
+// Strict JSON parser and writer shared by the server protocol layer and the
+// tests (promoted from tests/json_lite.h when etransformd needed a real
+// request parser).
+//
+// The parser builds one DOM (`Value`) per document with no error recovery
+// and no streaming: it rejects trailing garbage, unterminated strings, bad
+// escapes, raw control characters, and malformed numbers — exactly the
+// strictness the daemon wants at its trust boundary and the escaping tests
+// assert on. The writer (`Value::dump`, `escape`) emits the same dialect the
+// rest of the library hand-writes (SolveStats::to_json,
+// TraceRecorder::to_chrome_json): `\u00XX` for control characters, `%.17g`
+// round-trippable numbers, `null` for non-finite doubles (JSON has no NaN).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace etransform::json {
+
+/// One JSON value. Plain aggregate on purpose: cheap to build in tests, and
+/// the server assembles responses by mutating these in place.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;  // insertion order kept
+
+  // -- construction helpers (writer side) ----------------------------------
+  [[nodiscard]] static Value null();
+  [[nodiscard]] static Value boolean(bool v);
+  [[nodiscard]] static Value number(double v);
+  [[nodiscard]] static Value string(std::string v);
+  [[nodiscard]] static Value array();
+  [[nodiscard]] static Value object();
+
+  /// Appends (or replaces, if `key` exists) an object member. The value must
+  /// be an object. Returns *this for chaining.
+  Value& set(std::string_view key, Value v);
+
+  /// Appends to an array value. Returns *this for chaining.
+  Value& push(Value v);
+
+  // -- inspection helpers (parser side) -------------------------------------
+  /// Object member by key, or nullptr (also nullptr on non-objects).
+  [[nodiscard]] const Value* get(const std::string& key) const;
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+
+  /// Serializes the value (compact, stable member order = insertion order).
+  [[nodiscard]] std::string dump() const;
+  void dump_to(std::string& out) const;
+};
+
+/// Parses `text` as one JSON document (no trailing garbage). On failure
+/// returns false and describes the problem in `*error` (when given).
+[[nodiscard]] bool parse(const std::string& text, Value& out,
+                         std::string* error = nullptr);
+
+/// Appends the quoted, escaped form of `text` ("..." included) to `out`.
+void append_escaped(std::string& out, std::string_view text);
+
+/// The quoted, escaped form of `text`.
+[[nodiscard]] std::string escape(std::string_view text);
+
+/// Appends a JSON number: `%.17g` (round-trippable) for finite values,
+/// `null` for NaN/Inf.
+void append_number(std::string& out, double v);
+
+}  // namespace etransform::json

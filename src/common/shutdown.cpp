@@ -1,0 +1,112 @@
+#include "common/shutdown.h"
+
+#include <csignal>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/error.h"
+
+namespace etransform {
+
+namespace {
+
+// Async-signal-safe state: the handler touches nothing else.
+std::atomic<int> g_signal_count{0};
+std::atomic<bool> g_instance_active{false};
+
+extern "C" void shutdown_signal_handler(int sig) {
+  const int seen = g_signal_count.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (seen >= 2) {
+    // Second signal: the graceful path is already draining (or stuck) —
+    // restore the default disposition and re-raise so the process dies the
+    // way the user asked. signal() and raise() are async-signal-safe.
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+  }
+}
+
+}  // namespace
+
+struct ShutdownSignal::Impl {
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  std::vector<std::function<void()>> callbacks;
+  int delivered = 0;  // signals whose callbacks have run
+  bool stopping = false;
+  std::thread watcher;
+
+#if defined(_POSIX_VERSION) || defined(__unix__) || defined(__APPLE__)
+  struct sigaction previous_int {};
+  struct sigaction previous_term {};
+#endif
+
+  void watch() {
+    std::unique_lock<std::mutex> lock(mu);
+    while (!stopping) {
+      cv.wait_for(lock, std::chrono::milliseconds(25));
+      const int seen = g_signal_count.load(std::memory_order_relaxed);
+      while (delivered < seen) {
+        ++delivered;
+        // Copy so a callback may register further callbacks without
+        // invalidating the iteration.
+        const std::vector<std::function<void()>> snapshot = callbacks;
+        lock.unlock();
+        for (const auto& callback : snapshot) {
+          if (callback) callback();
+        }
+        lock.lock();
+        cv.notify_all();  // release wait()ers
+      }
+    }
+  }
+};
+
+ShutdownSignal::ShutdownSignal() : impl_(new Impl) {
+  bool expected = false;
+  if (!g_instance_active.compare_exchange_strong(expected, true)) {
+    delete impl_;
+    throw InvalidInputError("ShutdownSignal: another instance is active");
+  }
+  g_signal_count.store(0, std::memory_order_relaxed);
+  struct sigaction action {};
+  action.sa_handler = shutdown_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: let blocking syscalls see EINTR
+  sigaction(SIGINT, &action, &impl_->previous_int);
+  sigaction(SIGTERM, &action, &impl_->previous_term);
+  impl_->watcher = std::thread([this] { impl_->watch(); });
+}
+
+ShutdownSignal::~ShutdownSignal() {
+  sigaction(SIGINT, &impl_->previous_int, nullptr);
+  sigaction(SIGTERM, &impl_->previous_term, nullptr);
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  impl_->watcher.join();
+  delete impl_;
+  g_instance_active.store(false);
+}
+
+void ShutdownSignal::on_signal(std::function<void()> callback) {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->callbacks.push_back(std::move(callback));
+}
+
+bool ShutdownSignal::triggered() const { return count() > 0; }
+
+int ShutdownSignal::count() const {
+  return g_signal_count.load(std::memory_order_relaxed);
+}
+
+void ShutdownSignal::wait(int n) const {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->cv.wait(lock, [this, n] { return impl_->delivered >= n; });
+}
+
+}  // namespace etransform

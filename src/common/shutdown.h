@@ -1,0 +1,59 @@
+// Cooperative SIGINT/SIGTERM handling for long-running processes.
+//
+// The solver stack already unwinds cleanly through SolveContext cancellation
+// (PR 1), so the only thing a signal needs to do is *request* that unwind.
+// A raw signal handler cannot: it may only touch async-signal-safe state.
+// ShutdownSignal therefore splits the work:
+//
+//  * the handler does one atomic increment of a process-global counter;
+//  * a watcher thread polls that counter (25 ms period) and invokes the
+//    registered callbacks in ordinary thread context, where mutexes,
+//    condition variables, and SolveService::cancel_all() are all legal.
+//
+// The *second* signal restores the default disposition and re-raises, so a
+// user who has lost patience with a graceful drain can still kill the
+// process with a second Ctrl-C.
+//
+// One instance may be active at a time (enforced); construction installs the
+// handlers, destruction restores the previous ones and joins the watcher.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+namespace etransform {
+
+class ShutdownSignal {
+ public:
+  /// Installs SIGINT and SIGTERM handlers and starts the watcher thread.
+  /// Throws InvalidInputError if another instance is already active.
+  ShutdownSignal();
+
+  /// Restores the previous handlers and joins the watcher.
+  ~ShutdownSignal();
+
+  ShutdownSignal(const ShutdownSignal&) = delete;
+  ShutdownSignal& operator=(const ShutdownSignal&) = delete;
+
+  /// Registers a callback run on the watcher thread each time a signal
+  /// arrives (at most once per arrived signal, in registration order).
+  /// Callbacks must be registered before the signal fires to be guaranteed
+  /// delivery for it; late registrations fire on the next signal.
+  void on_signal(std::function<void()> callback);
+
+  /// True once at least one signal has arrived.
+  [[nodiscard]] bool triggered() const;
+
+  /// Number of signals observed so far.
+  [[nodiscard]] int count() const;
+
+  /// Blocks until at least `n` signals have arrived.
+  void wait(int n = 1) const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace etransform

@@ -1,9 +1,15 @@
 #include "lp/lp_engine.h"
 
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "lp/basis.h"
 #include "lp/simplex_core.h"
 #include "telemetry/metrics.h"
 
@@ -182,6 +188,183 @@ BasisSnapshot extend_basis(const BasisSnapshot& old, int num_vars,
   }
   // Model columns whose basic row was purged keep a stale kBasic marker;
   // apply_snapshot demotes those to a resting bound.
+  return snap;
+}
+
+NamedBasis name_basis(const Model& model, const BasisSnapshot& basis) {
+  const PreparedLp prep(model);
+  if (prep.trivially_infeasible ||
+      basis.basic_columns.size() != static_cast<std::size_t>(prep.num_rows()) ||
+      basis.column_status.size() !=
+          static_cast<std::size_t>(prep.num_columns())) {
+    throw InvalidInputError(
+        "name_basis: snapshot does not match the model's standard form");
+  }
+  NamedBasis named;
+  named.basis = basis;
+  named.variables.reserve(static_cast<std::size_t>(prep.num_vars));
+  for (int j = 0; j < prep.num_vars; ++j) {
+    named.variables.push_back(model.variable(j).name);
+  }
+  named.rows.assign(static_cast<std::size_t>(prep.num_rows()), {});
+  for (int i = 0; i < model.num_constraints(); ++i) {
+    const int r = prep.row_of_model_row[static_cast<std::size_t>(i)];
+    if (r >= 0) named.rows[static_cast<std::size_t>(r)] =
+        model.constraint(i).name;
+  }
+  return named;
+}
+
+std::optional<BasisSnapshot> remap_basis(const NamedBasis& old_basis,
+                                         const Model& target) {
+  const int old_vars = static_cast<int>(old_basis.variables.size());
+  const int old_rows = static_cast<int>(old_basis.rows.size());
+  if (static_cast<int>(old_basis.basis.basic_columns.size()) != old_rows ||
+      static_cast<int>(old_basis.basis.column_status.size()) !=
+          old_vars + old_rows) {
+    return std::nullopt;
+  }
+  const PreparedLp prep(target);
+  if (prep.trivially_infeasible) return std::nullopt;
+  const int num_vars = prep.num_vars;
+  const int rows = prep.num_rows();
+  const int cols = prep.num_columns();
+
+  std::unordered_map<std::string, int> old_var;
+  std::unordered_map<std::string, int> old_row;
+  old_var.reserve(static_cast<std::size_t>(old_vars));
+  old_row.reserve(static_cast<std::size_t>(old_rows));
+  for (int j = 0; j < old_vars; ++j) old_var.emplace(old_basis.variables[j], j);
+  for (int r = 0; r < old_rows; ++r) old_row.emplace(old_basis.rows[r], r);
+
+  // Name-match target columns/rows against the old standard form:
+  // new_col_of_old translates an old internal column index into the target
+  // layout (-1 when the column vanished with the delta).
+  std::vector<int> new_col_of_old(static_cast<std::size_t>(old_vars + old_rows),
+                                  -1);
+  std::vector<int> old_row_of_new(static_cast<std::size_t>(rows), -1);
+  for (int j = 0; j < num_vars; ++j) {
+    const auto it = old_var.find(target.variable(j).name);
+    if (it != old_var.end()) {
+      new_col_of_old[static_cast<std::size_t>(it->second)] = j;
+    }
+  }
+  for (int i = 0; i < target.num_constraints(); ++i) {
+    const int r = prep.row_of_model_row[static_cast<std::size_t>(i)];
+    if (r < 0) continue;
+    const auto it = old_row.find(target.constraint(i).name);
+    if (it != old_row.end()) {
+      old_row_of_new[static_cast<std::size_t>(r)] = it->second;
+      new_col_of_old[static_cast<std::size_t>(old_vars + it->second)] =
+          num_vars + r;
+    }
+  }
+
+  BasisSnapshot snap;
+  snap.basic_columns.assign(static_cast<std::size_t>(rows), -1);
+  snap.column_status.assign(static_cast<std::size_t>(cols),
+                            BasisVarStatus::kAtLower);
+  // Nonbasic statuses carry over by name; stale kBasic markers on columns
+  // whose basic row vanished are demoted when the snapshot is applied.
+  for (int j = 0; j < num_vars; ++j) {
+    const auto it = old_var.find(target.variable(j).name);
+    if (it != old_var.end()) {
+      snap.column_status[static_cast<std::size_t>(j)] =
+          old_basis.basis.column_status[static_cast<std::size_t>(it->second)];
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    const int o = old_row_of_new[static_cast<std::size_t>(r)];
+    if (o >= 0) {
+      snap.column_status[static_cast<std::size_t>(num_vars + r)] =
+          old_basis.basis
+              .column_status[static_cast<std::size_t>(old_vars + o)];
+    }
+  }
+  // Surviving rows keep their old basic column when it too survived
+  // (first-come-first-served on conflicts — an old slack basic in another
+  // row can land on a column a later row also wants); rows whose basic
+  // column vanished, lost the race, or are fresh take an unused slack,
+  // preferring their own.
+  std::vector<char> used(static_cast<std::size_t>(cols), 0);
+  for (int r = 0; r < rows; ++r) {
+    const int o = old_row_of_new[static_cast<std::size_t>(r)];
+    if (o < 0) continue;
+    const int ob = new_col_of_old[static_cast<std::size_t>(
+        old_basis.basis.basic_columns[static_cast<std::size_t>(o)])];
+    if (ob >= 0 && !used[static_cast<std::size_t>(ob)]) {
+      snap.basic_columns[static_cast<std::size_t>(r)] = ob;
+      used[static_cast<std::size_t>(ob)] = 1;
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    const int own = num_vars + r;
+    if (snap.basic_columns[static_cast<std::size_t>(r)] < 0 &&
+        !used[static_cast<std::size_t>(own)]) {
+      snap.basic_columns[static_cast<std::size_t>(r)] = own;
+      used[static_cast<std::size_t>(own)] = 1;
+    }
+  }
+  // One slack per row exists, so there are always enough left over.
+  int next_slack = 0;
+  for (int r = 0; r < rows; ++r) {
+    if (snap.basic_columns[static_cast<std::size_t>(r)] >= 0) continue;
+    while (used[static_cast<std::size_t>(num_vars + next_slack)]) ++next_slack;
+    snap.basic_columns[static_cast<std::size_t>(r)] = num_vars + next_slack;
+    used[static_cast<std::size_t>(num_vars + next_slack)] = 1;
+  }
+
+  // The carried-over set was nonsingular in the *old* matrix, but the delta
+  // dropped rows and columns out from under it, so verify against the
+  // target before handing it to the engine (a singular warm basis would be
+  // thrown away wholesale there, wasting the whole map). On singularity,
+  // repair with a greedy crash: start from the always-factorizable slack
+  // identity and re-install each carried column only when it prices a
+  // usable pivot against the basis built so far — a zero pivot also rejects
+  // columns already basic, so the rebuild cannot produce duplicates. This
+  // preserves the bulk of the old basis instead of discarding it because a
+  // handful of rows became dependent.
+  constexpr double kPivotTol = 1e-7;
+  auto lu = make_basis_factorization(rows, /*dense=*/false, kPivotTol);
+  if (rows > 0 && !lu->factorize(prep.columns, snap.basic_columns)) {
+    std::vector<int> basic(static_cast<std::size_t>(rows));
+    for (int r = 0; r < rows; ++r) {
+      basic[static_cast<std::size_t>(r)] = num_vars + r;
+    }
+    if (!lu->factorize(prep.columns, basic)) return std::nullopt;
+    std::vector<double> w(static_cast<std::size_t>(rows));
+    for (int r = 0; r < rows; ++r) {
+      const int cand = snap.basic_columns[static_cast<std::size_t>(r)];
+      if (cand == num_vars + r) continue;
+      std::fill(w.begin(), w.end(), 0.0);
+      const SparseColumn& col = prep.columns[static_cast<std::size_t>(cand)];
+      for (std::size_t e = 0; e < col.rows.size(); ++e) {
+        w[static_cast<std::size_t>(col.rows[e])] = col.coefs[e];
+      }
+      lu->ftran(w);
+      if (std::abs(w[static_cast<std::size_t>(r)]) < kPivotTol) continue;
+      const int previous = basic[static_cast<std::size_t>(r)];
+      basic[static_cast<std::size_t>(r)] = cand;
+      if (!lu->update(w, r) || lu->should_refactorize()) {
+        if (!lu->factorize(prep.columns, basic)) {
+          // The eta representation accepted what the fresh factorization
+          // rejects: drop this candidate and resynchronize.
+          basic[static_cast<std::size_t>(r)] = previous;
+          if (!lu->factorize(prep.columns, basic)) return std::nullopt;
+        }
+      }
+    }
+    snap.basic_columns = basic;
+    // Final guard: the eta file can be more permissive than a fresh
+    // factorization; make sure the repaired set stands on its own.
+    if (!lu->factorize(prep.columns, snap.basic_columns)) return std::nullopt;
+  }
+
+  for (int r = 0; r < rows; ++r) {
+    snap.column_status[static_cast<std::size_t>(
+        snap.basic_columns[static_cast<std::size_t>(r)])] =
+        BasisVarStatus::kBasic;
+  }
   return snap;
 }
 

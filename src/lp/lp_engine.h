@@ -22,6 +22,10 @@
 // one btran and falls back to the primal warm start, never correctness.
 #pragma once
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "lp/simplex.h"
 
 namespace etransform::lp {
@@ -101,5 +105,34 @@ class LpEngine {
                                          int num_vars,
                                          const std::vector<int>& old_row_of_new,
                                          int new_rows, int new_cols);
+
+/// A basis snapshot annotated with the names of the structural columns and
+/// kept rows of the standard form it indexes. Where a BasisSnapshot is only
+/// valid against the exact PreparedLp that produced it, a NamedBasis is the
+/// durable form: remap_basis() can carry it onto a *different* model that
+/// shares most variable/row names — the iterative-replan case, where a
+/// small instance delta adds or removes a handful of columns and rows but
+/// leaves the bulk of the formulation (and its optimal basis) intact.
+struct NamedBasis {
+  BasisSnapshot basis;
+  std::vector<std::string> variables;  // one per structural column
+  std::vector<std::string> rows;       // one per kept internal row
+};
+
+/// Annotates `basis` (from a solve of `model`) with `model`'s variable and
+/// kept-row names. Throws InvalidInputError when the snapshot's shape does
+/// not match the model's standard form.
+[[nodiscard]] NamedBasis name_basis(const Model& model,
+                                    const BasisSnapshot& basis);
+
+/// Maps `old_basis` onto `target`'s standard form by name: surviving
+/// columns keep their status, surviving rows keep their basic column when
+/// it also survived (falling back to the row's own slack otherwise), and
+/// fresh rows start with their slack basic. Returns nullopt when the map
+/// degenerates (duplicate basic columns, trivially infeasible target, or a
+/// malformed snapshot); the result is advisory either way — the engine
+/// re-validates any warm basis before pivoting from it.
+[[nodiscard]] std::optional<BasisSnapshot> remap_basis(
+    const NamedBasis& old_basis, const Model& target);
 
 }  // namespace etransform::lp

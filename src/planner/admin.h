@@ -72,7 +72,7 @@ class ScenarioSession {
   std::optional<PlannerReport> report_;
   /// Root basis of the last exact replan, kept across the report_.reset()
   /// that every modification performs so the next replan can warm-start.
-  std::shared_ptr<const lp::BasisSnapshot> root_basis_;
+  std::shared_ptr<const lp::NamedBasis> root_basis_;
   std::vector<std::string> log_;
 };
 

@@ -39,7 +39,7 @@ EtransformPlanner::EtransformPlanner(PlannerOptions options)
 
 PlannerReport EtransformPlanner::plan(const CostModel& model,
                                       SolveContext& ctx,
-                                      const lp::BasisSnapshot* root_warm)
+                                      const lp::NamedBasis* root_warm)
     const {
   SolveScope scope(ctx, "planner");
   PlannerReport report = plan_dispatch(model, ctx, root_warm);
@@ -51,7 +51,7 @@ PlannerReport EtransformPlanner::plan(const CostModel& model,
 
 PlannerReport EtransformPlanner::plan_dispatch(
     const CostModel& model, SolveContext& ctx,
-    const lp::BasisSnapshot* root_warm) const {
+    const lp::NamedBasis* root_warm) const {
   const auto& instance = model.instance();
   const long long x_vars = count_assignment_vars(instance);
   const long long joint_j_vars =
@@ -92,13 +92,34 @@ namespace {
 /// directly when presolve proves it. options.presolve.enable skips the
 /// reduction entirely (useful for A/B runs and for keeping the
 /// formulation's row-structure tags visible to the cover separator).
-milp::MilpSolution solve_formulation_milp(const lp::Model& model,
-                                          const milp::SolverOptions& options,
-                                          SolveContext& ctx,
-                                          const lp::BasisSnapshot* root_warm) {
+milp::MilpSolution solve_formulation_milp(
+    const lp::Model& model, const milp::SolverOptions& options,
+    SolveContext& ctx, const lp::NamedBasis* root_warm,
+    std::shared_ptr<const lp::NamedBasis>* named_root_out) {
   const milp::BranchAndBoundSolver solver(options);
+  // `root_warm` comes from a solve of a *variant* of this model (the
+  // iterative replan loop): remap it by name onto the standard form this
+  // solve is actually going to run — the delta may have added or removed
+  // columns/rows, and presolve may reduce the two models differently.
+  const auto warm_for = [&](const lp::Model& solved) {
+    std::optional<lp::BasisSnapshot> mapped;
+    if (root_warm != nullptr) mapped = lp::remap_basis(*root_warm, solved);
+    return mapped;
+  };
+  // Names the solved model's root basis for the report, so a future replan
+  // can remap it in turn.
+  const auto name_root = [&](const milp::MilpSolution& solution,
+                             const lp::Model& solved) {
+    if (named_root_out == nullptr || solution.root_basis == nullptr) return;
+    *named_root_out = std::make_shared<const lp::NamedBasis>(
+        lp::name_basis(solved, *solution.root_basis));
+  };
   if (!options.presolve.enable) {
-    return solver.solve(model, ctx, root_warm);
+    const std::optional<lp::BasisSnapshot> warm = warm_for(model);
+    milp::MilpSolution solution =
+        solver.solve(model, ctx, warm ? &*warm : nullptr);
+    name_root(solution, model);
+    return solution;
   }
   const lp::PresolveResult presolved = lp::presolve(model, ctx);
   if (presolved.status == lp::PresolveStatus::kInfeasible) {
@@ -108,8 +129,10 @@ milp::MilpSolution solve_formulation_milp(const lp::Model& model,
   }
   ET_LOG(kInfo) << "planner: presolve removed " << presolved.vars_removed
                 << " vars, " << presolved.rows_removed << " rows";
-  milp::MilpSolution solution = solver.solve(presolved.reduced, ctx,
-                                             root_warm);
+  const std::optional<lp::BasisSnapshot> warm = warm_for(presolved.reduced);
+  milp::MilpSolution solution =
+      solver.solve(presolved.reduced, ctx, warm ? &*warm : nullptr);
+  name_root(solution, presolved.reduced);
   if (solution.has_incumbent()) {
     solution.values = lp::postsolve(presolved, solution.values);
   }
@@ -138,7 +161,7 @@ bool usable_incumbent(const milp::MilpSolution& solution) {
 
 PlannerReport EtransformPlanner::plan_exact(
     const CostModel& model, bool joint_dr, SolveContext& ctx,
-    const lp::BasisSnapshot* root_warm) const {
+    const lp::NamedBasis* root_warm) const {
   const bool dedicated =
       options_.dr_sizing == PlannerOptions::DrSizing::kDedicated;
   FormulationOptions formulation_options;
@@ -161,8 +184,9 @@ PlannerReport EtransformPlanner::plan_exact(
                 << formulation.model.num_variables() << " vars, "
                 << formulation.model.num_constraints() << " rows";
 
-  const milp::MilpSolution solution =
-      solve_formulation_milp(formulation.model, options_.milp, ctx, root_warm);
+  std::shared_ptr<const lp::NamedBasis> named_root;
+  const milp::MilpSolution solution = solve_formulation_milp(
+      formulation.model, options_.milp, ctx, root_warm, &named_root);
   switch (solution.status) {
     case milp::MilpStatus::kInfeasible:
       throw InfeasibleError("planner: instance admits no feasible plan");
@@ -185,7 +209,7 @@ PlannerReport EtransformPlanner::plan_exact(
   report.proven_optimal = solution.status == milp::MilpStatus::kOptimal;
   report.lower_bound = solution.best_bound;
   report.milp_nodes = solution.nodes;
-  report.root_basis = solution.root_basis;
+  report.root_basis = named_root;
   // Polish: a proven optimum cannot improve, but budget-limited incumbents
   // and shared-mode plans decoded from the dedicated surrogate often do.
   // Budget-limited incumbents also race the heuristic plan (solution-pool
@@ -244,8 +268,8 @@ PlannerReport EtransformPlanner::plan_two_stage_dr(const CostModel& model,
                                                     formulation_options);
   ET_LOG(kInfo) << "planner: stage-2 DR MILP with "
                 << formulation.model.num_variables() << " vars";
-  const milp::MilpSolution solution =
-      solve_formulation_milp(formulation.model, options_.milp, ctx, nullptr);
+  const milp::MilpSolution solution = solve_formulation_milp(
+      formulation.model, options_.milp, ctx, nullptr, nullptr);
 
   PlannerReport report;
   if (usable_incumbent(solution)) {

@@ -94,13 +94,16 @@ struct PlannerReport {
   /// heuristic seeds), aggregated simplex counters, and the MILP
   /// incumbent/bound trace. render_solve_stats() in report/ prints it.
   SolveStats stats;
-  /// Root-relaxation basis of the exact MILP solve (over the standard form
-  /// that branch-and-bound actually solved, i.e. the presolved reduction
-  /// when presolve ran). Hand it back through plan()'s `root_warm` on the
-  /// next solve of a modified variant of the same instance — the admin
-  /// replan loop — to restart the root LP with the dual simplex. Null on
-  /// heuristic solves or when the root never reached optimality.
-  std::shared_ptr<const lp::BasisSnapshot> root_basis;
+  /// Root-relaxation basis of the exact MILP solve, annotated with the
+  /// variable/row names of the standard form branch-and-bound actually
+  /// solved (the presolved reduction when presolve ran). Hand it back
+  /// through plan()'s `root_warm` on the next solve of a modified variant
+  /// of the same instance — the admin replan loop — and the planner remaps
+  /// it by name onto the new formulation (lp::remap_basis) to restart the
+  /// root LP with the dual simplex, even when the delta added or removed
+  /// columns/rows. Null on heuristic solves or when the root never reached
+  /// optimality.
+  std::shared_ptr<const lp::NamedBasis> root_basis;
 };
 
 /// The planner. Stateless between calls; safe to reuse across instances.
@@ -115,11 +118,12 @@ class EtransformPlanner {
   /// stats tree lands in PlannerReport::stats. Throws InfeasibleError when
   /// no feasible plan exists, InvalidInputError on malformed input.
   /// `root_warm`, when non-null, restarts the exact root relaxation from a
-  /// previous solve's PlannerReport::root_basis (iterative replans); it is
-  /// advisory and ignored when the formulation or presolve reduction no
-  /// longer matches.
+  /// previous solve's PlannerReport::root_basis (iterative replans): the
+  /// basis is remapped by variable/row name onto whatever standard form
+  /// this solve produces, so it survives small formulation deltas. Always
+  /// advisory — an unmappable or stale basis degrades to a cold start.
   [[nodiscard]] PlannerReport plan(const CostModel& model, SolveContext& ctx,
-                                   const lp::BasisSnapshot* root_warm =
+                                   const lp::NamedBasis* root_warm =
                                        nullptr) const;
 
   [[nodiscard]] const PlannerOptions& options() const { return options_; }
@@ -127,11 +131,11 @@ class EtransformPlanner {
  private:
   [[nodiscard]] PlannerReport plan_dispatch(const CostModel& model,
                                             SolveContext& ctx,
-                                            const lp::BasisSnapshot* root_warm)
+                                            const lp::NamedBasis* root_warm)
       const;
   [[nodiscard]] PlannerReport plan_exact(const CostModel& model, bool joint_dr,
                                          SolveContext& ctx,
-                                         const lp::BasisSnapshot* root_warm)
+                                         const lp::NamedBasis* root_warm)
       const;
   [[nodiscard]] PlannerReport plan_two_stage_dr(const CostModel& model,
                                                 bool exact_stage1,

@@ -1,0 +1,196 @@
+#include "server/api_json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace etransform::server {
+
+namespace {
+
+double require_number(const json::Value& v, const char* key) {
+  if (!v.is_number()) {
+    throw InvalidInputError(std::string("options.") + key + " must be a number");
+  }
+  return v.num;
+}
+
+bool require_bool(const json::Value& v, const char* key) {
+  if (!v.is_bool()) {
+    throw InvalidInputError(std::string("options.") + key + " must be a bool");
+  }
+  return v.b;
+}
+
+const std::string& require_string(const json::Value& v, const char* key) {
+  if (!v.is_string()) {
+    throw InvalidInputError(std::string("options.") + key +
+                            " must be a string");
+  }
+  return v.str;
+}
+
+}  // namespace
+
+PlannerOptions parse_options_json(const json::Value* options) {
+  PlannerOptions out;
+  if (options == nullptr || options->is_null()) return out;
+  if (!options->is_object()) {
+    throw InvalidInputError("options must be an object");
+  }
+  for (const auto& [key, value] : options->obj) {
+    if (key == "engine") {
+      const std::string& engine = require_string(value, "engine");
+      if (engine == "auto") {
+        out.engine = PlannerOptions::Engine::kAuto;
+      } else if (engine == "exact") {
+        out.engine = PlannerOptions::Engine::kExact;
+      } else if (engine == "heuristic") {
+        out.engine = PlannerOptions::Engine::kHeuristic;
+      } else {
+        throw InvalidInputError("options.engine: unknown engine '" + engine +
+                                "'");
+      }
+    } else if (key == "dr") {
+      out.enable_dr = require_bool(value, "dr");
+    } else if (key == "dr_sizing") {
+      const std::string& sizing = require_string(value, "dr_sizing");
+      if (sizing == "shared") {
+        out.dr_sizing = PlannerOptions::DrSizing::kShared;
+      } else if (sizing == "dedicated") {
+        out.dr_sizing = PlannerOptions::DrSizing::kDedicated;
+      } else {
+        throw InvalidInputError("options.dr_sizing: unknown sizing '" +
+                                sizing + "'");
+      }
+    } else if (key == "omega") {
+      out.business_impact_omega = require_number(value, "omega");
+    } else if (key == "economies") {
+      out.economies_of_scale = require_bool(value, "economies");
+    } else if (key == "cuts") {
+      const std::string& cuts = require_string(value, "cuts");
+      if (cuts == "on") {
+        out.milp.cuts.enable = true;
+        out.milp.cuts.gomory = true;
+        out.milp.cuts.cover = true;
+      } else if (cuts == "off") {
+        out.milp.cuts.enable = false;
+      } else if (cuts == "gomory") {
+        out.milp.cuts.enable = true;
+        out.milp.cuts.gomory = true;
+        out.milp.cuts.cover = false;
+      } else if (cuts == "cover") {
+        out.milp.cuts.enable = true;
+        out.milp.cuts.gomory = false;
+        out.milp.cuts.cover = true;
+      } else {
+        throw InvalidInputError("options.cuts: unknown mode '" + cuts + "'");
+      }
+    } else if (key == "cut_rounds") {
+      out.milp.cuts.max_rounds =
+          static_cast<int>(require_number(value, "cut_rounds"));
+    } else if (key == "branching") {
+      const std::string& rule = require_string(value, "branching");
+      if (rule == "pseudocost") {
+        out.milp.branching.rule = milp::BranchingOptions::Rule::kPseudocost;
+      } else if (rule == "most-fractional") {
+        out.milp.branching.rule = milp::BranchingOptions::Rule::kMostFractional;
+      } else {
+        throw InvalidInputError("options.branching: unknown rule '" + rule +
+                                "'");
+      }
+    } else if (key == "lp_algorithm") {
+      const std::string& algorithm = require_string(value, "lp_algorithm");
+      if (algorithm == "auto") {
+        out.milp.lp.mode = lp::SolveMode::kAuto;
+      } else if (algorithm == "primal") {
+        out.milp.lp.mode = lp::SolveMode::kPrimal;
+      } else if (algorithm == "dual") {
+        out.milp.lp.mode = lp::SolveMode::kDual;
+      } else {
+        throw InvalidInputError("options.lp_algorithm: unknown mode '" +
+                                algorithm + "'");
+      }
+    } else if (key == "presolve") {
+      out.milp.presolve.enable = require_bool(value, "presolve");
+    } else if (key == "max_nodes") {
+      out.milp.search.max_nodes =
+          static_cast<int>(require_number(value, "max_nodes"));
+    } else if (key == "relative_gap") {
+      out.milp.search.relative_gap = require_number(value, "relative_gap");
+    } else {
+      throw InvalidInputError("options: unknown key '" + key + "'");
+    }
+  }
+  return out;
+}
+
+std::string options_fingerprint(const PlannerOptions& options,
+                                double time_limit_ms) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "v1 engine=%d dr=%d sizing=%d omega=%.17g eco=%d "
+      "cuts=%d/%d/%d/%d branch=%d lp=%d presolve=%d "
+      "nodes=%d gap=%.17g tl=%.17g varlim=%d jointlim=%d lb=%d",
+      static_cast<int>(options.engine), options.enable_dr ? 1 : 0,
+      static_cast<int>(options.dr_sizing), options.business_impact_omega,
+      options.economies_of_scale ? 1 : 0, options.milp.cuts.enable ? 1 : 0,
+      options.milp.cuts.gomory ? 1 : 0, options.milp.cuts.cover ? 1 : 0,
+      options.milp.cuts.max_rounds,
+      static_cast<int>(options.milp.branching.rule),
+      static_cast<int>(options.milp.lp.mode),
+      options.milp.presolve.enable ? 1 : 0, options.milp.search.max_nodes,
+      options.milp.search.relative_gap, time_limit_ms, options.exact_var_limit,
+      options.joint_dr_var_limit, options.compute_lower_bound ? 1 : 0);
+  return std::string(buf);
+}
+
+json::Value plan_result_json(const ConsolidationInstance& instance,
+                             const PlannerReport& report, double solve_ms) {
+  const Plan& plan = report.plan;
+
+  json::Value cost = json::Value::object();
+  cost.set("space", json::Value::number(plan.cost.space));
+  cost.set("power", json::Value::number(plan.cost.power));
+  cost.set("labor", json::Value::number(plan.cost.labor));
+  cost.set("wan", json::Value::number(plan.cost.wan));
+  cost.set("latency_penalty", json::Value::number(plan.cost.latency_penalty));
+  cost.set("backup_capex", json::Value::number(plan.cost.backup_capex));
+  cost.set("operational", json::Value::number(plan.cost.operational()));
+  cost.set("total", json::Value::number(plan.cost.total()));
+
+  json::Value assignments = json::Value::array();
+  for (std::size_t i = 0; i < plan.primary.size(); ++i) {
+    json::Value row = json::Value::object();
+    row.set("group", json::Value::string(instance.groups[i].name));
+    row.set("site",
+            json::Value::string(instance.sites[plan.primary[i]].name));
+    if (plan.has_dr() && plan.secondary[i] >= 0) {
+      row.set("secondary",
+              json::Value::string(instance.sites[plan.secondary[i]].name));
+    }
+    assignments.push(std::move(row));
+  }
+
+  json::Value out = json::Value::object();
+  out.set("cost", std::move(cost));
+  out.set("assignments", std::move(assignments));
+  out.set("sites_used", json::Value::number(plan.sites_used()));
+  out.set("latency_violations",
+          json::Value::number(plan.latency_violations));
+  out.set("algorithm", json::Value::string(plan.algorithm));
+  out.set("used_exact_solver", json::Value::boolean(report.used_exact_solver));
+  out.set("proven_optimal", json::Value::boolean(report.proven_optimal));
+  out.set("interrupted", json::Value::boolean(report.interrupted));
+  // NaN (bound not computed) serializes as null via append_number.
+  out.set("lower_bound", json::Value::number(report.lower_bound));
+  out.set("milp_nodes", json::Value::number(report.milp_nodes));
+  out.set("lp_iters",
+          json::Value::number(report.stats.deep_metric("pivots")));
+  out.set("solve_ms", json::Value::number(solve_ms));
+  return out;
+}
+
+}  // namespace etransform::server

@@ -1,0 +1,43 @@
+// The etransformd wire schema: request parsing and result serialization.
+//
+// Kept separate from the daemon so the CLI's --result-json writes the exact
+// same result document the daemon serves (the e2e validation diffs the two)
+// and the bench/tests can build requests without linking the HTTP stack.
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "model/entities.h"
+#include "planner/etransform_planner.h"
+
+namespace etransform::server {
+
+/// Parses the "options" member of a plan/replan request into PlannerOptions.
+/// Unknown keys are rejected (the daemon's trust boundary should not guess).
+/// Accepted keys, all optional:
+///   engine: "auto" | "exact" | "heuristic"
+///   dr: bool                  dr_sizing: "shared" | "dedicated"
+///   omega: number             economies: bool
+///   cuts: "on"|"off"|"gomory"|"cover"        cut_rounds: number
+///   branching: "pseudocost"|"most-fractional"
+///   lp_algorithm: "auto"|"primal"|"dual"     presolve: bool
+///   max_nodes: number         relative_gap: number
+/// Throws InvalidInputError on bad values.
+[[nodiscard]] PlannerOptions parse_options_json(const json::Value* options);
+
+/// Canonical one-line encoding of every PlannerOptions field that can alter
+/// a solve's outcome. Two requests with equal fingerprints and equal
+/// canonical instances are interchangeable — this string is half of the
+/// result-cache key.
+[[nodiscard]] std::string options_fingerprint(const PlannerOptions& options,
+                                              double time_limit_ms);
+
+/// The result document for a completed solve: cost breakdown, per-group
+/// assignments (by name), solver provenance (engine, optimality, bound,
+/// nodes, LP pivot count), and the solve wall time.
+[[nodiscard]] json::Value plan_result_json(
+    const ConsolidationInstance& instance, const PlannerReport& report,
+    double solve_ms);
+
+}  // namespace etransform::server

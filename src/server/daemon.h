@@ -1,0 +1,105 @@
+// etransformd: the planner as a long-running service.
+//
+// PlannerDaemon fronts a SolveService with the HTTP/1.1 protocol layer
+// (http.h), the wire schema (api_json.h), and an instance-hash result cache
+// (instance_cache.h). Endpoints:
+//
+//   POST /v1/plan              submit an instance; 202 + job id (200 on a
+//                              cache hit — the job is born terminal)
+//   GET  /v1/jobs/<id>         job state; includes the result document once
+//                              terminal
+//   GET  /v1/jobs/<id>/events  chunked stream of solver progress lines,
+//                              terminated by "state <terminal>"
+//   POST /v1/jobs/<id>/cancel  cooperative cancellation (queued or running)
+//   POST /v1/replan            delta against a prior job's instance,
+//                              warm-started from its cached root basis
+//   GET  /metrics              Prometheus text exposition
+//   GET  /healthz              {"status": "ok" | "draining"}
+//
+// Backpressure: when the farm's queue depth reaches
+// DaemonOptions::max_queue_depth, plan/replan respond 429 with Retry-After
+// instead of admitting unbounded work. Every admitted job gets a deadline
+// (request time_limit_ms, else the daemon default) on its SolveContext.
+//
+// Shutdown: request_drain() flips /healthz to "draining" and rejects new
+// work with 503; stop() waits for in-flight jobs, then tears down HTTP.
+// The etransformd binary wires ShutdownSignal to exactly that sequence.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "server/http.h"
+#include "service/solve_farm.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace etransform::server {
+
+struct DaemonOptions {
+  /// Listen port on 127.0.0.1; 0 = kernel-assigned (port() tells which).
+  int port = 0;
+  /// Solver worker threads (<= 0: hardware concurrency).
+  int workers = 0;
+  /// Queue-depth ceiling beyond which plan/replan get 429.
+  int max_queue_depth = 64;
+  /// Result-cache byte budget (0 disables caching).
+  std::size_t cache_bytes = 64u << 20;
+  /// Deadline for jobs that do not send time_limit_ms (0 = unlimited).
+  double default_time_limit_ms = 0.0;
+};
+
+class PlannerDaemon {
+ public:
+  explicit PlannerDaemon(DaemonOptions options = {});
+
+  /// Stops everything still running (cancelling, not draining).
+  ~PlannerDaemon();
+
+  PlannerDaemon(const PlannerDaemon&) = delete;
+  PlannerDaemon& operator=(const PlannerDaemon&) = delete;
+
+  /// Binds and starts serving. Throws InvalidInputError on bind failure.
+  void start();
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] int port() const;
+
+  /// Stops admitting work: plan/replan answer 503, /healthz turns
+  /// "draining". Safe to call from a signal watcher thread. Idempotent.
+  void request_drain();
+
+  /// Waits until every admitted job is terminal, then stops the HTTP
+  /// server. Call after request_drain() for a graceful shutdown, or alone
+  /// for an abrupt one (still waits for running solves; cancel_jobs()
+  /// first to bound that).
+  void stop();
+
+  /// Cancels every queued and running job (used by tests and the abrupt
+  /// shutdown path).
+  void cancel_jobs();
+
+  /// True once request_drain() ran.
+  [[nodiscard]] bool draining() const;
+
+  [[nodiscard]] telemetry::MetricsRegistry& metrics();
+  [[nodiscard]] telemetry::TraceRecorder& trace();
+
+ private:
+  struct Core;
+  void handle(const HttpRequest& request, ResponseWriter& writer);
+  void handle_plan(const HttpRequest& request, ResponseWriter& writer,
+                   bool replan);
+
+  // Destruction order matters: http_ goes first (reverse of declaration),
+  // so no handler runs while the farm or core is torn down; service_ joins
+  // its workers before core_ (which job hooks capture by shared_ptr) and
+  // the telemetry it points into are destroyed.
+  DaemonOptions options_;
+  std::shared_ptr<Core> core_;
+  std::unique_ptr<SolveService> service_;
+  std::unique_ptr<HttpServer> http_;
+};
+
+}  // namespace etransform::server

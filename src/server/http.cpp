@@ -1,0 +1,422 @@
+#include "server/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace etransform::server {
+
+namespace {
+
+// A request must arrive within this budget or the connection is dropped —
+// the guard that keeps a stalled client from pinning a handler thread.
+constexpr int kRecvTimeoutSec = 10;
+
+void set_recv_timeout(int fd, int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+void parse_query(std::string_view query, std::map<std::string, std::string>& out) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      if (!pair.empty()) out[std::string(pair)] = "";
+    } else {
+      out[std::string(pair.substr(0, eq))] = std::string(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+}
+
+/// Reads from `fd` until the header terminator, then the Content-Length
+/// body. Returns false on timeout, malformed framing, or oversized body.
+bool read_request(int fd, HttpRequest& request) {
+  std::string buffer;
+  std::size_t header_end = std::string::npos;
+  char chunk[4096];
+  while (true) {
+    header_end = buffer.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    if (buffer.size() > 1u << 20) return false;  // absurd header block
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;  // timeout, reset, or clean close mid-header
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  // Request line.
+  const std::size_t line_end = buffer.find("\r\n");
+  const std::string request_line = buffer.substr(0, line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
+  request.method = request_line.substr(0, sp1);
+  request.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t qmark = request.target.find('?');
+  if (qmark == std::string::npos) {
+    request.path = request.target;
+  } else {
+    request.path = request.target.substr(0, qmark);
+    parse_query(std::string_view(request.target).substr(qmark + 1), request.query);
+  }
+
+  // Headers.
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    std::size_t eol = buffer.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    const std::string line = buffer.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = lower(line.substr(0, colon));
+      std::size_t vstart = colon + 1;
+      while (vstart < line.size() && line[vstart] == ' ') ++vstart;
+      request.headers[std::move(name)] = line.substr(vstart);
+    }
+    pos = eol + 2;
+  }
+
+  // Body.
+  std::size_t content_length = 0;
+  if (const auto it = request.headers.find("content-length");
+      it != request.headers.end()) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str()) return false;
+    content_length = static_cast<std::size_t>(v);
+  }
+  if (content_length > HttpServer::kMaxBodyBytes) return false;
+  request.body = buffer.substr(header_end + 4);
+  while (request.body.size() < content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    request.body.append(chunk, static_cast<std::size_t>(n));
+  }
+  request.body.resize(content_length);
+  return true;
+}
+
+}  // namespace
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ResponseWriter
+
+bool ResponseWriter::write_all(std::string_view data) {
+  if (broken_) return false;
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      broken_ = true;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void ResponseWriter::send(int status, std::string_view content_type,
+                          std::string_view body,
+                          const std::vector<std::string>& extra_headers) {
+  responded_ = true;
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     status_reason(status) + "\r\n";
+  head += "Content-Type: " + std::string(content_type) + "\r\n";
+  head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  for (const std::string& header : extra_headers) head += header + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  if (write_all(head)) write_all(body);
+}
+
+void ResponseWriter::send_error(int status, std::string_view message) {
+  json::Value error = json::Value::object();
+  error.set("error", json::Value::string(std::string(message)));
+  send_json(status, error.dump());
+}
+
+void ResponseWriter::begin_stream(int status, std::string_view content_type) {
+  responded_ = true;
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     status_reason(status) + "\r\n";
+  head += "Content-Type: " + std::string(content_type) + "\r\n";
+  head += "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+  write_all(head);
+}
+
+bool ResponseWriter::write_chunk(std::string_view data) {
+  if (data.empty()) return !broken_;
+  char size_line[32];
+  std::snprintf(size_line, sizeof(size_line), "%zx\r\n", data.size());
+  if (!write_all(size_line)) return false;
+  if (!write_all(data)) return false;
+  return write_all("\r\n");
+}
+
+void ResponseWriter::end_stream() { write_all("0\r\n\r\n"); }
+
+// ---------------------------------------------------------------------------
+// HttpServer
+
+HttpServer::HttpServer(Handler handler) : handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw InvalidInputError("http: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw InvalidInputError("http: cannot bind 127.0.0.1:" +
+                            std::to_string(port) + " (" +
+                            std::strerror(errno) + ")");
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw InvalidInputError("http: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::accept_loop() {
+  while (true) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_recv_timeout(fd, kRecvTimeoutSec);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      open_fds_.insert(fd);
+      connection_threads_.emplace_back([this, fd] { serve_connection(fd); });
+    }
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  {
+    HttpRequest request;
+    ResponseWriter writer(fd);
+    if (read_request(fd, request)) {
+      try {
+        handler_(request, writer);
+        if (!writer.responded()) {
+          writer.send_error(500, "handler produced no response");
+        }
+      } catch (const std::exception& e) {
+        if (!writer.responded()) writer.send_error(500, e.what());
+        ET_LOG(kWarning) << "http: handler threw: " << e.what();
+      }
+    }
+    // Half-close so the peer sees EOF, then drop the socket.
+    ::shutdown(fd, SHUT_WR);
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  open_fds_.erase(fd);
+  ::close(fd);
+}
+
+void HttpServer::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Second call: everything below already ran (or is running in the
+      // first caller); nothing left to do.
+      return;
+    }
+    stopping_ = true;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Unblock every in-flight connection: readers get EOF, streamers get a
+  // send failure on the next chunk.
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& thread : connection_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  connection_threads_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+namespace {
+
+bool set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// De-chunks a Transfer-Encoding: chunked body in place. Returns false on
+/// malformed framing.
+bool dechunk(const std::string& in, std::string& out) {
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t eol = in.find("\r\n", pos);
+    if (eol == std::string::npos) return false;
+    char* end = nullptr;
+    const unsigned long long size =
+        std::strtoull(in.c_str() + pos, &end, 16);
+    if (end == in.c_str() + pos) return false;
+    if (size == 0) return true;
+    pos = eol + 2;
+    if (pos + size > in.size()) return false;
+    out.append(in, pos, size);
+    pos += size + 2;  // skip chunk + trailing CRLF
+  }
+}
+
+}  // namespace
+
+bool http_request(int port, const std::string& method,
+                  const std::string& target, const std::string& request_body,
+                  ClientResponse* response, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return set_error(error, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return set_error(error, "cannot connect to 127.0.0.1:" +
+                                std::to_string(port));
+  }
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: 127.0.0.1\r\n";
+  request += "Content-Length: " + std::to_string(request_body.size()) + "\r\n";
+  request += "Connection: close\r\n\r\n";
+  request += request_body;
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return set_error(error, "send() failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char chunk[8192];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      ::close(fd);
+      return set_error(error, "recv() failed");
+    }
+    if (n == 0) break;
+    raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return set_error(error, "malformed response (no header terminator)");
+  }
+  const std::size_t line_end = raw.find("\r\n");
+  const std::string status_line = raw.substr(0, line_end);
+  const std::size_t sp = status_line.find(' ');
+  if (sp == std::string::npos) {
+    return set_error(error, "malformed status line");
+  }
+  response->status = std::atoi(status_line.c_str() + sp + 1);
+  response->headers.clear();
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    std::size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    const std::string line = raw.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = lower(line.substr(0, colon));
+      std::size_t vstart = colon + 1;
+      while (vstart < line.size() && line[vstart] == ' ') ++vstart;
+      response->headers[std::move(name)] = line.substr(vstart);
+    }
+    pos = eol + 2;
+  }
+  const std::string body = raw.substr(header_end + 4);
+  response->body.clear();
+  const auto te = response->headers.find("transfer-encoding");
+  if (te != response->headers.end() && te->second == "chunked") {
+    if (!dechunk(body, response->body)) {
+      return set_error(error, "malformed chunked body");
+    }
+  } else {
+    response->body = body;
+  }
+  return true;
+}
+
+}  // namespace etransform::server

@@ -1,0 +1,148 @@
+// Minimal HTTP/1.1 server for etransformd — dependency-free by design.
+//
+// The daemon needs exactly four things from HTTP: parse a request, send a
+// complete response, stream a chunked body (the job event feed), and shut
+// down cleanly while connections are open. This file provides those four
+// and nothing else:
+//
+//  * thread-per-connection, `Connection: close` on every exchange — the
+//    farm's solves dominate any connection-setup cost, so keep-alive and
+//    pipelining buy nothing but state;
+//  * a poll()-driven accept loop so stop() can interrupt it without
+//    resorting to signals;
+//  * per-socket receive timeouts so a stalled client cannot pin a thread;
+//  * stop() shuts down every open connection socket (streamers observe the
+//    write failure and unwind) and joins all threads before returning.
+//
+// Not implemented, deliberately: TLS, keep-alive, compression, multipart,
+// percent-decoding beyond the query splitter's needs. The daemon serves
+// trusted operators on a LAN, not the public internet.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include <mutex>
+
+namespace etransform::server {
+
+/// One parsed request. Header names are lower-cased; the query string is
+/// split into `query` ("a=1&b=2"; values are not percent-decoded).
+struct HttpRequest {
+  std::string method;
+  std::string target;  // as received: path + optional "?query"
+  std::string path;    // target up to the '?'
+  std::map<std::string, std::string> query;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+/// Maps an HTTP status code to its reason phrase ("200" -> "OK").
+[[nodiscard]] const char* status_reason(int status);
+
+/// The response side of one exchange. A handler either sends a complete
+/// response (send/send_json/send_error) or switches to chunked streaming
+/// (begin_stream + write_chunk... + end_stream). Exactly one of the two.
+class ResponseWriter {
+ public:
+  explicit ResponseWriter(int fd) : fd_(fd) {}
+
+  /// Sends a complete response with Content-Length. Extra headers are
+  /// "Name: value" pairs.
+  void send(int status, std::string_view content_type, std::string_view body,
+            const std::vector<std::string>& extra_headers = {});
+
+  /// send() with content type application/json.
+  void send_json(int status, std::string_view body) {
+    send(status, "application/json", body);
+  }
+
+  /// Sends {"error": "<message>"} with the given status.
+  void send_error(int status, std::string_view message);
+
+  /// Starts a chunked (Transfer-Encoding: chunked) response.
+  void begin_stream(int status, std::string_view content_type);
+
+  /// Writes one chunk. Returns false once the peer is gone (the caller
+  /// should stop producing).
+  bool write_chunk(std::string_view data);
+
+  /// Terminates the chunked body.
+  void end_stream();
+
+  /// True once any of the send/stream entry points ran.
+  [[nodiscard]] bool responded() const { return responded_; }
+
+ private:
+  bool write_all(std::string_view data);
+
+  int fd_;
+  bool responded_ = false;
+  bool broken_ = false;
+};
+
+/// The server. Construct with a handler, start(), stop(). The handler runs
+/// on a per-connection thread and must respond via the ResponseWriter (a
+/// handler that returns without responding produces a 500; a handler that
+/// throws produces a 500 with the exception message).
+class HttpServer {
+ public:
+  using Handler = std::function<void(const HttpRequest&, ResponseWriter&)>;
+
+  explicit HttpServer(Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and starts
+  /// the accept loop. Throws InvalidInputError on bind failure.
+  void start(int port);
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Stops accepting, shuts down open connections, joins every thread.
+  /// Idempotent.
+  void stop();
+
+  /// Largest request body accepted (larger requests get 413).
+  static constexpr std::size_t kMaxBodyBytes = 64u << 20;
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  bool stopping_ = false;
+  std::unordered_set<int> open_fds_;
+  std::vector<std::thread> connection_threads_;
+};
+
+/// One client-side HTTP exchange result. Chunked bodies arrive de-chunked.
+struct ClientResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+};
+
+/// Minimal client counterpart of HttpServer, for the bench, the tests, and
+/// etransform_client: performs one `method target` exchange against
+/// 127.0.0.1:`port` and reads the response to connection close. Returns
+/// false (with `error` set) on socket failure or malformed response.
+bool http_request(int port, const std::string& method,
+                  const std::string& target, const std::string& request_body,
+                  ClientResponse* response, std::string* error = nullptr);
+
+}  // namespace etransform::server

@@ -235,13 +235,15 @@ void SolveService::run_job(const JobHandle& job) {
   if (job->request_.time_limit_ms > 0.0) {
     job->ctx_.set_deadline(Deadline::after_ms(job->request_.time_limit_ms));
   }
+  job->ctx_.events = job->request_.events;
   {
     const telemetry::TraceSpan solve_span(
         telem != nullptr ? telem->trace : nullptr, "job", "job.solve");
     try {
       const CostModel model(job->request_.instance);
       const EtransformPlanner planner(job->request_.options);
-      PlannerReport report = planner.plan(model, job->ctx_);
+      PlannerReport report =
+          planner.plan(model, job->ctx_, job->request_.root_warm.get());
       {
         // Result writes under mu_: clients may poll has_report()/solve_ms()
         // while the job is still running.

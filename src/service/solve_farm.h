@@ -73,6 +73,16 @@ struct SolveRequest {
   /// Per-job wall-clock budget in milliseconds; 0 = unlimited.
   double time_limit_ms = 0.0;
   JobPriority priority = JobPriority::kNormal;
+  /// Progress callbacks installed on the job's SolveContext before the solve
+  /// starts (incumbents, bound improvements, nodes, ...). Invoked on the
+  /// worker thread; must be cheap and must not touch the job handle.
+  SolveEvents events;
+  /// Optional warm-start basis handed to EtransformPlanner::plan(): the dual
+  /// simplex restarts from it instead of folding a fresh basis (PR 6). Used
+  /// by the server's replan path to chain a delta solve off the base job's
+  /// root basis. Shared ownership because the snapshot typically lives in a
+  /// cached PlannerReport that may be evicted mid-solve.
+  std::shared_ptr<const lp::NamedBasis> root_warm;
   /// Optional completion hook, invoked on the worker thread right after the
   /// job reaches a terminal state (used by race_portfolio to cancel the
   /// loser). Must not block or throw.
@@ -195,6 +205,11 @@ class SolveService {
 
   /// Blocks until every admitted job is terminal.
   void wait_all();
+
+  /// Jobs admitted but not yet claimed by a worker. Snapshot only — the
+  /// depth may change before the caller acts on it; the server uses it as a
+  /// backpressure signal, not an invariant.
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
 
   [[nodiscard]] int num_threads() const { return pool_.num_threads(); }
   [[nodiscard]] ThreadPool& pool() { return pool_; }

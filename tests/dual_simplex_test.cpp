@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
 #include "common/random.h"
 #include "lp/lp_engine.h"
 #include "milp/branch_and_bound.h"
@@ -314,6 +315,124 @@ TEST(DualSimplex, BranchAndBoundAgreesAcrossLpModes) {
   ASSERT_NE(primal_bb, nullptr);
   EXPECT_NEAR(primal_bb->metric("dual_reopt_nodes"), 0.0, 1e-9);
   EXPECT_NEAR(primal_bb->deep_metric("dual_solves"), 0.0, 1e-9);
+}
+
+// Rebuilds `model` keeping only the variables and constraints the
+// predicates admit, preserving names and coefficients — the shape of a
+// replan delta that dropped columns and rows from the formulation.
+template <typename KeepVar, typename KeepRow>
+Model drop_from_model(const Model& model, KeepVar keep_var, KeepRow keep_row) {
+  Model out;
+  std::vector<int> new_of_old(static_cast<std::size_t>(model.num_variables()),
+                              -1);
+  std::vector<Term> objective;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (!keep_var(j)) continue;
+    const Variable& v = model.variable(j);
+    new_of_old[static_cast<std::size_t>(j)] =
+        out.add_continuous(v.name, v.lower, v.upper);
+  }
+  for (const Term& t : model.objective()) {
+    const int nj = new_of_old[static_cast<std::size_t>(t.var)];
+    if (nj >= 0) objective.push_back({nj, t.coef});
+  }
+  out.set_objective(model.sense(), objective);
+  for (int i = 0; i < model.num_constraints(); ++i) {
+    if (!keep_row(i)) continue;
+    const Constraint& row = model.constraint(i);
+    std::vector<Term> terms;
+    for (const Term& t : row.terms) {
+      const int nj = new_of_old[static_cast<std::size_t>(t.var)];
+      if (nj >= 0) terms.push_back({nj, t.coef});
+    }
+    out.add_constraint(row.name, terms, row.relation, row.rhs);
+  }
+  return out;
+}
+
+// A basis named against a model and remapped back onto the same model must
+// reproduce the optimal basis exactly: the warm solve starts optimal.
+TEST(NamedBasis, RoundTripOnSameModelStartsOptimal) {
+  const Model model = random_boxed_lp(71, 50, 25, 0.3);
+  const LpEngine engine;
+  SolveContext cold_ctx;
+  const LpSolution cold = engine.solve(model, cold_ctx);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  ASSERT_NE(cold.basis, nullptr);
+
+  const NamedBasis named = name_basis(model, *cold.basis);
+  EXPECT_EQ(static_cast<int>(named.variables.size()), model.num_variables());
+  const auto mapped = remap_basis(named, model);
+  ASSERT_TRUE(mapped.has_value());
+
+  const PreparedLp prep(model);
+  SolveContext warm_ctx;
+  const LpSolution warm =
+      engine.solve(prep, model_lowers(model), model_uppers(model), warm_ctx,
+                   LpStartBasis(&*mapped, LpStartBasis::Origin::kBoundChange));
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-6);
+  EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+// Remapping across a delta that removed columns and a row: the carried
+// basis (repaired if the survivors went singular) must warm-start the new
+// LP and land on the same optimum a cold solve finds.
+TEST(NamedBasis, RemapSurvivesDroppedColumnsAndRows) {
+  const std::uint64_t seeds[] = {21, 22, 23, 24};
+  int warm_runs = 0;
+  for (const std::uint64_t seed : seeds) {
+    const Model model = random_boxed_lp(seed, 60, 30, 0.3);
+    const LpEngine engine;
+    SolveContext base_ctx;
+    const LpSolution base = engine.solve(model, base_ctx);
+    ASSERT_EQ(base.status, SolveStatus::kOptimal) << "seed " << seed;
+    const NamedBasis named = name_basis(model, *base.basis);
+
+    // Drop every 9th variable and two rows — a "pin" style delta.
+    const Model target = drop_from_model(
+        model, [](int j) { return j % 9 != 0; },
+        [](int i) { return i != 4 && i != 17; });
+    const auto mapped = remap_basis(named, target);
+    ASSERT_TRUE(mapped.has_value()) << "seed " << seed;
+
+    const PreparedLp prep(target);
+    SolveContext cold_ctx;
+    const LpSolution cold =
+        engine.solve(prep, model_lowers(target), model_uppers(target),
+                     cold_ctx);
+    SolveContext warm_ctx;
+    const LpSolution warm = engine.solve(
+        prep, model_lowers(target), model_uppers(target), warm_ctx,
+        LpStartBasis(&*mapped, LpStartBasis::Origin::kBoundChange));
+    ASSERT_EQ(cold.status, SolveStatus::kOptimal) << "seed " << seed;
+    ASSERT_EQ(warm.status, SolveStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-6) << "seed " << seed;
+    if (warm.warm_started) ++warm_runs;
+  }
+  // The repair may reject an occasional degenerate map, but a name-based
+  // carry-over that never applies would be broken.
+  EXPECT_GT(warm_runs, 0);
+}
+
+// Malformed inputs: a snapshot that does not match the model's standard
+// form is an input error for name_basis, and a NamedBasis whose recorded
+// shape disagrees with its snapshot remaps to nullopt.
+TEST(NamedBasis, RejectsMalformedShapes) {
+  const Model model = random_boxed_lp(31, 20, 10, 0.4);
+  const LpEngine engine;
+  SolveContext ctx;
+  const LpSolution sol = engine.solve(model, ctx);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+
+  BasisSnapshot truncated = *sol.basis;
+  truncated.basic_columns.pop_back();
+  EXPECT_THROW((void)name_basis(model, truncated), etransform::InvalidInputError);
+
+  NamedBasis inconsistent = name_basis(model, *sol.basis);
+  inconsistent.variables.pop_back();
+  EXPECT_FALSE(remap_basis(inconsistent, model).has_value());
 }
 
 }  // namespace

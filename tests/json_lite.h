@@ -1,221 +1,20 @@
-// Minimal strict JSON parser for test assertions (round-tripping the JSON
-// the library emits: SolveStats::to_json, TraceRecorder::to_chrome_json).
-// Test-only by design — no error recovery, no streaming, everything in one
-// DOM. Rejects trailing garbage, unterminated strings, bad escapes, and
-// malformed numbers, which is exactly what the escaping tests need.
+// Compat shim: the strict test-side JSON parser was promoted into the shared
+// library (src/common/json.{h,cpp}) when the server subsystem needed a real
+// request parser. Existing tests keep the etransform::test::JValue spelling;
+// new code should include "common/json.h" directly.
 #pragma once
 
-#include <cctype>
-#include <cstdlib>
-#include <map>
 #include <string>
-#include <utility>
-#include <vector>
+
+#include "common/json.h"
 
 namespace etransform::test {
 
-struct JValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<JValue> arr;
-  std::vector<std::pair<std::string, JValue>> obj;  // insertion order kept
+using JValue = ::etransform::json::Value;
 
-  /// Object member by key, or nullptr.
-  [[nodiscard]] const JValue* get(const std::string& key) const {
-    for (const auto& [k, v] : obj) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-namespace json_detail {
-
-struct Parser {
-  const char* p;
-  const char* end;
-  std::string* error;
-
-  bool fail(const std::string& message) {
-    if (error != nullptr && error->empty()) *error = message;
-    return false;
-  }
-
-  void skip_ws() {
-    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
-      ++p;
-    }
-  }
-
-  bool literal(const char* word, std::size_t n) {
-    if (static_cast<std::size_t>(end - p) < n) return false;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (p[i] != word[i]) return false;
-    }
-    p += n;
-    return true;
-  }
-
-  bool parse_string(std::string& out) {
-    if (p >= end || *p != '"') return fail("expected string");
-    ++p;
-    out.clear();
-    while (p < end && *p != '"') {
-      const unsigned char c = static_cast<unsigned char>(*p);
-      if (c < 0x20) return fail("raw control char in string");
-      if (*p == '\\') {
-        ++p;
-        if (p >= end) return fail("truncated escape");
-        switch (*p) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            if (end - p < 5) return fail("truncated \\u escape");
-            unsigned code = 0;
-            for (int i = 1; i <= 4; ++i) {
-              const char h = p[i];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else return fail("bad \\u escape");
-            }
-            // The library only emits \u00xx; decode BMP codepoints as UTF-8.
-            if (code < 0x80) {
-              out += static_cast<char>(code);
-            } else if (code < 0x800) {
-              out += static_cast<char>(0xC0 | (code >> 6));
-              out += static_cast<char>(0x80 | (code & 0x3F));
-            } else {
-              out += static_cast<char>(0xE0 | (code >> 12));
-              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-              out += static_cast<char>(0x80 | (code & 0x3F));
-            }
-            p += 4;
-            break;
-          }
-          default:
-            return fail("bad escape");
-        }
-        ++p;
-      } else {
-        out += *p++;
-      }
-    }
-    if (p >= end) return fail("unterminated string");
-    ++p;  // closing quote
-    return true;
-  }
-
-  bool parse_value(JValue& out) {
-    skip_ws();
-    if (p >= end) return fail("unexpected end of input");
-    switch (*p) {
-      case 'n':
-        if (!literal("null", 4)) return fail("bad literal");
-        out.kind = JValue::Kind::kNull;
-        return true;
-      case 't':
-        if (!literal("true", 4)) return fail("bad literal");
-        out.kind = JValue::Kind::kBool;
-        out.b = true;
-        return true;
-      case 'f':
-        if (!literal("false", 5)) return fail("bad literal");
-        out.kind = JValue::Kind::kBool;
-        out.b = false;
-        return true;
-      case '"':
-        out.kind = JValue::Kind::kString;
-        return parse_string(out.str);
-      case '[': {
-        ++p;
-        out.kind = JValue::Kind::kArray;
-        skip_ws();
-        if (p < end && *p == ']') {
-          ++p;
-          return true;
-        }
-        while (true) {
-          JValue item;
-          if (!parse_value(item)) return false;
-          out.arr.push_back(std::move(item));
-          skip_ws();
-          if (p < end && *p == ',') {
-            ++p;
-            continue;
-          }
-          if (p < end && *p == ']') {
-            ++p;
-            return true;
-          }
-          return fail("expected ',' or ']'");
-        }
-      }
-      case '{': {
-        ++p;
-        out.kind = JValue::Kind::kObject;
-        skip_ws();
-        if (p < end && *p == '}') {
-          ++p;
-          return true;
-        }
-        while (true) {
-          skip_ws();
-          std::string key;
-          if (!parse_string(key)) return false;
-          skip_ws();
-          if (p >= end || *p != ':') return fail("expected ':'");
-          ++p;
-          JValue item;
-          if (!parse_value(item)) return false;
-          out.obj.emplace_back(std::move(key), std::move(item));
-          skip_ws();
-          if (p < end && *p == ',') {
-            ++p;
-            continue;
-          }
-          if (p < end && *p == '}') {
-            ++p;
-            return true;
-          }
-          return fail("expected ',' or '}'");
-        }
-      }
-      default: {
-        // Number.
-        char* num_end = nullptr;
-        const double v = std::strtod(p, &num_end);
-        if (num_end == p || num_end > end) return fail("bad number");
-        out.kind = JValue::Kind::kNumber;
-        out.num = v;
-        p = num_end;
-        return true;
-      }
-    }
-  }
-};
-
-}  // namespace json_detail
-
-/// Parses `text` as one JSON document (no trailing garbage). On failure
-/// returns false and describes the problem in `*error` (when given).
 inline bool json_parse(const std::string& text, JValue& out,
                        std::string* error = nullptr) {
-  json_detail::Parser parser{text.data(), text.data() + text.size(), error};
-  if (!parser.parse_value(out)) return false;
-  parser.skip_ws();
-  if (parser.p != parser.end) return parser.fail("trailing garbage");
-  return true;
+  return ::etransform::json::parse(text, out, error);
 }
 
 }  // namespace etransform::test

@@ -1,0 +1,122 @@
+// Tests for the shared JSON library (common/json.h): writer escaping and
+// number formatting, parser strictness, DOM helpers, round-tripping, and
+// the tests/json_lite.h compatibility shim.
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "json_lite.h"
+
+namespace etransform {
+namespace {
+
+using json::Value;
+
+// ---- writer --------------------------------------------------------------
+
+TEST(JsonWriter, EscapesSpecialAndControlCharacters) {
+  EXPECT_EQ(json::escape("plain"), "\"plain\"");
+  EXPECT_EQ(json::escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(json::escape("\b\f\n\r\t"), "\"\\b\\f\\n\\r\\t\"");
+  EXPECT_EQ(json::escape(std::string("\x01\x1f", 2)), "\"\\u0001\\u001f\"");
+  // UTF-8 multibyte passes through untouched.
+  EXPECT_EQ(json::escape("caf\xc3\xa9"), "\"caf\xc3\xa9\"");
+}
+
+TEST(JsonWriter, NumbersRoundTripAndNonFiniteIsNull) {
+  std::string out;
+  json::append_number(out, 0.1);
+  Value parsed;
+  ASSERT_TRUE(json::parse(out, parsed, nullptr));
+  EXPECT_EQ(parsed.num, 0.1);  // %.17g is round-trippable
+
+  out.clear();
+  json::append_number(out, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(out, "null");
+  out.clear();
+  json::append_number(out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "null");
+}
+
+TEST(JsonWriter, DumpsNestedDocuments) {
+  Value doc = Value::object();
+  doc.set("name", Value::string("a\nb"));
+  doc.set("count", Value::number(3));
+  doc.set("ok", Value::boolean(true));
+  doc.set("nothing", Value::null());
+  Value list = Value::array();
+  list.push(Value::number(1)).push(Value::number(2));
+  doc.set("list", std::move(list));
+  EXPECT_EQ(doc.dump(),
+            "{\"name\":\"a\\nb\",\"count\":3,\"ok\":true,"
+            "\"nothing\":null,\"list\":[1,2]}");
+}
+
+TEST(JsonWriter, SetReplacesExistingKeyInPlace) {
+  Value doc = Value::object();
+  doc.set("k", Value::number(1));
+  doc.set("other", Value::number(2));
+  doc.set("k", Value::number(9));
+  EXPECT_EQ(doc.dump(), "{\"k\":9,\"other\":2}");
+}
+
+// ---- parser --------------------------------------------------------------
+
+TEST(JsonParser, RoundTripsWriterOutput) {
+  Value doc = Value::object();
+  doc.set("text", Value::string("line1\nline2\t\"quoted\""));
+  doc.set("pi", Value::number(3.14159265358979));
+  Value reparsed;
+  ASSERT_TRUE(json::parse(doc.dump(), reparsed, nullptr));
+  ASSERT_TRUE(reparsed.is_object());
+  EXPECT_EQ(reparsed.get("text")->str, "line1\nline2\t\"quoted\"");
+  EXPECT_EQ(reparsed.get("pi")->num, 3.14159265358979);
+  // Dump of the reparse is byte-identical: a fixed point.
+  EXPECT_EQ(reparsed.dump(), doc.dump());
+}
+
+TEST(JsonParser, DecodesUnicodeEscapesAsUtf8) {
+  Value v;
+  ASSERT_TRUE(json::parse("\"\\u0041\\u00e9\\u20ac\"", v, nullptr));
+  EXPECT_EQ(v.str, "A\xc3\xa9\xe2\x82\xac");  // A, é, €
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  Value v;
+  std::string error;
+  EXPECT_FALSE(json::parse("{\"a\":1} trailing", v, &error));
+  EXPECT_EQ(error, "trailing garbage");
+  EXPECT_FALSE(json::parse("\"unterminated", v, nullptr));
+  EXPECT_FALSE(json::parse("\"bad\\qescape\"", v, nullptr));
+  EXPECT_FALSE(json::parse(std::string("\"raw\x01ctl\""), v, nullptr));
+  EXPECT_FALSE(json::parse("[1,2", v, nullptr));
+  EXPECT_FALSE(json::parse("{\"a\" 1}", v, nullptr));
+  EXPECT_FALSE(json::parse("tru", v, nullptr));
+  EXPECT_FALSE(json::parse("", v, nullptr));
+}
+
+TEST(JsonParser, ParsesScalarsAndContainers) {
+  Value v;
+  ASSERT_TRUE(json::parse(" [ null , true , -2.5e3 , {} ] ", v, nullptr));
+  ASSERT_EQ(v.arr.size(), 4u);
+  EXPECT_TRUE(v.arr[0].is_null());
+  EXPECT_TRUE(v.arr[1].b);
+  EXPECT_EQ(v.arr[2].num, -2500.0);
+  EXPECT_TRUE(v.arr[3].is_object());
+}
+
+// ---- compat shim ---------------------------------------------------------
+
+TEST(JsonLiteShim, AliasesTheSharedLibrary) {
+  static_assert(std::is_same_v<test::JValue, json::Value>);
+  test::JValue v;
+  ASSERT_TRUE(test::json_parse("{\"x\":[1]}", v));
+  EXPECT_EQ(v.get("x")->arr.at(0).num, 1.0);
+}
+
+}  // namespace
+}  // namespace etransform

@@ -1,0 +1,489 @@
+// Tests for the etransformd server subsystem: the instance-hash result
+// cache (hit/miss/eviction/collision determinism), the wire schema
+// (options parsing, fingerprints), and the daemon end to end over real
+// HTTP — submit/poll, cache-hit jobs, queued-job cancellation,
+// backpressure 429, replan-equals-fresh differential, the event stream,
+// drain, and a concurrent submission hammer (exercised under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/random.h"
+#include "datagen/generators.h"
+#include "model/instance_io.h"
+#include "planner/admin.h"
+#include "server/api_json.h"
+#include "server/daemon.h"
+#include "server/http.h"
+#include "server/instance_cache.h"
+
+namespace etransform {
+namespace {
+
+using server::ClientResponse;
+using server::DaemonOptions;
+using server::InstanceCache;
+using server::PlannerDaemon;
+
+ConsolidationInstance small_instance(std::uint64_t seed = 7) {
+  Rng rng(seed);
+  return make_random_instance(rng, 8, 3, 2);
+}
+
+// ---- cache ---------------------------------------------------------------
+
+TEST(InstanceCacheTest, DigestIsDeterministicAndTextSensitive) {
+  EXPECT_EQ(server::digest_hex("abc"), server::digest_hex("abc"));
+  EXPECT_NE(server::digest_hex("abc"), server::digest_hex("abd"));
+  EXPECT_EQ(server::cache_key("inst", "opts"),
+            server::cache_key("inst", "opts"));
+  EXPECT_NE(server::cache_key("inst", "opts"),
+            server::cache_key("inst", "other"));
+  EXPECT_NE(server::cache_key("inst", "opts"),
+            server::cache_key("insto", "pts"));  // split must matter
+}
+
+std::shared_ptr<server::CachedResult> make_result(const std::string& payload) {
+  auto result = std::make_shared<server::CachedResult>();
+  result->result_json = payload;
+  result->solve_ms = 1.0;
+  return result;
+}
+
+TEST(InstanceCacheTest, HitMissAndCollisionGuard) {
+  InstanceCache cache(1 << 20);
+  EXPECT_EQ(cache.lookup("k1", "text-a"), nullptr);  // miss
+  cache.insert("k1", "text-a", make_result("r1"));
+  const auto hit = cache.lookup("k1", "text-a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->result_json, "r1");
+  // Same key, different canonical text: a digest collision must be a miss.
+  EXPECT_EQ(cache.lookup("k1", "text-b"), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(InstanceCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Budget fits exactly two entries (each costs ~1024 overhead + payload).
+  InstanceCache cache(2 * 1100);
+  cache.insert("a", "aaaa", make_result("ra"));
+  cache.insert("b", "bbbb", make_result("rb"));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  // Touch "a" so "b" is the LRU victim.
+  EXPECT_NE(cache.lookup("a", "aaaa"), nullptr);
+  EXPECT_EQ(cache.insert("c", "cccc", make_result("rc")), 1u);
+  EXPECT_NE(cache.lookup("a", "aaaa"), nullptr);
+  EXPECT_EQ(cache.lookup("b", "bbbb"), nullptr);  // evicted
+  EXPECT_NE(cache.lookup("c", "cccc"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(InstanceCacheTest, OversizedEntryIsNotCachedAndZeroBudgetDisables) {
+  InstanceCache tiny(8);
+  tiny.insert("k", "text", make_result("r"));
+  EXPECT_EQ(tiny.lookup("k", "text"), nullptr);
+  EXPECT_EQ(tiny.stats().entries, 0u);
+}
+
+TEST(InstanceCacheTest, ReplacingAKeyKeepsByteAccountingConsistent) {
+  InstanceCache cache(1 << 20);
+  cache.insert("k", "text", make_result(std::string(1000, 'x')));
+  const std::size_t bytes_first = cache.stats().bytes;
+  cache.insert("k", "text", make_result("small"));
+  EXPECT_LT(cache.stats().bytes, bytes_first);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+// ---- wire schema ---------------------------------------------------------
+
+TEST(ApiJsonTest, ParsesOptionsAndRejectsUnknownKeys) {
+  json::Value options = json::Value::object();
+  options.set("engine", json::Value::string("exact"));
+  options.set("dr", json::Value::boolean(true));
+  options.set("omega", json::Value::number(0.5));
+  options.set("cuts", json::Value::string("gomory"));
+  options.set("lp_algorithm", json::Value::string("dual"));
+  options.set("max_nodes", json::Value::number(123));
+  const PlannerOptions parsed = server::parse_options_json(&options);
+  EXPECT_EQ(parsed.engine, PlannerOptions::Engine::kExact);
+  EXPECT_TRUE(parsed.enable_dr);
+  EXPECT_EQ(parsed.business_impact_omega, 0.5);
+  EXPECT_TRUE(parsed.milp.cuts.gomory);
+  EXPECT_FALSE(parsed.milp.cuts.cover);
+  EXPECT_EQ(parsed.milp.lp.mode, lp::SolveMode::kDual);
+  EXPECT_EQ(parsed.milp.search.max_nodes, 123);
+
+  json::Value bad = json::Value::object();
+  bad.set("engne", json::Value::string("exact"));
+  EXPECT_THROW((void)server::parse_options_json(&bad), InvalidInputError);
+  json::Value bad_value = json::Value::object();
+  bad_value.set("engine", json::Value::string("cplex"));
+  EXPECT_THROW((void)server::parse_options_json(&bad_value), InvalidInputError);
+}
+
+TEST(ApiJsonTest, FingerprintSeparatesResultAffectingOptions) {
+  PlannerOptions a;
+  PlannerOptions b;
+  EXPECT_EQ(server::options_fingerprint(a, 0.0),
+            server::options_fingerprint(b, 0.0));
+  b.enable_dr = true;
+  EXPECT_NE(server::options_fingerprint(a, 0.0),
+            server::options_fingerprint(b, 0.0));
+  EXPECT_NE(server::options_fingerprint(a, 0.0),
+            server::options_fingerprint(a, 1000.0));
+}
+
+// ---- daemon over HTTP ----------------------------------------------------
+
+/// Boots a daemon on an ephemeral port and tears it down on scope exit.
+struct DaemonFixture {
+  explicit DaemonFixture(DaemonOptions options = {}) : daemon(prepare(options)) {
+    daemon.start();
+  }
+  static DaemonOptions prepare(DaemonOptions options) {
+    options.port = 0;  // ephemeral
+    return options;
+  }
+
+  ClientResponse request(const std::string& method, const std::string& target,
+                         const std::string& body = "") {
+    ClientResponse response;
+    std::string error;
+    if (!server::http_request(daemon.port(), method, target, body, &response,
+                              &error)) {
+      ADD_FAILURE() << "http_request failed: " << error;
+    }
+    return response;
+  }
+
+  json::Value request_json(const std::string& method,
+                           const std::string& target,
+                           const std::string& body = "",
+                           int expected_status = -1) {
+    const ClientResponse response = request(method, target, body);
+    if (expected_status >= 0) {
+      EXPECT_EQ(response.status, expected_status) << response.body;
+    }
+    json::Value doc;
+    std::string error;
+    EXPECT_TRUE(json::parse(response.body, doc, &error))
+        << error << ": " << response.body;
+    return doc;
+  }
+
+  /// POSTs a plan request for `instance`; returns the response document.
+  json::Value submit(const ConsolidationInstance& instance,
+                     const std::string& engine = "heuristic",
+                     bool cache = true, double time_limit_ms = 0.0,
+                     bool dr = false) {
+    json::Value body = json::Value::object();
+    body.set("instance", json::Value::string(write_instance(instance)));
+    json::Value options = json::Value::object();
+    options.set("engine", json::Value::string(engine));
+    if (dr) options.set("dr", json::Value::boolean(true));
+    body.set("options", std::move(options));
+    if (!cache) body.set("cache", json::Value::boolean(false));
+    if (time_limit_ms > 0.0) {
+      body.set("time_limit_ms", json::Value::number(time_limit_ms));
+    }
+    return request_json("POST", "/v1/plan", body.dump());
+  }
+
+  /// Polls a job to a terminal state; returns the final status document.
+  json::Value await(long long job) {
+    while (true) {
+      json::Value doc =
+          request_json("GET", "/v1/jobs/" + std::to_string(job), "", 200);
+      const std::string state = doc.get("state")->str;
+      if (state == "done" || state == "cancelled" || state == "failed") {
+        return doc;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  PlannerDaemon daemon;
+};
+
+long long job_id(const json::Value& doc) {
+  const json::Value* id = doc.get("job");
+  EXPECT_NE(id, nullptr);
+  return id != nullptr ? static_cast<long long>(id->num) : -1;
+}
+
+TEST(ServerTest, PlanSubmitPollAndResultDocument) {
+  DaemonFixture fixture;
+  const ConsolidationInstance instance = small_instance();
+  const json::Value submitted = fixture.submit(instance);
+  const json::Value done = fixture.await(job_id(submitted));
+  EXPECT_EQ(done.get("state")->str, "done");
+  EXPECT_FALSE(done.get("cache_hit")->b);
+  const json::Value* result = done.get("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_GT(result->get("cost")->get("total")->num, 0.0);
+  EXPECT_EQ(result->get("assignments")->arr.size(),
+            static_cast<std::size_t>(instance.num_groups()));
+  EXPECT_FALSE(result->get("algorithm")->str.empty());
+  EXPECT_GT(result->get("solve_ms")->num, 0.0);
+}
+
+TEST(ServerTest, SecondIdenticalSubmissionIsACacheHit) {
+  DaemonFixture fixture;
+  const ConsolidationInstance instance = small_instance();
+  const json::Value first = fixture.submit(instance);
+  const json::Value cold = fixture.await(job_id(first));
+
+  const json::Value second = fixture.submit(instance);
+  // A hit is terminal in the submission response itself.
+  EXPECT_EQ(second.get("state")->str, "done");
+  EXPECT_TRUE(second.get("cache_hit")->b);
+  EXPECT_EQ(second.get("result")->get("cost")->get("total")->num,
+            cold.get("result")->get("cost")->get("total")->num);
+
+  // Different options -> different fingerprint -> miss.
+  const json::Value third = fixture.submit(instance, "heuristic", true, 5000);
+  EXPECT_EQ(third.get("state")->str, "queued");
+  fixture.await(job_id(third));
+
+  // cache=false bypasses the probe even for an identical request.
+  const json::Value fourth = fixture.submit(instance, "heuristic", false);
+  EXPECT_EQ(fourth.get("state")->str, "queued");
+  fixture.await(job_id(fourth));
+}
+
+TEST(ServerTest, MalformedRequestsGetHttp400AndUnknownPaths404) {
+  DaemonFixture fixture;
+  EXPECT_EQ(fixture.request("POST", "/v1/plan", "not json").status, 400);
+  EXPECT_EQ(fixture.request("POST", "/v1/plan", "{}").status, 400);
+  json::Value body = json::Value::object();
+  body.set("instance", json::Value::string("etransform-instance v1\ngarbage"));
+  EXPECT_EQ(fixture.request("POST", "/v1/plan", body.dump()).status, 400);
+  EXPECT_EQ(fixture.request("GET", "/v1/jobs/999").status, 404);
+  EXPECT_EQ(fixture.request("GET", "/nope").status, 404);
+  EXPECT_EQ(fixture.request("GET", "/healthz").status, 200);
+}
+
+TEST(ServerTest, QueuedJobCancelledOverHttpNeverRuns) {
+  DaemonOptions options;
+  options.workers = 1;
+  DaemonFixture fixture(options);
+  Rng rng(11);
+  // Occupy the single worker with a capped joint-DR exact solve (runs to its
+  // time limit unless cancelled; a plain exact solve here is milliseconds).
+  const ConsolidationInstance big = make_random_instance(rng, 20, 6, 3);
+  const json::Value blocker =
+      fixture.submit(big, "exact", false, 10000.0, /*dr=*/true);
+  // ...then cancel a queued job before the worker can reach it.
+  const json::Value queued = fixture.submit(small_instance(), "heuristic",
+                                            /*cache=*/false);
+  const long long queued_id = job_id(queued);
+  const json::Value cancel = fixture.request_json(
+      "POST", "/v1/jobs/" + std::to_string(queued_id) + "/cancel", "", 200);
+  EXPECT_TRUE(cancel.get("cancel_requested")->b);
+  const json::Value final_state = fixture.await(queued_id);
+  EXPECT_EQ(final_state.get("state")->str, "cancelled");
+  EXPECT_EQ(final_state.get("result"), nullptr);  // never ran
+  // Unblock the worker.
+  fixture.request("POST", "/v1/jobs/" + std::to_string(job_id(blocker)) +
+                              "/cancel");
+  fixture.await(job_id(blocker));
+}
+
+TEST(ServerTest, BackpressureRejectsWith429AndRetryAfter) {
+  DaemonOptions options;
+  options.workers = 1;
+  options.max_queue_depth = 1;
+  DaemonFixture fixture(options);
+  Rng rng(13);
+  const ConsolidationInstance big = make_random_instance(rng, 20, 6, 3);
+  const json::Value running =
+      fixture.submit(big, "exact", false, 10000.0, /*dr=*/true);
+  // Wait until the blocker is claimed so the next submit is truly queued.
+  while (fixture
+             .request_json("GET",
+                           "/v1/jobs/" + std::to_string(job_id(running)))
+             .get("state")
+             ->str == "queued") {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const json::Value queued = fixture.submit(small_instance(), "heuristic",
+                                            /*cache=*/false);
+  EXPECT_EQ(queued.get("state")->str, "queued");
+
+  json::Value body = json::Value::object();
+  body.set("instance",
+           json::Value::string(write_instance(small_instance(99))));
+  body.set("cache", json::Value::boolean(false));
+  const ClientResponse rejected =
+      fixture.request("POST", "/v1/plan", body.dump());
+  EXPECT_EQ(rejected.status, 429);
+  EXPECT_EQ(rejected.headers.at("retry-after"), "1");
+
+  fixture.request("POST",
+                  "/v1/jobs/" + std::to_string(job_id(running)) + "/cancel");
+  fixture.await(job_id(running));
+  fixture.await(job_id(queued));
+}
+
+TEST(ServerTest, ReplanWithDeltaMatchesFreshSolveOfModifiedInstance) {
+  DaemonFixture fixture;
+  Rng rng(17);
+  const ConsolidationInstance instance = make_random_instance(rng, 10, 4, 2);
+  const json::Value base = fixture.submit(instance, "exact", true, 0.0);
+  const json::Value base_done = fixture.await(job_id(base));
+  ASSERT_EQ(base_done.get("state")->str, "done");
+
+  // Replan: pin group 0 to site 1 (delta path, warm-started).
+  json::Value replan = json::Value::object();
+  replan.set("base_job", json::Value::number(
+                             static_cast<double>(job_id(base))));
+  json::Value delta = json::Value::object();
+  json::Value pins = json::Value::array();
+  json::Value pin = json::Value::object();
+  pin.set("group", json::Value::number(0));
+  pin.set("site", json::Value::number(1));
+  pins.push(std::move(pin));
+  delta.set("pin", std::move(pins));
+  replan.set("delta", std::move(delta));
+  replan.set("cache", json::Value::boolean(false));
+  const json::Value replan_submitted =
+      fixture.request_json("POST", "/v1/replan", replan.dump(), 202);
+  EXPECT_TRUE(replan_submitted.get("warm_started")->b);
+  const json::Value replanned = fixture.await(job_id(replan_submitted));
+  ASSERT_EQ(replanned.get("state")->str, "done");
+
+  // Fresh solve of the identically-modified instance must cost the same.
+  ScenarioSession session(instance);
+  session.pin_group(0, 1);
+  json::Value fresh_body = json::Value::object();
+  fresh_body.set("instance",
+                 json::Value::string(write_instance(session.instance())));
+  json::Value fresh_options = json::Value::object();
+  fresh_options.set("engine", json::Value::string("exact"));
+  fresh_body.set("options", std::move(fresh_options));
+  fresh_body.set("cache", json::Value::boolean(false));
+  const json::Value fresh =
+      fixture.request_json("POST", "/v1/plan", fresh_body.dump(), 202);
+  const json::Value fresh_done = fixture.await(job_id(fresh));
+  ASSERT_EQ(fresh_done.get("state")->str, "done");
+
+  EXPECT_DOUBLE_EQ(
+      replanned.get("result")->get("cost")->get("total")->num,
+      fresh_done.get("result")->get("cost")->get("total")->num);
+}
+
+TEST(ServerTest, ReplanRequiresTerminalDoneBase) {
+  DaemonFixture fixture;
+  json::Value replan = json::Value::object();
+  replan.set("base_job", json::Value::number(404));
+  EXPECT_EQ(fixture.request("POST", "/v1/replan", replan.dump()).status, 404);
+}
+
+TEST(ServerTest, EventStreamEndsWithTerminalState) {
+  DaemonFixture fixture;
+  const json::Value submitted =
+      fixture.submit(small_instance(), "exact", false);
+  const long long id = job_id(submitted);
+  // The chunked stream closes once the job is terminal; the client helper
+  // de-chunks the whole body.
+  const ClientResponse stream = fixture.request(
+      "GET", "/v1/jobs/" + std::to_string(id) + "/events");
+  EXPECT_EQ(stream.status, 200);
+  const std::size_t last_line_start =
+      stream.body.rfind('\n', stream.body.size() - 2);
+  const std::string last_line = stream.body.substr(
+      last_line_start == std::string::npos ? 0 : last_line_start + 1);
+  EXPECT_EQ(last_line, "state done\n");
+  EXPECT_NE(stream.body.find("queued"), std::string::npos);
+}
+
+TEST(ServerTest, DrainRejectsNewWorkAndHealthzTurns503) {
+  DaemonFixture fixture;
+  const json::Value before = fixture.submit(small_instance());
+  fixture.await(job_id(before));
+  fixture.daemon.request_drain();
+  EXPECT_EQ(fixture.request("GET", "/healthz").status, 503);
+  const ClientResponse rejected = fixture.request(
+      "POST", "/v1/plan", "{\"instance\":\"x\"}");
+  EXPECT_EQ(rejected.status, 503);
+  // Existing jobs stay queryable during the drain.
+  EXPECT_EQ(fixture
+                .request("GET", "/v1/jobs/" + std::to_string(job_id(before)))
+                .status,
+            200);
+  fixture.daemon.stop();
+}
+
+TEST(ServerTest, MetricsEndpointExposesServerFamilies) {
+  DaemonFixture fixture;
+  const json::Value submitted = fixture.submit(small_instance());
+  fixture.await(job_id(submitted));
+  fixture.submit(small_instance());  // cache hit
+  const ClientResponse metrics = fixture.request("GET", "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  for (const char* family :
+       {"etransform_server_requests_total", "etransform_server_cache_hits_total",
+        "etransform_server_cache_misses_total",
+        "etransform_server_rejected_total", "etransform_server_queue_depth",
+        "etransform_server_jobs_inflight", "etransform_server_request_ms",
+        "etransform_farm_jobs_submitted_total"}) {
+    EXPECT_NE(metrics.body.find(family), std::string::npos) << family;
+  }
+}
+
+TEST(ServerTest, ConcurrentSubmissionHammer) {
+  DaemonOptions options;
+  options.workers = 4;
+  options.max_queue_depth = 256;
+  DaemonFixture fixture(options);
+  // Three distinct instances: submissions race each other to be the first
+  // cold solve; the rest hit the cache or solve redundantly — all must
+  // land terminal with consistent documents.
+  std::vector<std::string> texts;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    texts.push_back(write_instance(small_instance(seed)));
+  }
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fixture, &texts, &failures, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        json::Value body = json::Value::object();
+        body.set("instance",
+                 json::Value::string(texts[(t + i) % texts.size()]));
+        ClientResponse response;
+        if (!server::http_request(fixture.daemon.port(), "POST", "/v1/plan",
+                                  body.dump(), &response, nullptr) ||
+            (response.status != 200 && response.status != 202)) {
+          ++failures;
+          continue;
+        }
+        json::Value doc;
+        if (!json::parse(response.body, doc, nullptr) ||
+            doc.get("job") == nullptr) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every admitted job reaches a terminal state before stop() returns.
+  fixture.daemon.stop();
+  const std::string exposition = fixture.daemon.metrics().render_prometheus();
+  EXPECT_NE(exposition.find("etransform_server_cache_hits_total"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace etransform
