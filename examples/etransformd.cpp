@@ -1,7 +1,8 @@
 // etransformd — the eTransform planner as a long-running HTTP service.
 //
-//   etransformd [--port P] [--workers N] [--max-queue N] [--cache-mb M]
-//               [--default-time-limit ms] [--port-file FILE] [-v]
+//   etransformd [--port P] [--workers N] [--max-queue N] [--max-jobs N]
+//               [--cache-mb M] [--default-time-limit ms]
+//               [--port-file FILE] [-v]
 //
 // Binds 127.0.0.1:P (default 7447; 0 = kernel-assigned ephemeral port, the
 // bound port is printed and optionally written to --port-file for
@@ -29,14 +30,16 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: etransformd [--port P] [--workers N] [--max-queue N]\n"
-      "                   [--cache-mb M] [--default-time-limit ms]\n"
-      "                   [--port-file FILE] [-v]\n"
+      "                   [--max-jobs N] [--cache-mb M]\n"
+      "                   [--default-time-limit ms] [--port-file FILE] [-v]\n"
       "  --port P       listen port on 127.0.0.1 (default 7447; 0 = pick\n"
       "                 an ephemeral port)\n"
       "  --workers N    solver worker threads (default: hardware\n"
       "                 concurrency)\n"
       "  --max-queue N  reject plan/replan with 429 beyond this queue\n"
       "                 depth (default 64)\n"
+      "  --max-jobs N   retain at most N jobs; the oldest terminal jobs\n"
+      "                 age out (default 1024)\n"
       "  --cache-mb M   result cache budget in MiB (default 64; 0 off)\n"
       "  --default-time-limit ms  deadline for jobs that send none\n"
       "  --port-file F  write the bound port to F once listening\n"
@@ -59,6 +62,8 @@ int main(int argc, char** argv) {
       options.workers = std::atoi(argv[++a]);
     } else if (flag == "--max-queue" && a + 1 < argc) {
       options.max_queue_depth = std::atoi(argv[++a]);
+    } else if (flag == "--max-jobs" && a + 1 < argc) {
+      options.max_jobs = std::atoi(argv[++a]);
     } else if (flag == "--cache-mb" && a + 1 < argc) {
       options.cache_bytes =
           static_cast<std::size_t>(std::atoll(argv[++a])) << 20;

@@ -161,9 +161,15 @@ std::string Value::dump() const {
 namespace {
 
 struct Parser {
+  // parse_value recurses once per '[' or '{'; unbounded nesting would let a
+  // small hostile document overflow the stack. 256 levels is far beyond any
+  // document the library emits or the protocol accepts.
+  static constexpr int kMaxDepth = 256;
+
   const char* p;
   const char* end;
   std::string* error;
+  int depth = 0;
 
   bool fail(const std::string& message) {
     if (error != nullptr && error->empty()) *error = message;
@@ -269,11 +275,13 @@ struct Parser {
         out.kind = Value::Kind::kString;
         return parse_string(out.str);
       case '[': {
+        if (++depth > kMaxDepth) return fail("nesting too deep");
         ++p;
         out.kind = Value::Kind::kArray;
         skip_ws();
         if (p < end && *p == ']') {
           ++p;
+          --depth;
           return true;
         }
         while (true) {
@@ -287,17 +295,20 @@ struct Parser {
           }
           if (p < end && *p == ']') {
             ++p;
+            --depth;
             return true;
           }
           return fail("expected ',' or ']'");
         }
       }
       case '{': {
+        if (++depth > kMaxDepth) return fail("nesting too deep");
         ++p;
         out.kind = Value::Kind::kObject;
         skip_ws();
         if (p < end && *p == '}') {
           ++p;
+          --depth;
           return true;
         }
         while (true) {
@@ -317,6 +328,7 @@ struct Parser {
           }
           if (p < end && *p == '}') {
             ++p;
+            --depth;
             return true;
           }
           return fail("expected ',' or '}'");

@@ -4,9 +4,10 @@
 //
 // The parser builds one DOM (`Value`) per document with no error recovery
 // and no streaming: it rejects trailing garbage, unterminated strings, bad
-// escapes, raw control characters, and malformed numbers — exactly the
-// strictness the daemon wants at its trust boundary and the escaping tests
-// assert on. The writer (`Value::dump`, `escape`) emits the same dialect the
+// escapes, raw control characters, malformed numbers, and nesting deeper
+// than 256 levels (recursion is per bracket, so the depth cap is what keeps
+// a hostile body from overflowing the stack) — exactly the strictness the
+// daemon wants at its trust boundary and the escaping tests assert on. The writer (`Value::dump`, `escape`) emits the same dialect the
 // rest of the library hand-writes (SolveStats::to_json,
 // TraceRecorder::to_chrome_json): `\u00XX` for control characters, `%.17g`
 // round-trippable numbers, `null` for non-finite doubles (JSON has no NaN).

@@ -1,9 +1,12 @@
 #include "server/daemon.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstddef>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <utility>
@@ -77,6 +80,7 @@ struct PlannerDaemon::Core {
   explicit Core(const DaemonOptions& options)
       : cache(options.cache_bytes),
         max_queue_depth(options.max_queue_depth),
+        max_jobs(static_cast<std::size_t>(std::max(1, options.max_jobs))),
         default_time_limit_ms(options.default_time_limit_ms) {
     requests = &metrics.counter("etransform_server_requests_total",
                                 "HTTP requests served");
@@ -101,6 +105,7 @@ struct PlannerDaemon::Core {
   telemetry::MetricsRegistry metrics;
   InstanceCache cache;
   const int max_queue_depth;
+  const std::size_t max_jobs;
   const double default_time_limit_ms;
 
   std::mutex mu;
@@ -129,6 +134,22 @@ struct PlannerDaemon::Core {
     const std::lock_guard<std::mutex> lock(mu);
     job->id = next_id++;
     jobs.emplace(job->id, job);
+    // Retention cap: without it every request (cache hits included) grows
+    // the registry forever. Ids are monotonic, so map order is age order —
+    // drop the oldest terminal jobs until back under max_jobs. In-flight
+    // jobs are skipped; aged-out ids 404, including as replan bases.
+    for (auto it = jobs.begin(); jobs.size() > max_jobs && it != jobs.end();) {
+      bool terminal = false;
+      {
+        const std::lock_guard<std::mutex> job_lock(it->second->mu);
+        terminal = it->second->terminal;
+      }
+      if (terminal && it->second != job) {
+        it = jobs.erase(it);
+      } else {
+        ++it;
+      }
+    }
     return job->id;
   }
 
@@ -291,10 +312,24 @@ JobPriority parse_priority(const json::Value& body) {
   throw InvalidInputError("priority must be \"high\", \"normal\", or \"low\"");
 }
 
+/// Validates a request-supplied numeric reference before the int cast:
+/// static_cast of a double outside int's range (1e300, NaN) is undefined
+/// behavior, and these values arrive straight off the wire, before
+/// ScenarioSession's own bounds checks can run.
+int checked_index(const json::Value& ref, const char* what) {
+  const double v = ref.num;
+  if (!(v >= 0.0) || v > static_cast<double>(std::numeric_limits<int>::max()) ||
+      v != std::floor(v)) {
+    throw InvalidInputError(std::string(what) +
+                            " index must be a non-negative integer");
+  }
+  return static_cast<int>(v);
+}
+
 /// Resolves a group reference (name string or index number) in `instance`.
 int resolve_group(const ConsolidationInstance& instance,
                   const json::Value& ref) {
-  if (ref.is_number()) return static_cast<int>(ref.num);
+  if (ref.is_number()) return checked_index(ref, "group");
   if (ref.is_string()) {
     for (int i = 0; i < instance.num_groups(); ++i) {
       if (instance.groups[i].name == ref.str) return i;
@@ -306,7 +341,7 @@ int resolve_group(const ConsolidationInstance& instance,
 
 int resolve_site(const ConsolidationInstance& instance,
                  const json::Value& ref) {
-  if (ref.is_number()) return static_cast<int>(ref.num);
+  if (ref.is_number()) return checked_index(ref, "site");
   if (ref.is_string()) {
     for (int i = 0; i < instance.num_sites(); ++i) {
       if (instance.sites[i].name == ref.str) return i;
@@ -480,8 +515,16 @@ void PlannerDaemon::handle_plan(const HttpRequest& request,
       writer.send_error(400, "replan requires a numeric base_job");
       return;
     }
+    // Same wire-to-int hazard as checked_index: ids are capped at 2^60 by
+    // parse_job_id, so anything outside that is malformed, not a miss.
+    const double base_num = base_ref->num;
+    if (!(base_num >= 0.0) || base_num != std::floor(base_num) ||
+        base_num > static_cast<double>(1ll << 60)) {
+      writer.send_error(400, "base_job must be a non-negative integral id");
+      return;
+    }
     const ServerJobPtr base =
-        core_->find_job(static_cast<long long>(base_ref->num));
+        core_->find_job(static_cast<long long>(base_num));
     if (base == nullptr) {
       writer.send_error(404, "no such base_job");
       return;

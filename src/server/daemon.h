@@ -21,6 +21,10 @@
 // instead of admitting unbounded work. Every admitted job gets a deadline
 // (request time_limit_ms, else the daemon default) on its SolveContext.
 //
+// Retention: terminal jobs stay queryable until the registry exceeds
+// DaemonOptions::max_jobs, then age out oldest-first; an aged-out id gets
+// 404 everywhere, including as a replan base_job.
+//
 // Shutdown: request_drain() flips /healthz to "draining" and rejects new
 // work with 503; stop() waits for in-flight jobs, then tears down HTTP.
 // The etransformd binary wires ShutdownSignal to exactly that sequence.
@@ -44,6 +48,12 @@ struct DaemonOptions {
   int workers = 0;
   /// Queue-depth ceiling beyond which plan/replan get 429.
   int max_queue_depth = 64;
+  /// Retained-job ceiling: past it, the oldest *terminal* jobs are dropped
+  /// from the registry, so their ids 404 from then on — including as
+  /// `/v1/replan` base_job references. In-flight jobs are never dropped
+  /// (their count is already bounded by the queue cap plus the workers),
+  /// which keeps daemon memory bounded under sustained traffic.
+  int max_jobs = 1024;
   /// Result-cache byte budget (0 disables caching).
   std::size_t cache_bytes = 64u << 20;
   /// Deadline for jobs that do not send time_limit_ms (0 = unlimited).

@@ -54,8 +54,10 @@ void parse_query(std::string_view query, std::map<std::string, std::string>& out
 }
 
 /// Reads from `fd` until the header terminator, then the Content-Length
-/// body. Returns false on timeout, malformed framing, or oversized body.
-bool read_request(int fd, HttpRequest& request) {
+/// body. Returns false on timeout, malformed framing, or oversized body;
+/// the oversized case additionally sets `too_large` so the caller can
+/// answer 413 instead of silently dropping the connection.
+bool read_request(int fd, HttpRequest& request, bool& too_large) {
   std::string buffer;
   std::size_t header_end = std::string::npos;
   char chunk[4096];
@@ -110,7 +112,10 @@ bool read_request(int fd, HttpRequest& request) {
     if (end == it->second.c_str()) return false;
     content_length = static_cast<std::size_t>(v);
   }
-  if (content_length > HttpServer::kMaxBodyBytes) return false;
+  if (content_length > HttpServer::kMaxBodyBytes) {
+    too_large = true;
+    return false;
+  }
   request.body = buffer.substr(header_end + 4);
   while (request.body.size() < content_length) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
@@ -235,10 +240,16 @@ void HttpServer::accept_loop() {
   while (true) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 100);
+    // Reap connections that finished since the last pass; without this a
+    // long-running daemon accumulates one dead-but-joinable thread per
+    // request and eventually hits the task limit.
+    std::vector<std::thread> finished;
     {
       const std::lock_guard<std::mutex> lock(mu_);
       if (stopping_) return;
+      finished.swap(finished_threads_);
     }
+    for (std::thread& thread : finished) thread.join();
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
@@ -252,7 +263,11 @@ void HttpServer::accept_loop() {
         return;
       }
       open_fds_.insert(fd);
-      connection_threads_.emplace_back([this, fd] { serve_connection(fd); });
+      // The handle lands in the map before the new thread can reach its
+      // self-reap block (which needs mu_, held here).
+      std::thread thread([this, fd] { serve_connection(fd); });
+      const std::thread::id id = thread.get_id();
+      connection_threads_.emplace(id, std::move(thread));
     }
   }
 }
@@ -261,7 +276,8 @@ void HttpServer::serve_connection(int fd) {
   {
     HttpRequest request;
     ResponseWriter writer(fd);
-    if (read_request(fd, request)) {
+    bool too_large = false;
+    if (read_request(fd, request, too_large)) {
       try {
         handler_(request, writer);
         if (!writer.responded()) {
@@ -271,6 +287,12 @@ void HttpServer::serve_connection(int fd) {
         if (!writer.responded()) writer.send_error(500, e.what());
         ET_LOG(kWarning) << "http: handler threw: " << e.what();
       }
+    } else if (too_large) {
+      // The declared body is bigger than we will ever read; tell the
+      // client why before closing rather than resetting on it.
+      writer.send_error(413, "request body exceeds " +
+                                 std::to_string(HttpServer::kMaxBodyBytes) +
+                                 " bytes");
     }
     // Half-close so the peer sees EOF, then drop the socket.
     ::shutdown(fd, SHUT_WR);
@@ -278,6 +300,14 @@ void HttpServer::serve_connection(int fd) {
   const std::lock_guard<std::mutex> lock(mu_);
   open_fds_.erase(fd);
   ::close(fd);
+  // Self-reap: hand this thread's handle to the accept loop, which joins
+  // it on its next pass. During stop() the handle may already have been
+  // claimed for joining there — then there is nothing to move.
+  const auto it = connection_threads_.find(std::this_thread::get_id());
+  if (it != connection_threads_.end()) {
+    finished_threads_.push_back(std::move(it->second));
+    connection_threads_.erase(it);
+  }
 }
 
 void HttpServer::stop() {
@@ -295,16 +325,27 @@ void HttpServer::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  // Unblock every in-flight connection: readers get EOF, streamers get a
-  // send failure on the next chunk.
+  // Unblock every in-flight connection (readers get EOF, streamers get a
+  // send failure on the next chunk), then claim and join all thread
+  // handles — both still-running connections and already-self-reaped ones.
+  // Joining happens outside mu_ so a finishing connection can still enter
+  // its self-reap block (it finds its handle gone and just returns).
+  std::vector<std::thread> to_join;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (auto& [id, thread] : connection_threads_) {
+      to_join.push_back(std::move(thread));
+    }
+    connection_threads_.clear();
+    for (std::thread& thread : finished_threads_) {
+      to_join.push_back(std::move(thread));
+    }
+    finished_threads_.clear();
   }
-  for (std::thread& thread : connection_threads_) {
+  for (std::thread& thread : to_join) {
     if (thread.joinable()) thread.join();
   }
-  connection_threads_.clear();
 }
 
 // ---------------------------------------------------------------------------

@@ -9,7 +9,8 @@
 //    farm's solves dominate any connection-setup cost, so keep-alive and
 //    pipelining buy nothing but state;
 //  * a poll()-driven accept loop so stop() can interrupt it without
-//    resorting to signals;
+//    resorting to signals; the same loop reaps finished connection threads
+//    each pass, so a long-lived daemon never accumulates dead handles;
 //  * per-socket receive timeouts so a stalled client cannot pin a thread;
 //  * stop() shuts down every open connection socket (streamers observe the
 //    write failure and unwind) and joins all threads before returning.
@@ -127,7 +128,10 @@ class HttpServer {
   std::mutex mu_;
   bool stopping_ = false;
   std::unordered_set<int> open_fds_;
-  std::vector<std::thread> connection_threads_;
+  // Live connection threads by id; a finishing connection moves its own
+  // handle to finished_threads_, which the accept loop joins and drops.
+  std::map<std::thread::id, std::thread> connection_threads_;
+  std::vector<std::thread> finished_threads_;
 };
 
 /// One client-side HTTP exchange result. Chunked bodies arrive de-chunked.

@@ -99,6 +99,27 @@ TEST(JsonParser, RejectsMalformedDocuments) {
   EXPECT_FALSE(json::parse("", v, nullptr));
 }
 
+TEST(JsonParser, RejectsPathologicallyDeepNestingWithoutCrashing) {
+  // Each bracket recurses once; without the depth cap a hostile request
+  // body of a few hundred thousand brackets overflows the parser's stack.
+  Value v;
+  std::string error;
+  EXPECT_FALSE(json::parse(std::string(500000, '['), v, &error));
+  EXPECT_EQ(error, "nesting too deep");
+  std::string mixed;
+  for (int i = 0; i < 250000; ++i) mixed += "{\"k\":[";
+  EXPECT_FALSE(json::parse(mixed, v, nullptr));
+  // Well under the cap still parses.
+  const std::string deep_ok =
+      std::string(200, '[') + "1" + std::string(200, ']');
+  EXPECT_TRUE(json::parse(deep_ok, v, nullptr));
+  // Depth is nesting, not element count: long flat arrays are fine.
+  std::string flat = "[0";
+  for (int i = 0; i < 1000; ++i) flat += ",[0]";
+  flat += "]";
+  EXPECT_TRUE(json::parse(flat, v, nullptr));
+}
+
 TEST(JsonParser, ParsesScalarsAndContainers) {
   Value v;
   ASSERT_TRUE(json::parse(" [ null , true , -2.5e3 , {} ] ", v, nullptr));

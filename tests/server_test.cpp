@@ -6,6 +6,11 @@
 // drain, and a concurrent submission hammer (exercised under TSan in CI).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <string>
 #include <thread>
@@ -384,6 +389,89 @@ TEST(ServerTest, ReplanRequiresTerminalDoneBase) {
   json::Value replan = json::Value::object();
   replan.set("base_job", json::Value::number(404));
   EXPECT_EQ(fixture.request("POST", "/v1/replan", replan.dump()).status, 404);
+}
+
+TEST(ServerTest, ReplanRejectsOutOfRangeNumericReferences) {
+  DaemonFixture fixture;
+  const json::Value base = fixture.submit(small_instance());
+  fixture.await(job_id(base));
+
+  // A group/site index that cannot survive the double->int cast (huge,
+  // negative, fractional) must come back 400, not invoke UB.
+  const auto pin_status = [&](double group_ref, double site_ref) {
+    json::Value replan = json::Value::object();
+    replan.set("base_job",
+               json::Value::number(static_cast<double>(job_id(base))));
+    json::Value pin = json::Value::object();
+    pin.set("group", json::Value::number(group_ref));
+    pin.set("site", json::Value::number(site_ref));
+    json::Value pins = json::Value::array();
+    pins.push(std::move(pin));
+    json::Value delta = json::Value::object();
+    delta.set("pin", std::move(pins));
+    replan.set("delta", std::move(delta));
+    return fixture.request("POST", "/v1/replan", replan.dump()).status;
+  };
+  EXPECT_EQ(pin_status(1e300, 0), 400);
+  EXPECT_EQ(pin_status(0, 1e300), 400);
+  EXPECT_EQ(pin_status(-1, 0), 400);
+  EXPECT_EQ(pin_status(1.5, 0), 400);
+
+  // base_job gets the same treatment before its long long cast.
+  json::Value replan = json::Value::object();
+  replan.set("base_job", json::Value::number(1e300));
+  EXPECT_EQ(fixture.request("POST", "/v1/replan", replan.dump()).status, 400);
+  replan.set("base_job", json::Value::number(2.5));
+  EXPECT_EQ(fixture.request("POST", "/v1/replan", replan.dump()).status, 400);
+}
+
+TEST(ServerTest, OldestTerminalJobsAgeOutOfTheRegistry) {
+  DaemonOptions options;
+  options.max_jobs = 2;
+  DaemonFixture fixture(options);
+  const long long first = job_id(fixture.submit(small_instance(1)));
+  fixture.await(first);
+  const long long second = job_id(fixture.submit(small_instance(2)));
+  fixture.await(second);
+  // Registering the third job pushes the registry past the cap; the first
+  // (oldest terminal) job is dropped and its id 404s from then on.
+  const long long third = job_id(fixture.submit(small_instance(3)));
+  fixture.await(third);
+  EXPECT_EQ(
+      fixture.request("GET", "/v1/jobs/" + std::to_string(first)).status, 404);
+  EXPECT_EQ(
+      fixture.request("GET", "/v1/jobs/" + std::to_string(third)).status, 200);
+  // An aged-out id is gone as a replan base too.
+  json::Value replan = json::Value::object();
+  replan.set("base_job", json::Value::number(static_cast<double>(first)));
+  EXPECT_EQ(fixture.request("POST", "/v1/replan", replan.dump()).status, 404);
+}
+
+TEST(ServerTest, OversizedDeclaredBodyGets413) {
+  DaemonFixture fixture;
+  // The client helper always sends Content-Length == body size, so speak
+  // raw sockets: declare a body far past kMaxBodyBytes and send none.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(fixture.daemon.port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request =
+      "POST /v1/plan HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      "Content-Length: 999999999999\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("413 Payload Too Large"), std::string::npos)
+      << response;
 }
 
 TEST(ServerTest, EventStreamEndsWithTerminalState) {
