@@ -6,6 +6,8 @@
 // instances, and the Lagrangian bound at Federal scale.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "common/random.h"
 #include "cost/cost_model.h"
 #include "datagen/generators.h"
@@ -190,6 +192,51 @@ void BM_BranchAndBoundAssignment(benchmark::State& state) {
 BENCHMARK(BM_BranchAndBoundAssignment)
     ->ArgsProduct({{12, 20}, {0, 1}, {0, 1}, {0, 1}})
     ->ArgNames({"tasks", "warm", "cuts", "dual"});
+
+// Thread scaling of the parallel tree search on the production
+// configuration (warm starts, cuts, dual reoptimization), in deterministic
+// mode: the explored tree is byte-identical at every thread count, so the
+// real_time ratio between threads:1 and threads:8 is a pure measure of
+// parallel LP throughput — exactly what the CI speedup fence in
+// cmake/check_bench_regression.cmake wants. (The free-running mode is
+// faster on average but its tree shape is timing-dependent, which would
+// make a wall-clock fence flaky.) The objective is still cross-checked
+// against the classic sequential optimum.
+void BM_BranchAndBoundAssignmentThreads(benchmark::State& state) {
+  const auto model = assignment_milp(static_cast<int>(state.range(0)), 4);
+  milp::SolverOptions options;
+  options.search.threads = static_cast<int>(state.range(1));
+  options.search.deterministic = true;
+  const milp::BranchAndBoundSolver solver(options);
+  const double reference = [&model] {
+    const milp::BranchAndBoundSolver sequential;
+    SolveContext ctx;
+    return sequential.solve(model, ctx).objective;
+  }();
+  long long lp_iterations = 0;
+  long long nodes = 0;
+  for (auto _ : state) {
+    SolveContext ctx;
+    const auto solution = solver.solve(model, ctx);
+    benchmark::DoNotOptimize(solution);
+    if (std::abs(solution.objective - reference) > 1e-6) {
+      state.SkipWithError("parallel objective diverged from sequential");
+      break;
+    }
+    lp_iterations += solution.lp_iterations;
+    nodes += solution.nodes;
+  }
+  state.counters["lp_iters"] =
+      benchmark::Counter(static_cast<double>(lp_iterations),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["nodes"] = benchmark::Counter(
+      static_cast<double>(nodes), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_BranchAndBoundAssignmentThreads)
+    ->ArgsProduct({{20}, {1, 2, 4, 8}})
+    ->ArgNames({"tasks", "threads"})
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void BM_PlannerEnterprise1(benchmark::State& state) {
   const auto instance = make_enterprise1();

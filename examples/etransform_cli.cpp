@@ -26,6 +26,11 @@
 //   Concurrency (SolveFarm):
 //       --jobs N           solve on N worker threads: scenario sweeps and
 //                          the sensitivity scan fan out across a SolveService
+//       --threads N        in-solve parallelism: shard each exact solve's
+//                          branch-and-bound frontier over N tree-search
+//                          workers (composes with --jobs; 0 = hardware)
+//       --deterministic    fixed-epoch parallel search whose explored tree
+//                          is identical at every --threads value
 //       --sweep key=v1,v2  run a what-if sweep instead of a single plan; keys
 //                          are omega, dr-cost, latency-penalty, and cuts
 //                          (races the four cut configurations; repeatable,
@@ -79,7 +84,8 @@ int usage() {
       "      [--trace] [--stats-json stats.json] [--result-json out.json]\n"
       "      [--telemetry-dir DIR]\n"
       "      [--migrate] [--wan-budget megabits] [--max-moves N]\n"
-      "      [--jobs N] [--sweep omega|dr-cost|latency-penalty|cuts=...]\n"
+      "      [--jobs N] [--threads N] [--deterministic]\n"
+      "      [--sweep omega|dr-cost|latency-penalty|cuts=...]\n"
       "      [--race]\n"
       "  --cuts selects the root cutting-plane configuration for exact\n"
       "  solves (default on = Gomory + cover); --cut-rounds caps separation\n"
@@ -88,6 +94,12 @@ int usage() {
       "  --lp-algorithm picks the LP engine's pivoting rule (default auto:\n"
       "  dual simplex on dual-feasible warm restarts — node re-solves and\n"
       "  cut rounds — primal otherwise; primal/dual force one algorithm).\n"
+      "  --jobs runs N *solves* concurrently (SolveFarm: sweeps, races, the\n"
+      "  sensitivity scan); --threads parallelizes the tree search *inside*\n"
+      "  each exact solve (they compose: 4 jobs x 8 threads = 32 node LPs in\n"
+      "  flight). --threads 0 uses one worker per hardware thread.\n"
+      "  --deterministic makes the parallel search explore a fixed tree:\n"
+      "  identical objective, node count, and iterations at any --threads.\n"
       "  --no-presolve solves the raw formulation. --sweep cuts=all races\n"
       "  the four cut configurations as scenarios (the value list is\n"
       "  ignored). --telemetry-dir writes trace.json (Chrome Trace Event\n"
@@ -289,6 +301,10 @@ int cmd_plan(int argc, char** argv) {
     } else if (flag == "--jobs" && a + 1 < argc) {
       jobs = std::stoi(argv[++a]);
       if (jobs < 1) return usage();
+    } else if (flag == "--threads" && a + 1 < argc) {
+      options.milp.search.threads = std::stoi(argv[++a]);
+    } else if (flag == "--deterministic") {
+      options.milp.search.deterministic = true;
     } else if (flag == "--sweep" && a + 1 < argc) {
       sweep_specs.push_back(argv[++a]);
     } else if (flag == "--race") {

@@ -156,7 +156,7 @@ std::string Value::dump() const {
 }
 
 // ---------------------------------------------------------------------------
-// Parser (moved verbatim in spirit from tests/json_lite.h; same strictness)
+// Parser (same strictness as the original test-only parser it replaced)
 
 namespace {
 

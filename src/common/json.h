@@ -1,6 +1,6 @@
 // Strict JSON parser and writer shared by the server protocol layer and the
-// tests (promoted from tests/json_lite.h when etransformd needed a real
-// request parser).
+// tests (started life as a test-only parser, promoted here when etransformd
+// needed a real request parser).
 //
 // The parser builds one DOM (`Value`) per document with no error recovery
 // and no streaming: it rejects trailing garbage, unterminated strings, bad

@@ -163,6 +163,13 @@ double SolveStats::deep_metric(std::string_view key) const {
   return total;
 }
 
+void SolveStats::merge_from(const SolveStats& other) {
+  wall_ms += other.wall_ms;
+  for (const auto& [key, value] : other.metrics) add(key, value);
+  trace.insert(trace.end(), other.trace.begin(), other.trace.end());
+  for (const SolveStats& c : other.children) child(c.name).merge_from(c);
+}
+
 std::string SolveStats::to_json() const {
   std::string out;
   append_stats_json(out, *this);

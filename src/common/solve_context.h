@@ -131,6 +131,13 @@ struct SolveStats {
   /// Sum of `key` over this node and all descendants.
   [[nodiscard]] double deep_metric(std::string_view key) const;
 
+  /// Folds `other` into this node: wall time and metrics add, trace points
+  /// append (capped by the caller's policy, not here), and children merge
+  /// recursively by name. Used by the parallel tree search to fold each
+  /// worker's private stats tree back into the solve's "branch_and_bound"
+  /// subtree once the workers have joined.
+  void merge_from(const SolveStats& other);
+
   /// Machine-readable JSON object for the subtree (stable key order).
   [[nodiscard]] std::string to_json() const;
 
@@ -162,7 +169,20 @@ class SolveContext {
   /// from inside an event callback; solvers notice at their next poll.
   void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
   [[nodiscard]] bool cancelled() const {
-    return cancelled_.load(std::memory_order_relaxed);
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::atomic<bool>* parent =
+        parent_cancel_.load(std::memory_order_relaxed);
+    return parent != nullptr && parent->load(std::memory_order_relaxed);
+  }
+
+  /// Links this context's cancellation to `parent`: cancelled() also returns
+  /// true once the parent context was cancelled. The parallel tree search
+  /// gives each worker its own context (stats scopes are stack-like and not
+  /// thread-safe) while a single request_cancel() on the solve's context
+  /// still stops every worker cooperatively. `parent` must outlive this
+  /// context. Safe to call concurrently with cancelled().
+  void link_cancel_to(const SolveContext& parent) {
+    parent_cancel_.store(&parent.cancelled_, std::memory_order_relaxed);
   }
 
   /// True when a solver should unwind: cancellation beats the deadline
@@ -203,6 +223,7 @@ class SolveContext {
 
   Deadline deadline_;
   std::atomic<bool> cancelled_{false};
+  std::atomic<const std::atomic<bool>*> parent_cancel_{nullptr};
   Stopwatch stopwatch_;
   SolveStats root_;
   SolveStats* current_ = &root_;

@@ -1,15 +1,22 @@
 #include "milp/branch_and_bound.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <exception>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -51,6 +58,9 @@ struct Node {
   int branch_var = -1;
   bool branch_up = false;
   double branch_frac = 0.0;  // parent fractional part of branch_var
+  /// Worker that pushed this node (-1: the root / a sequential phase). Only
+  /// used for the per-worker steal tallies of the parallel search.
+  int producer = -1;
 };
 
 /// Open-node pool with hybrid selection: depth-first while no incumbent
@@ -132,7 +142,9 @@ void snap_integers(const Model& model, std::vector<double>& values,
 /// Per-variable branching history: average objective degradation per unit of
 /// fraction, per direction. Variables without observations inherit the
 /// global average (a freshly measured strong-branch value beats both; see
-/// select_branch in solve_impl).
+/// select_branch in solve_impl). Internally synchronized: the parallel tree
+/// search shares one instance across all workers, and the uncontended lock
+/// is noise next to the LP solve every access rides along with.
 class Pseudocosts {
  public:
   explicit Pseudocosts(int num_vars)
@@ -142,6 +154,7 @@ class Pseudocosts {
         up_n_(static_cast<std::size_t>(num_vars), 0) {}
 
   void update(int j, bool up, double per_frac) {
+    const std::lock_guard<std::mutex> lock(mu_);
     per_frac = std::max(per_frac, 0.0);
     if (up) {
       up_sum_[static_cast<std::size_t>(j)] += per_frac;
@@ -157,6 +170,7 @@ class Pseudocosts {
   }
 
   [[nodiscard]] double estimate(int j, bool up) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     const int n = up ? up_n_[static_cast<std::size_t>(j)]
                      : down_n_[static_cast<std::size_t>(j)];
     if (n > 0) {
@@ -171,11 +185,13 @@ class Pseudocosts {
 
   /// Observations in the weaker direction — the reliability measure.
   [[nodiscard]] int observations(int j) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     return std::min(down_n_[static_cast<std::size_t>(j)],
                     up_n_[static_cast<std::size_t>(j)]);
   }
 
  private:
+  mutable std::mutex mu_;
   std::vector<double> down_sum_;
   std::vector<double> up_sum_;
   std::vector<int> down_n_;
@@ -184,6 +200,48 @@ class Pseudocosts {
   double global_up_sum_ = 0.0;
   long long global_down_n_ = 0;
   long long global_up_n_ = 0;
+};
+
+/// Tree-search workers for SearchOptions::threads: 1 keeps the sequential
+/// loop, > 1 is taken literally, <= 0 means one worker per hardware thread.
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+/// Everything one tree-search worker owns privately, so node expansions
+/// never share mutable state: a SolveContext of its own (SolveScope nesting
+/// is stack-like and must stay single-threaded; cancellation is linked back
+/// to the solve's context and the deadline is copied), its own PreparedLp
+/// over the (possibly cut-strengthened) tree model, and its own LpEngines.
+/// Per-worker PreparedLps are built from the same model, so their internal
+/// column/row layout is identical — which is what lets a BasisSnapshot
+/// produced by one worker warm-start a sibling node on another worker with
+/// LpStartBasis::Origin::kBoundChange, keeping the dual-simplex
+/// reoptimization path intact across the frontier.
+struct WorkerScratch {
+  WorkerScratch(const lp::Model& tree_model,
+                const lp::SimplexOptions& lp_options,
+                const lp::SimplexOptions& sb_options,
+                const SolveContext& parent)
+      : prep(tree_model), engine(lp_options), sb_engine(sb_options) {
+    ctx.set_deadline(parent.deadline());
+    ctx.link_cancel_to(parent);
+    ctx.set_trace(parent.trace());
+    ctx.set_metrics(parent.metrics());
+  }
+
+  SolveContext ctx;
+  lp::PreparedLp prep;
+  LpEngine engine;
+  LpEngine sb_engine;
+  long long nodes = 0;        // node LPs this worker solved
+  long long steals = 0;       // nodes popped that another worker produced
+  long long incumbents = 0;   // incumbent improvements this worker found
+  long long lp_iterations = 0;
+  long long warm_started = 0;
+  long long dual_reopt = 0;
 };
 
 }  // namespace
@@ -292,6 +350,11 @@ MilpSolution BranchAndBoundSolver::solve_impl(
   bool have_incumbent = false;
   double incumbent = 0.0;  // in internal (minimization) orientation
   std::vector<double> incumbent_values;
+  // Lock-free publication of the incumbent bound (internal orientation;
+  // +inf when none). Parallel workers read it right before committing to a
+  // node LP so an incumbent found on another thread prunes without waiting
+  // for the frontier lock.
+  std::atomic<double> incumbent_pub{std::numeric_limits<double>::infinity()};
   double global_bound = -lp::kInfinity;
 
   const auto record_trace = [&](double bound_internal) {
@@ -305,11 +368,12 @@ MilpSolution BranchAndBoundSolver::solve_impl(
   };
 
   const auto try_incumbent = [&](const std::vector<double>& values,
-                                 double objective_model_sense) {
+                                 double objective_model_sense) -> bool {
     const double internal = sense_sign * objective_model_sense;
     if (!have_incumbent || internal < incumbent - 1e-12) {
       have_incumbent = true;
       incumbent = internal;
+      incumbent_pub.store(internal, std::memory_order_relaxed);
       incumbent_values = values;
       snap_integers(model, incumbent_values, integrality_tol);
       stats.add("incumbents", 1.0);
@@ -322,7 +386,9 @@ MilpSolution BranchAndBoundSolver::solve_impl(
         ctx.events.on_incumbent(event);
       }
       ET_LOG(kDebug) << "milp: new incumbent " << objective_model_sense;
+      return true;
     }
+    return false;
   };
 
   // Diving heuristic: at every step fix *all* nearly-integral integer
@@ -612,10 +678,16 @@ MilpSolution BranchAndBoundSolver::solve_impl(
   }
 
   // ---- branching machinery ----------------------------------------------
+  // Shared across tree-search workers: the pseudocost table is internally
+  // locked, the probe budget and tallies are atomics (a worker may overshoot
+  // the budget by at most one probe per peer — harmless for a heuristic).
   Pseudocosts pc(n);
-  long long pseudocost_updates = 0;
-  long long strong_branch_probes = 0;
-  int probe_budget = options_.branching.max_strong_branch_probes;
+  std::atomic<long long> pseudocost_updates{0};
+  std::atomic<long long> strong_branch_probes{0};
+  std::atomic<int> probe_budget{options_.branching.max_strong_branch_probes};
+  // Simplex iterations spent by probes issued from sequential phases (the
+  // sequential loop and deterministic apply phases); workers tally their own.
+  long long seq_probe_iters = 0;
   lp::SimplexOptions sb_lp_options = options_.lp;
   sb_lp_options.max_iterations = options_.branching.strong_branch_iterations;
   const LpEngine sb_solver(sb_lp_options);
@@ -634,10 +706,16 @@ MilpSolution BranchAndBoundSolver::solve_impl(
 
   // Iteration-capped probe of one branching direction from the node's own
   // optimal basis. Returns the measured per-unit-fraction degradation, the
-  // infeasible sentinel, or NaN when the probe was inconclusive.
+  // infeasible sentinel, or NaN when the probe was inconclusive. A worker
+  // probes on its own engine/prep/context (`w`); sequential phases pass
+  // nullptr and use the solve-level machinery. Deliberately does NOT touch
+  // the pseudocost table: measurements are folded in later, in candidate
+  // order, so the update sequence is identical whether the probes ran on
+  // one engine or eight (see select_branch).
   const auto probe_direction = [&](const Node& node, const LpSolution& relaxed,
                                    double node_bound, int j, bool up,
-                                   double frac_moved) -> double {
+                                   double frac_moved,
+                                   WorkerScratch* w) -> double {
     std::vector<double> lower = node.lower;
     std::vector<double> upper = node.upper;
     const double v = relaxed.values[static_cast<std::size_t>(j)];
@@ -646,26 +724,49 @@ MilpSolution BranchAndBoundSolver::solve_impl(
     } else {
       upper[static_cast<std::size_t>(j)] = std::floor(v);
     }
-    const LpSolution sol = sb_solver.solve(
-        *prep, lower, upper, ctx,
-        LpStartBasis(relaxed.basis.get(), LpStartBasis::Origin::kBoundChange));
-    result.lp_iterations += sol.iterations;
+    const LpSolution sol =
+        (w != nullptr ? w->sb_engine : sb_solver)
+            .solve(w != nullptr ? w->prep : *prep, lower, upper,
+                   w != nullptr ? w->ctx : ctx,
+                   LpStartBasis(relaxed.basis.get(),
+                                LpStartBasis::Origin::kBoundChange));
+    (w != nullptr ? w->lp_iterations : seq_probe_iters) += sol.iterations;
     if (sol.status == SolveStatus::kInfeasible) return kInfeasibleScore;
     if (sol.status != SolveStatus::kOptimal) return kNaN;
-    const double per_frac =
-        std::max(0.0, sense_sign * sol.objective - node_bound) /
-        std::max(frac_moved, 1e-9);
-    pc.update(j, up, per_frac);
+    return std::max(0.0, sense_sign * sol.objective - node_bound) /
+           std::max(frac_moved, 1e-9);
+  };
+
+  // Records one probe measurement in the pseudocost history (infeasible and
+  // inconclusive probes carry no per-fraction information and are skipped).
+  const auto fold_probe = [&](int j, bool up, double measured) {
+    if (std::isnan(measured) || measured == kInfeasibleScore) return;
+    pc.update(j, up, measured);
     ++pseudocost_updates;
-    if (pc_init_histogram != nullptr) pc_init_histogram->observe(per_frac);
-    return per_frac;
+    if (pc_init_histogram != nullptr) pc_init_histogram->observe(measured);
   };
 
   // Picks the branching variable for a node. Pseudocost product scoring
   // with strong-branching reliability initialization at shallow depth;
-  // falls back to the legacy most-fractional rule when configured.
+  // falls back to the legacy most-fractional rule when configured. Safe to
+  // call concurrently with `w` set: probes then run on the worker's own
+  // engine and only the pseudocost table / probe budget are shared (both
+  // synchronized). Must NOT be called while holding the frontier lock.
+  //
+  // The probe work splits into three phases so the deterministic epoch loop
+  // can hand the probe LPs to the thread pool: (1) pick the probe set in
+  // candidate order under the global budget, (2) measure — sequentially on
+  // `w`'s (or the solve's) engine, or in parallel across `probe_scratch`
+  // when a pool is supplied, (3) fold the measurements into the pseudocost
+  // table and score, again in candidate order. Probe LPs neither read the
+  // pseudocost table nor each other, so phase 2's engine assignment cannot
+  // change any result: the fold/score sequence is byte-identical whether
+  // one engine measured or eight.
   const auto select_branch = [&](const Node& node, const LpSolution& relaxed,
-                                 double node_bound) -> int {
+                                 double node_bound, WorkerScratch* w,
+                                 ThreadPool* probe_pool = nullptr,
+                                 std::vector<std::unique_ptr<WorkerScratch>>*
+                                     probe_scratch = nullptr) -> int {
     if (options_.branching.rule == BranchingOptions::Rule::kMostFractional) {
       return most_fractional(model, relaxed.values, integrality_tol);
     }
@@ -708,6 +809,47 @@ MilpSolution BranchAndBoundSolver::solve_impl(
         --allowed;
       }
     }
+    // Phase 1: claim budget for this node's probes, in candidate order.
+    struct Probe {
+      std::size_t k = 0;
+      double down = kNaN;
+      double up = kNaN;
+    };
+    std::vector<Probe> probes;
+    for (std::size_t k = 0; k < cands.size(); ++k) {
+      if (may_probe[k] && probe_budget > 0 && !ctx.deadline().expired() &&
+          !ctx.cancelled()) {
+        --probe_budget;
+        ++strong_branch_probes;
+        probes.push_back(Probe{k, kNaN, kNaN});
+      }
+    }
+    // Phase 2: measure both directions of every claimed probe.
+    const auto measure = [&](Probe& p, WorkerScratch* engine) {
+      const Candidate& cand = cands[p.k];
+      p.down = probe_direction(node, relaxed, node_bound, cand.var,
+                               /*up=*/false, cand.f, engine);
+      p.up = probe_direction(node, relaxed, node_bound, cand.var,
+                             /*up=*/true, 1.0 - cand.f, engine);
+    };
+    if (probe_pool != nullptr && probe_scratch != nullptr &&
+        probes.size() > 1) {
+      // Chunked so a probe count above the scratch count never lands two
+      // concurrent probes on the same engine.
+      const std::size_t width = probe_scratch->size();
+      for (std::size_t base = 0; base < probes.size(); base += width) {
+        const int chunk =
+            static_cast<int>(std::min(width, probes.size() - base));
+        parallel_for(*probe_pool, chunk, [&](int i) {
+          measure(probes[base + static_cast<std::size_t>(i)],
+                  (*probe_scratch)[static_cast<std::size_t>(i)].get());
+        });
+      }
+    } else {
+      for (Probe& p : probes) measure(p, w);
+    }
+    // Phase 3: fold measurements and score, in candidate order.
+    std::size_t pi = 0;
     int best = -1;
     double best_score = -1.0;
     double best_dist = 0.0;
@@ -717,14 +859,12 @@ MilpSolution BranchAndBoundSolver::solve_impl(
       const double dist = cands[k].dist;
       double down_est = pc.estimate(j, /*up=*/false) * f;
       double up_est = pc.estimate(j, /*up=*/true) * (1.0 - f);
-      if (may_probe[k] && probe_budget > 0 && !ctx.deadline().expired() &&
-          !ctx.cancelled()) {
-        --probe_budget;
-        ++strong_branch_probes;
-        const double down = probe_direction(node, relaxed, node_bound, j,
-                                            /*up=*/false, f);
-        const double up = probe_direction(node, relaxed, node_bound, j,
-                                          /*up=*/true, 1.0 - f);
+      if (pi < probes.size() && probes[pi].k == k) {
+        const double down = probes[pi].down;
+        const double up = probes[pi].up;
+        ++pi;
+        fold_probe(j, /*up=*/false, down);
+        fold_probe(j, /*up=*/true, up);
         // A freshly measured value beats any historical average.
         if (!std::isnan(down)) {
           down_est = down == kInfeasibleScore ? down : down * f;
@@ -762,6 +902,92 @@ MilpSolution BranchAndBoundSolver::solve_impl(
     return (incumbent - global_bound) / denom <= options_.search.relative_gap;
   };
 
+  // Pushes the down (x_j <= floor(v)) and up (x_j >= ceil(v)) children of a
+  // branched node. The caller owns frontier synchronization.
+  const auto push_children = [&](const Node& node, const LpSolution& relaxed,
+                                 double node_bound, int j, int producer) {
+    const double v = relaxed.values[static_cast<std::size_t>(j)];
+    const double frac = v - std::floor(v);
+    for (const bool up : {false, true}) {
+      auto child = std::make_shared<Node>();
+      child->lower = node.lower;
+      child->upper = node.upper;
+      if (up) {
+        child->lower[static_cast<std::size_t>(j)] = std::ceil(v);
+      } else {
+        child->upper[static_cast<std::size_t>(j)] = std::floor(v);
+      }
+      child->parent_basis = relaxed.basis;
+      child->parent_bound = node_bound;
+      child->depth = node.depth + 1;
+      child->branch_var = j;
+      child->branch_up = up;
+      child->branch_frac = frac;
+      child->producer = producer;
+      if (child->lower[static_cast<std::size_t>(j)] <=
+          child->upper[static_cast<std::size_t>(j)]) {
+        open.push(std::move(child));
+      }
+    }
+  };
+
+  // Node LP on a worker's private engine/prep/context, mirroring
+  // `solve_node` but tallying into the worker's own counters (folded into
+  // the solve totals once workers join — never into `result` directly, so
+  // iterations are not double counted).
+  const auto solve_node_on = [&](WorkerScratch& ws, const Node& node) {
+    LpSolution lp = ws.engine.solve(
+        ws.prep, node.lower, node.upper, ws.ctx,
+        LpStartBasis(options_.search.warm_start_nodes ? node.parent_basis.get()
+                                                      : nullptr,
+                     LpStartBasis::Origin::kBoundChange));
+    if (lp.warm_started) ++ws.warm_started;
+    if (lp.used_dual) ++ws.dual_reopt;
+    ws.lp_iterations += lp.iterations;
+    ++ws.nodes;
+    return lp;
+  };
+
+  // Folds every worker's private tallies and stats tree back into the solve
+  // once the workers have joined: reopt/iteration totals into the solve
+  // counters, per-worker node/steal/incumbent counts under a "parallel"
+  // stats child, and each worker context's "simplex" subtree into this
+  // solve's branch_and_bound node so parallel and sequential solves report
+  // the same stats shape.
+  const auto merge_scratches =
+      [&](const std::vector<std::unique_ptr<WorkerScratch>>& scratch,
+          int threads_used) {
+        // Merge the worker stats trees before touching the "parallel" child:
+        // merge_from may grow stats.children (adding e.g. "simplex"), which
+        // would invalidate any reference held across the calls.
+        for (const std::unique_ptr<WorkerScratch>& ws : scratch) {
+          stats.merge_from(ws->ctx.stats());
+        }
+        SolveStats& pstats = stats.child("parallel");
+        pstats.add("threads", static_cast<double>(threads_used));
+        long long steals_total = 0;
+        for (std::size_t w = 0; w < scratch.size(); ++w) {
+          const WorkerScratch& ws = *scratch[w];
+          warm_started_nodes += ws.warm_started;
+          dual_reopt_nodes += ws.dual_reopt;
+          result.lp_iterations += static_cast<int>(ws.lp_iterations);
+          steals_total += ws.steals;
+          SolveStats& wstats = pstats.child("worker" + std::to_string(w));
+          wstats.add("nodes", static_cast<double>(ws.nodes));
+          wstats.add("steals", static_cast<double>(ws.steals));
+          wstats.add("incumbents", static_cast<double>(ws.incumbents));
+          wstats.add("lp_iterations", static_cast<double>(ws.lp_iterations));
+        }
+        pstats.add("steals", static_cast<double>(steals_total));
+        if (telemetry::MetricsRegistry* mreg = ctx.metrics();
+            mreg != nullptr && steals_total > 0) {
+          mreg->counter("etransform_milp_parallel_steals_total",
+                        "Frontier nodes expanded by a tree-search worker "
+                        "other than their producer")
+              .add(static_cast<double>(steals_total));
+        }
+      };
+
   bool budget_exhausted = false;
   std::optional<MilpStatus> interrupted;
   // Per-node spans would dominate the trace; batch them so a million-node
@@ -769,131 +995,406 @@ MilpSolution BranchAndBoundSolver::solve_impl(
   constexpr long long kNodesPerBatchSpan = 256;
   std::optional<telemetry::TraceSpan> batch_span;
   long long next_batch_node = 0;
-  while (!open.empty()) {
+  const auto refresh_batch_span = [&]() {
     if (telemetry::TraceRecorder* rec = ctx.trace();
         rec != nullptr && result.nodes >= next_batch_node) {
       batch_span.reset();
       batch_span.emplace(rec, "milp", "bnb.node_batch");
       next_batch_node = result.nodes + kNodesPerBatchSpan;
     }
-    // The best open node defines the global bound.
-    const double fresh_bound = open.best_bound();
-    if (fresh_bound > global_bound + 1e-12) {
-      stats.add("bound_improvements", 1.0);
-      record_trace(fresh_bound);
-      if (ctx.events.on_bound_improvement) {
-        BoundEvent event;
+  };
+
+  const int search_threads = resolve_threads(options_.search.threads);
+  if (options_.search.deterministic) {
+    // ---- deterministic epoch search ---------------------------------------
+    // Fixed dequeue epochs: pop up to `deterministic_epoch` nodes, solve
+    // their LPs in parallel (slot k always on scratch k, so counters merge
+    // in slot order), then apply the results sequentially in dequeue order
+    // on this thread — incumbent updates, pseudocost feedback, branching
+    // probes, and child pushes all happen in a thread-count-independent
+    // order. The explored tree depends on the epoch width but not on
+    // `threads`; only deadline-hit runs stay timing-dependent.
+    const int epoch = std::max(1, options_.search.deterministic_epoch);
+    std::vector<std::unique_ptr<WorkerScratch>> scratch;
+    scratch.reserve(static_cast<std::size_t>(epoch));
+    for (int s = 0; s < epoch; ++s) {
+      scratch.push_back(std::make_unique<WorkerScratch>(
+          *prep->model, options_.lp, sb_lp_options, ctx));
+    }
+    std::optional<ThreadPool> pool;
+    if (search_threads > 1) {
+      pool.emplace(search_threads);
+      pool->set_trace_recorder(ctx.trace());
+    }
+    std::vector<std::shared_ptr<Node>> batch;
+    std::vector<LpSolution> batch_sols(static_cast<std::size_t>(epoch));
+    while (!open.empty()) {
+      refresh_batch_span();
+      const double fresh_bound = open.best_bound();
+      if (fresh_bound > global_bound + 1e-12) {
+        stats.add("bound_improvements", 1.0);
+        record_trace(fresh_bound);
+        if (ctx.events.on_bound_improvement) {
+          BoundEvent event;
+          event.node = result.nodes;
+          event.bound = sense_sign * fresh_bound;
+          event.incumbent = have_incumbent ? sense_sign * incumbent : kNaN;
+          ctx.events.on_bound_improvement(event);
+        }
+      }
+      global_bound = fresh_bound;
+      if (gap_closed()) break;
+      if (result.nodes >= options_.search.max_nodes) {
+        budget_exhausted = true;
+        break;
+      }
+      interrupted = interruption();
+      if (interrupted) break;
+
+      // Gather one epoch, pruning at pop time exactly like the sequential
+      // loop (pruned pops do not count as nodes).
+      batch.clear();
+      while (!open.empty() && static_cast<int>(batch.size()) < epoch) {
+        std::shared_ptr<Node> node = open.pop(/*depth_first=*/!have_incumbent);
+        if (have_incumbent && node->parent_bound >= incumbent - 1e-12) {
+          continue;  // pruned by bound
+        }
+        batch.push_back(std::move(node));
+      }
+      if (batch.empty()) continue;
+
+      // Phase A: the epoch's node LPs, embarrassingly parallel.
+      const auto solve_slot = [&](int s) {
+        batch_sols[static_cast<std::size_t>(s)] = solve_node_on(
+            *scratch[static_cast<std::size_t>(s)],
+            *batch[static_cast<std::size_t>(s)]);
+      };
+      if (pool.has_value()) {
+        parallel_for(*pool, static_cast<int>(batch.size()), solve_slot);
+      } else {
+        for (int s = 0; s < static_cast<int>(batch.size()); ++s) {
+          solve_slot(s);
+        }
+      }
+
+      // Phase B: apply in dequeue order.
+      for (std::size_t s = 0; s < batch.size() && !interrupted; ++s) {
+        const Node& node = *batch[s];
+        const LpSolution& relaxed = batch_sols[s];
+        ++result.nodes;
+        if (ctx.events.on_node) {
+          NodeEvent event;
+          event.node = result.nodes;
+          event.depth = node.depth;
+          event.relaxation = relaxed.status == SolveStatus::kOptimal
+                                 ? relaxed.objective
+                                 : kNaN;
+          event.best_bound = sense_sign * global_bound;
+          event.incumbent = have_incumbent ? sense_sign * incumbent : kNaN;
+          event.open_nodes =
+              open.size() + static_cast<int>(batch.size() - 1 - s);
+          ctx.events.on_node(event);
+        }
+        if (relaxed.status == SolveStatus::kInfeasible) continue;
+        if (relaxed.status == SolveStatus::kIterationLimit) {
+          budget_exhausted = true;
+          continue;
+        }
+        if (relaxed.status == SolveStatus::kTimeLimit ||
+            relaxed.status == SolveStatus::kCancelled) {
+          interrupted = milp_status_of_lp(relaxed.status);
+          break;
+        }
+        if (relaxed.status == SolveStatus::kUnbounded ||
+            relaxed.status == SolveStatus::kNumericalError) {
+          continue;
+        }
+        const double node_bound = sense_sign * relaxed.objective;
+        if (node.branch_var >= 0) {
+          const double frac_moved =
+              node.branch_up ? 1.0 - node.branch_frac : node.branch_frac;
+          if (frac_moved > 1e-9) {
+            pc.update(node.branch_var, node.branch_up,
+                      (node_bound - node.parent_bound) / frac_moved);
+            ++pseudocost_updates;
+          }
+        }
+        if (have_incumbent && node_bound >= incumbent - 1e-12) continue;
+        if (all_integral(model, relaxed.values, integrality_tol)) {
+          try_incumbent(relaxed.values, relaxed.objective);
+          continue;
+        }
+        // Strong-branch probes are the bulk of this sequential apply phase;
+        // hand them to the pool (the epoch's node LPs are already done, so
+        // the workers are idle and the scratch engines free).
+        const int j = select_branch(node, relaxed, node_bound, nullptr,
+                                    pool.has_value() ? &*pool : nullptr,
+                                    &scratch);
+        if (j < 0) continue;  // integral within tolerance after probing
+        push_children(node, relaxed, node_bound, j, /*producer=*/-1);
+      }
+    }
+    merge_scratches(scratch, search_threads);
+  } else if (search_threads > 1) {
+    // ---- asynchronous parallel search -------------------------------------
+    // N workers share the best-first frontier under one mutex; node LPs and
+    // strong-branching probes run unlocked on per-worker engines. A worker
+    // expanding a node parks its bound in `inflight`, so the global bound
+    // never overshoots nodes that left the frontier but whose children have
+    // not been pushed yet. Incumbents additionally publish through the
+    // lock-free `incumbent_pub` so peers prune without taking the mutex.
+    std::vector<std::unique_ptr<WorkerScratch>> scratch;
+    scratch.reserve(static_cast<std::size_t>(search_threads));
+    for (int w = 0; w < search_threads; ++w) {
+      scratch.push_back(std::make_unique<WorkerScratch>(
+          *prep->model, options_.lp, sb_lp_options, ctx));
+    }
+    std::mutex mu;
+    std::condition_variable cv;
+    int active = 0;     // workers currently expanding a node
+    bool stop = false;  // a worker hit a terminal condition
+    std::exception_ptr failure;
+    std::vector<double> inflight(static_cast<std::size_t>(search_threads),
+                                 std::numeric_limits<double>::infinity());
+
+    const auto worker_loop = [&](int w) {
+      WorkerScratch& ws = *scratch[static_cast<std::size_t>(w)];
+      std::unique_lock<std::mutex> lock(mu);
+      for (;;) {
+        cv.wait(lock, [&] { return stop || !open.empty() || active == 0; });
+        if (stop) return;
+        if (open.empty()) {
+          if (active == 0) return;  // tree exhausted
+          continue;                 // spurious wakeup while peers expand
+        }
+        // Loop-top housekeeping, mirroring the sequential loop: whichever
+        // worker holds the lock refreshes the global bound (including the
+        // bounds of nodes peers are mid-expansion on) and checks the
+        // termination conditions on behalf of the whole search.
+        double fresh_bound = open.best_bound();
+        for (const double b : inflight) {
+          fresh_bound = std::min(fresh_bound, b);
+        }
+        if (fresh_bound > global_bound + 1e-12) {
+          stats.add("bound_improvements", 1.0);
+          record_trace(fresh_bound);
+          if (ctx.events.on_bound_improvement) {
+            BoundEvent event;
+            event.node = result.nodes;
+            event.bound = sense_sign * fresh_bound;
+            event.incumbent = have_incumbent ? sense_sign * incumbent : kNaN;
+            ctx.events.on_bound_improvement(event);
+          }
+        }
+        global_bound = fresh_bound;
+        // Same priority order as the sequential loop: a closed gap beats the
+        // node budget beats deadline/cancellation.
+        if (gap_closed()) {
+          stop = true;
+          cv.notify_all();
+          return;
+        }
+        if (result.nodes >= options_.search.max_nodes) {
+          budget_exhausted = true;
+          stop = true;
+          cv.notify_all();
+          return;
+        }
+        if (const std::optional<MilpStatus> hit = interruption()) {
+          interrupted = hit;
+          stop = true;
+          cv.notify_all();
+          return;
+        }
+        std::shared_ptr<Node> node = open.pop(/*depth_first=*/!have_incumbent);
+        if (have_incumbent && node->parent_bound >= incumbent - 1e-12) {
+          continue;  // pruned by bound
+        }
+        if (node->producer >= 0 && node->producer != w) ++ws.steals;
+        ++active;
+        inflight[static_cast<std::size_t>(w)] = node->parent_bound;
+        lock.unlock();
+
+        // A peer may have published a better incumbent while this node sat
+        // in the frontier: one lock-free check before paying for the LP (a
+        // late prune is uncounted, like the pop-time one).
+        const double pub = incumbent_pub.load(std::memory_order_relaxed);
+        LpSolution relaxed;
+        const bool expanded = node->parent_bound < pub - 1e-12;
+        if (expanded) relaxed = solve_node_on(ws, *node);
+
+        lock.lock();
+        if (expanded) {
+          ++result.nodes;
+          if (ctx.events.on_node) {
+            NodeEvent event;
+            event.node = result.nodes;
+            event.depth = node->depth;
+            event.relaxation = relaxed.status == SolveStatus::kOptimal
+                                   ? relaxed.objective
+                                   : kNaN;
+            event.best_bound = sense_sign * global_bound;
+            event.incumbent = have_incumbent ? sense_sign * incumbent : kNaN;
+            event.open_nodes = open.size();
+            ctx.events.on_node(event);
+          }
+          bool branch = false;
+          double node_bound = 0.0;
+          if (relaxed.status == SolveStatus::kIterationLimit) {
+            budget_exhausted = true;
+          } else if (relaxed.status == SolveStatus::kTimeLimit ||
+                     relaxed.status == SolveStatus::kCancelled) {
+            interrupted = milp_status_of_lp(relaxed.status);
+            stop = true;
+          } else if (relaxed.status == SolveStatus::kOptimal) {
+            node_bound = sense_sign * relaxed.objective;
+            if (node->branch_var >= 0) {
+              const double frac_moved = node->branch_up
+                                            ? 1.0 - node->branch_frac
+                                            : node->branch_frac;
+              if (frac_moved > 1e-9) {
+                pc.update(node->branch_var, node->branch_up,
+                          (node_bound - node->parent_bound) / frac_moved);
+                ++pseudocost_updates;
+              }
+            }
+            if (have_incumbent && node_bound >= incumbent - 1e-12) {
+              // dominated by the incumbent
+            } else if (all_integral(model, relaxed.values, integrality_tol)) {
+              if (try_incumbent(relaxed.values, relaxed.objective)) {
+                ++ws.incumbents;
+              }
+            } else {
+              branch = true;
+            }
+          }
+          // Infeasible / unbounded / numerically failed nodes drop, exactly
+          // like the sequential loop.
+          if (branch && !stop) {
+            // Branch selection probes child LPs: drop the lock so peers keep
+            // popping while this worker probes on its own engine.
+            lock.unlock();
+            const int j = select_branch(*node, relaxed, node_bound, &ws);
+            lock.lock();
+            if (j >= 0) push_children(*node, relaxed, node_bound, j, w);
+          }
+        }
+        inflight[static_cast<std::size_t>(w)] =
+            std::numeric_limits<double>::infinity();
+        --active;
+        cv.notify_all();
+      }
+    };
+
+    {
+      ThreadPool pool(search_threads);
+      pool.set_trace_recorder(ctx.trace());
+      for (int w = 0; w < search_threads; ++w) {
+        pool.submit([&, w] {
+          // ThreadPool tasks must not throw; park the first failure and
+          // stop the search (rethrown after the join below).
+          try {
+            worker_loop(w);
+          } catch (...) {
+            const std::lock_guard<std::mutex> guard(mu);
+            if (!failure) failure = std::current_exception();
+            stop = true;
+            cv.notify_all();
+          }
+        });
+      }
+      pool.wait_idle();
+    }
+    merge_scratches(scratch, search_threads);
+    if (failure) std::rethrow_exception(failure);
+  } else {
+    // ---- classic sequential search ----------------------------------------
+    while (!open.empty()) {
+      refresh_batch_span();
+      // The best open node defines the global bound.
+      const double fresh_bound = open.best_bound();
+      if (fresh_bound > global_bound + 1e-12) {
+        stats.add("bound_improvements", 1.0);
+        record_trace(fresh_bound);
+        if (ctx.events.on_bound_improvement) {
+          BoundEvent event;
+          event.node = result.nodes;
+          event.bound = sense_sign * fresh_bound;
+          event.incumbent = have_incumbent ? sense_sign * incumbent : kNaN;
+          ctx.events.on_bound_improvement(event);
+        }
+      }
+      global_bound = fresh_bound;
+      if (gap_closed()) break;
+      if (result.nodes >= options_.search.max_nodes) {
+        budget_exhausted = true;
+        break;
+      }
+      interrupted = interruption();
+      if (interrupted) break;
+      const std::shared_ptr<Node> node =
+          open.pop(/*depth_first=*/!have_incumbent);
+      if (have_incumbent && node->parent_bound >= incumbent - 1e-12) {
+        continue;  // pruned by bound
+      }
+
+      const LpSolution relaxed =
+          solve_node(node->lower, node->upper, node->parent_basis.get());
+      result.lp_iterations += relaxed.iterations;
+      ++result.nodes;
+      if (ctx.events.on_node) {
+        NodeEvent event;
         event.node = result.nodes;
-        event.bound = sense_sign * fresh_bound;
+        event.depth = node->depth;
+        event.relaxation = relaxed.status == SolveStatus::kOptimal
+                               ? relaxed.objective
+                               : kNaN;
+        event.best_bound = sense_sign * global_bound;
         event.incumbent = have_incumbent ? sense_sign * incumbent : kNaN;
-        ctx.events.on_bound_improvement(event);
+        event.open_nodes = open.size();
+        ctx.events.on_node(event);
       }
-    }
-    global_bound = fresh_bound;
-    if (gap_closed()) break;
-    if (result.nodes >= options_.search.max_nodes) {
-      budget_exhausted = true;
-      break;
-    }
-    interrupted = interruption();
-    if (interrupted) break;
-    const std::shared_ptr<Node> node =
-        open.pop(/*depth_first=*/!have_incumbent);
-    if (have_incumbent && node->parent_bound >= incumbent - 1e-12) {
-      continue;  // pruned by bound
-    }
+      if (relaxed.status == SolveStatus::kInfeasible) continue;
+      if (relaxed.status == SolveStatus::kIterationLimit) {
+        budget_exhausted = true;
+        continue;
+      }
+      if (relaxed.status == SolveStatus::kTimeLimit ||
+          relaxed.status == SolveStatus::kCancelled) {
+        // The deadline fired inside this node's LP; its bound is unusable,
+        // so drop the node and unwind with the partial tree.
+        interrupted = milp_status_of_lp(relaxed.status);
+        break;
+      }
+      if (relaxed.status == SolveStatus::kUnbounded ||
+          relaxed.status == SolveStatus::kNumericalError) {
+        // A bounded-root MILP node cannot become unbounded by tightening
+        // bounds, and a numerically failed node has no usable bound; treat
+        // either defensively as a failed node.
+        continue;
+      }
+      const double node_bound = sense_sign * relaxed.objective;
+      // This node's LP value is the branching outcome its parent predicted:
+      // feed the realized degradation back into the pseudocosts.
+      if (node->branch_var >= 0) {
+        const double frac_moved =
+            node->branch_up ? 1.0 - node->branch_frac : node->branch_frac;
+        if (frac_moved > 1e-9) {
+          pc.update(node->branch_var, node->branch_up,
+                    (node_bound - node->parent_bound) / frac_moved);
+          ++pseudocost_updates;
+        }
+      }
+      if (have_incumbent && node_bound >= incumbent - 1e-12) continue;
 
-    const LpSolution relaxed =
-        solve_node(node->lower, node->upper, node->parent_basis.get());
-    result.lp_iterations += relaxed.iterations;
-    ++result.nodes;
-    if (ctx.events.on_node) {
-      NodeEvent event;
-      event.node = result.nodes;
-      event.depth = node->depth;
-      event.relaxation = relaxed.status == SolveStatus::kOptimal
-                             ? relaxed.objective
-                             : kNaN;
-      event.best_bound = sense_sign * global_bound;
-      event.incumbent = have_incumbent ? sense_sign * incumbent : kNaN;
-      event.open_nodes = open.size();
-      ctx.events.on_node(event);
-    }
-    if (relaxed.status == SolveStatus::kInfeasible) continue;
-    if (relaxed.status == SolveStatus::kIterationLimit) {
-      budget_exhausted = true;
-      continue;
-    }
-    if (relaxed.status == SolveStatus::kTimeLimit ||
-        relaxed.status == SolveStatus::kCancelled) {
-      // The deadline fired inside this node's LP; its bound is unusable,
-      // so drop the node and unwind with the partial tree.
-      interrupted = milp_status_of_lp(relaxed.status);
-      break;
-    }
-    if (relaxed.status == SolveStatus::kUnbounded ||
-        relaxed.status == SolveStatus::kNumericalError) {
-      // A bounded-root MILP node cannot become unbounded by tightening
-      // bounds, and a numerically failed node has no usable bound; treat
-      // either defensively as a failed node.
-      continue;
-    }
-    const double node_bound = sense_sign * relaxed.objective;
-    // This node's LP value is the branching outcome its parent predicted:
-    // feed the realized degradation back into the pseudocosts.
-    if (node->branch_var >= 0) {
-      const double frac_moved =
-          node->branch_up ? 1.0 - node->branch_frac : node->branch_frac;
-      if (frac_moved > 1e-9) {
-        pc.update(node->branch_var, node->branch_up,
-                  (node_bound - node->parent_bound) / frac_moved);
-        ++pseudocost_updates;
+      if (all_integral(model, relaxed.values, integrality_tol)) {
+        try_incumbent(relaxed.values, relaxed.objective);
+        continue;
       }
-    }
-    if (have_incumbent && node_bound >= incumbent - 1e-12) continue;
 
-    if (all_integral(model, relaxed.values, integrality_tol)) {
-      try_incumbent(relaxed.values, relaxed.objective);
-      continue;
-    }
-
-    const int j = select_branch(*node, relaxed, node_bound);
-    if (j < 0) continue;  // integral within tolerance after probing
-    const double v = relaxed.values[static_cast<std::size_t>(j)];
-    const double frac = v - std::floor(v);
-    // Down child: x_j <= floor(v).
-    {
-      auto child = std::make_shared<Node>();
-      child->lower = node->lower;
-      child->upper = node->upper;
-      child->upper[static_cast<std::size_t>(j)] = std::floor(v);
-      child->parent_basis = relaxed.basis;
-      child->parent_bound = node_bound;
-      child->depth = node->depth + 1;
-      child->branch_var = j;
-      child->branch_up = false;
-      child->branch_frac = frac;
-      if (child->lower[static_cast<std::size_t>(j)] <=
-          child->upper[static_cast<std::size_t>(j)]) {
-        open.push(std::move(child));
-      }
-    }
-    // Up child: x_j >= ceil(v).
-    {
-      auto child = std::make_shared<Node>();
-      child->lower = node->lower;
-      child->upper = node->upper;
-      child->lower[static_cast<std::size_t>(j)] = std::ceil(v);
-      child->parent_basis = relaxed.basis;
-      child->parent_bound = node_bound;
-      child->depth = node->depth + 1;
-      child->branch_var = j;
-      child->branch_up = true;
-      child->branch_frac = frac;
-      if (child->lower[static_cast<std::size_t>(j)] <=
-          child->upper[static_cast<std::size_t>(j)]) {
-        open.push(std::move(child));
-      }
+      const int j = select_branch(*node, relaxed, node_bound, nullptr);
+      if (j < 0) continue;  // integral within tolerance after probing
+      push_children(*node, relaxed, node_bound, j, /*producer=*/-1);
     }
   }
 
@@ -925,16 +1426,18 @@ MilpSolution BranchAndBoundSolver::solve_impl(
   result.best_bound = sense_sign * std::min(global_bound,
                                             have_incumbent ? incumbent
                                                            : global_bound);
+  result.lp_iterations += static_cast<int>(seq_probe_iters);
   stats.add("nodes", result.nodes);
   stamp_reopt_counters();
-  stats.add("strong_branch_probes",
-            static_cast<double>(strong_branch_probes));
-  stats.add("pseudocost_updates", static_cast<double>(pseudocost_updates));
+  const long long probes = strong_branch_probes.load();
+  stats.add("strong_branch_probes", static_cast<double>(probes));
+  stats.add("pseudocost_updates",
+            static_cast<double>(pseudocost_updates.load()));
   if (telemetry::MetricsRegistry* mreg = ctx.metrics();
-      mreg != nullptr && strong_branch_probes > 0) {
+      mreg != nullptr && probes > 0) {
     mreg->counter("etransform_milp_strong_branch_probes_total",
                   "Strong-branching probes (two child LPs each)")
-        .add(static_cast<double>(strong_branch_probes));
+        .add(static_cast<double>(probes));
   }
   record_trace(global_bound);
   return result;

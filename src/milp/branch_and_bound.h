@@ -13,6 +13,20 @@
 // bound tight and enables early termination at a requested gap. A
 // depth-limited diving heuristic runs at the root to seed the incumbent.
 //
+// Parallel tree search (SearchOptions::threads > 1): the open-node frontier
+// is shared by N workers on a work-stealing ThreadPool. Each worker owns a
+// private LpEngine + PreparedLp + SolveContext (per-worker PreparedLps have
+// identical internal layout, so a parent basis produced on one worker
+// warm-starts a child on any other with the same kBoundChange dual-simplex
+// reoptimization as the sequential search), while the incumbent publishes
+// through a lock-free bound every worker checks right before committing to
+// a node LP. The root LP, cut separation, and the root dive stay
+// sequential. SearchOptions::deterministic switches to fixed node-dequeue
+// epochs whose explored tree is invariant to the thread count; see
+// solver_options.h and DESIGN.md ("Parallel tree search") for the exact
+// determinism contract. Per-worker node/steal/incumbent tallies land under
+// a "parallel" child of the branch_and_bound stats subtree.
+//
 // Root cutting planes (cut-and-branch): before branching starts, registered
 // CutGenerators (Gomory mixed-integer + lifted cover by default; see
 // milp/cuts.h) tighten the root relaxation over several separation rounds.
@@ -36,7 +50,10 @@
 // `on_incumbent`, and `on_bound_improvement` events fire as the tree is
 // explored, and the solve builds a "branch_and_bound" stats subtree (cut
 // rounds under "cuts", strong-branching counters, incumbent/bound trace)
-// also copied into MilpSolution::stats.
+// also copied into MilpSolution::stats. With threads > 1 the B&B-level
+// events fire from worker threads (serialized under the frontier lock;
+// callbacks must tolerate the calling thread not being the solve's), and
+// request_cancel() on the solve's context stops every worker cooperatively.
 #pragma once
 
 #include <memory>
@@ -113,9 +130,10 @@ struct MilpSolution {
   [[nodiscard]] const CutStats& cut_stats() const { return cuts; }
 };
 
-/// The MILP engine. Stateless between solves; safe to reuse — but a solver
-/// with registered cut generators must not run concurrent solves, since
-/// generators may keep per-solve scratch state.
+/// The MILP engine. Stateless between solves; safe to reuse, including for
+/// concurrent solves — CutGenerator::separate() is const and generators
+/// must keep per-solve scratch on the stack (see milp/cuts.h), so a shared
+/// generator set is safe across SolveFarm jobs and parallel tree searches.
 class BranchAndBoundSolver {
  public:
   explicit BranchAndBoundSolver(SolverOptions options = {});

@@ -124,7 +124,7 @@ bool cut_satisfied(const Cut& cut, const std::vector<double>& values,
 
 int GomoryMixedIntegerCutGenerator::separate(const SeparationContext& sep,
                                              const lp::LpSolution& sol,
-                                             CutPool& pool) {
+                                             CutPool& pool) const {
   const lp::PreparedLp& prep = *sep.prep;
   const lp::Model& model = *sep.model;
   if (sol.status != lp::SolveStatus::kOptimal || sol.basis == nullptr) {
@@ -380,7 +380,8 @@ bool knapsack_shape(const lp::Model& model, const lp::Constraint& row,
 }  // namespace
 
 int CoverCutGenerator::separate(const SeparationContext& sep,
-                                const lp::LpSolution& sol, CutPool& pool) {
+                                const lp::LpSolution& sol,
+                                CutPool& pool) const {
   if (sol.status != lp::SolveStatus::kOptimal) return 0;
   const lp::Model& model = *sep.model;
   const std::vector<double>& x = sol.values;

@@ -105,10 +105,13 @@ struct SeparationContext {
 
 /// A cut separator. Implementations read the fractional optimum in `lp`
 /// (solved over `ctx.prep`) and add violated *globally valid* inequalities
-/// over model variables to `pool`. Called once per root separation round;
-/// implementations may keep state across rounds but must not assume calls
-/// from a single thread across different solves share that state usefully
-/// (BranchAndBoundSolver is documented non-reentrant per generator set).
+/// over model variables to `pool`. Called once per root separation round.
+///
+/// separate() is const on purpose: per-solve scratch must live on the call
+/// stack (or in the CutPool), never in generator members. A generator set
+/// may be shared by concurrent solves — SolveFarm jobs and the parallel
+/// tree search both reuse solvers — so any mutable member a generator does
+/// keep (telemetry tallies and the like) must be internally synchronized.
 class CutGenerator {
  public:
   virtual ~CutGenerator() = default;
@@ -118,7 +121,7 @@ class CutGenerator {
 
   /// Appends violated cuts to `pool`; returns how many were accepted.
   virtual int separate(const SeparationContext& ctx, const lp::LpSolution& lp,
-                       CutPool& pool) = 0;
+                       CutPool& pool) const = 0;
 };
 
 /// Gomory mixed-integer cuts off the revised-simplex basis. For every basic
@@ -131,7 +134,7 @@ class GomoryMixedIntegerCutGenerator : public CutGenerator {
  public:
   [[nodiscard]] const char* name() const override { return "gomory"; }
   int separate(const SeparationContext& ctx, const lp::LpSolution& lp,
-               CutPool& pool) override;
+               CutPool& pool) const override;
 };
 
 /// Lifted knapsack cover cuts sum_{j in E(C)} x_j <= |C| - 1, from a greedy
@@ -143,7 +146,7 @@ class CoverCutGenerator : public CutGenerator {
  public:
   [[nodiscard]] const char* name() const override { return "cover"; }
   int separate(const SeparationContext& ctx, const lp::LpSolution& lp,
-               CutPool& pool) override;
+               CutPool& pool) const override;
 };
 
 /// The production separator set for `options` (Gomory and/or cover,

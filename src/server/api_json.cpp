@@ -119,6 +119,11 @@ PlannerOptions parse_options_json(const json::Value* options) {
           static_cast<int>(require_number(value, "max_nodes"));
     } else if (key == "relative_gap") {
       out.milp.search.relative_gap = require_number(value, "relative_gap");
+    } else if (key == "threads") {
+      out.milp.search.threads =
+          static_cast<int>(require_number(value, "threads"));
+    } else if (key == "deterministic") {
+      out.milp.search.deterministic = require_bool(value, "deterministic");
     } else {
       throw InvalidInputError("options: unknown key '" + key + "'");
     }
@@ -131,9 +136,10 @@ std::string options_fingerprint(const PlannerOptions& options,
   char buf[512];
   std::snprintf(
       buf, sizeof(buf),
-      "v1 engine=%d dr=%d sizing=%d omega=%.17g eco=%d "
+      "v2 engine=%d dr=%d sizing=%d omega=%.17g eco=%d "
       "cuts=%d/%d/%d/%d branch=%d lp=%d presolve=%d "
-      "nodes=%d gap=%.17g tl=%.17g varlim=%d jointlim=%d lb=%d",
+      "nodes=%d gap=%.17g tl=%.17g varlim=%d jointlim=%d lb=%d "
+      "threads=%d det=%d",
       static_cast<int>(options.engine), options.enable_dr ? 1 : 0,
       static_cast<int>(options.dr_sizing), options.business_impact_omega,
       options.economies_of_scale ? 1 : 0, options.milp.cuts.enable ? 1 : 0,
@@ -143,7 +149,8 @@ std::string options_fingerprint(const PlannerOptions& options,
       static_cast<int>(options.milp.lp.mode),
       options.milp.presolve.enable ? 1 : 0, options.milp.search.max_nodes,
       options.milp.search.relative_gap, time_limit_ms, options.exact_var_limit,
-      options.joint_dr_var_limit, options.compute_lower_bound ? 1 : 0);
+      options.joint_dr_var_limit, options.compute_lower_bound ? 1 : 0,
+      options.milp.search.threads, options.milp.search.deterministic ? 1 : 0);
   return std::string(buf);
 }
 

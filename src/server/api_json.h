@@ -23,6 +23,8 @@ namespace etransform::server {
 ///   branching: "pseudocost"|"most-fractional"
 ///   lp_algorithm: "auto"|"primal"|"dual"     presolve: bool
 ///   max_nodes: number         relative_gap: number
+///   threads: number (in-solve tree-search workers; <= 0 = hardware)
+///   deterministic: bool (fixed-epoch search, thread-count-invariant tree)
 /// Throws InvalidInputError on bad values.
 [[nodiscard]] PlannerOptions parse_options_json(const json::Value* options);
 

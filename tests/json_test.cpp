@@ -1,6 +1,5 @@
 // Tests for the shared JSON library (common/json.h): writer escaping and
-// number formatting, parser strictness, DOM helpers, round-tripping, and
-// the tests/json_lite.h compatibility shim.
+// number formatting, parser strictness, DOM helpers, and round-tripping.
 #include "common/json.h"
 
 #include <gtest/gtest.h>
@@ -8,8 +7,6 @@
 #include <cmath>
 #include <limits>
 #include <string>
-
-#include "json_lite.h"
 
 namespace etransform {
 namespace {
@@ -128,15 +125,6 @@ TEST(JsonParser, ParsesScalarsAndContainers) {
   EXPECT_TRUE(v.arr[1].b);
   EXPECT_EQ(v.arr[2].num, -2500.0);
   EXPECT_TRUE(v.arr[3].is_object());
-}
-
-// ---- compat shim ---------------------------------------------------------
-
-TEST(JsonLiteShim, AliasesTheSharedLibrary) {
-  static_assert(std::is_same_v<test::JValue, json::Value>);
-  test::JValue v;
-  ASSERT_TRUE(test::json_parse("{\"x\":[1]}", v));
-  EXPECT_EQ(v.get("x")->arr.at(0).num, 1.0);
 }
 
 }  // namespace

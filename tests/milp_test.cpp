@@ -442,7 +442,7 @@ class HandRolledCoverGenerator : public CutGenerator {
  public:
   [[nodiscard]] const char* name() const override { return "hand_cover"; }
   int separate(const SeparationContext& /*ctx*/, const lp::LpSolution& lp,
-               CutPool& pool) override {
+               CutPool& pool) const override {
     ++calls;
     const double activity = lp.values[0] + lp.values[1] + lp.values[2];
     if (activity <= 2.0 + 1e-6) return 0;  // not violated (later rounds)
@@ -454,7 +454,9 @@ class HandRolledCoverGenerator : public CutGenerator {
     cut.violation = activity - 2.0;
     return pool.add(std::move(cut)) ? 1 : 0;
   }
-  int calls = 0;
+  // separate() is const (generators may be shared across concurrent
+  // solves); this single-solve test tally is the documented exception.
+  mutable int calls = 0;
 };
 
 TEST(CutPipeline, RegisteredGeneratorReplacesBuiltinsAndIsApplied) {

@@ -384,6 +384,63 @@ TEST(ServerTest, ReplanWithDeltaMatchesFreshSolveOfModifiedInstance) {
       fresh_done.get("result")->get("cost")->get("total")->num);
 }
 
+TEST(ServerTest, ReplanOfAReplanWarmStartsAndMatchesFreshSolve) {
+  // Replan chains deeper than one hop: a completed replan job is itself a
+  // valid warm-start base, so an operator can iterate deltas without ever
+  // paying a cold solve.
+  DaemonFixture fixture;
+  Rng rng(29);
+  const ConsolidationInstance instance = make_random_instance(rng, 10, 4, 2);
+  const json::Value base = fixture.submit(instance, "exact", true, 0.0);
+  ASSERT_EQ(fixture.await(job_id(base)).get("state")->str, "done");
+
+  const auto replan_with_pin = [&](long long base_job, int group, int site) {
+    json::Value replan = json::Value::object();
+    replan.set("base_job", json::Value::number(static_cast<double>(base_job)));
+    json::Value delta = json::Value::object();
+    json::Value pins = json::Value::array();
+    json::Value pin = json::Value::object();
+    pin.set("group", json::Value::number(group));
+    pin.set("site", json::Value::number(site));
+    pins.push(std::move(pin));
+    delta.set("pin", std::move(pins));
+    replan.set("delta", std::move(delta));
+    replan.set("cache", json::Value::boolean(false));
+    return fixture.request_json("POST", "/v1/replan", replan.dump(), 202);
+  };
+
+  // Hop 1: pin group 0. Hop 2: replan *of the replan*, adding a pin on
+  // group 1. Both hops must warm-start from their base's stored basis.
+  const json::Value hop1 = replan_with_pin(job_id(base), 0, 1);
+  EXPECT_TRUE(hop1.get("warm_started")->b);
+  ASSERT_EQ(fixture.await(job_id(hop1)).get("state")->str, "done");
+
+  const json::Value hop2 = replan_with_pin(job_id(hop1), 1, 0);
+  EXPECT_TRUE(hop2.get("warm_started")->b);
+  const json::Value hop2_done = fixture.await(job_id(hop2));
+  ASSERT_EQ(hop2_done.get("state")->str, "done");
+
+  // A fresh solve with both pins applied must land on the same cost.
+  ScenarioSession session(instance);
+  session.pin_group(0, 1);
+  session.pin_group(1, 0);
+  json::Value fresh_body = json::Value::object();
+  fresh_body.set("instance",
+                 json::Value::string(write_instance(session.instance())));
+  json::Value fresh_options = json::Value::object();
+  fresh_options.set("engine", json::Value::string("exact"));
+  fresh_body.set("options", std::move(fresh_options));
+  fresh_body.set("cache", json::Value::boolean(false));
+  const json::Value fresh =
+      fixture.request_json("POST", "/v1/plan", fresh_body.dump(), 202);
+  const json::Value fresh_done = fixture.await(job_id(fresh));
+  ASSERT_EQ(fresh_done.get("state")->str, "done");
+
+  EXPECT_DOUBLE_EQ(
+      hop2_done.get("result")->get("cost")->get("total")->num,
+      fresh_done.get("result")->get("cost")->get("total")->num);
+}
+
 TEST(ServerTest, ReplanRequiresTerminalDoneBase) {
   DaemonFixture fixture;
   json::Value replan = json::Value::object();

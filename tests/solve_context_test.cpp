@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/random.h"
-#include "json_lite.h"
+#include "common/json.h"
 #include "common/solve_context.h"
 #include "common/stopwatch.h"
 #include "datagen/generators.h"
@@ -304,19 +304,19 @@ TEST(SolveStats, JsonRoundTripsHostileNamesThroughAValidator) {
   stats.add("metric \"with\\escapes\"", 7.0);
   stats.child("child\nname").add("k", 3.0);
 
-  test::JValue doc;
+  json::Value doc;
   std::string error;
-  ASSERT_TRUE(test::json_parse(stats.to_json(), doc, &error)) << error;
-  ASSERT_EQ(doc.kind, test::JValue::Kind::kObject);
+  ASSERT_TRUE(json::parse(stats.to_json(), doc, &error)) << error;
+  ASSERT_EQ(doc.kind, json::Value::Kind::kObject);
   // Decoding the emitted JSON must yield the original bytes exactly.
-  const test::JValue* name = doc.get("name");
+  const json::Value* name = doc.get("name");
   ASSERT_NE(name, nullptr);
   EXPECT_EQ(name->str, hostile);
-  const test::JValue* metrics = doc.get("metrics");
+  const json::Value* metrics = doc.get("metrics");
   ASSERT_NE(metrics, nullptr);
   ASSERT_NE(metrics->get("metric \"with\\escapes\""), nullptr);
   EXPECT_EQ(metrics->get("metric \"with\\escapes\"")->num, 7.0);
-  const test::JValue* children = doc.get("children");
+  const json::Value* children = doc.get("children");
   ASSERT_NE(children, nullptr);
   ASSERT_EQ(children->arr.size(), 1u);
   EXPECT_EQ(children->arr[0].get("name")->str, "child\nname");

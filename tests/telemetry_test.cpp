@@ -23,7 +23,7 @@
 #include "common/random.h"
 #include "common/solve_context.h"
 #include "datagen/generators.h"
-#include "json_lite.h"
+#include "common/json.h"
 #include "lp/model.h"
 #include "lp/lp_engine.h"
 #include "service/solve_farm.h"
@@ -66,21 +66,21 @@ std::uint64_t allocations() {
 }
 
 /// Parses a drained trace and fails the test on malformed JSON.
-test::JValue parse_trace(const std::string& json) {
-  test::JValue doc;
+json::Value parse_trace(const std::string& json) {
+  json::Value doc;
   std::string error;
-  EXPECT_TRUE(test::json_parse(json, doc, &error)) << error;
+  EXPECT_TRUE(json::parse(json, doc, &error)) << error;
   return doc;
 }
 
 /// Per-tid duration balance: every "E" closes an earlier "B"; all depths
 /// return to zero; timestamps never go backwards within a tid.
-void expect_balanced_and_monotonic(const test::JValue& doc) {
-  const test::JValue* events = doc.get("traceEvents");
+void expect_balanced_and_monotonic(const json::Value& doc) {
+  const json::Value* events = doc.get("traceEvents");
   ASSERT_NE(events, nullptr);
   std::map<double, int> depth;
   std::map<double, double> last_ts;
-  for (const test::JValue& e : events->arr) {
+  for (const json::Value& e : events->arr) {
     const std::string& ph = e.get("ph")->str;
     if (ph == "M") continue;
     const double tid = e.get("tid")->num;
@@ -111,9 +111,9 @@ TEST(TraceRecorder, DrainsNestedSpansAsBalancedChromeJson) {
   EXPECT_EQ(recorder.recorded(), 5u);
   EXPECT_EQ(recorder.thread_count(), 1);
 
-  const test::JValue doc = parse_trace(recorder.to_chrome_json());
+  const json::Value doc = parse_trace(recorder.to_chrome_json());
   EXPECT_EQ(doc.get("displayTimeUnit")->str, "ms");
-  const test::JValue* events = doc.get("traceEvents");
+  const json::Value* events = doc.get("traceEvents");
   ASSERT_NE(events, nullptr);
   // 1 thread_name metadata record + 5 events.
   ASSERT_EQ(events->arr.size(), 6u);
@@ -121,7 +121,7 @@ TEST(TraceRecorder, DrainsNestedSpansAsBalancedChromeJson) {
   EXPECT_EQ(events->arr[0].get("args")->get("name")->str, "main");
   EXPECT_EQ(events->arr[1].get("name")->str, "outer");
   EXPECT_EQ(events->arr[1].get("ph")->str, "B");
-  const test::JValue& instant = events->arr[3];
+  const json::Value& instant = events->arr[3];
   EXPECT_EQ(instant.get("ph")->str, "i");
   EXPECT_EQ(instant.get("s")->str, "t");
   EXPECT_EQ(instant.get("args")->get("value")->num, 42.0);
@@ -136,11 +136,11 @@ TEST(TraceRecorder, AsyncEventsCarryTheirIdAcrossThreads) {
     recorder.async_end("job", "job", 7);
   });
   worker.join();
-  const test::JValue doc = parse_trace(recorder.to_chrome_json());
+  const json::Value doc = parse_trace(recorder.to_chrome_json());
   int b = 0;
   int n = 0;
   int e = 0;
-  for (const test::JValue& event : doc.get("traceEvents")->arr) {
+  for (const json::Value& event : doc.get("traceEvents")->arr) {
     const std::string& ph = event.get("ph")->str;
     if (ph == "M") continue;
     ASSERT_NE(event.get("id"), nullptr) << "async events must carry an id";
@@ -160,10 +160,10 @@ TEST(TraceRecorder, TruncatesOverlongNamesInsteadOfCorrupting) {
   const std::string long_name(200, 'x');
   recorder.begin("category-name-far-beyond-fifteen", long_name);
   recorder.end("category-name-far-beyond-fifteen", long_name);
-  const test::JValue doc = parse_trace(recorder.to_chrome_json());
-  const test::JValue* events = doc.get("traceEvents");
+  const json::Value doc = parse_trace(recorder.to_chrome_json());
+  const json::Value* events = doc.get("traceEvents");
   bool saw = false;
-  for (const test::JValue& e : events->arr) {
+  for (const json::Value& e : events->arr) {
     if (e.get("ph")->str != "B") continue;
     saw = true;
     EXPECT_LT(e.get("name")->str.size(), long_name.size());
@@ -177,10 +177,10 @@ TEST(TraceRecorder, OpenSpansAreSynthesizedClosedAtDrain) {
   TraceRecorder recorder;
   recorder.begin("a", "left-open");
   recorder.begin("a", "also-open");
-  const test::JValue doc = parse_trace(recorder.to_chrome_json());
+  const json::Value doc = parse_trace(recorder.to_chrome_json());
   expect_balanced_and_monotonic(doc);
   int ends = 0;
-  for (const test::JValue& e : doc.get("traceEvents")->arr) {
+  for (const json::Value& e : doc.get("traceEvents")->arr) {
     if (e.get("ph")->str == "E") ++ends;
   }
   EXPECT_EQ(ends, 2) << "drain must close both open spans synthetically";
@@ -258,7 +258,7 @@ TEST(TraceRecorder, ConcurrentRecordingAndDrainingIsSafe) {
   go.store(true, std::memory_order_release);
   // Drain concurrently with the writers: must be safe (and see a prefix).
   for (int drains = 0; drains < 5; ++drains) {
-    const test::JValue doc = parse_trace(recorder.to_chrome_json());
+    const json::Value doc = parse_trace(recorder.to_chrome_json());
     expect_balanced_and_monotonic(doc);
   }
   for (auto& thread : threads) thread.join();
@@ -267,10 +267,10 @@ TEST(TraceRecorder, ConcurrentRecordingAndDrainingIsSafe) {
   EXPECT_EQ(recorder.recorded(),
             static_cast<std::size_t>(kThreads) * kSpansPerThread * 3);
   EXPECT_EQ(recorder.thread_count(), kThreads);
-  const test::JValue doc = parse_trace(recorder.to_chrome_json());
+  const json::Value doc = parse_trace(recorder.to_chrome_json());
   expect_balanced_and_monotonic(doc);
   std::set<std::string> names;
-  for (const test::JValue& e : doc.get("traceEvents")->arr) {
+  for (const json::Value& e : doc.get("traceEvents")->arr) {
     if (e.get("ph")->str == "M") names.insert(e.get("args")->get("name")->str);
   }
   EXPECT_EQ(names.size(), static_cast<std::size_t>(kThreads));
@@ -445,10 +445,10 @@ TEST(Integration, SolveScopesEmitMatchingTraceSpans) {
     SolveScope outer(ctx, "planner");
     SolveScope inner(ctx, "simplex");
   }
-  const test::JValue doc = parse_trace(recorder.to_chrome_json());
+  const json::Value doc = parse_trace(recorder.to_chrome_json());
   expect_balanced_and_monotonic(doc);
   std::vector<std::string> sequence;
-  for (const test::JValue& e : doc.get("traceEvents")->arr) {
+  for (const json::Value& e : doc.get("traceEvents")->arr) {
     const std::string& ph = e.get("ph")->str;
     if (ph == "B" || ph == "E") {
       sequence.push_back(ph + ":" + e.get("name")->str);
@@ -545,12 +545,12 @@ TEST(Integration, SolveFarmLifecycleIsFullyAccounted) {
 
   // Trace: async job lifecycles balance (b == e, same ids), and the worker
   // threads announced themselves.
-  const test::JValue doc = parse_trace(recorder.to_chrome_json());
+  const json::Value doc = parse_trace(recorder.to_chrome_json());
   expect_balanced_and_monotonic(doc);
   int async_begin = 0;
   int async_end = 0;
   std::set<std::string> thread_names;
-  for (const test::JValue& e : doc.get("traceEvents")->arr) {
+  for (const json::Value& e : doc.get("traceEvents")->arr) {
     const std::string& ph = e.get("ph")->str;
     if (ph == "M") thread_names.insert(e.get("args")->get("name")->str);
     if (ph == "b") ++async_begin;
