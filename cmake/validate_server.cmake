@@ -6,8 +6,16 @@
 #     must agree exactly),
 #   * resubmits the identical request and requires a cache hit,
 #   * replans against the finished job and requires a terminal result,
-#   * lints the /metrics Prometheus exposition,
-#   * SIGTERMs the daemon and requires a graceful drain-and-exit.
+#   * lints the job's /trace Chrome trace (balanced B/E and b/e phases,
+#     globally monotone timestamps, every span tagged with the job's own
+#     trace_id — the daemon boots with --slo-ms 0.001 so the flight
+#     recorder arms on every job),
+#   * checks /progress answers for the finished job,
+#   * lints the /metrics Prometheus exposition (including the p50/p95/p99
+#     latency summary gauges and the build-info/uptime pair),
+#   * SIGTERMs the daemon, requires a graceful drain-and-exit, and checks
+#     the --telemetry-dir run artifacts (trace.json, metrics.prom, and the
+#     per-job flight-recorder dump) landed on disk.
 # Driven by ctest:
 #   cmake -DDAEMON=<etransformd> -DCLIENT=<etransform_client>
 #         -DCLI=<etransform_cli> -DWORK_DIR=<dir> -P validate_server.cmake
@@ -56,8 +64,14 @@ endif()
 
 # ---- boot -----------------------------------------------------------------
 
+# --slo-ms 0.001 flags every job as an SLO anomaly, so the flight recorder
+# always keeps a per-job trace; --telemetry-dir collects those dumps plus
+# the shutdown artifacts checked after the drain.
+set(telemetry_dir "${WORK_DIR}/telemetry")
+file(REMOVE_RECURSE "${telemetry_dir}")
 execute_process(
   COMMAND sh -c "'${DAEMON}' --port 0 --workers 2 --port-file '${port_file}' \
+                 --slo-ms 0.001 --telemetry-dir '${telemetry_dir}' \
                  -v > '${daemon_log}' 2>&1 & echo $! > '${pid_file}'"
   RESULT_VARIABLE boot_result)
 if(NOT boot_result EQUAL 0)
@@ -149,6 +163,73 @@ endif()
 string(JSON replan_total GET "${replan_doc}" "result" "cost" "total")
 message(STATUS "replan OK: pinned total ${replan_total}")
 
+# ---- /trace Chrome trace lint --------------------------------------------
+
+execute_process(COMMAND "${CLIENT}" --port "${port}" trace "${job}"
+                OUTPUT_VARIABLE trace_doc RESULT_VARIABLE trace_result)
+if(NOT trace_result EQUAL 0)
+  die("GET /trace failed (${trace_result}): ${trace_doc}")
+endif()
+string(JSON trace_events LENGTH "${trace_doc}" "traceEvents")
+if(NOT trace_events GREATER 0)
+  die("/trace for job ${job} has no events")
+endif()
+
+# Balanced phases: every duration open has a close, every async begin an
+# end (the recorder emits synthetic closes for still-open spans).
+foreach(pair "B;E" "b;e")
+  list(GET pair 0 open_ph)
+  list(GET pair 1 close_ph)
+  string(REGEX MATCHALL "\"ph\":\"${open_ph}\"" opens "${trace_doc}")
+  string(REGEX MATCHALL "\"ph\":\"${close_ph}\"" closes "${trace_doc}")
+  list(LENGTH opens open_count)
+  list(LENGTH closes close_count)
+  if(NOT open_count EQUAL close_count)
+    die("/trace phase '${open_ph}' count ${open_count} != "
+        "'${close_ph}' count ${close_count}")
+  endif()
+endforeach()
+
+# Request scoping: the trace must carry exactly one trace_id — the job's.
+string(REGEX MATCHALL "\"trace_id\":[0-9]+" trace_ids "${trace_doc}")
+list(REMOVE_DUPLICATES trace_ids)
+if(NOT trace_ids STREQUAL "\"trace_id\":${job}")
+  die("/trace is not scoped to job ${job}: saw '${trace_ids}'")
+endif()
+
+# Globally monotone timestamps: the drain merges per-thread rings into one
+# ts-sorted stream. ts values are integral microseconds; zero-pad so the
+# check is a plain string compare (CMake-safe for 64-bit values).
+string(REGEX MATCHALL "\"ts\":[0-9]+" ts_list "${trace_doc}")
+set(prev_ts "")
+foreach(ts_match ${ts_list})
+  string(REGEX REPLACE "[^0-9]" "" digits "${ts_match}")
+  string(LENGTH "${digits}" digit_len)
+  math(EXPR pad_len "20 - ${digit_len}")
+  string(REPEAT "0" ${pad_len} zeros)
+  set(padded "${zeros}${digits}")
+  if(NOT prev_ts STREQUAL "" AND padded STRLESS prev_ts)
+    die("/trace timestamps are not globally monotone (${prev_ts} then "
+        "${padded})")
+  endif()
+  set(prev_ts "${padded}")
+endforeach()
+message(STATUS "/trace OK: ${trace_events} events, balanced, monotone, "
+               "scoped to job ${job}")
+
+# ---- /progress for the finished job --------------------------------------
+
+execute_process(COMMAND "${CLIENT}" --port "${port}" progress "${job}"
+                OUTPUT_VARIABLE progress_doc RESULT_VARIABLE progress_result)
+if(NOT progress_result EQUAL 0)
+  die("GET /progress failed (${progress_result}): ${progress_doc}")
+endif()
+string(JSON progress_state GET "${progress_doc}" "state")
+if(NOT progress_state STREQUAL "done")
+  die("/progress state is '${progress_state}', want 'done'")
+endif()
+message(STATUS "/progress OK: terminal job answers")
+
 # ---- /metrics exposition lint --------------------------------------------
 
 execute_process(COMMAND "${CLIENT}" --port "${port}" metrics
@@ -163,7 +244,12 @@ foreach(needle
         "# TYPE etransform_server_queue_depth gauge"
         "# TYPE etransform_server_jobs_inflight gauge"
         "# TYPE etransform_server_request_ms histogram"
-        "etransform_server_request_ms_bucket{le=\"+Inf\"}")
+        "etransform_server_request_ms_bucket{le=\"+Inf\"}"
+        "etransform_server_request_ms_p50 "
+        "etransform_server_request_ms_p95 "
+        "etransform_server_request_ms_p99 "
+        "etransform_build_info 1"
+        "etransform_uptime_seconds ")
   string(FIND "${prom}" "${needle}" at)
   if(at EQUAL -1)
     die("/metrics is missing: ${needle}")
@@ -194,3 +280,16 @@ if(NOT exited)
   die("etransformd did not exit within 15s of SIGTERM")
 endif()
 message(STATUS "drain OK: daemon exited after SIGTERM")
+
+# ---- --telemetry-dir run artifacts ---------------------------------------
+
+foreach(artifact
+        "${telemetry_dir}/trace.json"
+        "${telemetry_dir}/metrics.prom"
+        "${telemetry_dir}/job-${job}-trace.json")
+  if(NOT EXISTS "${artifact}")
+    die("missing telemetry artifact: ${artifact}")
+  endif()
+endforeach()
+message(STATUS "telemetry OK: shutdown artifacts and flight-recorder dump "
+               "present in ${telemetry_dir}")

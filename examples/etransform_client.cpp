@@ -1,11 +1,13 @@
 // etransform_client — a command-line client for etransformd.
 //
 //   etransform_client --port P plan <in.etf> [--engine auto|exact|heuristic]
-//       [--dr] [--time-limit ms] [--no-cache] [--no-wait]
+//       [--dr] [--time-limit ms] [--no-cache] [--no-wait] [--progress]
 //   etransform_client --port P replan <base-job> [--pin group=site ...]
-//       [--forbid group=site ...] [--no-cache] [--no-wait]
+//       [--forbid group=site ...] [--no-cache] [--no-wait] [--progress]
 //   etransform_client --port P status <job>
 //   etransform_client --port P events <job>
+//   etransform_client --port P progress <job>
+//   etransform_client --port P trace <job>
 //   etransform_client --port P cancel <job>
 //   etransform_client --port P health | metrics
 //
@@ -35,10 +37,13 @@ int usage() {
       stderr,
       "usage: etransform_client --port P <command>\n"
       "  plan <in.etf> [--engine auto|exact|heuristic] [--dr]\n"
-      "       [--time-limit ms] [--no-cache] [--no-wait]\n"
+      "       [--time-limit ms] [--no-cache] [--no-wait] [--progress]\n"
       "  replan <base-job> [--pin group=site ...] [--forbid group=site ...]\n"
-      "       [--no-cache] [--no-wait]\n"
-      "  status <job> | events <job> | cancel <job> | health | metrics\n");
+      "       [--no-cache] [--no-wait] [--progress]\n"
+      "  status <job> | events <job> | progress <job> | trace <job>\n"
+      "  cancel <job> | health | metrics\n"
+      "  (--progress prints a live node/bound/gap ticker to stderr while\n"
+      "   waiting; `trace` prints the job's Chrome trace JSON)\n");
   return 1;
 }
 
@@ -54,9 +59,52 @@ server::ClientResponse request_or_die(int port, const std::string& method,
   return response;
 }
 
+/// One --progress ticker line: the newest sample of GET /progress, printed
+/// to stderr (stdout stays reserved for the result document). Best-effort —
+/// a failed poll just skips a tick.
+void print_progress_tick(int port, long long job) {
+  server::ClientResponse response;
+  std::string error;
+  if (!server::http_request(port, "GET",
+                            "/v1/jobs/" + std::to_string(job) + "/progress",
+                            "", &response, &error) ||
+      response.status != 200) {
+    return;
+  }
+  json::Value doc;
+  if (!json::parse(response.body, doc, nullptr)) return;
+  const json::Value* timeline = doc.get("timeline");
+  if (timeline == nullptr || !timeline->is_array() || timeline->arr.empty()) {
+    return;
+  }
+  const json::Value& last = timeline->arr.back();
+  const auto num = [&last](const char* key, double fallback) {
+    const json::Value* v = last.get(key);
+    return v != nullptr && v->is_number() ? v->num : fallback;
+  };
+  std::string line = "progress: " +
+                     std::to_string(static_cast<long long>(num("nodes", 0))) +
+                     " nodes";
+  if (const json::Value* bound = last.get("bound")) {
+    line += ", bound " + std::to_string(bound->num);
+  }
+  if (const json::Value* incumbent = last.get("incumbent")) {
+    line += ", incumbent " + std::to_string(incumbent->num);
+  }
+  if (const json::Value* gap = last.get("gap")) {
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%.2f%%", gap->num * 100.0);
+    line += ", gap ";
+    line += pct;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
 /// Polls GET /v1/jobs/<id> until the state is terminal; prints the final
-/// document. Returns 0 on "done", 3 otherwise.
-int wait_for_job(int port, long long job) {
+/// document (and, with `progress`, a ~200ms live ticker on stderr).
+/// Returns 0 on "done", 3 otherwise.
+int wait_for_job(int port, long long job, bool progress) {
+  int polls = 0;
   while (true) {
     const server::ClientResponse response = request_or_die(
         port, "GET", "/v1/jobs/" + std::to_string(job), "");
@@ -72,6 +120,8 @@ int wait_for_job(int port, long long job) {
       std::printf("%s\n", response.body.c_str());
       return s == "done" ? 0 : 3;
     }
+    if (progress && polls % 4 == 0) print_progress_tick(port, job);
+    ++polls;
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 }
@@ -121,13 +171,13 @@ int main(int argc, char** argv) {
       std::printf("%s\n", response.body.c_str());
       return response.status == 200 ? 0 : 3;
     }
-    if (command == "status" || command == "events" || command == "cancel") {
+    if (command == "status" || command == "events" || command == "cancel" ||
+        command == "progress" || command == "trace") {
       if (args.size() < 2) return usage();
       const std::string job = args[1];
       const std::string target =
           "/v1/jobs/" + job +
-          (command == "events" ? "/events"
-                               : command == "cancel" ? "/cancel" : "");
+          (command == "status" ? "" : "/" + command);
       const server::ClientResponse response = request_or_die(
           port, command == "cancel" ? "POST" : "GET", target, "");
       std::printf("%s\n", response.body.c_str());
@@ -139,6 +189,7 @@ int main(int argc, char** argv) {
 
     json::Value body = json::Value::object();
     bool wait = true;
+    bool progress_ticker = false;
     if (command == "plan") {
       std::ifstream in(args[1]);
       if (!in) throw InvalidInputError("cannot open '" + args[1] + "'");
@@ -164,6 +215,8 @@ int main(int argc, char** argv) {
         body.set("cache", json::Value::boolean(false));
       } else if (flag == "--no-wait") {
         wait = false;
+      } else if (flag == "--progress") {
+        progress_ticker = true;
       } else if (flag == "--pin" && a + 1 < args.size()) {
         pins.push(parse_pair(args[++a], "--pin"));
       } else if (flag == "--forbid" && a + 1 < args.size()) {
@@ -201,7 +254,7 @@ int main(int argc, char** argv) {
       std::printf("%s\n", response.body.c_str());
       return 0;
     }
-    return wait_for_job(port, job);
+    return wait_for_job(port, job, progress_ticker);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -1,8 +1,8 @@
 // etransformd — the eTransform planner as a long-running HTTP service.
 //
 //   etransformd [--port P] [--workers N] [--max-queue N] [--max-jobs N]
-//               [--cache-mb M] [--default-time-limit ms]
-//               [--port-file FILE] [-v]
+//               [--cache-mb M] [--default-time-limit ms] [--slo-ms ms]
+//               [--telemetry-dir DIR] [--log-json] [--port-file FILE] [-v]
 //
 // Binds 127.0.0.1:P (default 7447; 0 = kernel-assigned ephemeral port, the
 // bound port is printed and optionally written to --port-file for
@@ -31,7 +31,9 @@ int usage() {
       stderr,
       "usage: etransformd [--port P] [--workers N] [--max-queue N]\n"
       "                   [--max-jobs N] [--cache-mb M]\n"
-      "                   [--default-time-limit ms] [--port-file FILE] [-v]\n"
+      "                   [--default-time-limit ms] [--slo-ms ms]\n"
+      "                   [--telemetry-dir DIR] [--log-json]\n"
+      "                   [--port-file FILE] [-v]\n"
       "  --port P       listen port on 127.0.0.1 (default 7447; 0 = pick\n"
       "                 an ephemeral port)\n"
       "  --workers N    solver worker threads (default: hardware\n"
@@ -42,6 +44,11 @@ int usage() {
       "                 age out (default 1024)\n"
       "  --cache-mb M   result cache budget in MiB (default 64; 0 off)\n"
       "  --default-time-limit ms  deadline for jobs that send none\n"
+      "  --slo-ms ms    flag jobs slower than this as anomalies and keep\n"
+      "                 their flight-recorder trace (default 0 = off)\n"
+      "  --telemetry-dir DIR  dump anomalous job traces as they happen and\n"
+      "                 write trace.json/metrics.prom at shutdown\n"
+      "  --log-json     one JSON object per log line (machine-parseable)\n"
       "  --port-file F  write the bound port to F once listening\n"
       "  -v             info-level logging\n");
   return 1;
@@ -69,6 +76,12 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(argv[++a])) << 20;
     } else if (flag == "--default-time-limit" && a + 1 < argc) {
       options.default_time_limit_ms = std::atof(argv[++a]);
+    } else if (flag == "--slo-ms" && a + 1 < argc) {
+      options.slo_ms = std::atof(argv[++a]);
+    } else if (flag == "--telemetry-dir" && a + 1 < argc) {
+      options.telemetry_dir = argv[++a];
+    } else if (flag == "--log-json") {
+      set_log_format(LogFormat::kJson);
     } else if (flag == "--port-file" && a + 1 < argc) {
       port_file = argv[++a];
     } else if (flag == "-v") {

@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 #include <utility>
@@ -9,6 +10,7 @@ namespace etransform {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::atomic<LogFormat> g_format{LogFormat::kText};
 
 // Serializes emission (and sink swaps) so concurrent jobs never interleave
 // characters of a line. The level check stays lock-free on the fast path.
@@ -34,11 +36,39 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+/// Local on purpose: logging sits below common/json in the layering.
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
+
+void set_log_format(LogFormat format) { g_format.store(format); }
+
+LogFormat log_format() { return g_format.load(); }
 
 void set_log_thread_tag(std::string tag) { t_tag = std::move(tag); }
 
@@ -57,16 +87,35 @@ void set_log_sink(LogSink sink) {
 
 void log_message(LogLevel level, const std::string& message) {
   if (level < g_level.load() || level == LogLevel::kOff) return;
-  std::string line = "[";
-  line += level_name(level);
-  line += "]";
-  if (!t_tag.empty()) {
-    line += " [";
-    line += t_tag;
+  std::string line;
+  if (g_format.load() == LogFormat::kJson) {
+    const auto ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+    line = "{\"ts_ms\":";
+    line += std::to_string(ts_ms);
+    line += ",\"level\":\"";
+    line += level_name(level);
+    line += "\"";
+    if (!t_tag.empty()) {
+      line += ",\"tag\":";
+      append_escaped(line, t_tag);
+    }
+    line += ",\"msg\":";
+    append_escaped(line, message);
+    line += "}";
+  } else {
+    line = "[";
+    line += level_name(level);
     line += "]";
+    if (!t_tag.empty()) {
+      line += " [";
+      line += t_tag;
+      line += "]";
+    }
+    line += " ";
+    line += message;
   }
-  line += " ";
-  line += message;
   const std::lock_guard<std::mutex> lock(log_mutex());
   if (sink_slot()) {
     sink_slot()(level, line);

@@ -26,6 +26,15 @@ void set_log_level(LogLevel level);
 /// Current minimum level.
 [[nodiscard]] LogLevel log_level();
 
+/// Output shape: kText emits `[LEVEL] [tag] message`; kJson emits one JSON
+/// object per line — {"ts_ms":…,"level":"…","tag":"…","msg":"…"} — so a
+/// daemon's multiplexed log is machine-parseable and each line's `tag`
+/// (request/job id) joins it back to its trace. Process-wide, like the
+/// level; the sink receives the formatted line either way.
+enum class LogFormat { kText = 0, kJson = 1 };
+void set_log_format(LogFormat format);
+[[nodiscard]] LogFormat log_format();
+
 /// Tags every line emitted by the *calling thread* with `[tag]` (empty
 /// clears). SolveFarm sets this to the job id for the duration of a job.
 void set_log_thread_tag(std::string tag);

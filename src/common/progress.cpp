@@ -1,0 +1,79 @@
+#include "common/progress.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace etransform {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+SolveProgress::SolveProgress(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 4)),
+      slots_(new Slot[capacity_]),
+      last_gap_(kInf) {}
+
+void SolveProgress::publish(double time_ms, long long nodes, double incumbent,
+                            bool has_incumbent, double bound, bool has_bound) {
+  double gap = kInf;
+  if (has_incumbent && has_bound) {
+    gap = std::abs(incumbent - bound) /
+          std::max(std::abs(incumbent), 1e-9);
+  }
+  // Best *proven* gap so far: the inputs are monotone best-so-far values,
+  // but the relative form can wiggle when the denominator moves (e.g. a
+  // maximization incumbent crossing magnitudes), and the operator-facing
+  // timeline must only tighten.
+  gap = std::min(gap, last_gap_);
+  last_gap_ = gap;
+
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[h % capacity_];
+  const std::uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_release);  // odd: in flight
+  slot.time_ms.store(time_ms, std::memory_order_relaxed);
+  slot.nodes.store(nodes, std::memory_order_relaxed);
+  slot.incumbent.store(has_incumbent ? incumbent : kNaN,
+                       std::memory_order_relaxed);
+  slot.bound.store(has_bound ? bound : kNaN, std::memory_order_relaxed);
+  slot.gap.store(gap, std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);  // even: published
+  head_.store(h + 1, std::memory_order_release);
+}
+
+SolveProgress::Snapshot SolveProgress::snapshot() const {
+  Snapshot snap;
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  snap.published = h;
+  const std::uint64_t n = std::min<std::uint64_t>(h, capacity_);
+  snap.timeline.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t k = h - n; k < h; ++k) {
+    const Slot& slot = slots_[k % capacity_];
+    // The slot's sequence is exactly 2 * (writes so far), so while it holds
+    // sample k it reads 2 * (k / capacity + 1). Matching against that exact
+    // value (not just "unchanged across the field reads") also rejects slots
+    // the writer already lapped *between* the head load and this read —
+    // a same-seq check would accept them and splice a newer sample into the
+    // middle of the timeline.
+    const auto expected =
+        static_cast<std::uint32_t>(2 * (k / capacity_ + 1));
+    if (slot.seq.load(std::memory_order_acquire) != expected) continue;
+    ProgressSample sample;
+    sample.time_ms = slot.time_ms.load(std::memory_order_relaxed);
+    sample.nodes = slot.nodes.load(std::memory_order_relaxed);
+    sample.incumbent = slot.incumbent.load(std::memory_order_relaxed);
+    sample.bound = slot.bound.load(std::memory_order_relaxed);
+    sample.gap = slot.gap.load(std::memory_order_relaxed);
+    // Order the field reads before the validating sequence re-read.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) == expected) {
+      snap.timeline.push_back(sample);
+    }
+  }
+  return snap;
+}
+
+}  // namespace etransform

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -38,6 +39,8 @@ class MetricsRegistry;
 }  // namespace etransform::telemetry
 
 namespace etransform {
+
+class SolveProgress;
 
 // ---------------------------------------------------------------------------
 // Event payloads. Plain value types on purpose: common/ must not depend on
@@ -218,6 +221,20 @@ class SolveContext {
   [[nodiscard]] telemetry::MetricsRegistry* metrics() const { return metrics_; }
   void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Request attribution: the trace id this solve runs under (0 = none).
+  /// Propagated with trace()/metrics() into per-worker contexts (the
+  /// link_cancel_to pattern) and bound onto worker threads so every span,
+  /// event, and log line of a multiplexed daemon is per-request filterable.
+  [[nodiscard]] std::uint64_t trace_id() const { return trace_id_; }
+  void set_trace_id(std::uint64_t trace_id) { trace_id_ = trace_id; }
+
+  /// Optional live progress ring: when set, branch-and-bound publishes
+  /// incumbent/bound/gap/node samples into it as the search runs (the
+  /// daemon's /v1/jobs/<id>/progress endpoint snapshots it concurrently).
+  /// Must outlive the context. Null by default — one branch per site.
+  [[nodiscard]] SolveProgress* progress() const { return progress_; }
+  void set_progress(SolveProgress* progress) { progress_ = progress; }
+
  private:
   friend class SolveScope;
 
@@ -230,6 +247,8 @@ class SolveContext {
   SolveScope* open_scope_ = nullptr;
   telemetry::TraceRecorder* trace_ = nullptr;
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  std::uint64_t trace_id_ = 0;
+  SolveProgress* progress_ = nullptr;
 };
 
 /// RAII stats scope: on construction finds-or-creates `name` under the

@@ -122,6 +122,8 @@ void ThreadPool::worker_loop(int index) {
       named_for = recorder;
     }
     {
+      const telemetry::TraceBindScope bind(
+          recorder, trace_id_.load(std::memory_order_relaxed));
       const telemetry::TraceSpan span(recorder, "pool", "pool.task");
       task();
     }

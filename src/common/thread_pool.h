@@ -18,6 +18,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -61,9 +62,16 @@ class ThreadPool {
 
   /// Attaches (or detaches, with nullptr) a trace recorder. While attached,
   /// every task runs inside a "pool.task" span and workers name their trace
-  /// track "worker-N" on first use. The recorder must outlive the pool or be
-  /// detached first. Safe to call from any thread.
-  void set_trace_recorder(telemetry::TraceRecorder* recorder) {
+  /// track "worker-N" on first use. `trace_id` (optional) is bound onto the
+  /// worker thread for each task's duration, stamping everything the task
+  /// records — per-solve pools (parallel B&B) pass their solve's id so
+  /// worker-side node LPs stay attributable to the request; long-lived
+  /// shared pools leave it 0 and bind per task instead (SolveFarm's
+  /// run_job). The recorder must outlive the pool or be detached first.
+  /// Safe to call from any thread.
+  void set_trace_recorder(telemetry::TraceRecorder* recorder,
+                          std::uint64_t trace_id = 0) {
+    trace_id_.store(trace_id, std::memory_order_relaxed);
     trace_recorder_.store(recorder, std::memory_order_release);
   }
 
@@ -89,6 +97,7 @@ class ThreadPool {
   std::size_t next_queue_ = 0;
 
   std::atomic<telemetry::TraceRecorder*> trace_recorder_{nullptr};
+  std::atomic<std::uint64_t> trace_id_{0};
 };
 
 /// Runs `fn(i)` for every i in [0, count) on the pool, blocking until all

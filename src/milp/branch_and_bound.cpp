@@ -16,6 +16,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/progress.h"
 #include "common/thread_pool.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -230,6 +231,8 @@ struct WorkerScratch {
     ctx.link_cancel_to(parent);
     ctx.set_trace(parent.trace());
     ctx.set_metrics(parent.metrics());
+    ctx.set_trace_id(parent.trace_id());
+    ctx.set_progress(parent.progress());
   }
 
   SolveContext ctx;
@@ -357,7 +360,24 @@ MilpSolution BranchAndBoundSolver::solve_impl(
   std::atomic<double> incumbent_pub{std::numeric_limits<double>::infinity()};
   double global_bound = -lp::kInfinity;
 
+  // Live progress: push a sample into the job's SolveProgress ring (when
+  // attached) at every trace-worthy moment. Publication sites are
+  // serialized — the frontier mutex in the async parallel search, this
+  // thread everywhere else — which is the ring's single-writer contract.
+  const auto publish_progress = [&](double bound_internal) {
+    if (SolveProgress* progress = ctx.progress()) {
+      const bool has_bound = bound_internal > -lp::kInfinity / 2;
+      progress->publish(ctx.elapsed_ms(), result.nodes,
+                        have_incumbent ? sense_sign * incumbent : 0.0,
+                        have_incumbent, sense_sign * bound_internal,
+                        has_bound);
+    }
+  };
+
   const auto record_trace = [&](double bound_internal) {
+    // Before the cap: the stats trace is bounded history, the progress ring
+    // wraps — a long solve must keep streaming samples past the cap.
+    publish_progress(bound_internal);
     if (stats.trace.size() >= kMaxTracePoints) return;
     TracePoint point;
     point.time_ms = ctx.elapsed_ms();
@@ -448,6 +468,9 @@ MilpSolution BranchAndBoundSolver::solve_impl(
       return result;
     case SolveStatus::kIterationLimit:
     case SolveStatus::kNumericalError:
+      if (root.status == SolveStatus::kNumericalError) {
+        stats.add("numerical_nodes", 1.0);
+      }
       result.status = MilpStatus::kNoSolutionFound;
       return result;
     case SolveStatus::kTimeLimit:
@@ -1003,6 +1026,17 @@ MilpSolution BranchAndBoundSolver::solve_impl(
       next_batch_node = result.nodes + kNodesPerBatchSpan;
     }
   };
+  // Periodic node-count samples for the progress ring: bound/incumbent
+  // samples only land on improvements, so a long tail chewing nodes without
+  // improving would otherwise look frozen to /progress pollers.
+  constexpr long long kNodesPerProgressSample = 64;
+  long long next_progress_node = 0;
+  const auto publish_node_progress = [&]() {
+    if (ctx.progress() != nullptr && result.nodes >= next_progress_node) {
+      publish_progress(global_bound);
+      next_progress_node = result.nodes + kNodesPerProgressSample;
+    }
+  };
 
   const int search_threads = resolve_threads(options_.search.threads);
   if (options_.search.deterministic) {
@@ -1024,12 +1058,13 @@ MilpSolution BranchAndBoundSolver::solve_impl(
     std::optional<ThreadPool> pool;
     if (search_threads > 1) {
       pool.emplace(search_threads);
-      pool->set_trace_recorder(ctx.trace());
+      pool->set_trace_recorder(ctx.trace(), ctx.trace_id());
     }
     std::vector<std::shared_ptr<Node>> batch;
     std::vector<LpSolution> batch_sols(static_cast<std::size_t>(epoch));
     while (!open.empty()) {
       refresh_batch_span();
+      publish_node_progress();
       const double fresh_bound = open.best_bound();
       if (fresh_bound > global_bound + 1e-12) {
         stats.add("bound_improvements", 1.0);
@@ -1107,6 +1142,11 @@ MilpSolution BranchAndBoundSolver::solve_impl(
         }
         if (relaxed.status == SolveStatus::kUnbounded ||
             relaxed.status == SolveStatus::kNumericalError) {
+          // Numerically failed nodes are dropped, but counted: the daemon's
+          // flight recorder flags solves whose tree shed nodes this way.
+          if (relaxed.status == SolveStatus::kNumericalError) {
+            stats.add("numerical_nodes", 1.0);
+          }
           continue;
         }
         const double node_bound = sense_sign * relaxed.objective;
@@ -1187,6 +1227,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(
           }
         }
         global_bound = fresh_bound;
+        publish_node_progress();  // under the frontier lock: serialized
         // Same priority order as the sequential loop: a closed gap beats the
         // node budget beats deadline/cancellation.
         if (gap_closed()) {
@@ -1240,7 +1281,10 @@ MilpSolution BranchAndBoundSolver::solve_impl(
           }
           bool branch = false;
           double node_bound = 0.0;
-          if (relaxed.status == SolveStatus::kIterationLimit) {
+          if (relaxed.status == SolveStatus::kNumericalError) {
+            // Dropped like the sequential loop; counted under the lock.
+            stats.add("numerical_nodes", 1.0);
+          } else if (relaxed.status == SolveStatus::kIterationLimit) {
             budget_exhausted = true;
           } else if (relaxed.status == SolveStatus::kTimeLimit ||
                      relaxed.status == SolveStatus::kCancelled) {
@@ -1288,7 +1332,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(
 
     {
       ThreadPool pool(search_threads);
-      pool.set_trace_recorder(ctx.trace());
+      pool.set_trace_recorder(ctx.trace(), ctx.trace_id());
       for (int w = 0; w < search_threads; ++w) {
         pool.submit([&, w] {
           // ThreadPool tasks must not throw; park the first failure and
@@ -1311,6 +1355,7 @@ MilpSolution BranchAndBoundSolver::solve_impl(
     // ---- classic sequential search ----------------------------------------
     while (!open.empty()) {
       refresh_batch_span();
+      publish_node_progress();
       // The best open node defines the global bound.
       const double fresh_bound = open.best_bound();
       if (fresh_bound > global_bound + 1e-12) {
@@ -1370,7 +1415,11 @@ MilpSolution BranchAndBoundSolver::solve_impl(
           relaxed.status == SolveStatus::kNumericalError) {
         // A bounded-root MILP node cannot become unbounded by tightening
         // bounds, and a numerically failed node has no usable bound; treat
-        // either defensively as a failed node.
+        // either defensively as a failed node (counted, for the daemon's
+        // numerical-degradation anomaly flag).
+        if (relaxed.status == SolveStatus::kNumericalError) {
+          stats.add("numerical_nodes", 1.0);
+        }
         continue;
       }
       const double node_bound = sense_sign * relaxed.objective;

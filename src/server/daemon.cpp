@@ -15,11 +15,13 @@
 #include "common/error.h"
 #include "common/json.h"
 #include "common/logging.h"
+#include "common/progress.h"
 #include "common/stopwatch.h"
 #include "model/instance_io.h"
 #include "planner/admin.h"
 #include "server/api_json.h"
 #include "server/instance_cache.h"
+#include "telemetry/artifacts.h"
 
 namespace etransform::server {
 
@@ -54,9 +56,22 @@ struct ServerJob {
   double solve_ms = 0.0;
   bool cache_hit = false;
   std::vector<std::string> events;  // progress lines, append-only
+  /// Flight recorder: the job's spans (filtered by trace id, bounded per
+  /// thread), captured at finalize when the job tripped an anomaly. Empty
+  /// for healthy jobs — /trace drains the live rings for those.
+  std::string flight_trace;
+  /// Why the flight recorder fired: "slo", "cancelled", "failed",
+  /// "numerical" (any subset, in that order).
+  std::vector<std::string> anomalies;
 };
 
 using ServerJobPtr = std::shared_ptr<ServerJob>;
+
+/// Flight-recorder depth: the tail of each thread's ring kept when an
+/// anomalous job's trace is captured. Bounds the retained JSON per job
+/// (~100 bytes/event) while keeping the interesting part — the end of the
+/// solve, where deadlines fire and numerical trouble shows up.
+constexpr std::size_t kFlightRecorderEventsPerThread = 512;
 
 void push_event(const ServerJobPtr& job, std::string line) {
   const std::lock_guard<std::mutex> lock(job->mu);
@@ -81,7 +96,10 @@ struct PlannerDaemon::Core {
       : cache(options.cache_bytes),
         max_queue_depth(options.max_queue_depth),
         max_jobs(static_cast<std::size_t>(std::max(1, options.max_jobs))),
-        default_time_limit_ms(options.default_time_limit_ms) {
+        default_time_limit_ms(options.default_time_limit_ms),
+        slo_ms(options.slo_ms),
+        telemetry_dir(options.telemetry_dir),
+        started_at(std::chrono::steady_clock::now()) {
     requests = &metrics.counter("etransform_server_requests_total",
                                 "HTTP requests served");
     cache_hits = &metrics.counter("etransform_server_cache_hits_total",
@@ -99,6 +117,24 @@ struct PlannerDaemon::Core {
                                    "Jobs admitted and not yet terminal");
     request_ms = &metrics.histogram("etransform_server_request_ms",
                                     "HTTP request handling time in ms");
+    errors = &metrics.counter("etransform_server_errors_total",
+                              "Requests that ended in a 5xx response");
+    anomalies_total = &metrics.counter(
+        "etransform_server_job_anomalies_total",
+        "Jobs flagged by the flight recorder (SLO, cancel, failure, "
+        "numerical trouble)");
+    slo_violations = &metrics.counter(
+        "etransform_server_slo_violations_total",
+        "Jobs whose solve wall time exceeded the configured SLO");
+    // The conventional info pair: a constant-1 gauge whose HELP line carries
+    // the build identity, plus an uptime gauge refreshed at scrape time.
+    build_info = &metrics.gauge(
+        "etransform_build_info",
+        std::string("Build info: compiled ") + __DATE__ + ", C++ standard " +
+            std::to_string(__cplusplus));
+    build_info->set(1.0);
+    uptime_seconds = &metrics.gauge("etransform_uptime_seconds",
+                                    "Seconds since the daemon constructed");
   }
 
   telemetry::TraceRecorder trace;
@@ -107,11 +143,15 @@ struct PlannerDaemon::Core {
   const int max_queue_depth;
   const std::size_t max_jobs;
   const double default_time_limit_ms;
+  const double slo_ms;
+  const std::string telemetry_dir;
+  const std::chrono::steady_clock::time_point started_at;
 
   std::mutex mu;
   std::map<long long, ServerJobPtr> jobs;
   long long next_id = 1;
   std::atomic<bool> draining{false};
+  std::atomic<std::uint64_t> next_request{1};
 
   telemetry::Counter* requests;
   telemetry::Counter* cache_hits;
@@ -121,6 +161,11 @@ struct PlannerDaemon::Core {
   telemetry::Gauge* queue_depth;
   telemetry::Gauge* jobs_inflight;
   telemetry::Histogram* request_ms;
+  telemetry::Counter* errors;
+  telemetry::Counter* anomalies_total;
+  telemetry::Counter* slo_violations;
+  telemetry::Gauge* build_info;
+  telemetry::Gauge* uptime_seconds;
 
   ServerJobPtr find_job(long long id) {
     const std::lock_guard<std::mutex> lock(mu);
@@ -186,6 +231,53 @@ struct PlannerDaemon::Core {
         cache_evictions->add(static_cast<double>(evicted));
       }
     }
+    // Close the request-level async span before any capture below: the
+    // flight trace must contain the balanced begin/end pair, not a
+    // still-open begin.
+    {
+      const telemetry::TraceBindScope bind(
+          &trace, static_cast<std::uint64_t>(job->id));
+      trace.async_end("server", "server.job", job->id);
+    }
+    // Anomaly matrix (see DESIGN.md §13): any hit arms the flight recorder.
+    std::vector<std::string> anomalies;
+    if (state == JobState::kCancelled) anomalies.emplace_back("cancelled");
+    if (state == JobState::kFailed) anomalies.emplace_back("failed");
+    if (slo_ms > 0.0 && solve_ms > slo_ms) {
+      anomalies.emplace_back("slo");
+      slo_violations->increment();
+    }
+    if (handle->has_report() &&
+        handle->report().stats.deep_metric("numerical_nodes") > 0.0) {
+      anomalies.emplace_back("numerical");
+    }
+    std::string flight_trace;
+    if (!anomalies.empty()) {
+      // Capture before the terminal flip: /trace served after this point
+      // returns the frozen capture, not a view that other jobs keep
+      // appending around.
+      flight_trace = trace.to_chrome_json_for_trace(
+          static_cast<std::uint64_t>(job->id), kFlightRecorderEventsPerThread);
+      anomalies_total->increment();
+      std::string reasons;
+      for (const std::string& a : anomalies) {
+        if (!reasons.empty()) reasons += ",";
+        reasons += a;
+      }
+      ET_LOG(kWarning) << "etransformd: job " << job->id
+                       << " flagged anomalous (" << reasons << ") after "
+                       << solve_ms << " ms; flight trace retained";
+      if (!telemetry_dir.empty()) {
+        std::string error;
+        if (!telemetry::write_text_file(telemetry_dir + "/job-" +
+                                            std::to_string(job->id) +
+                                            "-trace.json",
+                                        flight_trace, &error)) {
+          ET_LOG(kWarning) << "etransformd: flight trace dump failed: "
+                           << error;
+        }
+      }
+    }
     {
       const std::lock_guard<std::mutex> lock(job->mu);
       job->state = to_string(state);
@@ -193,12 +285,13 @@ struct PlannerDaemon::Core {
       job->result_json = std::move(result_json);
       job->root_basis = std::move(basis);
       job->solve_ms = solve_ms;
+      job->flight_trace = std::move(flight_trace);
+      job->anomalies = std::move(anomalies);
       job->events.push_back("state " + job->state);
       job->terminal = true;
       job->cv.notify_all();
     }
     jobs_inflight->add(-1.0);
-    trace.async_end("server", "server.job", job->id);
   }
 };
 
@@ -246,6 +339,19 @@ void PlannerDaemon::request_drain() {
 void PlannerDaemon::stop() {
   service_->wait_all();
   if (http_ != nullptr) http_->stop();
+  // Final artifact export, mirroring the CLI's --telemetry-dir behavior:
+  // the full (unfiltered) trace plus the metrics exposition at shutdown.
+  if (!options_.telemetry_dir.empty()) {
+    std::string error;
+    if (!telemetry::write_run_artifacts(options_.telemetry_dir, &core_->trace,
+                                        &core_->metrics, "", nullptr,
+                                        &error)) {
+      ET_LOG(kWarning) << "etransformd: telemetry export failed: " << error;
+    } else {
+      ET_LOG(kInfo) << "etransformd: run artifacts written to "
+                    << options_.telemetry_dir;
+    }
+  }
 }
 
 void PlannerDaemon::cancel_jobs() { service_->cancel_all(); }
@@ -383,6 +489,52 @@ json::Value job_status_json(const ServerJobPtr& job) {
   return out;
 }
 
+/// The /v1/jobs/<id>/progress body: a wait-free snapshot of the job's
+/// SolveProgress ring. NaN incumbent/bound and infinite gap are omitted
+/// rather than serialized (JSON has no spelling for either); `published`
+/// counts every sample ever published, so a client can tell "no progress
+/// yet" (0) from "ring wrapped past what I saw" (> timeline length).
+json::Value job_progress_json(const ServerJobPtr& job) {
+  json::Value out = json::Value::object();
+  JobHandle handle;
+  std::string state;
+  {
+    const std::lock_guard<std::mutex> lock(job->mu);
+    out.set("job", json::Value::number(static_cast<double>(job->id)));
+    handle = job->handle;
+    state = job->state;
+    if (!job->terminal && handle != nullptr &&
+        handle->state() == JobState::kRunning) {
+      state = "running";
+    }
+  }
+  out.set("state", json::Value::string(state));
+  json::Value timeline = json::Value::array();
+  std::uint64_t published = 0;
+  if (handle != nullptr) {  // cache hits and failed submits never solved
+    const SolveProgress::Snapshot snap = handle->progress().snapshot();
+    published = snap.published;
+    for (const ProgressSample& s : snap.timeline) {
+      json::Value entry = json::Value::object();
+      entry.set("time_ms", json::Value::number(s.time_ms));
+      entry.set("nodes", json::Value::number(static_cast<double>(s.nodes)));
+      if (!std::isnan(s.incumbent)) {
+        entry.set("incumbent", json::Value::number(s.incumbent));
+      }
+      if (!std::isnan(s.bound)) {
+        entry.set("bound", json::Value::number(s.bound));
+      }
+      if (std::isfinite(s.gap)) {
+        entry.set("gap", json::Value::number(s.gap));
+      }
+      timeline.arr.push_back(std::move(entry));
+    }
+  }
+  out.set("published", json::Value::number(static_cast<double>(published)));
+  out.set("timeline", std::move(timeline));
+  return out;
+}
+
 /// The /v1/jobs/<id>/events body: one chunk per batch of progress lines,
 /// blank-line keepalives while idle (so a dead peer or a stopping server is
 /// noticed within a second), final line "state <terminal>".
@@ -414,6 +566,19 @@ void stream_events(const ServerJobPtr& job, ResponseWriter& writer) {
 
 void PlannerDaemon::handle(const HttpRequest& request, ResponseWriter& writer) {
   const Stopwatch watch;
+  // Connection threads come and go; releasing this thread's trace buffer on
+  // the way out lets the next connection adopt it instead of growing the
+  // recorder by one ring per connection ever accepted. Declared before the
+  // span so the release runs after the span closes.
+  struct ThreadReleaser {
+    telemetry::TraceRecorder* recorder;
+    ~ThreadReleaser() { recorder->release_current_thread(); }
+  } releaser{&core_->trace};
+  // Request-id log tag: every line this handler (and anything it calls on
+  // this thread) emits is joinable back to one HTTP exchange.
+  const LogTagScope request_tag(
+      "req-" + std::to_string(
+                   core_->next_request.fetch_add(1, std::memory_order_relaxed)));
   const telemetry::TraceSpan span(&core_->trace, "server", "server.request");
   core_->requests->increment();
 
@@ -433,6 +598,10 @@ void PlannerDaemon::handle(const HttpRequest& request, ResponseWriter& writer) {
     }
     if (request.path == "/metrics" && request.method == "GET") {
       core_->queue_depth->set(static_cast<double>(service_->queue_depth()));
+      core_->uptime_seconds->set(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        core_->started_at)
+              .count());
       writer.send(200, "text/plain; version=0.0.4",
                   core_->metrics.render_prometheus());
       return done();
@@ -461,6 +630,26 @@ void PlannerDaemon::handle(const HttpRequest& request, ResponseWriter& writer) {
         stream_events(job, writer);
         return done();
       }
+      if (verb == "progress" && request.method == "GET") {
+        writer.send_json(200, job_progress_json(job).dump());
+        return done();
+      }
+      if (verb == "trace" && request.method == "GET") {
+        std::string body;
+        {
+          const std::lock_guard<std::mutex> lock(job->mu);
+          body = job->flight_trace;
+        }
+        if (body.empty()) {
+          // Healthy (or still-running) job: drain the live rings filtered
+          // to this job's spans. Rings never wrap, so the view is complete
+          // up to the flight-recorder tail cap.
+          body = core_->trace.to_chrome_json_for_trace(
+              static_cast<std::uint64_t>(id), kFlightRecorderEventsPerThread);
+        }
+        writer.send(200, "application/json", body);
+        return done();
+      }
       if (verb == "cancel" && request.method == "POST") {
         JobHandle handle;
         {
@@ -482,6 +671,12 @@ void PlannerDaemon::handle(const HttpRequest& request, ResponseWriter& writer) {
   } catch (const ParseError& e) {
     if (!writer.responded()) writer.send_error(400, e.what());
   } catch (const std::exception& e) {
+    // No job exists for request-level failures, so there is no per-job
+    // flight recorder to arm — count and log instead so the 5xx rate is
+    // still observable.
+    core_->errors->increment();
+    ET_LOG(kError) << "etransformd: 500 on " << request.method << " "
+                   << request.path << ": " << e.what();
     if (!writer.responded()) writer.send_error(500, e.what());
   }
   done();
@@ -665,6 +860,10 @@ void PlannerDaemon::handle_plan(const HttpRequest& request,
   solve.options = job->options;
   solve.time_limit_ms = job->time_limit_ms;
   solve.priority = priority;
+  // The server-side job id is the trace id: every span the solve records —
+  // farm worker, B&B pool workers, LP engines — carries it, so /trace can
+  // filter the shared rings back to this one request.
+  solve.trace_id = static_cast<std::uint64_t>(id);
   solve.root_warm = std::move(root_warm);
   // Progress lines for the events stream. Weak captures: the SolveContext
   // (and thus these callbacks) lives inside the farm job, which the server
@@ -688,11 +887,41 @@ void PlannerDaemon::handle_plan(const HttpRequest& request,
                          std::to_string(e.pivots) + " pivots");
     }
   };
+  // Sampled node progress merged into the /events stream: one line every
+  // ~256 nodes, so a streaming client sees the bound/incumbent/gap move
+  // without per-node chatter. The counter is shared with the callback, not
+  // the handler — the handler returns long before the solve ends.
+  const auto next_node = std::make_shared<std::atomic<long long>>(0);
+  solve.events.on_node = [weak, next_node](const NodeEvent& e) {
+    // Atomic rather than relying on the solver's emission locks: the
+    // callback contract only promises "on a worker thread".
+    long long due = next_node->load(std::memory_order_relaxed);
+    if (e.node < due ||
+        !next_node->compare_exchange_strong(due, e.node + 256,
+                                            std::memory_order_relaxed)) {
+      return;
+    }
+    if (const ServerJobPtr sp = weak.lock()) {
+      std::string line = "progress node " + std::to_string(e.node) +
+                         " bound " + format_double(e.best_bound);
+      if (!std::isnan(e.incumbent)) {
+        line += " incumbent " + format_double(e.incumbent);
+        const double denom = std::max(std::abs(e.incumbent), 1e-9);
+        line += " gap " +
+                format_double(std::abs(e.incumbent - e.best_bound) / denom);
+      }
+      push_event(sp, std::move(line));
+    }
+  };
   const std::shared_ptr<Core> core = core_;
   solve.on_complete = [core, job] { core->finalize(job); };
 
   core_->jobs_inflight->add(1.0);
-  core_->trace.async_begin("server", "server.job", id);
+  {
+    const telemetry::TraceBindScope bind(&core_->trace,
+                                         static_cast<std::uint64_t>(id));
+    core_->trace.async_begin("server", "server.job", id);
+  }
   push_event(job, replan ? "queued (replan of job " +
                                std::to_string(job->base_job) +
                                (job->warm_started ? ", warm basis)" : ")")
@@ -713,7 +942,11 @@ void PlannerDaemon::handle_plan(const HttpRequest& request,
       job->cv.notify_all();
     }
     core_->jobs_inflight->add(-1.0);
-    core_->trace.async_end("server", "server.job", id);
+    {
+      const telemetry::TraceBindScope bind(&core_->trace,
+                                           static_cast<std::uint64_t>(id));
+      core_->trace.async_end("server", "server.job", id);
+    }
     writer.send_error(503, e.what());
     return;
   }

@@ -10,6 +10,12 @@
 //                              terminal
 //   GET  /v1/jobs/<id>/events  chunked stream of solver progress lines,
 //                              terminated by "state <terminal>"
+//   GET  /v1/jobs/<id>/progress  live incumbent/bound/gap/node timeline
+//                              (wait-free snapshot of the solver's
+//                              progress ring; readable while it runs)
+//   GET  /v1/jobs/<id>/trace   the job's spans as a Chrome trace: the
+//                              flight-recorder capture for anomalous
+//                              jobs, a live filtered drain otherwise
 //   POST /v1/jobs/<id>/cancel  cooperative cancellation (queued or running)
 //   POST /v1/replan            delta against a prior job's instance,
 //                              warm-started from its cached root basis
@@ -58,6 +64,14 @@ struct DaemonOptions {
   std::size_t cache_bytes = 64u << 20;
   /// Deadline for jobs that do not send time_limit_ms (0 = unlimited).
   double default_time_limit_ms = 0.0;
+  /// Latency SLO in milliseconds: a job whose solve wall time exceeds it is
+  /// flagged as an anomaly and its flight-recorder trace is retained
+  /// (GET /v1/jobs/<id>/trace). 0 disables the SLO check.
+  double slo_ms = 0.0;
+  /// When non-empty, run artifacts (trace.json / metrics.prom) are written
+  /// here at stop(), and each anomalous job's flight-recorder trace is
+  /// dumped as job-<id>-trace.json as it finalizes.
+  std::string telemetry_dir;
 };
 
 class PlannerDaemon {

@@ -43,7 +43,15 @@ const char* to_string(JobState state) {
 // SolveJob
 
 SolveJob::SolveJob(long long id, SolveRequest request)
-    : id_(id), name_(request.name), request_(std::move(request)) {}
+    : id_(id), name_(request.name), request_(std::move(request)) {
+  // Resolve the attribution id once: explicit request id, else the farm job
+  // id. Every span recorded on the job's threads carries it (the worker
+  // binds it in run_job; in-solve pools inherit it from the context).
+  ctx_.set_trace_id(request_.trace_id != 0
+                        ? request_.trace_id
+                        : static_cast<std::uint64_t>(id));
+  ctx_.set_progress(&progress_);
+}
 
 JobState SolveJob::state() const {
   const std::lock_guard<std::mutex> lock(mu_);
@@ -95,6 +103,9 @@ void SolveJob::cancel() {
   if (cancelled_while_queued && telemetry_ != nullptr) {
     if (telemetry_->cancelled != nullptr) telemetry_->cancelled->increment();
     if (telemetry_->trace != nullptr) {
+      // Bind so the lifecycle close lands in the job's filtered trace even
+      // though it is recorded on the caller's thread.
+      const telemetry::TraceBindScope bind(telemetry_->trace, ctx_.trace_id());
       telemetry_->trace->async_end("job", "job", id_);
     }
   }
@@ -197,6 +208,7 @@ JobHandle SolveService::submit(SolveRequest request) {
       telem->queue_depth->set(static_cast<double>(queue_.size()));
     }
     if (telem->trace != nullptr) {
+      const telemetry::TraceBindScope bind(telem->trace, job->trace_id());
       telem->trace->async_begin("job", "job", job->id());
     }
   }
@@ -212,6 +224,13 @@ JobHandle SolveService::submit(SolveRequest request) {
 void SolveService::run_job(const JobHandle& job) {
   const LogTagScope tag("job-" + std::to_string(job->id()) +
                         (job->name().empty() ? "" : ":" + job->name()));
+  // Everything this worker records while the job runs — the claim instant,
+  // the solve span, the terminal async_end, plus all spans from the solver
+  // stack on this thread — is attributed to the job's trace id. In-solve
+  // pools bind their own workers via SolveContext::trace_id().
+  const telemetry::TraceBindScope bind(
+      job->telemetry_ != nullptr ? job->telemetry_->trace : nullptr,
+      job->trace_id());
   ET_LOG(kInfo) << "solve_farm: start (" << job->request_.instance.num_groups()
                 << " groups, " << job->request_.instance.num_sites()
                 << " sites)";

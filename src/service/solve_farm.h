@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/progress.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "model/entities.h"
@@ -73,6 +74,11 @@ struct SolveRequest {
   /// Per-job wall-clock budget in milliseconds; 0 = unlimited.
   double time_limit_ms = 0.0;
   JobPriority priority = JobPriority::kNormal;
+  /// Request attribution id stamped into every trace span the job's threads
+  /// record (SolveContext::trace_id). 0 picks the farm-assigned job id; the
+  /// server overrides it with the server-side job id so a drained trace can
+  /// be filtered back to the HTTP request that caused it.
+  std::uint64_t trace_id = 0;
   /// Progress callbacks installed on the job's SolveContext before the solve
   /// starts (incumbents, bound improvements, nodes, ...). Invoked on the
   /// worker thread; must be cheap and must not touch the job handle.
@@ -121,6 +127,16 @@ class SolveJob {
   /// Wall-clock milliseconds the solve ran (0 until it ran).
   [[nodiscard]] double solve_ms() const;
 
+  /// The job's live progress timeline (incumbent / bound / gap / node-count
+  /// samples published by the solver). Safe to read concurrently while the
+  /// job runs — SolveProgress::snapshot() is wait-free — and stays readable
+  /// after the job is terminal for as long as the handle is held.
+  [[nodiscard]] const SolveProgress& progress() const { return progress_; }
+
+  /// The request-attribution id this job runs under (stamped on trace
+  /// spans). Fixed at submit: request.trace_id, or the job id when 0.
+  [[nodiscard]] std::uint64_t trace_id() const { return ctx_.trace_id(); }
+
  private:
   friend class SolveService;
   friend class JobQueue;
@@ -141,6 +157,9 @@ class SolveJob {
   bool has_report_ = false;
 
   SolveContext ctx_;
+  /// Owned here (not on the context) so readers holding the handle outlive
+  /// the solve; ctx_ carries a pointer to it for the solver's publishes.
+  SolveProgress progress_;
   PlannerReport report_;
   std::string error_;
   double solve_ms_ = 0.0;

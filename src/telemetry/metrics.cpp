@@ -1,5 +1,6 @@
 #include "telemetry/metrics.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <stdexcept>
@@ -46,6 +47,33 @@ Histogram::Histogram(std::vector<double> bounds)
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     counts_[i].store(0, std::memory_order_relaxed);
   }
+}
+
+double Histogram::quantile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::uint64_t in_bucket = counts_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    const double reached = static_cast<double>(cumulative + in_bucket);
+    if (reached >= target) {
+      if (i == bounds_.size()) {
+        // +Inf bucket: no upper edge to interpolate toward.
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      }
+      const double hi = bounds_[i];
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double into =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, into));
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
 std::vector<double> MetricsRegistry::log_buckets(double lo, double hi,
@@ -160,6 +188,19 @@ std::string MetricsRegistry::render_prometheus() const {
         append_number(out, h.sum());
         out += '\n';
         out += entry->name + "_count " + std::to_string(cumulative) + "\n";
+        // Pre-computed latency summaries: dashboards and smoke checks read
+        // p50/p95/p99 directly instead of re-deriving histogram_quantile
+        // from the bucket lines. Exposed as gauges (a quantile can fall).
+        static constexpr struct {
+          const char* suffix;
+          double q;
+        } kQuantiles[] = {{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}};
+        for (const auto& [suffix, q] : kQuantiles) {
+          out += "# TYPE " + entry->name + suffix + " gauge\n";
+          out += entry->name + suffix + " ";
+          append_number(out, h.quantile(q));
+          out += '\n';
+        }
         break;
       }
     }

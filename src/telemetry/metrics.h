@@ -90,6 +90,13 @@ class Histogram {
     return counts_[i].load(std::memory_order_relaxed);
   }
 
+  /// Estimated `q`-quantile (q in [0,1]) by linear interpolation inside the
+  /// bucket holding the target rank — the standard Prometheus
+  /// histogram_quantile estimate, so the log-spaced buckets bound the
+  /// relative error by the bucket factor. Observations in the +Inf bucket
+  /// clamp to the highest finite bound. 0 while the histogram is empty.
+  [[nodiscard]] double quantile(double q) const;
+
  private:
   friend class MetricsRegistry;
   explicit Histogram(std::vector<double> bounds);

@@ -50,31 +50,51 @@ void append_json_escaped(std::string& out, std::string_view s) {
   out += '"';
 }
 
+/// One event staged for emission. cat/name view into the (drain-stable)
+/// record fields; synthetic closes view into the open record they close.
+struct StagedEvent {
+  std::uint64_t ts_us = 0;
+  std::uint64_t trace_id = 0;
+  std::int64_t id = 0;
+  int tid = 0;
+  char ph = 'i';
+  bool has_id = false;
+  bool has_arg = false;
+  std::string_view cat;
+  std::string_view name;
+};
+
 /// Emits one trace event object. `ph` is the Chrome phase character.
-void append_event(std::string& out, bool& first, char ph, int tid,
-                  std::uint64_t ts_us, std::string_view cat,
-                  std::string_view name, const std::int64_t* id,
-                  const std::int64_t* arg) {
+void append_event(std::string& out, bool& first, const StagedEvent& e) {
   if (!first) out += ',';
   first = false;
   out += "{\"ph\":\"";
-  out += ph;
+  out += e.ph;
   out += "\",\"pid\":1,\"tid\":";
-  out += std::to_string(tid);
+  out += std::to_string(e.tid);
   out += ",\"ts\":";
-  out += std::to_string(ts_us);
+  out += std::to_string(e.ts_us);
   out += ",\"cat\":";
-  append_json_escaped(out, cat);
+  append_json_escaped(out, e.cat);
   out += ",\"name\":";
-  append_json_escaped(out, name);
-  if (ph == 'i') out += ",\"s\":\"t\"";  // instant scope: thread
-  if (id != nullptr) {
+  append_json_escaped(out, e.name);
+  if (e.ph == 'i') out += ",\"s\":\"t\"";  // instant scope: thread
+  if (e.has_id) {
     out += ",\"id\":";
-    out += std::to_string(*id);
+    out += std::to_string(e.id);
   }
-  if (arg != nullptr && *arg != 0) {
-    out += ",\"args\":{\"value\":";
-    out += std::to_string(*arg);
+  const bool value_arg = e.has_arg && e.id != 0;
+  if (value_arg || e.trace_id != 0) {
+    out += ",\"args\":{";
+    if (value_arg) {
+      out += "\"value\":";
+      out += std::to_string(e.id);
+      if (e.trace_id != 0) out += ',';
+    }
+    if (e.trace_id != 0) {
+      out += "\"trace_id\":";
+      out += std::to_string(e.trace_id);
+    }
     out += '}';
   }
   out += '}';
@@ -110,6 +130,16 @@ TraceRecorder::ThreadBuffer* TraceRecorder::current_buffer() {
       return buffer.get();
     }
   }
+  // Adopt a released ring before growing a new one, so churning short-lived
+  // threads (one per daemon connection) recycle a bounded set of buffers.
+  for (const auto& buffer : buffers_) {
+    if (buffer->owner == std::thread::id{}) {
+      buffer->owner = me;
+      buffer->bound_trace_id = 0;
+      tls_slot = {recorder_id_, buffer.get()};
+      return buffer.get();
+    }
+  }
   auto fresh = std::make_unique<ThreadBuffer>();
   fresh->records.resize(capacity_);
   fresh->owner = me;
@@ -127,6 +157,29 @@ void TraceRecorder::set_current_thread_name(std::string_view name) {
   buffer->name.assign(name);
 }
 
+void TraceRecorder::bind_current_thread_trace(std::uint64_t trace_id) {
+  current_buffer()->bound_trace_id = trace_id;
+}
+
+std::uint64_t TraceRecorder::current_thread_trace() {
+  return current_buffer()->bound_trace_id;
+}
+
+void TraceRecorder::release_current_thread() {
+  // The TLS cache must be dropped first: a record after release would
+  // otherwise keep writing into a ring another thread may adopt.
+  if (tls_slot.recorder_id == recorder_id_) tls_slot = {};
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::thread::id me = std::this_thread::get_id();
+  for (const auto& buffer : buffers_) {
+    if (buffer->owner == me) {
+      buffer->owner = std::thread::id{};
+      buffer->bound_trace_id = 0;
+      return;
+    }
+  }
+}
+
 void TraceRecorder::record(TraceRecord::Type type, std::string_view cat,
                            std::string_view name, std::int64_t id) {
   ThreadBuffer* buffer = current_buffer();
@@ -138,6 +191,7 @@ void TraceRecorder::record(TraceRecord::Type type, std::string_view cat,
   TraceRecord& r = buffer->records[n];
   r.ts_us = now_us();
   r.id = id;
+  r.trace_id = buffer->bound_trace_id;
   r.type = type;
   copy_field(r.cat, cat);
   copy_field(r.name, name);
@@ -177,10 +231,46 @@ void TraceRecorder::clear() {
 }
 
 std::string TraceRecorder::to_chrome_json() const {
+  return drain_json(/*filtered=*/false, 0, static_cast<std::size_t>(-1));
+}
+
+std::string TraceRecorder::to_chrome_json_for_trace(
+    std::uint64_t trace_id, std::size_t max_events_per_thread) const {
+  return drain_json(/*filtered=*/true, trace_id, max_events_per_thread);
+}
+
+std::string TraceRecorder::drain_json(bool filtered, std::uint64_t trace_id,
+                                      std::size_t max_events_per_thread) const {
   const std::lock_guard<std::mutex> lock(mu_);
+  // Stage per buffer, then merge. Staging (rather than emitting buffer by
+  // buffer) exists for the merge step: concurrent jobs drain into *one*
+  // file, and a per-buffer emission order interleaves their timestamps
+  // arbitrarily — including synthetic closes landing before events that
+  // precede them in wall time. The merge sorts by timestamp with a stable
+  // sort, so each thread's own record order (its B/E nesting) is untouched:
+  // a thread's records are staged in publication order and carry
+  // non-decreasing timestamps.
+  std::vector<StagedEvent> staged;
+  std::vector<std::size_t> kept;  // scratch: indices of records to export
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const auto& buffer : buffers_) {
+    const std::size_t n = buffer->count.load(std::memory_order_acquire);
+    kept.clear();
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!filtered || buffer->records[k].trace_id == trace_id) {
+        kept.push_back(k);
+      }
+    }
+    if (filtered && kept.empty()) continue;  // thread never touched this job
+    if (kept.size() > max_events_per_thread) {
+      // Flight-recorder tail: most recent records win. The balance walk
+      // below skips ends whose begins fell off the front, exactly as it
+      // skips begins lost to clear().
+      kept.erase(kept.begin(),
+                 kept.end() - static_cast<std::ptrdiff_t>(max_events_per_thread));
+    }
+
     // Track metadata so Perfetto labels the track.
     if (!first) out += ',';
     first = false;
@@ -190,51 +280,70 @@ std::string TraceRecorder::to_chrome_json() const {
     append_json_escaped(out, buffer->name);
     out += "}}";
 
-    const std::size_t n = buffer->count.load(std::memory_order_acquire);
     // Open-span stack for balance: a begin whose end was not published yet
     // (drain mid-run) is closed synthetically; an end whose begin was
-    // cleared away is skipped. The exported stream is always balanced.
+    // cleared or truncated away is skipped. The export is always balanced.
     std::vector<const TraceRecord*> open;
     std::uint64_t last_ts = 0;
-    for (std::size_t k = 0; k < n; ++k) {
+    for (const std::size_t k : kept) {
       const TraceRecord& r = buffer->records[k];
       last_ts = std::max(last_ts, r.ts_us);
+      StagedEvent e;
+      e.ts_us = r.ts_us;
+      e.trace_id = r.trace_id;
+      e.id = r.id;
+      e.tid = buffer->tid;
+      e.cat = r.cat;
+      e.name = r.name;
       switch (r.type) {
         case TraceRecord::Type::kBegin:
-          append_event(out, first, 'B', buffer->tid, r.ts_us, r.cat, r.name,
-                       nullptr, &r.id);
+          e.ph = 'B';
+          e.has_arg = true;
           open.push_back(&r);
           break;
         case TraceRecord::Type::kEnd:
-          if (open.empty()) break;  // begin lost to clear(); keep balance
+          if (open.empty()) continue;  // begin lost; keep balance
           open.pop_back();
-          append_event(out, first, 'E', buffer->tid, r.ts_us, r.cat, r.name,
-                       nullptr, nullptr);
+          e.ph = 'E';
           break;
         case TraceRecord::Type::kInstant:
-          append_event(out, first, 'i', buffer->tid, r.ts_us, r.cat, r.name,
-                       nullptr, &r.id);
+          e.ph = 'i';
+          e.has_arg = true;
           break;
         case TraceRecord::Type::kAsyncBegin:
-          append_event(out, first, 'b', buffer->tid, r.ts_us, r.cat, r.name,
-                       &r.id, nullptr);
+          e.ph = 'b';
+          e.has_id = true;
           break;
         case TraceRecord::Type::kAsyncInstant:
-          append_event(out, first, 'n', buffer->tid, r.ts_us, r.cat, r.name,
-                       &r.id, nullptr);
+          e.ph = 'n';
+          e.has_id = true;
           break;
         case TraceRecord::Type::kAsyncEnd:
-          append_event(out, first, 'e', buffer->tid, r.ts_us, r.cat, r.name,
-                       &r.id, nullptr);
+          e.ph = 'e';
+          e.has_id = true;
           break;
       }
+      staged.push_back(e);
     }
-    // Close spans still open at drain time, innermost first.
+    // Close spans still open at drain time, innermost first, at the
+    // buffer's last timestamp (== the max staged ts for this tid, so the
+    // stable merge keeps them after every real event of the thread).
     for (auto it = open.rbegin(); it != open.rend(); ++it) {
-      append_event(out, first, 'E', buffer->tid, last_ts, (*it)->cat,
-                   (*it)->name, nullptr, nullptr);
+      StagedEvent e;
+      e.ts_us = last_ts;
+      e.trace_id = (*it)->trace_id;
+      e.tid = buffer->tid;
+      e.ph = 'E';
+      e.cat = (*it)->cat;
+      e.name = (*it)->name;
+      staged.push_back(e);
     }
   }
+  std::stable_sort(staged.begin(), staged.end(),
+                   [](const StagedEvent& a, const StagedEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  for (const StagedEvent& e : staged) append_event(out, first, e);
   out += "]}";
   return out;
 }

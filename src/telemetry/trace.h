@@ -55,6 +55,10 @@ struct TraceRecord {
 
   std::uint64_t ts_us = 0;  ///< Integer microseconds since the recorder epoch.
   std::int64_t id = 0;      ///< Async id, or a numeric arg for instants.
+  /// Request attribution: the trace id bound to the recording thread at
+  /// record time (0 = unattributed). Lets one shared recorder be drained
+  /// per request (`to_chrome_json_for_trace`).
+  std::uint64_t trace_id = 0;
   Type type = Type::kInstant;
   char cat[15] = {};   ///< Category, NUL-terminated (truncated if longer).
   char name[40] = {};  ///< Event name, NUL-terminated (truncated if longer).
@@ -73,6 +77,23 @@ class TraceRecorder {
   /// Names the calling thread's track in the exported trace ("worker-3").
   /// Registers the thread if it has not recorded yet.
   void set_current_thread_name(std::string_view name);
+
+  /// Binds the calling thread to `trace_id`: every subsequent record from
+  /// this thread is stamped with it until rebound (0 clears). The stamp is
+  /// what `to_chrome_json_for_trace` filters on, so a request that hops
+  /// threads (HTTP handler -> farm worker -> B&B pool workers) stays
+  /// reconstructible as one trace. Prefer the RAII TraceBindScope.
+  void bind_current_thread_trace(std::uint64_t trace_id);
+
+  /// The calling thread's current binding (0 when unbound).
+  [[nodiscard]] std::uint64_t current_thread_trace();
+
+  /// Detaches the calling thread from its ring so a future thread can adopt
+  /// it (its published records stay in the drain). Short-lived threads —
+  /// the daemon's per-connection handlers — must call this before exiting:
+  /// without it every connection would pin a fresh capacity-sized ring for
+  /// the recorder's lifetime. Clears the thread's trace binding.
+  void release_current_thread();
 
   // Hot-path recording (lock-free after the calling thread's first record).
   void begin(std::string_view cat, std::string_view name) {
@@ -118,8 +139,20 @@ class TraceRecorder {
   /// JSON document. Safe to call while other threads keep recording (their
   /// later records are simply not included). Spans still open at drain time
   /// are closed with a synthetic "E" at the thread's last timestamp, so the
-  /// output always has balanced begin/end pairs.
+  /// output always has balanced begin/end pairs. Events are merged across
+  /// threads in globally non-decreasing timestamp order (stable, so each
+  /// thread's own record order — and thus its B/E nesting — is preserved).
   [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Per-request drain: only records stamped with `trace_id` are exported,
+  /// each carrying `"trace_id"` in its args. `max_events_per_thread` bounds
+  /// the output by keeping each thread's *most recent* matching records (a
+  /// flight-recorder tail; truncation-orphaned ends are skipped, exactly
+  /// like records lost to clear()), so dumping one anomalous request stays
+  /// cheap even against a large shared ring.
+  [[nodiscard]] std::string to_chrome_json_for_trace(
+      std::uint64_t trace_id,
+      std::size_t max_events_per_thread = static_cast<std::size_t>(-1)) const;
 
  private:
   struct ThreadBuffer {
@@ -129,11 +162,16 @@ class TraceRecorder {
     std::thread::id owner;
     std::string name;
     int tid = 0;
+    /// Stamp applied to this thread's future records. Touched only by the
+    /// owner thread (bind) or under mu_ during release/adoption handover.
+    std::uint64_t bound_trace_id = 0;
   };
 
   void record(TraceRecord::Type type, std::string_view cat,
               std::string_view name, std::int64_t id);
   ThreadBuffer* current_buffer();
+  [[nodiscard]] std::string drain_json(bool filtered, std::uint64_t trace_id,
+                                       std::size_t max_events_per_thread) const;
 
   const std::uint64_t recorder_id_;  // globally unique, for TLS cache keying
   const std::size_t capacity_;
@@ -162,6 +200,32 @@ class TraceSpan {
   TraceRecorder* recorder_;
   const char* cat_;
   const char* name_;
+};
+
+/// RAII trace binding: stamps every record the calling thread makes inside
+/// the scope with `trace_id`, restoring the previous binding on exit (so a
+/// pool worker that interleaves jobs re-binds per task, and nested scopes —
+/// a sub-solve inside a job — behave like a stack). Null recorder: free.
+class TraceBindScope {
+ public:
+  TraceBindScope(TraceRecorder* recorder, std::uint64_t trace_id)
+      : recorder_(recorder) {
+    if (recorder_ != nullptr) {
+      saved_ = recorder_->current_thread_trace();
+      recorder_->bind_current_thread_trace(trace_id);
+    }
+  }
+
+  TraceBindScope(const TraceBindScope&) = delete;
+  TraceBindScope& operator=(const TraceBindScope&) = delete;
+
+  ~TraceBindScope() {
+    if (recorder_ != nullptr) recorder_->bind_current_thread_trace(saved_);
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  std::uint64_t saved_ = 0;
 };
 
 }  // namespace etransform::telemetry

@@ -12,6 +12,9 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -628,6 +631,294 @@ TEST(ServerTest, ConcurrentSubmissionHammer) {
   const std::string exposition = fixture.daemon.metrics().render_prometheus();
   EXPECT_NE(exposition.find("etransform_server_cache_hits_total"),
             std::string::npos);
+}
+
+// ---- request-scoped observability ----------------------------------------
+
+/// Parses a /trace body and asserts every event belongs to `job`: the
+/// Chrome trace is request-scoped, not the shared rings verbatim.
+void expect_trace_scoped_to(const std::string& body, long long job,
+                            std::size_t* events_out = nullptr) {
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse(body, doc, &error)) << error;
+  const json::Value* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::size_t events_seen = 0;
+  for (const json::Value& e : events->arr) {
+    if (e.get("ph")->str == "M") continue;
+    const json::Value* args = e.get("args");
+    ASSERT_NE(args, nullptr);
+    const json::Value* trace_id = args->get("trace_id");
+    ASSERT_NE(trace_id, nullptr);
+    EXPECT_EQ(trace_id->num, static_cast<double>(job))
+        << "foreign span leaked into job " << job << "'s trace";
+    ++events_seen;
+  }
+  if (events_out != nullptr) *events_out = events_seen;
+}
+
+/// Asserts a /progress document's timeline is well-formed: time and nodes
+/// non-decreasing, gap non-increasing (the "best proven gap" contract).
+void expect_progress_monotone(const json::Value& doc) {
+  const json::Value* timeline = doc.get("timeline");
+  ASSERT_NE(timeline, nullptr);
+  double last_time = -1.0;
+  double last_nodes = -1.0;
+  double last_gap = std::numeric_limits<double>::infinity();
+  for (const json::Value& sample : timeline->arr) {
+    const double time_ms = sample.get("time_ms")->num;
+    const double nodes = sample.get("nodes")->num;
+    EXPECT_GE(time_ms, last_time);
+    EXPECT_GE(nodes, last_nodes);
+    last_time = time_ms;
+    last_nodes = nodes;
+    if (const json::Value* gap = sample.get("gap")) {
+      EXPECT_LE(gap->num, last_gap) << "gap must be non-increasing";
+      last_gap = gap->num;
+    }
+  }
+}
+
+TEST(ServerTest, ProgressEndpointReportsMonotoneTimelineForLiveJob) {
+  DaemonOptions options;
+  options.workers = 1;
+  DaemonFixture fixture(options);
+  Rng rng(41);
+  const ConsolidationInstance big = make_random_instance(rng, 20, 6, 3);
+  const json::Value submitted =
+      fixture.submit(big, "exact", false, 10000.0, /*dr=*/true);
+  const long long id = job_id(submitted);
+  const std::string target = "/v1/jobs/" + std::to_string(id) + "/progress";
+
+  // Poll the live job until the solver has published something (or it
+  // finished first — the timeline stays readable either way).
+  json::Value doc;
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    doc = fixture.request_json("GET", target, "", 200);
+    const bool terminal = doc.get("state")->str == "done" ||
+                          doc.get("state")->str == "cancelled" ||
+                          doc.get("state")->str == "failed";
+    if (!doc.get("timeline")->arr.empty() || terminal) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_FALSE(doc.get("timeline")->arr.empty())
+      << "a capped exact+dr solve must publish progress";
+  expect_progress_monotone(doc);
+  EXPECT_GE(doc.get("published")->num,
+            static_cast<double>(doc.get("timeline")->arr.size()));
+
+  fixture.request("POST", "/v1/jobs/" + std::to_string(id) + "/cancel");
+  fixture.await(id);
+  // Terminal jobs keep their timeline (the handle pins the ring).
+  const json::Value after = fixture.request_json("GET", target, "", 200);
+  expect_progress_monotone(after);
+}
+
+TEST(ServerTest, ProgressForCacheHitJobIsEmptyNotAnError) {
+  DaemonFixture fixture;
+  const json::Value first = fixture.submit(small_instance());
+  fixture.await(job_id(first));
+  const json::Value hit = fixture.submit(small_instance());
+  ASSERT_TRUE(hit.get("cache_hit")->b);
+  const json::Value doc = fixture.request_json(
+      "GET", "/v1/jobs/" + std::to_string(job_id(hit)) + "/progress", "",
+      200);
+  EXPECT_EQ(doc.get("state")->str, "done");
+  EXPECT_TRUE(doc.get("timeline")->arr.empty());
+  EXPECT_EQ(doc.get("published")->num, 0.0);
+}
+
+TEST(ServerTest, TraceEndpointIsScopedToTheRequestedJob) {
+  DaemonFixture fixture;
+  Rng rng(43);
+  // Two distinct exact solves, run to completion, sharing the daemon's
+  // rings; each /trace must come back with only its own spans.
+  const ConsolidationInstance a = make_random_instance(rng, 10, 4, 2);
+  const ConsolidationInstance b = make_random_instance(rng, 10, 4, 2);
+  const long long id_a = job_id(fixture.submit(a, "exact", false));
+  const long long id_b = job_id(fixture.submit(b, "exact", false));
+  fixture.await(id_a);
+  fixture.await(id_b);
+  for (const long long id : {id_a, id_b}) {
+    const ClientResponse trace = fixture.request(
+        "GET", "/v1/jobs/" + std::to_string(id) + "/trace");
+    EXPECT_EQ(trace.status, 200);
+    std::size_t events = 0;
+    expect_trace_scoped_to(trace.body, id, &events);
+    EXPECT_GT(events, 0u) << "job " << id << " must have recorded spans";
+  }
+}
+
+TEST(ServerTest, SloViolationArmsTheFlightRecorder) {
+  DaemonOptions options;
+  options.slo_ms = 0.001;  // everything violates: the recorder always arms
+  DaemonFixture fixture(options);
+  const json::Value submitted =
+      fixture.submit(small_instance(), "exact", false);
+  const long long id = job_id(submitted);
+  ASSERT_EQ(fixture.await(id).get("state")->str, "done");
+
+  const ClientResponse trace = fixture.request(
+      "GET", "/v1/jobs/" + std::to_string(id) + "/trace");
+  EXPECT_EQ(trace.status, 200);
+  std::size_t events = 0;
+  expect_trace_scoped_to(trace.body, id, &events);
+  EXPECT_GT(events, 0u) << "the flight recorder must have captured spans";
+
+  const ClientResponse metrics = fixture.request("GET", "/metrics");
+  EXPECT_NE(metrics.body.find("etransform_server_slo_violations_total 1"),
+            std::string::npos)
+      << metrics.body.substr(0, 400);
+  EXPECT_NE(metrics.body.find("etransform_server_job_anomalies_total 1"),
+            std::string::npos);
+}
+
+TEST(ServerTest, CancelledJobKeepsAFlightRecorderCapture) {
+  DaemonOptions options;
+  options.workers = 1;
+  DaemonFixture fixture(options);
+  Rng rng(47);
+  const ConsolidationInstance big = make_random_instance(rng, 20, 6, 3);
+  const json::Value submitted =
+      fixture.submit(big, "exact", false, 10000.0, /*dr=*/true);
+  const long long id = job_id(submitted);
+  // Let it actually start solving before cancelling, so there are spans.
+  while (fixture
+             .request_json("GET", "/v1/jobs/" + std::to_string(id))
+             .get("state")
+             ->str == "queued") {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  fixture.request("POST", "/v1/jobs/" + std::to_string(id) + "/cancel");
+  ASSERT_EQ(fixture.await(id).get("state")->str, "cancelled");
+
+  const ClientResponse trace = fixture.request(
+      "GET", "/v1/jobs/" + std::to_string(id) + "/trace");
+  EXPECT_EQ(trace.status, 200);
+  std::size_t events = 0;
+  expect_trace_scoped_to(trace.body, id, &events);
+  EXPECT_GT(events, 0u);
+  const ClientResponse metrics = fixture.request("GET", "/metrics");
+  EXPECT_NE(metrics.body.find("etransform_server_job_anomalies_total 1"),
+            std::string::npos);
+}
+
+TEST(ServerTest, MetricsExposeBuildInfoUptimeAndLatencySummaries) {
+  DaemonFixture fixture;
+  fixture.await(job_id(fixture.submit(small_instance())));
+  const ClientResponse metrics = fixture.request("GET", "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("etransform_build_info 1"), std::string::npos);
+  EXPECT_NE(metrics.body.find("etransform_uptime_seconds "),
+            std::string::npos);
+  for (const char* line :
+       {"etransform_server_request_ms_p50 ", "etransform_server_request_ms_p95 ",
+        "etransform_server_request_ms_p99 "}) {
+    EXPECT_NE(metrics.body.find(line), std::string::npos) << line;
+  }
+}
+
+TEST(ServerTest, ConcurrentJobsKeepProgressAndTracesIsolated) {
+  // The TSan-targeted hammer: N exact jobs in flight while pollers hit
+  // /progress and /trace for every job. Each job's gap timeline must stay
+  // monotone and its trace must never contain another job's spans.
+  DaemonOptions options;
+  options.workers = 4;
+  options.max_queue_depth = 64;
+  DaemonFixture fixture(options);
+  constexpr int kJobs = 6;
+  std::vector<long long> ids;
+  for (int j = 0; j < kJobs; ++j) {
+    Rng rng(100 + static_cast<std::uint64_t>(j));
+    const ConsolidationInstance instance = make_random_instance(rng, 12, 4, 2);
+    ids.push_back(
+        job_id(fixture.submit(instance, "exact", false, 4000.0, /*dr=*/true)));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> pollers;
+  for (int p = 0; p < 3; ++p) {
+    pollers.emplace_back([&fixture, &ids, &stop, &violations] {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (const long long id : ids) {
+          ClientResponse progress;
+          if (server::http_request(
+                  fixture.daemon.port(), "GET",
+                  "/v1/jobs/" + std::to_string(id) + "/progress", "",
+                  &progress, nullptr) &&
+              progress.status == 200) {
+            json::Value doc;
+            if (!json::parse(progress.body, doc, nullptr)) {
+              ++violations;
+              continue;
+            }
+            double last_gap = std::numeric_limits<double>::infinity();
+            for (const json::Value& s : doc.get("timeline")->arr) {
+              if (const json::Value* gap = s.get("gap")) {
+                if (gap->num > last_gap + 1e-12) ++violations;
+                last_gap = gap->num;
+              }
+            }
+          }
+          ClientResponse trace;
+          if (server::http_request(fixture.daemon.port(), "GET",
+                                   "/v1/jobs/" + std::to_string(id) +
+                                       "/trace",
+                                   "", &trace, nullptr) &&
+              trace.status == 200) {
+            json::Value doc;
+            if (!json::parse(trace.body, doc, nullptr)) {
+              ++violations;
+              continue;
+            }
+            for (const json::Value& e : doc.get("traceEvents")->arr) {
+              if (e.get("ph")->str == "M") continue;
+              const json::Value* args = e.get("args");
+              const json::Value* trace_id =
+                  args != nullptr ? args->get("trace_id") : nullptr;
+              if (trace_id == nullptr ||
+                  trace_id->num != static_cast<double>(id)) {
+                ++violations;
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+  // Let the solves and pollers overlap, then wind everything down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  for (const long long id : ids) {
+    fixture.request("POST", "/v1/jobs/" + std::to_string(id) + "/cancel");
+  }
+  for (const long long id : ids) fixture.await(id);
+  stop.store(true, std::memory_order_release);
+  for (std::thread& poller : pollers) poller.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(ServerTest, TelemetryDirCollectsFlightTracesAndRunArtifacts) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("etransformd_server_test_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  long long id = -1;
+  {
+    DaemonOptions options;
+    options.slo_ms = 0.001;  // force an anomaly so a flight trace is dumped
+    options.telemetry_dir = dir.string();
+    DaemonFixture fixture(options);
+    id = job_id(fixture.submit(small_instance(), "exact", false));
+    fixture.await(id);
+    fixture.daemon.stop();  // writes trace.json / metrics.prom
+  }
+  EXPECT_TRUE(std::filesystem::exists(
+      dir / ("job-" + std::to_string(id) + "-trace.json")));
+  EXPECT_TRUE(std::filesystem::exists(dir / "trace.json"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "metrics.prom"));
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

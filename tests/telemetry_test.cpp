@@ -6,11 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
+#include <mutex>
 #include <new>
 #include <regex>
 #include <set>
@@ -20,6 +25,7 @@
 #include <unistd.h>
 #include <vector>
 
+#include "common/progress.h"
 #include "common/random.h"
 #include "common/solve_context.h"
 #include "datagen/generators.h"
@@ -276,6 +282,292 @@ TEST(TraceRecorder, ConcurrentRecordingAndDrainingIsSafe) {
   EXPECT_EQ(names.size(), static_cast<std::size_t>(kThreads));
 }
 
+// ---- drain ordering (satellite: stable cross-thread merge) ----------------
+
+/// Global (not just per-tid) timestamp monotonicity: the drained stream is
+/// one merged timeline, so downstream tools can binary-search it.
+void expect_globally_monotonic(const json::Value& doc) {
+  const json::Value* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  double last_ts = -1.0;
+  for (const json::Value& e : events->arr) {
+    if (e.get("ph")->str == "M") continue;
+    const double ts = e.get("ts")->num;
+    EXPECT_GE(ts, last_ts) << "drained events must be globally ts-sorted";
+    last_ts = ts;
+  }
+}
+
+TEST(TraceRecorder, DrainMergesThreadsInTimestampOrder) {
+  // Two threads strictly alternate instants with a cv handshake and a real
+  // sleep between turns, so the true global order interleaves A,B,A,B,...
+  // A buffer-by-buffer drain would emit all of A then all of B and regress
+  // in time at the seam; the merged drain must not.
+  TraceRecorder recorder;
+  std::mutex mu;
+  std::condition_variable cv;
+  int turn = 0;  // even: thread A, odd: thread B
+  constexpr int kTurns = 12;
+  const auto player = [&](int parity, const char* name) {
+    for (int t = parity; t < kTurns; t += 2) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return turn == t; });
+      // value = turn + 1: a zero value would elide the args object entirely.
+      recorder.instant("turns", name, t + 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      ++turn;
+      cv.notify_all();
+    }
+  };
+  std::thread a([&] { player(0, "a"); });
+  std::thread b([&] { player(1, "b"); });
+  a.join();
+  b.join();
+
+  const json::Value doc = parse_trace(recorder.to_chrome_json());
+  expect_globally_monotonic(doc);
+  expect_balanced_and_monotonic(doc);
+  // The merged order is the handshake order: instants carry turn + 1 as
+  // the arg value, which must come out 1,2,3,...
+  int expected_turn = 0;
+  for (const json::Value& e : doc.get("traceEvents")->arr) {
+    if (e.get("ph")->str != "i") continue;
+    const json::Value* args = e.get("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->get("value")->num, ++expected_turn);
+  }
+  EXPECT_EQ(expected_turn, kTurns);
+}
+
+TEST(TraceRecorder, SyntheticClosesSortAfterTheirThreadsEvents) {
+  // An open span on a thread that stopped recording early must still close
+  // after every event that thread recorded, even once the global sort runs.
+  TraceRecorder recorder;
+  recorder.begin("a", "left-open");
+  std::thread([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    recorder.instant("a", "later");
+  }).join();
+  const json::Value doc = parse_trace(recorder.to_chrome_json());
+  expect_globally_monotonic(doc);
+  expect_balanced_and_monotonic(doc);
+}
+
+// ---- request attribution (tentpole: trace ids) ----------------------------
+
+TEST(TraceRecorder, BindScopeStampsAndRestoresTraceIds) {
+  TraceRecorder recorder;
+  EXPECT_EQ(recorder.current_thread_trace(), 0u);
+  {
+    const telemetry::TraceBindScope outer(&recorder, 5);
+    EXPECT_EQ(recorder.current_thread_trace(), 5u);
+    {
+      const telemetry::TraceBindScope inner(&recorder, 9);
+      EXPECT_EQ(recorder.current_thread_trace(), 9u);
+    }
+    EXPECT_EQ(recorder.current_thread_trace(), 5u);
+  }
+  EXPECT_EQ(recorder.current_thread_trace(), 0u);
+  // A null recorder is a no-op, like a null-recorder TraceSpan.
+  const telemetry::TraceBindScope noop(nullptr, 7);
+}
+
+TEST(TraceRecorder, FilteredDrainReturnsOnlyTheRequestedTrace) {
+  TraceRecorder recorder;
+  {
+    const telemetry::TraceBindScope bind(&recorder, 7);
+    const TraceSpan span(&recorder, "a", "seven");
+    recorder.instant("a", "seven-tick");
+  }
+  {
+    const telemetry::TraceBindScope bind(&recorder, 8);
+    recorder.instant("a", "eight-tick");
+  }
+  recorder.instant("a", "unattributed");
+
+  const json::Value doc = parse_trace(recorder.to_chrome_json_for_trace(7));
+  expect_balanced_and_monotonic(doc);
+  int matched = 0;
+  for (const json::Value& e : doc.get("traceEvents")->arr) {
+    if (e.get("ph")->str == "M") continue;
+    ASSERT_NE(e.get("args"), nullptr);
+    ASSERT_NE(e.get("args")->get("trace_id"), nullptr);
+    EXPECT_EQ(e.get("args")->get("trace_id")->num, 7.0);
+    EXPECT_EQ(e.get("name")->str.substr(0, 5), "seven");
+    ++matched;
+  }
+  EXPECT_EQ(matched, 3) << "B + i + E of trace 7, nothing else";
+
+  // The unfiltered drain still carries everything, ids included.
+  const json::Value all = parse_trace(recorder.to_chrome_json());
+  int with_id = 0;
+  int without_id = 0;
+  for (const json::Value& e : all.get("traceEvents")->arr) {
+    if (e.get("ph")->str == "M") continue;
+    const json::Value* args = e.get("args");
+    if (args != nullptr && args->get("trace_id") != nullptr) {
+      ++with_id;
+    } else {
+      ++without_id;
+    }
+  }
+  EXPECT_EQ(with_id, 4);
+  EXPECT_EQ(without_id, 1);
+}
+
+TEST(TraceRecorder, FilteredDrainTailCapsPerThreadAndStaysBalanced) {
+  TraceRecorder recorder(/*capacity_per_thread=*/1 << 10);
+  const telemetry::TraceBindScope bind(&recorder, 3);
+  for (int i = 0; i < 200; ++i) {
+    const TraceSpan span(&recorder, "a", "work");
+    recorder.instant("a", "tick", i);
+  }
+  const json::Value doc =
+      parse_trace(recorder.to_chrome_json_for_trace(3, /*max=*/50));
+  expect_balanced_and_monotonic(doc);
+  std::size_t events = 0;
+  double newest_tick = -1.0;
+  for (const json::Value& e : doc.get("traceEvents")->arr) {
+    if (e.get("ph")->str == "M") continue;
+    ++events;
+    if (e.get("ph")->str == "i") {
+      newest_tick = std::max(newest_tick, e.get("args")->get("value")->num);
+    }
+  }
+  EXPECT_LE(events, 51u);  // 50 kept + at most one synthetic close
+  EXPECT_EQ(newest_tick, 199.0) << "the cap keeps the tail, not the head";
+}
+
+TEST(TraceRecorder, ReleasedThreadBuffersAreAdoptedNotLeaked) {
+  TraceRecorder recorder;
+  recorder.instant("a", "main");
+  ASSERT_EQ(recorder.thread_count(), 1);
+  // Short-lived threads that release on exit (the daemon's connection
+  // handler pattern): all of them share one adopted buffer.
+  for (int i = 0; i < 8; ++i) {
+    std::thread([&] {
+      recorder.instant("a", "conn");
+      recorder.release_current_thread();
+    }).join();
+  }
+  EXPECT_EQ(recorder.thread_count(), 2)
+      << "released buffers must be adopted by later threads, not leaked";
+  // Releasing resets the binding: an adopter starts unattributed.
+  std::thread([&] {
+    recorder.instant("a", "probe");
+    EXPECT_EQ(recorder.current_thread_trace(), 0u);
+    recorder.release_current_thread();
+  }).join();
+  expect_balanced_and_monotonic(parse_trace(recorder.to_chrome_json()));
+}
+
+TEST(Integration, FarmJobsAreTraceFilterableByRequestId) {
+  TraceRecorder recorder;
+  MetricsRegistry registry;
+  Rng rng(33);
+  const auto instance = make_random_instance(rng, 6, 3, 2);
+  {
+    SolveService service(2);
+    service.attach_telemetry(&recorder, &registry);
+    PlannerOptions options;
+    options.engine = PlannerOptions::Engine::kExact;
+    SolveRequest first;
+    first.instance = instance;
+    first.options = options;
+    first.trace_id = 101;
+    SolveRequest second;
+    second.instance = instance;
+    second.options = options;
+    second.trace_id = 102;
+    const JobHandle a = service.submit(first);
+    const JobHandle b = service.submit(second);
+    a->wait();
+    b->wait();
+    EXPECT_EQ(a->trace_id(), 101u);
+    EXPECT_EQ(b->trace_id(), 102u);
+  }
+  for (const std::uint64_t id : {101u, 102u}) {
+    const json::Value doc =
+        parse_trace(recorder.to_chrome_json_for_trace(id));
+    expect_balanced_and_monotonic(doc);
+    std::size_t events = 0;
+    for (const json::Value& e : doc.get("traceEvents")->arr) {
+      if (e.get("ph")->str == "M") continue;
+      ASSERT_NE(e.get("args")->get("trace_id"), nullptr);
+      EXPECT_EQ(e.get("args")->get("trace_id")->num,
+                static_cast<double>(id));
+      ++events;
+    }
+    EXPECT_GT(events, 0u) << "trace " << id << " must have its own spans";
+  }
+}
+
+// ---- solve progress ring --------------------------------------------------
+
+TEST(SolveProgress, TimelineKeepsOrderAndClampsGapMonotone) {
+  SolveProgress progress(16);
+  progress.publish(1.0, 10, 0.0, false, 90.0, true);    // bound only
+  progress.publish(2.0, 20, 100.0, true, 90.0, true);   // gap 0.10
+  progress.publish(3.0, 30, 100.0, true, 95.0, true);   // gap 0.05
+  progress.publish(4.0, 40, 100.0, true, 94.0, true);   // regressed: clamped
+  const SolveProgress::Snapshot snap = progress.snapshot();
+  EXPECT_EQ(snap.published, 4u);
+  ASSERT_EQ(snap.timeline.size(), 4u);
+  EXPECT_TRUE(std::isnan(snap.timeline[0].incumbent));
+  EXPECT_TRUE(std::isinf(snap.timeline[0].gap));
+  EXPECT_NEAR(snap.timeline[1].gap, 0.10, 1e-12);
+  EXPECT_NEAR(snap.timeline[2].gap, 0.05, 1e-12);
+  EXPECT_NEAR(snap.timeline[3].gap, 0.05, 1e-12)
+      << "a bound regression must not widen the reported gap";
+  for (std::size_t i = 1; i < snap.timeline.size(); ++i) {
+    EXPECT_LE(snap.timeline[i].gap, snap.timeline[i - 1].gap);
+    EXPECT_GE(snap.timeline[i].time_ms, snap.timeline[i - 1].time_ms);
+  }
+}
+
+TEST(SolveProgress, RingWrapsKeepingTheNewestSamples) {
+  SolveProgress progress(8);
+  for (int i = 0; i < 20; ++i) {
+    progress.publish(static_cast<double>(i), i, 100.0, true, 50.0 + i, true);
+  }
+  const SolveProgress::Snapshot snap = progress.snapshot();
+  EXPECT_EQ(snap.published, 20u);
+  ASSERT_EQ(snap.timeline.size(), 8u);
+  EXPECT_EQ(snap.timeline.front().nodes, 12);
+  EXPECT_EQ(snap.timeline.back().nodes, 19);
+}
+
+TEST(SolveProgress, ConcurrentReadersSeeOnlyConsistentSamples) {
+  SolveProgress progress(32);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const SolveProgress::Snapshot snap = progress.snapshot();
+        double last_time = -1.0;
+        double last_gap = std::numeric_limits<double>::infinity();
+        for (const ProgressSample& s : snap.timeline) {
+          EXPECT_GE(s.time_ms, last_time) << "torn sample escaped the seqlock";
+          EXPECT_LE(s.gap, last_gap);
+          // The writer always publishes incumbent 100 with a tightening
+          // bound, so any consistent sample satisfies this.
+          EXPECT_EQ(s.incumbent, 100.0);
+          last_time = s.time_ms;
+          last_gap = s.gap;
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 50000; ++i) {
+    progress.publish(static_cast<double>(i), i, 100.0, true,
+                     100.0 - 100.0 / (1.0 + i), true);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(progress.snapshot().published, 50000u);
+}
+
 // ---- metrics registry -----------------------------------------------------
 
 TEST(Metrics, CounterIsMonotoneAndIgnoresNegativeDeltas) {
@@ -333,6 +625,40 @@ TEST(Metrics, LogBucketsSpanTheRequestedRange) {
   ASSERT_FALSE(defaults.empty());
   EXPECT_LT(defaults.front(), 1.0);      // sub-ms LP solves land in a bucket
   EXPECT_GE(defaults.back(), 60000.0);   // minute-scale sweeps do too
+}
+
+TEST(Metrics, QuantileInterpolatesInsideTheTargetBucket) {
+  MetricsRegistry registry;
+  telemetry::Histogram& h =
+      registry.histogram("etransform_q_ms", "", {1.0, 2.0, 4.0});
+  EXPECT_EQ(h.quantile(0.5), 0.0) << "empty histogram reports 0";
+  for (const double v : {0.5, 1.5, 3.0, 100.0}) h.observe(v);
+  // target rank 2 lands at the end of the (1,2] bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  // rank 1 is the whole first bucket: interpolates to its upper bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.0);
+  // the +Inf bucket clamps to the highest finite bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+  // out-of-range q is clamped, not UB.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(Metrics, ExpositionCarriesLatencySummaryGauges) {
+  MetricsRegistry registry;
+  telemetry::Histogram& h = registry.histogram("etransform_req_ms", "reqs");
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  const std::string prom = registry.render_prometheus();
+  for (const char* suffix : {"_p50", "_p95", "_p99"}) {
+    const std::string name = std::string("etransform_req_ms") + suffix;
+    EXPECT_NE(prom.find("# TYPE " + name + " gauge\n"), std::string::npos);
+    EXPECT_NE(prom.find("\n" + name + " "), std::string::npos);
+  }
+  // The summaries order correctly and bracket the data.
+  EXPECT_LE(h.quantile(0.50), h.quantile(0.95));
+  EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+  EXPECT_GT(h.quantile(0.50), 0.0);
 }
 
 TEST(Metrics, RejectsInvalidNamesAndKindMismatches) {
