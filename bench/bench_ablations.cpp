@@ -31,7 +31,7 @@ void ablate_economies() {
     options.milp.search.time_limit_ms = 20000;
     const EtransformPlanner planner(options);
     SolveContext ctx;
-    const PlannerReport report = planner.plan(model, ctx);
+    const PlannerReport report = planner.plan(PlanInput(model), ctx);
     table.add_row({modeled ? "yes" : "no (base prices)",
                    format_money_compact(report.plan.cost.total())});
   }
@@ -56,7 +56,7 @@ void ablate_omega() {
     options.milp.search.time_limit_ms = 15000;
     const EtransformPlanner planner(options);
     SolveContext ctx;
-    const PlannerReport report = planner.plan(model, ctx);
+    const PlannerReport report = planner.plan(PlanInput(model), ctx);
     table.add_row({format_double(omega, 2),
                    std::to_string(report.plan.sites_used()),
                    format_money_compact(report.plan.cost.total())});

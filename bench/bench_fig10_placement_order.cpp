@@ -37,7 +37,7 @@ void run() {
     // the (equally exact here) heuristic.
     const EtransformPlanner planner(options);
     SolveContext ctx;
-    const PlannerReport report = planner.plan(model, ctx);
+    const PlannerReport report = planner.plan(PlanInput(model), ctx);
 
     std::map<int, int> groups_per_site;
     for (const int j : report.plan.primary) groups_per_site[j] += 1;

@@ -40,7 +40,7 @@ void run_dataset(const ConsolidationInstance& instance) {
   options.compute_lower_bound = true;
   const EtransformPlanner planner(options);
   SolveContext ctx;
-  const PlannerReport report = planner.plan(model, ctx);
+  const PlannerReport report = planner.plan(PlanInput(model), ctx);
   results.push_back(summarize("eTRANSFORM", report.plan));
 
   std::printf("%s", render_comparison(instance.name, results).c_str());

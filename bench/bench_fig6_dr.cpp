@@ -41,7 +41,7 @@ void run_dataset(const ConsolidationInstance& instance) {
   options.enable_dr = true;
   const EtransformPlanner planner(options);
   SolveContext ctx;
-  const PlannerReport report = planner.plan(model, ctx);
+  const PlannerReport report = planner.plan(PlanInput(model), ctx);
   results.push_back(summarize("eTRANSFORM", report.plan));
 
   std::printf("%s", render_comparison(instance.name, results).c_str());

@@ -58,7 +58,7 @@ void run_sweep() {
       const CostModel model(instance);
       const EtransformPlanner planner;
       SolveContext ctx;
-      const PlannerReport report = planner.plan(model, ctx);
+      const PlannerReport report = planner.plan(PlanInput(model), ctx);
 
       double user_weighted_latency = 0.0;
       double users = 0.0;

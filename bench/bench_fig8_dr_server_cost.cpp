@@ -45,7 +45,7 @@ void run_sweep() {
     options.engine = PlannerOptions::Engine::kHeuristic;
     const EtransformPlanner planner(options);
     SolveContext ctx;
-    const PlannerReport report = planner.plan(model, ctx);
+    const PlannerReport report = planner.plan(PlanInput(model), ctx);
     std::vector<std::string> row = {
         format_double(zeta, 0), std::to_string(report.plan.sites_used()),
         std::to_string(report.plan.total_backup_servers()),

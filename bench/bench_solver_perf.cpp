@@ -246,10 +246,50 @@ void BM_PlannerEnterprise1(benchmark::State& state) {
   const EtransformPlanner planner(options);
   for (auto _ : state) {
     SolveContext ctx;
-    benchmark::DoNotOptimize(planner.plan(model, ctx));
+    benchmark::DoNotOptimize(planner.plan(PlanInput(model), ctx));
   }
 }
 BENCHMARK(BM_PlannerEnterprise1)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Time-expanded multi-period MILP on the right-sizing estate: T per-period
+// placement blocks coupled by migration move variables. Deterministic mode
+// keeps the explored tree thread-count-invariant so the nodes/lp_iters
+// counters feed the same CI regression fence as the assignment MILPs.
+void BM_BranchAndBoundMultiPeriod(benchmark::State& state) {
+  const auto instance = make_rightsizing_estate({});
+  const CostModel model(instance);
+  TrafficCurveSpec curve;
+  curve.num_periods = static_cast<int>(state.range(0));
+  curve.trough_multiplier = 0.25;
+  curve.migration_cost_per_server = 0.5;
+  const PlanningHorizon horizon = make_traffic_curve(curve);
+  PlannerOptions options;
+  options.engine = PlannerOptions::Engine::kExact;
+  options.milp.search.time_limit_ms = 20000;
+  options.milp.search.deterministic = true;
+  const EtransformPlanner planner(options);
+  long long lp_iterations = 0;
+  long long nodes = 0;
+  for (auto _ : state) {
+    SolveContext ctx;
+    PlanInput input(model);
+    input.horizon = horizon;
+    const PlannerReport report = planner.plan(input, ctx);
+    benchmark::DoNotOptimize(report);
+    nodes += report.milp_nodes;
+    lp_iterations += static_cast<long long>(report.stats.deep_metric("pivots"));
+  }
+  state.counters["lp_iters"] =
+      benchmark::Counter(static_cast<double>(lp_iterations),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["nodes"] = benchmark::Counter(
+      static_cast<double>(nodes), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_BranchAndBoundMultiPeriod)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgNames({"periods"})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GreedyFederal(benchmark::State& state) {
   const auto instance = make_federal();
@@ -261,7 +301,7 @@ void BM_GreedyFederal(benchmark::State& state) {
   const EtransformPlanner planner(options);
   for (auto _ : state) {
     SolveContext ctx;
-    benchmark::DoNotOptimize(planner.plan(model, ctx));
+    benchmark::DoNotOptimize(planner.plan(PlanInput(model), ctx));
   }
 }
 BENCHMARK(BM_GreedyFederal)->Unit(benchmark::kMillisecond)->Iterations(1);

@@ -1,7 +1,8 @@
 # Compares a fresh bench_solver_perf JSON run against the committed baseline
 # (BENCH_solver.json at the repo root) and fails when the branch-and-bound
-# node count or total LP iteration count of any matching assignment-MILP
-# configuration regresses by more than 20%. Both counters are deterministic
+# node count or total LP iteration count of any matching BM_BranchAndBound*
+# configuration — the assignment MILPs and the deterministic time-expanded
+# multi-period solves — regresses by more than 20%. Both counters are deterministic
 # (unlike timings), so a tight multiplicative ceiling is safe in CI; the
 # lp_iters ceiling is what keeps the dual-simplex reoptimization savings
 # locked in. Driven by the bench-smoke job:

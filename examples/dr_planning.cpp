@@ -35,7 +35,7 @@ int main() {
     options.milp.search.time_limit_ms = 20000;
     const EtransformPlanner planner(options);
     SolveContext ctx;
-    const PlannerReport report = planner.plan(model, ctx);
+    const PlannerReport report = planner.plan(PlanInput(model), ctx);
 
     std::vector<int> per_site(static_cast<std::size_t>(instance.num_sites()),
                               0);
@@ -66,7 +66,7 @@ int main() {
                                   : PlannerOptions::DrSizing::kShared;
     const EtransformPlanner planner(options);
     SolveContext ctx;
-    const PlannerReport report = planner.plan(model, ctx);
+    const PlannerReport report = planner.plan(PlanInput(model), ctx);
     sizing.add_row({dedicated ? "dedicated (multi-failure)"
                               : "shared (single failure)",
                     std::to_string(report.plan.total_backup_servers()),

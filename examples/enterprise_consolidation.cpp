@@ -29,7 +29,7 @@ int main() {
 
   const EtransformPlanner planner;
   SolveContext ctx;
-  const PlannerReport report = planner.plan(model, ctx);
+  const PlannerReport report = planner.plan(PlanInput(model), ctx);
   results.push_back(summarize("eTRANSFORM", report.plan));
 
   std::printf("%s\n", render_comparison(instance.name, results).c_str());

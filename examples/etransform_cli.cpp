@@ -1,6 +1,6 @@
 // etransform_cli — the complete Fig. 5 pipeline as a command-line tool.
 //
-//   etransform_cli generate <enterprise1|florida|federal> [-o out.etf]
+//   etransform_cli generate <enterprise1|florida|federal|rightsizing> [-o out.etf]
 //       Export one of the paper's datasets as an .etf instance file.
 //   etransform_cli validate <in.etf>
 //       Parse + validate an instance; print its Table II-style summary.
@@ -32,11 +32,24 @@
 //       --deterministic    fixed-epoch parallel search whose explored tree
 //                          is identical at every --threads value
 //       --sweep key=v1,v2  run a what-if sweep instead of a single plan; keys
-//                          are omega, dr-cost, latency-penalty, and cuts
-//                          (races the four cut configurations; repeatable,
-//                          scenarios run in the order given)
+//                          are omega, dr-cost, latency-penalty, cuts
+//                          (races the four cut configurations) and horizon
+//                          (period counts; repeatable, scenarios run in the
+//                          order given)
 //       --race             race the exact and heuristic engines; the first
 //                          finisher cancels the other
+//
+//   Multi-period planning (time-expanded formulation, wire api_version 2):
+//       --horizon N        plan over N demand periods instead of the single
+//                          static snapshot
+//       --traffic-curve S  diurnal|seasonal demand cycle between --trough
+//                          and --peak multipliers (default 0.4 .. 1.0)
+//       --migration-cost R charge R per server moved between periods
+//       --static-horizon   lock one placement across all periods (the "best
+//                          static plan over the horizon" competitor)
+//       --online V         also play the Albers-Quedenfeld online
+//                          right-sizing game (lazy|prob) and report its
+//                          total against the offline plan
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -45,6 +58,7 @@
 #include <vector>
 
 #include "baselines/baselines.h"
+#include "baselines/online_rightsizing.h"
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/shutdown.h"
@@ -72,7 +86,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  etransform_cli generate <enterprise1|florida|federal> [-o out.etf]\n"
+      "  etransform_cli generate <enterprise1|florida|federal|rightsizing> [-o out.etf]\n"
       "  etransform_cli validate <in.etf>\n"
       "  etransform_cli asis <in.etf>\n"
       "  etransform_cli plan <in.etf> [--dr] [--omega X] [--sensitivity]\n"
@@ -84,8 +98,11 @@ int usage() {
       "      [--trace] [--stats-json stats.json] [--result-json out.json]\n"
       "      [--telemetry-dir DIR]\n"
       "      [--migrate] [--wan-budget megabits] [--max-moves N]\n"
+      "      [--horizon N] [--traffic-curve diurnal|seasonal]\n"
+      "      [--peak X] [--trough X] [--migration-cost R]\n"
+      "      [--static-horizon] [--online lazy|prob]\n"
       "      [--jobs N] [--threads N] [--deterministic]\n"
-      "      [--sweep omega|dr-cost|latency-penalty|cuts=...]\n"
+      "      [--sweep omega|dr-cost|latency-penalty|cuts|horizon=...]\n"
       "      [--race]\n"
       "  --cuts selects the root cutting-plane configuration for exact\n"
       "  solves (default on = Gomory + cover); --cut-rounds caps separation\n"
@@ -102,7 +119,16 @@ int usage() {
       "  identical objective, node count, and iterations at any --threads.\n"
       "  --no-presolve solves the raw formulation. --sweep cuts=all races\n"
       "  the four cut configurations as scenarios (the value list is\n"
-      "  ignored). --telemetry-dir writes trace.json (Chrome Trace Event\n"
+      "  ignored). Multi-period planning: --horizon N plans over N demand\n"
+      "  periods (uniform at multiplier 1, or following a --traffic-curve\n"
+      "  cycle between --trough and --peak); --migration-cost charges R per\n"
+      "  server moved between consecutive periods; --static-horizon locks\n"
+      "  one placement across every period (the best-static competitor);\n"
+      "  --online additionally plays the online right-sizing game (lazy =\n"
+      "  deterministic hysteresis, prob = randomized thresholds) and reports\n"
+      "  its total against the offline plan. --sweep horizon=4,8 sweeps\n"
+      "  period counts, each with a /locked companion scenario.\n"
+      "  --telemetry-dir writes trace.json (Chrome Trace Event\n"
       "  Format, open in Perfetto), metrics.prom (Prometheus text\n"
       "  exposition), and stats.json into DIR after the run.\n");
   return 1;
@@ -121,6 +147,7 @@ int cmd_generate(int argc, char** argv) {
   if (which == "enterprise1") instance = make_enterprise1();
   else if (which == "florida") instance = make_florida();
   else if (which == "federal") instance = make_federal();
+  else if (which == "rightsizing") instance = make_rightsizing_estate({});
   else return usage();
   std::string out_path = which + ".etf";
   for (int a = 3; a + 1 < argc; ++a) {
@@ -152,6 +179,37 @@ int cmd_asis(int argc, char** argv) {
   return 0;
 }
 
+/// The multi-period flags, shared by the plan and sweep paths.
+struct HorizonCli {
+  int periods = 0;             // --horizon (0 = static unless a curve is set)
+  std::string curve_shape;     // --traffic-curve (empty = uniform periods)
+  double peak = 1.0;           // --peak
+  double trough = 0.4;         // --trough
+  Money migration_cost = 0.0;  // --migration-cost
+
+  /// The horizon the flags describe; `periods_override` (the horizon= sweep
+  /// values) wins over --horizon when nonzero. Static when neither a period
+  /// count nor a curve was requested.
+  [[nodiscard]] PlanningHorizon build(const ConsolidationInstance& instance,
+                                      int periods_override = 0) const {
+    const int num_periods = periods_override > 0 ? periods_override : periods;
+    if (curve_shape.empty()) {
+      if (num_periods <= 0) return {};
+      return PlanningHorizon::uniform(num_periods, migration_cost);
+    }
+    TrafficCurveSpec spec;
+    spec.shape = curve_shape == "seasonal"
+                     ? TrafficCurveSpec::Shape::kSeasonal
+                     : TrafficCurveSpec::Shape::kDiurnal;
+    if (num_periods > 0) spec.num_periods = num_periods;
+    spec.peak_multiplier = peak;
+    spec.trough_multiplier = trough;
+    spec.migration_cost_per_server = migration_cost;
+    spec.num_groups = instance.num_groups();
+    return make_traffic_curve(spec);
+  }
+};
+
 std::vector<double> parse_value_list(const std::string& csv) {
   std::vector<double> values;
   std::stringstream stream(csv);
@@ -164,7 +222,8 @@ std::vector<double> parse_value_list(const std::string& csv) {
 /// Builds the ScenarioSet for the --sweep specs, in the order given.
 ScenarioSet build_sweep_set(const ConsolidationInstance& instance,
                             const PlannerOptions& base,
-                            const std::vector<std::string>& specs) {
+                            const std::vector<std::string>& specs,
+                            const HorizonCli& horizon_flags) {
   ScenarioSet set(instance);
   for (const std::string& spec : specs) {
     const std::size_t eq = spec.find('=');
@@ -186,10 +245,33 @@ ScenarioSet build_sweep_set(const ConsolidationInstance& instance,
       set.add_dr_cost_sweep(values, base);
     } else if (key == "latency-penalty") {
       set.add_latency_penalty_sweep(values, base);
+    } else if (key == "horizon") {
+      // Values are period counts; each expands the --traffic-curve flags (or
+      // a uniform timeline) at that length, plus a /locked companion so the
+      // sweep reports the right-sizing payoff directly.
+      ScenarioSpec horizon_spec;
+      horizon_spec.base = base;
+      horizon_spec.locked_horizon_variants = true;
+      for (const double value : values) {
+        const int num_periods = static_cast<int>(value);
+        if (num_periods < 1 || value != static_cast<double>(num_periods)) {
+          throw InvalidInputError(
+              "--sweep horizon= values must be positive period counts");
+        }
+        ScenarioSpec::HorizonCase horizon_case;
+        horizon_case.name =
+            (horizon_flags.curve_shape.empty()
+                 ? "T"
+                 : horizon_flags.curve_shape + "-T") +
+            std::to_string(num_periods);
+        horizon_case.horizon = horizon_flags.build(instance, num_periods);
+        horizon_spec.horizons.push_back(std::move(horizon_case));
+      }
+      set.add_spec(horizon_spec);
     } else {
       throw InvalidInputError(
           "unknown sweep key '" + key +
-          "' (expected omega, dr-cost, latency-penalty, or cuts)");
+          "' (expected omega, dr-cost, latency-penalty, cuts, or horizon)");
     }
   }
   return set;
@@ -216,9 +298,11 @@ void flush_telemetry(const std::string& dir,
 
 int run_sweep(const ConsolidationInstance& instance,
               const PlannerOptions& options,
-              const std::vector<std::string>& specs, int jobs,
-              double time_limit_ms, const std::string& telemetry_dir) {
-  const ScenarioSet set = build_sweep_set(instance, options, specs);
+              const std::vector<std::string>& specs,
+              const HorizonCli& horizon_flags, int jobs, double time_limit_ms,
+              const std::string& telemetry_dir) {
+  const ScenarioSet set =
+      build_sweep_set(instance, options, specs, horizon_flags);
   // Declared before the service: workers may still touch the recorder while
   // the service drains in its destructor.
   telemetry::TraceRecorder recorder;
@@ -290,10 +374,13 @@ int cmd_plan(int argc, char** argv) {
   bool sensitivity = false;
   bool migrate = false;
   bool race = false;
+  bool lock_placement = false;
   int jobs = 1;
   double time_limit_ms = 0.0;
+  std::string online;
   std::vector<std::string> sweep_specs;
   MigrationLimits migration_limits;
+  HorizonCli horizon_flags;
   for (int a = 3; a < argc; ++a) {
     const std::string flag = argv[a];
     if (flag == "--sensitivity") {
@@ -317,6 +404,26 @@ int cmd_plan(int argc, char** argv) {
     } else if (flag == "--max-moves" && a + 1 < argc) {
       migration_limits.max_moves = std::stoi(argv[++a]);
       migrate = true;
+    } else if (flag == "--horizon" && a + 1 < argc) {
+      horizon_flags.periods = std::stoi(argv[++a]);
+      if (horizon_flags.periods < 1) return usage();
+    } else if (flag == "--traffic-curve" && a + 1 < argc) {
+      horizon_flags.curve_shape = argv[++a];
+      if (horizon_flags.curve_shape != "diurnal" &&
+          horizon_flags.curve_shape != "seasonal") {
+        return usage();
+      }
+    } else if (flag == "--peak" && a + 1 < argc) {
+      horizon_flags.peak = std::stod(argv[++a]);
+    } else if (flag == "--trough" && a + 1 < argc) {
+      horizon_flags.trough = std::stod(argv[++a]);
+    } else if (flag == "--migration-cost" && a + 1 < argc) {
+      horizon_flags.migration_cost = std::stod(argv[++a]);
+    } else if (flag == "--static-horizon") {
+      lock_placement = true;
+    } else if (flag == "--online" && a + 1 < argc) {
+      online = argv[++a];
+      if (online != "lazy" && online != "prob") return usage();
     } else if (flag == "--dr") {
       options.enable_dr = true;
     } else if (flag == "--no-economies") {
@@ -402,11 +509,27 @@ int cmd_plan(int argc, char** argv) {
   if (trace && log_level() > LogLevel::kInfo) set_log_level(LogLevel::kInfo);
 
   if (!sweep_specs.empty()) {
-    return run_sweep(instance, options, sweep_specs, jobs, time_limit_ms,
-                     telemetry_dir);
+    return run_sweep(instance, options, sweep_specs, horizon_flags, jobs,
+                     time_limit_ms, telemetry_dir);
   }
   if (race) {
     return run_race(instance, options, jobs, time_limit_ms, telemetry_dir);
+  }
+
+  const PlanningHorizon horizon = horizon_flags.build(instance);
+  if (horizon.is_static()) {
+    if (lock_placement) {
+      throw InvalidInputError(
+          "--static-horizon requires --horizon or --traffic-curve");
+    }
+    if (!online.empty()) {
+      throw InvalidInputError(
+          "--online requires --horizon or --traffic-curve");
+    }
+  }
+  if (!online.empty() && options.enable_dr) {
+    throw InvalidInputError(
+        "--online is a non-DR right-sizing baseline (drop --dr)");
   }
 
   const CostModel model(instance);
@@ -468,8 +591,11 @@ int cmd_plan(int argc, char** argv) {
   shutdown.on_signal([&ctx] { ctx.request_cancel(); });
 
   const EtransformPlanner planner(options);
+  PlanInput input(model);
+  input.horizon = horizon;
+  input.lock_placement = lock_placement;
   const Stopwatch solve_watch;
-  const PlannerReport report = planner.plan(model, ctx);
+  const PlannerReport report = planner.plan(input, ctx);
   const double solve_ms = solve_watch.elapsed_ms();
   flush_telemetry(telemetry_dir, &recorder, &registry,
                   report.stats.to_json());
@@ -492,18 +618,46 @@ int cmd_plan(int argc, char** argv) {
     out << server::plan_result_json(instance, report, solve_ms).dump() << "\n";
     std::fprintf(stderr, "result written to %s\n", result_json_out.c_str());
   }
-  std::printf("%s", render_plan_summary(instance, report.plan).c_str());
-  if (!instance.as_is_placement.empty()) {
-    const Money as_is = model.as_is_cost().total();
-    std::printf("\nas-is total: %s  ->  to-be total: %s (%.1f%%)\n",
-                format_money_compact(as_is).c_str(),
-                format_money_compact(report.plan.cost.total()).c_str(),
-                (report.plan.cost.total() - as_is) / as_is * 100.0);
+  if (report.is_multi_period()) {
+    std::printf("%s", render_multi_period_summary(horizon, report.multi)
+                          .c_str());
+  } else {
+    std::printf("%s", render_plan_summary(instance, report.plan).c_str());
+    if (!instance.as_is_placement.empty()) {
+      const Money as_is = model.as_is_cost().total();
+      std::printf("\nas-is total: %s  ->  to-be total: %s (%.1f%%)\n",
+                  format_money_compact(as_is).c_str(),
+                  format_money_compact(report.plan.cost.total()).c_str(),
+                  (report.plan.cost.total() - as_is) / as_is * 100.0);
+    }
   }
   std::printf("solver: %s%s%s\n",
               report.used_exact_solver ? "exact MILP" : "heuristic",
               report.proven_optimal ? " (proven optimal)" : "",
               report.interrupted ? " (interrupted)" : "");
+  if (!online.empty()) {
+    // The online game never sees period t+1 when placing t — its total is
+    // the price of planning without the demand forecast the offline
+    // time-expanded solve enjoys.
+    OnlineRightSizingOptions online_options;
+    online_options.variant =
+        online == "prob" ? OnlineRightSizingOptions::Variant::kProbabilistic
+                         : OnlineRightSizingOptions::Variant::kLazy;
+    const MultiPeriodPlan online_plan =
+        plan_online_rightsizing(model, horizon, online_options);
+    const Money offline = report.objective();
+    std::printf(
+        "\nonline right-sizing (%s): total %s vs offline %s (%+.1f%%), "
+        "%d group moves (%lld servers)\n",
+        to_string(online_options.variant),
+        format_money_compact(online_plan.cost.total()).c_str(),
+        format_money_compact(offline).c_str(),
+        offline > 0.0
+            ? (online_plan.cost.total() - offline) / offline * 100.0
+            : 0.0,
+        online_plan.total_moves,
+        static_cast<long long>(online_plan.moved_servers));
+  }
   if (trace) {
     std::printf("\n%s", render_solve_stats(report.stats).c_str());
   }

@@ -107,7 +107,7 @@ int main() {
   options.milp.search.time_limit_ms = 15000;
   const EtransformPlanner planner(options);
   SolveContext ctx;
-  const PlannerReport report = planner.plan(model, ctx);
+  const PlannerReport report = planner.plan(PlanInput(model), ctx);
   std::printf("\n%s\n", render_plan_summary(instance, report.plan).c_str());
 
   // ---- 4. migration waves --------------------------------------------------

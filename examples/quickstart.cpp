@@ -100,7 +100,7 @@ int main() {
   const CostModel model(instance);
   const EtransformPlanner planner;
   SolveContext ctx;
-  const PlannerReport report = planner.plan(model, ctx);
+  const PlannerReport report = planner.plan(PlanInput(model), ctx);
 
   std::printf("as-is monthly cost:\n%s\n",
               render_cost_breakdown(model.as_is_cost()).c_str());

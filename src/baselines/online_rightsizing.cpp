@@ -1,0 +1,230 @@
+#include "baselines/online_rightsizing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "common/random.h"
+
+namespace etransform {
+namespace {
+
+/// A period's materialized instance plus its pricer. Heap-allocated so the
+/// CostModel's instance pointer stays stable.
+struct PeriodModel {
+  ConsolidationInstance instance;
+  std::optional<CostModel> cost;
+};
+
+}  // namespace
+
+const char* to_string(OnlineRightSizingOptions::Variant variant) {
+  switch (variant) {
+    case OnlineRightSizingOptions::Variant::kLazy:
+      return "online-lazy";
+    case OnlineRightSizingOptions::Variant::kProbabilistic:
+      return "online-prob";
+  }
+  return "online";
+}
+
+MultiPeriodPlan plan_online_rightsizing(
+    const CostModel& base, const PlanningHorizon& horizon,
+    const OnlineRightSizingOptions& options) {
+  const ConsolidationInstance& root = base.instance();
+  validate_horizon(root, horizon);
+  if (!(options.threshold_scale >= 0.0) ||
+      !std::isfinite(options.threshold_scale)) {
+    throw InvalidInputError(
+        "online right-sizing: threshold_scale must be finite and >= 0");
+  }
+  const int num_periods = horizon.num_periods();
+  const int num_groups = root.num_groups();
+  const int num_sites = root.num_sites();
+  const char* label = to_string(options.variant);
+
+  std::vector<std::unique_ptr<PeriodModel>> periods;
+  periods.reserve(static_cast<std::size_t>(num_periods));
+  for (int t = 0; t < num_periods; ++t) {
+    auto period = std::make_unique<PeriodModel>();
+    period->instance = apply_period(root, horizon, t);
+    period->cost.emplace(period->instance);
+    periods.push_back(std::move(period));
+  }
+
+  // Separation partners per group (a move may not land next to one).
+  std::vector<std::vector<int>> separated(
+      static_cast<std::size_t>(num_groups));
+  for (const SeparationConstraint& sep : root.separations) {
+    separated[static_cast<std::size_t>(sep.group_a)].push_back(sep.group_b);
+    separated[static_cast<std::size_t>(sep.group_b)].push_back(sep.group_a);
+  }
+
+  Rng rng(options.seed);
+  const double kEMinusOne = std::exp(1.0) - 1.0;
+  // Per-epoch uniform draw behind the probabilistic threshold; resampled
+  // after every move so each hysteresis epoch gets a fresh threshold.
+  std::vector<double> draw(static_cast<std::size_t>(num_groups));
+  for (double& u : draw) u = rng.uniform();
+
+  // The online player's state: current placement and accumulated regret.
+  GreedyOptions greedy;
+  greedy.volume_aware = true;
+  Plan first = plan_greedy(*periods[0]->cost, /*with_dr=*/false, greedy);
+  first.algorithm = label;
+  std::vector<int> assignment = first.primary;
+  std::vector<double> regret(static_cast<std::size_t>(num_groups), 0.0);
+
+  std::vector<Plan> plans;
+  plans.reserve(static_cast<std::size_t>(num_periods));
+  plans.push_back(std::move(first));
+
+  for (int t = 1; t < num_periods; ++t) {
+    const ConsolidationInstance& inst = periods[static_cast<std::size_t>(t)]
+                                            ->instance;  // demand pre-scaled
+    const CostModel& cost = *periods[static_cast<std::size_t>(t)]->cost;
+    const double weight = horizon.period_weight(t);
+
+    auto servers_of = [&](int i) {
+      return static_cast<long long>(
+          inst.groups[static_cast<std::size_t>(i)].servers);
+    };
+    std::vector<long long> load(static_cast<std::size_t>(num_sites), 0);
+    for (int i = 0; i < num_groups; ++i) {
+      load[static_cast<std::size_t>(assignment[static_cast<std::size_t>(i)])] +=
+          servers_of(i);
+    }
+
+    auto allowed = [&](int i, int j) {
+      const ApplicationGroup& g = inst.groups[static_cast<std::size_t>(i)];
+      if (g.pinned_site >= 0 && g.pinned_site != j) return false;
+      if (!g.allowed_sites.empty() &&
+          std::find(g.allowed_sites.begin(), g.allowed_sites.end(), j) ==
+              g.allowed_sites.end()) {
+        return false;
+      }
+      for (int other : separated[static_cast<std::size_t>(i)]) {
+        if (assignment[static_cast<std::size_t>(other)] == j) return false;
+      }
+      return true;
+    };
+    auto fits = [&](int i, int j) {
+      const long long occupied =
+          load[static_cast<std::size_t>(j)] -
+          (assignment[static_cast<std::size_t>(i)] == j ? servers_of(i) : 0);
+      return occupied + servers_of(i) <=
+             inst.sites[static_cast<std::size_t>(j)].capacity_servers;
+    };
+    // Cheapest feasible site for group i under this period's demand, or -1.
+    auto best_site = [&](int i) {
+      int best = -1;
+      Money best_cost = std::numeric_limits<Money>::infinity();
+      for (int j = 0; j < num_sites; ++j) {
+        if (!allowed(i, j) || !fits(i, j)) continue;
+        const Money c = cost.assignment_cost(i, j);
+        if (c < best_cost) {
+          best_cost = c;
+          best = j;
+        }
+      }
+      return best;
+    };
+    auto move_group = [&](int i, int j) {
+      load[static_cast<std::size_t>(
+          assignment[static_cast<std::size_t>(i)])] -= servers_of(i);
+      assignment[static_cast<std::size_t>(i)] = j;
+      load[static_cast<std::size_t>(j)] += servers_of(i);
+      regret[static_cast<std::size_t>(i)] = 0.0;
+      draw[static_cast<std::size_t>(i)] = rng.uniform();
+    };
+
+    // Forced moves first: demand growth or a site failure can overflow the
+    // carried-forward placement. Each eviction lands within capacity, so
+    // overflow strictly shrinks and the loop needs at most one move per
+    // group.
+    for (int round = 0; round <= num_groups; ++round) {
+      int bad = -1;
+      for (int j = 0; j < num_sites; ++j) {
+        if (load[static_cast<std::size_t>(j)] >
+            inst.sites[static_cast<std::size_t>(j)].capacity_servers) {
+          bad = j;
+          break;
+        }
+      }
+      if (bad < 0) break;
+      int pick = -1;
+      int target = -1;
+      Money pick_cost = std::numeric_limits<Money>::infinity();
+      for (int i = 0; i < num_groups; ++i) {
+        if (assignment[static_cast<std::size_t>(i)] != bad) continue;
+        if (inst.groups[static_cast<std::size_t>(i)].pinned_site >= 0) {
+          continue;
+        }
+        const int alt = best_site(i);  // never `bad`: it does not fit
+        if (alt < 0 || alt == bad) continue;
+        const Money c = cost.assignment_cost(i, alt);
+        if (c < pick_cost) {
+          pick = i;
+          target = alt;
+          pick_cost = c;
+        }
+      }
+      if (pick < 0) {
+        throw InfeasibleError(
+            "online right-sizing: period " + horizon.period_name(t) +
+            " overflows site '" +
+            inst.sites[static_cast<std::size_t>(bad)].name +
+            "' and no hosted group can relocate");
+      }
+      move_group(pick, target);
+    }
+
+    // Hysteresis moves: accumulate the weighted monthly gap to the best
+    // placement; move once it exceeds the (deterministic or sampled)
+    // threshold against the one-time migration charge.
+    for (int i = 0; i < num_groups; ++i) {
+      if (inst.groups[static_cast<std::size_t>(i)].pinned_site >= 0) continue;
+      const int current = assignment[static_cast<std::size_t>(i)];
+      const int best = best_site(i);
+      if (best < 0 || best == current) continue;
+      const Money gap =
+          cost.assignment_cost(i, current) - cost.assignment_cost(i, best);
+      if (gap <= 1e-9) continue;
+      regret[static_cast<std::size_t>(i)] += weight * gap;
+      const double move_cost =
+          horizon.migration_cost_per_server * static_cast<double>(servers_of(i));
+      const double threshold =
+          options.variant == OnlineRightSizingOptions::Variant::kLazy
+              ? options.threshold_scale * move_cost
+              : move_cost *
+                    std::log1p(draw[static_cast<std::size_t>(i)] * kEMinusOne);
+      if (regret[static_cast<std::size_t>(i)] >= threshold) {
+        move_group(i, best);
+      }
+    }
+
+    Plan plan;
+    plan.primary = assignment;
+    plan.algorithm = label;
+    cost.price_plan(plan);
+    const std::vector<std::string> violations = check_plan(inst, plan);
+    if (!violations.empty()) {
+      throw InfeasibleError("online right-sizing: period " +
+                            horizon.period_name(t) +
+                            " produced an infeasible plan: " +
+                            violations.front());
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  return assemble_multi_period(root, horizon, std::move(plans), label);
+}
+
+}  // namespace etransform

@@ -1,0 +1,63 @@
+// Online right-sizing baselines for multi-period planning.
+//
+// The time-expanded MILP (planner/formulation.h) sees the whole demand
+// horizon up front. Real operators do not: they watch demand arrive one
+// period at a time and must decide *now* whether a reshuffle is worth the
+// migration cost. These baselines play that online game over a
+// PlanningHorizon, following "Optimal Algorithms for Right-Sizing Data
+// Centers" (Albers & Quedenfeld):
+//
+// * Lazy capacity (deterministic) — ski-rental hysteresis. Each group
+//   accumulates regret: the weighted monthly gap between its current
+//   placement and the best placement under the period it just observed. The
+//   group moves only once the accumulated regret reaches its own migration
+//   cost (threshold_scale * migration rate * scaled servers), which bounds
+//   the competitive ratio at 2 in the classic analysis.
+//
+// * Probabilistic — the randomized variant: each epoch the group draws its
+//   move threshold from the density e^x / (e - 1) on [0, 1] (scaled by the
+//   migration cost), i.e. threshold = cost * ln(1 + u * (e - 1)). In
+//   expectation this improves the competitive ratio to e / (e - 1).
+//
+// Both start from the greedy placement of the first period, never look
+// ahead, and perform forced moves when a period's demand overflows a site
+// or fails it outright. Non-DR only — these are right-sizing competitors
+// for the bench races, not DR planners.
+#pragma once
+
+#include <cstdint>
+
+#include "cost/cost_model.h"
+#include "model/horizon.h"
+
+namespace etransform {
+
+/// Tuning for the online right-sizing baselines.
+struct OnlineRightSizingOptions {
+  enum class Variant {
+    kLazy,           // deterministic ski-rental hysteresis (2-competitive)
+    kProbabilistic,  // randomized thresholds (e/(e-1)-competitive)
+  };
+  Variant variant = Variant::kLazy;
+  /// Seed for the probabilistic variant's threshold draws (ignored by kLazy).
+  std::uint64_t seed = 1;
+  /// Scales the lazy variant's move threshold: 1.0 is the classic "move when
+  /// regret equals the move cost" rule; higher values move later.
+  double threshold_scale = 1.0;
+};
+
+/// Plays the online right-sizing game over `horizon` against `base` (the
+/// base-snapshot cost model) and returns the per-period plans plus the
+/// horizon totals assembled by the same rule as every other competitor
+/// (assemble_multi_period). A static horizon degenerates to the greedy
+/// baseline on the single snapshot. Throws InvalidInputError on an
+/// inconsistent horizon and InfeasibleError when a period's demand cannot be
+/// packed (e.g. a pinned group's site fails).
+[[nodiscard]] MultiPeriodPlan plan_online_rightsizing(
+    const CostModel& base, const PlanningHorizon& horizon,
+    const OnlineRightSizingOptions& options = {});
+
+/// Short competitor label: "online-lazy" or "online-prob".
+[[nodiscard]] const char* to_string(OnlineRightSizingOptions::Variant variant);
+
+}  // namespace etransform

@@ -457,4 +457,126 @@ ConsolidationInstance make_random_instance(Rng& rng, int groups, int sites,
   return instance;
 }
 
+PlanningHorizon make_traffic_curve(const TrafficCurveSpec& spec) {
+  if (spec.num_periods <= 0 || spec.num_periods > kMaxHorizonPeriods) {
+    throw InvalidInputError("make_traffic_curve: num_periods out of range");
+  }
+  if (!(spec.peak_multiplier > 0.0) || !(spec.trough_multiplier > 0.0) ||
+      spec.trough_multiplier > spec.peak_multiplier) {
+    throw InvalidInputError(
+        "make_traffic_curve: need 0 < trough_multiplier <= peak_multiplier");
+  }
+  if (spec.antiphase_fraction < 0.0 || spec.antiphase_fraction > 1.0 ||
+      (spec.antiphase_fraction > 0.0 && spec.num_groups <= 0)) {
+    throw InvalidInputError(
+        "make_traffic_curve: antiphase_fraction needs [0,1] and num_groups");
+  }
+  const int T = spec.num_periods;
+  const double amplitude = spec.peak_multiplier - spec.trough_multiplier;
+  // Cycle position in [0, 1]: 0 at the trough, 1 at the peak.
+  const auto cycle = [&](int t) {
+    const double phase = static_cast<double>(t % T) / static_cast<double>(T);
+    if (spec.shape == TrafficCurveSpec::Shape::kSeasonal) {
+      return 1.0 - std::abs(2.0 * phase - 1.0);
+    }
+    return 0.5 * (1.0 - std::cos(2.0 * 3.14159265358979323846 * phase));
+  };
+  const auto multiplier_at = [&](int t) {
+    return spec.trough_multiplier + amplitude * cycle(t);
+  };
+
+  std::vector<bool> antiphase(static_cast<std::size_t>(
+                                  spec.num_groups > 0 ? spec.num_groups : 0),
+                              false);
+  if (spec.antiphase_fraction > 0.0) {
+    Rng rng(spec.seed);
+    for (std::size_t i = 0; i < antiphase.size(); ++i) {
+      antiphase[i] = rng.uniform() < spec.antiphase_fraction;
+    }
+  }
+
+  PlanningHorizon horizon;
+  horizon.migration_cost_per_server = spec.migration_cost_per_server;
+  horizon.periods.reserve(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    DemandPeriod period;
+    period.name = "t" + std::to_string(t);
+    period.weight = spec.period_weight;
+    period.multiplier = multiplier_at(t);
+    if (spec.antiphase_fraction > 0.0) {
+      period.group_multipliers.resize(
+          static_cast<std::size_t>(spec.num_groups));
+      const double shifted = multiplier_at(t + T / 2);
+      for (std::size_t i = 0; i < period.group_multipliers.size(); ++i) {
+        period.group_multipliers[i] =
+            antiphase[i] ? shifted : period.multiplier;
+      }
+    }
+    horizon.periods.push_back(std::move(period));
+  }
+  return horizon;
+}
+
+void add_failure_period(PlanningHorizon& horizon,
+                        std::vector<int> failed_sites, double multiplier,
+                        double weight) {
+  DemandPeriod period;
+  period.name = "fail" + std::to_string(horizon.periods.size());
+  const bool all_zero_weights =
+      std::all_of(horizon.periods.begin(), horizon.periods.end(),
+                  [](const DemandPeriod& p) { return p.weight == 0.0; });
+  period.weight =
+      (!horizon.periods.empty() && all_zero_weights) ? 0.0 : weight;
+  period.multiplier = multiplier;
+  period.failed_sites = std::move(failed_sites);
+  horizon.periods.push_back(std::move(period));
+}
+
+ConsolidationInstance make_rightsizing_estate(
+    const RightsizingEstateSpec& spec) {
+  if (spec.num_groups <= 0 || spec.servers_per_group <= 0 ||
+      spec.site_capacities.empty() ||
+      spec.site_capacities.size() != spec.site_space_costs.size()) {
+    throw InvalidInputError("make_rightsizing_estate: inconsistent spec");
+  }
+  ConsolidationInstance instance;
+  instance.name = "rightsizing-estate";
+  instance.locations = {UserLocation{"users", {0.0, 0.0}}};
+
+  for (int i = 0; i < spec.num_groups; ++i) {
+    ApplicationGroup group;
+    group.name = "ag" + std::to_string(i);
+    group.servers = spec.servers_per_group;
+    group.monthly_data_megabits = 0.0;  // isolates the space-cost tradeoff
+    group.users_per_location = {1.0};
+    instance.groups.push_back(std::move(group));
+  }
+
+  for (std::size_t k = 0; k < spec.site_capacities.size(); ++k) {
+    DataCenterSite site;
+    site.name = "site-" + std::to_string(k);
+    site.position = GeoPoint{10.0 * static_cast<double>(k), 0.0};
+    site.capacity_servers = spec.site_capacities[k];
+    site.space_cost_per_server = StepSchedule::flat(spec.site_space_costs[k]);
+    site.power_cost_per_kwh = StepSchedule::flat(0.0);
+    site.labor_cost_per_admin = StepSchedule::flat(0.0);
+    site.wan_cost_per_megabit = StepSchedule::flat(0.0);
+    instance.sites.push_back(std::move(site));
+    instance.latency_ms.push_back({5.0});
+  }
+
+  AsIsDataCenter center;
+  center.name = "asis-0";
+  center.position = GeoPoint{0.0, 0.0};
+  center.servers = spec.num_groups * spec.servers_per_group;
+  center.space_cost_per_server = 10.0;
+  instance.as_is_centers.push_back(center);
+  instance.as_is_placement.assign(static_cast<std::size_t>(spec.num_groups),
+                                  0);
+  instance.as_is_latency_ms.push_back({5.0});
+
+  validate_instance(instance);
+  return instance;
+}
+
 }  // namespace etransform

@@ -77,8 +77,10 @@ void validate_instance(const ConsolidationInstance& instance) {
 
   long long total_capacity = 0;
   for (const auto& site : instance.sites) {
-    if (site.capacity_servers <= 0) {
-      fail("site '" + site.name + "' has non-positive capacity");
+    // Zero is a closed site: apply_period models a failed/maintenance site
+    // by zeroing its capacity, and the scaled snapshot must still validate.
+    if (site.capacity_servers < 0) {
+      fail("site '" + site.name + "' has negative capacity");
     }
     total_capacity += site.capacity_servers;
   }

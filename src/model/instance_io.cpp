@@ -475,4 +475,142 @@ ConsolidationInstance parse_instance(std::istream& in) {
   return parse_instance(buffer.str());
 }
 
+std::string write_horizon(const PlanningHorizon& horizon,
+                          const ConsolidationInstance& instance) {
+  validate_horizon(instance, horizon);
+  std::ostringstream out;
+  out << "etransform-horizon v1\n";
+  if (horizon.migration_cost_per_server != 0.0) {
+    out << "migration_cost "
+        << format_number(horizon.migration_cost_per_server) << '\n';
+  }
+  for (std::size_t t = 0; t < horizon.periods.size(); ++t) {
+    const auto& period = horizon.periods[t];
+    const std::string name =
+        sanitize_name(horizon.period_name(static_cast<int>(t)));
+    out << "period " << name << ' ' << format_number(period.weight) << ' '
+        << format_number(period.multiplier) << '\n';
+    if (!period.group_multipliers.empty()) {
+      out << "period.group_multipliers " << name;
+      for (const double m : period.group_multipliers) {
+        out << ' ' << format_number(m);
+      }
+      out << '\n';
+    }
+    if (!period.failed_sites.empty()) {
+      out << "period.fail " << name;
+      for (const int j : period.failed_sites) {
+        out << ' '
+            << sanitize_name(
+                   instance.sites[static_cast<std::size_t>(j)].name);
+      }
+      out << '\n';
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+PlanningHorizon parse_horizon(const std::string& text,
+                              const ConsolidationInstance& instance) {
+  std::unordered_map<std::string, int> site_index;
+  for (int j = 0; j < instance.num_sites(); ++j) {
+    site_index[sanitize_name(
+        instance.sites[static_cast<std::size_t>(j)].name)] = j;
+  }
+  std::unordered_map<std::string, int> period_index;
+  PlanningHorizon horizon;
+  std::istringstream input(text);
+  std::string line;
+  int line_number = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+  const auto fail = [&](const std::string& what) -> void {
+    throw ParseError("horizon line " + std::to_string(line_number) + ": " +
+                     what);
+  };
+  const auto number = [&](const std::string& field) {
+    try {
+      std::size_t used = 0;
+      const double value = std::stod(field, &used);
+      if (used != field.size()) fail("bad number '" + field + "'");
+      return value;
+    } catch (const ParseError&) {
+      throw;
+    } catch (const std::exception&) {
+      fail("bad number '" + field + "'");
+    }
+    return 0.0;
+  };
+  const auto period_at = [&](const std::string& name) -> DemandPeriod& {
+    const auto it = period_index.find(name);
+    if (it == period_index.end()) fail("unknown period '" + name + "'");
+    return horizon.periods[static_cast<std::size_t>(it->second)];
+  };
+  while (std::getline(input, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto fields = split_whitespace(line);
+    if (fields.empty()) continue;
+    if (!saw_header) {
+      if (fields.size() < 2 || fields[0] != "etransform-horizon" ||
+          fields[1] != "v1") {
+        fail("file must start with 'etransform-horizon v1'");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (saw_end) fail("content after 'end'");
+    const std::string& key = fields[0];
+    if (key == "end") {
+      saw_end = true;
+    } else if (key == "migration_cost") {
+      if (fields.size() != 2) fail("'migration_cost' expects one field");
+      horizon.migration_cost_per_server = number(fields[1]);
+    } else if (key == "period") {
+      if (fields.size() != 4) {
+        fail("'period' expects <name> <weight> <multiplier>");
+      }
+      if (period_index.count(fields[1]) != 0) {
+        fail("duplicate period '" + fields[1] + "'");
+      }
+      DemandPeriod period;
+      period.name = fields[1];
+      period.weight = number(fields[2]);
+      period.multiplier = number(fields[3]);
+      period_index[fields[1]] = static_cast<int>(horizon.periods.size());
+      horizon.periods.push_back(std::move(period));
+    } else if (key == "period.group_multipliers") {
+      if (fields.size() < 3) fail("'period.group_multipliers' too short");
+      DemandPeriod& period = period_at(fields[1]);
+      if (fields.size() - 2 !=
+          static_cast<std::size_t>(instance.num_groups())) {
+        fail("expected one multiplier per group (" +
+             std::to_string(instance.num_groups()) + ")");
+      }
+      period.group_multipliers.clear();
+      for (std::size_t k = 2; k < fields.size(); ++k) {
+        period.group_multipliers.push_back(number(fields[k]));
+      }
+    } else if (key == "period.fail") {
+      if (fields.size() < 3) fail("'period.fail' expects site names");
+      DemandPeriod& period = period_at(fields[1]);
+      for (std::size_t k = 2; k < fields.size(); ++k) {
+        const auto it = site_index.find(fields[k]);
+        if (it == site_index.end()) {
+          fail("unknown site '" + fields[k] + "'");
+        }
+        period.failed_sites.push_back(it->second);
+      }
+    } else {
+      fail("unknown directive '" + key + "'");
+    }
+  }
+  if (!saw_header) fail("empty file");
+  if (!saw_end) fail("missing 'end'");
+  validate_horizon(instance, horizon);
+  return horizon;
+}
+
 }  // namespace etransform

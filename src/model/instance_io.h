@@ -26,12 +26,27 @@
 // '#' starts a comment. Entities are referenced by name; definitions must
 // precede references. write_instance -> parse_instance is a fixed point
 // (tested), and parse always returns a validated instance.
+//
+// Multi-period demand timelines (model/horizon.h) have a companion
+// line-oriented format (the ".etfh" file, CLI --traffic-curve):
+//
+//   etransform-horizon v1
+//   migration_cost <per-server rate>
+//   period <name> <weight_months|0> <multiplier>
+//   period.group_multipliers <period> <m per group...>
+//   period.fail <period> <site name> [<site name> ...]
+//   end
+//
+// Horizons reference the instance they scale: site names resolve against it
+// and per-group multiplier rows must match its group count, so parsing takes
+// the instance.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
 #include "model/entities.h"
+#include "model/horizon.h"
 
 namespace etransform {
 
@@ -44,5 +59,16 @@ void write_instance(const ConsolidationInstance& instance, std::ostream& out);
 /// instance fails validation.
 [[nodiscard]] ConsolidationInstance parse_instance(const std::string& text);
 [[nodiscard]] ConsolidationInstance parse_instance(std::istream& in);
+
+/// Serializes `horizon` in the .etfh format (validated against `instance`
+/// first; failed sites are written by name).
+[[nodiscard]] std::string write_horizon(const PlanningHorizon& horizon,
+                                        const ConsolidationInstance& instance);
+
+/// Parses the .etfh format against `instance` (site-name resolution and
+/// group-count checks). Throws ParseError with a line number on malformed
+/// text and InvalidInputError when the horizon fails validation.
+[[nodiscard]] PlanningHorizon parse_horizon(
+    const std::string& text, const ConsolidationInstance& instance);
 
 }  // namespace etransform

@@ -19,11 +19,14 @@ struct CostBreakdown {
   Money latency_penalty = 0.0;
   /// One-time purchase cost of DR backup servers (zeta * sum G_j).
   Money backup_capex = 0.0;
+  /// Inter-period switching cost of a multi-period plan (migration rate *
+  /// servers moved; see model/horizon.h). Always 0 for static plans.
+  Money migration = 0.0;
 
   /// Everything except the latency penalty (the paper's bar charts show
   /// "Cost" and "Latency Penalty" stacked separately).
   [[nodiscard]] Money operational() const {
-    return space + power + labor + wan + backup_capex;
+    return space + power + labor + wan + backup_capex + migration;
   }
   /// Grand total including penalties.
   [[nodiscard]] Money total() const {

@@ -99,6 +99,15 @@ void ScenarioSession::set_latency_penalty(int group,
   report_.reset();
 }
 
+void ScenarioSession::set_horizon(PlanningHorizon horizon) {
+  validate_horizon(instance_, horizon);
+  horizon_ = std::move(horizon);
+  log_.push_back(horizon_.is_static()
+                     ? std::string("horizon static")
+                     : "horizon " + horizon_fingerprint(horizon_));
+  report_.reset();
+}
+
 const PlannerReport& ScenarioSession::replan() {
   validate_instance(instance_);
   const CostModel model(instance_);
@@ -108,7 +117,11 @@ const PlannerReport& ScenarioSession::replan() {
   // one, so the old root basis is usually still dual-feasible for the new
   // root relaxation: hand it back and let the dual simplex reoptimize. The
   // planner drops it when the shapes diverged.
-  report_ = planner.plan(model, ctx, root_basis_.get());
+  PlanInput input;
+  input.model = &model;
+  input.horizon = horizon_;
+  input.root_warm = root_basis_.get();
+  report_ = planner.plan(input, ctx);
   if (report_->root_basis) root_basis_ = report_->root_basis;
   return *report_;
 }

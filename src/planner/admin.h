@@ -42,6 +42,13 @@ class ScenarioSession {
   /// Replaces the group's latency penalty function.
   void set_latency_penalty(int group, LatencyPenaltyFunction penalty);
 
+  /// Replaces the demand horizon the session plans over (static by
+  /// default). Throws InvalidInputError when the horizon is inconsistent
+  /// with the instance.
+  void set_horizon(PlanningHorizon horizon);
+
+  [[nodiscard]] const PlanningHorizon& horizon() const { return horizon_; }
+
   /// Re-plans under the current constraints. Throws InfeasibleError if the
   /// accumulated constraints are unsatisfiable. Successive replans hand the
   /// previous exact solve's root basis back to the planner
@@ -69,6 +76,7 @@ class ScenarioSession {
 
   ConsolidationInstance instance_;
   PlannerOptions options_;
+  PlanningHorizon horizon_;
   std::optional<PlannerReport> report_;
   /// Root basis of the last exact replan, kept across the report_.reset()
   /// that every modification performs so the next replan can warm-start.

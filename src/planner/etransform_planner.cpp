@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <optional>
 
@@ -37,17 +38,42 @@ long long count_assignment_vars(const ConsolidationInstance& instance) {
 EtransformPlanner::EtransformPlanner(PlannerOptions options)
     : options_(options) {}
 
-PlannerReport EtransformPlanner::plan(const CostModel& model,
-                                      SolveContext& ctx,
-                                      const lp::NamedBasis* root_warm)
-    const {
+PlannerReport EtransformPlanner::plan(const PlanInput& input,
+                                      SolveContext& ctx) const {
+  if (input.model == nullptr) {
+    throw InvalidInputError("planner: PlanInput.model is required");
+  }
+  if (input.horizon.is_static() && input.lock_placement) {
+    throw InvalidInputError(
+        "planner: lock_placement needs a non-static horizon");
+  }
   SolveScope scope(ctx, "planner");
-  PlannerReport report = plan_dispatch(model, ctx, root_warm);
+  PlannerReport report =
+      input.horizon.is_static()
+          ? plan_dispatch(*input.model, ctx, input.root_warm)
+          : plan_multi_period(input, ctx);
   scope.close();
   report.stats = scope.stats();
   report.interrupted = ctx.should_stop();
   return report;
 }
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+PlannerReport EtransformPlanner::plan(const CostModel& model,
+                                      SolveContext& ctx,
+                                      const lp::NamedBasis* root_warm)
+    const {
+  PlanInput input;
+  input.model = &model;
+  input.root_warm = root_warm;
+  return plan(input, ctx);
+}
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 PlannerReport EtransformPlanner::plan_dispatch(
     const CostModel& model, SolveContext& ctx,
@@ -538,6 +564,211 @@ PlannerReport EtransformPlanner::plan_heuristic(const CostModel& model,
     SolveScope bound_scope(ctx, "lagrangian");
     report.lower_bound = lagrangian_lower_bound(model).lower_bound;
   }
+  return report;
+}
+
+PlannerReport EtransformPlanner::plan_multi_period(const PlanInput& input,
+                                                   SolveContext& ctx) const {
+  const CostModel& model = *input.model;
+  const auto& base = model.instance();
+  const PlanningHorizon& horizon = input.horizon;
+  validate_horizon(base, horizon);
+
+  // Size gate on the total placement binaries across all periods.
+  long long x_vars = 0;
+  for (int t = 0; t < horizon.num_periods(); ++t) {
+    x_vars += count_assignment_vars(apply_period(base, horizon, t));
+  }
+  using Engine = PlannerOptions::Engine;
+  Engine engine = options_.engine;
+  if (engine == Engine::kAuto) {
+    engine = x_vars <= options_.exact_var_limit ? Engine::kExact
+                                                : Engine::kHeuristic;
+  }
+  // The locked "best static plan over the horizon" competitor has a single
+  // shared placement block only the MILP can express.
+  if (input.lock_placement) engine = Engine::kExact;
+  if (engine == Engine::kHeuristic) {
+    return plan_multi_heuristic(input, ctx);
+  }
+  if (!options_.enable_dr ||
+      options_.dr_sizing == PlannerOptions::DrSizing::kDedicated) {
+    return plan_multi_exact(input, /*joint_dr=*/false, ctx);
+  }
+  // Joint shared sizing replicates the J block per period; gate on the
+  // total. Over the limit, the dedicated surrogate stands in and decode
+  // recomputes the sharing law per period (there is no two-stage method in
+  // multi-period mode — fixing primaries would also fix the migrations).
+  const long long joint_j_vars =
+      x_vars * static_cast<long long>(base.num_sites());
+  return plan_multi_exact(input,
+                          joint_j_vars <= options_.joint_dr_var_limit, ctx);
+}
+
+PlannerReport EtransformPlanner::plan_multi_exact(const PlanInput& input,
+                                                  bool joint_dr,
+                                                  SolveContext& ctx) const {
+  const CostModel& model = *input.model;
+  const bool dedicated =
+      options_.dr_sizing == PlannerOptions::DrSizing::kDedicated;
+  FormulationOptions formulation_options;
+  formulation_options.enable_dr = options_.enable_dr;
+  formulation_options.business_impact_omega = options_.business_impact_omega;
+  formulation_options.economies_of_scale = options_.economies_of_scale;
+  formulation_options.backup_sizing = joint_dr ? BackupSizing::kSharedJoint
+                                               : BackupSizing::kDedicated;
+  formulation_options.decode_dedicated_counts = dedicated;
+  formulation_options.horizon = &input.horizon;
+  formulation_options.lock_placement = input.lock_placement;
+  Formulation formulation;
+  {
+    SolveScope formulation_scope(ctx, "formulation");
+    formulation = build_formulation(model, formulation_options);
+    formulation_scope.stats().add("variables",
+                                  formulation.model.num_variables());
+    formulation_scope.stats().add("rows",
+                                  formulation.model.num_constraints());
+    formulation_scope.stats().add("periods", input.horizon.num_periods());
+  }
+  ET_LOG(kInfo) << "planner: time-expanded MILP over "
+                << input.horizon.num_periods() << " periods with "
+                << formulation.model.num_variables() << " vars, "
+                << formulation.model.num_constraints() << " rows";
+
+  std::shared_ptr<const lp::NamedBasis> named_root;
+  const milp::MilpSolution solution = solve_formulation_milp(
+      formulation.model, options_.milp, ctx, input.root_warm, &named_root);
+  switch (solution.status) {
+    case milp::MilpStatus::kInfeasible:
+      throw InfeasibleError(
+          "planner: horizon admits no feasible multi-period plan");
+    case milp::MilpStatus::kUnbounded:
+      throw UnboundedError("planner: formulation unbounded (modelling bug)");
+    default:
+      break;
+  }
+  if (!usable_incumbent(solution)) {
+    if (input.lock_placement) {
+      throw InfeasibleError(
+          "planner: locked multi-period solve ended (" +
+          std::string(milp::to_string(solution.status)) +
+          ") with no incumbent");
+    }
+    ET_LOG(kWarning) << "planner: time-expanded solve ended ("
+                     << milp::to_string(solution.status)
+                     << ") with no incumbent; falling back to heuristic";
+    return plan_multi_heuristic(input, ctx);
+  }
+
+  PlannerReport report;
+  report.multi = decode_multi_period_plan(
+      model, formulation, formulation_options, solution.values, "etransform");
+  report.plan = report.multi.periods.front();
+  report.used_exact_solver = true;
+  report.proven_optimal = solution.status == milp::MilpStatus::kOptimal;
+  report.lower_bound = solution.best_bound;
+  report.milp_nodes = solution.nodes;
+  report.root_basis = named_root;
+  // Budget-limited incumbents race the per-period heuristic (solution-pool
+  // style), exactly like the static path. Locked solves have no heuristic
+  // counterpart.
+  if (!ctx.should_stop() && !report.proven_optimal &&
+      !input.lock_placement) {
+    const PlannerReport heuristic = plan_multi_heuristic(input, ctx);
+    if (heuristic.multi.cost.total() < report.multi.cost.total()) {
+      report.multi = heuristic.multi;
+      report.plan = report.multi.periods.front();
+      report.used_exact_solver = false;
+    }
+  }
+  return report;
+}
+
+PlannerReport EtransformPlanner::plan_multi_heuristic(const PlanInput& input,
+                                                      SolveContext& ctx)
+    const {
+  SolveScope scope(ctx, "multi_heuristic");
+  const CostModel& model = *input.model;
+  const auto& base = model.instance();
+  const PlanningHorizon& horizon = input.horizon;
+  const int num_periods = horizon.num_periods();
+  const bool dedicated =
+      options_.dr_sizing == PlannerOptions::DrSizing::kDedicated;
+
+  // Per-period static heuristic solves against the period-scaled cost
+  // models (instances must outlive the models and the smoothing pass).
+  struct Period {
+    ConsolidationInstance instance;
+    std::optional<CostModel> cost;
+  };
+  std::vector<std::unique_ptr<Period>> periods;
+  periods.reserve(static_cast<std::size_t>(num_periods));
+  std::vector<Plan> plans;
+  plans.reserve(static_cast<std::size_t>(num_periods));
+  for (int t = 0; t < num_periods; ++t) {
+    auto period = std::make_unique<Period>();
+    period->instance = apply_period(base, horizon, t);
+    period->cost.emplace(period->instance);
+    PlannerReport solved = plan_heuristic(*period->cost, ctx);
+    plans.push_back(std::move(solved.plan));
+    periods.push_back(std::move(period));
+  }
+
+  PlannerReport report;
+  report.multi =
+      assemble_multi_period(base, horizon, std::move(plans), "etransform");
+  // Migration-aware smoothing: independently-optimal period plans churn
+  // placements whose savings are below the switching cost; greedily revert
+  // a move to the previous period's site whenever that lowers the horizon
+  // total. Repeat until a pass finds nothing (reverting period t can make
+  // period t+1's move a no-op or a new revert candidate).
+  if (horizon.migration_cost_per_server > 0.0 && num_periods > 1) {
+    SolveScope smooth_scope(ctx, "migration_smoothing");
+    bool improved = true;
+    int passes = 0;
+    while (improved && passes++ < 8 && !ctx.should_stop()) {
+      improved = false;
+      for (int t = 1; t < num_periods; ++t) {
+        for (int i = 0; i < base.num_groups(); ++i) {
+          const int prev = report.multi.periods[static_cast<std::size_t>(
+              t - 1)].primary[static_cast<std::size_t>(i)];
+          Plan candidate = report.multi.periods[static_cast<std::size_t>(t)];
+          if (candidate.primary[static_cast<std::size_t>(i)] == prev) {
+            continue;
+          }
+          if (candidate.has_dr() &&
+              candidate.secondary[static_cast<std::size_t>(i)] == prev) {
+            continue;  // primary and secondary must stay distinct
+          }
+          candidate.primary[static_cast<std::size_t>(i)] = prev;
+          const auto& instance_t =
+              periods[static_cast<std::size_t>(t)]->instance;
+          if (candidate.has_dr()) {
+            candidate.backup_servers =
+                dedicated ? dedicated_backup_servers(instance_t,
+                                                     candidate.primary,
+                                                     candidate.secondary)
+                          : required_backup_servers(instance_t,
+                                                    candidate.primary,
+                                                    candidate.secondary);
+          }
+          if (!check_plan(instance_t, candidate).empty()) continue;
+          periods[static_cast<std::size_t>(t)]->cost->price_plan(candidate);
+          std::vector<Plan> candidate_plans = report.multi.periods;
+          candidate_plans[static_cast<std::size_t>(t)] = std::move(candidate);
+          MultiPeriodPlan smoothed = assemble_multi_period(
+              base, horizon, std::move(candidate_plans), "etransform");
+          if (smoothed.cost.total() <
+              report.multi.cost.total() - 1e-9) {
+            report.multi = std::move(smoothed);
+            improved = true;
+          }
+        }
+      }
+      smooth_scope.stats().add("passes", 1.0);
+    }
+  }
+  report.plan = report.multi.periods.front();
   return report;
 }
 

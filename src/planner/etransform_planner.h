@@ -20,10 +20,12 @@
 
 #include <limits>
 #include <string>
+#include <utility>
 
 #include "common/solve_context.h"
 #include "cost/cost_model.h"
 #include "milp/branch_and_bound.h"
+#include "model/horizon.h"
 #include "model/plan.h"
 #include "planner/local_search.h"
 
@@ -74,9 +76,41 @@ struct PlannerOptions {
   }
 };
 
+/// Versioned planner input (wire api_version 2): the cost model of the base
+/// demand snapshot plus the demand horizon it must be planned over. An
+/// empty (static) horizon reproduces the classic single-snapshot problem
+/// exactly. Non-owning pointers: the cost model (and the basis, when set)
+/// must outlive the plan() call.
+struct PlanInput {
+  PlanInput() = default;
+  /// Single-snapshot input: PlanInput(model). Set horizon / root_warm /
+  /// lock_placement on the named object afterwards.
+  explicit PlanInput(const CostModel& m) : model(&m) {}
+  PlanInput(const CostModel& m, PlanningHorizon h)
+      : model(&m), horizon(std::move(h)) {}
+
+  /// Required. Prices the base snapshot; per-period models are derived from
+  /// its instance via apply_period.
+  const CostModel* model = nullptr;
+  /// Demand timeline. is_static() == true plans the single snapshot.
+  PlanningHorizon horizon;
+  /// Optional warm-start basis from a previous solve's
+  /// PlannerReport::root_basis (the iterative replan loop); remapped by
+  /// variable/row name, always advisory.
+  const lp::NamedBasis* root_warm = nullptr;
+  /// Multi-period only: share one placement across all periods — the "best
+  /// static plan over the horizon" competitor (solved exactly; the
+  /// heuristic engine does not support it).
+  bool lock_placement = false;
+};
+
 /// The plan plus solver provenance and the solve's observability record.
 struct PlannerReport {
   Plan plan;
+  /// Multi-period solve result: per-period plans plus weighted totals and
+  /// the migration charge. Empty on static solves; `plan` mirrors
+  /// multi.periods.front() so single-snapshot consumers keep working.
+  MultiPeriodPlan multi;
   /// True if the plan came out of the MILP solver (possibly polished).
   bool used_exact_solver = false;
   /// True if optimality was proven (exact solve closed the gap).
@@ -104,6 +138,14 @@ struct PlannerReport {
   /// columns/rows. Null on heuristic solves or when the root never reached
   /// optimality.
   std::shared_ptr<const lp::NamedBasis> root_basis;
+
+  [[nodiscard]] bool is_multi_period() const { return !multi.periods.empty(); }
+  /// The number competitors are compared on: the weighted horizon total
+  /// (including migration) for multi-period solves, the plan total
+  /// statically.
+  [[nodiscard]] Money objective() const {
+    return is_multi_period() ? multi.cost.total() : plan.cost.total();
+  }
 };
 
 /// The planner. Stateless between calls; safe to reuse across instances.
@@ -111,20 +153,35 @@ class EtransformPlanner {
  public:
   explicit EtransformPlanner(PlannerOptions options = {});
 
-  /// Plans the instance behind `model` under `ctx`: the context's deadline
-  /// and cancellation token are honored throughout the MILP stack (an
-  /// interrupted solve returns the best plan found, flagged via
-  /// PlannerReport::interrupted), events stream solver progress, and the
-  /// stats tree lands in PlannerReport::stats. Throws InfeasibleError when
-  /// no feasible plan exists, InvalidInputError on malformed input.
-  /// `root_warm`, when non-null, restarts the exact root relaxation from a
-  /// previous solve's PlannerReport::root_basis (iterative replans): the
-  /// basis is remapped by variable/row name onto whatever standard form
-  /// this solve produces, so it survives small formulation deltas. Always
-  /// advisory — an unmappable or stale basis degrades to a cold start.
-  [[nodiscard]] PlannerReport plan(const CostModel& model, SolveContext& ctx,
-                                   const lp::NamedBasis* root_warm =
-                                       nullptr) const;
+  /// Plans `input` under `ctx`: the context's deadline and cancellation
+  /// token are honored throughout the MILP stack (an interrupted solve
+  /// returns the best plan found, flagged via PlannerReport::interrupted),
+  /// events stream solver progress, and the stats tree lands in
+  /// PlannerReport::stats. Throws InfeasibleError when no feasible plan
+  /// exists, InvalidInputError on malformed input (including a null
+  /// input.model or an inconsistent horizon).
+  ///
+  /// A static horizon runs the classic single-snapshot engines. A
+  /// non-static horizon builds the time-expanded formulation (exact path)
+  /// or per-period heuristic solves with a migration-aware smoothing pass
+  /// (heuristic path); the result lands in PlannerReport::multi.
+  /// input.root_warm, when non-null, restarts the exact root relaxation
+  /// from a previous solve's PlannerReport::root_basis (iterative
+  /// replans): the basis is remapped by variable/row name onto whatever
+  /// standard form this solve produces, so it survives small formulation
+  /// deltas. Always advisory — an unmappable or stale basis degrades to a
+  /// cold start.
+  [[nodiscard]] PlannerReport plan(const PlanInput& input,
+                                   SolveContext& ctx) const;
+
+  /// Deprecated single-snapshot shim (kept for one PR, like
+  /// MilpOptions -> SolverOptions): forwards to
+  /// plan({.model=&model, .root_warm=root_warm}, ctx).
+  [[deprecated(
+      "use plan(PlanInput{...}, ctx); this single-snapshot overload will be "
+      "removed next PR")]] [[nodiscard]] PlannerReport
+  plan(const CostModel& model, SolveContext& ctx,
+       const lp::NamedBasis* root_warm = nullptr) const;
 
   [[nodiscard]] const PlannerOptions& options() const { return options_; }
 
@@ -142,6 +199,13 @@ class EtransformPlanner {
                                                 SolveContext& ctx) const;
   [[nodiscard]] PlannerReport plan_heuristic(const CostModel& model,
                                              SolveContext& ctx) const;
+  [[nodiscard]] PlannerReport plan_multi_period(const PlanInput& input,
+                                                SolveContext& ctx) const;
+  [[nodiscard]] PlannerReport plan_multi_exact(const PlanInput& input,
+                                               bool joint_dr,
+                                               SolveContext& ctx) const;
+  [[nodiscard]] PlannerReport plan_multi_heuristic(const PlanInput& input,
+                                                   SolveContext& ctx) const;
 
   PlannerOptions options_;
 };

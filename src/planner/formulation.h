@@ -20,6 +20,19 @@
 // The objective carries per-placement latency penalties and VPN WAN costs on
 // X/Y, tier-priced site aggregates (space on servers, power on kWh, labor on
 // admins, flat-mode WAN on megabits), and backup capex zeta * sum G_j.
+//
+// Time-expanded extension (FormulationOptions::horizon): every block above
+// is replicated per demand period t with "@p<t>"-suffixed variable and row
+// names, coefficients priced by the period-scaled cost model and weighted by
+// the period's duration, plus inter-period migration coupling
+//
+//   MV_it >= X_ijt - X_ij(t-1)   for every site j       (MV_it in [0, 1])
+//
+// whose objective coefficient is migration_cost_per_server * period-t
+// servers — the switching cost of "Optimal Algorithms for Right-Sizing Data
+// Centers". `lock_placement` instead shares one X (and Y) block across all
+// periods: the best *static* plan evaluated against the whole horizon, the
+// competitor the time-expanded plan must beat.
 #pragma once
 
 #include <string>
@@ -27,6 +40,7 @@
 
 #include "cost/cost_model.h"
 #include "lp/model.h"
+#include "model/horizon.h"
 #include "model/plan.h"
 
 namespace etransform {
@@ -61,18 +75,38 @@ struct FormulationOptions {
   /// decode_plan: provision dedicated per-site sums instead of recomputing
   /// the single-failure sharing law (multi-failure planning).
   bool decode_dedicated_counts = false;
+  /// Non-null with a non-static horizon: build the time-expanded
+  /// multi-period MILP instead of the single-snapshot one. Incompatible
+  /// with kSharedFixedPrimary. The horizon must outlive the formulation.
+  const PlanningHorizon* horizon = nullptr;
+  /// Time-expanded only: share one placement block across all periods (the
+  /// "best static plan over the horizon" competitor). No migration
+  /// variables are emitted.
+  bool lock_placement = false;
 };
 
 /// The built model plus the variable maps needed to decode a solution.
 struct Formulation {
   lp::Model model;
   /// x[i][j] = variable index of X_ij, or -1 when the pair is disallowed /
-  /// fixed. With kSharedFixedPrimary no X variables exist.
+  /// fixed. With kSharedFixedPrimary no X variables exist. Static mode
+  /// only (time-expanded solutions decode through xt).
   std::vector<std::vector<int>> x;
   /// y[i][j] = variable index of Y_ij, or -1. Empty without DR.
   std::vector<std::vector<int>> y;
   /// g[j] = variable index of G_j. Empty without DR.
   std::vector<int> g;
+  /// Time-expanded mode: xt[t][i][j] = X_ijt (with lock_placement every
+  /// period aliases the shared block). Empty in static mode; same shape
+  /// for yt / gt under DR.
+  std::vector<std::vector<std::vector<int>>> xt;
+  std::vector<std::vector<std::vector<int>>> yt;
+  std::vector<std::vector<int>> gt;
+  /// move[t-1][i] = MV_it migration indicator for t >= 1, or -1 when the
+  /// horizon charges no migration. Empty in static / locked mode.
+  std::vector<std::vector<int>> move;
+
+  [[nodiscard]] bool is_time_expanded() const { return !xt.empty(); }
 };
 
 /// Builds the MILP. Throws InvalidInputError on inconsistent options (e.g.
@@ -88,6 +122,15 @@ struct Formulation {
                                const FormulationOptions& options,
                                const std::vector<double>& values,
                                const std::string& algorithm);
+
+/// Decodes a time-expanded solve into per-period plans, each re-priced
+/// exactly against its period-scaled cost model, and totals them with
+/// assemble_multi_period (weighted sums + the migration charge). Requires
+/// options.horizon; throws InvalidInputError otherwise.
+[[nodiscard]] MultiPeriodPlan decode_multi_period_plan(
+    const CostModel& cost, const Formulation& formulation,
+    const FormulationOptions& options, const std::vector<double>& values,
+    const std::string& algorithm);
 
 /// True if the group may be placed at site j under its pin / allowed-sites
 /// constraints (shared by the planner and the heuristics).

@@ -61,6 +61,9 @@ std::string render_cost_breakdown(const CostBreakdown& cost) {
   if (cost.backup_capex > 0.0) {
     table.add_row({"backup capex", format_money(cost.backup_capex)});
   }
+  if (cost.migration > 0.0) {
+    table.add_row({"migration", format_money(cost.migration)});
+  }
   table.add_row({"total", format_money(cost.total())});
   return table.render();
 }
@@ -103,6 +106,47 @@ std::string render_plan_summary(const ConsolidationInstance& instance,
   out += table.render();
   out += "\n";
   out += render_cost_breakdown(plan.cost);
+  return out;
+}
+
+std::string render_multi_period_summary(const PlanningHorizon& horizon,
+                                        const MultiPeriodPlan& multi) {
+  if (multi.empty()) {
+    throw InvalidInputError("render_multi_period_summary: empty plan");
+  }
+  if (static_cast<int>(multi.periods.size()) != horizon.num_periods()) {
+    throw InvalidInputError(
+        "render_multi_period_summary: plan has " +
+        std::to_string(multi.periods.size()) + " periods, horizon " +
+        std::to_string(horizon.num_periods()));
+  }
+  TextTable table(
+      {"period", "months", "sites", "violations", "monthly cost", "moves in"});
+  for (std::size_t t = 0; t < multi.periods.size(); ++t) {
+    const Plan& plan = multi.periods[t];
+    int moves = 0;
+    if (t > 0) {
+      const Plan& prev = multi.periods[t - 1];
+      for (std::size_t i = 0; i < plan.primary.size(); ++i) {
+        if (plan.primary[i] != prev.primary[i]) ++moves;
+      }
+    }
+    char months[32];
+    std::snprintf(months, sizeof(months), "%.2f",
+                  horizon.period_weight(static_cast<int>(t)));
+    table.add_row({horizon.period_name(static_cast<int>(t)), months,
+                   std::to_string(plan.sites_used()),
+                   std::to_string(plan.latency_violations),
+                   format_money_compact(plan.cost.total()),
+                   t == 0 ? "-" : std::to_string(moves)});
+  }
+  std::string out = "multi-period plan (" + multi.algorithm + "): " +
+                    std::to_string(horizon.num_periods()) + " periods, " +
+                    std::to_string(multi.total_moves) + " group moves (" +
+                    std::to_string(multi.moved_servers) + " servers)\n";
+  out += table.render();
+  out += "\nhorizon totals (weighted):\n";
+  out += render_cost_breakdown(multi.cost);
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/solve_context.h"
+#include "model/horizon.h"
 #include "model/plan.h"
 
 namespace etransform {
@@ -44,6 +45,14 @@ struct AlgorithmResult {
 /// backups per site for DR plans, and the plan's cost/violations.
 [[nodiscard]] std::string render_plan_summary(
     const ConsolidationInstance& instance, const Plan& plan);
+
+/// Renders a multi-period plan: one row per demand period (duration, sites
+/// used, violations, the period's monthly cost, and the group moves entering
+/// it) followed by the weighted horizon totals — including the migration
+/// charge. Throws InvalidInputError on an empty plan or a plan whose period
+/// count does not match the horizon.
+[[nodiscard]] std::string render_multi_period_summary(
+    const PlanningHorizon& horizon, const MultiPeriodPlan& multi);
 
 /// Renders dataset statistics in the style of Table II / Fig. 3.
 [[nodiscard]] std::string render_instance_summary(

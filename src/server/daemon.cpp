@@ -40,6 +40,8 @@ struct ServerJob {
   std::string canonical_text;  // canonical .etf of the solved instance
   ConsolidationInstance instance;
   PlannerOptions options;      // as parsed; replan deltas inherit these
+  PlanningHorizon horizon;     // static unless the request carried v2 members
+  bool lock_placement = false;
   double time_limit_ms = 0.0;
   bool cache_enabled = true;
   long long base_job = -1;     // replan: the job this delta derives from
@@ -726,6 +728,8 @@ void PlannerDaemon::handle_plan(const HttpRequest& request,
     }
     ConsolidationInstance base_instance;
     PlannerOptions base_options;
+    PlanningHorizon base_horizon;
+    bool base_lock = false;
     {
       const std::lock_guard<std::mutex> lock(base->mu);
       if (!base->terminal || base->state != "done") {
@@ -734,6 +738,8 @@ void PlannerDaemon::handle_plan(const HttpRequest& request,
       }
       base_instance = base->instance;
       base_options = base->options;
+      base_horizon = base->horizon;
+      base_lock = base->lock_placement;
       root_warm = base->root_basis;
     }
     job->options = body.get("options") != nullptr
@@ -791,6 +797,17 @@ void PlannerDaemon::handle_plan(const HttpRequest& request,
         }
       }
     }
+    // A replan inherits the base job's horizon unless the delta body carries
+    // its own v2 members; set_horizon re-validates either way (a delta could
+    // have made an inherited horizon inconsistent).
+    const bool has_horizon_members =
+        body.get("periods") != nullptr || body.get("traffic_curve") != nullptr ||
+        body.get("migration_cost_per_server") != nullptr;
+    session.set_horizon(has_horizon_members
+                            ? parse_horizon_json(body, session.instance())
+                            : std::move(base_horizon));
+    job->horizon = session.horizon();
+    job->lock_placement = bool_or(body, "lock_placement", base_lock);
     job->instance = session.instance();
     job->base_job = base->id;
     job->warm_started = root_warm != nullptr;
@@ -802,6 +819,12 @@ void PlannerDaemon::handle_plan(const HttpRequest& request,
     }
     job->instance = parse_instance(instance_text->str);
     job->options = parse_options_json(body.get("options"));
+    job->horizon = parse_horizon_json(body, job->instance);
+    job->lock_placement = bool_or(body, "lock_placement", false);
+  }
+  if (job->lock_placement && job->horizon.is_static()) {
+    writer.send_error(400, "lock_placement requires a multi-period horizon");
+    return;
   }
 
   if (const json::Value* name = body.get("name");
@@ -814,8 +837,8 @@ void PlannerDaemon::handle_plan(const HttpRequest& request,
   const JobPriority priority = parse_priority(body);
 
   job->canonical_text = write_instance(job->instance);
-  const std::string fingerprint =
-      options_fingerprint(job->options, job->time_limit_ms);
+  const std::string fingerprint = options_fingerprint(
+      job->options, job->time_limit_ms, job->horizon, job->lock_placement);
   job->key = cache_key(job->canonical_text, fingerprint);
 
   // Cache probe: a hit births the job terminal — no farm round trip.
@@ -858,6 +881,8 @@ void PlannerDaemon::handle_plan(const HttpRequest& request,
   solve.name = job->name.empty() ? ("http-" + std::to_string(id)) : job->name;
   solve.instance = job->instance;
   solve.options = job->options;
+  solve.horizon = job->horizon;
+  solve.lock_placement = job->lock_placement;
   solve.time_limit_ms = job->time_limit_ms;
   solve.priority = priority;
   // The server-side job id is the trace id: every span the solve records —

@@ -27,37 +27,28 @@ void ScenarioSet::add(Scenario scenario) {
   scenarios_.push_back(std::move(scenario));
 }
 
-void ScenarioSet::add_omega_sweep(const std::vector<double>& omegas,
-                                  const PlannerOptions& base) {
-  for (const double omega : omegas) {
+void ScenarioSet::add_spec(const ScenarioSpec& spec) {
+  for (const double omega : spec.omegas) {
     Scenario scenario;
     scenario.name = "omega=" + number_name(omega);
-    scenario.options = base;
+    scenario.options = spec.base;
     scenario.options.business_impact_omega = omega;
     scenarios_.push_back(std::move(scenario));
   }
-}
-
-void ScenarioSet::add_dr_cost_sweep(const std::vector<Money>& costs,
-                                    const PlannerOptions& base) {
-  for (const Money cost : costs) {
+  for (const Money cost : spec.dr_costs) {
     Scenario scenario;
     scenario.name = "dr_cost=" + number_name(cost);
-    scenario.options = base;
+    scenario.options = spec.base;
     scenario.options.enable_dr = true;
     scenario.mutate = [cost](ConsolidationInstance& instance) {
       instance.params.dr_server_cost = cost;
     };
     scenarios_.push_back(std::move(scenario));
   }
-}
-
-void ScenarioSet::add_latency_penalty_sweep(
-    const std::vector<Money>& penalties, const PlannerOptions& base) {
-  for (const Money penalty : penalties) {
+  for (const Money penalty : spec.latency_penalties) {
     Scenario scenario;
     scenario.name = "penalty=" + number_name(penalty);
-    scenario.options = base;
+    scenario.options = spec.base;
     scenario.mutate = [penalty](ConsolidationInstance& instance) {
       for (auto& group : instance.groups) {
         if (group.latency_penalty.is_insensitive()) continue;
@@ -68,29 +59,81 @@ void ScenarioSet::add_latency_penalty_sweep(
     };
     scenarios_.push_back(std::move(scenario));
   }
+  if (spec.cut_configs) {
+    struct Config {
+      const char* name;
+      bool gomory;
+      bool cover;
+    };
+    static constexpr Config kConfigs[] = {
+        {"cuts=off", false, false},
+        {"cuts=gomory", true, false},
+        {"cuts=cover", false, true},
+        {"cuts=all", true, true},
+    };
+    for (const Config& config : kConfigs) {
+      Scenario scenario;
+      scenario.name = config.name;
+      scenario.options = spec.base;
+      scenario.options.milp.cuts.enable = config.gomory || config.cover;
+      scenario.options.milp.cuts.gomory = config.gomory;
+      scenario.options.milp.cuts.cover = config.cover;
+      scenarios_.push_back(std::move(scenario));
+    }
+  }
+  for (const ScenarioSpec::HorizonCase& horizon_case : spec.horizons) {
+    validate_horizon(base_, horizon_case.horizon);
+    const std::string label =
+        !horizon_case.name.empty()
+            ? horizon_case.name
+            : (horizon_case.horizon.is_static()
+                   ? std::string("static")
+                   : horizon_fingerprint(horizon_case.horizon));
+    Scenario scenario;
+    scenario.name = "horizon=" + label;
+    scenario.options = spec.base;
+    scenario.horizon = horizon_case.horizon;
+    scenarios_.push_back(std::move(scenario));
+    if (spec.locked_horizon_variants && !horizon_case.horizon.is_static()) {
+      Scenario locked;
+      locked.name = "horizon=" + label + "/locked";
+      locked.options = spec.base;
+      locked.horizon = horizon_case.horizon;
+      locked.lock_placement = true;
+      scenarios_.push_back(std::move(locked));
+    }
+  }
+}
+
+void ScenarioSet::add_omega_sweep(const std::vector<double>& omegas,
+                                  const PlannerOptions& base) {
+  ScenarioSpec spec;
+  spec.base = base;
+  spec.omegas = omegas;
+  add_spec(spec);
+}
+
+void ScenarioSet::add_dr_cost_sweep(const std::vector<Money>& costs,
+                                    const PlannerOptions& base) {
+  ScenarioSpec spec;
+  spec.base = base;
+  spec.dr_costs = costs;
+  add_spec(spec);
+}
+
+void ScenarioSet::add_latency_penalty_sweep(
+    const std::vector<Money>& penalties, const PlannerOptions& base) {
+  ScenarioSpec spec;
+  spec.base = base;
+  spec.latency_penalties = penalties;
+  add_spec(spec);
 }
 
 void ScenarioSet::add_cut_config_sweep(const PlannerOptions& base) {
-  struct Config {
-    const char* name;
-    bool gomory;
-    bool cover;
-  };
-  static constexpr Config kConfigs[] = {
-      {"cuts=off", false, false},
-      {"cuts=gomory", true, false},
-      {"cuts=cover", false, true},
-      {"cuts=all", true, true},
-  };
-  for (const Config& config : kConfigs) {
-    Scenario scenario;
-    scenario.name = config.name;
-    scenario.options = base;
-    scenario.options.milp.cuts.enable = config.gomory || config.cover;
-    scenario.options.milp.cuts.gomory = config.gomory;
-    scenario.options.milp.cuts.cover = config.cover;
-    scenarios_.push_back(std::move(scenario));
-  }
+  ScenarioSpec spec;
+  spec.base = base;
+  spec.cut_configs = true;
+  add_spec(spec);
 }
 
 std::vector<ScenarioResult> run_scenarios(const ScenarioSet& set,
@@ -104,6 +147,8 @@ std::vector<ScenarioResult> run_scenarios(const ScenarioSet& set,
     request.instance = set.base();
     if (scenario.mutate) scenario.mutate(request.instance);
     request.options = scenario.options;
+    request.horizon = scenario.horizon;
+    request.lock_placement = scenario.lock_placement;
     request.time_limit_ms = time_limit_ms;
     jobs.push_back(service.submit(std::move(request)));
   }
@@ -135,12 +180,28 @@ std::string render_scenario_results(
       table.add_row({result.name, "-", "-", "-", "-", "-", result.error});
       continue;
     }
-    const AlgorithmResult row = summarize(result.name, result.report.plan);
     std::string note;
     if (result.report.proven_optimal) note = "optimal";
     if (result.report.interrupted) {
       note += note.empty() ? "interrupted" : " interrupted";
     }
+    if (result.report.is_multi_period()) {
+      // Horizon scenarios report the weighted horizon totals, so a sweep
+      // row is comparable to its static siblings' monthly figures.
+      const CostBreakdown& cost = result.report.multi.cost;
+      int violations = 0;
+      for (const Plan& plan : result.report.multi.periods) {
+        violations += plan.latency_violations;
+      }
+      table.add_row({result.name, format_money(cost.total()),
+                     format_money(cost.operational()),
+                     format_money(cost.latency_penalty),
+                     std::to_string(violations),
+                     result.report.used_exact_solver ? "exact" : "heuristic",
+                     note});
+      continue;
+    }
+    const AlgorithmResult row = summarize(result.name, result.report.plan);
     table.add_row({result.name, format_money(row.total()),
                    format_money(row.operational_cost),
                    format_money(row.latency_penalty),

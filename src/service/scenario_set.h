@@ -27,6 +27,41 @@ struct Scenario {
   PlannerOptions options;
   /// Applied to this scenario's copy of the base instance (may be null).
   std::function<void(ConsolidationInstance&)> mutate;
+  /// Demand horizon the scenario is planned over (static by default).
+  PlanningHorizon horizon;
+  /// Multi-period only: solve the one-placement-fits-all-periods variant
+  /// (the "best static plan over the horizon" competitor).
+  bool lock_placement = false;
+};
+
+/// Declarative sweep description: every populated dimension appends one
+/// named scenario per value, all sharing `base` options. Dimensions are
+/// independent axes (one parameter varies per scenario), matching how the
+/// paper's figures sweep a single knob at a time. This is the single
+/// builder behind the legacy add_*_sweep helpers.
+struct ScenarioSpec {
+  PlannerOptions base;
+  /// "omega=<v>": business-impact cap sweep (Fig. 10).
+  std::vector<double> omegas;
+  /// "dr_cost=<v>": backup server price sweep, DR forced on (Fig. 8).
+  std::vector<Money> dr_costs;
+  /// "penalty=<v>": per-user latency penalty sweep (Fig. 7).
+  std::vector<Money> latency_penalties;
+  /// The four "cuts=*" cutting-plane configurations.
+  bool cut_configs = false;
+
+  /// A named demand timeline (e.g. from make_traffic_curve); the scenario
+  /// solves the multi-period problem over it.
+  struct HorizonCase {
+    std::string name;
+    PlanningHorizon horizon;
+  };
+  /// "horizon=<name>": multi-period scenarios, one per timeline.
+  std::vector<HorizonCase> horizons;
+  /// Also append "horizon=<name>/locked" for each timeline — the same
+  /// horizon solved with one shared placement, so a sweep directly reports
+  /// the right-sizing payoff (time-expanded vs. best static).
+  bool locked_horizon_variants = false;
 };
 
 /// An ordered collection of scenarios over one base instance.
@@ -37,8 +72,14 @@ class ScenarioSet {
   /// Appends one scenario.
   void add(Scenario scenario);
 
+  /// Expands every populated dimension of `spec` into named scenarios (in
+  /// declaration order: omegas, dr_costs, latency_penalties, cut configs,
+  /// horizons). Horizons are validated against the base instance here, so a
+  /// bad sweep fails at build time rather than as N failed rows.
+  void add_spec(const ScenarioSpec& spec);
+
   /// Appends "omega=<v>" scenarios sweeping the business-impact cap
-  /// (Fig. 10) with otherwise-`base` options.
+  /// (Fig. 10) with otherwise-`base` options. Delegates to add_spec.
   void add_omega_sweep(const std::vector<double>& omegas,
                        const PlannerOptions& base = {});
 

@@ -261,8 +261,12 @@ void SolveService::run_job(const JobHandle& job) {
     try {
       const CostModel model(job->request_.instance);
       const EtransformPlanner planner(job->request_.options);
-      PlannerReport report =
-          planner.plan(model, job->ctx_, job->request_.root_warm.get());
+      PlanInput input;
+      input.model = &model;
+      input.horizon = job->request_.horizon;
+      input.root_warm = job->request_.root_warm.get();
+      input.lock_placement = job->request_.lock_placement;
+      PlannerReport report = planner.plan(input, job->ctx_);
       {
         // Result writes under mu_: clients may poll has_report()/solve_ms()
         // while the job is still running.

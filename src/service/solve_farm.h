@@ -71,6 +71,13 @@ struct SolveRequest {
   std::string name;
   ConsolidationInstance instance;
   PlannerOptions options;
+  /// Demand horizon the job plans over. A static (empty) horizon solves
+  /// the single snapshot; a non-static one runs the time-expanded
+  /// multi-period planner and the report carries PlannerReport::multi.
+  PlanningHorizon horizon;
+  /// Multi-period only: share one placement across all periods (the "best
+  /// static plan over the horizon" competitor; see PlanInput).
+  bool lock_placement = false;
   /// Per-job wall-clock budget in milliseconds; 0 = unlimited.
   double time_limit_ms = 0.0;
   JobPriority priority = JobPriority::kNormal;

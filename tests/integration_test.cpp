@@ -40,7 +40,7 @@ TEST(Integration, Fig4ShapeOnMiniDataset) {
     const Plan greedy = plan_greedy(model, false);
     const EtransformPlanner planner(fast_options());
     SolveContext ctx;
-    const PlannerReport report = planner.plan(model, ctx);
+    const PlannerReport report = planner.plan(PlanInput(model), ctx);
 
     // Everyone beats as-is; eTransform beats both baselines (Fig. 4d).
     EXPECT_LT(manual.cost.total(), as_is) << "seed " << seed;
@@ -69,7 +69,7 @@ TEST(Integration, Fig6ShapeOnMiniDataset) {
   const Plan greedy = plan_greedy(model, true);
   const EtransformPlanner planner(fast_options(true));
   SolveContext ctx;
-  const PlannerReport report = planner.plan(model, ctx);
+  const PlannerReport report = planner.plan(PlanInput(model), ctx);
 
   EXPECT_TRUE(check_plan(instance, report.plan).empty());
   // The integrated plan beats bolting DR onto the as-is estate by a wide
@@ -100,7 +100,7 @@ TEST(Integration, Fig7ShapeLatencySweep) {
     const CostModel model(instance);
     const EtransformPlanner planner(fast_options());
     SolveContext ctx;
-    const PlannerReport report = planner.plan(model, ctx);
+    const PlannerReport report = planner.plan(PlanInput(model), ctx);
 
     double weighted = 0.0;
     double users = 0.0;
@@ -157,7 +157,7 @@ TEST(Integration, Fig10FillsCheapestSiteFirst) {
   const CostModel model(instance);
   const EtransformPlanner planner(fast_options());
   SolveContext ctx;
-  const PlannerReport report = planner.plan(model, ctx);
+  const PlannerReport report = planner.plan(PlanInput(model), ctx);
   EXPECT_EQ(report.plan.sites_used(), 2);  // 150 groups / 100 capacity
 
   // The fuller site must be the globally cheapest one for a single group.

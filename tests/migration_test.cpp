@@ -20,7 +20,7 @@ std::pair<ConsolidationInstance, Plan> planned_instance(std::uint64_t seed,
   options.engine = PlannerOptions::Engine::kHeuristic;
   const EtransformPlanner planner(options);
   SolveContext ctx;
-  return {std::move(instance), planner.plan(model, ctx).plan};
+  return {std::move(instance), planner.plan(PlanInput(model), ctx).plan};
 }
 
 TEST(Migration, UnlimitedBudgetYieldsOneWave) {
@@ -136,7 +136,7 @@ TEST_P(MigrationPropertyTest, SchedulesAreAlwaysValid) {
   options.engine = PlannerOptions::Engine::kHeuristic;
   options.enable_dr = (GetParam() % 3 == 0);
   SolveContext ctx;
-  const Plan plan = EtransformPlanner(options).plan(model, ctx).plan;
+  const Plan plan = EtransformPlanner(options).plan(PlanInput(model), ctx).plan;
   MigrationLimits limits;
   double biggest = 0.0;
   for (const auto& group : instance.groups) {

@@ -24,7 +24,7 @@ PlannerReport run_planner(const ConsolidationInstance& instance,
   const CostModel model(instance);
   const EtransformPlanner planner(options);
   SolveContext ctx;
-  return planner.plan(model, ctx);
+  return planner.plan(PlanInput(model), ctx);
 }
 
 /// Exhaustively finds the cheapest feasible non-DR plan.

@@ -21,7 +21,7 @@ TEST(Sensitivity, RegretIsNonNegativeForOptimalPlans) {
     options.milp.search.time_limit_ms = 5000;
     const EtransformPlanner planner(options);
     SolveContext ctx;
-    const PlannerReport report = planner.plan(model, ctx);
+    const PlannerReport report = planner.plan(PlanInput(model), ctx);
     const SensitivityReport sensitivity =
         analyze_sensitivity(model, report.plan);
     for (const auto& g : sensitivity.groups) {
@@ -73,7 +73,7 @@ TEST(Sensitivity, SortedByDescendingRegret) {
     PlannerOptions options;
     options.engine = PlannerOptions::Engine::kHeuristic;
     SolveContext ctx;
-    return EtransformPlanner(options).plan(model, ctx).plan;
+    return EtransformPlanner(options).plan(PlanInput(model), ctx).plan;
   }();
   const SensitivityReport report = analyze_sensitivity(model, plan);
   for (std::size_t k = 1; k < report.groups.size(); ++k) {
@@ -89,7 +89,7 @@ TEST(Sensitivity, SiteUtilizationAccountsBackups) {
   options.enable_dr = true;
   options.engine = PlannerOptions::Engine::kHeuristic;
   SolveContext ctx;
-  const PlannerReport planned = EtransformPlanner(options).plan(model, ctx);
+  const PlannerReport planned = EtransformPlanner(options).plan(PlanInput(model), ctx);
   const SensitivityReport report = analyze_sensitivity(model, planned.plan);
   long long total = 0;
   for (const auto& site : report.sites) {
@@ -117,7 +117,7 @@ TEST(Sensitivity, RenderListsTopRegrets) {
   PlannerOptions options;
   options.engine = PlannerOptions::Engine::kHeuristic;
   SolveContext ctx;
-  const PlannerReport planned = EtransformPlanner(options).plan(model, ctx);
+  const PlannerReport planned = EtransformPlanner(options).plan(PlanInput(model), ctx);
   const SensitivityReport report = analyze_sensitivity(model, planned.plan);
   const std::string text = render_sensitivity(instance, report, 3);
   EXPECT_NE(text.find("placement regret"), std::string::npos);

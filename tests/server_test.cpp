@@ -148,6 +148,127 @@ TEST(ApiJsonTest, FingerprintSeparatesResultAffectingOptions) {
             server::options_fingerprint(a, 1000.0));
 }
 
+TEST(ApiJsonTest, ParseHorizonJsonAcceptsPeriodsAndTrafficCurve) {
+  const ConsolidationInstance instance = small_instance();
+
+  // Explicit "periods": names, weights, a per-group multiplier vector, and
+  // failed sites referenced by name and by index.
+  json::Value body = json::Value::object();
+  body.set("api_version", json::Value::number(2));
+  json::Value periods = json::Value::array();
+  json::Value peak = json::Value::object();
+  peak.set("name", json::Value::string("peak"));
+  peak.set("weight", json::Value::number(2.0));
+  peak.set("multiplier", json::Value::number(1.0));
+  periods.push(std::move(peak));
+  json::Value trough = json::Value::object();
+  trough.set("weight", json::Value::number(1.0));
+  json::Value per_group = json::Value::array();
+  for (int g = 0; g < instance.num_groups(); ++g) {
+    per_group.push(json::Value::number(0.5));
+  }
+  trough.set("group_multipliers", std::move(per_group));
+  json::Value failed = json::Value::array();
+  failed.push(json::Value::string(instance.sites[0].name));  // by name
+  failed.push(json::Value::number(1));                       // by index
+  trough.set("failed_sites", std::move(failed));
+  periods.push(std::move(trough));
+  body.set("periods", std::move(periods));
+  body.set("migration_cost_per_server", json::Value::number(4.0));
+
+  const PlanningHorizon horizon = server::parse_horizon_json(body, instance);
+  ASSERT_EQ(horizon.num_periods(), 2);
+  EXPECT_EQ(horizon.period_name(0), "peak");
+  EXPECT_DOUBLE_EQ(horizon.period_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(horizon.multiplier(1, 0), 0.5);
+  ASSERT_EQ(horizon.periods[1].failed_sites.size(), 2u);
+  EXPECT_EQ(horizon.periods[1].failed_sites[0], 0);
+  EXPECT_EQ(horizon.periods[1].failed_sites[1], 1);
+  EXPECT_DOUBLE_EQ(horizon.migration_cost_per_server, 4.0);
+
+  // A declarative curve expands through make_traffic_curve.
+  json::Value curve_body = json::Value::object();
+  curve_body.set("api_version", json::Value::number(2));
+  json::Value curve = json::Value::object();
+  curve.set("shape", json::Value::string("seasonal"));
+  curve.set("num_periods", json::Value::number(6));
+  curve.set("peak", json::Value::number(1.2));
+  curve.set("trough", json::Value::number(0.3));
+  curve_body.set("traffic_curve", std::move(curve));
+  const PlanningHorizon expanded =
+      server::parse_horizon_json(curve_body, instance);
+  EXPECT_EQ(expanded.num_periods(), 6);
+  for (int t = 0; t < expanded.num_periods(); ++t) {
+    EXPECT_GE(expanded.multiplier(t, 0), 0.3 - 1e-9);
+    EXPECT_LE(expanded.multiplier(t, 0), 1.2 + 1e-9);
+  }
+
+  // A body with no v2 members is the static horizon (every v1 request).
+  EXPECT_TRUE(
+      server::parse_horizon_json(json::Value::object(), instance).is_static());
+}
+
+TEST(ApiJsonTest, ParseHorizonJsonRejectsV2MembersInV1Bodies) {
+  const ConsolidationInstance instance = small_instance();
+  const auto rejects = [&](const json::Value& body) {
+    EXPECT_THROW((void)server::parse_horizon_json(body, instance),
+                 InvalidInputError);
+  };
+
+  // Multi-period members without "api_version": 2 must not silently work.
+  json::Value v1_with_periods = json::Value::object();
+  v1_with_periods.set("periods", json::Value::array());
+  rejects(v1_with_periods);
+  json::Value v1_with_migration = json::Value::object();
+  v1_with_migration.set("migration_cost_per_server", json::Value::number(1.0));
+  rejects(v1_with_migration);
+
+  json::Value future = json::Value::object();
+  future.set("api_version", json::Value::number(3));
+  rejects(future);
+
+  json::Value both = json::Value::object();
+  both.set("api_version", json::Value::number(2));
+  both.set("periods", json::Value::array());
+  both.set("traffic_curve", json::Value::object());
+  rejects(both);  // mutually exclusive
+
+  json::Value unknown_key = json::Value::object();
+  unknown_key.set("api_version", json::Value::number(2));
+  json::Value typo_periods = json::Value::array();
+  json::Value typo_period = json::Value::object();
+  typo_period.set("multipler", json::Value::number(1.0));
+  typo_periods.push(std::move(typo_period));
+  unknown_key.set("periods", std::move(typo_periods));
+  rejects(unknown_key);
+
+  json::Value bad_site = json::Value::object();
+  bad_site.set("api_version", json::Value::number(2));
+  json::Value failing_periods = json::Value::array();
+  json::Value failing = json::Value::object();
+  json::Value failed = json::Value::array();
+  failed.push(json::Value::string("no-such-site"));
+  failing.set("failed_sites", std::move(failed));
+  failing_periods.push(std::move(failing));
+  bad_site.set("periods", std::move(failing_periods));
+  rejects(bad_site);
+}
+
+TEST(ApiJsonTest, FingerprintSeparatesHorizonAndPlacementLock) {
+  const PlannerOptions options;
+  const PlanningHorizon two = PlanningHorizon::uniform(2);
+  const std::string fp_static = server::options_fingerprint(options, 0.0);
+  const std::string fp_two = server::options_fingerprint(options, 0.0, two);
+  EXPECT_NE(fp_static, fp_two);
+  EXPECT_NE(fp_two, server::options_fingerprint(options, 0.0,
+                                                PlanningHorizon::uniform(3)));
+  EXPECT_NE(fp_two, server::options_fingerprint(
+                        options, 0.0, PlanningHorizon::uniform(2, 5.0)));
+  EXPECT_NE(fp_two, server::options_fingerprint(options, 0.0, two, true));
+  EXPECT_EQ(fp_two, server::options_fingerprint(options, 0.0,
+                                                PlanningHorizon::uniform(2)));
+}
+
 // ---- daemon over HTTP ----------------------------------------------------
 
 /// Boots a daemon on an ephemeral port and tears it down on scope exit.
@@ -201,6 +322,28 @@ struct DaemonFixture {
     if (time_limit_ms > 0.0) {
       body.set("time_limit_ms", json::Value::number(time_limit_ms));
     }
+    return request_json("POST", "/v1/plan", body.dump());
+  }
+
+  /// POSTs an api_version 2 plan request: a T-period peak/trough horizon
+  /// with a unit migration rate, solved by the heuristic engine.
+  json::Value submit_v2(const ConsolidationInstance& instance, int num_periods,
+                        bool cache = true) {
+    json::Value body = json::Value::object();
+    body.set("instance", json::Value::string(write_instance(instance)));
+    body.set("api_version", json::Value::number(2));
+    json::Value periods = json::Value::array();
+    for (int t = 0; t < num_periods; ++t) {
+      json::Value period = json::Value::object();
+      period.set("multiplier", json::Value::number(t % 2 == 0 ? 1.0 : 0.5));
+      periods.push(std::move(period));
+    }
+    body.set("periods", std::move(periods));
+    body.set("migration_cost_per_server", json::Value::number(1.0));
+    json::Value options = json::Value::object();
+    options.set("engine", json::Value::string("heuristic"));
+    body.set("options", std::move(options));
+    if (!cache) body.set("cache", json::Value::boolean(false));
     return request_json("POST", "/v1/plan", body.dump());
   }
 
@@ -264,6 +407,83 @@ TEST(ServerTest, SecondIdenticalSubmissionIsACacheHit) {
   const json::Value fourth = fixture.submit(instance, "heuristic", false);
   EXPECT_EQ(fourth.get("state")->str, "queued");
   fixture.await(job_id(fourth));
+}
+
+TEST(ServerTest, MultiPeriodPlanCarriesTheHorizonSubtree) {
+  DaemonFixture fixture;
+  const ConsolidationInstance instance = small_instance();
+  const json::Value done =
+      fixture.await(job_id(fixture.submit_v2(instance, 2)));
+  ASSERT_EQ(done.get("state")->str, "done");
+  const json::Value* result = done.get("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->get("api_version")->num, 2);
+  const json::Value* horizon = result->get("horizon");
+  ASSERT_NE(horizon, nullptr);
+  ASSERT_EQ(horizon->get("periods")->arr.size(), 2u);
+  EXPECT_GT(horizon->get("cost")->get("total")->num, 0.0);
+  EXPECT_FALSE(horizon->get("algorithm")->str.empty());
+  // v1 consumers read the first period through the top-level members.
+  EXPECT_DOUBLE_EQ(
+      result->get("cost")->get("total")->num,
+      horizon->get("periods")->arr[0].get("cost")->get("total")->num);
+  EXPECT_EQ(result->get("assignments")->arr.size(),
+            static_cast<std::size_t>(instance.num_groups()));
+
+  // A static solve of the same instance has no horizon subtree.
+  const json::Value static_done =
+      fixture.await(job_id(fixture.submit(instance)));
+  ASSERT_EQ(static_done.get("state")->str, "done");
+  EXPECT_EQ(static_done.get("result")->get("horizon"), nullptr);
+}
+
+TEST(ServerTest, V1BodiesCannotSmuggleMultiPeriodMembers) {
+  DaemonFixture fixture;
+  const ConsolidationInstance instance = small_instance();
+
+  // "periods" without "api_version": 2 is a 400, not a silent upgrade.
+  json::Value smuggled = json::Value::object();
+  smuggled.set("instance", json::Value::string(write_instance(instance)));
+  json::Value periods = json::Value::array();
+  json::Value period = json::Value::object();
+  period.set("multiplier", json::Value::number(0.5));
+  periods.push(std::move(period));
+  smuggled.set("periods", std::move(periods));
+  EXPECT_EQ(fixture.request("POST", "/v1/plan", smuggled.dump()).status, 400);
+
+  // lock_placement is meaningless without a horizon to lock across.
+  json::Value lock_only = json::Value::object();
+  lock_only.set("instance", json::Value::string(write_instance(instance)));
+  lock_only.set("lock_placement", json::Value::boolean(true));
+  EXPECT_EQ(fixture.request("POST", "/v1/plan", lock_only.dump()).status, 400);
+}
+
+TEST(ServerTest, CacheNeverMixesStaticAndMultiPeriodResults) {
+  DaemonFixture fixture;
+  const ConsolidationInstance instance = small_instance();
+  fixture.await(job_id(fixture.submit(instance)));
+
+  // Same instance and options, but a horizon: must be a fresh solve.
+  const json::Value multi = fixture.submit_v2(instance, 2);
+  EXPECT_EQ(multi.get("state")->str, "queued");
+  fixture.await(job_id(multi));
+
+  // Identical multi-period resubmission hits, and serves the horizon tree.
+  const json::Value again = fixture.submit_v2(instance, 2);
+  EXPECT_EQ(again.get("state")->str, "done");
+  EXPECT_TRUE(again.get("cache_hit")->b);
+  EXPECT_NE(again.get("result")->get("horizon"), nullptr);
+
+  // A different period count is a different fingerprint.
+  const json::Value longer = fixture.submit_v2(instance, 3);
+  EXPECT_EQ(longer.get("state")->str, "queued");
+  fixture.await(job_id(longer));
+
+  // And the static entry is still intact.
+  const json::Value static_again = fixture.submit(instance);
+  EXPECT_EQ(static_again.get("state")->str, "done");
+  EXPECT_TRUE(static_again.get("cache_hit")->b);
+  EXPECT_EQ(static_again.get("result")->get("horizon"), nullptr);
 }
 
 TEST(ServerTest, MalformedRequestsGetHttp400AndUnknownPaths404) {
@@ -385,6 +605,36 @@ TEST(ServerTest, ReplanWithDeltaMatchesFreshSolveOfModifiedInstance) {
   EXPECT_DOUBLE_EQ(
       replanned.get("result")->get("cost")->get("total")->num,
       fresh_done.get("result")->get("cost")->get("total")->num);
+}
+
+TEST(ServerTest, ReplanInheritsTheBaseJobsHorizon) {
+  DaemonFixture fixture;
+  const ConsolidationInstance instance = small_instance();
+  const json::Value base = fixture.submit_v2(instance, 2, /*cache=*/false);
+  const json::Value base_done = fixture.await(job_id(base));
+  ASSERT_EQ(base_done.get("state")->str, "done");
+
+  // No v2 members in the replan body: the delta solves under the base
+  // job's horizon, so the result is still multi-period.
+  json::Value replan = json::Value::object();
+  replan.set("base_job",
+             json::Value::number(static_cast<double>(job_id(base))));
+  json::Value delta = json::Value::object();
+  json::Value pins = json::Value::array();
+  json::Value pin = json::Value::object();
+  pin.set("group", json::Value::number(0));
+  pin.set("site", json::Value::number(1));
+  pins.push(std::move(pin));
+  delta.set("pin", std::move(pins));
+  replan.set("delta", std::move(delta));
+  replan.set("cache", json::Value::boolean(false));
+  const json::Value submitted =
+      fixture.request_json("POST", "/v1/replan", replan.dump(), 202);
+  const json::Value replanned = fixture.await(job_id(submitted));
+  ASSERT_EQ(replanned.get("state")->str, "done");
+  const json::Value* horizon = replanned.get("result")->get("horizon");
+  ASSERT_NE(horizon, nullptr);
+  EXPECT_EQ(horizon->get("periods")->arr.size(), 2u);
 }
 
 TEST(ServerTest, ReplanOfAReplanWarmStartsAndMatchesFreshSolve) {

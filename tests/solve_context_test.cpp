@@ -411,7 +411,7 @@ TEST(SolveContext, PlannerBuildsPerStageStatsTree) {
   PlannerOptions options;
   options.milp.search.time_limit_ms = 5000;
   SolveContext ctx;
-  const PlannerReport report = EtransformPlanner(options).plan(model, ctx);
+  const PlannerReport report = EtransformPlanner(options).plan(PlanInput(model), ctx);
   EXPECT_FALSE(report.interrupted);
   EXPECT_EQ(report.stats.name, "planner");
   EXPECT_GT(report.stats.wall_ms, 0.0);
@@ -434,7 +434,7 @@ TEST(SolveContext, CancelledPlannerReturnsBestEffortPlan) {
     cancelled_once = true;
     ctx.request_cancel();
   };
-  const PlannerReport report = EtransformPlanner().plan(model, ctx);
+  const PlannerReport report = EtransformPlanner().plan(PlanInput(model), ctx);
   if (cancelled_once) {
     EXPECT_TRUE(report.interrupted);
     EXPECT_TRUE(check_plan(instance, report.plan).empty())

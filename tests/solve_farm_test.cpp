@@ -428,7 +428,7 @@ TEST(ParallelSensitivity, MatchesSequentialExactly) {
   const ConsolidationInstance instance = small_instance(91);
   const CostModel model(instance);
   SolveContext ctx;
-  const PlannerReport report = EtransformPlanner().plan(model, ctx);
+  const PlannerReport report = EtransformPlanner().plan(PlanInput(model), ctx);
 
   const SensitivityReport sequential = analyze_sensitivity(model, report.plan);
   ThreadPool pool(4);
